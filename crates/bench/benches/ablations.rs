@@ -1,0 +1,85 @@
+//! Criterion benches for the DESIGN.md ablations. Wall time here is host
+//! simulation time, which is proportional to guest work; the guest-cycle
+//! numbers (the paper's metric) come from the `table*`/`fig*`/`*_macro`
+//! binaries. These benches exist to track the *relative* cost of the design
+//! choices and to keep the whole pipeline exercised under `cargo bench`.
+
+use cheri_bench::measure;
+use cheri_corpus::minidb::build_initdb;
+use cheri_isa::codegen::CodegenOpts;
+use cheri_kernel::{AbiMode, KernelConfig, SpawnOpts};
+use cheriabi::System;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+/// D2 ablation: CLC immediate reach (plus the mips64 baseline and the asan
+/// software baseline) on the initdb macro-benchmark.
+fn bench_initdb_configs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("initdb");
+    g.sample_size(10);
+    for (name, opts, abi, asan) in [
+        ("mips64", CodegenOpts::mips64(), AbiMode::Mips64, false),
+        ("cheriabi", CodegenOpts::purecap(), AbiMode::CheriAbi, false),
+        ("cheriabi-smallclc", CodegenOpts::purecap_small_clc(), AbiMode::CheriAbi, false),
+        ("mips64-asan", CodegenOpts::mips64_asan(), AbiMode::Mips64, true),
+    ] {
+        let program = build_initdb(opts, 120);
+        g.bench_function(name, |b| {
+            b.iter(|| measure(&program, abi, asan));
+        });
+    }
+    g.finish();
+}
+
+/// D1 ablation: 128-bit compressed vs 256-bit exact capabilities on a
+/// pointer-heavy workload (the wider format doubles pointer footprint
+/// again).
+fn bench_cap_format(c: &mut Criterion) {
+    let mut g = c.benchmark_group("capfmt-xalancbmk");
+    g.sample_size(10);
+    let w = cheri_workloads::all()
+        .into_iter()
+        .find(|w| w.name == "spec2006-xalancbmk")
+        .expect("workload registered");
+    for (name, opts, fmt) in [
+        ("c128", CodegenOpts::purecap(), cheriabi::CapFormat::C128),
+        ("c256", CodegenOpts::purecap_c256(), cheriabi::CapFormat::C256),
+    ] {
+        let program = (w.build)(opts, 7);
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut sys = System::with_config(KernelConfig {
+                    cap_fmt: fmt,
+                    ..KernelConfig::default()
+                });
+                let mut sopts = SpawnOpts::new(AbiMode::CheriAbi);
+                sopts.instr_budget = Some(2_000_000_000);
+                sys.measure(&program, &sopts).expect("loads")
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Table 3 sampling: one representative BOdiagsuite case under all three
+/// detector configurations.
+fn bench_bodiag_detectors(c: &mut Criterion) {
+    use bodiagsuite::{AccessDir, CaseCfg, Config, Idiom, Region, Variant};
+    let cfg = CaseCfg {
+        id: 0,
+        region: Region::Heap,
+        access: AccessDir::Write,
+        idiom: Idiom::LoopInduction,
+        len: 64,
+    };
+    let mut g = c.benchmark_group("bodiag-detectors");
+    g.sample_size(10);
+    for config in Config::ALL {
+        g.bench_function(config.label(), |b| {
+            b.iter(|| bodiagsuite::run_one(&cfg, Variant::Min, config));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_initdb_configs, bench_cap_format, bench_bodiag_detectors);
+criterion_main!(benches);

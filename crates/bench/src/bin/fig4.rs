@@ -1,0 +1,61 @@
+//! Regenerates **Figure 4**: median overheads (instructions, cycles, L2
+//! cache misses) of CheriABI relative to the mips64 baseline, with
+//! interquartile ranges over several input seeds, for the MiBench-like and
+//! SPEC-like workloads plus `initdb-dynamic`.
+
+use cheri_bench::{iqr, measure, median};
+use cheri_corpus::minidb::build_initdb;
+use cheri_isa::codegen::CodegenOpts;
+use cheri_kernel::AbiMode;
+use cheri_rtld::Program;
+use cheri_workloads::all;
+
+const SEEDS: [u64; 5] = [3, 7, 13, 29, 61];
+
+fn row(name: &str, build: &dyn Fn(CodegenOpts, u64) -> Program) {
+    let mut instr = Vec::new();
+    let mut cycles = Vec::new();
+    let mut l2 = Vec::new();
+    for &seed in &SEEDS {
+        let (sm, mm) = measure(&build(CodegenOpts::mips64(), seed), AbiMode::Mips64, false);
+        let (sc, mc) = measure(&build(CodegenOpts::purecap(), seed), AbiMode::CheriAbi, false);
+        assert_eq!(sm, sc, "{name}: results differ between ABIs");
+        let o = mc.overhead_vs(&mm);
+        instr.push((o.instructions - 1.0) * 100.0);
+        cycles.push((o.cycles - 1.0) * 100.0);
+        l2.push((o.l2_misses - 1.0) * 100.0);
+    }
+    println!(
+        "{:<24} {:>+7.1}% ({:>5.1}) {:>+7.1}% ({:>5.1}) {:>+7.1}% ({:>5.1})",
+        name,
+        median(&mut instr.clone()),
+        iqr(&mut instr.clone()),
+        median(&mut cycles.clone()),
+        iqr(&mut cycles.clone()),
+        median(&mut l2.clone()),
+        iqr(&mut l2.clone()),
+    );
+}
+
+fn main() {
+    println!("Figure 4: CheriABI overhead vs mips64 baseline, median (IQR) over {} seeds", SEEDS.len());
+    println!(
+        "{:<24} {:>16} {:>16} {:>16}",
+        "benchmark", "instructions", "cycles", "l2cache misses"
+    );
+    for w in all() {
+        row(w.name, &|opts, seed| (w.build)(opts, seed));
+    }
+    // initdb-dynamic: the record count varies slightly with the seed so the
+    // IQR is meaningful.
+    row("initdb-dynamic", &|opts, seed| {
+        build_initdb(opts, 360 + (seed % 5) as i64 * 20)
+    });
+    println!();
+    println!(
+        "Paper (Figure 4) shape: most MiBench kernels within noise (±5%);\n\
+         pointer-heavy workloads (qsort, patricia, astar, xalancbmk) show\n\
+         positive instruction/cycle overheads and elevated L2 misses from\n\
+         the doubled pointer footprint; initdb-dynamic ≈ +6.8% cycles."
+    );
+}

@@ -1,0 +1,36 @@
+//! Regenerates **Figure 5**: the cumulative number of capabilities created
+//! during a `tlsish` (openssl-`s_server` stand-in) run, against the size of
+//! their bounds, per capability source (§5.5's trace-based reconstruction
+//! of the process's abstract capability).
+
+use cheri_isa::codegen::CodegenOpts;
+use cheri_kernel::{AbiMode, SpawnOpts};
+use cheri_workloads::tlsish;
+use cheriabi::System;
+
+fn main() {
+    let program = tlsish::build(CodegenOpts::purecap(), 200);
+    let mut sys = System::new();
+    sys.enable_tracing();
+    let (status, _console, metrics) = sys
+        .measure(&program, &SpawnOpts::new(AbiMode::CheriAbi))
+        .expect("tlsish loads");
+    let cdf = sys.capability_histogram();
+    println!(
+        "Figure 5: cumulative capabilities by bounds size (tlsish, {} sessions, exit {status:?})",
+        200
+    );
+    println!("run: {} instructions, {} syscalls, {} derivation events", metrics.instructions, metrics.syscalls, cdf.total());
+    println!();
+    println!("{cdf}");
+    println!("fraction of capabilities with bounds <= 1 KiB: {:.1}%", cdf.fraction_at_most(10) * 100.0);
+    println!("fraction of capabilities with bounds <= 16 MiB: {:.1}%", cdf.fraction_at_most(24) * 100.0);
+    println!();
+    println!(
+        "Paper (Figure 5) shape: no capability grants access to more than\n\
+         16 MiB; around 90% grant access to less than 1 KiB; stack and\n\
+         malloc capabilities are tightly bounded; kern and syscall series\n\
+         are tiny; the baseline legacy process would be a vertical line at\n\
+         the maximum user address."
+    );
+}

@@ -1,0 +1,41 @@
+//! Regenerates the **§5.2 initdb macro-benchmark**: cycles for the minidb
+//! `initdb` under mips64, CheriABI (large-immediate CLC), CheriABI with the
+//! original small CLC immediate, and the AddressSanitizer build — plus the
+//! code-size effect of the CLC extension.
+//!
+//! Paper: "PostgreSQL is only 6.8% slower as a CheriABI binary ...
+//! compiling the initdb binary with Address Sanitizer instrumentation
+//! requires 3.29 times more cycles to complete"; the large-immediate CLC
+//! "reduces the code size of most binaries by over 10%, and reduces the
+//! initdb overhead from 11% to 6.8%".
+
+use cheri_bench::{configurations, measure};
+use cheri_corpus::minidb::build_initdb;
+
+fn main() {
+    let records = 420;
+    println!("initdb macro-benchmark ({records} records)");
+    println!("{:<20} {:>14} {:>12} {:>10} {:>10}", "config", "cycles", "instrs", "vs mips64", "code size");
+    let mut base_cycles = 0f64;
+    for (name, opts, abi, asan) in configurations() {
+        let program = build_initdb(opts, records);
+        let code: usize = program.objects.iter().map(|o| o.code.len()).sum();
+        let (_, m) = measure(&program, abi, asan);
+        if name == "mips64" {
+            base_cycles = m.cycles as f64;
+        }
+        println!(
+            "{:<20} {:>14} {:>12} {:>9.2}x {:>10}",
+            name,
+            m.cycles,
+            m.instructions,
+            m.cycles as f64 / base_cycles,
+            code,
+        );
+    }
+    println!();
+    println!(
+        "Paper: cheriabi ≈ 1.068x, cheriabi-smallclc ≈ 1.11x, asan ≈ 3.29x;\n\
+         the large-immediate CLC shrinks code by >10% on GOT-heavy binaries."
+    );
+}

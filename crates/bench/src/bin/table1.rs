@@ -1,0 +1,45 @@
+//! Regenerates **Table 1**: test-suite results (pass / fail / skip) for the
+//! FreeBSD-suite stand-in, the minidb `pg_regress` suite, and the
+//! libc++-like subsuite, under the legacy mips64 ABI and CheriABI.
+
+use cheri_corpus::families::{freebsd_suite, libcxx_suite};
+use cheri_corpus::minidb::pg_regress_suite;
+use cheri_corpus::suite::run_suite;
+use cheri_kernel::AbiMode;
+
+fn main() {
+    println!("Table 1: test suite results (this reproduction's corpus)");
+    println!("{:<22} {:>6} {:>6} {:>6} {:>7}", "suite", "pass", "fail", "skip", "total");
+    let suites: Vec<(&str, Vec<cheri_corpus::TestCase>)> = vec![
+        ("FreeBSD", freebsd_suite()),
+        ("PostgreSQL", pg_regress_suite()),
+        ("libc++", libcxx_suite()),
+    ];
+    for (name, cases) in &suites {
+        for abi in [AbiMode::Mips64, AbiMode::CheriAbi] {
+            let r = run_suite(cases, abi);
+            println!(
+                "{:<22} {:>6} {:>6} {:>6} {:>7}",
+                format!("{name} {abi}"),
+                r.pass,
+                r.fail,
+                r.skip,
+                r.total()
+            );
+        }
+    }
+    println!();
+    println!("Paper (Table 1), for shape comparison:");
+    println!("  FreeBSD    MIPS     3501 /  90 / 244 of 3835");
+    println!("  FreeBSD    CheriABI 3301 / 122 / 246 of 3669");
+    println!("  PostgreSQL MIPS      167 /   0 /   0 of  167");
+    println!("  PostgreSQL CheriABI  150 /  16 /   1 of  167");
+    println!("  libc++     MIPS     5338 /  29 / 789 of 6156");
+    println!("  libc++     CheriABI 5333 /  34 / 789 of 6156");
+    println!();
+    println!(
+        "note: the corpus is a scaled-down stand-in (see DESIGN.md); the\n\
+         reproduced property is the *shape* — CheriABI passes the\n\
+         overwhelming majority, failing only the seeded Table 2 idioms."
+    );
+}

@@ -1,0 +1,37 @@
+//! Regenerates **Table 2**: the taxonomy of source changes CheriABI
+//! required, by component and category — the static inventory of this
+//! reproduction's porting changes, plus a dynamic classification of the
+//! traps observed when running the corpus under CheriABI.
+
+use cheri_corpus::compat::{render_table, Category, STATIC_CHANGES};
+use cheri_corpus::families::freebsd_suite;
+use cheri_corpus::suite::{classify_failures, run_suite};
+use cheri_kernel::AbiMode;
+use std::collections::BTreeMap;
+
+fn main() {
+    println!("Table 2 (static inventory of this reproduction's changes):");
+    println!("{}", render_table(STATIC_CHANGES));
+    println!("categories: PP pointer provenance, IP integer provenance, M monotonicity,");
+    println!("PS pointer shape, I pointer-as-int, VA virtual address, BF bit flags,");
+    println!("H hashing, A alignment, CC calling convention, U unsupported");
+    println!();
+
+    println!("Dynamic classification of CheriABI corpus failures:");
+    let result = run_suite(&freebsd_suite(), AbiMode::CheriAbi);
+    let mut by_cat: BTreeMap<&'static str, Vec<String>> = BTreeMap::new();
+    for (name, cat) in classify_failures(&result) {
+        let key = cat.map_or("logic/other", Category::header);
+        by_cat.entry(key).or_default().push(name);
+    }
+    for (cat, names) in &by_cat {
+        println!("  {:<12} {:>3}  ({})", cat, names.len(), names.join(", "));
+    }
+    println!();
+    println!(
+        "Paper (Table 2) totals per component: headers 21 changes,\n\
+         libraries 185, programs 49, tests 13 — across the same categories.\n\
+         Absolute counts are incomparable (the paper ports ~800 programs);\n\
+         the reproduced property is the taxonomy and its spread."
+    );
+}

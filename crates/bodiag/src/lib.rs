@@ -1,0 +1,493 @@
+//! # bodiagsuite — the buffer-overflow diagnostic suite (Table 3)
+//!
+//! The paper evaluates memory-protection benefit with "the BOdiagsuite
+//! suite of 291 programs from Kratkiewicz": each case has a correct
+//! variant plus three buggy ones — **min** (off by one byte), **med** (off
+//! by eight bytes) and **large** (off by 4096 bytes) — run under plain
+//! mips64, CheriABI, and AddressSanitizer.
+//!
+//! This crate generates an equivalent suite of exactly [`TOTAL_CASES`]
+//! cases spanning the regions and access idioms of the original (stack
+//! arrays, heap allocations, globals, read and write accesses, direct /
+//! indexed / loop-induction address computation), including the
+//! **intra-object** overflows that CheriABI deliberately does not catch
+//! ("the current CheriABI design does not protect against this", §5.4) and
+//! the global-adjacent overflows that AddressSanitizer misses (no redzones
+//! between globals in our generator, matching ASan's object granularity).
+//!
+//! Detection criteria match the paper: a run "detects" the bug if the
+//! process is stopped by the memory-safety machinery — a capability fault
+//! (CheriABI), a sanitizer abort (ASan), or a hardware/VM fault (the only
+//! way plain mips64 ever notices).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use cheri_isa::codegen::{CodegenOpts, FnBuilder, Ptr, Val};
+use cheri_isa::Width;
+use cheri_kernel::{AbiMode, ExitStatus, Kernel, KernelConfig, SpawnOpts};
+use cheri_rtld::{Program, ProgramBuilder};
+use cheriabi::guest::GuestOps;
+use std::fmt;
+
+/// Number of base test cases (paper: 291).
+pub const TOTAL_CASES: usize = 291;
+
+/// Memory region under test.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Region {
+    /// A stack array (automatic storage).
+    Stack,
+    /// A heap allocation.
+    Heap,
+    /// A global (static storage) with valid globals on both sides.
+    Global,
+    /// An array *field* inside a heap-allocated struct with `tail` bytes of
+    /// further fields/padding after it: overflow stays inside the object.
+    IntraObject {
+        /// Bytes of struct space after the array field.
+        tail: u64,
+    },
+}
+
+/// Whether the overflowing access reads or writes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessDir {
+    /// Out-of-bounds read.
+    Read,
+    /// Out-of-bounds write.
+    Write,
+}
+
+/// How the out-of-bounds address is formed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Idiom {
+    /// Constant offset from the buffer base.
+    DirectOffset,
+    /// Index materialised in a register, pointer arithmetic.
+    IndexReg,
+    /// A loop walking the buffer one byte at a time, ending past it.
+    LoopInduction,
+}
+
+/// The buggy-variant magnitudes of Table 3 (plus the correct baseline).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Variant {
+    /// No memory-safety error.
+    Ok,
+    /// Smallest possible violation (one byte past the end).
+    Min,
+    /// Off by eight bytes.
+    Med,
+    /// Off by 4096 bytes.
+    Large,
+}
+
+impl Variant {
+    /// All four variants.
+    pub const ALL: [Variant; 4] = [Variant::Ok, Variant::Min, Variant::Med, Variant::Large];
+
+    /// The byte index accessed for a buffer of `len` bytes.
+    #[must_use]
+    pub fn target_index(self, len: u64) -> i64 {
+        match self {
+            Variant::Ok => len as i64 - 1,
+            Variant::Min => len as i64,
+            Variant::Med => len as i64 + 7,
+            Variant::Large => len as i64 + 4095,
+        }
+    }
+
+    /// Column label used in Table 3.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Variant::Ok => "ok",
+            Variant::Min => "min",
+            Variant::Med => "med",
+            Variant::Large => "large",
+        }
+    }
+}
+
+/// One base case of the suite.
+#[derive(Clone, Copy, Debug)]
+pub struct CaseCfg {
+    /// Case number (0-based).
+    pub id: usize,
+    /// Region.
+    pub region: Region,
+    /// Read or write.
+    pub access: AccessDir,
+    /// Address-formation idiom.
+    pub idiom: Idiom,
+    /// Buffer length in bytes.
+    pub len: u64,
+}
+
+/// The full, deterministic suite of exactly [`TOTAL_CASES`] cases:
+/// 180 stack, 96 heap, 3 global and 12 intra-object.
+#[must_use]
+pub fn all_cases() -> Vec<CaseCfg> {
+    let mut cases = Vec::new();
+    let mut id = 0;
+    let mut push = |region, access, idiom, len| {
+        cases.push(CaseCfg { id, region, access, idiom, len });
+        id += 1;
+    };
+    // 180 stack cases: 30 lengths x {read,write} x 3 idioms.
+    let stack_lens: Vec<u64> = (0..30).map(|i| 8 + i * 9).collect();
+    for &len in &stack_lens {
+        for access in [AccessDir::Read, AccessDir::Write] {
+            for idiom in [Idiom::DirectOffset, Idiom::IndexReg, Idiom::LoopInduction] {
+                push(Region::Stack, access, idiom, len);
+            }
+        }
+    }
+    // 96 heap cases: 16 lengths x 2 x 3.
+    let heap_lens: Vec<u64> = (0..16).map(|i| 12 + i * 21).collect();
+    for &len in &heap_lens {
+        for access in [AccessDir::Read, AccessDir::Write] {
+            for idiom in [Idiom::DirectOffset, Idiom::IndexReg, Idiom::LoopInduction] {
+                push(Region::Heap, access, idiom, len);
+            }
+        }
+    }
+    // 3 global cases (reads at three lengths).
+    for len in [16u64, 40, 64] {
+        push(Region::Global, AccessDir::Read, Idiom::DirectOffset, len);
+    }
+    // 12 intra-object cases. Struct sizes are multiples of 16 so the
+    // allocator's padding adds nothing and the capability bounds equal the
+    // struct exactly: 10 with a 7-byte tail (min stays inside, med lands
+    // exactly at the struct end and escapes), 2 with a 23-byte tail (med
+    // stays inside too — only `large` escapes).
+    for i in 0..10u64 {
+        push(
+            Region::IntraObject { tail: 7 },
+            if i % 2 == 0 { AccessDir::Read } else { AccessDir::Write },
+            Idiom::DirectOffset,
+            9 + i * 16,
+        );
+    }
+    for i in 0..2u64 {
+        push(Region::IntraObject { tail: 23 }, AccessDir::Write, Idiom::DirectOffset, 41 + i * 16);
+    }
+    assert_eq!(cases.len(), TOTAL_CASES);
+    cases
+}
+
+/// Emits the access of `dir` at byte `buf + idx` using `idiom`.
+fn emit_access(f: &mut FnBuilder<'_>, buf: Ptr, idx: i64, dir: AccessDir, idiom: Idiom) {
+    match idiom {
+        Idiom::DirectOffset => match dir {
+            AccessDir::Read => f.load(Val(0), buf, idx, Width::B, false),
+            AccessDir::Write => {
+                f.li(Val(0), 0x41);
+                f.store(Val(0), buf, idx, Width::B);
+            }
+        },
+        Idiom::IndexReg => {
+            f.li(Val(1), idx);
+            f.ptr_add(Ptr(6), buf, Val(1));
+            match dir {
+                AccessDir::Read => f.load(Val(0), Ptr(6), 0, Width::B, false),
+                AccessDir::Write => {
+                    f.li(Val(0), 0x42);
+                    f.store(Val(0), Ptr(6), 0, Width::B);
+                }
+            }
+        }
+        Idiom::LoopInduction => {
+            // for i in 0..=idx { touch(buf[i]) }
+            f.li(Val(1), 0);
+            let top = f.label();
+            let done = f.label();
+            f.bind(top);
+            f.li(Val(2), idx + 1);
+            f.sub(Val(3), Val(1), Val(2));
+            f.beqz(Val(3), done);
+            f.ptr_add(Ptr(6), buf, Val(1));
+            match dir {
+                AccessDir::Read => f.load(Val(0), Ptr(6), 0, Width::B, false),
+                AccessDir::Write => {
+                    f.li(Val(0), 0x43);
+                    f.store(Val(0), Ptr(6), 0, Width::B);
+                }
+            }
+            f.add_imm(Val(1), Val(1), 1);
+            f.jmp(top);
+            f.bind(done);
+        }
+    }
+}
+
+/// Builds the guest program for one case/variant.
+#[must_use]
+pub fn build_case(cfg: &CaseCfg, variant: Variant, opts: CodegenOpts) -> Program {
+    let mut pb = ProgramBuilder::new("bodiag");
+    let mut exe = pb.object("bodiag");
+    if cfg.region == Region::Global {
+        exe.add_data("pad_before", &[1u8; 64], 16);
+        exe.add_data("gbuf", &vec![2u8; cfg.len as usize], 16);
+        // Enough valid globals after the buffer that even +4096 lands on
+        // mapped, unpoisoned, legitimate data.
+        exe.add_data("pad_after", &[3u8; 8192], 16);
+    }
+    let cfg = *cfg;
+    {
+        let mut f = FnBuilder::begin(&mut exe, "main", opts);
+        let idx = variant.target_index(cfg.len);
+        match cfg.region {
+            Region::Stack => {
+                // Frame: [16 .. 16+len) buffer, 8-byte redzone gaps, rest
+                // of the frame stays live so in-frame overflow is silent on
+                // mips64.
+                let frame = ((cfg.len as i64 + 16 + 8 + 15) / 16) * 16 + 64;
+                f.enter(frame);
+                f.addr_of_stack(Ptr(0), 16, cfg.len);
+                emit_access(&mut f, Ptr(0), idx, cfg.access, cfg.idiom);
+            }
+            Region::Heap => {
+                // A preceding allocation keeps the buffer interior to the
+                // arena chunk.
+                f.malloc_imm(Ptr(1), 32);
+                f.malloc_imm(Ptr(0), cfg.len as i64);
+                // A following allocation gives min/med a silent landing
+                // zone on mips64.
+                f.malloc_imm(Ptr(2), 64);
+                emit_access(&mut f, Ptr(0), idx, cfg.access, cfg.idiom);
+            }
+            Region::Global => {
+                f.load_global_ptr(Ptr(0), "gbuf");
+                emit_access(&mut f, Ptr(0), idx, cfg.access, cfg.idiom);
+            }
+            Region::IntraObject { tail } => {
+                // struct { char field[len]; char rest[tail]; }
+                f.malloc_imm(Ptr(1), 32);
+                f.malloc_imm(Ptr(0), (cfg.len + tail) as i64);
+                f.malloc_imm(Ptr(2), 64);
+                emit_access(&mut f, Ptr(0), idx, cfg.access, cfg.idiom);
+            }
+        }
+        f.sys_exit_imm(0);
+    }
+    exe.set_entry("main");
+    pb.add(exe.finish());
+    pb.finish()
+}
+
+/// The three detector configurations of Table 3.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Config {
+    /// Plain legacy mips64.
+    Mips64,
+    /// CheriABI pure-capability.
+    CheriAbi,
+    /// mips64 with AddressSanitizer instrumentation.
+    Asan,
+}
+
+impl Config {
+    /// All configurations in Table 3 row order.
+    pub const ALL: [Config; 3] = [Config::Mips64, Config::CheriAbi, Config::Asan];
+
+    /// Row label used in the paper.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Config::Mips64 => "mips64",
+            Config::CheriAbi => "cheriabi",
+            Config::Asan => "asan",
+        }
+    }
+
+    /// Codegen options for this configuration.
+    #[must_use]
+    pub fn codegen(self) -> CodegenOpts {
+        match self {
+            Config::Mips64 => CodegenOpts::mips64(),
+            Config::CheriAbi => CodegenOpts::purecap(),
+            Config::Asan => CodegenOpts::mips64_asan(),
+        }
+    }
+
+    /// Process ABI for this configuration.
+    #[must_use]
+    pub fn abi(self) -> AbiMode {
+        match self {
+            Config::CheriAbi => AbiMode::CheriAbi,
+            _ => AbiMode::Mips64,
+        }
+    }
+}
+
+/// Runs one case/variant under `config`; returns `(detected, status)`.
+#[must_use]
+pub fn run_one(cfg: &CaseCfg, variant: Variant, config: Config) -> (bool, ExitStatus) {
+    let program = build_case(cfg, variant, config.codegen());
+    let mut kernel = Kernel::new(KernelConfig::default());
+    let mut opts = SpawnOpts::new(config.abi());
+    opts.asan = config == Config::Asan;
+    opts.instr_budget = Some(5_000_000);
+    let (status, _) = kernel.run_program(&program, &opts).expect("loads");
+    (status.is_safety_stop(), status)
+}
+
+/// Table 3 results: `detected[config][variant]` counts.
+#[derive(Clone, Debug, Default)]
+pub struct Table3 {
+    /// Counts per configuration, ordered as [`Config::ALL`] and
+    /// `[min, med, large]`.
+    pub detected: Vec<(Config, [usize; 3])>,
+    /// Any Ok-variant run that did *not* exit cleanly (must be empty — the
+    /// paper "verified that the variants without memory-safety errors ran
+    /// correctly").
+    pub false_positives: Vec<(usize, Config, ExitStatus)>,
+}
+
+impl fmt::Display for Table3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:<10} {:>6} {:>6} {:>6}", "", "min", "med", "large")?;
+        for (config, counts) in &self.detected {
+            writeln!(
+                f,
+                "{:<10} {:>6} {:>6} {:>6}",
+                config.label(),
+                counts[0],
+                counts[1],
+                counts[2]
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs the complete suite (all cases, variants and configurations).
+#[must_use]
+pub fn run_table3(cases: &[CaseCfg]) -> Table3 {
+    let mut table = Table3::default();
+    for config in Config::ALL {
+        let mut counts = [0usize; 3];
+        for cfg in cases {
+            for (vi, variant) in [Variant::Min, Variant::Med, Variant::Large]
+                .into_iter()
+                .enumerate()
+            {
+                let (detected, _) = run_one(cfg, variant, config);
+                if detected {
+                    counts[vi] += 1;
+                }
+            }
+            let (_, ok_status) = run_one(cfg, Variant::Ok, config);
+            if ok_status != ExitStatus::Code(0) {
+                table.false_positives.push((cfg.id, config, ok_status));
+            }
+        }
+        table.detected.push((config, counts));
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheri_cap::CapFault;
+    use cheriabi::TrapCause;
+
+    #[test]
+    fn suite_has_exactly_291_cases() {
+        let cases = all_cases();
+        assert_eq!(cases.len(), TOTAL_CASES);
+        assert_eq!(cases.iter().filter(|c| c.region == Region::Stack).count(), 180);
+        assert_eq!(cases.iter().filter(|c| c.region == Region::Heap).count(), 96);
+        assert_eq!(cases.iter().filter(|c| c.region == Region::Global).count(), 3);
+        assert_eq!(
+            cases.iter().filter(|c| matches!(c.region, Region::IntraObject { .. })).count(),
+            12
+        );
+    }
+
+    #[test]
+    fn ok_variants_pass_everywhere_sampled() {
+        let cases = all_cases();
+        for cfg in cases.iter().step_by(37) {
+            for config in Config::ALL {
+                let (_, status) = run_one(cfg, Variant::Ok, config);
+                assert_eq!(status, ExitStatus::Code(0), "case {} {config:?}", cfg.id);
+            }
+        }
+    }
+
+    #[test]
+    fn cheriabi_catches_min_stack_overflow() {
+        let cfg = CaseCfg {
+            id: 0,
+            region: Region::Stack,
+            access: AccessDir::Write,
+            idiom: Idiom::DirectOffset,
+            len: 32,
+        };
+        let (detected, status) = run_one(&cfg, Variant::Min, Config::CheriAbi);
+        assert!(detected);
+        assert_eq!(status, ExitStatus::Fault(TrapCause::Cap(CapFault::LengthViolation)));
+        let (detected_m, _) = run_one(&cfg, Variant::Min, Config::Mips64);
+        assert!(!detected_m, "mips64 is silent at min");
+    }
+
+    #[test]
+    fn asan_catches_heap_min_but_misses_global() {
+        let heap = CaseCfg {
+            id: 0,
+            region: Region::Heap,
+            access: AccessDir::Write,
+            idiom: Idiom::DirectOffset,
+            len: 33,
+        };
+        let (d, s) = run_one(&heap, Variant::Min, Config::Asan);
+        assert!(d, "asan heap min: {s:?}");
+        assert_eq!(s, ExitStatus::SanitizerAbort);
+        let global = CaseCfg {
+            id: 0,
+            region: Region::Global,
+            access: AccessDir::Read,
+            idiom: Idiom::DirectOffset,
+            len: 16,
+        };
+        let (d, _) = run_one(&global, Variant::Min, Config::Asan);
+        assert!(!d, "no redzones between globals");
+        let (d, _) = run_one(&global, Variant::Min, Config::CheriAbi);
+        assert!(d, "cheriabi bounds globals per symbol");
+    }
+
+    #[test]
+    fn intra_object_is_cheriabi_blind_spot() {
+        let intra = CaseCfg {
+            id: 0,
+            region: Region::IntraObject { tail: 7 },
+            access: AccessDir::Write,
+            idiom: Idiom::DirectOffset,
+            len: 25,
+        };
+        let (d_min, _) = run_one(&intra, Variant::Min, Config::CheriAbi);
+        assert!(!d_min, "min stays inside the object");
+        let (d_med, _) = run_one(&intra, Variant::Med, Config::CheriAbi);
+        assert!(d_med, "med escapes a 7-byte tail");
+        let deep = CaseCfg { region: Region::IntraObject { tail: 23 }, len: 41, ..intra };
+        let (d_med2, _) = run_one(&deep, Variant::Med, Config::CheriAbi);
+        assert!(!d_med2, "med stays inside a 23-byte tail");
+    }
+
+    #[test]
+    fn mips64_catches_large_stack_overflow() {
+        let cfg = CaseCfg {
+            id: 0,
+            region: Region::Stack,
+            access: AccessDir::Write,
+            idiom: Idiom::DirectOffset,
+            len: 64,
+        };
+        let (d, s) = run_one(&cfg, Variant::Large, Config::Mips64);
+        assert!(d, "falls off the stack mapping: {s:?}");
+    }
+}

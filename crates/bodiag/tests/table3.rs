@@ -1,0 +1,46 @@
+//! Runs the complete BOdiagsuite (291 cases × 4 variants × 3 configs) and
+//! checks the Table 3 shape.
+
+use bodiagsuite::{all_cases, run_table3, Config};
+
+#[test]
+fn table3_shape_holds() {
+    let cases = all_cases();
+    let table = run_table3(&cases);
+    println!("{table}");
+    assert!(
+        table.false_positives.is_empty(),
+        "ok-variants must pass: {:?}",
+        table.false_positives
+    );
+    let get = |c: Config| {
+        table
+            .detected
+            .iter()
+            .find(|(cc, _)| *cc == c)
+            .map(|(_, v)| *v)
+            .expect("config present")
+    };
+    let m = get(Config::Mips64);
+    let ch = get(Config::CheriAbi);
+    let asan = get(Config::Asan);
+
+    // CheriABI: misses exactly the 12 intra-object cases at min, the 2
+    // deep-tail cases at med, and nothing at large (paper: 279/289/291).
+    assert_eq!(ch, [279, 289, 291], "cheriabi");
+    // ASan: additionally blind to the 3 global-adjacent cases
+    // (paper: 276/286/286).
+    assert_eq!(asan[0], 276, "asan min");
+    assert_eq!(asan[1], 286, "asan med");
+    assert!(asan[2] >= 286, "asan large");
+    // mips64 catches (almost) nothing until overflows reach unmapped
+    // memory (paper: 4/8/175).
+    assert!(m[0] <= 8, "mips64 min: {}", m[0]);
+    assert!(m[1] <= 16, "mips64 med: {}", m[1]);
+    assert!(m[2] >= 120 && m[2] <= 220, "mips64 large: {}", m[2]);
+    // Ordering: CheriABI strictly dominates ASan, which dominates mips64.
+    for i in 0..3 {
+        assert!(ch[i] >= asan[i], "cheriabi >= asan at {i}");
+        assert!(asan[i] >= m[i], "asan >= mips64 at {i}");
+    }
+}

@@ -1,0 +1,65 @@
+//! # cheri-cap — the CHERI capability model
+//!
+//! This crate implements the architectural capability type at the heart of
+//! the CheriABI paper (Davis et al., ASPLOS 2019, §2): a pointer that carries
+//! bounds, permissions, a seal, and an out-of-band validity *tag*, and that
+//! can only be **derived** (never forged) from existing valid capabilities by
+//! monotonically non-increasing operations.
+//!
+//! Three properties from the paper are enforced by construction:
+//!
+//! * **Provenance validation** — the only public constructors are
+//!   [`Capability::null`] (untagged) and root-capability creation via
+//!   [`Capability::root`]; everything else derives from an existing value.
+//! * **Capability integrity** — the tagged-memory crate clears tags whenever
+//!   raw data overlaps a capability granule; this crate never re-tags.
+//! * **Monotonicity** — [`Capability::set_bounds`], [`Capability::and_perms`]
+//!   and address arithmetic can narrow but never widen authority; attempts
+//!   trap ([`CapFault`]) or clear the tag, exactly as the ISA specifies.
+//!
+//! Bounds are stored compressed in the 128-bit format ([`CapFormat::C128`],
+//! a CHERI-Concentrate-style exponent/mantissa scheme implemented in
+//! [`compress`]) or exactly in the 256-bit format ([`CapFormat::C256`]).
+//! Compression is what forces allocator padding and alignment in the paper
+//! (§2 footnote 2); [`compress::representable_length`] and
+//! [`compress::representable_alignment_mask`] are the CRRL/CRAM equivalents.
+//!
+//! In addition to the architectural state, every capability carries
+//! *non-architectural* [`Provenance`] metadata (owning principal and
+//! derivation source). This implements the paper's **abstract capability**
+//! (§3): the simulation uses it to check that a capability observed in a
+//! process always traces back to that process's root, across swap,
+//! debugging, and kernel crossings.
+//!
+//! ```
+//! use cheri_cap::{Capability, CapFormat, Perms, PrincipalId, CapSource};
+//!
+//! # fn main() -> Result<(), cheri_cap::CapFault> {
+//! let root = Capability::root(CapFormat::C128, PrincipalId::KERNEL, CapSource::Boot);
+//! // Narrow to a 4 KiB user mapping, read/write only.
+//! let mapping = root
+//!     .with_addr(0x1_0000)
+//!     .set_bounds(0x1000, true)?
+//!     .and_perms(Perms::LOAD | Perms::STORE | Perms::LOAD_CAP | Perms::STORE_CAP);
+//! assert_eq!(mapping.base(), 0x1_0000);
+//! assert_eq!(mapping.length(), 0x1000);
+//! assert!(!mapping.perms().contains(Perms::EXECUTE));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod capability;
+pub mod compress;
+mod error;
+mod otype;
+mod perms;
+mod provenance;
+
+pub use capability::{CapFormat, Capability, CAP_SIZE_C128, CAP_SIZE_C256, TAG_GRANULE};
+pub use error::CapFault;
+pub use otype::OType;
+pub use perms::Perms;
+pub use provenance::{CapSource, PrincipalAllocator, PrincipalId, Provenance};

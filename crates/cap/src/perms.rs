@@ -1,0 +1,291 @@
+//! Capability permission bits.
+//!
+//! CHERI permissions gate what a capability may be used for. The set below
+//! mirrors the CHERI-MIPS permission field used by CheriABI, including the
+//! software-defined `VMMAP` permission that the paper's kernel requires on
+//! capabilities passed to `munmap`/`shmdt` and fixed-address `mmap` (§4,
+//! "Virtual-address management APIs").
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr, BitOrAssign, Not, Sub};
+
+/// A set of capability permissions.
+///
+/// `Perms` behaves like a bitset but only offers *monotonic* combinators to
+/// the rest of the system: the capability type exposes intersection
+/// (`CAndPerm`), never union.
+///
+/// ```
+/// use cheri_cap::Perms;
+/// let rw = Perms::LOAD | Perms::STORE;
+/// assert!(rw.contains(Perms::LOAD));
+/// assert!(!rw.contains(Perms::EXECUTE));
+/// assert!(rw.is_subset_of(Perms::user_data()));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Perms(u32);
+
+impl Perms {
+    /// No permissions at all.
+    pub const NONE: Perms = Perms(0);
+    /// Capability may be shared across protection domains (global).
+    pub const GLOBAL: Perms = Perms(1 << 0);
+    /// Instructions may be fetched through this capability.
+    pub const EXECUTE: Perms = Perms(1 << 1);
+    /// Data may be loaded through this capability.
+    pub const LOAD: Perms = Perms(1 << 2);
+    /// Data may be stored through this capability.
+    pub const STORE: Perms = Perms(1 << 3);
+    /// Tagged capabilities may be loaded through this capability.
+    pub const LOAD_CAP: Perms = Perms(1 << 4);
+    /// Tagged capabilities may be stored through this capability.
+    pub const STORE_CAP: Perms = Perms(1 << 5);
+    /// Non-global ("local") capabilities may be stored through this one.
+    pub const STORE_LOCAL_CAP: Perms = Perms(1 << 6);
+    /// This capability may be used to seal others.
+    pub const SEAL: Perms = Perms(1 << 7);
+    /// This capability may be used with the CInvoke/CCall mechanism.
+    pub const INVOKE: Perms = Perms(1 << 8);
+    /// This capability may be used to unseal sealed capabilities.
+    pub const UNSEAL: Perms = Perms(1 << 9);
+    /// Access to privileged system registers (kernel only).
+    pub const SYSTEM_REGS: Perms = Perms(1 << 10);
+    /// Software-defined: holder may manage virtual-memory mappings covering
+    /// the capability's bounds (`mmap(MAP_FIXED)`, `munmap`, `shmdt`).
+    pub const VMMAP: Perms = Perms(1 << 15);
+    /// Software-defined: capability originates from the kernel's direct map
+    /// (never handed to userspace; used by invariant checks).
+    pub const KERNEL_DIRECT: Perms = Perms(1 << 16);
+
+    /// Every permission bit set; the authority of the reset-time root.
+    pub const ALL: Perms = Perms(
+        Perms::GLOBAL.0
+            | Perms::EXECUTE.0
+            | Perms::LOAD.0
+            | Perms::STORE.0
+            | Perms::LOAD_CAP.0
+            | Perms::STORE_CAP.0
+            | Perms::STORE_LOCAL_CAP.0
+            | Perms::SEAL.0
+            | Perms::INVOKE.0
+            | Perms::UNSEAL.0
+            | Perms::SYSTEM_REGS.0
+            | Perms::VMMAP.0
+            | Perms::KERNEL_DIRECT.0,
+    );
+
+    /// The permissions a CheriABI process receives on a read-write data
+    /// mapping: load/store of both data and capabilities, plus `VMMAP` so the
+    /// owner can unmap it.
+    #[must_use]
+    pub fn user_data() -> Perms {
+        Perms::GLOBAL
+            | Perms::LOAD
+            | Perms::STORE
+            | Perms::LOAD_CAP
+            | Perms::STORE_CAP
+            | Perms::STORE_LOCAL_CAP
+            | Perms::VMMAP
+    }
+
+    /// The permissions placed on PCC and function pointers: fetch plus data
+    /// load (PC-relative constant pools), never store.
+    #[must_use]
+    pub fn user_code() -> Perms {
+        Perms::GLOBAL | Perms::EXECUTE | Perms::LOAD | Perms::LOAD_CAP
+    }
+
+    /// Read-only data (e.g. the signal-return trampoline page mapped by
+    /// `execve`).
+    #[must_use]
+    pub fn user_rodata() -> Perms {
+        Perms::GLOBAL | Perms::LOAD | Perms::LOAD_CAP
+    }
+
+    /// Returns `true` if every bit of `other` is present in `self`.
+    #[must_use]
+    pub fn contains(self, other: Perms) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Returns `true` if `self` is a (non-strict) subset of `other`.
+    #[must_use]
+    pub fn is_subset_of(self, other: Perms) -> bool {
+        other.contains(self)
+    }
+
+    /// Returns `true` if no permission bit is set.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The raw bit pattern (stable across the simulation; used when
+    /// serialising capabilities to swap metadata).
+    #[must_use]
+    pub fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// Reconstructs a permission set from raw bits, masking unknown bits.
+    #[must_use]
+    pub fn from_bits_truncate(bits: u32) -> Perms {
+        Perms(bits & Perms::ALL.0)
+    }
+
+    /// Intersection — the only combinator the architecture offers for
+    /// deriving permissions (`CAndPerm`).
+    #[must_use]
+    pub fn intersection(self, other: Perms) -> Perms {
+        Perms(self.0 & other.0)
+    }
+
+    /// Set difference, used when the runtime strips specific permissions
+    /// (e.g. malloc removing `VMMAP` and `EXECUTE` from returned regions).
+    #[must_use]
+    pub fn difference(self, other: Perms) -> Perms {
+        Perms(self.0 & !other.0)
+    }
+}
+
+impl BitOr for Perms {
+    type Output = Perms;
+    fn bitor(self, rhs: Perms) -> Perms {
+        Perms(self.0 | rhs.0)
+    }
+}
+
+impl BitOrAssign for Perms {
+    fn bitor_assign(&mut self, rhs: Perms) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl BitAnd for Perms {
+    type Output = Perms;
+    fn bitand(self, rhs: Perms) -> Perms {
+        self.intersection(rhs)
+    }
+}
+
+impl Sub for Perms {
+    type Output = Perms;
+    fn sub(self, rhs: Perms) -> Perms {
+        self.difference(rhs)
+    }
+}
+
+impl Not for Perms {
+    type Output = Perms;
+    fn not(self) -> Perms {
+        Perms(!self.0 & Perms::ALL.0)
+    }
+}
+
+impl fmt::Debug for Perms {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const NAMES: &[(Perms, &str)] = &[
+            (Perms::GLOBAL, "G"),
+            (Perms::EXECUTE, "X"),
+            (Perms::LOAD, "R"),
+            (Perms::STORE, "W"),
+            (Perms::LOAD_CAP, "r"),
+            (Perms::STORE_CAP, "w"),
+            (Perms::STORE_LOCAL_CAP, "l"),
+            (Perms::SEAL, "S"),
+            (Perms::INVOKE, "I"),
+            (Perms::UNSEAL, "U"),
+            (Perms::SYSTEM_REGS, "$"),
+            (Perms::VMMAP, "M"),
+            (Perms::KERNEL_DIRECT, "K"),
+        ];
+        write!(f, "Perms[")?;
+        for (bit, name) in NAMES {
+            if self.contains(*bit) {
+                write!(f, "{name}")?;
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for Perms {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_contains_every_named_bit() {
+        for p in [
+            Perms::GLOBAL,
+            Perms::EXECUTE,
+            Perms::LOAD,
+            Perms::STORE,
+            Perms::LOAD_CAP,
+            Perms::STORE_CAP,
+            Perms::STORE_LOCAL_CAP,
+            Perms::SEAL,
+            Perms::INVOKE,
+            Perms::UNSEAL,
+            Perms::SYSTEM_REGS,
+            Perms::VMMAP,
+            Perms::KERNEL_DIRECT,
+        ] {
+            assert!(Perms::ALL.contains(p), "{p:?} missing from ALL");
+        }
+    }
+
+    #[test]
+    fn intersection_is_monotonic() {
+        let a = Perms::user_data();
+        let b = Perms::user_code();
+        let i = a & b;
+        assert!(i.is_subset_of(a));
+        assert!(i.is_subset_of(b));
+    }
+
+    #[test]
+    fn difference_removes_bits() {
+        let p = Perms::user_data() - Perms::VMMAP;
+        assert!(!p.contains(Perms::VMMAP));
+        assert!(p.contains(Perms::LOAD));
+    }
+
+    #[test]
+    fn user_data_has_vmmap_but_not_execute() {
+        assert!(Perms::user_data().contains(Perms::VMMAP));
+        assert!(!Perms::user_data().contains(Perms::EXECUTE));
+    }
+
+    #[test]
+    fn user_code_cannot_store() {
+        assert!(!Perms::user_code().contains(Perms::STORE));
+        assert!(!Perms::user_code().contains(Perms::STORE_CAP));
+    }
+
+    #[test]
+    fn bits_roundtrip() {
+        let p = Perms::user_data();
+        assert_eq!(Perms::from_bits_truncate(p.bits()), p);
+        // Unknown bits are dropped.
+        assert_eq!(Perms::from_bits_truncate(0xffff_ffff), Perms::ALL);
+    }
+
+    #[test]
+    fn not_stays_within_known_bits() {
+        let p = !Perms::NONE;
+        assert_eq!(p, Perms::ALL);
+        assert_eq!(!Perms::ALL, Perms::NONE);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert_eq!(format!("{:?}", Perms::NONE), "Perms[]");
+        assert!(format!("{:?}", Perms::ALL).len() > 7);
+    }
+}

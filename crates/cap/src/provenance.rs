@@ -1,0 +1,196 @@
+//! Abstract-capability provenance metadata (paper §3).
+//!
+//! The paper's *abstract capability* pairs access rights with a conceptual
+//! **principal ID**, freshly created for the kernel and for each process
+//! address space. Architectural capabilities carry no such field — it exists
+//! only in the reasoning model — but a simulator can afford to attach it and
+//! *check* the model: a capability must never be usable under a principal it
+//! was not derived for, even when the architectural derivation chain is
+//! broken and re-established (swap, debugger injection).
+//!
+//! The [`CapSource`] tag records which runtime mechanism derived the
+//! capability; it drives the Figure 5 reconstruction ("cumulative number of
+//! capabilities against size of bounds, for different sources").
+
+use std::fmt;
+
+/// Identity of an abstract principal: the kernel or one process
+/// address space. Unique over the entire execution, never reused
+/// (paper §3: "Principal IDs are freshly created ... unique over the entire
+/// execution").
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PrincipalId(u64);
+
+impl PrincipalId {
+    /// The kernel's principal.
+    pub const KERNEL: PrincipalId = PrincipalId(0);
+
+    /// Constructs a principal from a raw id; id 0 is the kernel.
+    #[must_use]
+    pub fn from_raw(raw: u64) -> PrincipalId {
+        PrincipalId(raw)
+    }
+
+    /// The raw id.
+    #[must_use]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Whether this is the kernel principal.
+    #[must_use]
+    pub fn is_kernel(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Debug for PrincipalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_kernel() {
+            write!(f, "Principal(kernel)")
+        } else {
+            write!(f, "Principal({})", self.0)
+        }
+    }
+}
+
+impl fmt::Display for PrincipalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Which mechanism of §3 created or refined this capability.
+///
+/// The variants correspond to the construction rules enumerated in the paper
+/// ("CPU reset", "Process address-space creation", "Automatic references",
+/// "Dynamic linking", "Memory allocation", "System calls", ...), and to the
+/// legend of Figure 5.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[non_exhaustive]
+pub enum CapSource {
+    /// Maximally permissive capability provided at machine reset.
+    Boot,
+    /// Kernel-internal capability (kernel code/data/direct map).
+    Kernel,
+    /// Installed by `execve` into the new process (text/data/stack/args
+    /// mappings, ELF aux vector entries).
+    Exec,
+    /// Derived from the stack capability (automatic references).
+    Stack,
+    /// Returned by the userspace allocator.
+    Malloc,
+    /// Created by the run-time linker for a global or function symbol
+    /// (capability GOT entries).
+    GlobReloc,
+    /// Returned to userspace by a system call (`mmap`, `shmat`, ...).
+    Syscall,
+    /// Thread-local-storage block capability.
+    Tls,
+    /// Signal-frame / trampoline capabilities materialised during signal
+    /// delivery.
+    Signal,
+    /// Injected by a debugger via `ptrace` (rederived from the target's
+    /// root, per §3 "Debugging").
+    Debugger,
+}
+
+impl CapSource {
+    /// Stable label used in Figure 5 output.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            CapSource::Boot => "boot",
+            CapSource::Kernel => "kern",
+            CapSource::Exec => "exec",
+            CapSource::Stack => "stack",
+            CapSource::Malloc => "malloc",
+            CapSource::GlobReloc => "glob relocs",
+            CapSource::Syscall => "syscall",
+            CapSource::Tls => "tls",
+            CapSource::Signal => "signal",
+            CapSource::Debugger => "debugger",
+        }
+    }
+}
+
+impl fmt::Display for CapSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Non-architectural provenance metadata attached to every capability.
+///
+/// Derivation preserves the principal; only the trusted runtime rebinds the
+/// source tag (e.g. malloc deriving from an `mmap` capability retags its
+/// result [`CapSource::Malloc`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Provenance {
+    /// The abstract principal this capability belongs to.
+    pub principal: PrincipalId,
+    /// The mechanism that created/refined it.
+    pub source: CapSource,
+}
+
+impl Provenance {
+    /// Provenance for a fresh root.
+    #[must_use]
+    pub fn new(principal: PrincipalId, source: CapSource) -> Provenance {
+        Provenance { principal, source }
+    }
+}
+
+/// Allocator of fresh principal IDs, used by the kernel at boot and on every
+/// `execve` that replaces an address space.
+#[derive(Debug)]
+pub struct PrincipalAllocator {
+    next: u64,
+}
+
+impl PrincipalAllocator {
+    /// A new allocator; id 0 (the kernel) is pre-reserved.
+    #[must_use]
+    pub fn new() -> PrincipalAllocator {
+        PrincipalAllocator { next: 1 }
+    }
+
+    /// Returns a principal ID never returned before.
+    pub fn fresh(&mut self) -> PrincipalId {
+        let id = PrincipalId(self.next);
+        self.next += 1;
+        id
+    }
+}
+
+impl Default for PrincipalAllocator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_is_zero() {
+        assert!(PrincipalId::KERNEL.is_kernel());
+        assert!(!PrincipalId::from_raw(7).is_kernel());
+    }
+
+    #[test]
+    fn allocator_never_reuses() {
+        let mut a = PrincipalAllocator::new();
+        let p1 = a.fresh();
+        let p2 = a.fresh();
+        assert_ne!(p1, p2);
+        assert!(!p1.is_kernel());
+    }
+
+    #[test]
+    fn labels_match_figure_5_legend() {
+        assert_eq!(CapSource::GlobReloc.label(), "glob relocs");
+        assert_eq!(CapSource::Kernel.label(), "kern");
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests for the capability algebra (invariants I1 and I2 of
+//! DESIGN.md): compression covers requests minimally and monotonically, and
+//! no sequence of derivation operations ever widens authority.
+
+use cheri_cap::compress::{
+    is_exactly_representable, representable_alignment_mask, representable_length, round_bounds,
+    representable_window, ADDRESS_SPACE_TOP,
+};
+use cheri_cap::{CapFault, CapFormat, CapSource, Capability, Perms, PrincipalId};
+use proptest::prelude::*;
+
+fn user_root(fmt: CapFormat) -> Capability {
+    Capability::root(fmt, PrincipalId::from_raw(1), CapSource::Exec)
+}
+
+proptest! {
+    /// I1: decoded bounds always cover the request and stay in-space.
+    #[test]
+    fn rounding_covers_request(base in any::<u64>(), len in any::<u64>()) {
+        prop_assume!((base as u128) + (len as u128) <= ADDRESS_SPACE_TOP);
+        let (b, t, e) = round_bounds(base, len);
+        prop_assert!(b <= base);
+        prop_assert!(t >= base as u128 + len as u128);
+        prop_assert!(t <= ADDRESS_SPACE_TOP);
+        if e > 0 {
+            prop_assert_eq!(b % (1u64 << e.min(63)), 0);
+        }
+    }
+
+    /// I1: CRRL is minimal-or-equal, monotone, and idempotent; CRAM-aligned
+    /// bases of CRRL-rounded lengths are exactly representable.
+    #[test]
+    fn crrl_cram_contract(len in 1u64..=u64::MAX / 2, base_seed in any::<u64>()) {
+        let l = representable_length(len);
+        prop_assert!(l >= len);
+        prop_assert_eq!(representable_length(l), l);
+        let mask = representable_alignment_mask(len);
+        let base = base_seed & mask & (u64::MAX / 4); // keep base+len in space
+        prop_assert!(is_exactly_representable(base, l),
+            "len={} l={} base={:#x} mask={:#x}", len, l, base, mask);
+    }
+
+    /// I2: set_bounds never yields bounds outside the parent.
+    #[test]
+    fn set_bounds_is_monotonic(
+        pbase in 0u64..=(1 << 40),
+        plen in 1u64..=(1 << 30),
+        off in any::<u64>(),
+        clen in any::<u64>(),
+        exact in any::<bool>(),
+    ) {
+        let parent = match user_root(CapFormat::C128).with_addr(pbase).set_bounds(plen, false) {
+            Ok(p) => p,
+            Err(_) => return Ok(()),
+        };
+        let child_addr = parent.base().wrapping_add(off % (parent.length().max(1) * 2));
+        let child = parent.with_addr(child_addr);
+        if !child.tag() { return Ok(()); }
+        match child.set_bounds(clen % (plen * 2 + 1), exact) {
+            Ok(c) => {
+                prop_assert!(c.base() >= parent.base());
+                prop_assert!(c.top() <= parent.top());
+                prop_assert!(c.perms().is_subset_of(parent.perms()));
+            }
+            Err(f) => {
+                prop_assert!(matches!(
+                    f,
+                    CapFault::LengthViolation | CapFault::RepresentabilityViolation
+                ));
+            }
+        }
+    }
+
+    /// I2: arbitrary interleavings of derivations never widen authority.
+    #[test]
+    fn derivation_chains_never_widen(ops in proptest::collection::vec(0u8..4, 1..32),
+                                     seeds in proptest::collection::vec(any::<u64>(), 32)) {
+        let root = user_root(CapFormat::C128);
+        let start = root.with_addr(0x10_0000).set_bounds(1 << 20, false).unwrap();
+        let mut cur = start;
+        for (i, op) in ops.iter().enumerate() {
+            let s = seeds[i % seeds.len()];
+            let next = match op {
+                0 => cur.inc_addr(s as i64 % (1 << 22)),
+                1 => match cur.with_addr(cur.base().wrapping_add(s % (1 << 20)))
+                         .set_bounds(s % (1 << 16), false) {
+                        Ok(c) => c,
+                        Err(_) => cur,
+                     },
+                2 => cur.and_perms(Perms::from_bits_truncate(s as u32)),
+                _ => cur.clear_tag(),
+            };
+            if next.tag() {
+                prop_assert!(next.base() >= start.base());
+                prop_assert!(next.top() <= start.top());
+                prop_assert!(next.perms().is_subset_of(start.perms()));
+                prop_assert_eq!(next.provenance().principal, start.provenance().principal);
+            } else {
+                // Untagged values must never regain a tag via derivation.
+                prop_assert!(!next.inc_addr(1).tag());
+                prop_assert!(!next.and_perms(Perms::ALL).tag());
+                prop_assert!(next.set_bounds(1, false).is_err());
+            }
+            cur = next;
+        }
+    }
+
+    /// The representable window always contains the bounds, and C256 never
+    /// de-tags on address moves.
+    #[test]
+    fn window_and_format_semantics(base in 0u64..(1 << 40), len in 1u64..(1 << 30), mv in any::<i64>()) {
+        let (b, t, e) = round_bounds(base, len);
+        let (lo, hi) = representable_window(b, t, e);
+        prop_assert!(lo <= b && hi >= t);
+
+        let c256 = user_root(CapFormat::C256).with_addr(base).set_bounds(len, true).unwrap();
+        prop_assert!(c256.inc_addr(mv).tag());
+    }
+
+    /// check_access agrees with bounds arithmetic exactly.
+    #[test]
+    fn access_check_matches_bounds(base in 0u64..(1 << 40), len in 1u64..(1 << 20),
+                                   at in any::<u64>(), size in 1u64..64) {
+        let c = user_root(CapFormat::C128).with_addr(base).set_bounds(len, false).unwrap();
+        let ok = c.check_access(at, size, Perms::LOAD).is_ok();
+        let expect = (at as u128) >= c.base() as u128
+            && (at as u128 + size as u128) <= c.top();
+        prop_assert_eq!(ok, expect);
+    }
+}

@@ -1,0 +1,166 @@
+//! Host-side debugging support (paper §4 "Debugging", §6 "Debugging").
+//!
+//! The paper extends `ptrace` and GDB with limited capability support:
+//! reading capability registers, dereferencing capability pointers, and
+//! unwinding stacks — while noting that existing debuggers "encode a flat,
+//! integer address space model". This module is the simulator's equivalent
+//! of that GDB work: symbolisation of guest addresses against the loaded
+//! objects, capability-register pretty-printing, and a scan of a stopped
+//! process's stack for saved return capabilities (a best-effort unwind).
+
+use cheri_kernel::{Kernel, Pid};
+use cheri_vm::PageState;
+use std::fmt::Write as _;
+
+/// A resolved guest code location.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Location {
+    /// Object (library/executable) name.
+    pub object: String,
+    /// Byte offset of the address within the object's text.
+    pub offset: u64,
+}
+
+impl std::fmt::Display for Location {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}+{:#x}", self.object, self.offset)
+    }
+}
+
+/// Resolves a guest code address to the loaded object containing it.
+#[must_use]
+pub fn symbolize(kernel: &Kernel, pid: Pid, addr: u64) -> Option<Location> {
+    let p = kernel.process(pid);
+    p.loaded
+        .objects
+        .iter()
+        .find(|o| addr >= o.text_base && addr < o.text_base + o.text_len)
+        .map(|o| Location { object: o.name.clone(), offset: addr - o.text_base })
+}
+
+/// Pretty-prints a stopped process's capability registers — the equivalent
+/// of the paper's GDB extension "to permit reading the values of capability
+/// registers".
+#[must_use]
+pub fn dump_cap_registers(kernel: &Kernel, pid: Pid) -> String {
+    let p = kernel.process(pid);
+    let mut out = String::new();
+    let _ = writeln!(out, "pc  = {:#x} ({})", p.regs.pc,
+        symbolize(kernel, pid, p.regs.pc).map_or_else(|| "?".into(), |l| l.to_string()));
+    let _ = writeln!(out, "pcc = {:?}", p.regs.pcc);
+    let _ = writeln!(out, "ddc = {:?}", p.regs.ddc);
+    for i in 1..32u8 {
+        let c = p.regs.c(cheri_isa::CReg(i));
+        if c.tag() {
+            let _ = writeln!(out, "c{i:<2} = {c:?}");
+        }
+    }
+    out
+}
+
+/// Best-effort stack unwind: scans the resident stack pages of a stopped
+/// process for tagged, executable capabilities (saved `$cra` values) and
+/// symbolises them, innermost first.
+#[must_use]
+pub fn unwind_stack(kernel: &Kernel, pid: Pid) -> Vec<Location> {
+    let p = kernel.process(pid);
+    let space = kernel.vm.space(p.space);
+    let stack_base = p.stack_top - p.stack_size;
+    let mut frames: Vec<(u64, Location)> = Vec::new();
+    for (&vpn, st) in &space.pages {
+        let va = vpn * cheri_mem::FRAME_SIZE;
+        if va < stack_base || va >= p.stack_top {
+            continue;
+        }
+        let PageState::Resident { frame, .. } = st else { continue };
+        for (off, cap) in kernel.vm.phys.scan_caps(*frame).expect("resident") {
+            if cap.tag() && cap.perms().contains(crate::Perms::EXECUTE) {
+                if let Some(loc) = symbolize(kernel, pid, cap.addr()) {
+                    frames.push((va + off, loc));
+                }
+            }
+        }
+    }
+    // Innermost (lowest address = most recent frame) first.
+    frames.sort_by_key(|(va, _)| *va);
+    let mut out: Vec<Location> = Vec::new();
+    if let Some(pc_loc) = symbolize(kernel, pid, p.regs.pc) {
+        out.push(pc_loc);
+    }
+    out.extend(frames.into_iter().map(|(_, l)| l));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::guest::GuestOps;
+    use crate::{AbiMode, ProgramBuilder, SpawnOpts, System};
+    use cheri_isa::codegen::{CodegenOpts, FnBuilder, Val};
+
+    /// Build a two-object program where main calls into a library function
+    /// that spins; stop it there and inspect.
+    fn spinning_system() -> (System, Pid) {
+        let mut pb = ProgramBuilder::new("dbg");
+        let mut lib = pb.object("libdbg");
+        {
+            let mut f = FnBuilder::begin(&mut lib, "spin_here", CodegenOpts::purecap());
+            f.enter(32);
+            let l = f.label();
+            f.bind(l);
+            f.jmp(l);
+        }
+        pb.add(lib.finish());
+        let mut exe = pb.object("dbg");
+        {
+            let mut f = FnBuilder::begin(&mut exe, "main", CodegenOpts::purecap());
+            f.enter(64);
+            f.call_global("spin_here");
+            f.sys_exit_imm(0);
+        }
+        exe.set_entry("main");
+        pb.add(exe.finish());
+        let program = pb.finish();
+        let mut sys = System::new();
+        let pid = sys.kernel.spawn(&program, &SpawnOpts::new(AbiMode::CheriAbi)).unwrap();
+        sys.kernel.run(300_000);
+        assert!(sys.kernel.exit_status(pid).is_none(), "still spinning");
+        (sys, pid)
+    }
+
+    #[test]
+    fn symbolize_resolves_pc_to_library() {
+        let (sys, pid) = spinning_system();
+        let pc = sys.kernel.process(pid).regs.pc;
+        let loc = symbolize(&sys.kernel, pid, pc).expect("in text");
+        assert_eq!(loc.object, "libdbg", "spinning inside the library");
+    }
+
+    #[test]
+    fn register_dump_shows_tagged_caps() {
+        let (sys, pid) = spinning_system();
+        let dump = dump_cap_registers(&sys.kernel, pid);
+        assert!(dump.contains("pcc ="));
+        assert!(dump.contains("libdbg+"), "pc symbolised: {dump}");
+        assert!(dump.contains("c11"), "stack capability visible");
+    }
+
+    #[test]
+    fn unwind_finds_the_caller() {
+        let (sys, pid) = spinning_system();
+        let frames = unwind_stack(&sys.kernel, pid);
+        assert!(!frames.is_empty());
+        assert_eq!(frames[0].object, "libdbg", "innermost frame");
+        assert!(
+            frames.iter().any(|l| l.object == "dbg"),
+            "main's saved return capability found: {frames:?}"
+        );
+    }
+
+    #[test]
+    fn symbolize_rejects_non_text() {
+        let (sys, pid) = spinning_system();
+        assert_eq!(symbolize(&sys.kernel, pid, 0xdead_0000_0000), None);
+        let _ = Val(0);
+    }
+}

@@ -1,0 +1,313 @@
+//! Ergonomic guest-code helpers: the simulated "libc" surface.
+//!
+//! Guest programs (the corpus, BOdiagsuite and the workloads) are written
+//! against [`GuestOps`], an extension of the codegen
+//! [`FnBuilder`](cheri_isa::codegen::FnBuilder) that wraps the syscall and
+//! runtime-service conventions. Everything lowers through the ordinary
+//! two-ABI code generation, so the same portable source runs as a legacy
+//! mips64 binary or a CheriABI pure-capability binary.
+
+use cheri_isa::codegen::{FnBuilder, Ptr, Val};
+use cheri_isa::Width;
+use cheri_kernel::Sys;
+
+/// Syscall and libc-style helpers for guest functions.
+pub trait GuestOps {
+    /// `exit(code)`.
+    fn sys_exit(&mut self, code: Val);
+    /// `exit(imm)`.
+    fn sys_exit_imm(&mut self, code: i64);
+    /// `write(fd, buf, len)`; clobbers argument registers.
+    fn sys_write(&mut self, fd: i64, buf: Ptr, len: Val);
+    /// `read(fd, buf, len) -> v`.
+    fn sys_read(&mut self, fd: Val, buf: Ptr, len: Val, out: Val);
+    /// `getpid() -> v`.
+    fn sys_getpid(&mut self, out: Val);
+    /// `dst = malloc(size)`.
+    fn malloc(&mut self, dst: Ptr, size: Val);
+    /// `dst = malloc(imm)`.
+    fn malloc_imm(&mut self, dst: Ptr, size: i64);
+    /// `free(p)`.
+    fn free(&mut self, p: Ptr);
+    /// `dst = realloc(src, size)`.
+    fn realloc(&mut self, dst: Ptr, src: Ptr, size: Val);
+    /// Inline byte-wise `memcpy(dst, src, len)`; `len` is clobbered, and
+    /// `Val(6)`/`Val(7)` plus `Ptr(6)`/`Ptr(7)` are used as scratch —
+    /// `dst`/`src` must therefore be `Ptr(0)`–`Ptr(5)`.
+    fn memcpy_bytes(&mut self, dst: Ptr, src: Ptr, len: Val);
+    /// Inline pointer-array copy preserving capabilities: copies `n`
+    /// pointer-sized elements from `src` to `dst` (`n` clobbered; `Ptr(7)`
+    /// is used as scratch) — the capability-preserving move the paper had
+    /// to add to `qsort` and friends (§4 "Additional changes").
+    fn memcpy_ptrs(&mut self, dst: Ptr, src: Ptr, n: Val);
+    /// Writes a NUL-terminated data symbol's contents to stdout.
+    fn print_sym(&mut self, sym: &str, len: i64);
+}
+
+impl GuestOps for FnBuilder<'_> {
+    fn sys_exit(&mut self, code: Val) {
+        self.set_arg_val(0, code);
+        self.syscall(Sys::Exit as i64);
+    }
+
+    fn sys_exit_imm(&mut self, code: i64) {
+        self.li(Val(0), code);
+        self.sys_exit(Val(0));
+    }
+
+    fn sys_write(&mut self, fd: i64, buf: Ptr, len: Val) {
+        self.li(Val(5), fd);
+        self.set_arg_val(0, Val(5));
+        self.set_arg_ptr(1, buf);
+        self.set_arg_val(2, len);
+        self.syscall(Sys::Write as i64);
+    }
+
+    fn sys_read(&mut self, fd: Val, buf: Ptr, len: Val, out: Val) {
+        self.set_arg_val(0, fd);
+        self.set_arg_ptr(1, buf);
+        self.set_arg_val(2, len);
+        self.syscall(Sys::Read as i64);
+        self.ret_val_to(out);
+    }
+
+    fn sys_getpid(&mut self, out: Val) {
+        self.syscall(Sys::Getpid as i64);
+        self.ret_val_to(out);
+    }
+
+    fn malloc(&mut self, dst: Ptr, size: Val) {
+        self.set_arg_val(0, size);
+        self.syscall(Sys::RtMalloc as i64);
+        self.ret_ptr_to(dst);
+    }
+
+    fn malloc_imm(&mut self, dst: Ptr, size: i64) {
+        self.li(Val(5), size);
+        self.malloc(dst, Val(5));
+    }
+
+    fn free(&mut self, p: Ptr) {
+        self.set_arg_ptr(0, p);
+        self.syscall(Sys::RtFree as i64);
+    }
+
+    fn realloc(&mut self, dst: Ptr, src: Ptr, size: Val) {
+        self.set_arg_ptr(0, src);
+        self.set_arg_val(1, size);
+        self.syscall(Sys::RtRealloc as i64);
+        self.ret_ptr_to(dst);
+    }
+
+    fn memcpy_bytes(&mut self, dst: Ptr, src: Ptr, len: Val) {
+        assert!(dst.0 < 6 && src.0 < 6, "memcpy_bytes scratches Ptr(6)/Ptr(7)");
+        let again = self.label();
+        let out = self.label();
+        self.li(Val(6), 0);
+        self.bind(again);
+        self.sub(Val(7), len, Val(6));
+        self.beqz(Val(7), out);
+        // tmp = src[i]; dst[i] = tmp
+        self.ptr_add(Ptr(7), src, Val(6));
+        self.load(Val(7), Ptr(7), 0, Width::B, false);
+        self.ptr_add(Ptr(6), dst, Val(6));
+        self.store(Val(7), Ptr(6), 0, Width::B);
+        self.add_imm(Val(6), Val(6), 1);
+        self.jmp(again);
+        self.bind(out);
+    }
+
+    fn memcpy_ptrs(&mut self, dst: Ptr, src: Ptr, n: Val) {
+        assert!(dst.0 < 5 && src.0 < 5, "memcpy_ptrs scratches Ptr(5)..Ptr(7)");
+        let again = self.label();
+        let out = self.label();
+        let stride = self.ptr_size() as i64;
+        self.ptr_mv(Ptr(6), src);
+        self.ptr_mv(Ptr(5), dst);
+        self.bind(again);
+        self.beqz(n, out);
+        self.load_ptr(Ptr(7), Ptr(6), 0);
+        self.store_ptr(Ptr(7), Ptr(5), 0);
+        self.ptr_add_imm(Ptr(6), Ptr(6), stride);
+        self.ptr_add_imm(Ptr(5), Ptr(5), stride);
+        self.add_imm(n, n, -1);
+        self.jmp(again);
+        self.bind(out);
+    }
+
+    fn print_sym(&mut self, sym: &str, len: i64) {
+        self.load_global_ptr(Ptr(7), sym);
+        self.li(Val(5), len);
+        self.li(Val(4), 1);
+        self.set_arg_val(0, Val(4));
+        self.set_arg_ptr(1, Ptr(7));
+        self.set_arg_val(2, Val(5));
+        self.syscall(Sys::Write as i64);
+    }
+}
+
+/// Emits an in-place insertion sort of `n` u64s at `arr` (clobbers
+/// `Val(0..=5)` and `Ptr(7)`).
+pub fn emit_insertion_sort_ints(f: &mut FnBuilder<'_>, arr: Ptr, n: i64) {
+    f.li(Val(0), 1); // i
+    let outer = f.label();
+    let done = f.label();
+    f.bind(outer);
+    f.li(Val(1), n);
+    f.sub(Val(2), Val(0), Val(1));
+    f.beqz(Val(2), done);
+    f.mv(Val(3), Val(0)); // j
+    let inner = f.label();
+    let inner_done = f.label();
+    f.bind(inner);
+    f.beqz(Val(3), inner_done);
+    f.shl_imm(Val(4), Val(3), 3);
+    f.ptr_add(Ptr(7), arr, Val(4));
+    f.load(Val(4), Ptr(7), -8, Width::D, false);
+    f.load(Val(5), Ptr(7), 0, Width::D, false);
+    f.sltu(Val(2), Val(5), Val(4));
+    f.beqz(Val(2), inner_done);
+    f.store(Val(5), Ptr(7), -8, Width::D);
+    f.store(Val(4), Ptr(7), 0, Width::D);
+    f.add_imm(Val(3), Val(3), -1);
+    f.jmp(inner);
+    f.bind(inner_done);
+    f.add_imm(Val(0), Val(0), 1);
+    f.jmp(outer);
+    f.bind(done);
+}
+
+/// Emits an insertion sort of `n` record pointers at `arr`, keyed by the
+/// u64 at offset 0 of each record. Element moves are whole-pointer
+/// (capability-preserving) — the fixed `qsort` of §4. Clobbers
+/// `Val(0..=5)`, `Ptr(5..=7)`.
+pub fn emit_insertion_sort_recptrs(f: &mut FnBuilder<'_>, arr: Ptr, n: i64) {
+    let ps = f.ptr_size() as i64;
+    f.li(Val(0), 1);
+    let outer = f.label();
+    let done = f.label();
+    f.bind(outer);
+    f.li(Val(1), n);
+    f.sub(Val(2), Val(0), Val(1));
+    f.beqz(Val(2), done);
+    f.mv(Val(3), Val(0));
+    let inner = f.label();
+    let inner_done = f.label();
+    f.bind(inner);
+    f.beqz(Val(3), inner_done);
+    f.li(Val(4), ps);
+    f.mul(Val(4), Val(4), Val(3));
+    f.ptr_add(Ptr(7), arr, Val(4));
+    f.load_ptr(Ptr(5), Ptr(7), -ps);
+    f.load_ptr(Ptr(6), Ptr(7), 0);
+    f.load(Val(4), Ptr(5), 0, Width::D, false);
+    f.load(Val(5), Ptr(6), 0, Width::D, false);
+    f.sltu(Val(2), Val(5), Val(4));
+    f.beqz(Val(2), inner_done);
+    f.store_ptr(Ptr(6), Ptr(7), -ps);
+    f.store_ptr(Ptr(5), Ptr(7), 0);
+    f.add_imm(Val(3), Val(3), -1);
+    f.jmp(inner);
+    f.bind(inner_done);
+    f.add_imm(Val(0), Val(0), 1);
+    f.jmp(outer);
+    f.bind(done);
+}
+
+/// Emits an LCG step on `state`: `state = (state * 1103515245 + 12345) &
+/// 0x7fffffff` (clobbers `Val(7)`).
+pub fn emit_lcg_step(f: &mut FnBuilder<'_>, state: Val) {
+    f.li(Val(7), 1_103_515_245);
+    f.mul(state, state, Val(7));
+    f.add_imm(state, state, 12345);
+    f.li(Val(7), 0x7fff_ffff);
+    f.and(state, state, Val(7));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AbiMode, ExitStatus, SpawnOpts, System};
+    use cheri_isa::codegen::CodegenOpts;
+    use cheri_rtld::ProgramBuilder;
+
+    fn run_main(
+        abi: AbiMode,
+        opts: CodegenOpts,
+        body: impl FnOnce(&mut FnBuilder<'_>),
+    ) -> (ExitStatus, String) {
+        let mut pb = ProgramBuilder::new("g");
+        let mut exe = pb.object("g");
+        {
+            let mut f = FnBuilder::begin(&mut exe, "main", opts);
+            body(&mut f);
+        }
+        exe.set_entry("main");
+        pb.add(exe.finish());
+        let program = pb.finish();
+        let mut sys = System::new();
+        sys.kernel.run_program(&program, &SpawnOpts::new(abi)).unwrap()
+    }
+
+    #[test]
+    fn memcpy_bytes_works_under_both_abis() {
+        for (abi, opts) in [
+            (AbiMode::Mips64, CodegenOpts::mips64()),
+            (AbiMode::CheriAbi, CodegenOpts::purecap()),
+        ] {
+            let (status, _) = run_main(abi, opts, |f| {
+                f.malloc_imm(Ptr(0), 64);
+                f.malloc_imm(Ptr(1), 64);
+                f.li(Val(0), 0x4242);
+                f.store(Val(0), Ptr(0), 16, Width::D);
+                f.li(Val(1), 64);
+                f.memcpy_bytes(Ptr(1), Ptr(0), Val(1));
+                f.load(Val(2), Ptr(1), 16, Width::D, false);
+                f.sys_exit(Val(2));
+            });
+            assert_eq!(status, ExitStatus::Code(0x4242), "{abi}");
+        }
+    }
+
+    #[test]
+    fn memcpy_ptrs_preserves_tags() {
+        // Copy an array holding a heap pointer; dereferencing the copy must
+        // still work under CheriABI (tags preserved).
+        let (status, _) = run_main(AbiMode::CheriAbi, CodegenOpts::purecap(), |f| {
+            f.malloc_imm(Ptr(0), 64); // src array
+            f.malloc_imm(Ptr(1), 64); // dst array
+            f.malloc_imm(Ptr(2), 16); // pointee
+            f.li(Val(0), 777);
+            f.store(Val(0), Ptr(2), 0, Width::D);
+            f.store_ptr(Ptr(2), Ptr(0), 0);
+            f.li(Val(1), 2);
+            f.memcpy_ptrs(Ptr(1), Ptr(0), Val(1));
+            f.load_ptr(Ptr(3), Ptr(1), 0);
+            f.load(Val(2), Ptr(3), 0, Width::D, false);
+            f.sys_exit(Val(2));
+        });
+        assert_eq!(status, ExitStatus::Code(777));
+    }
+
+    #[test]
+    fn byte_memcpy_of_pointers_loses_tags_under_cheriabi() {
+        // The flip side: copying pointer-holding memory *bytewise* strips
+        // tags, so the copied "pointer" is not dereferenceable — the
+        // pointer-propagation idiom the paper fixed in qsort (§4).
+        let (status, _) = run_main(AbiMode::CheriAbi, CodegenOpts::purecap(), |f| {
+            f.malloc_imm(Ptr(0), 64);
+            f.malloc_imm(Ptr(1), 64);
+            f.malloc_imm(Ptr(2), 16);
+            f.store_ptr(Ptr(2), Ptr(0), 0);
+            f.li(Val(1), 16);
+            f.memcpy_bytes(Ptr(1), Ptr(0), Val(1));
+            f.load_ptr(Ptr(3), Ptr(1), 0);
+            f.load(Val(2), Ptr(3), 0, Width::D, false); // must trap: tag cleared
+            f.sys_exit_imm(0);
+        });
+        assert_eq!(
+            status,
+            ExitStatus::Fault(crate::TrapCause::Cap(crate::CapFault::TagViolation))
+        );
+    }
+}

@@ -1,0 +1,178 @@
+//! Abstract-capability reconstruction from derivation traces (§5.5).
+//!
+//! "Because capabilities are explicitly manipulated, we can use an
+//! instruction trace to track capability derivation and use, in order to
+//! reconstruct the abstract capability of a process." The output here is
+//! Figure 5: for each capability *source* (stack, malloc, exec, glob
+//! relocs, syscall, kern/tls/signal), the cumulative number of capabilities
+//! created whose bounds are at most `2^k` bytes.
+
+use cheri_cap::CapSource;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Smallest size bucket exponent plotted (Figure 5's x-axis starts at 2^2).
+pub const MIN_EXP: u32 = 2;
+/// Largest size bucket exponent plotted (2^23, 8 MiB, as in the figure).
+pub const MAX_EXP: u32 = 23;
+
+/// Cumulative capability counts per source and size bucket.
+#[derive(Clone, Debug, Default)]
+pub struct SizeCdf {
+    /// `counts[source][k]` = number of capabilities with
+    /// `length <= 2^(MIN_EXP + k)`; the final bucket also absorbs larger
+    /// capabilities (the curves "terminate at the size of the largest
+    /// capability found").
+    counts: BTreeMap<CapSource, Vec<u64>>,
+    total: u64,
+}
+
+impl SizeCdf {
+    /// Builds the distribution from `(source, bounds length)` events.
+    #[must_use]
+    pub fn from_events(events: &[(CapSource, u64)]) -> SizeCdf {
+        let buckets = (MAX_EXP - MIN_EXP + 1) as usize;
+        let mut cdf = SizeCdf::default();
+        for (source, len) in events {
+            let entry = cdf
+                .counts
+                .entry(*source)
+                .or_insert_with(|| vec![0; buckets + 1]);
+            let mut k = 0;
+            while k < buckets && *len > (1u64 << (MIN_EXP + k as u32)) {
+                k += 1;
+            }
+            // Index `buckets` = "larger than 2^MAX_EXP".
+            let idx = if *len > (1u64 << MAX_EXP) { buckets } else { k };
+            entry[idx] += 1;
+            cdf.total += 1;
+        }
+        // Convert per-bucket counts to cumulative sums.
+        for v in cdf.counts.values_mut() {
+            for i in 1..v.len() {
+                v[i] += v[i - 1];
+            }
+        }
+        cdf
+    }
+
+    /// Total number of capability-creation events.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The sources present.
+    #[must_use]
+    pub fn sources(&self) -> Vec<CapSource> {
+        self.counts.keys().copied().collect()
+    }
+
+    /// Cumulative count for `source` at bound `2^exp` (clamped to the
+    /// plotted range; `exp > MAX_EXP` returns the source total).
+    #[must_use]
+    pub fn cumulative(&self, source: CapSource, exp: u32) -> u64 {
+        let Some(v) = self.counts.get(&source) else { return 0 };
+        if exp > MAX_EXP {
+            return *v.last().expect("non-empty buckets");
+        }
+        let idx = exp.saturating_sub(MIN_EXP) as usize;
+        v[idx.min(v.len() - 1)]
+    }
+
+    /// Cumulative count across *all* sources at bound `2^exp` (the "all"
+    /// curve of Figure 5).
+    #[must_use]
+    pub fn cumulative_all(&self, exp: u32) -> u64 {
+        self.sources().iter().map(|s| self.cumulative(*s, exp)).sum()
+    }
+
+    /// The largest bounds length observed for `source`, if any.
+    #[must_use]
+    pub fn max_exp_with_growth(&self, source: CapSource) -> Option<u32> {
+        let v = self.counts.get(&source)?;
+        let last = *v.last()?;
+        (MIN_EXP..=MAX_EXP + 1)
+            .rev()
+            .find(|e| self.cumulative(source, e.saturating_sub(1)) < last)
+    }
+
+    /// Fraction of capabilities (all sources) with bounds at most `2^exp`.
+    #[must_use]
+    pub fn fraction_at_most(&self, exp: u32) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.cumulative_all(exp) as f64 / self.total as f64
+    }
+
+    /// Renders the Figure 5 table: one row per size bucket, one column per
+    /// source plus the "all" column.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let sources = self.sources();
+        out.push_str("size      all");
+        for s in &sources {
+            out.push_str(&format!(" {:>12}", s.label()));
+        }
+        out.push('\n');
+        for exp in MIN_EXP..=MAX_EXP {
+            out.push_str(&format!("2^{exp:<3} {:>8}", self.cumulative_all(exp)));
+            for s in &sources {
+                out.push_str(&format!(" {:>12}", self.cumulative(*s, exp)));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for SizeCdf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_accumulates_monotonically() {
+        let events = vec![
+            (CapSource::Stack, 8),
+            (CapSource::Stack, 64),
+            (CapSource::Malloc, 100),
+            (CapSource::Malloc, 1 << 20),
+            (CapSource::Exec, 1 << 30), // beyond MAX_EXP: absorbed at the top
+        ];
+        let cdf = SizeCdf::from_events(&events);
+        assert_eq!(cdf.total(), 5);
+        assert_eq!(cdf.cumulative(CapSource::Stack, 3), 1);
+        assert_eq!(cdf.cumulative(CapSource::Stack, 6), 2);
+        assert_eq!(cdf.cumulative(CapSource::Malloc, 7), 1);
+        assert_eq!(cdf.cumulative(CapSource::Malloc, 20), 2);
+        // Monotone in exp.
+        for e in MIN_EXP..MAX_EXP {
+            assert!(cdf.cumulative_all(e) <= cdf.cumulative_all(e + 1));
+        }
+        // The huge exec capability is not counted at 2^23 but is in totals.
+        assert_eq!(cdf.cumulative(CapSource::Exec, MAX_EXP), 0);
+        assert_eq!(cdf.cumulative(CapSource::Exec, MAX_EXP + 1), 1);
+    }
+
+    #[test]
+    fn fraction_and_render() {
+        let events = vec![(CapSource::Malloc, 16); 9]
+            .into_iter()
+            .chain(std::iter::once((CapSource::Syscall, 1 << 22)))
+            .collect::<Vec<_>>();
+        let cdf = SizeCdf::from_events(&events);
+        assert!((cdf.fraction_at_most(10) - 0.9).abs() < 1e-9);
+        let table = cdf.render();
+        assert!(table.contains("malloc"));
+        assert!(table.contains("syscall"));
+        assert!(table.lines().count() > 20);
+    }
+}

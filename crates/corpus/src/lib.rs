@@ -1,0 +1,37 @@
+//! # cheri-corpus — the compatibility/test-suite corpus (Tables 1 & 2)
+//!
+//! The paper validates CheriABI by running the FreeBSD base-system test
+//! suite (3835 tests), the PostgreSQL `pg_regress` suite (167 tests) and
+//! the libc++ suite under both ABIs (Table 1), and by classifying every
+//! source change the port needed (Table 2). We cannot port 800 UNIX
+//! programs, so this crate builds a **generated corpus** with the same
+//! structure:
+//!
+//! * [`families`] — parameterised families of guest test programs
+//!   (string/memory ops, sorting, allocation, syscalls, signals, pipes,
+//!   shm, ioctl/sysctl, ...), most of which pass under both ABIs, plus
+//!   *seeded* programs containing exactly the real-world C idioms of
+//!   Table 2 (pointer-as-integer truncation, XOR pointer tricks, integer
+//!   provenance laundering, monotonicity assumptions, hard-coded pointer
+//!   sizes, under-alignment, variadic/calling-convention abuse) and the
+//!   §5.4 latent-bug reproductions (buffer underrun on empty input,
+//!   undersized `ioctl` buffer, off-by-one `strvis`-style overflow);
+//! * [`minidb`] — a small relational engine (hash table + record heap +
+//!   catalog files) written as guest code: its `pg_regress`-like suite is
+//!   the Table 1 "PostgreSQL" row and its `initdb` program is the §5.2
+//!   macro-benchmark;
+//! * [`compat`] — the Table 2 taxonomy: a static inventory of the changes
+//!   this port required, and a dynamic classifier mapping observed traps
+//!   back to categories;
+//! * [`suite`] — the runner producing pass/fail/skip tables per ABI.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compat;
+pub mod families;
+pub mod minidb;
+pub mod suite;
+
+pub use compat::{Category, ChangeRecord, Component, STATIC_CHANGES};
+pub use suite::{SuiteOutcome, SuiteResult, TestCase, TestExpectation};

@@ -1,0 +1,147 @@
+//! Suite runner: executes a corpus under one ABI and tallies Table 1 rows.
+
+use crate::compat::Category;
+use cheri_kernel::{AbiMode, ExitStatus, Kernel, KernelConfig, SpawnOpts};
+use cheri_isa::codegen::CodegenOpts;
+use cheri_rtld::Program;
+use std::fmt;
+
+/// Exit code a test uses to report "skipped" (the automake convention).
+pub const SKIP_EXIT_CODE: i64 = 77;
+
+/// What a test is expected to do (used for corpus self-checks, not for
+/// scoring — scoring only looks at actual outcomes).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TestExpectation {
+    /// Passes under both ABIs.
+    PassBoth,
+    /// Fails (or traps) under CheriABI only, for the given Table 2 reason.
+    FailCheriOnly(Category),
+    /// Fails under both (a pre-existing bug in the test).
+    FailBoth,
+    /// Skips under both ABIs (e.g. requires `sbrk`).
+    SkipBoth,
+    /// Skips under CheriABI only (needs a compatibility shim).
+    SkipCheriOnly,
+}
+
+/// One corpus test.
+pub struct TestCase {
+    /// Unique name.
+    pub name: String,
+    /// Builds the guest program for a codegen configuration.
+    pub build: Box<dyn Fn(CodegenOpts) -> Program + Send + Sync>,
+    /// Expected behaviour.
+    pub expectation: TestExpectation,
+}
+
+impl fmt::Debug for TestCase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TestCase({}, {:?})", self.name, self.expectation)
+    }
+}
+
+/// Outcome of one test under one ABI.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SuiteOutcome {
+    /// Exit code 0.
+    Pass,
+    /// Non-zero exit, trap, or budget exhaustion.
+    Fail(ExitStatus),
+    /// Exit code [`SKIP_EXIT_CODE`].
+    Skip,
+}
+
+/// Aggregate results for one ABI (one row of Table 1).
+#[derive(Clone, Debug, Default)]
+pub struct SuiteResult {
+    /// Tests that passed.
+    pub pass: usize,
+    /// Tests that failed.
+    pub fail: usize,
+    /// Tests that skipped.
+    pub skip: usize,
+    /// Names and statuses of failures (for the Table 2 dynamic analysis).
+    pub failures: Vec<(String, ExitStatus)>,
+}
+
+impl SuiteResult {
+    /// Total tests run.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.pass + self.fail + self.skip
+    }
+}
+
+impl fmt::Display for SuiteResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} pass / {} fail / {} skip (of {})",
+            self.pass,
+            self.fail,
+            self.skip,
+            self.total()
+        )
+    }
+}
+
+/// Codegen options for an ABI (corpus programs are never sanitised).
+#[must_use]
+pub fn opts_for(abi: AbiMode) -> CodegenOpts {
+    match abi {
+        AbiMode::Mips64 => CodegenOpts::mips64(),
+        AbiMode::CheriAbi => CodegenOpts::purecap(),
+    }
+}
+
+/// Runs one test under `abi` in a fresh kernel.
+#[must_use]
+pub fn run_case(case: &TestCase, abi: AbiMode) -> SuiteOutcome {
+    let program = (case.build)(opts_for(abi));
+    let mut kernel = Kernel::new(KernelConfig::default());
+    let mut opts = SpawnOpts::new(abi);
+    opts.instr_budget = Some(20_000_000);
+    let (status, _console) = kernel
+        .run_program(&program, &opts)
+        .expect("corpus programs must load");
+    match status {
+        ExitStatus::Code(0) => SuiteOutcome::Pass,
+        ExitStatus::Code(SKIP_EXIT_CODE) => SuiteOutcome::Skip,
+        other => SuiteOutcome::Fail(other),
+    }
+}
+
+/// Runs a whole suite under `abi`.
+#[must_use]
+pub fn run_suite(cases: &[TestCase], abi: AbiMode) -> SuiteResult {
+    let mut result = SuiteResult::default();
+    for case in cases {
+        match run_case(case, abi) {
+            SuiteOutcome::Pass => result.pass += 1,
+            SuiteOutcome::Skip => result.skip += 1,
+            SuiteOutcome::Fail(status) => {
+                result.fail += 1;
+                result.failures.push((case.name.clone(), status));
+            }
+        }
+    }
+    result
+}
+
+/// Classifies a suite's failures into Table 2 categories using the dynamic
+/// trap classifier.
+#[must_use]
+pub fn classify_failures(result: &SuiteResult) -> Vec<(String, Option<Category>)> {
+    result
+        .failures
+        .iter()
+        .map(|(name, status)| {
+            let cat = match status {
+                ExitStatus::Fault(cause) => Category::from_trap(cause),
+                _ => None,
+            };
+            (name.clone(), cat)
+        })
+        .collect()
+}

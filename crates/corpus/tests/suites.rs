@@ -1,0 +1,129 @@
+//! Runs the full generated corpus under both ABIs and checks the Table 1
+//! shape: CheriABI passes the overwhelming majority, fails exactly the
+//! seeded compatibility idioms, and skips the `sbrk`/shim tests.
+
+use cheri_corpus::families::{freebsd_suite, libcxx_suite};
+use cheri_corpus::minidb::{build_initdb, initdb_expected_exit, pg_regress_suite};
+use cheri_corpus::suite::{run_case, run_suite, SuiteOutcome};
+use cheri_corpus::TestExpectation;
+use cheri_kernel::{AbiMode, ExitStatus, Kernel, KernelConfig, SpawnOpts};
+use cheri_isa::codegen::CodegenOpts;
+
+/// Every test behaves exactly as its expectation declares, under both ABIs.
+/// (This is the corpus's own self-check; the Table 1 binary only tallies.)
+#[test]
+fn freebsd_corpus_matches_expectations() {
+    let cases = freebsd_suite();
+    assert!(cases.len() >= 200, "corpus has {} cases", cases.len());
+    for case in &cases {
+        let m = run_case(case, AbiMode::Mips64);
+        let c = run_case(case, AbiMode::CheriAbi);
+        match case.expectation {
+            TestExpectation::PassBoth => {
+                assert_eq!(m, SuiteOutcome::Pass, "{} mips64", case.name);
+                assert_eq!(c, SuiteOutcome::Pass, "{} cheriabi", case.name);
+            }
+            TestExpectation::FailCheriOnly(_) => {
+                assert_eq!(m, SuiteOutcome::Pass, "{} mips64", case.name);
+                assert!(matches!(c, SuiteOutcome::Fail(_)), "{} cheriabi: {c:?}", case.name);
+            }
+            TestExpectation::FailBoth => {
+                assert!(matches!(m, SuiteOutcome::Fail(_)), "{} mips64", case.name);
+                assert!(matches!(c, SuiteOutcome::Fail(_)), "{} cheriabi", case.name);
+            }
+            TestExpectation::SkipBoth => {
+                assert_eq!(m, SuiteOutcome::Skip, "{} mips64", case.name);
+                assert_eq!(c, SuiteOutcome::Skip, "{} cheriabi", case.name);
+            }
+            TestExpectation::SkipCheriOnly => {
+                assert_eq!(m, SuiteOutcome::Pass, "{} mips64", case.name);
+                assert_eq!(c, SuiteOutcome::Skip, "{} cheriabi", case.name);
+            }
+        }
+    }
+}
+
+/// Aggregate Table 1 shape for the FreeBSD-suite stand-in.
+#[test]
+fn freebsd_suite_shape() {
+    let cases = freebsd_suite();
+    let m = run_suite(&cases, AbiMode::Mips64);
+    let c = run_suite(&cases, AbiMode::CheriAbi);
+    assert_eq!(m.total(), c.total());
+    // CheriABI passes fewer (the seeded idioms), skips slightly more.
+    assert!(c.pass < m.pass);
+    assert!(c.fail > m.fail);
+    assert!(c.skip >= m.skip);
+    // But still passes the overwhelming majority (paper: ~90%).
+    assert!(c.pass * 10 >= c.total() * 8, "cheriabi pass rate: {c}");
+}
+
+/// pg_regress: 167 tests, 0 failures on mips64, exactly 16 under CheriABI
+/// (8 pointer-size, 1 alignment, 7 packed-tuple), as in Table 1.
+#[test]
+fn pg_regress_shape() {
+    let cases = pg_regress_suite();
+    assert_eq!(cases.len(), 167);
+    let m = run_suite(&cases, AbiMode::Mips64);
+    assert_eq!(m.fail, 0, "mips64 failures: {:?}", m.failures);
+    assert_eq!(m.pass, 167);
+    let c = run_suite(&cases, AbiMode::CheriAbi);
+    assert_eq!(c.fail, 16, "cheriabi failures: {:?}", c.failures);
+    assert_eq!(c.pass, 150);
+    assert_eq!(c.skip, 1);
+}
+
+/// The libc++-like subsuite: 5 extra CheriABI failures (atomics runtime).
+#[test]
+fn libcxx_suite_shape() {
+    let cases = libcxx_suite();
+    let m = run_suite(&cases, AbiMode::Mips64);
+    let c = run_suite(&cases, AbiMode::CheriAbi);
+    assert_eq!(m.fail, 0);
+    assert_eq!(c.fail, 5, "failures: {:?}", c.failures);
+}
+
+/// initdb runs to completion with the same output under both ABIs (it is
+/// the §5.2 macro-benchmark, so correctness parity matters).
+#[test]
+fn initdb_runs_identically_on_both_abis() {
+    let records = 120;
+    for (abi, opts) in [
+        (AbiMode::Mips64, CodegenOpts::mips64()),
+        (AbiMode::CheriAbi, CodegenOpts::purecap()),
+    ] {
+        let program = build_initdb(opts, records);
+        let mut k = Kernel::new(KernelConfig::default());
+        let (status, _) = k.run_program(&program, &SpawnOpts::new(abi)).unwrap();
+        assert_eq!(
+            status,
+            ExitStatus::Code(initdb_expected_exit(records)),
+            "{abi}"
+        );
+        // The catalog files were written.
+        assert!(k.memfs.contains_key("catalog"), "{abi}");
+        assert!(k.memfs.contains_key("pg_ctrl"), "{abi}");
+        assert_eq!(k.memfs["catalog"].len(), 96 * 8, "{abi}");
+        // Catalog keys are sorted ascending.
+        let keys: Vec<u64> = k.memfs["catalog"]
+            .chunks(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted, "{abi}: catalog index sorted");
+    }
+}
+
+/// initdb under AddressSanitizer instrumentation still produces the right
+/// answer (the §5.2 software baseline) — and pays for it in instructions.
+#[test]
+fn initdb_runs_under_asan() {
+    let records = 120;
+    let program = build_initdb(CodegenOpts::mips64_asan(), records);
+    let mut k = Kernel::new(KernelConfig::default());
+    let mut opts = SpawnOpts::new(AbiMode::Mips64);
+    opts.asan = true;
+    let (status, _) = k.run_program(&program, &opts).unwrap();
+    assert_eq!(status, ExitStatus::Code(initdb_expected_exit(records)));
+}

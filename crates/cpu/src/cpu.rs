@@ -1,0 +1,814 @@
+//! The fetch/decode/execute core.
+
+use crate::{DerivationTrace, RegFile};
+use cheri_cap::{CapFault, Capability, Perms};
+use cheri_mem::{AccessKind, CacheHierarchy, FRAME_SIZE};
+use cheri_isa::{Instr, Width};
+use cheri_vm::{Access, AsId, Vm, VmError};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Why execution stopped.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Exit {
+    /// The guest executed `syscall`; `pc` already points at the next
+    /// instruction, the syscall number is in `$v0`.
+    Syscall,
+    /// The guest executed `break` (abort / sanitizer trap).
+    Break,
+    /// A trap: capability fault, VM fault, or fetch error. `pc` still
+    /// points at the faulting instruction.
+    Trap(TrapInfo),
+    /// The instruction budget given to [`Cpu::run`] was exhausted.
+    InstrLimit,
+}
+
+/// Details of a trap.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TrapInfo {
+    /// Cause classification.
+    pub cause: TrapCause,
+    /// Faulting instruction address.
+    pub pc: u64,
+    /// Data address involved, if any.
+    pub vaddr: Option<u64>,
+}
+
+/// Trap cause.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TrapCause {
+    /// A capability check failed (the CHERI exception vector).
+    Cap(CapFault),
+    /// A virtual-memory fault the kernel could not transparently service.
+    Vm(VmError),
+    /// PC does not fall within any registered code region.
+    NoCode,
+}
+
+/// Retired-instruction and cycle counters (the Figure 4 metrics).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CpuStats {
+    /// Instructions retired.
+    pub instret: u64,
+    /// Cycles consumed (pipeline base + memory stalls + runtime charges).
+    pub cycles: u64,
+    /// `syscall` instructions retired.
+    pub syscalls: u64,
+}
+
+struct CodeRegion {
+    start: u64,
+    end: u64,
+    code: Arc<Vec<Instr>>,
+}
+
+/// The simulated core: caches, counters, registered code regions, and a
+/// tiny TLB (flushed by the kernel on context switches and mapping
+/// changes).
+pub struct Cpu {
+    /// Cache hierarchy (shared by fetch and data sides, as on the FPGA).
+    pub caches: CacheHierarchy,
+    /// Performance counters.
+    pub stats: CpuStats,
+    /// Derivation tracing for Figure 5.
+    pub trace: DerivationTrace,
+    code: HashMap<AsId, Vec<CodeRegion>>,
+    cur_as: Option<AsId>,
+    tlb: HashMap<(u8, u64), u64>,
+}
+
+impl fmt::Debug for Cpu {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Cpu{{{:?}}}", self.stats)
+    }
+}
+
+type StepResult = Result<Option<Exit>, TrapInfo>;
+
+impl Cpu {
+    /// A fresh core with the paper's FPGA cache geometry.
+    #[must_use]
+    pub fn new() -> Cpu {
+        Cpu {
+            caches: CacheHierarchy::fpga_default(),
+            stats: CpuStats::default(),
+            trace: DerivationTrace::new(),
+            code: HashMap::new(),
+            cur_as: None,
+            tlb: HashMap::new(),
+        }
+    }
+
+    /// Registers a code region (done by the loader / RTLD when mapping an
+    /// object's text segment).
+    pub fn register_code(&mut self, id: AsId, start: u64, code: Arc<Vec<Instr>>) {
+        let end = start + code.len() as u64 * 4;
+        self.code.entry(id).or_default().push(CodeRegion { start, end, code });
+    }
+
+    /// Forgets all code regions of an address space (process teardown).
+    pub fn clear_code(&mut self, id: AsId) {
+        self.code.remove(&id);
+    }
+
+    /// Copies the code map of `from` to `to` (fork: the child shares the
+    /// parent's text mappings).
+    pub fn clone_code(&mut self, from: AsId, to: AsId) {
+        if let Some(regions) = self.code.get(&from) {
+            let cloned: Vec<CodeRegion> = regions
+                .iter()
+                .map(|r| CodeRegion { start: r.start, end: r.end, code: r.code.clone() })
+                .collect();
+            self.code.insert(to, cloned);
+        }
+    }
+
+    /// Flushes the TLB; the kernel must call this after `fork`, `munmap`,
+    /// swap-out and on context switch.
+    pub fn flush_tlb(&mut self) {
+        self.tlb.clear();
+    }
+
+    /// Charges the cost of work performed by a trusted runtime service on
+    /// behalf of the guest (allocator internals, RTLD, kernel copies).
+    pub fn charge(&mut self, instrs: u64, cycles: u64) {
+        self.stats.instret += instrs;
+        self.stats.cycles += cycles;
+    }
+
+    fn set_context(&mut self, id: AsId) {
+        if self.cur_as != Some(id) {
+            self.cur_as = Some(id);
+            self.tlb.clear();
+        }
+    }
+
+    fn translate_cached(
+        &mut self,
+        vm: &mut Vm,
+        id: AsId,
+        vaddr: u64,
+        access: Access,
+        pc: u64,
+    ) -> Result<u64, TrapInfo> {
+        let key = (access as u8, vaddr / FRAME_SIZE);
+        if let Some(&base) = self.tlb.get(&key) {
+            return Ok(base + vaddr % FRAME_SIZE);
+        }
+        let pa = vm
+            .translate(id, vaddr, access)
+            .map_err(|e| TrapInfo { cause: TrapCause::Vm(e), pc, vaddr: Some(vaddr) })?;
+        if self.tlb.len() >= 256 {
+            self.tlb.clear();
+        }
+        self.tlb.insert(key, pa.0 - pa.0 % FRAME_SIZE);
+        Ok(pa.0)
+    }
+
+    // ------------------------------------------------------------------
+    // Data access helpers
+    // ------------------------------------------------------------------
+
+    #[allow(clippy::too_many_arguments)]
+    fn data_read(
+        &mut self,
+        vm: &mut Vm,
+        id: AsId,
+        cap: &Capability,
+        vaddr: u64,
+        w: Width,
+        signed: bool,
+        aligned_required: bool,
+        pc: u64,
+    ) -> Result<u64, TrapInfo> {
+        let size = w.bytes();
+        if aligned_required && vaddr % size != 0 {
+            return Err(TrapInfo {
+                cause: TrapCause::Cap(CapFault::UnalignedDataAccess),
+                pc,
+                vaddr: Some(vaddr),
+            });
+        }
+        cap.check_access(vaddr, size, Perms::LOAD)
+            .map_err(|f| TrapInfo { cause: TrapCause::Cap(f), pc, vaddr: Some(vaddr) })?;
+        let pa = self.translate_cached(vm, id, vaddr, Access::Read, pc)?;
+        self.stats.cycles += self.caches.access(pa, AccessKind::Load);
+        let mut buf = [0u8; 8];
+        vm.read_bytes(id, vaddr, &mut buf[..size as usize])
+            .map_err(|e| TrapInfo { cause: TrapCause::Vm(e), pc, vaddr: Some(vaddr) })?;
+        let raw = u64::from_le_bytes(buf);
+        Ok(if signed {
+            match w {
+                Width::B => raw as u8 as i8 as i64 as u64,
+                Width::H => raw as u16 as i16 as i64 as u64,
+                Width::W => raw as u32 as i32 as i64 as u64,
+                Width::D => raw,
+            }
+        } else {
+            raw
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn data_write(
+        &mut self,
+        vm: &mut Vm,
+        id: AsId,
+        cap: &Capability,
+        vaddr: u64,
+        w: Width,
+        value: u64,
+        aligned_required: bool,
+        pc: u64,
+    ) -> Result<(), TrapInfo> {
+        let size = w.bytes();
+        if aligned_required && vaddr % size != 0 {
+            return Err(TrapInfo {
+                cause: TrapCause::Cap(CapFault::UnalignedDataAccess),
+                pc,
+                vaddr: Some(vaddr),
+            });
+        }
+        cap.check_access(vaddr, size, Perms::STORE)
+            .map_err(|f| TrapInfo { cause: TrapCause::Cap(f), pc, vaddr: Some(vaddr) })?;
+        let pa = self.translate_cached(vm, id, vaddr, Access::Write, pc)?;
+        self.stats.cycles += self.caches.access(pa, AccessKind::Store);
+        let bytes = value.to_le_bytes();
+        vm.write_bytes(id, vaddr, &bytes[..size as usize])
+            .map_err(|e| TrapInfo { cause: TrapCause::Vm(e), pc, vaddr: Some(vaddr) })?;
+        Ok(())
+    }
+
+    fn legacy_cap<'r>(rf: &'r RegFile, pc: u64) -> Result<&'r Capability, TrapInfo> {
+        if !rf.ddc.tag() {
+            Err(TrapInfo { cause: TrapCause::Cap(CapFault::DdcNull), pc, vaddr: None })
+        } else {
+            Ok(&rf.ddc)
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fetch
+    // ------------------------------------------------------------------
+
+    fn fetch(&mut self, vm: &mut Vm, id: AsId, rf: &RegFile) -> Result<Instr, TrapInfo> {
+        let pc = rf.pc;
+        rf.pcc
+            .check_access(pc, 4, Perms::EXECUTE)
+            .map_err(|f| TrapInfo { cause: TrapCause::Cap(f), pc, vaddr: Some(pc) })?;
+        let pa = self.translate_cached(vm, id, pc, Access::Exec, pc)?;
+        self.stats.cycles += self.caches.access(pa, AccessKind::Fetch);
+        let regions = self
+            .code
+            .get(&id)
+            .ok_or(TrapInfo { cause: TrapCause::NoCode, pc, vaddr: Some(pc) })?;
+        let region = regions
+            .iter()
+            .find(|r| pc >= r.start && pc < r.end)
+            .ok_or(TrapInfo { cause: TrapCause::NoCode, pc, vaddr: Some(pc) })?;
+        Ok(region.code[((pc - region.start) / 4) as usize])
+    }
+
+    fn region_start(&self, id: AsId, pc: u64) -> u64 {
+        self.code
+            .get(&id)
+            .and_then(|rs| rs.iter().find(|r| pc >= r.start && pc < r.end))
+            .map(|r| r.start)
+            .expect("executing pc has a region")
+    }
+
+    // ------------------------------------------------------------------
+    // Main loop
+    // ------------------------------------------------------------------
+
+    /// Runs until a syscall, break, trap, or `max_instrs` retired
+    /// instructions.
+    pub fn run(&mut self, vm: &mut Vm, id: AsId, rf: &mut RegFile, max_instrs: u64) -> Exit {
+        self.set_context(id);
+        let mut executed = 0u64;
+        while executed < max_instrs {
+            match self.step(vm, id, rf) {
+                Ok(None) => executed += 1,
+                Ok(Some(exit)) => return exit,
+                Err(trap) => return Exit::Trap(trap),
+            }
+        }
+        Exit::InstrLimit
+    }
+
+    /// Executes a single instruction.
+    fn step(&mut self, vm: &mut Vm, id: AsId, rf: &mut RegFile) -> StepResult {
+        let pc = rf.pc;
+        let instr = self.fetch(vm, id, rf)?;
+        self.stats.instret += 1;
+        self.stats.cycles += instr.base_cycles();
+        let mut next = pc.wrapping_add(4);
+        let rstart = |cpu: &Cpu| cpu.region_start(id, pc);
+
+        macro_rules! capfault {
+            ($f:expr, $va:expr) => {
+                TrapInfo { cause: TrapCause::Cap($f), pc, vaddr: $va }
+            };
+        }
+
+        match instr {
+            Instr::Li { rd, imm } => rf.w(rd, imm as u64),
+            Instr::Move { rd, rs } => rf.w(rd, rf.r(rs)),
+
+            Instr::Add { rd, rs, rt } => rf.w(rd, rf.r(rs).wrapping_add(rf.r(rt))),
+            Instr::Sub { rd, rs, rt } => rf.w(rd, rf.r(rs).wrapping_sub(rf.r(rt))),
+            Instr::Mul { rd, rs, rt } => rf.w(rd, rf.r(rs).wrapping_mul(rf.r(rt))),
+            Instr::DivU { rd, rs, rt } => {
+                let d = rf.r(rt);
+                rf.w(rd, if d == 0 { 0 } else { rf.r(rs) / d });
+            }
+            Instr::DivS { rd, rs, rt } => {
+                let d = rf.r(rt) as i64;
+                let n = rf.r(rs) as i64;
+                rf.w(rd, if d == 0 { 0 } else { n.wrapping_div(d) as u64 });
+            }
+            Instr::RemU { rd, rs, rt } => {
+                let d = rf.r(rt);
+                rf.w(rd, if d == 0 { 0 } else { rf.r(rs) % d });
+            }
+            Instr::And { rd, rs, rt } => rf.w(rd, rf.r(rs) & rf.r(rt)),
+            Instr::Or { rd, rs, rt } => rf.w(rd, rf.r(rs) | rf.r(rt)),
+            Instr::Xor { rd, rs, rt } => rf.w(rd, rf.r(rs) ^ rf.r(rt)),
+            Instr::Nor { rd, rs, rt } => rf.w(rd, !(rf.r(rs) | rf.r(rt))),
+            Instr::Sllv { rd, rs, rt } => rf.w(rd, rf.r(rs) << (rf.r(rt) & 63)),
+            Instr::Srlv { rd, rs, rt } => rf.w(rd, rf.r(rs) >> (rf.r(rt) & 63)),
+            Instr::Srav { rd, rs, rt } => rf.w(rd, ((rf.r(rs) as i64) >> (rf.r(rt) & 63)) as u64),
+            Instr::Slt { rd, rs, rt } => rf.w(rd, u64::from((rf.r(rs) as i64) < (rf.r(rt) as i64))),
+            Instr::Sltu { rd, rs, rt } => rf.w(rd, u64::from(rf.r(rs) < rf.r(rt))),
+
+            Instr::AddI { rd, rs, imm } => rf.w(rd, rf.r(rs).wrapping_add(imm as u64)),
+            Instr::AndI { rd, rs, imm } => rf.w(rd, rf.r(rs) & imm),
+            Instr::OrI { rd, rs, imm } => rf.w(rd, rf.r(rs) | imm),
+            Instr::XorI { rd, rs, imm } => rf.w(rd, rf.r(rs) ^ imm),
+            Instr::SllI { rd, rs, sh } => rf.w(rd, rf.r(rs) << (sh & 63)),
+            Instr::SrlI { rd, rs, sh } => rf.w(rd, rf.r(rs) >> (sh & 63)),
+            Instr::SraI { rd, rs, sh } => rf.w(rd, ((rf.r(rs) as i64) >> (sh & 63)) as u64),
+            Instr::SltI { rd, rs, imm } => rf.w(rd, u64::from((rf.r(rs) as i64) < imm)),
+            Instr::SltuI { rd, rs, imm } => rf.w(rd, u64::from(rf.r(rs) < imm)),
+
+            Instr::Beq { rs, rt, target } => {
+                if rf.r(rs) == rf.r(rt) {
+                    next = rstart(self) + u64::from(target) * 4;
+                }
+            }
+            Instr::Bne { rs, rt, target } => {
+                if rf.r(rs) != rf.r(rt) {
+                    next = rstart(self) + u64::from(target) * 4;
+                }
+            }
+            Instr::Blez { rs, target } => {
+                if (rf.r(rs) as i64) <= 0 {
+                    next = rstart(self) + u64::from(target) * 4;
+                }
+            }
+            Instr::Bgtz { rs, target } => {
+                if (rf.r(rs) as i64) > 0 {
+                    next = rstart(self) + u64::from(target) * 4;
+                }
+            }
+            Instr::Bltz { rs, target } => {
+                if (rf.r(rs) as i64) < 0 {
+                    next = rstart(self) + u64::from(target) * 4;
+                }
+            }
+            Instr::Bgez { rs, target } => {
+                if (rf.r(rs) as i64) >= 0 {
+                    next = rstart(self) + u64::from(target) * 4;
+                }
+            }
+            Instr::J { target } => next = rstart(self) + u64::from(target) * 4,
+            Instr::Jal { target } => {
+                // Return continuation in both files: $ra for legacy code,
+                // $cra (PCC-derived, hence bounded) for pure-capability
+                // code.
+                rf.w(cheri_isa::ireg::RA, next);
+                rf.wc(cheri_isa::creg::CRA, rf.pcc.with_addr(next));
+                next = rstart(self) + u64::from(target) * 4;
+            }
+            Instr::Jr { rs } => next = rf.r(rs),
+            Instr::Jalr { rd, rs } => {
+                rf.w(rd, next);
+                next = rf.r(rs);
+            }
+            Instr::Syscall => {
+                self.stats.syscalls += 1;
+                rf.pc = next;
+                return Ok(Some(Exit::Syscall));
+            }
+            Instr::Break => {
+                rf.pc = pc;
+                return Ok(Some(Exit::Break));
+            }
+            Instr::Nop => {}
+
+            Instr::Load { rd, base, off, w, signed } => {
+                let ddc = *Self::legacy_cap(rf, pc)?;
+                let vaddr = rf.r(base).wrapping_add(off as u64);
+                // Legacy unaligned access is fixed up by the kernel on
+                // FreeBSD/MIPS at significant cost; emulate that.
+                let aligned = vaddr % w.bytes() == 0;
+                if !aligned {
+                    self.stats.cycles += 50;
+                }
+                let v = self.data_read(vm, id, &ddc, vaddr, w, signed, false, pc)?;
+                rf.w(rd, v);
+            }
+            Instr::Store { rs, base, off, w } => {
+                let ddc = *Self::legacy_cap(rf, pc)?;
+                let vaddr = rf.r(base).wrapping_add(off as u64);
+                if vaddr % w.bytes() != 0 {
+                    self.stats.cycles += 50;
+                }
+                let v = rf.r(rs);
+                self.data_write(vm, id, &ddc, vaddr, w, v, false, pc)?;
+            }
+            Instr::CLoad { rd, cb, off, w, signed } => {
+                let cap = rf.c(cb);
+                let vaddr = cap.addr().wrapping_add(off as u64);
+                let v = self.data_read(vm, id, &cap, vaddr, w, signed, true, pc)?;
+                rf.w(rd, v);
+            }
+            Instr::CStore { rs, cb, off, w } => {
+                let cap = rf.c(cb);
+                let vaddr = cap.addr().wrapping_add(off as u64);
+                let v = rf.r(rs);
+                self.data_write(vm, id, &cap, vaddr, w, v, true, pc)?;
+            }
+            Instr::Clc { cd, cb, off } => {
+                let cap = rf.c(cb);
+                let vaddr = cap.addr().wrapping_add(off as u64);
+                let size = cap.format().in_memory_size();
+                if vaddr % size != 0 {
+                    return Err(capfault!(CapFault::UnalignedCapAccess, Some(vaddr)));
+                }
+                cap.check_access(vaddr, size, Perms::LOAD)
+                    .map_err(|f| capfault!(f, Some(vaddr)))?;
+                let pa = self.translate_cached(vm, id, vaddr, Access::Read, pc)?;
+                self.stats.cycles += self.caches.access(pa, AccessKind::Load);
+                let loaded = vm
+                    .load_cap(id, vaddr)
+                    .map_err(|e| TrapInfo { cause: TrapCause::Vm(e), pc, vaddr: Some(vaddr) })?;
+                let value = match loaded {
+                    Some(c) => {
+                        if cap.perms().contains(Perms::LOAD_CAP) {
+                            c
+                        } else {
+                            // Loading through a no-LOAD_CAP capability
+                            // strips the tag.
+                            c.clear_tag()
+                        }
+                    }
+                    None => {
+                        let raw = self
+                            .data_read(vm, id, &cap, vaddr, Width::D, false, true, pc)?;
+                        Capability::null(cap.format()).with_addr(raw)
+                    }
+                };
+                rf.wc(cd, value);
+            }
+            Instr::Csc { cs, cb, off } => {
+                let cap = rf.c(cb);
+                let value = rf.c(cs);
+                let vaddr = cap.addr().wrapping_add(off as u64);
+                let size = cap.format().in_memory_size();
+                if vaddr % size != 0 {
+                    return Err(capfault!(CapFault::UnalignedCapAccess, Some(vaddr)));
+                }
+                cap.check_access(vaddr, size, Perms::STORE)
+                    .map_err(|f| capfault!(f, Some(vaddr)))?;
+                if value.tag() {
+                    if !cap.perms().contains(Perms::STORE_CAP) {
+                        return Err(capfault!(CapFault::PermitStoreCapViolation, Some(vaddr)));
+                    }
+                    if !value.perms().contains(Perms::GLOBAL)
+                        && !cap.perms().contains(Perms::STORE_LOCAL_CAP)
+                    {
+                        return Err(capfault!(
+                            CapFault::PermitStoreLocalCapViolation,
+                            Some(vaddr)
+                        ));
+                    }
+                }
+                let pa = self.translate_cached(vm, id, vaddr, Access::Write, pc)?;
+                self.stats.cycles += self.caches.access(pa, AccessKind::Store);
+                vm.store_cap(id, vaddr, value)
+                    .map_err(|e| TrapInfo { cause: TrapCause::Vm(e), pc, vaddr: Some(vaddr) })?;
+            }
+
+            Instr::CGetAddr { rd, cb } => rf.w(rd, rf.c(cb).addr()),
+            Instr::CGetBase { rd, cb } => rf.w(rd, rf.c(cb).base()),
+            Instr::CGetLen { rd, cb } => rf.w(rd, rf.c(cb).length()),
+            Instr::CGetPerm { rd, cb } => rf.w(rd, u64::from(rf.c(cb).perms().bits())),
+            Instr::CGetTag { rd, cb } => rf.w(rd, u64::from(rf.c(cb).tag())),
+            Instr::CGetOffset { rd, cb } => rf.w(rd, rf.c(cb).offset()),
+            Instr::CGetType { rd, cb } => {
+                rf.w(rd, rf.c(cb).otype().map_or(u64::MAX, |t| u64::from(t.value())));
+            }
+
+            Instr::CSetAddr { cd, cb, rs } => rf.wc(cd, rf.c(cb).with_addr(rf.r(rs))),
+            Instr::CIncOffset { cd, cb, rs } => rf.wc(cd, rf.c(cb).inc_addr(rf.r(rs) as i64)),
+            Instr::CIncOffsetImm { cd, cb, imm } => rf.wc(cd, rf.c(cb).inc_addr(imm)),
+            Instr::CSetBounds { cd, cb, rs } => {
+                let c = rf.c(cb).set_bounds(rf.r(rs), false).map_err(|f| capfault!(f, None))?;
+                self.trace.record(&c);
+                rf.wc(cd, c);
+            }
+            Instr::CSetBoundsImm { cd, cb, imm } => {
+                let c = rf.c(cb).set_bounds(imm, false).map_err(|f| capfault!(f, None))?;
+                self.trace.record(&c);
+                rf.wc(cd, c);
+            }
+            Instr::CSetBoundsExact { cd, cb, rs } => {
+                let c = rf.c(cb).set_bounds(rf.r(rs), true).map_err(|f| capfault!(f, None))?;
+                self.trace.record(&c);
+                rf.wc(cd, c);
+            }
+            Instr::CAndPerm { cd, cb, rs } => {
+                let c = rf.c(cb).and_perms(Perms::from_bits_truncate(rf.r(rs) as u32));
+                self.trace.record(&c);
+                rf.wc(cd, c);
+            }
+            Instr::CClearTag { cd, cb } => rf.wc(cd, rf.c(cb).clear_tag()),
+            Instr::CMove { cd, cb } => rf.wc(cd, rf.c(cb)),
+            Instr::CRrl { rd, rs } => {
+                rf.w(rd, rf.pcc.format().representable_length(rf.r(rs)));
+            }
+            Instr::CRam { rd, rs } => {
+                rf.w(rd, rf.pcc.format().representable_alignment_mask(rf.r(rs)));
+            }
+            Instr::CSub { rd, cb, ct } => {
+                rf.w(rd, rf.c(cb).addr().wrapping_sub(rf.c(ct).addr()));
+            }
+            Instr::CFromPtr { cd, cb, rs } => {
+                let v = rf.r(rs);
+                let c = if v == 0 {
+                    Capability::null(rf.pcc.format())
+                } else {
+                    rf.c(cb).with_addr(v)
+                };
+                self.trace.record(&c);
+                rf.wc(cd, c);
+            }
+            Instr::CToPtr { rd, cb, ct } => {
+                let c = rf.c(cb);
+                let _ = ct;
+                rf.w(rd, if c.tag() { c.addr() } else { 0 });
+            }
+            Instr::CSeal { cd, cs, ct } => {
+                let c = rf.c(cs).seal(&rf.c(ct)).map_err(|f| capfault!(f, None))?;
+                rf.wc(cd, c);
+            }
+            Instr::CUnseal { cd, cs, ct } => {
+                let c = rf.c(cs).unseal(&rf.c(ct)).map_err(|f| capfault!(f, None))?;
+                rf.wc(cd, c);
+            }
+            Instr::CTestSubset { rd, cb, ct } => {
+                let a = rf.c(cb);
+                let b = rf.c(ct);
+                rf.w(rd, u64::from(a.tag() && b.tag() && b.is_subset_of(&a)));
+            }
+
+            Instr::CJr { cb } => {
+                let t = rf.c(cb);
+                t.check_access(t.addr(), 4, Perms::EXECUTE)
+                    .map_err(|f| capfault!(f, Some(t.addr())))?;
+                rf.pcc = t;
+                next = t.addr();
+            }
+            Instr::CJalr { cd, cb } => {
+                let t = rf.c(cb);
+                t.check_access(t.addr(), 4, Perms::EXECUTE)
+                    .map_err(|f| capfault!(f, Some(t.addr())))?;
+                rf.wc(cd, rf.pcc.with_addr(next));
+                rf.pcc = t;
+                next = t.addr();
+            }
+            Instr::CGetPcc { cd } => rf.wc(cd, rf.pcc.with_addr(pc)),
+            Instr::CGetDdc { cd } => rf.wc(cd, rf.ddc),
+        }
+
+        rf.pc = next;
+        Ok(None)
+    }
+}
+
+impl Default for Cpu {
+    fn default() -> Self {
+        Cpu::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheri_cap::{CapFormat, CapSource, PrincipalId};
+    use cheri_isa::{creg, ireg};
+    use cheri_vm::{Backing, Prot};
+
+    /// Builds a machine with one space, maps `code` at 0x10000 (rx) and a
+    /// rw data page at 0x20000, returns (cpu, vm, as, regfile).
+    fn machine(code: Vec<Instr>, purecap: bool) -> (Cpu, Vm, AsId, RegFile) {
+        let mut vm = Vm::new(128);
+        let id = vm.create_space(PrincipalId::from_raw(1), CapFormat::C128);
+        let text_bytes: Vec<u8> = (0..code.len() as u32).flat_map(u32::to_le_bytes).collect();
+        vm.map(id, Some(0x10000), (code.len() as u64 * 4).max(4096), Prot::rx(),
+               Backing::Image { data: std::sync::Arc::new(text_bytes), offset: 0 }, "text")
+            .unwrap();
+        vm.map(id, Some(0x20000), 4096, Prot::rw(), Backing::Zero, "data").unwrap();
+        let mut cpu = Cpu::new();
+        cpu.register_code(id, 0x10000, std::sync::Arc::new(code));
+        let mut rf = RegFile::new(CapFormat::C128);
+        let root = vm.space(id).root;
+        rf.pcc = root.with_addr(0x10000).set_bounds(0x1000, false).unwrap()
+            .and_perms(Perms::user_code());
+        rf.pc = 0x10000;
+        if purecap {
+            // DDC NULL: CheriABI.
+            rf.ddc = Capability::null(CapFormat::C128);
+        } else {
+            rf.ddc = root.with_source(CapSource::Exec);
+        }
+        // A data capability in c13 covering the rw page.
+        rf.wc(creg::ptr(0), root.with_addr(0x20000).set_bounds(4096, true).unwrap());
+        (cpu, vm, id, rf)
+    }
+
+    #[test]
+    fn alu_and_syscall() {
+        let code = vec![
+            Instr::Li { rd: ireg::A0, imm: 20 },
+            Instr::AddI { rd: ireg::A0, rs: ireg::A0, imm: 22 },
+            Instr::Syscall,
+        ];
+        let (mut cpu, mut vm, id, mut rf) = machine(code, false);
+        assert_eq!(cpu.run(&mut vm, id, &mut rf, 100), Exit::Syscall);
+        assert_eq!(rf.r(ireg::A0), 42);
+        assert_eq!(cpu.stats.instret, 3);
+        assert_eq!(rf.pc, 0x10000 + 3 * 4);
+    }
+
+    #[test]
+    fn legacy_load_store_via_ddc() {
+        let code = vec![
+            Instr::Li { rd: ireg::T0, imm: 0x20010 },
+            Instr::Li { rd: ireg::T1, imm: 77 },
+            Instr::Store { rs: ireg::T1, base: ireg::T0, off: 0, w: Width::D },
+            Instr::Load { rd: ireg::T2, base: ireg::T0, off: 0, w: Width::D, signed: false },
+            Instr::Syscall,
+        ];
+        let (mut cpu, mut vm, id, mut rf) = machine(code, false);
+        assert_eq!(cpu.run(&mut vm, id, &mut rf, 100), Exit::Syscall);
+        assert_eq!(rf.r(ireg::T2), 77);
+    }
+
+    #[test]
+    fn legacy_access_traps_with_null_ddc() {
+        let code = vec![
+            Instr::Li { rd: ireg::T0, imm: 0x20010 },
+            Instr::Load { rd: ireg::T2, base: ireg::T0, off: 0, w: Width::D, signed: false },
+        ];
+        let (mut cpu, mut vm, id, mut rf) = machine(code, true);
+        match cpu.run(&mut vm, id, &mut rf, 100) {
+            Exit::Trap(t) => assert_eq!(t.cause, TrapCause::Cap(CapFault::DdcNull)),
+            e => panic!("expected DDC trap, got {e:?}"),
+        }
+    }
+
+    #[test]
+    fn capability_bounds_enforced_on_loads() {
+        let code = vec![
+            // In-bounds store/load via c13.
+            Instr::Li { rd: ireg::T1, imm: 5 },
+            Instr::CStore { rs: ireg::T1, cb: creg::ptr(0), off: 8, w: Width::D },
+            Instr::CLoad { rd: ireg::T2, cb: creg::ptr(0), off: 8, w: Width::D, signed: false },
+            // One byte past the 4096-byte bounds.
+            Instr::CLoad { rd: ireg::T3, cb: creg::ptr(0), off: 4096, w: Width::B, signed: false },
+        ];
+        let (mut cpu, mut vm, id, mut rf) = machine(code, true);
+        match cpu.run(&mut vm, id, &mut rf, 100) {
+            Exit::Trap(t) => {
+                assert_eq!(t.cause, TrapCause::Cap(CapFault::LengthViolation));
+                assert_eq!(t.vaddr, Some(0x21000));
+            }
+            e => panic!("expected length trap, got {e:?}"),
+        }
+        assert_eq!(rf.r(ireg::T2), 5);
+    }
+
+    #[test]
+    fn cap_roundtrip_through_memory_keeps_tag() {
+        let code = vec![
+            Instr::Csc { cs: creg::ptr(0), cb: creg::ptr(0), off: 16 },
+            Instr::Clc { cd: creg::ptr(1), cb: creg::ptr(0), off: 16 },
+            Instr::CGetTag { rd: ireg::T0, cb: creg::ptr(1) },
+            // Overwrite one byte of the stored capability, reload: tag gone.
+            Instr::Li { rd: ireg::T1, imm: 0xab },
+            Instr::CStore { rs: ireg::T1, cb: creg::ptr(0), off: 18, w: Width::B },
+            Instr::Clc { cd: creg::ptr(2), cb: creg::ptr(0), off: 16 },
+            Instr::CGetTag { rd: ireg::T2, cb: creg::ptr(2) },
+            Instr::Syscall,
+        ];
+        let (mut cpu, mut vm, id, mut rf) = machine(code, true);
+        assert_eq!(cpu.run(&mut vm, id, &mut rf, 100), Exit::Syscall);
+        assert_eq!(rf.r(ireg::T0), 1, "capability loaded back with tag");
+        assert_eq!(rf.r(ireg::T2), 0, "data overwrite cleared the tag");
+    }
+
+    #[test]
+    fn derived_capability_cannot_widen() {
+        let code = vec![
+            // Narrow c13 to 16 bytes at 0x20000 then try to re-widen.
+            Instr::Li { rd: ireg::T0, imm: 16 },
+            Instr::CSetBounds { cd: creg::ptr(1), cb: creg::ptr(0), rs: ireg::T0 },
+            Instr::Li { rd: ireg::T1, imm: 64 },
+            Instr::CSetBounds { cd: creg::ptr(2), cb: creg::ptr(1), rs: ireg::T1 },
+        ];
+        let (mut cpu, mut vm, id, mut rf) = machine(code, true);
+        match cpu.run(&mut vm, id, &mut rf, 100) {
+            Exit::Trap(t) => assert_eq!(t.cause, TrapCause::Cap(CapFault::LengthViolation)),
+            e => panic!("expected monotonicity trap, got {e:?}"),
+        }
+    }
+
+    #[test]
+    fn unaligned_capability_access_traps() {
+        let code = vec![Instr::Clc { cd: creg::ptr(1), cb: creg::ptr(0), off: 8 }];
+        let (mut cpu, mut vm, id, mut rf) = machine(code, true);
+        match cpu.run(&mut vm, id, &mut rf, 100) {
+            Exit::Trap(t) => assert_eq!(t.cause, TrapCause::Cap(CapFault::UnalignedCapAccess)),
+            e => panic!("expected alignment trap, got {e:?}"),
+        }
+    }
+
+    #[test]
+    fn jal_and_cjr_roundtrip() {
+        // 0: jal 3 ; 1: syscall ; 2: nop ; 3: cjr cra
+        let code = vec![
+            Instr::Jal { target: 3 },
+            Instr::Syscall,
+            Instr::Nop,
+            Instr::CJr { cb: creg::CRA },
+        ];
+        let (mut cpu, mut vm, id, mut rf) = machine(code, true);
+        assert_eq!(cpu.run(&mut vm, id, &mut rf, 100), Exit::Syscall);
+        assert_eq!(cpu.stats.instret, 3, "jal, cjr, syscall");
+    }
+
+    #[test]
+    fn fetch_outside_pcc_traps() {
+        let code = vec![Instr::Jr { rs: ireg::T0 }];
+        let (mut cpu, mut vm, id, mut rf) = machine(code, false);
+        rf.w(ireg::T0, 0x30000); // outside pcc bounds
+        match cpu.run(&mut vm, id, &mut rf, 100) {
+            Exit::Trap(t) => assert_eq!(t.cause, TrapCause::Cap(CapFault::LengthViolation)),
+            e => panic!("expected pcc trap, got {e:?}"),
+        }
+    }
+
+    #[test]
+    fn break_exits() {
+        let code = vec![Instr::Break];
+        let (mut cpu, mut vm, id, mut rf) = machine(code, false);
+        assert_eq!(cpu.run(&mut vm, id, &mut rf, 100), Exit::Break);
+    }
+
+    #[test]
+    fn instr_limit_respected() {
+        let code = vec![Instr::J { target: 0 }];
+        let (mut cpu, mut vm, id, mut rf) = machine(code, false);
+        assert_eq!(cpu.run(&mut vm, id, &mut rf, 10), Exit::InstrLimit);
+        assert_eq!(cpu.stats.instret, 10);
+    }
+
+    #[test]
+    fn trace_records_setbounds() {
+        let code = vec![
+            Instr::Li { rd: ireg::T0, imm: 32 },
+            Instr::CSetBounds { cd: creg::ptr(1), cb: creg::ptr(0), rs: ireg::T0 },
+            Instr::Syscall,
+        ];
+        let (mut cpu, mut vm, id, mut rf) = machine(code, true);
+        cpu.trace.enabled = true;
+        assert_eq!(cpu.run(&mut vm, id, &mut rf, 100), Exit::Syscall);
+        assert_eq!(cpu.trace.len(), 1);
+        assert_eq!(cpu.trace.events()[0].1, 32);
+    }
+
+    #[test]
+    fn cycles_exceed_instret_with_cold_caches() {
+        let code = vec![
+            Instr::Li { rd: ireg::T0, imm: 0x20000 },
+            Instr::Load { rd: ireg::T1, base: ireg::T0, off: 0, w: Width::D, signed: false },
+            Instr::Syscall,
+        ];
+        let (mut cpu, mut vm, id, mut rf) = machine(code, false);
+        cpu.run(&mut vm, id, &mut rf, 100);
+        assert!(cpu.stats.cycles > cpu.stats.instret);
+    }
+}

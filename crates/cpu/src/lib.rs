@@ -1,0 +1,32 @@
+//! # cheri-cpu — the simulated CHERI-MIPS core
+//!
+//! Executes guest code against a [`cheri_vm::Vm`], enforcing the capability
+//! semantics of §2 on **every** access:
+//!
+//! * instruction fetch is checked against **PCC** (bounds + `EXECUTE`);
+//! * legacy loads/stores/jumps are checked against **DDC** — CheriABI
+//!   processes run with a NULL DDC, so every legacy access traps;
+//! * capability loads/stores check tag, seal, permission and bounds, and
+//!   tagged loads/stores honour `LOAD_CAP`/`STORE_CAP`/`STORE_LOCAL_CAP`;
+//! * capability-manipulation instructions delegate to the monotonic algebra
+//!   of [`cheri_cap::Capability`], so widening is impossible by
+//!   construction.
+//!
+//! The core models the paper's FPGA pipeline: in-order, single-issue, one
+//! instruction per cycle plus multi-cycle multiply/divide, with stalls from
+//! the [`cheri_mem::CacheHierarchy`]. Retired instructions, cycles and cache
+//! statistics feed Figure 4; an optional [`DerivationTrace`] records every
+//! bounds-creating event with its [`cheri_cap::CapSource`] for the Figure 5
+//! reconstruction.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+#[allow(clippy::module_inception)]
+mod cpu;
+mod regfile;
+mod trace;
+
+pub use cpu::{Cpu, CpuStats, Exit, TrapCause, TrapInfo};
+pub use regfile::RegFile;
+pub use trace::DerivationTrace;

@@ -1,0 +1,96 @@
+//! Per-thread architectural register state.
+
+use cheri_cap::{CapFormat, Capability};
+use cheri_isa::{CReg, IReg};
+
+/// The architectural state the kernel saves and restores on context switch
+/// (§3 "Context switching": "the kernel saves and restores user-thread
+/// register capability state").
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RegFile {
+    /// Integer registers; index 0 reads as zero.
+    pub gpr: [u64; 32],
+    /// Capability registers; index 0 is the NULL capability by convention.
+    pub caps: [Capability; 32],
+    /// Program-counter capability: all fetches are checked against it.
+    pub pcc: Capability,
+    /// Current program counter (the address within PCC's bounds).
+    pub pc: u64,
+    /// Default data capability for legacy loads/stores. NULL under
+    /// CheriABI.
+    pub ddc: Capability,
+}
+
+impl RegFile {
+    /// A zeroed register file with NULL capabilities of the given format.
+    #[must_use]
+    pub fn new(fmt: CapFormat) -> RegFile {
+        RegFile {
+            gpr: [0; 32],
+            caps: [Capability::null(fmt); 32],
+            pcc: Capability::null(fmt),
+            pc: 0,
+            ddc: Capability::null(fmt),
+        }
+    }
+
+    /// Reads an integer register (`$0` is always 0).
+    #[must_use]
+    pub fn r(&self, r: IReg) -> u64 {
+        if r.0 == 0 {
+            0
+        } else {
+            self.gpr[r.0 as usize]
+        }
+    }
+
+    /// Writes an integer register (writes to `$0` are discarded).
+    pub fn w(&mut self, r: IReg, v: u64) {
+        if r.0 != 0 {
+            self.gpr[r.0 as usize] = v;
+        }
+    }
+
+    /// Reads a capability register (`$c0` always reads NULL).
+    #[must_use]
+    pub fn c(&self, r: CReg) -> Capability {
+        if r.0 == 0 {
+            Capability::null(self.pcc.format())
+        } else {
+            self.caps[r.0 as usize]
+        }
+    }
+
+    /// Writes a capability register (writes to `$c0` are discarded).
+    pub fn wc(&mut self, r: CReg, v: Capability) {
+        if r.0 != 0 {
+            self.caps[r.0 as usize] = v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheri_cap::{CapSource, PrincipalId};
+    use cheri_isa::{creg, ireg};
+
+    #[test]
+    fn zero_register_is_hardwired() {
+        let mut rf = RegFile::new(CapFormat::C128);
+        rf.w(ireg::ZERO, 99);
+        assert_eq!(rf.r(ireg::ZERO), 0);
+        rf.w(ireg::V0, 7);
+        assert_eq!(rf.r(ireg::V0), 7);
+    }
+
+    #[test]
+    fn cnull_is_hardwired() {
+        let mut rf = RegFile::new(CapFormat::C128);
+        let root = Capability::root(CapFormat::C128, PrincipalId::KERNEL, CapSource::Boot);
+        rf.wc(creg::CNULL, root);
+        assert!(!rf.c(creg::CNULL).tag());
+        rf.wc(creg::C3, root);
+        assert!(rf.c(creg::C3).tag());
+    }
+}

@@ -1,0 +1,192 @@
+//! A small two-pass assembler: emit instructions with symbolic labels, then
+//! resolve branch targets.
+
+use crate::{Instr, IReg};
+use std::fmt;
+
+/// A forward-referenceable code location.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Label(usize);
+
+/// Instruction-stream builder with label fixups.
+///
+/// ```
+/// use cheri_isa::{Assembler, Instr, ireg};
+///
+/// let mut a = Assembler::new();
+/// let done = a.label();
+/// a.emit(Instr::Li { rd: ireg::V0, imm: 1 });
+/// a.beq(ireg::V0, ireg::ZERO, done); // forward reference
+/// a.emit(Instr::Li { rd: ireg::V0, imm: 2 });
+/// a.bind(done);
+/// let code = a.finish();
+/// assert_eq!(code.len(), 3);
+/// match code[1] {
+///     Instr::Beq { target, .. } => assert_eq!(target, 3),
+///     _ => unreachable!(),
+/// }
+/// ```
+#[derive(Default)]
+pub struct Assembler {
+    code: Vec<Instr>,
+    labels: Vec<Option<u32>>,
+    fixups: Vec<(usize, Label)>,
+}
+
+impl fmt::Debug for Assembler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Assembler{{{} instrs, {} labels, {} pending fixups}}",
+            self.code.len(),
+            self.labels.len(),
+            self.fixups.len()
+        )
+    }
+}
+
+impl Assembler {
+    /// Creates an empty assembler.
+    #[must_use]
+    pub fn new() -> Assembler {
+        Assembler::default()
+    }
+
+    /// Current position (index of the next instruction).
+    #[must_use]
+    pub fn here(&self) -> u32 {
+        self.code.len() as u32
+    }
+
+    /// Appends an instruction, returning its index.
+    pub fn emit(&mut self, i: Instr) -> u32 {
+        self.code.push(i);
+        self.code.len() as u32 - 1
+    }
+
+    /// Allocates an unbound label.
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already bound.
+    pub fn bind(&mut self, label: Label) {
+        let here = self.here();
+        let slot = &mut self.labels[label.0];
+        assert!(slot.is_none(), "label bound twice");
+        *slot = Some(here);
+    }
+
+    fn emit_branch(&mut self, i: Instr, label: Label) {
+        let at = self.code.len();
+        self.code.push(i);
+        self.fixups.push((at, label));
+    }
+
+    /// Emits `beq rs, rt, label`.
+    pub fn beq(&mut self, rs: IReg, rt: IReg, label: Label) {
+        self.emit_branch(Instr::Beq { rs, rt, target: 0 }, label);
+    }
+
+    /// Emits `bne rs, rt, label`.
+    pub fn bne(&mut self, rs: IReg, rt: IReg, label: Label) {
+        self.emit_branch(Instr::Bne { rs, rt, target: 0 }, label);
+    }
+
+    /// Emits `blez rs, label`.
+    pub fn blez(&mut self, rs: IReg, label: Label) {
+        self.emit_branch(Instr::Blez { rs, target: 0 }, label);
+    }
+
+    /// Emits `bgtz rs, label`.
+    pub fn bgtz(&mut self, rs: IReg, label: Label) {
+        self.emit_branch(Instr::Bgtz { rs, target: 0 }, label);
+    }
+
+    /// Emits `bltz rs, label`.
+    pub fn bltz(&mut self, rs: IReg, label: Label) {
+        self.emit_branch(Instr::Bltz { rs, target: 0 }, label);
+    }
+
+    /// Emits `bgez rs, label`.
+    pub fn bgez(&mut self, rs: IReg, label: Label) {
+        self.emit_branch(Instr::Bgez { rs, target: 0 }, label);
+    }
+
+    /// Emits an unconditional jump to `label`.
+    pub fn j(&mut self, label: Label) {
+        self.emit_branch(Instr::J { target: 0 }, label);
+    }
+
+    /// Emits an intra-object call to `label`.
+    pub fn jal(&mut self, label: Label) {
+        self.emit_branch(Instr::Jal { target: 0 }, label);
+    }
+
+    /// Resolves all fixups and returns the instruction stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced label was never bound.
+    #[must_use]
+    pub fn finish(mut self) -> Vec<Instr> {
+        for (at, label) in self.fixups {
+            let t = self.labels[label.0].unwrap_or_else(|| panic!("unbound label {label:?}"));
+            match &mut self.code[at] {
+                Instr::Beq { target, .. }
+                | Instr::Bne { target, .. }
+                | Instr::Blez { target, .. }
+                | Instr::Bgtz { target, .. }
+                | Instr::Bltz { target, .. }
+                | Instr::Bgez { target, .. }
+                | Instr::J { target }
+                | Instr::Jal { target } => *target = t,
+                other => panic!("fixup on non-branch {other:?}"),
+            }
+        }
+        self.code
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ireg;
+
+    #[test]
+    fn backward_branch_resolves() {
+        let mut a = Assembler::new();
+        let top = a.label();
+        a.bind(top);
+        a.emit(Instr::Nop);
+        a.bne(ireg::V0, ireg::ZERO, top);
+        let code = a.finish();
+        match code[1] {
+            Instr::Bne { target, .. } => assert_eq!(target, 0),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound label")]
+    fn unbound_label_panics() {
+        let mut a = Assembler::new();
+        let l = a.label();
+        a.j(l);
+        let _ = a.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_bind_panics() {
+        let mut a = Assembler::new();
+        let l = a.label();
+        a.bind(l);
+        a.bind(l);
+    }
+}

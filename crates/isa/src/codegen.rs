@@ -1,0 +1,898 @@
+//! Code generation: the stand-in for the CHERI C compiler.
+//!
+//! Guest programs (workloads, test corpus, BOdiagsuite) are written against
+//! [`FnBuilder`], which lowers portable "C-like" operations differently per
+//! ABI, reproducing the mechanics behind the paper's numbers:
+//!
+//! * **Stack references** (`addr_of_stack`): the legacy ABI computes
+//!   `sp + off` in one instruction; CheriABI derives a *bounded* capability
+//!   from `$csp` (`CIncOffsetImm` + `CSetBoundsImm`) — the §3 "automatic
+//!   references" rule and part of pure-capability overhead.
+//! * **Global access** (`load_global_ptr`): the legacy ABI loads an 8-byte
+//!   GOT entry via `$gp`. CheriABI loads a 16-byte capability GOT entry via
+//!   `$cgp` with `CLC`; when the slot offset exceeds the (original, small)
+//!   `CLC` immediate the builder emits an address-materialisation prefix —
+//!   the exact effect the paper fixed with the large-immediate `CLC`
+//!   (§5.2: "reduces the code size of most binaries by over 10%, and
+//!   reduces the initdb overhead from 11% to 6.8%").
+//! * **Pointer spills**: 8 bytes under the legacy ABI, 16 under CheriABI —
+//!   the cache-footprint mechanism behind Figure 4's pointer-heavy
+//!   workloads.
+//! * **AddressSanitizer mode** ([`CodegenOpts::asan`]): shadow-memory checks
+//!   (9–10 instructions per access) plus stack redzone poisoning; the
+//!   software baseline the paper compares against in §5.2 and Table 3.
+
+use crate::object::ObjectBuilder;
+use crate::{creg, ireg, CReg, IReg, Instr, Label, Width};
+
+/// Which process ABI code is generated for (paper §4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Abi {
+    /// Legacy SysV-style ABI: pointers are 64-bit integers checked only
+    /// against DDC.
+    Mips64,
+    /// CheriABI: every pointer is a capability; DDC is NULL.
+    PureCap,
+}
+
+/// Compilation options, including the paper's ablation toggles.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CodegenOpts {
+    /// Target ABI.
+    pub abi: Abi,
+    /// In-memory pointer size for the target (8 for mips64; 16 for
+    /// CheriABI/C128, 32 for the C256 ablation).
+    pub ptr_size: u64,
+    /// Use the large-immediate `CLC` extension (§5.2). Ignored for mips64.
+    pub clc_large_imm: bool,
+    /// Instrument loads/stores with AddressSanitizer-style shadow-memory
+    /// checks (mips64 only; the paper's software-sanitizer baseline).
+    pub asan: bool,
+    /// Tighten bounds on references to struct *members* (§6 "sub-object
+    /// and code bounds": off by default in the paper "for compatibility
+    /// with popular patterns such as container_of").
+    pub subobject_bounds: bool,
+}
+
+/// Reach of the original CLC immediate field, in bytes.
+pub const CLC_SMALL_IMM_RANGE: i64 = 1 << 11;
+/// Reach of the paper's extended CLC immediate field, in bytes.
+pub const CLC_LARGE_IMM_RANGE: i64 = 1 << 16;
+
+/// Base virtual address of the AddressSanitizer shadow region.
+pub const ASAN_SHADOW_BASE: u64 = 0x2000_0000_0000;
+/// log2 of application bytes per shadow byte.
+pub const ASAN_SHADOW_SCALE: u32 = 3;
+
+impl CodegenOpts {
+    /// Plain legacy mips64 code.
+    #[must_use]
+    pub fn mips64() -> CodegenOpts {
+        CodegenOpts { abi: Abi::Mips64, ptr_size: 8, clc_large_imm: false, asan: false, subobject_bounds: false }
+    }
+
+    /// CheriABI pure-capability code with the large-immediate CLC (the
+    /// paper's shipping configuration).
+    #[must_use]
+    pub fn purecap() -> CodegenOpts {
+        CodegenOpts { abi: Abi::PureCap, ptr_size: 16, clc_large_imm: true, asan: false, subobject_bounds: false }
+    }
+
+    /// CheriABI code restricted to the original small CLC immediate (the
+    /// "11% initdb overhead" configuration of §5.2).
+    #[must_use]
+    pub fn purecap_small_clc() -> CodegenOpts {
+        CodegenOpts { clc_large_imm: false, ..CodegenOpts::purecap() }
+    }
+
+    /// CheriABI with 256-bit capabilities (format ablation).
+    #[must_use]
+    pub fn purecap_c256() -> CodegenOpts {
+        CodegenOpts { ptr_size: 32, ..CodegenOpts::purecap() }
+    }
+
+    /// mips64 with AddressSanitizer instrumentation.
+    #[must_use]
+    pub fn mips64_asan() -> CodegenOpts {
+        CodegenOpts { asan: true, ..CodegenOpts::mips64() }
+    }
+
+    /// CheriABI with sub-object bounds enabled (the §6 future-work
+    /// experiment: stronger protection, breaks `container_of`).
+    #[must_use]
+    pub fn purecap_subobject() -> CodegenOpts {
+        CodegenOpts { subobject_bounds: true, ..CodegenOpts::purecap() }
+    }
+
+    /// Short configuration name used in benchmark output.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match (self.abi, self.asan, self.clc_large_imm, self.ptr_size) {
+            (Abi::Mips64, true, _, _) => "mips64-asan",
+            (Abi::Mips64, false, _, _) => "mips64",
+            (Abi::PureCap, _, true, 32) => "cheriabi-c256",
+            (Abi::PureCap, _, true, _) => "cheriabi",
+            (Abi::PureCap, _, false, _) => "cheriabi-smallclc",
+        }
+    }
+}
+
+/// A portable integer-value register (maps to `$t0`–`$t7`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Val(pub u8);
+
+/// A portable pointer register: an integer register under mips64, a
+/// capability register under CheriABI.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Ptr(pub u8);
+
+impl Val {
+    fn reg(self) -> IReg {
+        ireg::temp(self.0)
+    }
+}
+
+impl Ptr {
+    fn ireg(self) -> IReg {
+        ireg::saved(self.0)
+    }
+    fn creg(self) -> CReg {
+        creg::ptr(self.0)
+    }
+}
+
+/// Function-body builder: portable operations lowered per ABI.
+///
+/// The builder borrows the enclosing [`ObjectBuilder`] so it can both emit
+/// instructions and allocate GOT slots. It performs **no** register
+/// allocation: `Val(0..=7)` and `Ptr(0..=7)` are caller-managed names
+/// (Table 2's "calling convention" issues are modelled faithfully because
+/// argument registers really differ between the register files).
+pub struct FnBuilder<'a> {
+    ob: &'a mut ObjectBuilder,
+    /// Active options.
+    pub opts: CodegenOpts,
+    frame_size: i64,
+    /// Stack shadow offsets poisoned in asan mode, to unpoison on leave:
+    /// `(frame offset, shadow value)`.
+    poisoned: Vec<(i64, u8)>,
+    /// Retired-instruction count contributed by this builder (code size).
+    emitted_at_start: u32,
+}
+
+impl<'a> std::fmt::Debug for FnBuilder<'a> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "FnBuilder({:?})", self.opts)
+    }
+}
+
+impl<'a> FnBuilder<'a> {
+    /// Begins a function called `name` in `ob`.
+    pub fn begin(ob: &'a mut ObjectBuilder, name: &str, opts: CodegenOpts) -> FnBuilder<'a> {
+        ob.begin_function(name);
+        let emitted_at_start = ob.asm.here();
+        FnBuilder { ob, opts, frame_size: 0, poisoned: Vec::new(), emitted_at_start }
+    }
+
+    /// Number of instructions emitted so far for this function.
+    #[must_use]
+    pub fn code_size(&self) -> u32 {
+        self.ob.asm.here() - self.emitted_at_start
+    }
+
+    /// Pointer size for layout computations in portable guest code (models
+    /// the "pointer shape" changes of Table 2: structures holding pointers
+    /// really are bigger under CheriABI).
+    #[must_use]
+    pub fn ptr_size(&self) -> u64 {
+        self.opts.ptr_size
+    }
+
+    /// Byte offset of pointer-array element `i` (16-byte aligned under
+    /// CheriABI).
+    #[must_use]
+    pub fn ptr_slot(&self, i: u64) -> i64 {
+        (i * self.opts.ptr_size) as i64
+    }
+
+    fn emit(&mut self, i: Instr) {
+        self.ob.asm.emit(i);
+    }
+
+    // ------------------------------------------------------------------
+    // Prologue / epilogue
+    // ------------------------------------------------------------------
+
+    /// Emits the prologue for a frame of `size` bytes (16-aligned). The
+    /// return continuation is saved in the top pointer slot of the frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is not 16-byte aligned or is too small to hold the
+    /// saved return pointer.
+    pub fn enter(&mut self, size: i64) {
+        assert_eq!(size % 16, 0, "frame must be 16-aligned");
+        assert!(size >= 16, "frame too small for the saved return slot");
+        self.frame_size = size;
+        match self.opts.abi {
+            Abi::Mips64 => {
+                self.emit(Instr::AddI { rd: ireg::SP, rs: ireg::SP, imm: -size });
+                self.emit(Instr::Store { rs: ireg::RA, base: ireg::SP, off: (size - 8) as i32, w: Width::D });
+            }
+            Abi::PureCap => {
+                self.emit(Instr::CIncOffsetImm { cd: creg::CSP, cb: creg::CSP, imm: -size });
+                self.emit(Instr::Csc { cs: creg::CRA, cb: creg::CSP, off: (size - 16) as i32 });
+            }
+        }
+    }
+
+    /// Emits the epilogue and return.
+    pub fn leave_ret(&mut self) {
+        let size = self.frame_size;
+        if self.opts.asan {
+            // Unpoison this frame's redzones so reuse of the stack region
+            // does not produce false positives.
+            for (off, _) in std::mem::take(&mut self.poisoned) {
+                self.emit_shadow_store_for_sp(off, 0);
+            }
+        }
+        match self.opts.abi {
+            Abi::Mips64 => {
+                if size > 0 {
+                    self.emit(Instr::Load { rd: ireg::RA, base: ireg::SP, off: (size - 8) as i32, w: Width::D, signed: false });
+                    self.emit(Instr::AddI { rd: ireg::SP, rs: ireg::SP, imm: size });
+                }
+                self.emit(Instr::Jr { rs: ireg::RA });
+            }
+            Abi::PureCap => {
+                if size > 0 {
+                    self.emit(Instr::Clc { cd: creg::CRA, cb: creg::CSP, off: (size - 16) as i32 });
+                    self.emit(Instr::CIncOffsetImm { cd: creg::CSP, cb: creg::CSP, imm: size });
+                }
+                self.emit(Instr::CJr { cb: creg::CRA });
+            }
+        }
+    }
+
+    /// Return from a frameless (leaf) function.
+    pub fn ret(&mut self) {
+        match self.opts.abi {
+            Abi::Mips64 => self.emit(Instr::Jr { rs: ireg::RA }),
+            Abi::PureCap => self.emit(Instr::CJr { cb: creg::CRA }),
+        }
+    }
+
+    /// Saves pointer register `p` into the frame slot at `off` (must be
+    /// pointer-aligned); 8 bytes under mips64, 16 under CheriABI.
+    pub fn spill_ptr(&mut self, p: Ptr, off: i64) {
+        match self.opts.abi {
+            Abi::Mips64 => self.emit(Instr::Store { rs: p.ireg(), base: ireg::SP, off: off as i32, w: Width::D }),
+            Abi::PureCap => self.emit(Instr::Csc { cs: p.creg(), cb: creg::CSP, off: off as i32 }),
+        }
+    }
+
+    /// Reloads pointer register `p` from the frame slot at `off`.
+    pub fn reload_ptr(&mut self, p: Ptr, off: i64) {
+        match self.opts.abi {
+            Abi::Mips64 => self.emit(Instr::Load { rd: p.ireg(), base: ireg::SP, off: off as i32, w: Width::D, signed: false }),
+            Abi::PureCap => self.emit(Instr::Clc { cd: p.creg(), cb: creg::CSP, off: off as i32 }),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Integer operations (ABI-independent)
+    // ------------------------------------------------------------------
+
+    /// `v = imm`.
+    pub fn li(&mut self, v: Val, imm: i64) {
+        self.emit(Instr::Li { rd: v.reg(), imm });
+    }
+
+    /// `dst = src`.
+    pub fn mv(&mut self, dst: Val, src: Val) {
+        self.emit(Instr::Move { rd: dst.reg(), rs: src.reg() });
+    }
+
+    /// `d = a + b`.
+    pub fn add(&mut self, d: Val, a: Val, b: Val) {
+        self.emit(Instr::Add { rd: d.reg(), rs: a.reg(), rt: b.reg() });
+    }
+
+    /// `d = a + imm`.
+    pub fn add_imm(&mut self, d: Val, a: Val, imm: i64) {
+        self.emit(Instr::AddI { rd: d.reg(), rs: a.reg(), imm });
+    }
+
+    /// `d = a - b`.
+    pub fn sub(&mut self, d: Val, a: Val, b: Val) {
+        self.emit(Instr::Sub { rd: d.reg(), rs: a.reg(), rt: b.reg() });
+    }
+
+    /// `d = a * b`.
+    pub fn mul(&mut self, d: Val, a: Val, b: Val) {
+        self.emit(Instr::Mul { rd: d.reg(), rs: a.reg(), rt: b.reg() });
+    }
+
+    /// `d = a / b` (unsigned).
+    pub fn divu(&mut self, d: Val, a: Val, b: Val) {
+        self.emit(Instr::DivU { rd: d.reg(), rs: a.reg(), rt: b.reg() });
+    }
+
+    /// `d = a % b` (unsigned).
+    pub fn remu(&mut self, d: Val, a: Val, b: Val) {
+        self.emit(Instr::RemU { rd: d.reg(), rs: a.reg(), rt: b.reg() });
+    }
+
+    /// `d = a & b`.
+    pub fn and(&mut self, d: Val, a: Val, b: Val) {
+        self.emit(Instr::And { rd: d.reg(), rs: a.reg(), rt: b.reg() });
+    }
+
+    /// `d = a | b`.
+    pub fn or(&mut self, d: Val, a: Val, b: Val) {
+        self.emit(Instr::Or { rd: d.reg(), rs: a.reg(), rt: b.reg() });
+    }
+
+    /// `d = a ^ b`.
+    pub fn xor(&mut self, d: Val, a: Val, b: Val) {
+        self.emit(Instr::Xor { rd: d.reg(), rs: a.reg(), rt: b.reg() });
+    }
+
+    /// `d = a & imm`.
+    pub fn and_imm(&mut self, d: Val, a: Val, imm: u64) {
+        self.emit(Instr::AndI { rd: d.reg(), rs: a.reg(), imm });
+    }
+
+    /// `d = a << b` (variable shift).
+    pub fn shl(&mut self, d: Val, a: Val, b: Val) {
+        self.emit(Instr::Sllv { rd: d.reg(), rs: a.reg(), rt: b.reg() });
+    }
+
+    /// `d = a >> b` (variable logical shift).
+    pub fn shr(&mut self, d: Val, a: Val, b: Val) {
+        self.emit(Instr::Srlv { rd: d.reg(), rs: a.reg(), rt: b.reg() });
+    }
+
+    /// `d = a << sh`.
+    pub fn shl_imm(&mut self, d: Val, a: Val, sh: u8) {
+        self.emit(Instr::SllI { rd: d.reg(), rs: a.reg(), sh });
+    }
+
+    /// `d = a >> sh` (logical).
+    pub fn shr_imm(&mut self, d: Val, a: Val, sh: u8) {
+        self.emit(Instr::SrlI { rd: d.reg(), rs: a.reg(), sh });
+    }
+
+    /// `d = (a < b)` signed.
+    pub fn slt(&mut self, d: Val, a: Val, b: Val) {
+        self.emit(Instr::Slt { rd: d.reg(), rs: a.reg(), rt: b.reg() });
+    }
+
+    /// `d = (a < b)` unsigned.
+    pub fn sltu(&mut self, d: Val, a: Val, b: Val) {
+        self.emit(Instr::Sltu { rd: d.reg(), rs: a.reg(), rt: b.reg() });
+    }
+
+    // ------------------------------------------------------------------
+    // Control flow
+    // ------------------------------------------------------------------
+
+    /// Allocates a label.
+    pub fn label(&mut self) -> Label {
+        self.ob.asm.label()
+    }
+
+    /// Binds a label at the current position.
+    pub fn bind(&mut self, l: Label) {
+        self.ob.asm.bind(l);
+    }
+
+    /// Branch if `a == b`.
+    pub fn beq(&mut self, a: Val, b: Val, l: Label) {
+        self.ob.asm.beq(a.reg(), b.reg(), l);
+    }
+
+    /// Branch if `a != b`.
+    pub fn bne(&mut self, a: Val, b: Val, l: Label) {
+        self.ob.asm.bne(a.reg(), b.reg(), l);
+    }
+
+    /// Branch if `a == 0`.
+    pub fn beqz(&mut self, a: Val, l: Label) {
+        self.ob.asm.beq(a.reg(), ireg::ZERO, l);
+    }
+
+    /// Branch if `a != 0`.
+    pub fn bnez(&mut self, a: Val, l: Label) {
+        self.ob.asm.bne(a.reg(), ireg::ZERO, l);
+    }
+
+    /// Branch if `a <= 0` (signed).
+    pub fn blez(&mut self, a: Val, l: Label) {
+        self.ob.asm.blez(a.reg(), l);
+    }
+
+    /// Branch if `a > 0` (signed).
+    pub fn bgtz(&mut self, a: Val, l: Label) {
+        self.ob.asm.bgtz(a.reg(), l);
+    }
+
+    /// Branch if `a < 0` (signed).
+    pub fn bltz(&mut self, a: Val, l: Label) {
+        self.ob.asm.bltz(a.reg(), l);
+    }
+
+    /// Branch if `a >= 0` (signed).
+    pub fn bgez(&mut self, a: Val, l: Label) {
+        self.ob.asm.bgez(a.reg(), l);
+    }
+
+    /// Unconditional jump.
+    pub fn jmp(&mut self, l: Label) {
+        self.ob.asm.j(l);
+    }
+
+    /// Intra-object call; the return continuation lands in `$ra`/`$cra`.
+    pub fn call_label(&mut self, l: Label) {
+        self.ob.asm.jal(l);
+    }
+
+    /// Cross-object call through the GOT (how RTLD-linked programs call
+    /// library functions): one load + one indirect jump, with the CLC
+    /// immediate-range penalty applying under CheriABI.
+    pub fn call_global(&mut self, symbol: &str) {
+        let slot = self.ob.got_slot(symbol);
+        let off = (slot as u64 * self.opts.ptr_size) as i64;
+        match self.opts.abi {
+            Abi::Mips64 => {
+                self.emit(Instr::Load { rd: ireg::AT, base: ireg::GP, off: off as i32, w: Width::D, signed: false });
+                self.emit(Instr::Jalr { rd: ireg::RA, rs: ireg::AT });
+            }
+            Abi::PureCap => {
+                self.emit_got_clc(creg::CJ, off);
+                self.emit(Instr::CJalr { cd: creg::CRA, cb: creg::CJ });
+            }
+        }
+    }
+
+    /// Indirect call through a function pointer held in `p` (e.g. loaded
+    /// from a v-table or callback field).
+    pub fn call_ptr(&mut self, p: Ptr) {
+        match self.opts.abi {
+            Abi::Mips64 => self.emit(Instr::Jalr { rd: ireg::RA, rs: p.ireg() }),
+            Abi::PureCap => self.emit(Instr::CJalr { cd: creg::CRA, cb: p.creg() }),
+        }
+    }
+
+    /// Sets `v = 1` when running under CheriABI (NULL DDC), else 0 — the
+    /// runtime ABI probe used by tests that must skip on one ABI.
+    pub fn abi_is_purecap(&mut self, v: Val) {
+        self.emit(Instr::CGetDdc { cd: creg::CT0 });
+        self.emit(Instr::CGetTag { rd: v.reg(), cb: creg::CT0 });
+        self.emit(Instr::XorI { rd: v.reg(), rs: v.reg(), imm: 1 });
+    }
+
+    /// Emits a trap (used by generated abort paths).
+    pub fn trap(&mut self) {
+        self.emit(Instr::Break);
+    }
+
+    /// Raw system call: number in `$v0`, result in `$v0` (FreeBSD-style
+    /// error flag in `$v1`).
+    pub fn syscall(&mut self, num: i64) {
+        self.emit(Instr::Li { rd: ireg::V0, imm: num });
+        self.emit(Instr::Syscall);
+    }
+
+    // ------------------------------------------------------------------
+    // Argument / return-value plumbing
+    // ------------------------------------------------------------------
+
+    /// Copies integer argument `i` into `v` (function entry).
+    pub fn arg_to_val(&mut self, v: Val, i: u8) {
+        self.emit(Instr::Move { rd: v.reg(), rs: ireg::arg(i) });
+    }
+
+    /// Copies pointer argument `i` into `p` (function entry). Under
+    /// CheriABI pointer arguments travel in the capability register file.
+    pub fn arg_to_ptr(&mut self, p: Ptr, i: u8) {
+        match self.opts.abi {
+            Abi::Mips64 => self.emit(Instr::Move { rd: p.ireg(), rs: ireg::arg(i) }),
+            Abi::PureCap => self.emit(Instr::CMove { cd: p.creg(), cb: creg::arg(i) }),
+        }
+    }
+
+    /// Places `v` in integer-argument slot `i` before a call.
+    pub fn set_arg_val(&mut self, i: u8, v: Val) {
+        self.emit(Instr::Move { rd: ireg::arg(i), rs: v.reg() });
+    }
+
+    /// Clears pointer-argument slot `i` (passes NULL).
+    pub fn set_arg_null(&mut self, i: u8) {
+        match self.opts.abi {
+            Abi::Mips64 => self.emit(Instr::Move { rd: ireg::arg(i), rs: ireg::ZERO }),
+            Abi::PureCap => self.emit(Instr::CMove { cd: creg::arg(i), cb: creg::CNULL }),
+        }
+    }
+
+    /// Places `p` in pointer-argument slot `i` before a call.
+    pub fn set_arg_ptr(&mut self, i: u8, p: Ptr) {
+        match self.opts.abi {
+            Abi::Mips64 => self.emit(Instr::Move { rd: ireg::arg(i), rs: p.ireg() }),
+            Abi::PureCap => self.emit(Instr::CMove { cd: creg::arg(i), cb: p.creg() }),
+        }
+    }
+
+    /// Sets the integer return value from `v`.
+    pub fn set_ret_val(&mut self, v: Val) {
+        self.emit(Instr::Move { rd: ireg::V0, rs: v.reg() });
+    }
+
+    /// Reads the integer return value into `v` after a call.
+    pub fn ret_val_to(&mut self, v: Val) {
+        self.emit(Instr::Move { rd: v.reg(), rs: ireg::V0 });
+    }
+
+    /// Sets the pointer return value from `p`.
+    pub fn set_ret_ptr(&mut self, p: Ptr) {
+        match self.opts.abi {
+            Abi::Mips64 => self.emit(Instr::Move { rd: ireg::V0, rs: p.ireg() }),
+            Abi::PureCap => self.emit(Instr::CMove { cd: creg::C3, cb: p.creg() }),
+        }
+    }
+
+    /// Reads the pointer return value into `p` after a call.
+    pub fn ret_ptr_to(&mut self, p: Ptr) {
+        match self.opts.abi {
+            Abi::Mips64 => self.emit(Instr::Move { rd: p.ireg(), rs: ireg::V0 }),
+            Abi::PureCap => self.emit(Instr::CMove { cd: p.creg(), cb: creg::C3 }),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Memory access through pointers
+    // ------------------------------------------------------------------
+
+    /// `v = *(ptr + off)` with width `w`.
+    pub fn load(&mut self, v: Val, p: Ptr, off: i64, w: Width, signed: bool) {
+        if self.opts.asan {
+            self.emit_asan_check(p, off, w);
+        }
+        match self.opts.abi {
+            Abi::Mips64 => self.emit(Instr::Load { rd: v.reg(), base: p.ireg(), off: off as i32, w, signed }),
+            Abi::PureCap => self.emit(Instr::CLoad { rd: v.reg(), cb: p.creg(), off: off as i32, w, signed }),
+        }
+    }
+
+    /// `*(ptr + off) = v` with width `w`.
+    pub fn store(&mut self, v: Val, p: Ptr, off: i64, w: Width) {
+        if self.opts.asan {
+            self.emit_asan_check(p, off, w);
+        }
+        match self.opts.abi {
+            Abi::Mips64 => self.emit(Instr::Store { rs: v.reg(), base: p.ireg(), off: off as i32, w }),
+            Abi::PureCap => self.emit(Instr::CStore { rs: v.reg(), cb: p.creg(), off: off as i32, w }),
+        }
+    }
+
+    /// Loads a *pointer* from memory: `pd = *(pb + off)`. Offsets must be
+    /// multiples of [`FnBuilder::ptr_size`]; use [`FnBuilder::ptr_slot`].
+    pub fn load_ptr(&mut self, pd: Ptr, pb: Ptr, off: i64) {
+        if self.opts.asan {
+            self.emit_asan_check(pb, off, Width::D);
+        }
+        match self.opts.abi {
+            Abi::Mips64 => self.emit(Instr::Load { rd: pd.ireg(), base: pb.ireg(), off: off as i32, w: Width::D, signed: false }),
+            Abi::PureCap => self.emit(Instr::Clc { cd: pd.creg(), cb: pb.creg(), off: off as i32 }),
+        }
+    }
+
+    /// Stores a pointer to memory: `*(pb + off) = ps`.
+    pub fn store_ptr(&mut self, ps: Ptr, pb: Ptr, off: i64) {
+        if self.opts.asan {
+            self.emit_asan_check(pb, off, Width::D);
+        }
+        match self.opts.abi {
+            Abi::Mips64 => self.emit(Instr::Store { rs: ps.ireg(), base: pb.ireg(), off: off as i32, w: Width::D }),
+            Abi::PureCap => self.emit(Instr::Csc { cs: ps.creg(), cb: pb.creg(), off: off as i32 }),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Pointer arithmetic and creation
+    // ------------------------------------------------------------------
+
+    /// `pd = pb + v` (C pointer arithmetic: bounds/permissions unchanged).
+    pub fn ptr_add(&mut self, pd: Ptr, pb: Ptr, v: Val) {
+        match self.opts.abi {
+            Abi::Mips64 => self.emit(Instr::Add { rd: pd.ireg(), rs: pb.ireg(), rt: v.reg() }),
+            Abi::PureCap => self.emit(Instr::CIncOffset { cd: pd.creg(), cb: pb.creg(), rs: v.reg() }),
+        }
+    }
+
+    /// `pd = pb + imm`.
+    pub fn ptr_add_imm(&mut self, pd: Ptr, pb: Ptr, imm: i64) {
+        match self.opts.abi {
+            Abi::Mips64 => self.emit(Instr::AddI { rd: pd.ireg(), rs: pb.ireg(), imm }),
+            Abi::PureCap => self.emit(Instr::CIncOffsetImm { cd: pd.creg(), cb: pb.creg(), imm }),
+        }
+    }
+
+    /// `pd = pb` (register move).
+    pub fn ptr_mv(&mut self, pd: Ptr, pb: Ptr) {
+        match self.opts.abi {
+            Abi::Mips64 => self.emit(Instr::Move { rd: pd.ireg(), rs: pb.ireg() }),
+            Abi::PureCap => self.emit(Instr::CMove { cd: pd.creg(), cb: pb.creg() }),
+        }
+    }
+
+    /// `v = pa - pb` (pointer difference in bytes).
+    pub fn ptr_diff(&mut self, v: Val, pa: Ptr, pb: Ptr) {
+        match self.opts.abi {
+            Abi::Mips64 => self.emit(Instr::Sub { rd: v.reg(), rs: pa.ireg(), rt: pb.ireg() }),
+            Abi::PureCap => self.emit(Instr::CSub { rd: v.reg(), cb: pa.creg(), ct: pb.creg() }),
+        }
+    }
+
+    /// `v = (uintptr_t)p` — reads the pointer's address (the paper's
+    /// `CGetAddr` compiler mode, §5.3).
+    pub fn ptr_to_int(&mut self, v: Val, p: Ptr) {
+        match self.opts.abi {
+            Abi::Mips64 => self.emit(Instr::Move { rd: v.reg(), rs: p.ireg() }),
+            Abi::PureCap => self.emit(Instr::CGetAddr { rd: v.reg(), cb: p.creg() }),
+        }
+    }
+
+    /// `pd = (T *)v`, deriving provenance from `pb` — the `CFromPtr`
+    /// lowering of `(void *)(uintptr_t)x`. Under mips64 this is a plain
+    /// move: *any* integer becomes a dereferenceable pointer, which is
+    /// exactly the forgeability CheriABI removes.
+    pub fn int_to_ptr(&mut self, pd: Ptr, v: Val, pb: Ptr) {
+        match self.opts.abi {
+            Abi::Mips64 => self.emit(Instr::Move { rd: pd.ireg(), rs: v.reg() }),
+            Abi::PureCap => self.emit(Instr::CFromPtr { cd: pd.creg(), cb: pb.creg(), rs: v.reg() }),
+        }
+    }
+
+    /// Null-pointer test: `v = (p == NULL)`.
+    pub fn ptr_is_null(&mut self, v: Val, p: Ptr) {
+        match self.opts.abi {
+            Abi::Mips64 => {
+                self.emit(Instr::Sltu { rd: v.reg(), rs: ireg::ZERO, rt: p.ireg() });
+                self.emit(Instr::XorI { rd: v.reg(), rs: v.reg(), imm: 1 });
+            }
+            Abi::PureCap => {
+                self.emit(Instr::CGetTag { rd: v.reg(), cb: p.creg() });
+                self.emit(Instr::XorI { rd: v.reg(), rs: v.reg(), imm: 1 });
+            }
+        }
+    }
+
+    /// Takes the address of a `len`-byte stack object at frame offset
+    /// `off`: the §3 "automatic references" rule. One instruction under the
+    /// legacy ABI; derive-and-bound under CheriABI.
+    pub fn addr_of_stack(&mut self, p: Ptr, off: i64, len: u64) {
+        match self.opts.abi {
+            Abi::Mips64 => {
+                self.emit(Instr::AddI { rd: p.ireg(), rs: ireg::SP, imm: off });
+                if self.opts.asan {
+                    self.emit_stack_redzones(off, len);
+                }
+            }
+            Abi::PureCap => {
+                self.emit(Instr::CIncOffsetImm { cd: p.creg(), cb: creg::CSP, imm: off });
+                self.emit(Instr::CSetBoundsImm { cd: p.creg(), cb: p.creg(), imm: len });
+            }
+        }
+    }
+
+    /// Takes the address of a struct member at `off` within the object
+    /// referenced by `p_obj`, `len` bytes long. With the default options
+    /// this is plain pointer arithmetic (the member pointer inherits the
+    /// whole object's bounds, so `container_of`-style recovery of the
+    /// enclosing object still works); with
+    /// [`CodegenOpts::subobject_bounds`] the member reference is narrowed
+    /// to the member itself.
+    pub fn addr_of_field(&mut self, pd: Ptr, p_obj: Ptr, off: i64, len: u64) {
+        self.ptr_add_imm(pd, p_obj, off);
+        if self.opts.abi == Abi::PureCap && self.opts.subobject_bounds {
+            self.emit(Instr::CSetBoundsImm { cd: pd.creg(), cb: pd.creg(), imm: len });
+        }
+    }
+
+    /// Like [`FnBuilder::addr_of_stack`] but *without* bounding the result
+    /// — models code predating CHERI-aware compilation, and lets tests
+    /// demonstrate what the bounds-setting buys.
+    pub fn addr_of_stack_unbounded(&mut self, p: Ptr, off: i64) {
+        match self.opts.abi {
+            Abi::Mips64 => self.emit(Instr::AddI { rd: p.ireg(), rs: ireg::SP, imm: off }),
+            Abi::PureCap => self.emit(Instr::CIncOffsetImm { cd: p.creg(), cb: creg::CSP, imm: off }),
+        }
+    }
+
+    /// Loads the pointer for global `symbol` from the GOT — the §3
+    /// "dynamic linking" rule. The run-time linker has initialised the slot
+    /// with a bounded capability (CheriABI) or an address (legacy).
+    pub fn load_global_ptr(&mut self, p: Ptr, symbol: &str) {
+        let slot = self.ob.got_slot(symbol);
+        let off = (slot as u64 * self.opts.ptr_size) as i64;
+        match self.opts.abi {
+            Abi::Mips64 => {
+                self.emit(Instr::Load { rd: p.ireg(), base: ireg::GP, off: off as i32, w: Width::D, signed: false });
+            }
+            Abi::PureCap => self.emit_got_clc(p.creg(), off),
+        }
+    }
+
+    /// Loads a pointer to this object's thread-local-storage block. RTLD
+    /// fills the reserved `__tls_<object>` GOT slot with a capability
+    /// bounded to the block ("bounds are per shared-object rather than per
+    /// variable, to avoid an extra indirection", §4).
+    pub fn tls_ptr(&mut self, p: Ptr) {
+        let sym = format!("__tls_{}", self.ob.name());
+        self.load_global_ptr(p, &sym);
+    }
+
+    /// CLC from the GOT with the immediate-range rules of §5.2.
+    fn emit_got_clc(&mut self, cd: CReg, off: i64) {
+        let range = if self.opts.clc_large_imm { CLC_LARGE_IMM_RANGE } else { CLC_SMALL_IMM_RANGE };
+        if off < range {
+            self.emit(Instr::Clc { cd, cb: creg::CGP, off: off as i32 });
+        } else {
+            // Materialise the slot address first: the expensive global
+            // access pattern the large-immediate CLC eliminates.
+            self.emit(Instr::Li { rd: ireg::AT, imm: off });
+            self.emit(Instr::CIncOffset { cd: creg::CT0, cb: creg::CGP, rs: ireg::AT });
+            self.emit(Instr::Clc { cd, cb: creg::CT0, off: 0 });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // AddressSanitizer instrumentation (mips64 only)
+    // ------------------------------------------------------------------
+
+    /// Shadow check before an access through `p + off` of width `w`:
+    /// computes the shadow byte, branches around on 0, applies the
+    /// partial-granule rule, and `Break`s on poison.
+    fn emit_asan_check(&mut self, p: Ptr, off: i64, w: Width) {
+        assert_eq!(self.opts.abi, Abi::Mips64, "asan instruments legacy code only");
+        let ok = self.ob.asm.label();
+        // AT = addr; V1 = shadow byte; FP = scratch.
+        self.emit(Instr::AddI { rd: ireg::AT, rs: p.ireg(), imm: off });
+        self.emit(Instr::SrlI { rd: ireg::V1, rs: ireg::AT, sh: ASAN_SHADOW_SCALE as u8 });
+        self.emit(Instr::Li { rd: ireg::FP, imm: ASAN_SHADOW_BASE as i64 });
+        self.emit(Instr::Add { rd: ireg::V1, rs: ireg::V1, rt: ireg::FP });
+        self.emit(Instr::Load { rd: ireg::V1, base: ireg::V1, off: 0, w: Width::B, signed: true });
+        self.ob.asm.beq(ireg::V1, ireg::ZERO, ok);
+        // Partial granule: abort unless (addr & 7) + size - 1 < shadow.
+        self.emit(Instr::AndI { rd: ireg::AT, rs: ireg::AT, imm: 7 });
+        self.emit(Instr::AddI { rd: ireg::AT, rs: ireg::AT, imm: w.bytes() as i64 - 1 });
+        self.emit(Instr::Slt { rd: ireg::AT, rs: ireg::AT, rt: ireg::V1 });
+        self.ob.asm.bne(ireg::AT, ireg::ZERO, ok);
+        self.emit(Instr::Break);
+        self.ob.asm.bind(ok);
+    }
+
+    /// Writes shadow value `val` for the granule at frame offset `off`
+    /// (sp-relative), recording it for unpoisoning at `leave_ret`.
+    fn emit_shadow_store_for_sp(&mut self, off: i64, val: u8) {
+        // AT = (sp + off) >> 3 + SHADOW_BASE; store byte.
+        self.emit(Instr::AddI { rd: ireg::AT, rs: ireg::SP, imm: off });
+        self.emit(Instr::SrlI { rd: ireg::AT, rs: ireg::AT, sh: ASAN_SHADOW_SCALE as u8 });
+        self.emit(Instr::Li { rd: ireg::FP, imm: ASAN_SHADOW_BASE as i64 });
+        self.emit(Instr::Add { rd: ireg::AT, rs: ireg::AT, rt: ireg::FP });
+        self.emit(Instr::Li { rd: ireg::V1, imm: i64::from(val) });
+        self.emit(Instr::Store { rs: ireg::V1, base: ireg::AT, off: 0, w: Width::B });
+    }
+
+    /// Poisons the 8-byte redzones around a stack buffer and the partial
+    /// final granule, asan-style. Buffers must be laid out by the caller
+    /// with 8 free bytes on each side.
+    fn emit_stack_redzones(&mut self, off: i64, len: u64) {
+        // Left redzone.
+        self.emit_shadow_store_for_sp(off - 8, 0xf1);
+        self.poisoned.push((off - 8, 0xf1));
+        // Partial last granule (len % 8 valid bytes).
+        if len % 8 != 0 {
+            let part_off = off + (len as i64 / 8) * 8;
+            self.emit_shadow_store_for_sp(part_off, (len % 8) as u8);
+            self.poisoned.push((part_off, (len % 8) as u8));
+        }
+        // Right redzone, after rounding len up to a granule.
+        let right = off + len.div_ceil(8) as i64 * 8;
+        self.emit_shadow_store_for_sp(right, 0xf3);
+        self.poisoned.push((right, 0xf3));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::ObjectBuilder;
+
+    fn count_instrs(opts: CodegenOpts, f: impl FnOnce(&mut FnBuilder<'_>)) -> u32 {
+        let mut ob = ObjectBuilder::new("t");
+        let mut fb = FnBuilder::begin(&mut ob, "f", opts);
+        f(&mut fb);
+        fb.code_size()
+    }
+
+    #[test]
+    fn stack_ref_costs_more_under_purecap() {
+        let legacy = count_instrs(CodegenOpts::mips64(), |fb| fb.addr_of_stack(Ptr(0), 16, 64));
+        let purecap = count_instrs(CodegenOpts::purecap(), |fb| fb.addr_of_stack(Ptr(0), 16, 64));
+        assert_eq!(legacy, 1);
+        assert_eq!(purecap, 2, "derive + bound");
+    }
+
+    #[test]
+    fn got_access_counts_model_clc_immediates() {
+        // Slot 0: one instruction everywhere.
+        for opts in [CodegenOpts::mips64(), CodegenOpts::purecap(), CodegenOpts::purecap_small_clc()] {
+            let n = count_instrs(opts, |fb| fb.load_global_ptr(Ptr(0), "sym0"));
+            assert_eq!(n, 1, "{opts:?}");
+        }
+        // A GOT slot beyond the small immediate range: 256 * 16 = 4096 B.
+        let far_sym = |fb: &mut FnBuilder<'_>| {
+            for i in 0..300 {
+                fb.ob.got_slot(&format!("pad{i}"));
+            }
+            fb.load_global_ptr(Ptr(0), "far");
+        };
+        let small = count_instrs(CodegenOpts::purecap_small_clc(), far_sym);
+        let large = count_instrs(CodegenOpts::purecap(), far_sym);
+        assert_eq!(large, 1, "large-immediate CLC reaches the slot directly");
+        assert_eq!(small, 3, "small immediate needs address materialisation");
+    }
+
+    #[test]
+    fn asan_instrumentation_inflates_accesses() {
+        let plain = count_instrs(CodegenOpts::mips64(), |fb| {
+            fb.load(Val(0), Ptr(0), 0, Width::D, false);
+        });
+        let asan = count_instrs(CodegenOpts::mips64_asan(), |fb| {
+            fb.load(Val(0), Ptr(0), 0, Width::D, false);
+        });
+        assert_eq!(plain, 1);
+        assert!(asan >= 9, "shadow check sequence, got {asan}");
+    }
+
+    #[test]
+    fn prologue_uses_the_right_register_file() {
+        let mut ob = ObjectBuilder::new("t");
+        let mut fb = FnBuilder::begin(&mut ob, "f", CodegenOpts::purecap());
+        fb.enter(32);
+        fb.leave_ret();
+        let code = ob.finish().code;
+        assert!(matches!(code[0], Instr::CIncOffsetImm { cd, .. } if cd == creg::CSP));
+        assert!(matches!(code[1], Instr::Csc { cs, .. } if cs == creg::CRA));
+        assert!(matches!(code[code.len() - 1], Instr::CJr { cb } if cb == creg::CRA));
+    }
+
+    #[test]
+    #[should_panic(expected = "16-aligned")]
+    fn misaligned_frame_panics() {
+        let mut ob = ObjectBuilder::new("t");
+        let mut fb = FnBuilder::begin(&mut ob, "f", CodegenOpts::purecap());
+        fb.enter(24);
+    }
+
+    #[test]
+    fn ptr_slots_scale_with_abi() {
+        let mut ob = ObjectBuilder::new("t");
+        let fb = FnBuilder::begin(&mut ob, "f", CodegenOpts::purecap());
+        assert_eq!(fb.ptr_slot(3), 48);
+        let mut ob2 = ObjectBuilder::new("t2");
+        let fb2 = FnBuilder::begin(&mut ob2, "f", CodegenOpts::mips64());
+        assert_eq!(fb2.ptr_slot(3), 24);
+    }
+
+    #[test]
+    fn labels_configurations() {
+        assert_eq!(CodegenOpts::mips64().label(), "mips64");
+        assert_eq!(CodegenOpts::purecap().label(), "cheriabi");
+        assert_eq!(CodegenOpts::purecap_small_clc().label(), "cheriabi-smallclc");
+        assert_eq!(CodegenOpts::mips64_asan().label(), "mips64-asan");
+        assert_eq!(CodegenOpts::purecap_c256().label(), "cheriabi-c256");
+    }
+}

@@ -1,0 +1,40 @@
+//! # cheri-isa — instruction set, assembler and two-ABI code generation
+//!
+//! The CheriABI paper's machine is CHERI-MIPS: 64-bit MIPS extended with a
+//! capability register file and capability instructions (§2). This crate
+//! defines the simulated equivalent:
+//!
+//! * [`Instr`] — the instruction set: legacy MIPS-style loads/stores that go
+//!   through **DDC**, capability-relative loads/stores ([`Instr::CLoad`],
+//!   [`Instr::Clc`], ...), and the capability-manipulation instructions
+//!   (`CSetBounds`, `CAndPerm`, `CIncOffset`, `CRRL`/`CRAM`, ...).
+//! * [`Assembler`] — labels, branches and symbol management for writing
+//!   guest functions.
+//! * [`Object`] — a loadable "ELF shared object": code, initialised data,
+//!   symbols, a GOT, and data relocations for the run-time linker.
+//! * [`codegen`] — the stand-in for the CHERI C compiler: a function-builder
+//!   DSL that lowers pointer operations per [`codegen::Abi`]:
+//!   - **`Mips64`** — pointers are integers, memory access via DDC (the
+//!     paper's legacy SysV ABI processes);
+//!   - **`PureCap`** — all pointers are capabilities; taking a reference to
+//!     a stack object emits bounds-setting instructions, globals are reached
+//!     through a capability GOT, and pointer spills are 16 bytes wide.
+//!
+//!   The codegen options also model the paper's two ablations: the
+//!   large-immediate `CLC` extension (§5.2: initdb overhead 11% → 6.8%) and
+//!   an AddressSanitizer-style instrumentation mode used as the software
+//!   baseline in Tables 1 and 3.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod asm;
+pub mod codegen;
+mod instr;
+mod object;
+mod regs;
+
+pub use asm::{Assembler, Label};
+pub use instr::{Instr, Width};
+pub use object::{DataReloc, GotEntry, GotTable, Object, ObjectBuilder, SymKind, Symbol, SymbolId};
+pub use regs::{creg, ireg, CReg, IReg};

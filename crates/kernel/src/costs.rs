@@ -1,0 +1,65 @@
+//! Cycle-cost constants for kernel work.
+//!
+//! The simulator cannot execute the real CheriBSD kernel, so kernel-side
+//! work is charged as calibrated cycle costs. The *differences* between the
+//! legacy and CheriABI paths encode the paper's §5.2 findings:
+//!
+//! * every pointer argument of a legacy syscall costs
+//!   [`LEGACY_PTR_ARG`] cycles — the kernel must *construct* a capability
+//!   from the integer address before it can access user memory ("we believe
+//!   the latter is due to the cost of creating capabilities from four
+//!   pointer arguments in the CHERI kernel", explaining why `select` got
+//!   9.8% **faster** under CheriABI);
+//! * a CheriABI pointer argument costs only [`CHERIABI_PTR_ARG`] cycles of
+//!   validation — the capability arrives ready to use;
+//! * `fork` pays a CheriABI surcharge ([`FORK_CHERI_EXTRA`] plus a
+//!   per-page term) for capability-aware page bookkeeping, reproducing the
+//!   3.4% slowdown reported for `fork`.
+//!
+//! EXPERIMENTS.md records how the resulting micro-benchmark deltas compare
+//! with the paper's.
+
+/// Fixed syscall entry/exit cost (trap, register save/restore), both ABIs.
+pub const SYSCALL_BASE: u64 = 120;
+
+/// Cost to build + validate a kernel capability from a legacy integer
+/// pointer argument.
+pub const LEGACY_PTR_ARG: u64 = 40;
+
+/// Cost to validate a user-supplied capability argument.
+pub const CHERIABI_PTR_ARG: u64 = 8;
+
+/// Per-8-bytes cost of copyin/copyout.
+pub const COPY_PER_8B: u64 = 1;
+
+/// Fixed fork cost (process table, credentials, fd table).
+pub const FORK_BASE: u64 = 4000;
+
+/// Per-resident-page fork cost (COW marking).
+pub const FORK_PER_PAGE: u64 = 15;
+
+/// Additional fixed CheriABI fork cost (capability register context,
+/// tag-aware VM bookkeeping).
+pub const FORK_CHERI_EXTRA: u64 = 175;
+
+/// Additional per-page CheriABI fork cost.
+pub const FORK_CHERI_PER_PAGE: u64 = 1;
+
+/// Fixed select cost (fd scanning infrastructure).
+pub const SELECT_BASE: u64 = 600;
+
+/// Per-fd-set word processing cost.
+pub const SELECT_PER_SET: u64 = 30;
+
+/// Context-switch cost (register file save/restore incl. capabilities,
+/// TLB maintenance).
+pub const CONTEXT_SWITCH: u64 = 400;
+
+/// Signal-delivery cost on top of the frame stores.
+pub const SIGNAL_DELIVERY: u64 = 800;
+
+/// Page-fault service cost (charged per demand fault observed).
+pub const PAGE_FAULT: u64 = 900;
+
+/// Swap-out/in per page (device modelled as fast NVMe-ish).
+pub const SWAP_PER_PAGE: u64 = 4000;

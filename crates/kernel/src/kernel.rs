@@ -1,0 +1,559 @@
+//! The kernel proper: state, copyin/copyout, scheduler and trap handling.
+
+use crate::abi::{AbiMode, Errno};
+use crate::costs;
+use crate::process::{ExitStatus, FileDesc, Pid, ProcState, Process, WaitReason};
+use crate::signal::SIGPROT;
+use cheri_cap::{CapFormat, Capability, Perms, PrincipalAllocator};
+use cheri_cpu::{Cpu, Exit, TrapCause, TrapInfo};
+use cheri_vm::{Vm, VmError};
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+/// Global kernel configuration, including the design-choice toggles used by
+/// the ablation benchmarks (DESIGN.md D1/D4).
+#[derive(Clone, Copy, Debug)]
+pub struct KernelConfig {
+    /// Capability format for all address spaces (D1).
+    pub cap_fmt: CapFormat,
+    /// Physical frames available.
+    pub phys_frames: usize,
+    /// D4: when `true` (the paper's design), the kernel accesses CheriABI
+    /// user memory only through user-provided capabilities; when `false`,
+    /// it falls back to the address-space-wide capability, re-enabling
+    /// confused-deputy attacks (used by tests to show what D4 buys).
+    pub kernel_cap_discipline: bool,
+    /// Scheduler quantum in instructions.
+    pub quantum: u64,
+    /// Default per-process instruction budget (runaway guard).
+    pub default_instr_budget: u64,
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        KernelConfig {
+            cap_fmt: CapFormat::C128,
+            phys_frames: 16 * 1024, // 64 MiB
+            kernel_cap_discipline: true,
+            quantum: 100_000,
+            default_instr_budget: 2_000_000_000,
+        }
+    }
+}
+
+/// Aggregate kernel statistics.
+#[derive(Clone, Debug, Default)]
+pub struct KernelStats {
+    /// Syscalls dispatched, by name.
+    pub syscalls: HashMap<&'static str, u64>,
+    /// Context switches performed.
+    pub ctx_switches: u64,
+    /// Signals delivered.
+    pub signals_delivered: u64,
+    /// Traps (capability + VM) observed.
+    pub traps: u64,
+    /// Processes spawned.
+    pub spawns: u64,
+}
+
+/// A pipe's kernel state.
+#[derive(Debug, Default)]
+pub(crate) struct Pipe {
+    pub buf: VecDeque<u8>,
+    pub readers: usize,
+    pub writers: usize,
+}
+
+/// Result of running the scheduler to completion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// Every process exited.
+    AllExited,
+    /// Runnable work remains but the global instruction budget ran out.
+    GlobalBudget,
+    /// Only blocked processes remain and none can make progress.
+    Deadlock,
+}
+
+/// A user pointer as presented by a process: a full capability (CheriABI)
+/// or a bare integer address (legacy).
+#[derive(Clone, Copy, Debug)]
+pub enum UserRef {
+    /// CheriABI: the user's capability, used directly (Figure 3).
+    Cap(Capability),
+    /// Legacy: an address the kernel must wrap in its own authority.
+    Addr(u64),
+}
+
+impl UserRef {
+    /// The referenced address.
+    #[must_use]
+    pub fn addr(&self) -> u64 {
+        match self {
+            UserRef::Cap(c) => c.addr(),
+            UserRef::Addr(a) => *a,
+        }
+    }
+
+    /// Whether this is a NULL pointer (untagged + zero for CheriABI).
+    #[must_use]
+    pub fn is_null(&self) -> bool {
+        match self {
+            UserRef::Cap(c) => !c.tag() && c.addr() == 0,
+            UserRef::Addr(a) => *a == 0,
+        }
+    }
+}
+
+/// The simulated CheriBSD kernel.
+pub struct Kernel {
+    /// Virtual-memory subsystem.
+    pub vm: Vm,
+    /// The CPU.
+    pub cpu: Cpu,
+    /// Configuration.
+    pub config: KernelConfig,
+    /// Statistics.
+    pub stats: KernelStats,
+    pub(crate) procs: HashMap<Pid, Process>,
+    pub(crate) runq: VecDeque<Pid>,
+    pub(crate) next_pid: u64,
+    pub(crate) principals: PrincipalAllocator,
+    pub(crate) pipes: HashMap<u64, Pipe>,
+    pub(crate) next_pipe: u64,
+    /// In-memory filesystem (path -> bytes).
+    pub memfs: HashMap<String, Vec<u8>>,
+    pub(crate) shm: HashMap<u64, u64>,
+    faults_charged: u64,
+    swaps_charged: u64,
+}
+
+impl fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Kernel{{procs={}, {:?}}}", self.procs.len(), self.stats)
+    }
+}
+
+impl Kernel {
+    /// Boots a kernel with `config`.
+    #[must_use]
+    pub fn new(config: KernelConfig) -> Kernel {
+        Kernel {
+            vm: Vm::new(config.phys_frames),
+            cpu: Cpu::new(),
+            config,
+            stats: KernelStats::default(),
+            procs: HashMap::new(),
+            runq: VecDeque::new(),
+            next_pid: 1,
+            principals: PrincipalAllocator::new(),
+            pipes: HashMap::new(),
+            next_pipe: 1,
+            memfs: HashMap::new(),
+            shm: HashMap::new(),
+            faults_charged: 0,
+            swaps_charged: 0,
+        }
+    }
+
+    /// Access a process entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics for unknown pids (kernel-internal identifiers).
+    #[must_use]
+    pub fn process(&self, pid: Pid) -> &Process {
+        self.procs.get(&pid).expect("unknown pid")
+    }
+
+    /// Mutable access to a process entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics for unknown pids.
+    pub fn process_mut(&mut self, pid: Pid) -> &mut Process {
+        self.procs.get_mut(&pid).expect("unknown pid")
+    }
+
+    /// The exit status of `pid` if it has finished.
+    #[must_use]
+    pub fn exit_status(&self, pid: Pid) -> Option<ExitStatus> {
+        match self.procs.get(&pid)?.state {
+            ProcState::Exited(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn bump_syscall(&mut self, name: &'static str) {
+        *self.stats.syscalls.entry(name).or_insert(0) += 1;
+    }
+
+    // ------------------------------------------------------------------
+    // User-pointer plumbing (Figure 3)
+    // ------------------------------------------------------------------
+
+    /// Reads syscall argument `slot` as a user pointer, honouring the
+    /// process ABI: CheriABI pointer arguments travel in `$c3+slot`,
+    /// legacy ones in `$a<slot>` as integers.
+    #[must_use]
+    pub fn user_ref(&self, pid: Pid, slot: u8) -> UserRef {
+        let p = self.process(pid);
+        match p.abi {
+            AbiMode::CheriAbi => UserRef::Cap(p.regs.c(cheri_isa::creg::arg(slot))),
+            AbiMode::Mips64 => UserRef::Addr(p.regs.r(cheri_isa::ireg::arg(slot))),
+        }
+    }
+
+    /// Reads integer syscall argument `slot` (`$a<slot>`).
+    #[must_use]
+    pub fn user_val(&self, pid: Pid, slot: u8) -> u64 {
+        self.process(pid).regs.r(cheri_isa::ireg::arg(slot))
+    }
+
+    /// The capability the kernel will use to access user memory for this
+    /// reference: the user's own capability under CheriABI discipline, or
+    /// an address-space-wide kernel-constructed capability otherwise.
+    fn access_cap(&mut self, pid: Pid, uref: UserRef) -> Capability {
+        let (abi, space) = {
+            let p = self.process(pid);
+            (p.abi, p.space)
+        };
+        match (uref, abi, self.config.kernel_cap_discipline) {
+            (UserRef::Cap(c), AbiMode::CheriAbi, true) => {
+                self.cpu.charge(0, costs::CHERIABI_PTR_ARG);
+                c
+            }
+            (uref, _, _) => {
+                // Legacy path (or discipline disabled): construct authority
+                // from the per-space root — the pre-CheriABI behaviour.
+                self.cpu.charge(0, costs::LEGACY_PTR_ARG);
+                let root = self.vm.space(space).root;
+                root.with_addr(uref.addr())
+            }
+        }
+    }
+
+    /// Copies `len` bytes in from user memory through `uref`.
+    ///
+    /// # Errors
+    ///
+    /// `EFAULT` if the capability does not authorise the read or the pages
+    /// are absent/misprotected.
+    pub fn copyin(&mut self, pid: Pid, uref: UserRef, len: u64) -> Result<Vec<u8>, Errno> {
+        let cap = self.access_cap(pid, uref);
+        cap.check_access(cap.addr(), len, Perms::LOAD)
+            .map_err(|_| Errno::EFAULT)?;
+        let space = self.process(pid).space;
+        let mut buf = vec![0u8; len as usize];
+        self.vm
+            .read_bytes(space, cap.addr(), &mut buf)
+            .map_err(|_| Errno::EFAULT)?;
+        self.cpu.charge(len / 8 + 4, len / 8 * costs::COPY_PER_8B + 20);
+        Ok(buf)
+    }
+
+    /// Copies bytes out to user memory through `uref`. Tags are never set
+    /// by this path (D5: ordinary copies strip capability tags).
+    ///
+    /// # Errors
+    ///
+    /// `EFAULT` on authorisation or paging failure.
+    pub fn copyout(&mut self, pid: Pid, uref: UserRef, data: &[u8]) -> Result<(), Errno> {
+        let cap = self.access_cap(pid, uref);
+        cap.check_access(cap.addr(), data.len() as u64, Perms::STORE)
+            .map_err(|_| Errno::EFAULT)?;
+        let space = self.process(pid).space;
+        self.vm
+            .write_bytes(space, cap.addr(), data)
+            .map_err(|_| Errno::EFAULT)?;
+        self.cpu
+            .charge(data.len() as u64 / 8 + 4, data.len() as u64 / 8 * costs::COPY_PER_8B + 20);
+        Ok(())
+    }
+
+    /// Copies a NUL-terminated string in (bounded by `max`).
+    ///
+    /// # Errors
+    ///
+    /// `EFAULT` on authorisation failure, `EINVAL` if unterminated.
+    pub fn copyinstr(&mut self, pid: Pid, uref: UserRef, max: u64) -> Result<String, Errno> {
+        let cap = self.access_cap(pid, uref);
+        let space = self.process(pid).space;
+        let mut out = Vec::new();
+        for i in 0..max {
+            cap.check_access(cap.addr() + i, 1, Perms::LOAD)
+                .map_err(|_| Errno::EFAULT)?;
+            let mut b = [0u8; 1];
+            self.vm
+                .read_bytes(space, cap.addr() + i, &mut b)
+                .map_err(|_| Errno::EFAULT)?;
+            if b[0] == 0 {
+                self.cpu.charge(i + 4, i + 20);
+                return Ok(String::from_utf8_lossy(&out).into_owned());
+            }
+            out.push(b[0]);
+        }
+        Err(Errno::EINVAL)
+    }
+
+    /// Capability-preserving copyout used only by designated interfaces
+    /// (kevent udata, signal frames): stores `cap` *with its tag* at the
+    /// 16-aligned address referenced by `uref`.
+    ///
+    /// # Errors
+    ///
+    /// `EFAULT` on authorisation failure or misalignment.
+    pub fn copyout_cap(&mut self, pid: Pid, uref: UserRef, cap: Capability) -> Result<(), Errno> {
+        let access = self.access_cap(pid, uref);
+        let size = access.format().in_memory_size();
+        if access.addr() % size != 0 {
+            return Err(Errno::EFAULT);
+        }
+        access
+            .check_access(access.addr(), size, Perms::STORE | Perms::STORE_CAP)
+            .map_err(|_| Errno::EFAULT)?;
+        let space = self.process(pid).space;
+        self.vm
+            .store_cap(space, access.addr(), cap)
+            .map_err(|_| Errno::EFAULT)?;
+        self.cpu.charge(4, 8);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Pipes
+    // ------------------------------------------------------------------
+
+    pub(crate) fn pipe_readable(&self, id: u64) -> bool {
+        self.pipes
+            .get(&id)
+            .map(|p| !p.buf.is_empty() || p.writers == 0)
+            .unwrap_or(true)
+    }
+
+    pub(crate) fn fd_readable(&self, pid: Pid, fd: u64) -> bool {
+        match self.process(pid).fd(fd) {
+            Some(FileDesc::PipeRead(id)) => self.pipe_readable(*id),
+            Some(FileDesc::Console) => false,
+            Some(FileDesc::File { .. }) => true,
+            Some(FileDesc::PipeWrite(_)) => false,
+            None => true, // select reports error-ready; read returns EBADF
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Scheduler
+    // ------------------------------------------------------------------
+
+    fn wait_satisfied(&self, pid: Pid, reason: WaitReason) -> bool {
+        match reason {
+            WaitReason::PipeReadable(id) => self.pipe_readable(id),
+            WaitReason::Child(which) => {
+                let p = self.process(pid);
+                match which {
+                    Some(c) => p.zombies.iter().any(|(z, _)| *z == c),
+                    None => !p.zombies.is_empty() || p.children.is_empty(),
+                }
+            }
+            WaitReason::Kevent => self
+                .process(pid)
+                .kq
+                .iter()
+                .any(|e| e.fired || self.fd_readable(pid, e.ident)),
+            WaitReason::Select(bits) => {
+                (0..64).any(|fd| bits >> fd & 1 == 1 && self.fd_readable(pid, fd))
+            }
+            WaitReason::Traced => false, // woken explicitly by the tracer
+        }
+    }
+
+    fn wake_ready(&mut self) {
+        let pids: Vec<Pid> = self.procs.keys().copied().collect();
+        for pid in pids {
+            if let ProcState::Blocked(reason) = self.process(pid).state {
+                if self.wait_satisfied(pid, reason) {
+                    self.process_mut(pid).state = ProcState::Runnable;
+                    if !self.runq.contains(&pid) {
+                        self.runq.push_back(pid);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs the scheduler until every process exits, deadlock, or
+    /// `max_total_instrs` retired instructions.
+    pub fn run(&mut self, max_total_instrs: u64) -> RunOutcome {
+        let start = self.cpu.stats.instret;
+        loop {
+            self.wake_ready();
+            let Some(pid) = self.runq.pop_front() else {
+                if self
+                    .procs
+                    .values()
+                    .all(|p| matches!(p.state, ProcState::Exited(_)))
+                {
+                    return RunOutcome::AllExited;
+                }
+                // Blocked processes remain but nothing can wake them.
+                return RunOutcome::Deadlock;
+            };
+            if !matches!(self.process(pid).state, ProcState::Runnable) {
+                continue;
+            }
+            if self.cpu.stats.instret - start > max_total_instrs {
+                self.runq.push_front(pid);
+                return RunOutcome::GlobalBudget;
+            }
+            self.stats.ctx_switches += 1;
+            self.cpu.charge(0, costs::CONTEXT_SWITCH);
+            self.cpu.flush_tlb();
+            self.deliver_pending_signal(pid);
+            if !matches!(self.process(pid).state, ProcState::Runnable) {
+                continue;
+            }
+            self.run_slice(pid);
+        }
+    }
+
+    fn run_slice(&mut self, pid: Pid) {
+        let quantum = self.config.quantum.min(self.process(pid).instr_budget);
+        if quantum == 0 {
+            self.terminate(pid, ExitStatus::BudgetExhausted);
+            return;
+        }
+        let (space, mut regs) = {
+            let p = self.process(pid);
+            (p.space, p.regs.clone())
+        };
+        let before = self.cpu.stats.instret;
+        let exit = self.cpu.run(&mut self.vm, space, &mut regs, quantum);
+        let used = self.cpu.stats.instret - before;
+        {
+            let p = self.process_mut(pid);
+            p.regs = regs;
+            p.instr_budget = p.instr_budget.saturating_sub(used);
+        }
+        self.charge_vm_work();
+        match exit {
+            Exit::Syscall => self.handle_syscall(pid),
+            Exit::Break => {
+                let status = if self.process(pid).asan {
+                    ExitStatus::SanitizerAbort
+                } else {
+                    ExitStatus::Signaled(6)
+                };
+                self.terminate(pid, status);
+            }
+            Exit::Trap(t) => self.handle_trap(pid, t),
+            Exit::InstrLimit => {
+                if self.process(pid).instr_budget == 0 {
+                    self.terminate(pid, ExitStatus::BudgetExhausted);
+                } else {
+                    self.runq.push_back(pid);
+                }
+            }
+        }
+    }
+
+    fn charge_vm_work(&mut self) {
+        let f = self.vm.stats.faults;
+        let s = self.vm.stats.swap_ins + self.vm.stats.swap_outs;
+        if f > self.faults_charged {
+            self.cpu.charge(0, (f - self.faults_charged) * costs::PAGE_FAULT);
+            self.faults_charged = f;
+        }
+        if s > self.swaps_charged {
+            self.cpu.charge(0, (s - self.swaps_charged) * costs::SWAP_PER_PAGE);
+            self.swaps_charged = s;
+        }
+    }
+
+    fn handle_trap(&mut self, pid: Pid, trap: TrapInfo) {
+        self.stats.traps += 1;
+        // VM faults the pager could not service transparently and all
+        // capability faults become a synchronous SIGPROT-style signal; with
+        // no handler installed, the process dies recording the cause.
+        let has_handler = self.process(pid).sighandlers.contains_key(&SIGPROT);
+        let fatal_vm = matches!(
+            trap.cause,
+            TrapCause::Vm(VmError::OutOfMemory) | TrapCause::NoCode
+        );
+        if has_handler && !fatal_vm {
+            self.process_mut(pid).pending_signals.push_back(SIGPROT);
+            // Skip the faulting instruction on handler return: store the
+            // resumption pc past the fault (matching our corpus handlers'
+            // expectations; real handlers would inspect the mcontext).
+            let p = self.process_mut(pid);
+            p.regs.pc = trap.pc.wrapping_add(4);
+            if !self.runq.contains(&pid) {
+                self.runq.push_back(pid);
+            }
+            return;
+        }
+        self.terminate(pid, ExitStatus::Fault(trap.cause));
+    }
+
+    /// Terminates a process: releases fds, notifies the parent, reaps the
+    /// address space.
+    pub(crate) fn terminate(&mut self, pid: Pid, status: ExitStatus) {
+        let (space, fds, parent) = {
+            let p = self.process_mut(pid);
+            if matches!(p.state, ProcState::Exited(_)) {
+                return;
+            }
+            p.state = ProcState::Exited(status);
+            (p.space, std::mem::take(&mut p.fds), p.parent)
+        };
+        for fd in fds.into_iter().flatten() {
+            self.drop_fd(fd);
+        }
+        if let Some(pp) = parent {
+            if let Some(parent_proc) = self.procs.get_mut(&pp) {
+                parent_proc.children.retain(|c| *c != pid);
+                parent_proc.zombies.push((pid, status));
+            }
+        }
+        self.cpu.clear_code(space);
+        self.cpu.flush_tlb();
+        self.vm.destroy_space(space);
+    }
+
+    pub(crate) fn drop_fd(&mut self, fd: FileDesc) {
+        match fd {
+            FileDesc::PipeRead(id) => {
+                if let Some(p) = self.pipes.get_mut(&id) {
+                    p.readers -= 1;
+                    if p.readers == 0 && p.writers == 0 {
+                        self.pipes.remove(&id);
+                    }
+                }
+            }
+            FileDesc::PipeWrite(id) => {
+                if let Some(p) = self.pipes.get_mut(&id) {
+                    p.writers -= 1;
+                    if p.readers == 0 && p.writers == 0 {
+                        self.pipes.remove(&id);
+                    }
+                }
+            }
+            FileDesc::Console | FileDesc::File { .. } => {}
+        }
+    }
+
+    /// Blocks `pid` on `reason`; the in-flight syscall is re-executed when
+    /// the condition becomes true (the dispatcher is idempotent until it
+    /// commits results).
+    pub(crate) fn block(&mut self, pid: Pid, reason: WaitReason) {
+        // Rewind pc to the syscall instruction so waking re-executes it.
+        let p = self.process_mut(pid);
+        p.regs.pc = p.regs.pc.wrapping_sub(4);
+        p.state = ProcState::Blocked(reason);
+    }
+
+    /// Drains allocator charges into the CPU counters.
+    pub(crate) fn charge_allocator(&mut self, pid: Pid) {
+        let (i, c) = self.process_mut(pid).allocator.take_charges();
+        self.cpu.charge(i, c);
+    }
+}

@@ -1,0 +1,172 @@
+//! Signal delivery and return (Figure 2, right panel).
+//!
+//! "Signal delivery is similar to context switching, except that the
+//! register state is copied to the signal stack for modification. Access
+//! to, and manipulation of, saved capability state by the signal handler
+//! preserves the architectural capability chain." — §3.
+//!
+//! The frame is written with *capability stores*, so every saved register
+//! keeps its tag; `sigreturn` reloads them the same way. The handler is
+//! entered through a function capability bounded to its object, and returns
+//! through the trampoline page mapped by `execve`.
+
+use crate::costs;
+use crate::kernel::Kernel;
+use crate::process::{ExitStatus, Pid};
+use cheri_cap::{CapSource, Capability, Perms};
+use cheri_isa::{creg, ireg};
+
+/// Signal numbers used by the simulation.
+pub type Signal = u8;
+
+/// CheriBSD's capability-fault signal.
+pub const SIGPROT: Signal = 34;
+
+/// Number of bytes a signal frame occupies: 32 capability registers + PCC +
+/// DDC (16 bytes each, stored as capabilities) + 32 GPRs + pc (8 bytes
+/// each).
+pub const SIGFRAME_SIZE: u64 = (32 + 2) * 16 + 33 * 8 + 8; // padded to 16 below
+
+const fn frame_size_aligned() -> u64 {
+    (SIGFRAME_SIZE + 15) & !15
+}
+
+impl Kernel {
+    /// Delivers the first pending signal of `pid`, if any.
+    pub(crate) fn deliver_pending_signal(&mut self, pid: Pid) {
+        let Some(sig) = self.process_mut(pid).pending_signals.pop_front() else {
+            return;
+        };
+        let handler = match self.process(pid).sighandlers.get(&sig) {
+            Some(&h) => h,
+            None => {
+                self.terminate(pid, ExitStatus::Signaled(sig));
+                return;
+            }
+        };
+        self.stats.signals_delivered += 1;
+        self.cpu.charge(200, costs::SIGNAL_DELIVERY);
+
+        let (space, regs, abi) = {
+            let p = self.process(pid);
+            (p.space, p.regs.clone(), p.abi)
+        };
+        // Locate the signal frame below the current stack pointer.
+        let sp = match abi {
+            crate::abi::AbiMode::CheriAbi => regs.c(creg::CSP).addr(),
+            crate::abi::AbiMode::Mips64 => regs.r(ireg::SP),
+        };
+        let frame = (sp - frame_size_aligned() - 32) & !15;
+
+        // Save capability registers (tags preserved), then PCC and DDC.
+        let mut off = frame;
+        let store = |k: &mut Kernel, off: u64, c: Capability| {
+            k.vm.store_cap(space, off, c).expect("signal stack mapped");
+        };
+        for i in 0..32u8 {
+            store(self, off, regs.c(cheri_isa::CReg(i)));
+            off += 16;
+        }
+        store(self, off, regs.pcc);
+        off += 16;
+        store(self, off, regs.ddc);
+        off += 16;
+        for i in 0..32u8 {
+            self.vm
+                .write_u64(space, off, regs.r(cheri_isa::IReg(i)))
+                .expect("signal stack mapped");
+            off += 8;
+        }
+        self.vm.write_u64(space, off, regs.pc).expect("signal stack mapped");
+
+        // Enter the handler.
+        let root = self.vm.space(space).root;
+        let (tramp, handler_obj) = {
+            let p = self.process_mut(pid);
+            p.signal_frames.push(frame);
+            let obj = p
+                .loaded
+                .objects
+                .iter()
+                .find(|o| handler >= o.text_base && handler < o.text_base + o.text_len)
+                .map(|o| (o.text_base, o.text_len));
+            (p.trampoline_pc, obj)
+        };
+        // Return capability: tightly bounded to the trampoline page.
+        let tramp_cap = root
+            .with_addr(tramp)
+            .set_bounds(16, false)
+            .expect("trampoline within root")
+            .and_perms(Perms::user_code())
+            .with_source(CapSource::Signal);
+        if abi == crate::abi::AbiMode::CheriAbi {
+            self.cpu.trace.record(&tramp_cap);
+        }
+        let regs = &mut self.process_mut(pid).regs;
+        regs.w(ireg::A0, u64::from(sig));
+        regs.pc = handler;
+        match abi {
+            crate::abi::AbiMode::CheriAbi => {
+                // Handler PCC: bounded to the handler's object.
+                if let Some((tb, tl)) = handler_obj {
+                    regs.pcc = root
+                        .with_addr(tb)
+                        .set_bounds(tl, false)
+                        .expect("text within root")
+                        .with_addr(handler)
+                        .and_perms(Perms::user_code());
+                }
+                // New stack pointer below the frame.
+                let new_sp = regs.c(creg::CSP).with_addr(frame - 64);
+                regs.wc(creg::CSP, new_sp);
+                regs.wc(creg::CRA, tramp_cap);
+            }
+            crate::abi::AbiMode::Mips64 => {
+                regs.w(ireg::SP, frame - 64);
+                regs.w(ireg::RA, tramp);
+            }
+        }
+    }
+
+    /// `sigreturn`: restores the register state saved by signal delivery.
+    /// Returns `false` if there is no frame to return to (the process is
+    /// then killed).
+    pub(crate) fn sigreturn(&mut self, pid: Pid) -> bool {
+        let Some(frame) = self.process_mut(pid).signal_frames.pop() else {
+            return false;
+        };
+        let space = self.process(pid).space;
+        let fmt = self.config.cap_fmt;
+        let mut off = frame;
+        let mut caps = [Capability::null(fmt); 32];
+        for slot in caps.iter_mut() {
+            *slot = self
+                .vm
+                .load_cap(space, off)
+                .expect("signal stack mapped")
+                .unwrap_or_else(|| {
+                    let raw = self.vm.read_u64(space, off).unwrap_or(0);
+                    Capability::null(fmt).with_addr(raw)
+                });
+            off += 16;
+        }
+        let pcc = self.vm.load_cap(space, off).expect("mapped").unwrap_or(Capability::null(fmt));
+        off += 16;
+        let ddc = self.vm.load_cap(space, off).expect("mapped").unwrap_or(Capability::null(fmt));
+        off += 16;
+        let mut gpr = [0u64; 32];
+        for g in gpr.iter_mut() {
+            *g = self.vm.read_u64(space, off).expect("mapped");
+            off += 8;
+        }
+        let pc = self.vm.read_u64(space, off).expect("mapped");
+        let p = self.process_mut(pid);
+        p.regs.caps = caps;
+        p.regs.pcc = pcc;
+        p.regs.ddc = ddc;
+        p.regs.gpr = gpr;
+        p.regs.pc = pc;
+        self.cpu.charge(150, costs::SIGNAL_DELIVERY / 2);
+        true
+    }
+}

@@ -1,0 +1,347 @@
+//! Second wave of kernel scenario tests: blocking semantics, fd lifecycle,
+//! signal defaults, memfs, and error paths.
+
+use cheri_isa::codegen::{CodegenOpts, FnBuilder, Ptr, Val};
+use cheri_isa::Width;
+use cheri_kernel::{AbiMode, ExitStatus, Kernel, KernelConfig, RunOutcome, SpawnOpts, Sys};
+use cheri_rtld::{Program, ProgramBuilder};
+
+fn opts_for(abi: AbiMode) -> CodegenOpts {
+    match abi {
+        AbiMode::Mips64 => CodegenOpts::mips64(),
+        AbiMode::CheriAbi => CodegenOpts::purecap(),
+    }
+}
+
+fn program(abi: AbiMode, body: impl FnOnce(&mut FnBuilder<'_>)) -> Program {
+    let mut pb = ProgramBuilder::new("s2");
+    let mut exe = pb.object("s2");
+    {
+        let mut f = FnBuilder::begin(&mut exe, "main", opts_for(abi));
+        body(&mut f);
+    }
+    exe.set_entry("main");
+    pb.add(exe.finish());
+    pb.finish()
+}
+
+fn run(abi: AbiMode, body: impl FnOnce(&mut FnBuilder<'_>)) -> (ExitStatus, String) {
+    let mut k = Kernel::new(KernelConfig::default());
+    k.run_program(&program(abi, body), &SpawnOpts::new(abi)).expect("loads")
+}
+
+/// A blocked pipe read is woken by the child's write (true blocking, not
+/// polling: the parent blocks first, the scheduler runs the child).
+#[test]
+fn blocked_read_woken_by_child_write() {
+    for abi in [AbiMode::Mips64, AbiMode::CheriAbi] {
+        let (status, _) = run(abi, |f| {
+            f.enter(160);
+            f.addr_of_stack(Ptr(0), 16, 8);
+            f.set_arg_ptr(0, Ptr(0));
+            f.syscall(Sys::Pipe as i64);
+            f.load(Val(6), Ptr(0), 0, Width::W, false);
+            f.load(Val(7), Ptr(0), 4, Width::W, false);
+            f.syscall(Sys::Fork as i64);
+            f.ret_val_to(Val(0));
+            let parent = f.label();
+            f.bnez(Val(0), parent);
+            // child: spin a while, then write the byte that unblocks.
+            f.li(Val(1), 0);
+            let spin = f.label();
+            f.bind(spin);
+            f.add_imm(Val(1), Val(1), 1);
+            f.li(Val(2), 20_000);
+            f.sub(Val(3), Val(1), Val(2));
+            f.bnez(Val(3), spin);
+            f.addr_of_stack(Ptr(1), 32, 8);
+            f.li(Val(2), 0x33);
+            f.store(Val(2), Ptr(1), 0, Width::B);
+            f.set_arg_val(0, Val(7));
+            f.set_arg_ptr(1, Ptr(1));
+            f.li(Val(2), 1);
+            f.set_arg_val(2, Val(2));
+            f.syscall(Sys::Write as i64);
+            f.li(Val(0), 0);
+            f.set_arg_val(0, Val(0));
+            f.syscall(Sys::Exit as i64);
+            // parent: read blocks until the child writes.
+            f.bind(parent);
+            f.addr_of_stack(Ptr(2), 48, 8);
+            f.set_arg_val(0, Val(6));
+            f.set_arg_ptr(1, Ptr(2));
+            f.li(Val(1), 1);
+            f.set_arg_val(2, Val(1));
+            f.syscall(Sys::Read as i64);
+            f.load(Val(2), Ptr(2), 0, Width::B, false);
+            f.set_arg_val(0, Val(2));
+            f.syscall(Sys::Exit as i64);
+        });
+        assert_eq!(status, ExitStatus::Code(0x33), "{abi}");
+    }
+}
+
+/// Closing the write end gives the reader EOF (read returns 0).
+#[test]
+fn pipe_eof_after_writer_close() {
+    let (status, _) = run(AbiMode::CheriAbi, |f| {
+        f.enter(96);
+        f.addr_of_stack(Ptr(0), 16, 8);
+        f.set_arg_ptr(0, Ptr(0));
+        f.syscall(Sys::Pipe as i64);
+        f.load(Val(6), Ptr(0), 0, Width::W, false);
+        f.load(Val(7), Ptr(0), 4, Width::W, false);
+        f.set_arg_val(0, Val(7));
+        f.syscall(Sys::Close as i64);
+        f.addr_of_stack(Ptr(1), 32, 8);
+        f.set_arg_val(0, Val(6));
+        f.set_arg_ptr(1, Ptr(1));
+        f.li(Val(1), 8);
+        f.set_arg_val(2, Val(1));
+        f.syscall(Sys::Read as i64);
+        f.ret_val_to(Val(2));
+        f.add_imm(Val(2), Val(2), 77); // 0 + 77
+        f.set_arg_val(0, Val(2));
+        f.syscall(Sys::Exit as i64);
+    });
+    assert_eq!(status, ExitStatus::Code(77));
+}
+
+/// An unhandled signal terminates with the classic default action.
+#[test]
+fn unhandled_signal_kills() {
+    let (status, _) = run(AbiMode::CheriAbi, |f| {
+        f.syscall(Sys::Getpid as i64);
+        f.ret_val_to(Val(0));
+        f.set_arg_val(0, Val(0));
+        f.li(Val(1), 15); // SIGTERM-ish
+        f.set_arg_val(1, Val(1));
+        f.syscall(Sys::Kill as i64);
+        // never reached: the signal is delivered at the next dispatch
+        let spin = f.label();
+        f.bind(spin);
+        f.jmp(spin);
+    });
+    assert_eq!(status, ExitStatus::Signaled(15));
+}
+
+/// waitpid with no children: ECHILD; kill of a non-process: ESRCH.
+#[test]
+fn wait_and_kill_error_paths() {
+    let (status, _) = run(AbiMode::CheriAbi, |f| {
+        f.li(Val(0), 0);
+        f.set_arg_val(0, Val(0));
+        f.syscall(Sys::Waitpid as i64);
+        f.ret_val_to(Val(1)); // -ECHILD = -10
+        f.li(Val(0), 9999);
+        f.set_arg_val(0, Val(0));
+        f.li(Val(2), 9);
+        f.set_arg_val(1, Val(2));
+        f.syscall(Sys::Kill as i64);
+        f.ret_val_to(Val(3)); // -ESRCH = -3
+        f.mul_sum_exit(Val(1), Val(3));
+    });
+    assert_eq!(status, ExitStatus::Code(-10 * 100 + -3));
+}
+
+trait TestExt {
+    fn mul_sum_exit(&mut self, a: Val, b: Val);
+}
+
+impl TestExt for FnBuilder<'_> {
+    fn mul_sum_exit(&mut self, a: Val, b: Val) {
+        self.li(Val(6), 100);
+        self.mul(Val(6), Val(6), a);
+        self.add(Val(6), Val(6), b);
+        self.set_arg_val(0, Val(6));
+        self.syscall(Sys::Exit as i64);
+    }
+}
+
+/// memfs: create, write, unlink; a reopen after unlink fails with ENOENT.
+#[test]
+fn memfs_unlink_semantics() {
+    let (status, _) = run(AbiMode::CheriAbi, |f| {
+        f.enter(96);
+        f.addr_of_stack(Ptr(0), 16, 8);
+        f.li(Val(0), i64::from_le_bytes(*b"tmpfile\0"));
+        f.store(Val(0), Ptr(0), 0, Width::D);
+        // create
+        f.set_arg_ptr(0, Ptr(0));
+        f.li(Val(1), 7);
+        f.set_arg_val(1, Val(1));
+        f.syscall(Sys::Open as i64);
+        f.ret_val_to(Val(6));
+        f.set_arg_val(0, Val(6));
+        f.syscall(Sys::Close as i64);
+        // unlink
+        f.set_arg_ptr(0, Ptr(0));
+        f.syscall(Sys::Unlink as i64);
+        f.ret_val_to(Val(2));
+        // reopen without O_CREAT: ENOENT
+        f.set_arg_ptr(0, Ptr(0));
+        f.li(Val(1), 0);
+        f.set_arg_val(1, Val(1));
+        f.syscall(Sys::Open as i64);
+        f.ret_val_to(Val(3)); // -2
+        f.mul_sum_exit(Val(2), Val(3));
+    });
+    assert_eq!(status, ExitStatus::Code(0 * 100 + -2));
+}
+
+/// fork duplicates the fd table: the child writes through an inherited fd
+/// and the parent reads it after reaping.
+#[test]
+fn fork_inherits_file_descriptors() {
+    let mut k = Kernel::new(KernelConfig::default());
+    let p = program(AbiMode::CheriAbi, |f| {
+        f.enter(160);
+        f.addr_of_stack(Ptr(0), 16, 8);
+        f.set_arg_ptr(0, Ptr(0));
+        f.syscall(Sys::Pipe as i64);
+        f.load(Val(6), Ptr(0), 0, Width::W, false);
+        f.load(Val(7), Ptr(0), 4, Width::W, false);
+        f.syscall(Sys::Fork as i64);
+        f.ret_val_to(Val(0));
+        let parent = f.label();
+        f.bnez(Val(0), parent);
+        f.addr_of_stack(Ptr(1), 32, 8);
+        f.li(Val(1), 0x5a);
+        f.store(Val(1), Ptr(1), 0, Width::B);
+        f.set_arg_val(0, Val(7)); // inherited write end
+        f.set_arg_ptr(1, Ptr(1));
+        f.li(Val(1), 1);
+        f.set_arg_val(2, Val(1));
+        f.syscall(Sys::Write as i64);
+        f.li(Val(0), 0);
+        f.set_arg_val(0, Val(0));
+        f.syscall(Sys::Exit as i64);
+        f.bind(parent);
+        f.li(Val(1), 0);
+        f.set_arg_val(0, Val(1));
+        f.syscall(Sys::Waitpid as i64);
+        f.addr_of_stack(Ptr(2), 48, 8);
+        f.set_arg_val(0, Val(6));
+        f.set_arg_ptr(1, Ptr(2));
+        f.li(Val(1), 1);
+        f.set_arg_val(2, Val(1));
+        f.syscall(Sys::Read as i64);
+        f.load(Val(2), Ptr(2), 0, Width::B, false);
+        f.set_arg_val(0, Val(2));
+        f.syscall(Sys::Exit as i64);
+    });
+    let (status, _) = k.run_program(&p, &SpawnOpts::new(AbiMode::CheriAbi)).unwrap();
+    assert_eq!(status, ExitStatus::Code(0x5a));
+    // All pipes torn down once both processes exited.
+    assert_eq!(k.stats.spawns, 1);
+}
+
+/// kevent wait blocks until the watched fd becomes readable.
+#[test]
+fn kevent_wait_blocks_until_ready() {
+    let (status, _) = run(AbiMode::CheriAbi, |f| {
+        f.enter(224);
+        f.addr_of_stack(Ptr(0), 16, 8);
+        f.set_arg_ptr(0, Ptr(0));
+        f.syscall(Sys::Pipe as i64);
+        f.load(Val(6), Ptr(0), 0, Width::W, false);
+        f.load(Val(7), Ptr(0), 4, Width::W, false);
+        // register interest in the (empty) read end
+        f.li(Val(5), 16);
+        f.set_arg_val(0, Val(5));
+        f.syscall(Sys::RtMalloc as i64);
+        f.ret_ptr_to(Ptr(1));
+        f.li(Val(0), 0xabc);
+        f.store(Val(0), Ptr(1), 0, Width::D);
+        f.set_arg_val(0, Val(6));
+        f.set_arg_ptr(1, Ptr(1));
+        f.syscall(Sys::KeventRegister as i64);
+        // fork: the child makes it ready while the parent waits.
+        f.syscall(Sys::Fork as i64);
+        f.ret_val_to(Val(0));
+        let parent = f.label();
+        f.bnez(Val(0), parent);
+        f.addr_of_stack(Ptr(2), 40, 8);
+        f.li(Val(1), 1);
+        f.store(Val(1), Ptr(2), 0, Width::B);
+        f.set_arg_val(0, Val(7));
+        f.set_arg_ptr(1, Ptr(2));
+        f.li(Val(1), 1);
+        f.set_arg_val(2, Val(1));
+        f.syscall(Sys::Write as i64);
+        f.li(Val(0), 0);
+        f.set_arg_val(0, Val(0));
+        f.syscall(Sys::Exit as i64);
+        f.bind(parent);
+        f.addr_of_stack(Ptr(3), 64, 64);
+        f.set_arg_ptr(0, Ptr(3));
+        f.li(Val(1), 2);
+        f.set_arg_val(1, Val(1));
+        f.syscall(Sys::KeventWait as i64);
+        // the udata pointer round-trips with its tag: deref it.
+        f.load_ptr(Ptr(4), Ptr(3), 16);
+        f.load(Val(2), Ptr(4), 0, Width::D, false);
+        f.set_arg_val(0, Val(2));
+        f.syscall(Sys::Exit as i64);
+    });
+    assert_eq!(status, ExitStatus::Code(0xabc));
+}
+
+/// Deadlock detection: a single process reading an empty pipe it also
+/// holds the write end of (but never writes) deadlocks the scheduler
+/// rather than spinning forever.
+#[test]
+fn self_deadlock_is_detected() {
+    let mut k = Kernel::new(KernelConfig::default());
+    let p = program(AbiMode::CheriAbi, |f| {
+        f.enter(96);
+        f.addr_of_stack(Ptr(0), 16, 8);
+        f.set_arg_ptr(0, Ptr(0));
+        f.syscall(Sys::Pipe as i64);
+        f.load(Val(6), Ptr(0), 0, Width::W, false);
+        f.addr_of_stack(Ptr(1), 32, 8);
+        f.set_arg_val(0, Val(6));
+        f.set_arg_ptr(1, Ptr(1));
+        f.li(Val(1), 1);
+        f.set_arg_val(2, Val(1));
+        f.syscall(Sys::Read as i64); // blocks forever
+        f.sys_exit_like(0);
+    });
+    let pid = k.spawn(&p, &SpawnOpts::new(AbiMode::CheriAbi)).unwrap();
+    assert_eq!(k.run(10_000_000), RunOutcome::Deadlock);
+    assert!(k.exit_status(pid).is_none());
+}
+
+trait ExitLike {
+    fn sys_exit_like(&mut self, v: i64);
+}
+impl ExitLike for FnBuilder<'_> {
+    fn sys_exit_like(&mut self, v: i64) {
+        self.li(Val(0), v);
+        self.set_arg_val(0, Val(0));
+        self.syscall(Sys::Exit as i64);
+    }
+}
+
+/// sysctl honours the caller's length: a short oldlen truncates and the
+/// true size is written back.
+#[test]
+fn sysctl_length_protocol() {
+    let (status, _) = run(AbiMode::CheriAbi, |f| {
+        f.enter(96);
+        f.addr_of_stack(Ptr(0), 16, 16);
+        f.addr_of_stack(Ptr(1), 40, 8);
+        f.li(Val(0), 4); // only 4 bytes of space
+        f.store(Val(0), Ptr(1), 0, Width::D);
+        f.li(Val(1), 1);
+        f.set_arg_val(0, Val(1));
+        f.set_arg_ptr(1, Ptr(0));
+        f.set_arg_ptr(2, Ptr(1));
+        f.syscall(Sys::Sysctl as i64);
+        // written-back length = 13 ("CheriBSD-sim\0")
+        f.load(Val(2), Ptr(1), 0, Width::D, false);
+        f.set_arg_val(0, Val(2));
+        f.syscall(Sys::Exit as i64);
+    });
+    assert_eq!(status, ExitStatus::Code(13));
+}

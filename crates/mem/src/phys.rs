@@ -1,0 +1,507 @@
+//! Tagged physical memory: 4-KiB frames with one tag bit per 16-byte granule.
+
+use cheri_cap::{Capability, TAG_GRANULE};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Size of a physical frame (and of a virtual page) in bytes.
+pub const FRAME_SIZE: u64 = 4096;
+
+const GRANULES_PER_FRAME: usize = (FRAME_SIZE / TAG_GRANULE) as usize;
+
+/// Identifier of an allocated physical frame.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct FrameId(pub u32);
+
+/// A physical address: frame number and offset combined.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PAddr(pub u64);
+
+impl PAddr {
+    /// Builds a physical address from a frame and an in-frame offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset >= FRAME_SIZE`.
+    #[must_use]
+    pub fn new(frame: FrameId, offset: u64) -> PAddr {
+        assert!(offset < FRAME_SIZE, "offset {offset} out of frame");
+        PAddr(u64::from(frame.0) * FRAME_SIZE + offset)
+    }
+
+    /// The frame this address falls in.
+    #[must_use]
+    pub fn frame(self) -> FrameId {
+        FrameId((self.0 / FRAME_SIZE) as u32)
+    }
+
+    /// Offset within the frame.
+    #[must_use]
+    pub fn offset(self) -> u64 {
+        self.0 % FRAME_SIZE
+    }
+}
+
+impl fmt::Debug for PAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PAddr({:#x})", self.0)
+    }
+}
+
+#[derive(Clone)]
+struct Frame {
+    data: Box<[u8]>,
+    /// One bit per 16-byte granule.
+    tags: [u64; GRANULES_PER_FRAME / 64],
+    /// Full capability values for tagged granules. The `data` bytes hold the
+    /// address so integer reads of pointer memory behave like real CHERI;
+    /// the rest of the encoding lives here.
+    caps: HashMap<u16, Capability>,
+}
+
+impl Frame {
+    fn new() -> Frame {
+        Frame {
+            data: vec![0u8; FRAME_SIZE as usize].into_boxed_slice(),
+            tags: [0; GRANULES_PER_FRAME / 64],
+            caps: HashMap::new(),
+        }
+    }
+
+    fn tag_bit(&self, granule: usize) -> bool {
+        self.tags[granule / 64] >> (granule % 64) & 1 == 1
+    }
+
+    fn set_tag(&mut self, granule: usize, v: bool) {
+        if v {
+            self.tags[granule / 64] |= 1 << (granule % 64);
+        } else {
+            self.tags[granule / 64] &= !(1 << (granule % 64));
+        }
+    }
+}
+
+/// Error returned when addressing an unallocated frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BadFrame(pub FrameId);
+
+impl fmt::Display for BadFrame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "access to unallocated physical frame {:?}", self.0)
+    }
+}
+
+impl std::error::Error for BadFrame {}
+
+/// The machine's tagged physical memory.
+///
+/// ```
+/// use cheri_mem::{PhysMem, PAddr};
+/// use cheri_cap::{Capability, CapFormat, CapSource, PrincipalId};
+///
+/// let mut pm = PhysMem::new(16);
+/// let f = pm.alloc_frame().unwrap();
+/// let a = PAddr::new(f, 0);
+/// let cap = Capability::root(CapFormat::C128, PrincipalId::KERNEL, CapSource::Boot);
+/// pm.store_cap(a, cap);
+/// assert_eq!(pm.load_cap(a).unwrap(), Some(cap));
+/// // Overwriting any byte of the granule with data clears the tag.
+/// pm.write_u8(PAddr::new(f, 3), 0xff).unwrap();
+/// assert_eq!(pm.load_cap(a).unwrap(), None);
+/// ```
+pub struct PhysMem {
+    frames: Vec<Option<Frame>>,
+    free: Vec<FrameId>,
+    allocated: usize,
+}
+
+impl fmt::Debug for PhysMem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "PhysMem{{frames={}, allocated={}}}",
+            self.frames.len(),
+            self.allocated
+        )
+    }
+}
+
+impl PhysMem {
+    /// Creates physical memory with capacity for `num_frames` frames.
+    #[must_use]
+    pub fn new(num_frames: usize) -> PhysMem {
+        PhysMem {
+            frames: (0..num_frames).map(|_| None).collect(),
+            free: (0..num_frames as u32).rev().map(FrameId).collect(),
+            allocated: 0,
+        }
+    }
+
+    /// Number of frames currently allocated.
+    #[must_use]
+    pub fn allocated_frames(&self) -> usize {
+        self.allocated
+    }
+
+    /// Number of frames still free.
+    #[must_use]
+    pub fn free_frames(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Allocates a zeroed frame, or `None` if physical memory is exhausted
+    /// (the kernel's pageout path then kicks in).
+    pub fn alloc_frame(&mut self) -> Option<FrameId> {
+        let id = self.free.pop()?;
+        self.frames[id.0 as usize] = Some(Frame::new());
+        self.allocated += 1;
+        Some(id)
+    }
+
+    /// Frees a frame, dropping its contents and tags.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame was not allocated (double free).
+    pub fn free_frame(&mut self, id: FrameId) {
+        let slot = &mut self.frames[id.0 as usize];
+        assert!(slot.is_some(), "double free of {id:?}");
+        *slot = None;
+        self.allocated -= 1;
+        self.free.push(id);
+    }
+
+    fn frame(&self, id: FrameId) -> Result<&Frame, BadFrame> {
+        self.frames
+            .get(id.0 as usize)
+            .and_then(|f| f.as_ref())
+            .ok_or(BadFrame(id))
+    }
+
+    fn frame_mut(&mut self, id: FrameId) -> Result<&mut Frame, BadFrame> {
+        self.frames
+            .get_mut(id.0 as usize)
+            .and_then(|f| f.as_mut())
+            .ok_or(BadFrame(id))
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr`; the range must not cross
+    /// a frame boundary (the VM layer splits accesses at page granularity).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BadFrame`] if the frame is unallocated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the access crosses the end of the frame.
+    pub fn read_bytes(&self, addr: PAddr, buf: &mut [u8]) -> Result<(), BadFrame> {
+        let f = self.frame(addr.frame())?;
+        let off = addr.offset() as usize;
+        buf.copy_from_slice(&f.data[off..off + buf.len()]);
+        Ok(())
+    }
+
+    /// Writes `buf` at `addr`, clearing the tags of every granule touched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BadFrame`] if the frame is unallocated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the access crosses the end of the frame.
+    pub fn write_bytes(&mut self, addr: PAddr, buf: &[u8]) -> Result<(), BadFrame> {
+        let f = self.frame_mut(addr.frame())?;
+        let off = addr.offset() as usize;
+        f.data[off..off + buf.len()].copy_from_slice(buf);
+        let g0 = off / TAG_GRANULE as usize;
+        let g1 = (off + buf.len().max(1) - 1) / TAG_GRANULE as usize;
+        for g in g0..=g1 {
+            if f.tag_bit(g) {
+                f.set_tag(g, false);
+                f.caps.remove(&(g as u16));
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BadFrame`] if the frame is unallocated.
+    pub fn read_u8(&self, addr: PAddr) -> Result<u8, BadFrame> {
+        let mut b = [0u8; 1];
+        self.read_bytes(addr, &mut b)?;
+        Ok(b[0])
+    }
+
+    /// Writes one byte (clears the granule's tag).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BadFrame`] if the frame is unallocated.
+    pub fn write_u8(&mut self, addr: PAddr, v: u8) -> Result<(), BadFrame> {
+        self.write_bytes(addr, &[v])
+    }
+
+    /// Reads a little-endian u64.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BadFrame`] if the frame is unallocated.
+    pub fn read_u64(&self, addr: PAddr) -> Result<u64, BadFrame> {
+        let mut b = [0u8; 8];
+        self.read_bytes(addr, &mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Writes a little-endian u64 (clears tags).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BadFrame`] if the frame is unallocated.
+    pub fn write_u64(&mut self, addr: PAddr, v: u64) -> Result<(), BadFrame> {
+        self.write_bytes(addr, &v.to_le_bytes())
+    }
+
+    /// Stores a capability at `addr` (which must be granule-aligned),
+    /// setting the tag iff `cap.tag()`. The address bytes are mirrored into
+    /// the data array so subsequent *integer* reads observe the pointer's
+    /// address, as on real CHERI.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BadFrame`] if the frame is unallocated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not aligned to the capability size.
+    pub fn store_cap(&mut self, addr: PAddr, cap: Capability) -> Result<(), BadFrame> {
+        let size = cap.format().in_memory_size();
+        assert_eq!(addr.0 % size, 0, "unaligned capability store");
+        // Mirror the address (cursor) into the first 8 data bytes, then a
+        // digest of the metadata; this also clears stale tags in the range.
+        let mut bytes = vec![0u8; size as usize];
+        bytes[..8].copy_from_slice(&cap.addr().to_le_bytes());
+        bytes[8..16].copy_from_slice(&cap.base().to_le_bytes());
+        self.write_bytes(addr, &bytes)?;
+        if cap.tag() {
+            let f = self.frame_mut(addr.frame())?;
+            let off = addr.offset() as usize;
+            for k in 0..(size / TAG_GRANULE) {
+                let g = off / TAG_GRANULE as usize + k as usize;
+                f.set_tag(g, k == 0);
+            }
+            f.caps.insert((off / TAG_GRANULE as usize) as u16, cap);
+        }
+        Ok(())
+    }
+
+    /// Loads the capability stored at granule-aligned `addr`. Returns
+    /// `Ok(None)` if the granule's tag is clear — the caller receives the
+    /// raw bytes as an *untagged* value instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BadFrame`] if the frame is unallocated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not granule-aligned.
+    pub fn load_cap(&self, addr: PAddr) -> Result<Option<Capability>, BadFrame> {
+        assert_eq!(addr.0 % TAG_GRANULE, 0, "unaligned capability load");
+        let f = self.frame(addr.frame())?;
+        let g = (addr.offset() / TAG_GRANULE) as usize;
+        if f.tag_bit(g) {
+            Ok(f.caps.get(&(g as u16)).copied())
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Scans a frame for tagged capabilities: the swap-out path of §3
+    /// ("The swap subsystem scans evicted pages, recording tags in the swap
+    /// metadata"). Returns `(granule offset in bytes, capability)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BadFrame`] if the frame is unallocated.
+    pub fn scan_caps(&self, id: FrameId) -> Result<Vec<(u64, Capability)>, BadFrame> {
+        let f = self.frame(id)?;
+        let mut out: Vec<(u64, Capability)> = f
+            .caps
+            .iter()
+            .map(|(g, c)| (u64::from(*g) * TAG_GRANULE, *c))
+            .collect();
+        out.sort_by_key(|(off, _)| *off);
+        Ok(out)
+    }
+
+    /// Copies a whole frame's data *without* tags (e.g. DMA or a legacy
+    /// copy); capability restoration must go through [`PhysMem::store_cap`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BadFrame`] if the frame is unallocated.
+    pub fn frame_data(&self, id: FrameId) -> Result<Vec<u8>, BadFrame> {
+        Ok(self.frame(id)?.data.to_vec())
+    }
+
+    /// Replaces a frame's data, clearing all tags (swap-in starts untagged;
+    /// rederivation follows).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BadFrame`] if the frame is unallocated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not exactly one frame long.
+    pub fn set_frame_data(&mut self, id: FrameId, data: &[u8]) -> Result<(), BadFrame> {
+        assert_eq!(data.len() as u64, FRAME_SIZE);
+        let f = self.frame_mut(id)?;
+        f.data.copy_from_slice(data);
+        f.tags = [0; GRANULES_PER_FRAME / 64];
+        f.caps.clear();
+        Ok(())
+    }
+
+    /// Copies frame `src` to frame `dst` including tags and capabilities —
+    /// the kernel's capability-preserving page copy (fork / COW resolution).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BadFrame`] if either frame is unallocated.
+    pub fn copy_frame_with_tags(&mut self, src: FrameId, dst: FrameId) -> Result<(), BadFrame> {
+        let s = self.frame(src)?.clone();
+        let d = self.frame_mut(dst)?;
+        d.data.copy_from_slice(&s.data);
+        d.tags = s.tags;
+        d.caps = s.caps;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheri_cap::{CapFormat, CapSource, PrincipalId};
+
+    fn cap() -> Capability {
+        Capability::root(CapFormat::C128, PrincipalId::KERNEL, CapSource::Boot)
+            .with_addr(0x1234_5678)
+    }
+
+    fn mem() -> (PhysMem, FrameId) {
+        let mut pm = PhysMem::new(8);
+        let f = pm.alloc_frame().unwrap();
+        (pm, f)
+    }
+
+    #[test]
+    fn frames_start_zeroed() {
+        let (pm, f) = mem();
+        assert_eq!(pm.read_u64(PAddr::new(f, 0)).unwrap(), 0);
+        assert_eq!(pm.read_u64(PAddr::new(f, FRAME_SIZE - 8)).unwrap(), 0);
+    }
+
+    #[test]
+    fn data_roundtrip() {
+        let (mut pm, f) = mem();
+        pm.write_u64(PAddr::new(f, 16), 0xdead_beef_cafe_f00d).unwrap();
+        assert_eq!(pm.read_u64(PAddr::new(f, 16)).unwrap(), 0xdead_beef_cafe_f00d);
+        pm.write_u8(PAddr::new(f, 16), 0xaa).unwrap();
+        assert_eq!(pm.read_u8(PAddr::new(f, 16)).unwrap(), 0xaa);
+    }
+
+    #[test]
+    fn cap_roundtrip_preserves_everything() {
+        let (mut pm, f) = mem();
+        let c = cap();
+        pm.store_cap(PAddr::new(f, 32), c).unwrap();
+        assert_eq!(pm.load_cap(PAddr::new(f, 32)).unwrap(), Some(c));
+        // Integer view of the pointer sees the address.
+        assert_eq!(pm.read_u64(PAddr::new(f, 32)).unwrap(), c.addr());
+    }
+
+    #[test]
+    fn data_write_clears_tag_anywhere_in_granule() {
+        for off in [0u64, 1, 7, 15] {
+            let (mut pm, f) = mem();
+            pm.store_cap(PAddr::new(f, 48), cap()).unwrap();
+            pm.write_u8(PAddr::new(f, 48 + off), 0).unwrap();
+            assert_eq!(pm.load_cap(PAddr::new(f, 48)).unwrap(), None, "off={off}");
+        }
+    }
+
+    #[test]
+    fn untagged_cap_store_leaves_tag_clear() {
+        let (mut pm, f) = mem();
+        pm.store_cap(PAddr::new(f, 0), cap().clear_tag()).unwrap();
+        assert_eq!(pm.load_cap(PAddr::new(f, 0)).unwrap(), None);
+        assert_eq!(pm.read_u64(PAddr::new(f, 0)).unwrap(), cap().addr());
+    }
+
+    #[test]
+    fn scan_caps_finds_all() {
+        let (mut pm, f) = mem();
+        pm.store_cap(PAddr::new(f, 0), cap()).unwrap();
+        pm.store_cap(PAddr::new(f, 256), cap().inc_addr(8)).unwrap();
+        let found = pm.scan_caps(f).unwrap();
+        assert_eq!(found.len(), 2);
+        assert_eq!(found[0].0, 0);
+        assert_eq!(found[1].0, 256);
+    }
+
+    #[test]
+    fn set_frame_data_strips_tags() {
+        let (mut pm, f) = mem();
+        pm.store_cap(PAddr::new(f, 0), cap()).unwrap();
+        let data = pm.frame_data(f).unwrap();
+        pm.set_frame_data(f, &data).unwrap();
+        assert_eq!(pm.load_cap(PAddr::new(f, 0)).unwrap(), None);
+        assert_eq!(pm.read_u64(PAddr::new(f, 0)).unwrap(), cap().addr());
+    }
+
+    #[test]
+    fn copy_frame_with_tags_preserves_caps() {
+        let mut pm = PhysMem::new(8);
+        let a = pm.alloc_frame().unwrap();
+        let b = pm.alloc_frame().unwrap();
+        pm.store_cap(PAddr::new(a, 64), cap()).unwrap();
+        pm.write_u64(PAddr::new(a, 8), 7).unwrap();
+        pm.copy_frame_with_tags(a, b).unwrap();
+        assert_eq!(pm.load_cap(PAddr::new(b, 64)).unwrap(), Some(cap()));
+        assert_eq!(pm.read_u64(PAddr::new(b, 8)).unwrap(), 7);
+    }
+
+    #[test]
+    fn alloc_free_cycle() {
+        let mut pm = PhysMem::new(2);
+        let a = pm.alloc_frame().unwrap();
+        let b = pm.alloc_frame().unwrap();
+        assert!(pm.alloc_frame().is_none());
+        pm.free_frame(a);
+        assert_eq!(pm.free_frames(), 1);
+        let c = pm.alloc_frame().unwrap();
+        assert_eq!(pm.read_u64(PAddr::new(c, 0)).unwrap(), 0, "recycled frame zeroed");
+        let _ = b;
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut pm = PhysMem::new(2);
+        let a = pm.alloc_frame().unwrap();
+        pm.free_frame(a);
+        pm.free_frame(a);
+    }
+
+    #[test]
+    fn unallocated_frame_errors() {
+        let pm = PhysMem::new(2);
+        assert!(pm.read_u8(PAddr::new(FrameId(1), 0)).is_err());
+    }
+}

@@ -1,0 +1,102 @@
+//! Aggregated memory-system statistics.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// Counters accumulated by the cache hierarchy; the Figure 4 harness reads
+/// `l2_misses` directly ("l2cache misses" series).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Instruction-fetch L1 hits.
+    pub l1i_hits: u64,
+    /// Instruction-fetch L1 misses.
+    pub l1i_misses: u64,
+    /// Data L1 hits.
+    pub l1d_hits: u64,
+    /// Data L1 misses.
+    pub l1d_misses: u64,
+    /// Shared L2 hits.
+    pub l2_hits: u64,
+    /// Shared L2 misses (DRAM accesses).
+    pub l2_misses: u64,
+    /// Total stall cycles charged by the memory system.
+    pub stall_cycles: u64,
+}
+
+impl MemStats {
+    /// Total data-side accesses observed.
+    #[must_use]
+    pub fn data_accesses(&self) -> u64 {
+        self.l1d_hits + self.l1d_misses
+    }
+
+    /// L2 miss rate over all L2 lookups, in [0, 1].
+    #[must_use]
+    pub fn l2_miss_rate(&self) -> f64 {
+        let total = self.l2_hits + self.l2_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.l2_misses as f64 / total as f64
+        }
+    }
+}
+
+impl Add for MemStats {
+    type Output = MemStats;
+    fn add(self, o: MemStats) -> MemStats {
+        MemStats {
+            l1i_hits: self.l1i_hits + o.l1i_hits,
+            l1i_misses: self.l1i_misses + o.l1i_misses,
+            l1d_hits: self.l1d_hits + o.l1d_hits,
+            l1d_misses: self.l1d_misses + o.l1d_misses,
+            l2_hits: self.l2_hits + o.l2_hits,
+            l2_misses: self.l2_misses + o.l2_misses,
+            stall_cycles: self.stall_cycles + o.stall_cycles,
+        }
+    }
+}
+
+impl AddAssign for MemStats {
+    fn add_assign(&mut self, o: MemStats) {
+        *self = *self + o;
+    }
+}
+
+impl fmt::Display for MemStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "L1I {}/{} L1D {}/{} L2 {}/{} stall {}",
+            self.l1i_hits,
+            self.l1i_misses,
+            self.l1d_hits,
+            self.l1d_misses,
+            self.l2_hits,
+            self.l2_misses,
+            self.stall_cycles
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addition_accumulates() {
+        let a = MemStats { l1d_hits: 1, l2_misses: 2, ..MemStats::default() };
+        let b = MemStats { l1d_hits: 3, stall_cycles: 5, ..MemStats::default() };
+        let c = a + b;
+        assert_eq!(c.l1d_hits, 4);
+        assert_eq!(c.l2_misses, 2);
+        assert_eq!(c.stall_cycles, 5);
+    }
+
+    #[test]
+    fn miss_rate_handles_zero() {
+        assert_eq!(MemStats::default().l2_miss_rate(), 0.0);
+        let s = MemStats { l2_hits: 1, l2_misses: 3, ..MemStats::default() };
+        assert!((s.l2_miss_rate() - 0.75).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,349 @@
+//! Compute-bound workload kernels: the "well within the noise" population
+//! of Figure 4 (few pointers, tight arithmetic loops).
+
+use crate::single;
+use cheri_isa::codegen::{CodegenOpts, FnBuilder, Ptr, Val};
+use cheri_isa::Width;
+use cheri_rtld::Program;
+use cheriabi::guest::{emit_lcg_step, GuestOps};
+
+/// Fills `len` bytes at `buf` with LCG-derived bytes; `state` is the LCG
+/// register (clobbers Val(5..=7), Ptr(6)).
+pub(crate) fn emit_fill(f: &mut FnBuilder<'_>, buf: Ptr, len: i64, state: Val) {
+    f.li(Val(5), 0);
+    let top = f.label();
+    let done = f.label();
+    f.bind(top);
+    f.li(Val(6), len);
+    f.sub(Val(6), Val(5), Val(6));
+    f.beqz(Val(6), done);
+    emit_lcg_step(f, state);
+    f.ptr_add(Ptr(6), buf, Val(5));
+    f.store(state, Ptr(6), 0, Width::B);
+    f.add_imm(Val(5), Val(5), 1);
+    f.jmp(top);
+    f.bind(done);
+}
+
+/// security-sha: rotate-xor-add over a word buffer, many passes.
+pub fn sha(opts: CodegenOpts, seed: u64) -> Program {
+    single("sha", opts, move |f| {
+        let words = 512i64;
+        f.malloc_imm(Ptr(0), words * 8);
+        f.li(Val(0), seed as i64 | 1);
+        emit_fill(f, Ptr(0), words * 8, Val(0));
+        // h = seed; 40 passes of h = rotl(h,5) ^ w[i] + i
+        f.li(Val(1), seed as i64); // h
+        f.li(Val(2), 0); // pass
+        let pass_top = f.label();
+        let pass_done = f.label();
+        f.bind(pass_top);
+        f.li(Val(3), 40);
+        f.sub(Val(3), Val(2), Val(3));
+        f.beqz(Val(3), pass_done);
+        f.li(Val(4), 0); // i
+        let w_top = f.label();
+        let w_done = f.label();
+        f.bind(w_top);
+        f.li(Val(3), words);
+        f.sub(Val(3), Val(4), Val(3));
+        f.beqz(Val(3), w_done);
+        f.shl_imm(Val(5), Val(4), 3);
+        f.ptr_add(Ptr(1), Ptr(0), Val(5));
+        f.load(Val(5), Ptr(1), 0, Width::D, false);
+        // h = ((h << 5) | (h >> 59)) ^ w + i
+        f.shl_imm(Val(6), Val(1), 5);
+        f.shr_imm(Val(7), Val(1), 59);
+        f.or(Val(1), Val(6), Val(7));
+        f.xor(Val(1), Val(1), Val(5));
+        f.add(Val(1), Val(1), Val(4));
+        f.add_imm(Val(4), Val(4), 1);
+        f.jmp(w_top);
+        f.bind(w_done);
+        f.add_imm(Val(2), Val(2), 1);
+        f.jmp(pass_top);
+        f.bind(pass_done);
+        f.and_imm(Val(1), Val(1), 0x3f);
+        f.sys_exit(Val(1));
+    })
+}
+
+/// office-stringsearch: naive substring search, counting matches.
+pub fn stringsearch(opts: CodegenOpts, seed: u64) -> Program {
+    single("stringsearch", opts, move |f| {
+        let text_len = 4096i64;
+        let pat_len = 6i64;
+        f.malloc_imm(Ptr(0), text_len);
+        f.li(Val(0), seed as i64 | 1);
+        emit_fill(f, Ptr(0), text_len, Val(0));
+        // Narrow the alphabet so matches occur: text[i] &= 3.
+        f.li(Val(1), 0);
+        let n_top = f.label();
+        let n_done = f.label();
+        f.bind(n_top);
+        f.li(Val(2), text_len);
+        f.sub(Val(2), Val(1), Val(2));
+        f.beqz(Val(2), n_done);
+        f.ptr_add(Ptr(1), Ptr(0), Val(1));
+        f.load(Val(3), Ptr(1), 0, Width::B, false);
+        f.and_imm(Val(3), Val(3), 3);
+        f.store(Val(3), Ptr(1), 0, Width::B);
+        f.add_imm(Val(1), Val(1), 1);
+        f.jmp(n_top);
+        f.bind(n_done);
+        // pattern = text[100 .. 100+pat_len]
+        f.ptr_add_imm(Ptr(2), Ptr(0), 100);
+        // count = 0; for i in 0..text_len-pat_len { compare }
+        f.li(Val(6), 0); // match count
+        f.li(Val(0), 0); // i
+        let s_top = f.label();
+        let s_done = f.label();
+        f.bind(s_top);
+        f.li(Val(1), text_len - pat_len);
+        f.sub(Val(1), Val(0), Val(1));
+        f.beqz(Val(1), s_done);
+        f.ptr_add(Ptr(1), Ptr(0), Val(0));
+        f.li(Val(2), 0); // j
+        let c_top = f.label();
+        let c_done = f.label();
+        let mismatch = f.label();
+        f.bind(c_top);
+        f.li(Val(3), pat_len);
+        f.sub(Val(3), Val(2), Val(3));
+        f.beqz(Val(3), c_done);
+        f.ptr_add(Ptr(3), Ptr(1), Val(2));
+        f.load(Val(4), Ptr(3), 0, Width::B, false);
+        f.ptr_add(Ptr(4), Ptr(2), Val(2));
+        f.load(Val(5), Ptr(4), 0, Width::B, false);
+        f.bne(Val(4), Val(5), mismatch);
+        f.add_imm(Val(2), Val(2), 1);
+        f.jmp(c_top);
+        f.bind(c_done);
+        f.add_imm(Val(6), Val(6), 1);
+        f.bind(mismatch);
+        f.add_imm(Val(0), Val(0), 1);
+        f.jmp(s_top);
+        f.bind(s_done);
+        f.and_imm(Val(6), Val(6), 0x3f);
+        f.sys_exit(Val(6));
+    })
+}
+
+/// auto-basicmath: gcd chains and integer square roots.
+pub fn basicmath(opts: CodegenOpts, seed: u64) -> Program {
+    single("basicmath", opts, move |f| {
+        f.li(Val(6), 0); // checksum
+        f.li(Val(0), 1); // i
+        let top = f.label();
+        let done = f.label();
+        f.bind(top);
+        f.li(Val(1), 2500);
+        f.sub(Val(1), Val(0), Val(1));
+        f.beqz(Val(1), done);
+        // a = i * 7919 + seed; b = i * 104729 + 1
+        f.li(Val(1), 7919);
+        f.mul(Val(1), Val(1), Val(0));
+        f.add_imm(Val(1), Val(1), (seed & 0xffff) as i64);
+        f.li(Val(2), 104_729);
+        f.mul(Val(2), Val(2), Val(0));
+        f.add_imm(Val(2), Val(2), 1);
+        // gcd loop
+        let g_top = f.label();
+        let g_done = f.label();
+        f.bind(g_top);
+        f.beqz(Val(2), g_done);
+        f.remu(Val(3), Val(1), Val(2));
+        f.mv(Val(1), Val(2));
+        f.mv(Val(2), Val(3));
+        f.jmp(g_top);
+        f.bind(g_done);
+        f.add(Val(6), Val(6), Val(1));
+        // isqrt(i * 31) by bit descent
+        f.li(Val(1), 31);
+        f.mul(Val(1), Val(1), Val(0)); // n
+        f.li(Val(2), 0); // root
+        f.li(Val(3), 1 << 14); // bit
+        let q_top = f.label();
+        let q_done = f.label();
+        f.bind(q_top);
+        f.beqz(Val(3), q_done);
+        // t = root + bit; if n >= t*t then root = t
+        f.add(Val(4), Val(2), Val(3));
+        f.mul(Val(5), Val(4), Val(4));
+        f.sltu(Val(5), Val(1), Val(5));
+        let skip = f.label();
+        f.bnez(Val(5), skip);
+        f.mv(Val(2), Val(4));
+        f.bind(skip);
+        f.shr_imm(Val(3), Val(3), 1);
+        f.jmp(q_top);
+        f.bind(q_done);
+        f.add(Val(6), Val(6), Val(2));
+        f.add_imm(Val(0), Val(0), 1);
+        f.jmp(top);
+        f.bind(done);
+        f.and_imm(Val(6), Val(6), 0x3f);
+        f.sys_exit(Val(6));
+    })
+}
+
+/// Shared shape of the two adpcm codecs: byte-stream predictor with a
+/// global step table accessed through the GOT.
+fn adpcm(opts: CodegenOpts, seed: u64, encode: bool) -> Program {
+    let name = if encode { "adpcm-enc" } else { "adpcm-dec" };
+    let mut pb = cheri_rtld::ProgramBuilder::new(name);
+    let mut exe = pb.object(name);
+    let table: Vec<u8> = (0..16u64).flat_map(|i| (7 + i * 13).to_le_bytes()).collect();
+    exe.add_data("step_table", &table, 16);
+    {
+        let mut f = FnBuilder::begin(&mut exe, "main", opts);
+        let n = 8192i64;
+        f.malloc_imm(Ptr(0), n);
+        f.li(Val(0), seed as i64 | 1);
+        emit_fill(&mut f, Ptr(0), n, Val(0));
+        f.load_global_ptr(Ptr(2), "step_table");
+        // predictor loop
+        f.li(Val(0), 0); // i
+        f.li(Val(1), 0); // predictor
+        f.li(Val(2), 0); // index
+        f.li(Val(6), 0); // checksum
+        let top = f.label();
+        let done = f.label();
+        f.bind(top);
+        f.li(Val(3), n);
+        f.sub(Val(3), Val(0), Val(3));
+        f.beqz(Val(3), done);
+        f.ptr_add(Ptr(1), Ptr(0), Val(0));
+        f.load(Val(3), Ptr(1), 0, Width::B, false);
+        // delta = sample - predictor (enc) or step lookup (dec)
+        if encode {
+            f.sub(Val(4), Val(3), Val(1));
+        } else {
+            f.add(Val(4), Val(3), Val(2));
+        }
+        f.and_imm(Val(4), Val(4), 0xf);
+        // step = table[index]
+        f.shl_imm(Val(5), Val(2), 3);
+        f.ptr_add(Ptr(3), Ptr(2), Val(5));
+        f.load(Val(5), Ptr(3), 0, Width::D, false);
+        // predictor += (delta * step) >> 3; index = (index + delta) & 15
+        f.mul(Val(7), Val(4), Val(5));
+        f.shr_imm(Val(7), Val(7), 3);
+        f.add(Val(1), Val(1), Val(7));
+        f.and_imm(Val(1), Val(1), 0xffff);
+        f.add(Val(2), Val(2), Val(4));
+        f.and_imm(Val(2), Val(2), 15);
+        f.add(Val(6), Val(6), Val(1));
+        f.add_imm(Val(0), Val(0), 1);
+        f.jmp(top);
+        f.bind(done);
+        f.and_imm(Val(6), Val(6), 0x3f);
+        f.sys_exit(Val(6));
+    }
+    exe.set_entry("main");
+    pb.add(exe.finish());
+    pb.finish()
+}
+
+/// telco-adpcm-enc.
+pub fn adpcm_enc(opts: CodegenOpts, seed: u64) -> Program {
+    adpcm(opts, seed, true)
+}
+
+/// telco-adpcm-dec.
+pub fn adpcm_dec(opts: CodegenOpts, seed: u64) -> Program {
+    adpcm(opts, seed, false)
+}
+
+/// spec2006-gobmk-ish: board-array game playout with neighbour scans.
+pub fn gobmk(opts: CodegenOpts, seed: u64) -> Program {
+    single("gobmk", opts, move |f| {
+        let dim = 19i64;
+        let cells = dim * dim;
+        f.malloc_imm(Ptr(0), cells);
+        f.li(Val(0), seed as i64 | 1);
+        // 4000 stone placements with liberty counting.
+        f.li(Val(1), 0); // move number
+        f.li(Val(6), 0); // checksum
+        let top = f.label();
+        let done = f.label();
+        f.bind(top);
+        f.li(Val(2), 4000);
+        f.sub(Val(2), Val(1), Val(2));
+        f.beqz(Val(2), done);
+        emit_lcg_step(f, Val(0));
+        f.li(Val(2), cells);
+        f.remu(Val(2), Val(0), Val(2)); // pos
+        // colour = move & 1 + 1
+        f.and_imm(Val(3), Val(1), 1);
+        f.add_imm(Val(3), Val(3), 1);
+        f.ptr_add(Ptr(1), Ptr(0), Val(2));
+        f.store(Val(3), Ptr(1), 0, Width::B);
+        // liberties: count same-colour neighbours (pos±1, pos±dim), bounds
+        // by clamping into the array.
+        for delta in [1i64, -1, dim, -dim] {
+            // npos = pos + delta; wrap into [0, cells)
+            f.add_imm(Val(4), Val(2), delta);
+            let skip = f.label();
+            f.bltz(Val(4), skip);
+            f.li(Val(5), cells);
+            f.slt(Val(5), Val(4), Val(5));
+            f.beqz(Val(5), skip);
+            f.ptr_add(Ptr(2), Ptr(0), Val(4));
+            f.load(Val(5), Ptr(2), 0, Width::B, false);
+            f.bne(Val(5), Val(3), skip);
+            f.add_imm(Val(6), Val(6), 1);
+            f.bind(skip);
+        }
+        f.add_imm(Val(1), Val(1), 1);
+        f.jmp(top);
+        f.bind(done);
+        f.and_imm(Val(6), Val(6), 0x3f);
+        f.sys_exit(Val(6));
+    })
+}
+
+/// spec2006-libquantum-ish: streaming passes over an amplitude array.
+pub fn libquantum(opts: CodegenOpts, seed: u64) -> Program {
+    single("libquantum", opts, move |f| {
+        let n = 2048i64;
+        f.malloc_imm(Ptr(0), n * 16);
+        f.li(Val(0), seed as i64 | 1);
+        emit_fill(f, Ptr(0), n * 16, Val(0));
+        f.li(Val(1), 0); // gate
+        f.li(Val(6), 0); // checksum
+        let g_top = f.label();
+        let g_done = f.label();
+        f.bind(g_top);
+        f.li(Val(2), 24);
+        f.sub(Val(2), Val(1), Val(2));
+        f.beqz(Val(2), g_done);
+        f.li(Val(0), 0); // element
+        let e_top = f.label();
+        let e_done = f.label();
+        f.bind(e_top);
+        f.li(Val(2), n);
+        f.sub(Val(2), Val(0), Val(2));
+        f.beqz(Val(2), e_done);
+        f.shl_imm(Val(3), Val(0), 4);
+        f.ptr_add(Ptr(1), Ptr(0), Val(3));
+        f.load(Val(4), Ptr(1), 0, Width::D, false); // re
+        f.load(Val(5), Ptr(1), 8, Width::D, false); // im
+        // controlled-not-ish: re' = re ^ (im << 1); im' = im + (re >> 2)
+        f.shl_imm(Val(7), Val(5), 1);
+        f.xor(Val(4), Val(4), Val(7));
+        f.shr_imm(Val(7), Val(4), 2);
+        f.add(Val(5), Val(5), Val(7));
+        f.store(Val(4), Ptr(1), 0, Width::D);
+        f.store(Val(5), Ptr(1), 8, Width::D);
+        f.add_imm(Val(0), Val(0), 1);
+        f.jmp(e_top);
+        f.bind(e_done);
+        f.add(Val(6), Val(6), Val(4));
+        f.add_imm(Val(1), Val(1), 1);
+        f.jmp(g_top);
+        f.bind(g_done);
+        f.and_imm(Val(6), Val(6), 0x3f);
+        f.sys_exit(Val(6));
+    })
+}

@@ -1,0 +1,163 @@
+//! # cheri-workloads — MiBench/SPEC-style guest benchmarks (Figures 4 & 5)
+//!
+//! The paper evaluates pure-capability compilation on MiBench ("commercially
+//! representative embedded programs", each "a tight inner loop" spending
+//! "very little time in the kernel") and a subset of SPEC CPU2006, plus the
+//! PostgreSQL `initdb` macro-benchmark (Figure 4). This crate implements
+//! guest-code workloads with the same character:
+//!
+//! * compute-bound kernels (`security-sha`, `auto-basicmath`,
+//!   `telco-adpcm-*`, `office-stringsearch`) where the two ABIs execute
+//!   nearly identical instruction streams — the paper's "well within the
+//!   noise level" population;
+//! * pointer-intensive kernels (`auto-qsort`, `network-patricia`,
+//!   `spec2006-astar`, `spec2006-xalancbmk`) where CheriABI's 16-byte
+//!   pointers double the pointer footprint and bounds-setting adds
+//!   instructions — the population with visible cycle and L2-miss
+//!   overheads;
+//! * `tlsish`, the openssl-`s_server` stand-in traced for the Figure 5
+//!   abstract-capability reconstruction: dynamically linked, allocation-
+//!   heavy, uses TLS, stack buffers and system calls.
+//!
+//! Every workload is deterministic for a given seed and exits with a
+//! checksum, so the harness verifies that both ABIs compute identical
+//! results before comparing their costs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod kernels;
+mod pointer;
+pub mod tlsish;
+
+use cheri_isa::codegen::{CodegenOpts, FnBuilder};
+use cheri_rtld::{Program, ProgramBuilder};
+
+/// A named benchmark.
+#[derive(Clone, Copy)]
+pub struct Workload {
+    /// Display name (matching the Figure 4 x-axis labels).
+    pub name: &'static str,
+    /// Builds the guest program for a configuration and input seed.
+    pub build: fn(CodegenOpts, u64) -> Program,
+}
+
+impl std::fmt::Debug for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Workload({})", self.name)
+    }
+}
+
+/// Builds a single-object program named `name` whose `main` is `body`.
+pub(crate) fn single(
+    name: &str,
+    opts: CodegenOpts,
+    body: impl FnOnce(&mut FnBuilder<'_>),
+) -> Program {
+    let mut pb = ProgramBuilder::new(name);
+    let mut exe = pb.object(name);
+    {
+        let mut f = FnBuilder::begin(&mut exe, "main", opts);
+        body(&mut f);
+    }
+    exe.set_entry("main");
+    pb.add(exe.finish());
+    pb.finish()
+}
+
+/// The MiBench-like set of Figure 4.
+#[must_use]
+pub fn mibench() -> Vec<Workload> {
+    vec![
+        Workload { name: "security-sha", build: kernels::sha },
+        Workload { name: "office-stringsearch", build: kernels::stringsearch },
+        Workload { name: "auto-qsort", build: pointer::qsort },
+        Workload { name: "auto-basicmath", build: kernels::basicmath },
+        Workload { name: "network-dijkstra", build: pointer::dijkstra },
+        Workload { name: "network-patricia", build: pointer::patricia },
+        Workload { name: "telco-adpcm-enc", build: kernels::adpcm_enc },
+        Workload { name: "telco-adpcm-dec", build: kernels::adpcm_dec },
+    ]
+}
+
+/// The SPEC-CPU2006-like set of Figure 4.
+#[must_use]
+pub fn spec() -> Vec<Workload> {
+    vec![
+        Workload { name: "spec2006-gobmk", build: kernels::gobmk },
+        Workload { name: "spec2006-libquantum", build: kernels::libquantum },
+        Workload { name: "spec2006-astar", build: pointer::astar },
+        Workload { name: "spec2006-xalancbmk", build: pointer::xalancbmk },
+    ]
+}
+
+/// All Figure 4 workloads except `initdb-dynamic` (which lives in
+/// `cheri-corpus::minidb` and is appended by the benchmark harness).
+#[must_use]
+pub fn all() -> Vec<Workload> {
+    let mut v = mibench();
+    v.extend(spec());
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheri_kernel::{AbiMode, ExitStatus, Kernel, KernelConfig, SpawnOpts};
+
+    fn run(w: &Workload, opts: CodegenOpts, abi: AbiMode, seed: u64) -> (ExitStatus, u64) {
+        let program = (w.build)(opts, seed);
+        let mut k = Kernel::new(KernelConfig::default());
+        let mut sopts = SpawnOpts::new(abi);
+        sopts.instr_budget = Some(100_000_000);
+        let (status, _) = k.run_program(&program, &sopts).expect("load");
+        (status, k.cpu.stats.instret)
+    }
+
+    /// Every workload terminates with the *same* checksum under both ABIs
+    /// (correctness parity), and runs long enough to be a meaningful
+    /// benchmark.
+    #[test]
+    fn workloads_are_abi_deterministic() {
+        for w in all() {
+            let (m, mi) = run(&w, CodegenOpts::mips64(), AbiMode::Mips64, 7);
+            let (c, _) = run(&w, CodegenOpts::purecap(), AbiMode::CheriAbi, 7);
+            assert!(
+                matches!(m, ExitStatus::Code(_)),
+                "{}: mips64 exited {m:?}",
+                w.name
+            );
+            assert_eq!(m, c, "{}: ABI-dependent result", w.name);
+            assert!(mi > 50_000, "{}: only {mi} instructions", w.name);
+        }
+    }
+
+    /// Different seeds give different checksums (the workloads actually
+    /// depend on their input).
+    #[test]
+    fn workloads_depend_on_seed() {
+        let mut distinct = 0;
+        for w in all() {
+            let (a, _) = run(&w, CodegenOpts::mips64(), AbiMode::Mips64, 1);
+            let (b, _) = run(&w, CodegenOpts::mips64(), AbiMode::Mips64, 2);
+            if a != b {
+                distinct += 1;
+            }
+        }
+        assert!(distinct >= 6, "only {distinct} workloads vary with seed");
+    }
+
+    /// Workloads also run under the ASan build (Table 3 baseline config).
+    #[test]
+    fn workloads_run_under_asan() {
+        for w in [&mibench()[0], &mibench()[2]] {
+            let program = (w.build)(CodegenOpts::mips64_asan(), 7);
+            let mut k = Kernel::new(KernelConfig::default());
+            let mut sopts = SpawnOpts::new(AbiMode::Mips64);
+            sopts.asan = true;
+            sopts.instr_budget = Some(300_000_000);
+            let (status, _) = k.run_program(&program, &sopts).expect("load");
+            assert!(matches!(status, ExitStatus::Code(_)), "{}: {status:?}", w.name);
+        }
+    }
+}

@@ -1,0 +1,492 @@
+//! Pointer-intensive workload kernels: the Figure 4 population where the
+//! pure-capability ABI pays for its doubled pointer size (cache footprint)
+//! and bounds-setting instructions.
+
+use crate::single;
+use cheri_isa::codegen::{CodegenOpts, Ptr, Val};
+use cheri_isa::Width;
+use cheri_rtld::Program;
+use cheriabi::guest::{emit_insertion_sort_recptrs, emit_lcg_step, GuestOps};
+
+/// auto-qsort: sort an array of record pointers by key (the paper's qsort
+/// preserves capabilities when swapping elements, §4).
+pub fn qsort(opts: CodegenOpts, seed: u64) -> Program {
+    single("qsort", opts, move |f| {
+        let n = 200i64;
+        let ps = f.ptr_size() as i64;
+        f.li(Val(5), n * ps);
+        f.malloc(Ptr(0), Val(5));
+        // records with LCG keys
+        f.li(Val(6), seed as i64 | 1); // lcg state (Val(7) is clobbered)
+        f.li(Val(0), 0);
+        let fill = f.label();
+        let filled = f.label();
+        f.bind(fill);
+        f.li(Val(1), n);
+        f.sub(Val(1), Val(0), Val(1));
+        f.beqz(Val(1), filled);
+        f.malloc_imm(Ptr(1), 16);
+        emit_lcg_step(f, Val(6));
+        f.store(Val(6), Ptr(1), 0, Width::D);
+        f.store(Val(0), Ptr(1), 8, Width::D);
+        f.li(Val(2), ps);
+        f.mul(Val(2), Val(2), Val(0));
+        f.ptr_add(Ptr(2), Ptr(0), Val(2));
+        f.store_ptr(Ptr(1), Ptr(2), 0);
+        f.add_imm(Val(0), Val(0), 1);
+        f.jmp(fill);
+        f.bind(filled);
+        emit_insertion_sort_recptrs(f, Ptr(0), n);
+        // checksum: key[0] + key[n-1] + key[n/2]
+        f.li(Val(6), 0);
+        for idx in [0i64, n - 1, n / 2] {
+            f.load_ptr(Ptr(3), Ptr(0), idx * ps);
+            f.load(Val(1), Ptr(3), 0, Width::D, false);
+            f.add(Val(6), Val(6), Val(1));
+        }
+        f.and_imm(Val(6), Val(6), 0x3f);
+        f.sys_exit(Val(6));
+    })
+}
+
+/// network-dijkstra: O(n^2) single-source shortest paths on an adjacency
+/// matrix.
+pub fn dijkstra(opts: CodegenOpts, seed: u64) -> Program {
+    single("dijkstra", opts, move |f| {
+        let n = 40i64;
+        f.malloc_imm(Ptr(0), n * n * 8); // adj
+        f.malloc_imm(Ptr(1), n * 8); // dist
+        f.malloc_imm(Ptr(2), n); // visited
+        // adj[i][j] = lcg % 15 + 1
+        f.li(Val(6), seed as i64 | 1);
+        f.li(Val(0), 0);
+        let fill = f.label();
+        let filled = f.label();
+        f.bind(fill);
+        f.li(Val(1), n * n);
+        f.sub(Val(1), Val(0), Val(1));
+        f.beqz(Val(1), filled);
+        emit_lcg_step(f, Val(6));
+        f.li(Val(1), 15);
+        f.remu(Val(1), Val(6), Val(1));
+        f.add_imm(Val(1), Val(1), 1);
+        f.shl_imm(Val(2), Val(0), 3);
+        f.ptr_add(Ptr(3), Ptr(0), Val(2));
+        f.store(Val(1), Ptr(3), 0, Width::D);
+        f.add_imm(Val(0), Val(0), 1);
+        f.jmp(fill);
+        f.bind(filled);
+        // dist[i] = INF (except 0), visited = 0
+        f.li(Val(0), 0);
+        let init = f.label();
+        let inited = f.label();
+        f.bind(init);
+        f.li(Val(1), n);
+        f.sub(Val(1), Val(0), Val(1));
+        f.beqz(Val(1), inited);
+        f.li(Val(1), 1 << 40);
+        f.shl_imm(Val(2), Val(0), 3);
+        f.ptr_add(Ptr(3), Ptr(1), Val(2));
+        f.store(Val(1), Ptr(3), 0, Width::D);
+        f.ptr_add(Ptr(4), Ptr(2), Val(0));
+        f.li(Val(1), 0);
+        f.store(Val(1), Ptr(4), 0, Width::B);
+        f.add_imm(Val(0), Val(0), 1);
+        f.jmp(init);
+        f.bind(inited);
+        f.li(Val(1), 0);
+        f.store(Val(1), Ptr(1), 0, Width::D); // dist[0] = 0
+        // main loop: n rounds of (pick min unvisited, relax row)
+        f.li(Val(0), 0); // round
+        let r_top = f.label();
+        let r_done = f.label();
+        f.bind(r_top);
+        f.li(Val(1), n);
+        f.sub(Val(1), Val(0), Val(1));
+        f.beqz(Val(1), r_done);
+        // pick u = argmin dist among unvisited
+        f.li(Val(1), -1); // u
+        f.li(Val(2), 1 << 41); // best
+        f.li(Val(3), 0); // j
+        let p_top = f.label();
+        let p_done = f.label();
+        f.bind(p_top);
+        f.li(Val(4), n);
+        f.sub(Val(4), Val(3), Val(4));
+        f.beqz(Val(4), p_done);
+        let p_skip = f.label();
+        f.ptr_add(Ptr(4), Ptr(2), Val(3));
+        f.load(Val(4), Ptr(4), 0, Width::B, false);
+        f.bnez(Val(4), p_skip);
+        f.shl_imm(Val(4), Val(3), 3);
+        f.ptr_add(Ptr(3), Ptr(1), Val(4));
+        f.load(Val(4), Ptr(3), 0, Width::D, false);
+        f.sltu(Val(5), Val(4), Val(2));
+        f.beqz(Val(5), p_skip);
+        f.mv(Val(2), Val(4));
+        f.mv(Val(1), Val(3));
+        f.bind(p_skip);
+        f.add_imm(Val(3), Val(3), 1);
+        f.jmp(p_top);
+        f.bind(p_done);
+        f.bltz(Val(1), r_done); // all visited
+        // visited[u] = 1
+        f.ptr_add(Ptr(4), Ptr(2), Val(1));
+        f.li(Val(3), 1);
+        f.store(Val(3), Ptr(4), 0, Width::B);
+        // relax: dist[j] = min(dist[j], dist[u] + adj[u][j])
+        f.li(Val(3), 0);
+        let x_top = f.label();
+        let x_done = f.label();
+        f.bind(x_top);
+        f.li(Val(4), n);
+        f.sub(Val(4), Val(3), Val(4));
+        f.beqz(Val(4), x_done);
+        // adj[u*n + j]
+        f.li(Val(4), n);
+        f.mul(Val(4), Val(4), Val(1));
+        f.add(Val(4), Val(4), Val(3));
+        f.shl_imm(Val(4), Val(4), 3);
+        f.ptr_add(Ptr(3), Ptr(0), Val(4));
+        f.load(Val(4), Ptr(3), 0, Width::D, false);
+        f.add(Val(4), Val(4), Val(2)); // cand = best + w
+        f.shl_imm(Val(5), Val(3), 3);
+        f.ptr_add(Ptr(3), Ptr(1), Val(5));
+        f.load(Val(5), Ptr(3), 0, Width::D, false);
+        let x_skip = f.label();
+        f.sltu(Val(5), Val(4), Val(5));
+        f.beqz(Val(5), x_skip);
+        f.store(Val(4), Ptr(3), 0, Width::D);
+        f.bind(x_skip);
+        f.add_imm(Val(3), Val(3), 1);
+        f.jmp(x_top);
+        f.bind(x_done);
+        f.add_imm(Val(0), Val(0), 1);
+        f.jmp(r_top);
+        f.bind(r_done);
+        // checksum = sum dist
+        f.li(Val(6), 0);
+        f.li(Val(0), 0);
+        let s_top = f.label();
+        let s_done = f.label();
+        f.bind(s_top);
+        f.li(Val(1), n);
+        f.sub(Val(1), Val(0), Val(1));
+        f.beqz(Val(1), s_done);
+        f.shl_imm(Val(1), Val(0), 3);
+        f.ptr_add(Ptr(3), Ptr(1), Val(1));
+        f.load(Val(1), Ptr(3), 0, Width::D, false);
+        f.add(Val(6), Val(6), Val(1));
+        f.add_imm(Val(0), Val(0), 1);
+        f.jmp(s_top);
+        f.bind(s_done);
+        f.and_imm(Val(6), Val(6), 0x3f);
+        f.sys_exit(Val(6));
+    })
+}
+
+/// network-patricia: bitwise trie of heap nodes linked by pointers.
+/// Node layout: `[key: u64][left: ptr][right: ptr]`.
+pub fn patricia(opts: CodegenOpts, seed: u64) -> Program {
+    single("patricia", opts, move |f| {
+        let n = 240i64;
+        let ps = f.ptr_size() as i64;
+        // Header pads to the pointer alignment (16 for C128, 32 for C256).
+        let hdr = ps.max(16);
+        let node_size = hdr + 2 * ps;
+        let left_off = hdr;
+        let right_off = hdr + ps;
+        // root node (key 0)
+        f.malloc_imm(Ptr(0), node_size);
+        f.li(Val(6), seed as i64 | 1);
+        // insert loop
+        f.li(Val(0), 0); // i
+        let i_top = f.label();
+        let i_done = f.label();
+        f.bind(i_top);
+        f.li(Val(1), n);
+        f.sub(Val(1), Val(0), Val(1));
+        f.beqz(Val(1), i_done);
+        emit_lcg_step(f, Val(6));
+        // walk 14 bits of the key from the root
+        f.ptr_mv(Ptr(1), Ptr(0)); // cur
+        f.li(Val(1), 0); // bit index
+        let w_top = f.label();
+        let w_done = f.label();
+        f.bind(w_top);
+        f.li(Val(2), 14);
+        f.sub(Val(2), Val(1), Val(2));
+        f.beqz(Val(2), w_done);
+        f.shr(Val(2), Val(6), Val(1));
+        f.and_imm(Val(2), Val(2), 1);
+        // child_off = bit ? right : left
+        let go_right = f.label();
+        let have_off = f.label();
+        f.bnez(Val(2), go_right);
+        f.li(Val(3), left_off);
+        f.jmp(have_off);
+        f.bind(go_right);
+        f.li(Val(3), right_off);
+        f.bind(have_off);
+        f.ptr_add(Ptr(2), Ptr(1), Val(3));
+        f.load_ptr(Ptr(3), Ptr(2), 0);
+        f.ptr_is_null(Val(4), Ptr(3));
+        let descend = f.label();
+        f.beqz(Val(4), descend);
+        // allocate a new node, store key, link it
+        f.malloc_imm(Ptr(4), node_size);
+        f.store(Val(6), Ptr(4), 0, Width::D);
+        f.store_ptr(Ptr(4), Ptr(2), 0);
+        f.ptr_mv(Ptr(3), Ptr(4));
+        f.bind(descend);
+        f.ptr_mv(Ptr(1), Ptr(3));
+        f.add_imm(Val(1), Val(1), 1);
+        f.jmp(w_top);
+        f.bind(w_done);
+        f.add_imm(Val(0), Val(0), 1);
+        f.jmp(i_top);
+        f.bind(i_done);
+        // lookup passes: re-walk the LCG sequence, sum keys found at depth
+        f.li(Val(5), 0); // checksum accumulates in Val(5)
+        for _pass in 0..3 {
+            f.li(Val(6), seed as i64 | 1);
+            f.li(Val(0), 0);
+            let l_top = f.label();
+            let l_done = f.label();
+            f.bind(l_top);
+            f.li(Val(1), n);
+            f.sub(Val(1), Val(0), Val(1));
+            f.beqz(Val(1), l_done);
+            emit_lcg_step(f, Val(6));
+            f.ptr_mv(Ptr(1), Ptr(0));
+            f.li(Val(1), 0);
+            let d_top = f.label();
+            let d_done = f.label();
+            f.bind(d_top);
+            f.li(Val(2), 14);
+            f.sub(Val(2), Val(1), Val(2));
+            f.beqz(Val(2), d_done);
+            f.shr(Val(2), Val(6), Val(1));
+            f.and_imm(Val(2), Val(2), 1);
+            let rgt = f.label();
+            let off_ok = f.label();
+            f.bnez(Val(2), rgt);
+            f.li(Val(3), left_off);
+            f.jmp(off_ok);
+            f.bind(rgt);
+            f.li(Val(3), right_off);
+            f.bind(off_ok);
+            f.ptr_add(Ptr(2), Ptr(1), Val(3));
+            f.load_ptr(Ptr(3), Ptr(2), 0);
+            f.ptr_is_null(Val(4), Ptr(3));
+            f.bnez(Val(4), d_done);
+            f.ptr_mv(Ptr(1), Ptr(3));
+            f.add_imm(Val(1), Val(1), 1);
+            f.jmp(d_top);
+            f.bind(d_done);
+            f.load(Val(2), Ptr(1), 0, Width::D, false);
+            f.add(Val(5), Val(5), Val(2));
+            f.add_imm(Val(0), Val(0), 1);
+            f.jmp(l_top);
+            f.bind(l_done);
+        }
+        f.and_imm(Val(5), Val(5), 0x3f);
+        f.sys_exit(Val(5));
+    })
+}
+
+/// spec2006-astar-ish: grid search keeping an open list of node pointers,
+/// scanned for the best f-score each step.
+pub fn astar(opts: CodegenOpts, seed: u64) -> Program {
+    single("astar", opts, move |f| {
+        let dim = 48i64;
+        let ps = f.ptr_size() as i64;
+        let max_open = 256i64;
+        f.malloc_imm(Ptr(0), dim * dim); // cost grid
+        f.li(Val(6), seed as i64 | 1);
+        crate::kernels::emit_fill(f, Ptr(0), dim * dim, Val(6));
+        f.malloc_imm(Ptr(1), max_open * ps); // open list (ptr array)
+        // node: [pos u64][g u64][f u64] padded to 32
+        // start node at pos 0
+        f.malloc_imm(Ptr(2), 32);
+        f.li(Val(0), 0);
+        f.store(Val(0), Ptr(2), 0, Width::D);
+        f.store(Val(0), Ptr(2), 8, Width::D);
+        f.store_ptr(Ptr(2), Ptr(1), 0);
+        f.li(Val(5), 1); // open count
+        f.li(Val(6), 0); // checksum
+        f.li(Val(0), 0); // step
+        let s_top = f.label();
+        let s_done = f.label();
+        f.bind(s_top);
+        f.li(Val(1), 300);
+        f.sub(Val(1), Val(0), Val(1));
+        f.beqz(Val(1), s_done);
+        f.beqz(Val(5), s_done);
+        // scan open list for min f
+        f.li(Val(1), 0); // j
+        f.li(Val(2), 0); // best index
+        f.li(Val(3), 1 << 42); // best f
+        let m_top = f.label();
+        let m_done = f.label();
+        f.bind(m_top);
+        f.sub(Val(4), Val(1), Val(5));
+        f.beqz(Val(4), m_done);
+        f.li(Val(4), ps);
+        f.mul(Val(4), Val(4), Val(1));
+        f.ptr_add(Ptr(3), Ptr(1), Val(4));
+        f.load_ptr(Ptr(4), Ptr(3), 0);
+        f.load(Val(4), Ptr(4), 16, Width::D, false);
+        let worse = f.label();
+        f.sltu(Val(7), Val(4), Val(3));
+        f.beqz(Val(7), worse);
+        f.mv(Val(3), Val(4));
+        f.mv(Val(2), Val(1));
+        f.bind(worse);
+        f.add_imm(Val(1), Val(1), 1);
+        f.jmp(m_top);
+        f.bind(m_done);
+        // pop best: open[best] = open[count-1]; count -= 1
+        f.li(Val(4), ps);
+        f.mul(Val(4), Val(4), Val(2));
+        f.ptr_add(Ptr(3), Ptr(1), Val(4));
+        f.load_ptr(Ptr(5), Ptr(3), 0); // current node
+        f.add_imm(Val(5), Val(5), -1);
+        f.li(Val(4), ps);
+        f.mul(Val(4), Val(4), Val(5));
+        f.ptr_add(Ptr(4), Ptr(1), Val(4));
+        f.load_ptr(Ptr(6), Ptr(4), 0);
+        f.store_ptr(Ptr(6), Ptr(3), 0);
+        // expand: pos' = pos + 1 and pos + dim (bounded)
+        f.load(Val(1), Ptr(5), 0, Width::D, false); // pos
+        f.load(Val(2), Ptr(5), 8, Width::D, false); // g
+        f.add(Val(6), Val(6), Val(1)); // checksum += pos
+        for delta in [1i64, dim] {
+            let no = f.label();
+            f.add_imm(Val(3), Val(1), delta);
+            f.li(Val(4), dim * dim);
+            f.slt(Val(4), Val(3), Val(4));
+            f.beqz(Val(4), no);
+            // room in the open list?
+            f.li(Val(4), max_open);
+            f.sub(Val(4), Val(5), Val(4));
+            f.beqz(Val(4), no);
+            // new node (malloc via Val(4): Val(5) holds the open count)
+            f.li(Val(4), 32);
+            f.malloc(Ptr(6), Val(4));
+            f.store(Val(3), Ptr(6), 0, Width::D);
+            // g' = g + grid[pos']
+            f.ptr_add(Ptr(7), Ptr(0), Val(3));
+            f.load(Val(4), Ptr(7), 0, Width::B, false);
+            f.add(Val(4), Val(4), Val(2));
+            f.store(Val(4), Ptr(6), 8, Width::D);
+            // f' = g' + heuristic(remaining)
+            f.li(Val(7), dim * dim);
+            f.sub(Val(7), Val(7), Val(3));
+            f.add(Val(4), Val(4), Val(7));
+            f.store(Val(4), Ptr(6), 16, Width::D);
+            // append
+            f.li(Val(4), ps);
+            f.mul(Val(4), Val(4), Val(5));
+            f.ptr_add(Ptr(7), Ptr(1), Val(4));
+            f.store_ptr(Ptr(6), Ptr(7), 0);
+            f.add_imm(Val(5), Val(5), 1);
+            f.bind(no);
+        }
+        f.add_imm(Val(0), Val(0), 1);
+        f.jmp(s_top);
+        f.bind(s_done);
+        f.and_imm(Val(6), Val(6), 0x3f);
+        f.sys_exit(Val(6));
+    })
+}
+
+/// spec2006-xalancbmk-ish: build a pointer-linked document tree, then
+/// repeatedly traverse it depth-first with an explicit pointer stack.
+pub fn xalancbmk(opts: CodegenOpts, seed: u64) -> Program {
+    single("xalancbmk", opts, move |f| {
+        let n = 1200i64;
+        let ps = f.ptr_size() as i64;
+        let hdr = ps.max(16); // tag padded to pointer alignment
+        let node_size = hdr + 2 * ps; // [tag][child][sibling]
+        let child_off = hdr;
+        let sibling_off = hdr + ps;
+        // node index array so the builder can pick random parents
+        f.malloc_imm(Ptr(1), n * ps);
+        // root
+        f.malloc_imm(Ptr(0), node_size);
+        f.li(Val(0), 1);
+        f.store(Val(0), Ptr(0), 0, Width::D);
+        f.store_ptr(Ptr(0), Ptr(1), 0);
+        f.li(Val(6), seed as i64 | 1);
+        f.li(Val(0), 1); // node count
+        let b_top = f.label();
+        let b_done = f.label();
+        f.bind(b_top);
+        f.li(Val(1), n);
+        f.sub(Val(1), Val(0), Val(1));
+        f.beqz(Val(1), b_done);
+        emit_lcg_step(f, Val(6));
+        // parent = nodes[lcg % count]
+        f.remu(Val(1), Val(6), Val(0));
+        f.li(Val(2), ps);
+        f.mul(Val(2), Val(2), Val(1));
+        f.ptr_add(Ptr(2), Ptr(1), Val(2));
+        f.load_ptr(Ptr(3), Ptr(2), 0); // parent
+        // new node
+        f.malloc_imm(Ptr(4), node_size);
+        f.store(Val(6), Ptr(4), 0, Width::D); // tag = lcg
+        // new.sibling = parent.child; parent.child = new
+        f.load_ptr(Ptr(5), Ptr(3), child_off);
+        f.store_ptr(Ptr(5), Ptr(4), sibling_off);
+        f.store_ptr(Ptr(4), Ptr(3), child_off);
+        // nodes[count] = new
+        f.li(Val(2), ps);
+        f.mul(Val(2), Val(2), Val(0));
+        f.ptr_add(Ptr(2), Ptr(1), Val(2));
+        f.store_ptr(Ptr(4), Ptr(2), 0);
+        f.add_imm(Val(0), Val(0), 1);
+        f.jmp(b_top);
+        f.bind(b_done);
+        // traversals: explicit DFS stack of node pointers
+        f.malloc_imm(Ptr(2), (n + 8) * ps); // stack
+        f.li(Val(5), 0); // checksum
+        for _pass in 0..3 {
+            // push root
+            f.store_ptr(Ptr(0), Ptr(2), 0);
+            f.li(Val(0), 1); // stack depth
+            let t_top = f.label();
+            let t_done = f.label();
+            f.bind(t_top);
+            f.beqz(Val(0), t_done);
+            // pop
+            f.add_imm(Val(0), Val(0), -1);
+            f.li(Val(1), ps);
+            f.mul(Val(1), Val(1), Val(0));
+            f.ptr_add(Ptr(3), Ptr(2), Val(1));
+            f.load_ptr(Ptr(4), Ptr(3), 0);
+            // checksum ^= tag
+            f.load(Val(2), Ptr(4), 0, Width::D, false);
+            f.xor(Val(5), Val(5), Val(2));
+            f.add_imm(Val(5), Val(5), 1);
+            // push sibling then child
+            for off in [sibling_off, child_off] {
+                let none = f.label();
+                f.ptr_add_imm(Ptr(5), Ptr(4), off);
+                f.load_ptr(Ptr(6), Ptr(5), 0);
+                f.ptr_is_null(Val(3), Ptr(6));
+                f.bnez(Val(3), none);
+                f.li(Val(1), ps);
+                f.mul(Val(1), Val(1), Val(0));
+                f.ptr_add(Ptr(7), Ptr(2), Val(1));
+                f.store_ptr(Ptr(6), Ptr(7), 0);
+                f.add_imm(Val(0), Val(0), 1);
+                f.bind(none);
+            }
+            f.jmp(t_top);
+            f.bind(t_done);
+        }
+        f.and_imm(Val(5), Val(5), 0x3f);
+        f.sys_exit(Val(5));
+    })
+}

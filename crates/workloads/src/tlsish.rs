@@ -1,0 +1,309 @@
+//! tlsish — the `openssl s_server` stand-in traced for Figure 5 (§5.5).
+//!
+//! "openssl is a small representative application that exercises the
+//! majority of the changes we introduced with CheriABI: it uses
+//! thread-local storage, is dynamically linked with multiple libraries,
+//! performs considerable memory allocation and pointer manipulation, and
+//! exercises system calls." This workload reproduces that capability-source
+//! mix: a dynamically linked crypto-ish library reached through the GOT, a
+//! per-object TLS block, session and buffer allocations of many sizes,
+//! automatic (stack) references in the inner loops, and pipe I/O syscalls
+//! standing in for the client connection.
+
+use cheri_isa::codegen::{CodegenOpts, FnBuilder, Ptr, Val};
+use cheri_isa::Width;
+use cheri_kernel::Sys;
+use cheri_rtld::{Program, ProgramBuilder};
+use cheriabi::guest::GuestOps;
+
+/// Builds the tlsish server program.
+#[must_use]
+pub fn build(opts: CodegenOpts, sessions: i64) -> Program {
+    let mut pb = ProgramBuilder::new("tlsish");
+
+    // ---- libtls: the dynamically linked "crypto" library ----
+    let mut lib = pb.object("libtls");
+    lib.set_tls_size(128);
+    let suites: Vec<u8> = (0..32u64).flat_map(|i| (0x1301 + i * 7).to_le_bytes()).collect();
+    lib.add_data("ciphersuites", &suites, 16);
+    {
+        // mix(buf, len): xor-rotate over a buffer ("encryption").
+        let mut f = FnBuilder::begin(&mut lib, "tls_mix", opts);
+        f.enter(32);
+        f.arg_to_ptr(Ptr(0), 0);
+        f.arg_to_val(Val(0), 1);
+        f.li(Val(1), 0);
+        f.li(Val(2), 0x5c);
+        let top = f.label();
+        let done = f.label();
+        f.bind(top);
+        f.sub(Val(3), Val(1), Val(0));
+        f.beqz(Val(3), done);
+        f.ptr_add(Ptr(1), Ptr(0), Val(1));
+        f.load(Val(3), Ptr(1), 0, Width::B, false);
+        f.xor(Val(3), Val(3), Val(2));
+        f.add_imm(Val(3), Val(3), 13);
+        f.store(Val(3), Ptr(1), 0, Width::B);
+        f.add_imm(Val(1), Val(1), 1);
+        f.jmp(top);
+        f.bind(done);
+        // bump the per-object TLS op counter
+        f.tls_ptr(Ptr(2));
+        f.load(Val(4), Ptr(2), 0, Width::D, false);
+        f.add_imm(Val(4), Val(4), 1);
+        f.store(Val(4), Ptr(2), 0, Width::D);
+        f.leave_ret();
+    }
+    {
+        // digest(buf, len) -> u64 checksum.
+        let mut f = FnBuilder::begin(&mut lib, "tls_digest", opts);
+        f.enter(32);
+        f.arg_to_ptr(Ptr(0), 0);
+        f.arg_to_val(Val(0), 1);
+        f.li(Val(1), 0);
+        f.li(Val(2), 0);
+        let top = f.label();
+        let done = f.label();
+        f.bind(top);
+        f.sub(Val(3), Val(1), Val(0));
+        f.beqz(Val(3), done);
+        f.ptr_add(Ptr(1), Ptr(0), Val(1));
+        f.load(Val(3), Ptr(1), 0, Width::B, false);
+        f.shl_imm(Val(4), Val(2), 3);
+        f.xor(Val(2), Val(4), Val(2));
+        f.add(Val(2), Val(2), Val(3));
+        f.add_imm(Val(1), Val(1), 1);
+        f.jmp(top);
+        f.bind(done);
+        f.set_ret_val(Val(2));
+        f.leave_ret();
+    }
+    pb.add(lib.finish());
+
+    // ---- the server executable ----
+    let mut exe = pb.object("tlsish");
+    {
+        let mut f = FnBuilder::begin(&mut exe, "main", opts);
+        f.enter(320);
+        // Direct mmap: a "session arena" page, giving the trace its
+        // syscall-derived capability.
+        f.set_arg_null(0);
+        f.li(Val(1), 16384);
+        f.set_arg_val(1, Val(1));
+        f.li(Val(2), 3);
+        f.set_arg_val(2, Val(2));
+        f.li(Val(3), 0);
+        f.set_arg_val(3, Val(3));
+        f.syscall(Sys::Mmap as i64);
+        f.ret_ptr_to(Ptr(4));
+        f.spill_ptr(Ptr(4), 32);
+
+        // The "connection": a pipe we write and read like a socket.
+        f.addr_of_stack(Ptr(0), 56, 8);
+        f.set_arg_ptr(0, Ptr(0));
+        f.syscall(Sys::Pipe as i64);
+        f.load(Val(6), Ptr(0), 0, Width::W, false); // rfd
+        f.load(Val(5), Ptr(0), 4, Width::W, false); // wfd
+        // fds live in the frame across the session loop
+        f.addr_of_stack(Ptr(0), 72, 16);
+        f.store(Val(6), Ptr(0), 0, Width::D);
+        f.store(Val(5), Ptr(0), 8, Width::D);
+
+        // Session table: pointer array in the mmap'd arena.
+        // session struct: [id u64][pad][bufptr][keyptr] (pointer slots).
+        let ps = f.ptr_size() as i64;
+        let hdr = ps.max(16);
+        let sess_size = hdr + 2 * ps;
+        let buf_ptr_off = hdr;
+        let key_ptr_off = hdr + ps;
+
+        f.li(Val(4), 0); // session counter: kept in the frame
+        f.addr_of_stack(Ptr(0), 96, 16);
+        f.store(Val(4), Ptr(0), 0, Width::D);
+        f.li(Val(4), 0); // running digest
+        f.store(Val(4), Ptr(0), 8, Width::D);
+
+        let s_top = f.label();
+        let s_done = f.label();
+        f.bind(s_top);
+        f.addr_of_stack(Ptr(0), 96, 16);
+        f.load(Val(0), Ptr(0), 0, Width::D, false);
+        f.li(Val(1), sessions);
+        f.sub(Val(1), Val(0), Val(1));
+        f.beqz(Val(1), s_done);
+
+        // --- handshake: allocate a session, key and traffic buffer ---
+        f.li(Val(2), sess_size);
+        f.set_arg_val(0, Val(2));
+        f.syscall(Sys::RtMalloc as i64);
+        f.ret_ptr_to(Ptr(1)); // session
+        f.li(Val(2), 48);
+        f.set_arg_val(0, Val(2));
+        f.syscall(Sys::RtMalloc as i64);
+        f.ret_ptr_to(Ptr(2)); // key
+        // traffic buffer size varies per session: 64 + (i * 37) % 1600
+        f.li(Val(2), 37);
+        f.mul(Val(2), Val(2), Val(0));
+        f.li(Val(3), 1600);
+        f.remu(Val(2), Val(2), Val(3));
+        f.add_imm(Val(2), Val(2), 64);
+        f.set_arg_val(0, Val(2));
+        f.syscall(Sys::RtMalloc as i64);
+        f.ret_ptr_to(Ptr(3)); // buffer
+        // link them: session.buf = buffer; session.key = key
+        f.store(Val(0), Ptr(1), 0, Width::D);
+        f.store_ptr(Ptr(3), Ptr(1), buf_ptr_off);
+        f.store_ptr(Ptr(2), Ptr(1), key_ptr_off);
+        // session table slot in the arena
+        f.reload_ptr(Ptr(4), 32);
+        f.li(Val(3), ps);
+        f.li(Val(1), 64);
+        f.remu(Val(1), Val(0), Val(1));
+        f.mul(Val(3), Val(3), Val(1));
+        f.ptr_add(Ptr(5), Ptr(4), Val(3));
+        f.store_ptr(Ptr(1), Ptr(5), 0);
+
+        // --- key schedule: stack scratch + ciphersuite table via GOT ---
+        f.addr_of_stack(Ptr(0), 120, 48);
+        f.load_global_ptr(Ptr(7), "ciphersuites");
+        f.li(Val(1), 0);
+        let k_top = f.label();
+        let k_done = f.label();
+        f.bind(k_top);
+        f.li(Val(2), 48);
+        f.sub(Val(2), Val(1), Val(2));
+        f.beqz(Val(2), k_done);
+        f.and_imm(Val(2), Val(1), 31);
+        f.shl_imm(Val(2), Val(2), 3);
+        f.ptr_add(Ptr(5), Ptr(7), Val(2));
+        f.load(Val(2), Ptr(5), 0, Width::D, false);
+        f.add(Val(2), Val(2), Val(0));
+        f.ptr_add(Ptr(5), Ptr(0), Val(1));
+        f.store(Val(2), Ptr(5), 0, Width::B);
+        f.add_imm(Val(1), Val(1), 1);
+        f.jmp(k_top);
+        f.bind(k_done);
+        // copy schedule into the key allocation
+        f.li(Val(1), 48);
+        f.memcpy_bytes(Ptr(2), Ptr(0), Val(1));
+
+        // --- traffic: fill buffer, mix (encrypt), send, recv, digest ---
+        f.li(Val(6), 0x41);
+        f.li(Val(1), 0);
+        let f_top = f.label();
+        let f_done = f.label();
+        f.bind(f_top);
+        f.li(Val(2), 64);
+        f.sub(Val(2), Val(1), Val(2));
+        f.beqz(Val(2), f_done);
+        f.ptr_add(Ptr(5), Ptr(3), Val(1));
+        f.store(Val(6), Ptr(5), 0, Width::B);
+        f.add_imm(Val(1), Val(1), 1);
+        f.jmp(f_top);
+        f.bind(f_done);
+        // spill session pointers we still need across calls
+        f.spill_ptr(Ptr(1), 176);
+        f.spill_ptr(Ptr(3), 176 + 16);
+        f.set_arg_ptr(0, Ptr(3));
+        f.li(Val(1), 64);
+        f.set_arg_val(1, Val(1));
+        f.call_global("tls_mix");
+        // send 64 bytes through the pipe, read them back
+        f.addr_of_stack(Ptr(0), 72, 16);
+        f.load(Val(5), Ptr(0), 8, Width::D, false); // wfd
+        f.reload_ptr(Ptr(3), 176 + 16);
+        f.set_arg_val(0, Val(5));
+        f.set_arg_ptr(1, Ptr(3));
+        f.li(Val(1), 64);
+        f.set_arg_val(2, Val(1));
+        f.syscall(Sys::Write as i64);
+        f.addr_of_stack(Ptr(0), 72, 16);
+        f.load(Val(6), Ptr(0), 0, Width::D, false); // rfd
+        f.addr_of_stack(Ptr(6), 224, 64); // recv buffer (stack)
+        f.set_arg_val(0, Val(6));
+        f.set_arg_ptr(1, Ptr(6));
+        f.li(Val(1), 64);
+        f.set_arg_val(2, Val(1));
+        f.syscall(Sys::Read as i64);
+        // digest what we received
+        f.addr_of_stack(Ptr(6), 224, 64);
+        f.set_arg_ptr(0, Ptr(6));
+        f.li(Val(1), 64);
+        f.set_arg_val(1, Val(1));
+        f.call_global("tls_digest");
+        f.ret_val_to(Val(2));
+        f.addr_of_stack(Ptr(0), 96, 16);
+        f.load(Val(3), Ptr(0), 8, Width::D, false);
+        f.add(Val(3), Val(3), Val(2));
+        f.store(Val(3), Ptr(0), 8, Width::D);
+
+        // --- teardown: free the buffer (sessions/keys stay cached) ---
+        f.reload_ptr(Ptr(3), 176 + 16);
+        f.set_arg_ptr(0, Ptr(3));
+        f.syscall(Sys::RtFree as i64);
+
+        f.addr_of_stack(Ptr(0), 96, 16);
+        f.load(Val(0), Ptr(0), 0, Width::D, false);
+        f.add_imm(Val(0), Val(0), 1);
+        f.store(Val(0), Ptr(0), 0, Width::D);
+        f.jmp(s_top);
+        f.bind(s_done);
+
+        f.addr_of_stack(Ptr(0), 96, 16);
+        f.load(Val(0), Ptr(0), 8, Width::D, false);
+        f.and_imm(Val(0), Val(0), 0x3f);
+        f.sys_exit(Val(0));
+    }
+    exe.set_entry("main");
+    pb.add(exe.finish());
+    pb.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheri_kernel::{AbiMode, ExitStatus, Kernel, KernelConfig, SpawnOpts};
+    use cheriabi::{CapSource, System};
+
+    #[test]
+    fn tlsish_runs_on_both_abis() {
+        for (abi, opts) in [
+            (AbiMode::Mips64, CodegenOpts::mips64()),
+            (AbiMode::CheriAbi, CodegenOpts::purecap()),
+        ] {
+            let program = build(opts, 20);
+            let mut k = Kernel::new(KernelConfig::default());
+            let (status, _) = k.run_program(&program, &SpawnOpts::new(abi)).unwrap();
+            assert!(matches!(status, ExitStatus::Code(_)), "{abi}: {status:?}");
+        }
+    }
+
+    #[test]
+    fn tlsish_trace_covers_figure5_sources() {
+        let program = build(CodegenOpts::purecap(), 120);
+        let mut sys = System::new();
+        sys.enable_tracing();
+        let (status, _) = sys
+            .kernel
+            .run_program(&program, &SpawnOpts::new(AbiMode::CheriAbi))
+            .unwrap();
+        assert!(matches!(status, ExitStatus::Code(_)));
+        let cdf = sys.capability_histogram();
+        assert!(cdf.total() > 1000, "only {} events", cdf.total());
+        for source in [
+            CapSource::Stack,
+            CapSource::Malloc,
+            CapSource::Exec,
+            CapSource::GlobReloc,
+            CapSource::Syscall,
+            CapSource::Tls,
+        ] {
+            assert!(
+                cdf.cumulative(source, 24) > 0,
+                "no {source} events in the trace"
+            );
+        }
+        // Figure 5 shape: the bulk of capabilities are small.
+        assert!(cdf.fraction_at_most(10) > 0.75, "fraction <=1KiB: {}", cdf.fraction_at_most(10));
+    }
+}

@@ -1,0 +1,34 @@
+//! D1 ablation plumbing: the pointer-heavy workloads run correctly under
+//! the 256-bit exact capability format, with the same results as C128 and
+//! a visibly larger memory footprint.
+
+use cheri_isa::codegen::CodegenOpts;
+use cheri_kernel::{AbiMode, KernelConfig, SpawnOpts};
+use cheriabi::{CapFormat, ExitStatus, System};
+
+fn run(name: &str, opts: CodegenOpts, fmt: CapFormat) -> (ExitStatus, u64) {
+    let w = cheri_workloads::all()
+        .into_iter()
+        .find(|w| w.name == name)
+        .expect("registered");
+    let program = (w.build)(opts, 7);
+    let mut sys = System::with_config(KernelConfig { cap_fmt: fmt, ..KernelConfig::default() });
+    let mut sopts = SpawnOpts::new(AbiMode::CheriAbi);
+    sopts.instr_budget = Some(2_000_000_000);
+    let (status, _c, m) = sys.measure(&program, &sopts).expect("loads");
+    (status, m.l2_misses)
+}
+
+#[test]
+fn c256_matches_c128_results_with_bigger_footprint() {
+    for name in ["spec2006-xalancbmk", "network-patricia", "auto-qsort"] {
+        let (s128, m128) = run(name, CodegenOpts::purecap(), CapFormat::C128);
+        let (s256, m256) = run(name, CodegenOpts::purecap_c256(), CapFormat::C256);
+        assert!(matches!(s128, ExitStatus::Code(_)), "{name}: {s128:?}");
+        assert_eq!(s128, s256, "{name}: format changed the answer");
+        assert!(
+            m256 > m128,
+            "{name}: 256-bit pointers must increase L2 misses ({m128} vs {m256})"
+        );
+    }
+}

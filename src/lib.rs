@@ -1,0 +1,5 @@
+//! Root facade crate: hosts the repository's runnable examples and
+//! cross-crate integration tests. The library surface is re-exported from
+//! [`cheriabi`]; see that crate (and README.md) for the actual API.
+
+pub use cheriabi::*;

