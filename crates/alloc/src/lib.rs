@@ -189,9 +189,9 @@ impl Allocator {
         }
         let ranges = self.quarantined_ranges();
         let hits_quarantine = |cap: &Capability| {
-            ranges.iter().any(|&(b, l)| {
-                (cap.base() as u128) < (b + l) as u128 && cap.top() > b as u128
-            })
+            ranges
+                .iter()
+                .any(|&(b, l)| (cap.base() as u128) < (b + l) as u128 && cap.top() > b as u128)
         };
         // Sweep all resident pages of the space.
         let pages: Vec<(u64, cheri_mem::FrameId)> = vm
@@ -205,7 +205,10 @@ impl Allocator {
             .collect();
         let mut revoked = 0u64;
         for (_vpn, frame) in &pages {
-            let caps = vm.phys.scan_caps(*frame).map_err(|_| AllocError::OutOfMemory)?;
+            let caps = vm
+                .phys
+                .scan_caps(*frame)
+                .map_err(|_| AllocError::OutOfMemory)?;
             for (off, cap) in caps {
                 if hits_quarantine(&cap) {
                     vm.phys
@@ -219,7 +222,10 @@ impl Allocator {
         // Recycle the quarantined slots.
         let recycled = self.quarantine.len() as u64;
         for (_, _, slot_base, slot_size) in std::mem::take(&mut self.quarantine) {
-            self.free_lists.entry(slot_size).or_default().push(slot_base);
+            self.free_lists
+                .entry(slot_size)
+                .or_default()
+                .push(slot_base);
         }
         Ok((revoked, recycled))
     }
@@ -258,7 +264,11 @@ impl Allocator {
     pub fn malloc(&mut self, vm: &mut Vm, len: u64) -> Result<Capability, AllocError> {
         self.charge(60);
         let padded = self.padded_size(vm, len);
-        let with_rz = if self.asan { padded + 2 * REDZONE } else { padded };
+        let with_rz = if self.asan {
+            padded + 2 * REDZONE
+        } else {
+            padded
+        };
         let base = match self.free_lists.get_mut(&with_rz).and_then(Vec::pop) {
             Some(b) => b,
             None => self.carve(vm, with_rz)?,
@@ -279,7 +289,14 @@ impl Allocator {
             .map_err(AllocError::BadCapability)?
             .and_perms(Perms::user_data() - Perms::VMMAP)
             .with_source(CapSource::Malloc);
-        self.live.insert(user_base, AllocMeta { cap, req_len: len, padded });
+        self.live.insert(
+            user_base,
+            AllocMeta {
+                cap,
+                req_len: len,
+                padded,
+            },
+        );
         self.stats.allocs += 1;
         self.stats.live_bytes += padded;
         if self.asan {
@@ -355,7 +372,11 @@ impl Allocator {
     pub fn free_addr(&mut self, vm: &mut Vm, addr: u64) -> Result<(), AllocError> {
         self.charge(40);
         let meta = self.live.remove(&addr).ok_or(AllocError::BadFree)?;
-        let with_rz = if self.asan { meta.padded + 2 * REDZONE } else { meta.padded };
+        let with_rz = if self.asan {
+            meta.padded + 2 * REDZONE
+        } else {
+            meta.padded
+        };
         let slot_base = if self.asan { addr - REDZONE } else { addr };
         if self.asan {
             self.poison(vm, addr, meta.padded, 0xfd)?; // freed-memory poison
@@ -363,7 +384,8 @@ impl Allocator {
         }
         if self.temporal {
             // Quarantine until the next revocation sweep.
-            self.quarantine.push((addr, meta.padded, slot_base, with_rz));
+            self.quarantine
+                .push((addr, meta.padded, slot_base, with_rz));
         } else {
             self.free_lists.entry(with_rz).or_default().push(slot_base);
         }
@@ -439,7 +461,7 @@ impl Allocator {
         let full = len / 8;
         let buf = vec![0u8; full as usize];
         vm.write_bytes(self.space, ASAN_SHADOW_BASE + start / 8, &buf)?;
-        if len % 8 != 0 {
+        if !len.is_multiple_of(8) {
             vm.write_bytes(
                 self.space,
                 ASAN_SHADOW_BASE + start / 8 + full,
@@ -461,8 +483,15 @@ mod tests {
         if asan {
             // Kernel maps the (lazily populated) shadow region covering the
             // whole low user range for asan processes.
-            vm.map(id, Some(ASAN_SHADOW_BASE), 1 << 41, Prot::rw(), Backing::Zero, "shadow")
-                .unwrap();
+            vm.map(
+                id,
+                Some(ASAN_SHADOW_BASE),
+                1 << 41,
+                Prot::rw(),
+                Backing::Zero,
+                "shadow",
+            )
+            .unwrap();
         }
         (vm, Allocator::new(id, asan))
     }
@@ -541,7 +570,8 @@ mod tests {
         let c = a.malloc(&mut vm, 24).unwrap();
         let shadow = move |vm: &mut Vm, addr: u64| {
             let mut b = [0u8; 1];
-            vm.read_bytes(space, ASAN_SHADOW_BASE + addr / 8, &mut b).unwrap();
+            vm.read_bytes(space, ASAN_SHADOW_BASE + addr / 8, &mut b)
+                .unwrap();
             b[0]
         };
         assert_eq!(shadow(&mut vm, c.base() - 8), 0xfa, "left redzone");

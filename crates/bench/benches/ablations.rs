@@ -19,8 +19,18 @@ fn bench_initdb_configs(c: &mut Criterion) {
     for (name, opts, abi, asan) in [
         ("mips64", CodegenOpts::mips64(), AbiMode::Mips64, false),
         ("cheriabi", CodegenOpts::purecap(), AbiMode::CheriAbi, false),
-        ("cheriabi-smallclc", CodegenOpts::purecap_small_clc(), AbiMode::CheriAbi, false),
-        ("mips64-asan", CodegenOpts::mips64_asan(), AbiMode::Mips64, true),
+        (
+            "cheriabi-smallclc",
+            CodegenOpts::purecap_small_clc(),
+            AbiMode::CheriAbi,
+            false,
+        ),
+        (
+            "mips64-asan",
+            CodegenOpts::mips64_asan(),
+            AbiMode::Mips64,
+            true,
+        ),
     ] {
         let program = build_initdb(opts, 120);
         g.bench_function(name, |b| {
@@ -42,7 +52,11 @@ fn bench_cap_format(c: &mut Criterion) {
         .expect("workload registered");
     for (name, opts, fmt) in [
         ("c128", CodegenOpts::purecap(), cheriabi::CapFormat::C128),
-        ("c256", CodegenOpts::purecap_c256(), cheriabi::CapFormat::C256),
+        (
+            "c256",
+            CodegenOpts::purecap_c256(),
+            cheriabi::CapFormat::C256,
+        ),
     ] {
         let program = (w.build)(opts, 7);
         g.bench_function(name, |b| {
@@ -81,5 +95,10 @@ fn bench_bodiag_detectors(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_initdb_configs, bench_cap_format, bench_bodiag_detectors);
+criterion_group!(
+    benches,
+    bench_initdb_configs,
+    bench_cap_format,
+    bench_bodiag_detectors
+);
 criterion_main!(benches);

@@ -4,47 +4,78 @@
 //! resembles a modern super-scalar CPU" and calls for a trace-based cache
 //! analysis; this binary is that analysis for the simulated platform.
 
+use cheri_bench::cli;
 use cheri_isa::codegen::CodegenOpts;
-use cheri_kernel::{AbiMode, KernelConfig, SpawnOpts};
-use cheri_mem::{CacheConfig, CacheHierarchy};
-use cheriabi::System;
+use cheri_kernel::AbiMode;
+use cheriabi::harness::{CaseOutcome, CaseReport, Harness, RunSpec};
+use cheriabi::Metrics;
+use std::sync::Arc;
 
-fn measure_with_l2(
-    program: &cheriabi::Program,
-    abi: AbiMode,
-    l2_kib: u64,
-) -> cheriabi::Metrics {
-    let mut sys = System::with_config(KernelConfig::default());
-    sys.kernel.cpu.caches = CacheHierarchy::new(
-        CacheConfig::l1_default(),
-        CacheConfig { size: l2_kib * 1024, line: 64, ways: 8 },
-    );
-    let mut opts = SpawnOpts::new(abi);
-    opts.instr_budget = Some(2_000_000_000);
-    let (_, _, m) = sys.measure(program, &opts).expect("loads");
-    m
+const SEED: u64 = 7;
+const L2_SIZES_KIB: [u64; 5] = [64, 128, 256, 512, 1024];
+
+fn metrics(report: &CaseReport) -> Metrics {
+    match &report.outcome {
+        CaseOutcome::Exited(_) => report.metrics,
+        other => panic!("{}: {other}", report.name),
+    }
 }
 
 fn main() {
+    let opts = cli::parse_env();
     let w = cheri_workloads::all()
         .into_iter()
         .find(|w| w.name == "spec2006-xalancbmk")
         .expect("registered");
-    println!("Cache sweep: CheriABI cycle overhead vs L2 size (spec2006-xalancbmk)");
-    println!("{:>8} {:>12} {:>12} {:>9} {:>14}", "L2", "mips64 cyc", "cheri cyc", "overhead", "cheri L2 miss");
-    for l2_kib in [64u64, 128, 256, 512, 1024] {
-        let pm = (w.build)(CodegenOpts::mips64(), 7);
-        let pc = (w.build)(CodegenOpts::purecap(), 7);
-        let m = measure_with_l2(&pm, AbiMode::Mips64, l2_kib);
-        let c = measure_with_l2(&pc, AbiMode::CheriAbi, l2_kib);
+    if !opts.json {
+        println!("Cache sweep: CheriABI cycle overhead vs L2 size (spec2006-xalancbmk)");
         println!(
-            "{:>6}K {:>12} {:>12} {:>+8.1}% {:>14}",
-            l2_kib,
-            m.cycles,
-            c.cycles,
-            (c.cycles as f64 / m.cycles as f64 - 1.0) * 100.0,
-            c.l2_misses,
+            "{:>8} {:>12} {:>12} {:>9} {:>14}",
+            "L2", "mips64 cyc", "cheri cyc", "overhead", "cheri L2 miss"
         );
+    }
+    let build = w.build;
+    let mut specs = Vec::with_capacity(L2_SIZES_KIB.len() * 2);
+    for l2_kib in L2_SIZES_KIB {
+        for (label, codegen, abi) in [
+            ("mips64", CodegenOpts::mips64(), AbiMode::Mips64),
+            ("cheriabi", CodegenOpts::purecap(), AbiMode::CheriAbi),
+        ] {
+            specs.push(
+                RunSpec::new(
+                    format!("{}-l2-{l2_kib}K-{label}", w.name),
+                    Arc::new(build),
+                    codegen,
+                    abi,
+                )
+                .with_seed(SEED)
+                .with_budget(2_000_000_000)
+                .with_l2_size(l2_kib * 1024),
+            );
+        }
+    }
+    let reports = Harness::new(opts.jobs).run(&specs);
+    for (i, l2_kib) in L2_SIZES_KIB.into_iter().enumerate() {
+        let m = metrics(&reports[i * 2]);
+        let c = metrics(&reports[i * 2 + 1]);
+        let overhead = (c.cycles as f64 / m.cycles as f64 - 1.0) * 100.0;
+        if opts.json {
+            println!(
+                "{{\"experiment\":\"cache_sweep\",\"l2_kib\":{l2_kib},\"mips64_cycles\":{},\"cheri_cycles\":{},\"overhead_pct\":{},\"cheri_l2_misses\":{}}}",
+                m.cycles,
+                c.cycles,
+                cli::json_f64(overhead),
+                c.l2_misses
+            );
+        } else {
+            println!(
+                "{:>6}K {:>12} {:>12} {:>+8.1}% {:>14}",
+                l2_kib, m.cycles, c.cycles, overhead, c.l2_misses,
+            );
+        }
+    }
+    if opts.json {
+        return;
     }
     println!();
     println!(

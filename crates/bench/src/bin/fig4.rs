@@ -3,54 +3,64 @@
 //! interquartile ranges over several input seeds, for the MiBench-like and
 //! SPEC-like workloads plus `initdb-dynamic`.
 
-use cheri_bench::{iqr, measure, median};
+use cheri_bench::cli::{self, json_escape, json_f64};
+use cheri_bench::{iqr, median};
 use cheri_corpus::minidb::build_initdb;
-use cheri_isa::codegen::CodegenOpts;
-use cheri_kernel::AbiMode;
-use cheri_rtld::Program;
-use cheri_workloads::all;
+use cheri_workloads::trials::{overhead_rows, Trial};
+use std::sync::Arc;
 
 const SEEDS: [u64; 5] = [3, 7, 13, 29, 61];
 
-fn row(name: &str, build: &dyn Fn(CodegenOpts, u64) -> Program) {
-    let mut instr = Vec::new();
-    let mut cycles = Vec::new();
-    let mut l2 = Vec::new();
-    for &seed in &SEEDS {
-        let (sm, mm) = measure(&build(CodegenOpts::mips64(), seed), AbiMode::Mips64, false);
-        let (sc, mc) = measure(&build(CodegenOpts::purecap(), seed), AbiMode::CheriAbi, false);
-        assert_eq!(sm, sc, "{name}: results differ between ABIs");
-        let o = mc.overhead_vs(&mm);
-        instr.push((o.instructions - 1.0) * 100.0);
-        cycles.push((o.cycles - 1.0) * 100.0);
-        l2.push((o.l2_misses - 1.0) * 100.0);
-    }
-    println!(
-        "{:<24} {:>+7.1}% ({:>5.1}) {:>+7.1}% ({:>5.1}) {:>+7.1}% ({:>5.1})",
-        name,
-        median(&mut instr.clone()),
-        iqr(&mut instr.clone()),
-        median(&mut cycles.clone()),
-        iqr(&mut cycles.clone()),
-        median(&mut l2.clone()),
-        iqr(&mut l2.clone()),
-    );
-}
-
 fn main() {
-    println!("Figure 4: CheriABI overhead vs mips64 baseline, median (IQR) over {} seeds", SEEDS.len());
-    println!(
-        "{:<24} {:>16} {:>16} {:>16}",
-        "benchmark", "instructions", "cycles", "l2cache misses"
-    );
-    for w in all() {
-        row(w.name, &|opts, seed| (w.build)(opts, seed));
+    let opts = cli::parse_env();
+    if !opts.json {
+        println!(
+            "Figure 4: CheriABI overhead vs mips64 baseline, median (IQR) over {} seeds",
+            SEEDS.len()
+        );
+        println!(
+            "{:<24} {:>16} {:>16} {:>16}",
+            "benchmark", "instructions", "cycles", "l2cache misses"
+        );
     }
+    let mut trials: Vec<Trial> = cheri_workloads::all()
+        .iter()
+        .map(Trial::from_workload)
+        .collect();
     // initdb-dynamic: the record count varies slightly with the seed so the
     // IQR is meaningful.
-    row("initdb-dynamic", &|opts, seed| {
-        build_initdb(opts, 360 + (seed % 5) as i64 * 20)
-    });
+    trials.push(Trial::new(
+        "initdb-dynamic",
+        Arc::new(|opts, seed| build_initdb(opts, 360 + (seed % 5) as i64 * 20)),
+    ));
+    for row in overhead_rows(&trials, &SEEDS, opts.jobs) {
+        if opts.json {
+            println!(
+                "{{\"figure\":\"fig4\",\"benchmark\":\"{}\",\"instr_median\":{},\"instr_iqr\":{},\"cycles_median\":{},\"cycles_iqr\":{},\"l2_median\":{},\"l2_iqr\":{}}}",
+                json_escape(&row.name),
+                json_f64(median(&mut row.instr.clone())),
+                json_f64(iqr(&mut row.instr.clone())),
+                json_f64(median(&mut row.cycles.clone())),
+                json_f64(iqr(&mut row.cycles.clone())),
+                json_f64(median(&mut row.l2.clone())),
+                json_f64(iqr(&mut row.l2.clone())),
+            );
+        } else {
+            println!(
+                "{:<24} {:>+7.1}% ({:>5.1}) {:>+7.1}% ({:>5.1}) {:>+7.1}% ({:>5.1})",
+                row.name,
+                median(&mut row.instr.clone()),
+                iqr(&mut row.instr.clone()),
+                median(&mut row.cycles.clone()),
+                iqr(&mut row.cycles.clone()),
+                median(&mut row.l2.clone()),
+                iqr(&mut row.l2.clone()),
+            );
+        }
+    }
+    if opts.json {
+        return;
+    }
     println!();
     println!(
         "Paper (Figure 4) shape: most MiBench kernels within noise (±5%);\n\

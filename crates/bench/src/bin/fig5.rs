@@ -20,11 +20,22 @@ fn main() {
         "Figure 5: cumulative capabilities by bounds size (tlsish, {} sessions, exit {status:?})",
         200
     );
-    println!("run: {} instructions, {} syscalls, {} derivation events", metrics.instructions, metrics.syscalls, cdf.total());
+    println!(
+        "run: {} instructions, {} syscalls, {} derivation events",
+        metrics.instructions,
+        metrics.syscalls,
+        cdf.total()
+    );
     println!();
     println!("{cdf}");
-    println!("fraction of capabilities with bounds <= 1 KiB: {:.1}%", cdf.fraction_at_most(10) * 100.0);
-    println!("fraction of capabilities with bounds <= 16 MiB: {:.1}%", cdf.fraction_at_most(24) * 100.0);
+    println!(
+        "fraction of capabilities with bounds <= 1 KiB: {:.1}%",
+        cdf.fraction_at_most(10) * 100.0
+    );
+    println!(
+        "fraction of capabilities with bounds <= 16 MiB: {:.1}%",
+        cdf.fraction_at_most(24) * 100.0
+    );
     println!();
     println!(
         "Paper (Figure 5) shape: no capability grants access to more than\n\

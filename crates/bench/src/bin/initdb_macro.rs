@@ -15,7 +15,10 @@ use cheri_corpus::minidb::build_initdb;
 fn main() {
     let records = 420;
     println!("initdb macro-benchmark ({records} records)");
-    println!("{:<20} {:>14} {:>12} {:>10} {:>10}", "config", "cycles", "instrs", "vs mips64", "code size");
+    println!(
+        "{:<20} {:>14} {:>12} {:>10} {:>10}",
+        "config", "cycles", "instrs", "vs mips64", "code size"
+    );
     let mut base_cycles = 0f64;
     for (name, opts, abi, asan) in configurations() {
         let program = build_initdb(opts, records);

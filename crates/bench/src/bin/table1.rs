@@ -2,14 +2,21 @@
 //! FreeBSD-suite stand-in, the minidb `pg_regress` suite, and the
 //! libc++-like subsuite, under the legacy mips64 ABI and CheriABI.
 
+use cheri_bench::cli::{self, json_escape};
 use cheri_corpus::families::{freebsd_suite, libcxx_suite};
 use cheri_corpus::minidb::pg_regress_suite;
-use cheri_corpus::suite::run_suite;
+use cheri_corpus::suite::run_suite_jobs;
 use cheri_kernel::AbiMode;
 
 fn main() {
-    println!("Table 1: test suite results (this reproduction's corpus)");
-    println!("{:<22} {:>6} {:>6} {:>6} {:>7}", "suite", "pass", "fail", "skip", "total");
+    let opts = cli::parse_env();
+    if !opts.json {
+        println!("Table 1: test suite results (this reproduction's corpus)");
+        println!(
+            "{:<22} {:>6} {:>6} {:>6} {:>7}",
+            "suite", "pass", "fail", "skip", "total"
+        );
+    }
     let suites: Vec<(&str, Vec<cheri_corpus::TestCase>)> = vec![
         ("FreeBSD", freebsd_suite()),
         ("PostgreSQL", pg_regress_suite()),
@@ -17,16 +24,30 @@ fn main() {
     ];
     for (name, cases) in &suites {
         for abi in [AbiMode::Mips64, AbiMode::CheriAbi] {
-            let r = run_suite(cases, abi);
-            println!(
-                "{:<22} {:>6} {:>6} {:>6} {:>7}",
-                format!("{name} {abi}"),
-                r.pass,
-                r.fail,
-                r.skip,
-                r.total()
-            );
+            let r = run_suite_jobs(cases, abi, opts.jobs);
+            if opts.json {
+                println!(
+                    "{{\"table\":\"table1\",\"suite\":\"{}\",\"abi\":\"{abi}\",\"pass\":{},\"fail\":{},\"skip\":{},\"total\":{}}}",
+                    json_escape(name),
+                    r.pass,
+                    r.fail,
+                    r.skip,
+                    r.total()
+                );
+            } else {
+                println!(
+                    "{:<22} {:>6} {:>6} {:>6} {:>7}",
+                    format!("{name} {abi}"),
+                    r.pass,
+                    r.fail,
+                    r.skip,
+                    r.total()
+                );
+            }
         }
+    }
+    if opts.json {
+        return;
     }
     println!();
     println!("Paper (Table 1), for shape comparison:");

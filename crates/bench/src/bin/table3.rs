@@ -1,15 +1,55 @@
 //! Regenerates **Table 3**: BOdiagsuite detection counts for mips64,
 //! CheriABI and AddressSanitizer at min / med / large overflow magnitudes.
 
-use bodiagsuite::{all_cases, run_table3};
+use bodiagsuite::{all_cases, run_table3_jobs};
+use cheri_bench::cli::{self, json_escape};
 
 fn main() {
+    let opts = cli::parse_env();
     let cases = all_cases();
-    println!("Table 3: BOdiagsuite tests with detected errors (of {} total)", cases.len());
-    let table = run_table3(&cases);
+    if !opts.json {
+        println!(
+            "Table 3: BOdiagsuite tests with detected errors (of {} total)",
+            cases.len()
+        );
+    }
+    let table = run_table3_jobs(&cases, opts.jobs);
+    if opts.json {
+        for (config, counts) in &table.detected {
+            println!(
+                "{{\"table\":\"table3\",\"config\":\"{}\",\"min\":{},\"med\":{},\"large\":{},\"total\":{}}}",
+                config.label(),
+                counts[0],
+                counts[1],
+                counts[2],
+                cases.len()
+            );
+        }
+        for (id, config, status) in &table.false_positives {
+            println!(
+                "{{\"table\":\"table3\",\"false_positive\":{{\"case\":{id},\"config\":\"{}\",\"status\":\"{}\"}}}}",
+                config.label(),
+                json_escape(&format!("{status:?}"))
+            );
+        }
+        for (name, error) in &table.errors {
+            println!(
+                "{{\"table\":\"table3\",\"error\":{{\"case\":\"{}\",\"message\":\"{}\"}}}}",
+                json_escape(name),
+                json_escape(error)
+            );
+        }
+        return;
+    }
     println!("{table}");
     if !table.false_positives.is_empty() {
-        println!("FALSE POSITIVES (ok-variant failures): {:?}", table.false_positives);
+        println!(
+            "FALSE POSITIVES (ok-variant failures): {:?}",
+            table.false_positives
+        );
+    }
+    if !table.errors.is_empty() {
+        println!("ERRORS (runs without an exit status): {:?}", table.errors);
     }
     println!("Paper (Table 3):");
     println!("{:<10} {:>6} {:>6} {:>6}", "", "min", "med", "large");

@@ -1,0 +1,140 @@
+//! Shared command-line handling for the evaluation binaries.
+//!
+//! Every table/figure binary accepts the same two flags:
+//!
+//! * `--jobs N` — number of harness workers (default: all available
+//!   cores). Results are identical at any level; `--jobs 1` is the exact
+//!   sequential path.
+//! * `--json` — emit one machine-readable JSON line per result row
+//!   instead of the human-readable table.
+
+use std::fmt::Write as _;
+
+/// Parsed common options.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BenchOpts {
+    /// Harness worker count.
+    pub jobs: usize,
+    /// Emit JSON report lines instead of the human table.
+    pub json: bool,
+}
+
+impl Default for BenchOpts {
+    fn default() -> Self {
+        BenchOpts {
+            jobs: cheriabi::harness::available_parallelism(),
+            json: false,
+        }
+    }
+}
+
+/// Parses `--jobs N` / `--json` / `--help` from an argument list (without
+/// the program name). Returns an error message on anything unrecognised.
+pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<BenchOpts, String> {
+    let mut opts = BenchOpts::default();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--jobs" | "-j" => {
+                let value = iter.next().ok_or("--jobs needs a value")?;
+                let jobs: usize = value
+                    .parse()
+                    .map_err(|_| format!("--jobs: not a number: {value}"))?;
+                if jobs == 0 {
+                    return Err("--jobs must be at least 1".to_string());
+                }
+                opts.jobs = jobs;
+            }
+            "--json" => opts.json = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument: {other}\n{USAGE}")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Usage text shared by the binaries.
+pub const USAGE: &str = "options:\n  --jobs N   harness workers (default: all cores)\n  --json     machine-readable output, one JSON line per row";
+
+/// Parses the process arguments; prints the usage text and exits 0 on
+/// `--help`, exits 2 on anything unrecognised.
+#[must_use]
+pub fn parse_env() -> BenchOpts {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        std::process::exit(0);
+    }
+    match parse_args(args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+#[must_use]
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` for a JSON line: finite values print plainly, the
+/// rest (overheads can divide by zero misses) become `null`.
+#[must_use]
+pub fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.4}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    #[test]
+    fn parses_jobs_and_json() {
+        let opts = parse_args(args(&["--jobs", "4", "--json"])).expect("parses");
+        assert_eq!(opts.jobs, 4);
+        assert!(opts.json);
+        let defaults = parse_args(args(&[])).expect("parses");
+        assert!(defaults.jobs >= 1);
+        assert!(!defaults.json);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_args(args(&["--jobs"])).is_err());
+        assert!(parse_args(args(&["--jobs", "zero"])).is_err());
+        assert!(parse_args(args(&["--jobs", "0"])).is_err());
+        assert!(parse_args(args(&["--frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn escapes_json_strings() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        assert_eq!(json_f64(1.25), "1.2500");
+    }
+}

@@ -20,6 +20,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
+
 use cheri_isa::codegen::{CodegenOpts, FnBuilder, Ptr, Val};
 use cheri_kernel::{AbiMode, ExitStatus, KernelConfig, SpawnOpts, Sys};
 use cheri_rtld::{Program, ProgramBuilder};
@@ -52,8 +54,18 @@ pub fn configurations() -> Vec<(&'static str, CodegenOpts, AbiMode, bool)> {
     vec![
         ("mips64", CodegenOpts::mips64(), AbiMode::Mips64, false),
         ("cheriabi", CodegenOpts::purecap(), AbiMode::CheriAbi, false),
-        ("cheriabi-smallclc", CodegenOpts::purecap_small_clc(), AbiMode::CheriAbi, false),
-        ("mips64-asan", CodegenOpts::mips64_asan(), AbiMode::Mips64, true),
+        (
+            "cheriabi-smallclc",
+            CodegenOpts::purecap_small_clc(),
+            AbiMode::CheriAbi,
+            false,
+        ),
+        (
+            "mips64-asan",
+            CodegenOpts::mips64_asan(),
+            AbiMode::Mips64,
+            true,
+        ),
     ]
 }
 
@@ -238,11 +250,18 @@ pub fn micro_fork(opts: CodegenOpts, iters: i64) -> Program {
     })
 }
 
+/// One syscall micro-benchmark: name, program builder, iteration count.
+pub type MicroBench = (&'static str, fn(CodegenOpts, i64) -> Program, i64);
+
 /// The syscall micro-benchmarks by name.
 #[must_use]
-pub fn micro_benchmarks() -> Vec<(&'static str, fn(CodegenOpts, i64) -> Program, i64)> {
+pub fn micro_benchmarks() -> Vec<MicroBench> {
     vec![
-        ("getpid", micro_getpid as fn(CodegenOpts, i64) -> Program, 400),
+        (
+            "getpid",
+            micro_getpid as fn(CodegenOpts, i64) -> Program,
+            400,
+        ),
         ("pipe_rw", micro_pipe_rw, 200),
         ("select", micro_select, 200),
         ("fork", micro_fork, 40),

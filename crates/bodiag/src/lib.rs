@@ -25,10 +25,12 @@
 
 use cheri_isa::codegen::{CodegenOpts, FnBuilder, Ptr, Val};
 use cheri_isa::Width;
-use cheri_kernel::{AbiMode, ExitStatus, Kernel, KernelConfig, SpawnOpts};
+use cheri_kernel::{AbiMode, ExitStatus};
 use cheri_rtld::{Program, ProgramBuilder};
 use cheriabi::guest::GuestOps;
+use cheriabi::harness::{CaseOutcome, Harness, RunSpec};
 use std::fmt;
+use std::sync::Arc;
 
 /// Number of base test cases (paper: 291).
 pub const TOTAL_CASES: usize = 291;
@@ -132,7 +134,13 @@ pub fn all_cases() -> Vec<CaseCfg> {
     let mut cases = Vec::new();
     let mut id = 0;
     let mut push = |region, access, idiom, len| {
-        cases.push(CaseCfg { id, region, access, idiom, len });
+        cases.push(CaseCfg {
+            id,
+            region,
+            access,
+            idiom,
+            len,
+        });
         id += 1;
     };
     // 180 stack cases: 30 lengths x {read,write} x 3 idioms.
@@ -165,13 +173,22 @@ pub fn all_cases() -> Vec<CaseCfg> {
     for i in 0..10u64 {
         push(
             Region::IntraObject { tail: 7 },
-            if i % 2 == 0 { AccessDir::Read } else { AccessDir::Write },
+            if i % 2 == 0 {
+                AccessDir::Read
+            } else {
+                AccessDir::Write
+            },
             Idiom::DirectOffset,
             9 + i * 16,
         );
     }
     for i in 0..2u64 {
-        push(Region::IntraObject { tail: 23 }, AccessDir::Write, Idiom::DirectOffset, 41 + i * 16);
+        push(
+            Region::IntraObject { tail: 23 },
+            AccessDir::Write,
+            Idiom::DirectOffset,
+            41 + i * 16,
+        );
     }
     assert_eq!(cases.len(), TOTAL_CASES);
     cases
@@ -322,20 +339,39 @@ impl Config {
     }
 }
 
+/// Instruction budget per case run.
+const CASE_BUDGET: u64 = 5_000_000;
+
+/// Lowers one case/variant/config into a harness spec.
+#[must_use]
+pub fn case_spec(cfg: &CaseCfg, variant: Variant, config: Config) -> RunSpec {
+    let cfg = *cfg;
+    RunSpec::new(
+        format!("case{:03}-{}-{}", cfg.id, variant.label(), config.label()),
+        Arc::new(move |opts, _seed| build_case(&cfg, variant, opts)),
+        config.codegen(),
+        config.abi(),
+    )
+    .with_asan(config == Config::Asan)
+    .with_budget(CASE_BUDGET)
+}
+
 /// Runs one case/variant under `config`; returns `(detected, status)`.
+///
+/// Every suite program is generated and must load; a load failure or panic
+/// here is a bug in the generator, so this convenience wrapper panics on
+/// those (the batched [`run_table3_jobs`] path records them instead).
 #[must_use]
 pub fn run_one(cfg: &CaseCfg, variant: Variant, config: Config) -> (bool, ExitStatus) {
-    let program = build_case(cfg, variant, config.codegen());
-    let mut kernel = Kernel::new(KernelConfig::default());
-    let mut opts = SpawnOpts::new(config.abi());
-    opts.asan = config == Config::Asan;
-    opts.instr_budget = Some(5_000_000);
-    let (status, _) = kernel.run_program(&program, &opts).expect("loads");
-    (status.is_safety_stop(), status)
+    let report = cheriabi::harness::execute_spec(&case_spec(cfg, variant, config));
+    match report.outcome {
+        CaseOutcome::Exited(status) => (status.is_safety_stop(), status),
+        other => panic!("{}: {other}", report.name),
+    }
 }
 
 /// Table 3 results: `detected[config][variant]` counts.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Table3 {
     /// Counts per configuration, ordered as [`Config::ALL`] and
     /// `[min, med, large]`.
@@ -344,6 +380,10 @@ pub struct Table3 {
     /// paper "verified that the variants without memory-safety errors ran
     /// correctly").
     pub false_positives: Vec<(usize, Config, ExitStatus)>,
+    /// Runs that never produced an exit status (load failure or panic),
+    /// with the case name and the error. Must be empty for a healthy suite;
+    /// counted as "not detected" in [`Table3::detected`].
+    pub errors: Vec<(String, String)>,
 }
 
 impl fmt::Display for Table3 {
@@ -363,30 +403,60 @@ impl fmt::Display for Table3 {
     }
 }
 
-/// Runs the complete suite (all cases, variants and configurations).
+/// The buggy variants in Table 3 column order.
+const BUGGY: [Variant; 3] = [Variant::Min, Variant::Med, Variant::Large];
+
+/// Runs the complete suite (all cases, variants and configurations) across
+/// `jobs` workers. The spec list — and therefore every count and the order
+/// of `false_positives` — follows the sequential nesting (config, then
+/// case, then min/med/large/ok) regardless of `jobs`.
 #[must_use]
-pub fn run_table3(cases: &[CaseCfg]) -> Table3 {
+pub fn run_table3_jobs(cases: &[CaseCfg], jobs: usize) -> Table3 {
+    let mut specs = Vec::with_capacity(Config::ALL.len() * cases.len() * 4);
+    for config in Config::ALL {
+        for cfg in cases {
+            for variant in BUGGY {
+                specs.push(case_spec(cfg, variant, config));
+            }
+            specs.push(case_spec(cfg, Variant::Ok, config));
+        }
+    }
+    let reports = Harness::new(jobs).run(&specs);
+
     let mut table = Table3::default();
+    let mut next = reports.iter();
     for config in Config::ALL {
         let mut counts = [0usize; 3];
         for cfg in cases {
-            for (vi, variant) in [Variant::Min, Variant::Med, Variant::Large]
-                .into_iter()
-                .enumerate()
-            {
-                let (detected, _) = run_one(cfg, variant, config);
-                if detected {
-                    counts[vi] += 1;
+            for count in &mut counts {
+                let report = next.next().expect("one report per spec");
+                match &report.outcome {
+                    CaseOutcome::Exited(status) => {
+                        if status.is_safety_stop() {
+                            *count += 1;
+                        }
+                    }
+                    other => table.errors.push((report.name.clone(), other.to_string())),
                 }
             }
-            let (_, ok_status) = run_one(cfg, Variant::Ok, config);
-            if ok_status != ExitStatus::Code(0) {
-                table.false_positives.push((cfg.id, config, ok_status));
+            let report = next.next().expect("one report per spec");
+            match &report.outcome {
+                CaseOutcome::Exited(ExitStatus::Code(0)) => {}
+                CaseOutcome::Exited(status) => {
+                    table.false_positives.push((cfg.id, config, *status));
+                }
+                other => table.errors.push((report.name.clone(), other.to_string())),
             }
         }
         table.detected.push((config, counts));
     }
     table
+}
+
+/// Runs the complete suite sequentially.
+#[must_use]
+pub fn run_table3(cases: &[CaseCfg]) -> Table3 {
+    run_table3_jobs(cases, 1)
 }
 
 #[cfg(test)]
@@ -399,11 +469,23 @@ mod tests {
     fn suite_has_exactly_291_cases() {
         let cases = all_cases();
         assert_eq!(cases.len(), TOTAL_CASES);
-        assert_eq!(cases.iter().filter(|c| c.region == Region::Stack).count(), 180);
-        assert_eq!(cases.iter().filter(|c| c.region == Region::Heap).count(), 96);
-        assert_eq!(cases.iter().filter(|c| c.region == Region::Global).count(), 3);
         assert_eq!(
-            cases.iter().filter(|c| matches!(c.region, Region::IntraObject { .. })).count(),
+            cases.iter().filter(|c| c.region == Region::Stack).count(),
+            180
+        );
+        assert_eq!(
+            cases.iter().filter(|c| c.region == Region::Heap).count(),
+            96
+        );
+        assert_eq!(
+            cases.iter().filter(|c| c.region == Region::Global).count(),
+            3
+        );
+        assert_eq!(
+            cases
+                .iter()
+                .filter(|c| matches!(c.region, Region::IntraObject { .. }))
+                .count(),
             12
         );
     }
@@ -430,7 +512,10 @@ mod tests {
         };
         let (detected, status) = run_one(&cfg, Variant::Min, Config::CheriAbi);
         assert!(detected);
-        assert_eq!(status, ExitStatus::Fault(TrapCause::Cap(CapFault::LengthViolation)));
+        assert_eq!(
+            status,
+            ExitStatus::Fault(TrapCause::Cap(CapFault::LengthViolation))
+        );
         let (detected_m, _) = run_one(&cfg, Variant::Min, Config::Mips64);
         assert!(!detected_m, "mips64 is silent at min");
     }
@@ -473,9 +558,24 @@ mod tests {
         assert!(!d_min, "min stays inside the object");
         let (d_med, _) = run_one(&intra, Variant::Med, Config::CheriAbi);
         assert!(d_med, "med escapes a 7-byte tail");
-        let deep = CaseCfg { region: Region::IntraObject { tail: 23 }, len: 41, ..intra };
+        let deep = CaseCfg {
+            region: Region::IntraObject { tail: 23 },
+            len: 41,
+            ..intra
+        };
         let (d_med2, _) = run_one(&deep, Variant::Med, Config::CheriAbi);
         assert!(!d_med2, "med stays inside a 23-byte tail");
+    }
+
+    /// Table 3 aggregates — counts, false-positive order, error order —
+    /// are bit-identical whether the matrix runs on one worker or eight.
+    #[test]
+    fn table3_is_identical_at_any_job_count() {
+        let cases: Vec<CaseCfg> = all_cases().into_iter().step_by(13).collect();
+        let seq = run_table3_jobs(&cases, 1);
+        let par = run_table3_jobs(&cases, 8);
+        assert_eq!(seq, par);
+        assert_eq!(run_table3(&cases), par);
     }
 
     #[test]

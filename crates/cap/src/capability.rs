@@ -207,7 +207,8 @@ impl Capability {
     /// `true` if `addr` lies within `[base, top)`.
     #[must_use]
     pub fn addr_in_bounds(&self) -> bool {
-        self.addr >= self.base && (self.addr as u128) < self.top.max(self.base as u128 + 1)
+        self.addr >= self.base
+            && (self.addr as u128) < self.top.max(self.base as u128 + 1)
             && (self.addr as u128) < self.top
     }
 
@@ -425,8 +426,6 @@ impl Capability {
             CapFault::PermitStoreLocalCapViolation
         } else if missing.contains(Perms::SYSTEM_REGS) {
             CapFault::AccessSystemRegsViolation
-        } else if missing.contains(Perms::VMMAP) {
-            CapFault::UserPermViolation
         } else {
             CapFault::UserPermViolation
         }
@@ -530,12 +529,17 @@ mod tests {
         assert!(r.tag());
         assert_eq!(r.base(), 0);
         assert_eq!(r.top(), compress::ADDRESS_SPACE_TOP);
-        assert!(r.check_access(u64::MAX, 1, Perms::LOAD | Perms::STORE).is_ok());
+        assert!(r
+            .check_access(u64::MAX, 1, Perms::LOAD | Perms::STORE)
+            .is_ok());
     }
 
     #[test]
     fn set_bounds_narrows() {
-        let c = user_root().with_addr(0x1000).set_bounds(0x100, true).unwrap();
+        let c = user_root()
+            .with_addr(0x1000)
+            .set_bounds(0x100, true)
+            .unwrap();
         assert_eq!(c.base(), 0x1000);
         assert_eq!(c.length(), 0x100);
         assert!(c.check_access(0x10ff, 1, Perms::LOAD).is_ok());
@@ -547,7 +551,10 @@ mod tests {
 
     #[test]
     fn set_bounds_cannot_widen() {
-        let small = user_root().with_addr(0x1000).set_bounds(0x100, true).unwrap();
+        let small = user_root()
+            .with_addr(0x1000)
+            .set_bounds(0x100, true)
+            .unwrap();
         assert_eq!(
             small.with_addr(0x1000).set_bounds(0x200, false),
             Err(CapFault::LengthViolation)
@@ -574,9 +581,15 @@ mod tests {
 
     #[test]
     fn out_of_window_arithmetic_clears_tag() {
-        let c = user_root().with_addr(0x10_0000).set_bounds(64, true).unwrap();
+        let c = user_root()
+            .with_addr(0x10_0000)
+            .set_bounds(64, true)
+            .unwrap();
         assert!(c.inc_addr(8).tag());
-        assert!(c.inc_addr(100).tag(), "slightly past end stays representable");
+        assert!(
+            c.inc_addr(100).tag(),
+            "slightly past end stays representable"
+        );
         let far = c.inc_addr(1 << 40);
         assert!(!far.tag(), "far out of bounds must de-tag");
         // De-tagged pointers cannot be brought back.
@@ -594,12 +607,17 @@ mod tests {
     #[test]
     fn seal_unseal_roundtrip() {
         let r = user_root();
-        let sealer = r.with_addr(42).and_perms(Perms::SEAL | Perms::UNSEAL | Perms::GLOBAL);
+        let sealer = r
+            .with_addr(42)
+            .and_perms(Perms::SEAL | Perms::UNSEAL | Perms::GLOBAL);
         let sealer = sealer.with_addr(42);
         let data = r.with_addr(0x2000).set_bounds(32, true).unwrap();
         let sealed = data.seal(&sealer).unwrap();
         assert!(sealed.is_sealed());
-        assert_eq!(sealed.check_deref(1, Perms::LOAD), Err(CapFault::SealViolation));
+        assert_eq!(
+            sealed.check_deref(1, Perms::LOAD),
+            Err(CapFault::SealViolation)
+        );
         assert_eq!(sealed.set_bounds(8, false), Err(CapFault::SealViolation));
         assert!(!sealed.with_addr(0).tag(), "mutating a sealed cap de-tags");
         let unsealed = sealed.unseal(&sealer).unwrap();
@@ -611,7 +629,12 @@ mod tests {
         let r = user_root();
         let s42 = r.with_addr(42);
         let s43 = r.with_addr(43);
-        let sealed = r.with_addr(0x2000).set_bounds(32, true).unwrap().seal(&s42).unwrap();
+        let sealed = r
+            .with_addr(0x2000)
+            .set_bounds(32, true)
+            .unwrap()
+            .seal(&s42)
+            .unwrap();
         assert_eq!(sealed.unseal(&s43), Err(CapFault::TypeViolation));
     }
 
@@ -631,7 +654,11 @@ mod tests {
     #[test]
     fn rederive_restores_tag_within_root() {
         let root = user_root();
-        let c = root.with_addr(0x3000).set_bounds(0x80, true).unwrap().inc_addr(8);
+        let c = root
+            .with_addr(0x3000)
+            .set_bounds(0x80, true)
+            .unwrap()
+            .inc_addr(8);
         let stripped = c.clear_tag();
         let again = stripped.rederive(&root).unwrap();
         assert!(again.tag());
@@ -663,7 +690,10 @@ mod tests {
 
     #[test]
     fn offset_tracks_addr() {
-        let c = user_root().with_addr(0x1000).set_bounds(0x100, true).unwrap();
+        let c = user_root()
+            .with_addr(0x1000)
+            .set_bounds(0x100, true)
+            .unwrap();
         assert_eq!(c.offset(), 0);
         assert_eq!(c.inc_addr(0x10).offset(), 0x10);
     }

@@ -91,7 +91,7 @@ pub fn representable_length(len: u64) -> u64 {
             // Lengths within `align` of 2^64: the only representable cover is
             // the full address space, whose length does not fit in u64; we
             // saturate to the largest aligned length below 2^64.
-            None => u64::MAX & !(align - 1),
+            None => !(align - 1),
         };
         if rounded == l {
             return l;

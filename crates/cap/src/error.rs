@@ -135,7 +135,11 @@ mod tests {
         ];
         let mut seen = std::collections::HashSet::new();
         for f in all {
-            assert!(seen.insert(f.mnemonic()), "duplicate mnemonic {}", f.mnemonic());
+            assert!(
+                seen.insert(f.mnemonic()),
+                "duplicate mnemonic {}",
+                f.mnemonic()
+            );
         }
     }
 

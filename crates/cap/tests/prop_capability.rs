@@ -3,8 +3,8 @@
 //! no sequence of derivation operations ever widens authority.
 
 use cheri_cap::compress::{
-    is_exactly_representable, representable_alignment_mask, representable_length, round_bounds,
-    representable_window, ADDRESS_SPACE_TOP,
+    is_exactly_representable, representable_alignment_mask, representable_length,
+    representable_window, round_bounds, ADDRESS_SPACE_TOP,
 };
 use cheri_cap::{CapFault, CapFormat, CapSource, Capability, Perms, PrincipalId};
 use proptest::prelude::*;

@@ -35,7 +35,10 @@ pub fn symbolize(kernel: &Kernel, pid: Pid, addr: u64) -> Option<Location> {
         .objects
         .iter()
         .find(|o| addr >= o.text_base && addr < o.text_base + o.text_len)
-        .map(|o| Location { object: o.name.clone(), offset: addr - o.text_base })
+        .map(|o| Location {
+            object: o.name.clone(),
+            offset: addr - o.text_base,
+        })
 }
 
 /// Pretty-prints a stopped process's capability registers — the equivalent
@@ -45,8 +48,12 @@ pub fn symbolize(kernel: &Kernel, pid: Pid, addr: u64) -> Option<Location> {
 pub fn dump_cap_registers(kernel: &Kernel, pid: Pid) -> String {
     let p = kernel.process(pid);
     let mut out = String::new();
-    let _ = writeln!(out, "pc  = {:#x} ({})", p.regs.pc,
-        symbolize(kernel, pid, p.regs.pc).map_or_else(|| "?".into(), |l| l.to_string()));
+    let _ = writeln!(
+        out,
+        "pc  = {:#x} ({})",
+        p.regs.pc,
+        symbolize(kernel, pid, p.regs.pc).map_or_else(|| "?".into(), |l| l.to_string())
+    );
     let _ = writeln!(out, "pcc = {:?}", p.regs.pcc);
     let _ = writeln!(out, "ddc = {:?}", p.regs.ddc);
     for i in 1..32u8 {
@@ -72,7 +79,9 @@ pub fn unwind_stack(kernel: &Kernel, pid: Pid) -> Vec<Location> {
         if va < stack_base || va >= p.stack_top {
             continue;
         }
-        let PageState::Resident { frame, .. } = st else { continue };
+        let PageState::Resident { frame, .. } = st else {
+            continue;
+        };
         for (off, cap) in kernel.vm.phys.scan_caps(*frame).expect("resident") {
             if cap.tag() && cap.perms().contains(crate::Perms::EXECUTE) {
                 if let Some(loc) = symbolize(kernel, pid, cap.addr()) {
@@ -122,7 +131,10 @@ mod tests {
         pb.add(exe.finish());
         let program = pb.finish();
         let mut sys = System::new();
-        let pid = sys.kernel.spawn(&program, &SpawnOpts::new(AbiMode::CheriAbi)).unwrap();
+        let pid = sys
+            .kernel
+            .spawn(&program, &SpawnOpts::new(AbiMode::CheriAbi))
+            .unwrap();
         sys.kernel.run(300_000);
         assert!(sys.kernel.exit_status(pid).is_none(), "still spinning");
         (sys, pid)

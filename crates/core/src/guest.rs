@@ -100,7 +100,10 @@ impl GuestOps for FnBuilder<'_> {
     }
 
     fn memcpy_bytes(&mut self, dst: Ptr, src: Ptr, len: Val) {
-        assert!(dst.0 < 6 && src.0 < 6, "memcpy_bytes scratches Ptr(6)/Ptr(7)");
+        assert!(
+            dst.0 < 6 && src.0 < 6,
+            "memcpy_bytes scratches Ptr(6)/Ptr(7)"
+        );
         let again = self.label();
         let out = self.label();
         self.li(Val(6), 0);
@@ -118,7 +121,10 @@ impl GuestOps for FnBuilder<'_> {
     }
 
     fn memcpy_ptrs(&mut self, dst: Ptr, src: Ptr, n: Val) {
-        assert!(dst.0 < 5 && src.0 < 5, "memcpy_ptrs scratches Ptr(5)..Ptr(7)");
+        assert!(
+            dst.0 < 5 && src.0 < 5,
+            "memcpy_ptrs scratches Ptr(5)..Ptr(7)"
+        );
         let again = self.label();
         let out = self.label();
         let stride = self.ptr_size() as i64;
@@ -246,7 +252,9 @@ mod tests {
         pb.add(exe.finish());
         let program = pb.finish();
         let mut sys = System::new();
-        sys.kernel.run_program(&program, &SpawnOpts::new(abi)).unwrap()
+        sys.kernel
+            .run_program(&program, &SpawnOpts::new(abi))
+            .unwrap()
     }
 
     #[test]

@@ -1,0 +1,419 @@
+//! The unified parallel execution harness.
+//!
+//! Every experiment in this reproduction — Table 1's corpus cases, Table 3's
+//! case × variant × config matrix, Figure 4's multi-trial workload sweeps,
+//! the cache-size sweep — boils down to the same operation: *build a guest
+//! program, run it in a fresh [`System`], record what happened*. Each case
+//! runs in its own isolated kernel with no shared mutable state, so the
+//! whole battery is embarrassingly parallel.
+//!
+//! This module factors that operation out once:
+//!
+//! * [`RunSpec`] — one case: a program builder plus the ABI, codegen
+//!   options, instruction budget, deterministic seed and (optionally) a
+//!   kernel/cache configuration override;
+//! * [`CaseReport`] — what happened: the outcome (exit status, load error,
+//!   or isolated panic), the performance counters of the run, and wall
+//!   time;
+//! * [`Harness`] — the executor: fans a slice of specs across a
+//!   `std::thread` worker pool sharing one atomic work index, then
+//!   reassembles the reports **in submission order**, so every aggregate
+//!   computed from them is bit-identical to a sequential run.
+//!
+//! Determinism contract: a [`RunSpec`] fully determines its
+//! [`CaseReport`] (minus wall time) because each case gets a fresh
+//! `Kernel`. `Harness::new(1)` and `Harness::new(n)` therefore return
+//! reports that differ only in `wall`, which no aggregation consumes.
+
+use crate::{Metrics, System};
+use cheri_isa::codegen::CodegenOpts;
+use cheri_kernel::{AbiMode, ExitStatus, KernelConfig, SpawnOpts};
+use cheri_mem::{CacheConfig, CacheHierarchy};
+use cheri_rtld::Program;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A shareable guest-program builder: codegen options plus an input seed in,
+/// program out. Builders must be `Send + Sync` because specs are executed
+/// from worker threads; every builder in this repository already is.
+pub type BuildFn = Arc<dyn Fn(CodegenOpts, u64) -> Program + Send + Sync>;
+
+/// Everything needed to run one case.
+#[derive(Clone)]
+pub struct RunSpec {
+    /// Display name (used in reports and `--json` lines).
+    pub name: String,
+    /// Builds the guest program.
+    pub build: BuildFn,
+    /// Codegen options handed to the builder.
+    pub opts: CodegenOpts,
+    /// Process ABI to run under.
+    pub abi: AbiMode,
+    /// Run with the AddressSanitizer runtime (shadow region mapped,
+    /// `break` = sanitizer abort).
+    pub asan: bool,
+    /// Per-process instruction budget (`None` = kernel default).
+    pub instr_budget: Option<u64>,
+    /// Deterministic input seed handed to the builder.
+    pub seed: u64,
+    /// Kernel configuration for the fresh kernel this case runs in.
+    pub config: KernelConfig,
+    /// Optional shared-L2 capacity override in bytes (the cache-sweep
+    /// experiment); L1 geometry and line size stay at the paper's defaults.
+    pub l2_size: Option<u64>,
+}
+
+impl fmt::Debug for RunSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RunSpec")
+            .field("name", &self.name)
+            .field("abi", &self.abi)
+            .field("asan", &self.asan)
+            .field("instr_budget", &self.instr_budget)
+            .field("seed", &self.seed)
+            .field("l2_size", &self.l2_size)
+            .finish_non_exhaustive()
+    }
+}
+
+impl RunSpec {
+    /// A spec with the default kernel configuration, no budget override, no
+    /// sanitizer and seed 0.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        build: BuildFn,
+        opts: CodegenOpts,
+        abi: AbiMode,
+    ) -> RunSpec {
+        RunSpec {
+            name: name.into(),
+            build,
+            opts,
+            abi,
+            asan: false,
+            instr_budget: None,
+            seed: 0,
+            config: KernelConfig::default(),
+            l2_size: None,
+        }
+    }
+
+    /// Sets the input seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> RunSpec {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the instruction budget.
+    #[must_use]
+    pub fn with_budget(mut self, budget: u64) -> RunSpec {
+        self.instr_budget = Some(budget);
+        self
+    }
+
+    /// Enables the AddressSanitizer runtime.
+    #[must_use]
+    pub fn with_asan(mut self, asan: bool) -> RunSpec {
+        self.asan = asan;
+        self
+    }
+
+    /// Overrides the kernel configuration.
+    #[must_use]
+    pub fn with_config(mut self, config: KernelConfig) -> RunSpec {
+        self.config = config;
+        self
+    }
+
+    /// Overrides the shared-L2 capacity (bytes).
+    #[must_use]
+    pub fn with_l2_size(mut self, bytes: u64) -> RunSpec {
+        self.l2_size = Some(bytes);
+        self
+    }
+}
+
+/// How a case concluded.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CaseOutcome {
+    /// The guest ran to an exit status (including faults and budget
+    /// exhaustion — those are *results*, not harness errors).
+    Exited(ExitStatus),
+    /// The program failed to load; the error is preserved as text.
+    LoadFailed(String),
+    /// Building or running the case panicked; the panic is confined to the
+    /// case's worker and reported here instead of killing the run.
+    Panicked(String),
+}
+
+impl CaseOutcome {
+    /// The exit status, if the guest actually ran.
+    #[must_use]
+    pub fn exit_status(&self) -> Option<ExitStatus> {
+        match self {
+            CaseOutcome::Exited(status) => Some(*status),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for CaseOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CaseOutcome::Exited(status) => write!(f, "{status:?}"),
+            CaseOutcome::LoadFailed(e) => write!(f, "load failed: {e}"),
+            CaseOutcome::Panicked(e) => write!(f, "panicked: {e}"),
+        }
+    }
+}
+
+/// The result of one executed [`RunSpec`].
+#[derive(Clone, Debug)]
+pub struct CaseReport {
+    /// Spec name.
+    pub name: String,
+    /// Spec seed.
+    pub seed: u64,
+    /// What happened.
+    pub outcome: CaseOutcome,
+    /// Guest console output (empty unless the guest wrote).
+    pub console: String,
+    /// Counters consumed by the run (zero when the program never ran).
+    pub metrics: Metrics,
+    /// Host wall-clock time spent on the case (build + run). The only
+    /// nondeterministic field; no aggregate consumes it.
+    pub wall: Duration,
+}
+
+/// Executes one spec in a fresh kernel, confining panics to the report.
+#[must_use]
+pub fn execute_spec(spec: &RunSpec) -> CaseReport {
+    let start = Instant::now();
+    let run = catch_unwind(AssertUnwindSafe(|| {
+        let program = (spec.build)(spec.opts, spec.seed);
+        let mut sys = System::with_config(spec.config);
+        if let Some(l2) = spec.l2_size {
+            sys.kernel.cpu.caches = CacheHierarchy::new(
+                CacheConfig::l1_default(),
+                CacheConfig {
+                    size: l2,
+                    line: 64,
+                    ways: 8,
+                },
+            );
+        }
+        let mut opts = SpawnOpts::new(spec.abi);
+        opts.asan = spec.asan;
+        opts.instr_budget = spec.instr_budget;
+        sys.measure(&program, &opts)
+    }));
+    let wall = start.elapsed();
+    let (outcome, console, metrics) = match run {
+        Ok(Ok((status, console, metrics))) => (CaseOutcome::Exited(status), console, metrics),
+        Ok(Err(load)) => (
+            CaseOutcome::LoadFailed(load.to_string()),
+            String::new(),
+            Metrics::default(),
+        ),
+        Err(payload) => (
+            CaseOutcome::Panicked(panic_message(payload.as_ref())),
+            String::new(),
+            Metrics::default(),
+        ),
+    };
+    CaseReport {
+        name: spec.name.clone(),
+        seed: spec.seed,
+        outcome,
+        console,
+        metrics,
+        wall,
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// The parallel executor.
+#[derive(Clone, Copy, Debug)]
+pub struct Harness {
+    jobs: usize,
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Harness::auto()
+    }
+}
+
+impl Harness {
+    /// A harness running `jobs` cases concurrently (clamped to ≥ 1).
+    #[must_use]
+    pub fn new(jobs: usize) -> Harness {
+        Harness { jobs: jobs.max(1) }
+    }
+
+    /// A harness using all available cores.
+    #[must_use]
+    pub fn auto() -> Harness {
+        Harness::new(available_parallelism())
+    }
+
+    /// Configured worker count.
+    #[must_use]
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Executes every spec and returns the reports in submission order.
+    ///
+    /// With one job (or one spec) this runs inline on the calling thread —
+    /// the exact sequential path. Otherwise `jobs` workers pull case
+    /// indices from a shared atomic counter; each case still runs in its
+    /// own fresh kernel, so scheduling order cannot affect any report.
+    #[must_use]
+    pub fn run(&self, specs: &[RunSpec]) -> Vec<CaseReport> {
+        let workers = self.jobs.min(specs.len());
+        if workers <= 1 {
+            return specs.iter().map(execute_spec).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<CaseReport>>> =
+            specs.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(spec) = specs.get(idx) else { break };
+                    let report = execute_spec(spec);
+                    *slots[idx].lock().expect("slot lock poisoned") = Some(report);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("slot lock poisoned")
+                    .expect("every index claimed exactly once")
+            })
+            .collect()
+    }
+}
+
+/// The number of hardware threads available to this process (≥ 1).
+#[must_use]
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::guest::GuestOps;
+    use cheri_isa::codegen::{FnBuilder, Val};
+    use cheri_rtld::ProgramBuilder;
+
+    fn exit_with_seed_spec(name: &str, seed: u64) -> RunSpec {
+        let build: BuildFn = Arc::new(|opts, seed| {
+            let mut pb = ProgramBuilder::new("h");
+            let mut exe = pb.object("h");
+            {
+                let mut f = FnBuilder::begin(&mut exe, "main", opts);
+                f.li(Val(0), (seed % 64) as i64);
+                f.sys_exit(Val(0));
+            }
+            exe.set_entry("main");
+            pb.add(exe.finish());
+            pb.finish()
+        });
+        RunSpec::new(name, build, CodegenOpts::purecap(), AbiMode::CheriAbi).with_seed(seed)
+    }
+
+    #[test]
+    fn reports_come_back_in_submission_order() {
+        let specs: Vec<RunSpec> = (0..24)
+            .map(|i| exit_with_seed_spec(&format!("case-{i}"), i))
+            .collect();
+        let reports = Harness::new(8).run(&specs);
+        assert_eq!(reports.len(), specs.len());
+        for (i, report) in reports.iter().enumerate() {
+            assert_eq!(report.name, format!("case-{i}"));
+            assert_eq!(
+                report.outcome,
+                CaseOutcome::Exited(ExitStatus::Code(i as i64 % 64))
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_reports_match_sequential_reports() {
+        let specs: Vec<RunSpec> = (0..16)
+            .map(|i| exit_with_seed_spec(&format!("case-{i}"), i * 7))
+            .collect();
+        let seq = Harness::new(1).run(&specs);
+        let par = Harness::new(8).run(&specs);
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.outcome, b.outcome);
+            assert_eq!(a.metrics, b.metrics);
+            assert_eq!(a.console, b.console);
+        }
+    }
+
+    #[test]
+    fn a_panicking_case_is_isolated_to_its_own_report() {
+        let mut specs: Vec<RunSpec> = (0..6)
+            .map(|i| exit_with_seed_spec(&format!("ok-{i}"), i))
+            .collect();
+        let build: BuildFn = Arc::new(|_, _| panic!("builder exploded"));
+        specs.insert(
+            3,
+            RunSpec::new("boom", build, CodegenOpts::purecap(), AbiMode::CheriAbi),
+        );
+        let reports = Harness::new(4).run(&specs);
+        assert_eq!(reports.len(), 7);
+        assert_eq!(
+            reports[3].outcome,
+            CaseOutcome::Panicked("builder exploded".to_string())
+        );
+        for (i, report) in reports.iter().enumerate() {
+            if i != 3 {
+                assert!(matches!(
+                    report.outcome,
+                    CaseOutcome::Exited(ExitStatus::Code(_))
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn load_errors_become_reports_not_panics() {
+        let build: BuildFn = Arc::new(|_, _| {
+            let mut pb = ProgramBuilder::new("empty");
+            let mut exe = pb.object("empty");
+            exe.set_entry("missing");
+            pb.add(exe.finish());
+            pb.finish()
+        });
+        let spec = RunSpec::new("no-entry", build, CodegenOpts::purecap(), AbiMode::CheriAbi);
+        let report = execute_spec(&spec);
+        assert!(
+            matches!(report.outcome, CaseOutcome::LoadFailed(_)),
+            "got {:?}",
+            report.outcome
+        );
+    }
+}

@@ -45,6 +45,7 @@
 
 pub mod debug;
 pub mod guest;
+pub mod harness;
 pub mod trace;
 pub mod verify;
 
@@ -124,13 +125,17 @@ impl System {
     /// of physical memory, kernel capability discipline on).
     #[must_use]
     pub fn new() -> System {
-        System { kernel: Kernel::new(KernelConfig::default()) }
+        System {
+            kernel: Kernel::new(KernelConfig::default()),
+        }
     }
 
     /// Boots with an explicit configuration.
     #[must_use]
     pub fn with_config(config: KernelConfig) -> System {
-        System { kernel: Kernel::new(config) }
+        System {
+            kernel: Kernel::new(config),
+        }
     }
 
     /// Runs `program` and returns its exit status, console output and the
@@ -192,7 +197,9 @@ mod tests {
         pb.add(exe.finish());
         let program = pb.finish();
         let mut sys = System::new();
-        let (status, _, m) = sys.measure(&program, &SpawnOpts::new(AbiMode::CheriAbi)).unwrap();
+        let (status, _, m) = sys
+            .measure(&program, &SpawnOpts::new(AbiMode::CheriAbi))
+            .unwrap();
         assert_eq!(status, ExitStatus::Code(0));
         assert!(m.instructions >= 3);
         assert!(m.cycles > m.instructions);
@@ -201,8 +208,18 @@ mod tests {
 
     #[test]
     fn overhead_ratios() {
-        let a = Metrics { instructions: 110, cycles: 220, l2_misses: 10, syscalls: 0 };
-        let b = Metrics { instructions: 100, cycles: 200, l2_misses: 10, syscalls: 0 };
+        let a = Metrics {
+            instructions: 110,
+            cycles: 220,
+            l2_misses: 10,
+            syscalls: 0,
+        };
+        let b = Metrics {
+            instructions: 100,
+            cycles: 200,
+            l2_misses: 10,
+            syscalls: 0,
+        };
         let o = a.overhead_vs(&b);
         assert!((o.instructions - 1.1).abs() < 1e-9);
         assert!((o.cycles - 1.1).abs() < 1e-9);

@@ -72,7 +72,9 @@ impl SizeCdf {
     /// plotted range; `exp > MAX_EXP` returns the source total).
     #[must_use]
     pub fn cumulative(&self, source: CapSource, exp: u32) -> u64 {
-        let Some(v) = self.counts.get(&source) else { return 0 };
+        let Some(v) = self.counts.get(&source) else {
+            return 0;
+        };
         if exp > MAX_EXP {
             return *v.last().expect("non-empty buckets");
         }
@@ -84,7 +86,10 @@ impl SizeCdf {
     /// curve of Figure 5).
     #[must_use]
     pub fn cumulative_all(&self, exp: u32) -> u64 {
-        self.sources().iter().map(|s| self.cumulative(*s, exp)).sum()
+        self.sources()
+            .iter()
+            .map(|s| self.cumulative(*s, exp))
+            .sum()
     }
 
     /// The largest bounds length observed for `source`, if any.

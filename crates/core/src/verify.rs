@@ -87,8 +87,7 @@ pub fn check_process(kernel: &Kernel, pid: Pid) -> AbstractReport {
                 expected,
             });
         }
-        if cap.perms().contains(Perms::SYSTEM_REGS) || cap.perms().contains(Perms::KERNEL_DIRECT)
-        {
+        if cap.perms().contains(Perms::SYSTEM_REGS) || cap.perms().contains(Perms::KERNEL_DIRECT) {
             report.overprivileged += 1;
         }
     };
@@ -104,7 +103,9 @@ pub fn check_process(kernel: &Kernel, pid: Pid) -> AbstractReport {
     // Resident memory.
     let space = kernel.vm.space(proc.space);
     for (&vpn, state) in &space.pages {
-        let PageState::Resident { frame, .. } = state else { continue };
+        let PageState::Resident { frame, .. } = state else {
+            continue;
+        };
         let va = vpn * cheri_mem::FRAME_SIZE;
         let shared = matches!(
             space.mapping_at(va).map(|m| &m.backing),
@@ -197,8 +198,14 @@ mod tests {
             pb.finish()
         };
         let mut sys = System::new();
-        let a = sys.kernel.spawn(&build(), &SpawnOpts::new(AbiMode::CheriAbi)).unwrap();
-        let b = sys.kernel.spawn(&build(), &SpawnOpts::new(AbiMode::CheriAbi)).unwrap();
+        let a = sys
+            .kernel
+            .spawn(&build(), &SpawnOpts::new(AbiMode::CheriAbi))
+            .unwrap();
+        let b = sys
+            .kernel
+            .spawn(&build(), &SpawnOpts::new(AbiMode::CheriAbi))
+            .unwrap();
         sys.kernel.run(2_000_000);
         assert_ne!(
             sys.kernel.process(a).principal,

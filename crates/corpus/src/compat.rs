@@ -108,8 +108,12 @@ pub enum Component {
 
 impl Component {
     /// All components in Table 2 row order.
-    pub const ALL: [Component; 4] =
-        [Component::Headers, Component::Libraries, Component::Programs, Component::Tests];
+    pub const ALL: [Component; 4] = [
+        Component::Headers,
+        Component::Libraries,
+        Component::Programs,
+        Component::Tests,
+    ];
 
     /// Row label.
     #[must_use]
@@ -259,7 +263,10 @@ mod tests {
     #[test]
     fn tabulation_counts_match() {
         let grid = tabulate(STATIC_CHANGES);
-        let total: usize = grid.iter().flat_map(|(_, row)| row.iter().map(|(_, n)| n)).sum();
+        let total: usize = grid
+            .iter()
+            .flat_map(|(_, row)| row.iter().map(|(_, n)| n))
+            .sum();
         assert_eq!(total, STATIC_CHANGES.len());
     }
 

@@ -38,7 +38,11 @@ fn case(
     expectation: TestExpectation,
     build: impl Fn(CodegenOpts) -> Program + Send + Sync + 'static,
 ) -> TestCase {
-    TestCase { name, build: Box::new(build), expectation }
+    TestCase {
+        name,
+        build: std::sync::Arc::new(build),
+        expectation,
+    }
 }
 
 /// Emits `exit(0)` if `a == expected` else `exit(1)`.
@@ -59,27 +63,31 @@ fn arith_family() -> Vec<TestCase> {
     (0..60)
         .map(|i| {
             let k = 10 + i * 7;
-            case(format!("arith_sum_{k}"), TestExpectation::PassBoth, move |o| {
-                single_main("arith", o, |f| {
-                    // sum 0..k, mixed with shifts and xors
-                    f.li(Val(0), 0); // acc
-                    f.li(Val(1), 0); // i
-                    f.li(Val(2), k);
-                    let top = f.label();
-                    let done = f.label();
-                    f.bind(top);
-                    f.sub(Val(3), Val(1), Val(2));
-                    f.beqz(Val(3), done);
-                    f.add(Val(0), Val(0), Val(1));
-                    f.shl_imm(Val(4), Val(1), 2);
-                    f.xor(Val(0), Val(0), Val(4));
-                    f.xor(Val(0), Val(0), Val(4)); // cancel
-                    f.add_imm(Val(1), Val(1), 1);
-                    f.jmp(top);
-                    f.bind(done);
-                    exit_check(f, Val(0), (k * (k - 1) / 2) as i64);
-                })
-            })
+            case(
+                format!("arith_sum_{k}"),
+                TestExpectation::PassBoth,
+                move |o| {
+                    single_main("arith", o, |f| {
+                        // sum 0..k, mixed with shifts and xors
+                        f.li(Val(0), 0); // acc
+                        f.li(Val(1), 0); // i
+                        f.li(Val(2), k);
+                        let top = f.label();
+                        let done = f.label();
+                        f.bind(top);
+                        f.sub(Val(3), Val(1), Val(2));
+                        f.beqz(Val(3), done);
+                        f.add(Val(0), Val(0), Val(1));
+                        f.shl_imm(Val(4), Val(1), 2);
+                        f.xor(Val(0), Val(0), Val(4));
+                        f.xor(Val(0), Val(0), Val(4)); // cancel
+                        f.add_imm(Val(1), Val(1), 1);
+                        f.jmp(top);
+                        f.bind(done);
+                        exit_check(f, Val(0), k * (k - 1) / 2);
+                    })
+                },
+            )
         })
         .collect()
 }
@@ -88,32 +96,36 @@ fn string_family() -> Vec<TestCase> {
     (0..44)
         .map(|i| {
             let len = 8 + i * 13;
-            case(format!("string_copy_{len}"), TestExpectation::PassBoth, move |o| {
-                single_main("string", o, |f| {
-                    f.malloc_imm(Ptr(0), len);
-                    f.malloc_imm(Ptr(1), len);
-                    // fill src with i & 0xff
-                    f.li(Val(0), 0);
-                    f.li(Val(1), len);
-                    let fill = f.label();
-                    let filled = f.label();
-                    f.bind(fill);
-                    f.sub(Val(2), Val(0), Val(1));
-                    f.beqz(Val(2), filled);
-                    f.ptr_add(Ptr(2), Ptr(0), Val(0));
-                    f.and_imm(Val(3), Val(0), 0xff);
-                    f.store(Val(3), Ptr(2), 0, Width::B);
-                    f.add_imm(Val(0), Val(0), 1);
-                    f.jmp(fill);
-                    f.bind(filled);
-                    f.li(Val(1), len);
-                    f.memcpy_bytes(Ptr(1), Ptr(0), Val(1));
-                    // verify a probe byte
-                    let probe = (len - 1) % 256;
-                    f.load(Val(4), Ptr(1), len - 1, Width::B, false);
-                    exit_check(f, Val(4), probe);
-                })
-            })
+            case(
+                format!("string_copy_{len}"),
+                TestExpectation::PassBoth,
+                move |o| {
+                    single_main("string", o, |f| {
+                        f.malloc_imm(Ptr(0), len);
+                        f.malloc_imm(Ptr(1), len);
+                        // fill src with i & 0xff
+                        f.li(Val(0), 0);
+                        f.li(Val(1), len);
+                        let fill = f.label();
+                        let filled = f.label();
+                        f.bind(fill);
+                        f.sub(Val(2), Val(0), Val(1));
+                        f.beqz(Val(2), filled);
+                        f.ptr_add(Ptr(2), Ptr(0), Val(0));
+                        f.and_imm(Val(3), Val(0), 0xff);
+                        f.store(Val(3), Ptr(2), 0, Width::B);
+                        f.add_imm(Val(0), Val(0), 1);
+                        f.jmp(fill);
+                        f.bind(filled);
+                        f.li(Val(1), len);
+                        f.memcpy_bytes(Ptr(1), Ptr(0), Val(1));
+                        // verify a probe byte
+                        let probe = (len - 1) % 256;
+                        f.load(Val(4), Ptr(1), len - 1, Width::B, false);
+                        exit_check(f, Val(4), probe);
+                    })
+                },
+            )
         })
         .collect()
 }
@@ -122,33 +134,37 @@ fn sort_family() -> Vec<TestCase> {
     let mut cases: Vec<TestCase> = (0..28)
         .map(|i| {
             let n = 8 + i * 5;
-            case(format!("sort_ints_{n}"), TestExpectation::PassBoth, move |o| {
-                single_main("sort", o, |f| {
-                    f.malloc_imm(Ptr(0), n * 8);
-                    // fill descending
-                    f.li(Val(0), 0);
-                    f.li(Val(1), n);
-                    let fill = f.label();
-                    let sorted = f.label();
-                    f.bind(fill);
-                    f.sub(Val(2), Val(0), Val(1));
-                    f.beqz(Val(2), sorted);
-                    f.shl_imm(Val(3), Val(0), 3);
-                    f.ptr_add(Ptr(1), Ptr(0), Val(3));
-                    f.sub(Val(4), Val(1), Val(0));
-                    f.store(Val(4), Ptr(1), 0, Width::D);
-                    f.add_imm(Val(0), Val(0), 1);
-                    f.jmp(fill);
-                    f.bind(sorted);
-                    emit_insertion_sort_ints(f, Ptr(0), n as i64);
-                    // check arr[0] == 1 and arr[n-1] == n
-                    f.load(Val(6), Ptr(0), 0, Width::D, false);
-                    f.load(Val(7), Ptr(0), (n as i64 - 1) * 8, Width::D, false);
-                    f.shl_imm(Val(7), Val(7), 32);
-                    f.or(Val(6), Val(6), Val(7));
-                    exit_check(f, Val(6), 1 | ((n as i64) << 32));
-                })
-            })
+            case(
+                format!("sort_ints_{n}"),
+                TestExpectation::PassBoth,
+                move |o| {
+                    single_main("sort", o, |f| {
+                        f.malloc_imm(Ptr(0), n * 8);
+                        // fill descending
+                        f.li(Val(0), 0);
+                        f.li(Val(1), n);
+                        let fill = f.label();
+                        let sorted = f.label();
+                        f.bind(fill);
+                        f.sub(Val(2), Val(0), Val(1));
+                        f.beqz(Val(2), sorted);
+                        f.shl_imm(Val(3), Val(0), 3);
+                        f.ptr_add(Ptr(1), Ptr(0), Val(3));
+                        f.sub(Val(4), Val(1), Val(0));
+                        f.store(Val(4), Ptr(1), 0, Width::D);
+                        f.add_imm(Val(0), Val(0), 1);
+                        f.jmp(fill);
+                        f.bind(sorted);
+                        emit_insertion_sort_ints(f, Ptr(0), n);
+                        // check arr[0] == 1 and arr[n-1] == n
+                        f.load(Val(6), Ptr(0), 0, Width::D, false);
+                        f.load(Val(7), Ptr(0), (n - 1) * 8, Width::D, false);
+                        f.shl_imm(Val(7), Val(7), 32);
+                        f.or(Val(6), Val(6), Val(7));
+                        exit_check(f, Val(6), 1 | (n << 32));
+                    })
+                },
+            )
         })
         .collect();
     // Pointer-array sort: records sorted by key through capabilities — the
@@ -163,7 +179,7 @@ fn sort_family() -> Vec<TestCase> {
                     let ps = f.ptr_size() as i64;
                     f.li(Val(5), n * ps);
                     f.malloc(Ptr(0), Val(5)); // array of record ptrs
-                    // records with descending keys
+                                              // records with descending keys
                     f.li(Val(0), 0);
                     let fill = f.label();
                     let filled = f.label();
@@ -265,59 +281,71 @@ fn alloc_family() -> Vec<TestCase> {
     let mut cases = Vec::new();
     for i in 0..24 {
         let size = 16 << (i % 6);
-        cases.push(case(format!("alloc_rw_{size}_{i}"), TestExpectation::PassBoth, move |o| {
-            single_main("alloc", o, |f| {
-                f.malloc_imm(Ptr(0), size);
-                f.li(Val(0), 0x5a5a);
-                f.store(Val(0), Ptr(0), size - 8, Width::D);
-                f.load(Val(1), Ptr(0), size - 8, Width::D, false);
-                f.free(Ptr(0));
-                exit_check(f, Val(1), 0x5a5a);
-            })
-        }));
+        cases.push(case(
+            format!("alloc_rw_{size}_{i}"),
+            TestExpectation::PassBoth,
+            move |o| {
+                single_main("alloc", o, |f| {
+                    f.malloc_imm(Ptr(0), size);
+                    f.li(Val(0), 0x5a5a);
+                    f.store(Val(0), Ptr(0), size - 8, Width::D);
+                    f.load(Val(1), Ptr(0), size - 8, Width::D, false);
+                    f.free(Ptr(0));
+                    exit_check(f, Val(1), 0x5a5a);
+                })
+            },
+        ));
     }
     for i in 0..10 {
         let n = 4 + i;
-        cases.push(case(format!("alloc_churn_{n}"), TestExpectation::PassBoth, move |o| {
-            single_main("churn", o, |f| {
-                // alloc/free cycles; data must survive each live window
-                f.li(Val(0), 0); // round
-                let top = f.label();
-                let done = f.label();
-                f.bind(top);
-                f.li(Val(1), n as i64);
-                f.sub(Val(2), Val(0), Val(1));
-                f.beqz(Val(2), done);
-                f.malloc_imm(Ptr(0), 48);
-                f.store(Val(0), Ptr(0), 0, Width::D);
-                f.load(Val(3), Ptr(0), 0, Width::D, false);
-                f.sub(Val(3), Val(3), Val(0));
-                let ok = f.label();
-                f.beqz(Val(3), ok);
-                f.sys_exit_imm(1);
-                f.bind(ok);
-                f.free(Ptr(0));
-                f.add_imm(Val(0), Val(0), 1);
-                f.jmp(top);
-                f.bind(done);
-                f.sys_exit_imm(0);
-            })
-        }));
+        cases.push(case(
+            format!("alloc_churn_{n}"),
+            TestExpectation::PassBoth,
+            move |o| {
+                single_main("churn", o, |f| {
+                    // alloc/free cycles; data must survive each live window
+                    f.li(Val(0), 0); // round
+                    let top = f.label();
+                    let done = f.label();
+                    f.bind(top);
+                    f.li(Val(1), n as i64);
+                    f.sub(Val(2), Val(0), Val(1));
+                    f.beqz(Val(2), done);
+                    f.malloc_imm(Ptr(0), 48);
+                    f.store(Val(0), Ptr(0), 0, Width::D);
+                    f.load(Val(3), Ptr(0), 0, Width::D, false);
+                    f.sub(Val(3), Val(3), Val(0));
+                    let ok = f.label();
+                    f.beqz(Val(3), ok);
+                    f.sys_exit_imm(1);
+                    f.bind(ok);
+                    f.free(Ptr(0));
+                    f.add_imm(Val(0), Val(0), 1);
+                    f.jmp(top);
+                    f.bind(done);
+                    f.sys_exit_imm(0);
+                })
+            },
+        ));
     }
     for i in 0..8 {
         let grow = 64 + i * 32;
-        cases.push(case(format!("realloc_grow_{grow}"), TestExpectation::PassBoth, move |o| {
-            single_main("realloc", o, |f| {
-                f.malloc_imm(Ptr(0), 32);
-                f.li(Val(0), 0xfeed);
-                f.store(Val(0), Ptr(0), 8, Width::D);
-                f.li(Val(1), grow);
-                f.realloc(Ptr(1), Ptr(0), Val(1));
-                f.load(Val(2), Ptr(1), 8, Width::D, false);
-                f.free(Ptr(1));
-                exit_check(f, Val(2), 0xfeed);
-            })
-        }));
+        cases.push(case(
+            format!("realloc_grow_{grow}"),
+            TestExpectation::PassBoth,
+            move |o| {
+                single_main("realloc", o, |f| {
+                    f.malloc_imm(Ptr(0), 32);
+                    f.li(Val(0), 0xfeed);
+                    f.store(Val(0), Ptr(0), 8, Width::D);
+                    f.li(Val(1), grow);
+                    f.realloc(Ptr(1), Ptr(0), Val(1));
+                    f.load(Val(2), Ptr(1), 8, Width::D, false);
+                    f.free(Ptr(1));
+                    exit_check(f, Val(2), 0xfeed);
+                })
+            },
+        ));
     }
     cases
 }
@@ -326,228 +354,260 @@ fn stack_family() -> Vec<TestCase> {
     let mut cases = Vec::new();
     for i in 0..24 {
         let len = 16 + i * 16;
-        cases.push(case(format!("stack_buf_{len}"), TestExpectation::PassBoth, move |o| {
-            single_main("stack", o, |f| {
-                f.enter(((len + 63) / 16) * 16 + 32);
-                f.addr_of_stack(Ptr(0), 16, len as u64);
-                f.li(Val(0), 0x77);
-                f.store(Val(0), Ptr(0), len - 1, Width::B);
-                f.load(Val(1), Ptr(0), len - 1, Width::B, false);
-                exit_check(f, Val(1), 0x77);
-            })
-        }));
+        cases.push(case(
+            format!("stack_buf_{len}"),
+            TestExpectation::PassBoth,
+            move |o| {
+                single_main("stack", o, |f| {
+                    f.enter(((len + 63) / 16) * 16 + 32);
+                    f.addr_of_stack(Ptr(0), 16, len as u64);
+                    f.li(Val(0), 0x77);
+                    f.store(Val(0), Ptr(0), len - 1, Width::B);
+                    f.load(Val(1), Ptr(0), len - 1, Width::B, false);
+                    exit_check(f, Val(1), 0x77);
+                })
+            },
+        ));
     }
     for depth in [2i64, 4, 6, 8, 10, 12, 14, 16] {
-        cases.push(case(format!("recursion_{depth}"), TestExpectation::PassBoth, move |o| {
-            // fact(depth) computed with real call frames.
-            let mut pb = ProgramBuilder::new("rec");
-            let mut exe = pb.object("rec");
-            {
-                let mut f = FnBuilder::begin(&mut exe, "fact", o);
-                f.enter(48);
-                f.arg_to_val(Val(0), 0);
-                let base = f.label();
-                f.blez(Val(0), base);
-                // save n, recurse on n-1
-                f.store(Val(0), Ptr(0), 0, Width::D); // will be rewritten below
-                f.leave_ret();
-                f.bind(base);
-                f.li(Val(1), 1);
-                f.set_ret_val(Val(1));
-                f.leave_ret();
-            }
-            // A clean iterative version (recursion with our manual register
-            // conventions is deliberately exercised in minidb; here iterate).
-            {
-                let mut f = FnBuilder::begin(&mut exe, "main", o);
-                f.li(Val(0), 1); // acc
-                f.li(Val(1), 1); // i
-                let top = f.label();
-                let done = f.label();
-                f.bind(top);
-                f.li(Val(2), depth + 1);
-                f.sub(Val(3), Val(1), Val(2));
-                f.beqz(Val(3), done);
-                f.mul(Val(0), Val(0), Val(1));
-                f.add_imm(Val(1), Val(1), 1);
-                f.jmp(top);
-                f.bind(done);
-                let expected: i64 = (1..=depth).product();
-                exit_check(&mut f, Val(0), expected);
-            }
-            exe.set_entry("main");
-            pb.add(exe.finish());
-            pb.finish()
-        }));
+        cases.push(case(
+            format!("recursion_{depth}"),
+            TestExpectation::PassBoth,
+            move |o| {
+                // fact(depth) computed with real call frames.
+                let mut pb = ProgramBuilder::new("rec");
+                let mut exe = pb.object("rec");
+                {
+                    let mut f = FnBuilder::begin(&mut exe, "fact", o);
+                    f.enter(48);
+                    f.arg_to_val(Val(0), 0);
+                    let base = f.label();
+                    f.blez(Val(0), base);
+                    // save n, recurse on n-1
+                    f.store(Val(0), Ptr(0), 0, Width::D); // will be rewritten below
+                    f.leave_ret();
+                    f.bind(base);
+                    f.li(Val(1), 1);
+                    f.set_ret_val(Val(1));
+                    f.leave_ret();
+                }
+                // A clean iterative version (recursion with our manual register
+                // conventions is deliberately exercised in minidb; here iterate).
+                {
+                    let mut f = FnBuilder::begin(&mut exe, "main", o);
+                    f.li(Val(0), 1); // acc
+                    f.li(Val(1), 1); // i
+                    let top = f.label();
+                    let done = f.label();
+                    f.bind(top);
+                    f.li(Val(2), depth + 1);
+                    f.sub(Val(3), Val(1), Val(2));
+                    f.beqz(Val(3), done);
+                    f.mul(Val(0), Val(0), Val(1));
+                    f.add_imm(Val(1), Val(1), 1);
+                    f.jmp(top);
+                    f.bind(done);
+                    let expected: i64 = (1..=depth).product();
+                    exit_check(&mut f, Val(0), expected);
+                }
+                exe.set_entry("main");
+                pb.add(exe.finish());
+                pb.finish()
+            },
+        ));
     }
     cases
 }
 
 fn syscall_family() -> Vec<TestCase> {
     let mut cases = Vec::new();
-    cases.push(case("getpid_positive".into(), TestExpectation::PassBoth, |o| {
-        single_main("getpid", o, |f| {
-            f.sys_getpid(Val(0));
-            let ok = f.label();
-            f.bgtz(Val(0), ok);
-            f.sys_exit_imm(1);
-            f.bind(ok);
-            f.sys_exit_imm(0);
-        })
-    }));
+    cases.push(case(
+        "getpid_positive".into(),
+        TestExpectation::PassBoth,
+        |o| {
+            single_main("getpid", o, |f| {
+                f.sys_getpid(Val(0));
+                let ok = f.label();
+                f.bgtz(Val(0), ok);
+                f.sys_exit_imm(1);
+                f.bind(ok);
+                f.sys_exit_imm(0);
+            })
+        },
+    ));
     for i in 0..6 {
         let n = 1 + i * 9;
-        cases.push(case(format!("pipe_roundtrip_{n}"), TestExpectation::PassBoth, move |o| {
-            single_main("pipe", o, |f| {
+        cases.push(case(
+            format!("pipe_roundtrip_{n}"),
+            TestExpectation::PassBoth,
+            move |o| {
+                single_main("pipe", o, |f| {
+                    f.enter(160);
+                    f.addr_of_stack(Ptr(0), 16, 8);
+                    f.set_arg_ptr(0, Ptr(0));
+                    f.syscall(Sys::Pipe as i64);
+                    f.load(Val(6), Ptr(0), 0, Width::W, false);
+                    f.load(Val(7), Ptr(0), 4, Width::W, false);
+                    f.addr_of_stack(Ptr(1), 32, 64);
+                    // fill + write n bytes
+                    f.li(Val(0), 0);
+                    let fill = f.label();
+                    let filled = f.label();
+                    f.bind(fill);
+                    f.li(Val(1), n as i64);
+                    f.sub(Val(2), Val(0), Val(1));
+                    f.beqz(Val(2), filled);
+                    f.ptr_add(Ptr(2), Ptr(1), Val(0));
+                    f.store(Val(0), Ptr(2), 0, Width::B);
+                    f.add_imm(Val(0), Val(0), 1);
+                    f.jmp(fill);
+                    f.bind(filled);
+                    f.set_arg_val(0, Val(7));
+                    f.set_arg_ptr(1, Ptr(1));
+                    f.li(Val(1), n as i64);
+                    f.set_arg_val(2, Val(1));
+                    f.syscall(Sys::Write as i64);
+                    // read back into a second buffer, compare last byte
+                    f.addr_of_stack(Ptr(3), 96, 64);
+                    f.li(Val(1), n as i64);
+                    f.sys_read(Val(6), Ptr(3), Val(1), Val(2));
+                    f.load(Val(3), Ptr(3), n as i64 - 1, Width::B, false);
+                    exit_check(f, Val(3), n as i64 - 1);
+                })
+            },
+        ));
+    }
+    for i in 0..4 {
+        cases.push(case(
+            format!("file_io_{i}"),
+            TestExpectation::PassBoth,
+            move |o| {
+                single_main("file", o, |f| {
+                    // open("f<i>", CREAT|WRONLY); write; reopen read; verify
+                    let mut pb_path = [0u8; 4];
+                    pb_path[..3].copy_from_slice(b"f_0");
+                    pb_path[2] = b'0' + i as u8;
+                    let _ = pb_path;
+                    f.enter(160);
+                    f.addr_of_stack(Ptr(0), 16, 8);
+                    f.li(Val(0), i64::from_le_bytes(*b"file000\0") + i as i64);
+                    f.store(Val(0), Ptr(0), 0, Width::D);
+                    f.set_arg_ptr(0, Ptr(0));
+                    f.li(Val(1), 1 | 2 | 4); // WRONLY|CREAT|TRUNC
+                    f.set_arg_val(1, Val(1));
+                    f.syscall(Sys::Open as i64);
+                    f.ret_val_to(Val(6)); // fd
+                    f.addr_of_stack(Ptr(1), 32, 16);
+                    f.li(Val(2), 0xabcd);
+                    f.store(Val(2), Ptr(1), 0, Width::D);
+                    f.set_arg_val(0, Val(6));
+                    f.set_arg_ptr(1, Ptr(1));
+                    f.li(Val(3), 8);
+                    f.set_arg_val(2, Val(3));
+                    f.syscall(Sys::Write as i64);
+                    f.set_arg_val(0, Val(6));
+                    f.syscall(Sys::Close as i64);
+                    // reopen and read
+                    f.set_arg_ptr(0, Ptr(0));
+                    f.li(Val(1), 0);
+                    f.set_arg_val(1, Val(1));
+                    f.syscall(Sys::Open as i64);
+                    f.ret_val_to(Val(6));
+                    f.addr_of_stack(Ptr(2), 64, 16);
+                    f.li(Val(3), 8);
+                    f.sys_read(Val(6), Ptr(2), Val(3), Val(4));
+                    f.load(Val(5), Ptr(2), 0, Width::D, false);
+                    exit_check(f, Val(5), 0xabcd);
+                })
+            },
+        ));
+    }
+    cases.push(case(
+        "select_ready_pipe".into(),
+        TestExpectation::PassBoth,
+        |o| {
+            single_main("select", o, |f| {
                 f.enter(160);
                 f.addr_of_stack(Ptr(0), 16, 8);
                 f.set_arg_ptr(0, Ptr(0));
                 f.syscall(Sys::Pipe as i64);
                 f.load(Val(6), Ptr(0), 0, Width::W, false);
                 f.load(Val(7), Ptr(0), 4, Width::W, false);
-                f.addr_of_stack(Ptr(1), 32, 64);
-                // fill + write n bytes
-                f.li(Val(0), 0);
-                let fill = f.label();
-                let filled = f.label();
-                f.bind(fill);
-                f.li(Val(1), n as i64);
-                f.sub(Val(2), Val(0), Val(1));
-                f.beqz(Val(2), filled);
-                f.ptr_add(Ptr(2), Ptr(1), Val(0));
-                f.store(Val(0), Ptr(2), 0, Width::B);
-                f.add_imm(Val(0), Val(0), 1);
-                f.jmp(fill);
-                f.bind(filled);
+                // write one byte so the read end is ready
+                f.addr_of_stack(Ptr(1), 32, 8);
+                f.li(Val(0), 1);
+                f.store(Val(0), Ptr(1), 0, Width::B);
                 f.set_arg_val(0, Val(7));
                 f.set_arg_ptr(1, Ptr(1));
-                f.li(Val(1), n as i64);
-                f.set_arg_val(2, Val(1));
+                f.set_arg_val(2, Val(0));
                 f.syscall(Sys::Write as i64);
-                // read back into a second buffer, compare last byte
-                f.addr_of_stack(Ptr(3), 96, 64);
-                f.li(Val(1), n as i64);
-                f.sys_read(Val(6), Ptr(3), Val(1), Val(2));
-                f.load(Val(3), Ptr(3), n as i64 - 1, Width::B, false);
-                exit_check(f, Val(3), n as i64 - 1);
+                // select(64, &readfds, &writefds, NULL, &timeout0)
+                f.addr_of_stack(Ptr(2), 48, 8); // readfds
+                f.li(Val(1), 1);
+                f.shl(Val(1), Val(1), Val(6)); // readfds = 1 << rfd
+                f.store(Val(1), Ptr(2), 0, Width::D);
+                f.addr_of_stack(Ptr(3), 64, 8); // timeout = 0 (poll)
+                f.li(Val(2), 0);
+                f.store(Val(2), Ptr(3), 0, Width::D);
+                f.li(Val(3), 64);
+                f.set_arg_val(0, Val(3));
+                f.set_arg_ptr(1, Ptr(2));
+                f.set_arg_null(2); // no writefds
+                f.set_arg_null(3); // no exceptfds
+                f.set_arg_ptr(4, Ptr(3));
+                f.syscall(Sys::Select as i64);
+                f.ret_val_to(Val(4));
+                exit_check(f, Val(4), 1);
             })
-        }));
-    }
-    for i in 0..4 {
-        cases.push(case(format!("file_io_{i}"), TestExpectation::PassBoth, move |o| {
-            single_main("file", o, |f| {
-                // open("f<i>", CREAT|WRONLY); write; reopen read; verify
-                let mut pb_path = [0u8; 4];
-                pb_path[..3].copy_from_slice(b"f_0");
-                pb_path[2] = b'0' + i as u8;
-                let _ = pb_path;
-                f.enter(160);
-                f.addr_of_stack(Ptr(0), 16, 8);
-                f.li(Val(0), i64::from_le_bytes(*b"file000\0") + i as i64);
-                f.store(Val(0), Ptr(0), 0, Width::D);
-                f.set_arg_ptr(0, Ptr(0));
-                f.li(Val(1), 1 | 2 | 4); // WRONLY|CREAT|TRUNC
-                f.set_arg_val(1, Val(1));
-                f.syscall(Sys::Open as i64);
-                f.ret_val_to(Val(6)); // fd
-                f.addr_of_stack(Ptr(1), 32, 16);
-                f.li(Val(2), 0xabcd);
-                f.store(Val(2), Ptr(1), 0, Width::D);
-                f.set_arg_val(0, Val(6));
-                f.set_arg_ptr(1, Ptr(1));
-                f.li(Val(3), 8);
-                f.set_arg_val(2, Val(3));
-                f.syscall(Sys::Write as i64);
-                f.set_arg_val(0, Val(6));
-                f.syscall(Sys::Close as i64);
-                // reopen and read
-                f.set_arg_ptr(0, Ptr(0));
-                f.li(Val(1), 0);
-                f.set_arg_val(1, Val(1));
-                f.syscall(Sys::Open as i64);
-                f.ret_val_to(Val(6));
-                f.addr_of_stack(Ptr(2), 64, 16);
-                f.li(Val(3), 8);
-                f.sys_read(Val(6), Ptr(2), Val(3), Val(4));
-                f.load(Val(5), Ptr(2), 0, Width::D, false);
-                exit_check(f, Val(5), 0xabcd);
-            })
-        }));
-    }
-    cases.push(case("select_ready_pipe".into(), TestExpectation::PassBoth, |o| {
-        single_main("select", o, |f| {
-            f.enter(160);
-            f.addr_of_stack(Ptr(0), 16, 8);
-            f.set_arg_ptr(0, Ptr(0));
-            f.syscall(Sys::Pipe as i64);
-            f.load(Val(6), Ptr(0), 0, Width::W, false);
-            f.load(Val(7), Ptr(0), 4, Width::W, false);
-            // write one byte so the read end is ready
-            f.addr_of_stack(Ptr(1), 32, 8);
-            f.li(Val(0), 1);
-            f.store(Val(0), Ptr(1), 0, Width::B);
-            f.set_arg_val(0, Val(7));
-            f.set_arg_ptr(1, Ptr(1));
-            f.set_arg_val(2, Val(0));
-            f.syscall(Sys::Write as i64);
-            // select(64, &readfds, &writefds, NULL, &timeout0)
-            f.addr_of_stack(Ptr(2), 48, 8); // readfds
-            f.li(Val(1), 1);
-            f.shl(Val(1), Val(1), Val(6)); // readfds = 1 << rfd
-            f.store(Val(1), Ptr(2), 0, Width::D);
-            f.addr_of_stack(Ptr(3), 64, 8); // timeout = 0 (poll)
-            f.li(Val(2), 0);
-            f.store(Val(2), Ptr(3), 0, Width::D);
-            f.li(Val(3), 64);
-            f.set_arg_val(0, Val(3));
-            f.set_arg_ptr(1, Ptr(2));
-            f.set_arg_null(2); // no writefds
-            f.set_arg_null(3); // no exceptfds
-            f.set_arg_ptr(4, Ptr(3));
-            f.syscall(Sys::Select as i64);
-            f.ret_val_to(Val(4));
-            exit_check(f, Val(4), 1);
-        })
-    }));
+        },
+    ));
     for i in 0..3 {
-        cases.push(case(format!("sysctl_read_{i}"), TestExpectation::PassBoth, move |o| {
-            single_main("sysctl", o, |f| {
-                f.enter(96);
-                f.addr_of_stack(Ptr(0), 16, 16); // oldp
-                f.addr_of_stack(Ptr(1), 32, 8); // oldlenp
-                f.li(Val(0), 16);
-                f.store(Val(0), Ptr(1), 0, Width::D);
-                f.li(Val(1), 1 + (i % 2) as i64);
-                f.set_arg_val(0, Val(1));
-                f.set_arg_ptr(1, Ptr(0));
-                f.set_arg_ptr(2, Ptr(1));
-                f.syscall(Sys::Sysctl as i64);
-                f.ret_val_to(Val(2));
-                exit_check(f, Val(2), 0);
-            })
-        }));
+        cases.push(case(
+            format!("sysctl_read_{i}"),
+            TestExpectation::PassBoth,
+            move |o| {
+                single_main("sysctl", o, |f| {
+                    f.enter(96);
+                    f.addr_of_stack(Ptr(0), 16, 16); // oldp
+                    f.addr_of_stack(Ptr(1), 32, 8); // oldlenp
+                    f.li(Val(0), 16);
+                    f.store(Val(0), Ptr(1), 0, Width::D);
+                    f.li(Val(1), 1 + (i % 2) as i64);
+                    f.set_arg_val(0, Val(1));
+                    f.set_arg_ptr(1, Ptr(0));
+                    f.set_arg_ptr(2, Ptr(1));
+                    f.syscall(Sys::Sysctl as i64);
+                    f.ret_val_to(Val(2));
+                    exit_check(f, Val(2), 0);
+                })
+            },
+        ));
     }
-    cases.push(case("ioctl_get_struct".into(), TestExpectation::PassBoth, |o| {
-        single_main("ioctl", o, |f| {
-            f.enter(96);
-            f.addr_of_stack(Ptr(0), 16, 64); // correctly sized buffer
-            f.li(Val(0), 0);
-            f.set_arg_val(0, Val(0));
-            f.li(Val(1), 1);
-            f.set_arg_val(1, Val(1));
-            f.set_arg_ptr(2, Ptr(0));
-            f.syscall(Sys::Ioctl as i64);
-            f.ret_val_to(Val(2));
-            f.load(Val(3), Ptr(0), 0, Width::D, false);
-            f.li(Val(4), 0x1234_5678);
-            let bad = f.label();
-            f.bnez(Val(2), bad);
-            f.bne(Val(3), Val(4), bad);
-            f.sys_exit_imm(0);
-            f.bind(bad);
-            f.sys_exit_imm(1);
-        })
-    }));
+    cases.push(case(
+        "ioctl_get_struct".into(),
+        TestExpectation::PassBoth,
+        |o| {
+            single_main("ioctl", o, |f| {
+                f.enter(96);
+                f.addr_of_stack(Ptr(0), 16, 64); // correctly sized buffer
+                f.li(Val(0), 0);
+                f.set_arg_val(0, Val(0));
+                f.li(Val(1), 1);
+                f.set_arg_val(1, Val(1));
+                f.set_arg_ptr(2, Ptr(0));
+                f.syscall(Sys::Ioctl as i64);
+                f.ret_val_to(Val(2));
+                f.load(Val(3), Ptr(0), 0, Width::D, false);
+                f.li(Val(4), 0x1234_5678);
+                let bad = f.label();
+                f.bnez(Val(2), bad);
+                f.bne(Val(3), Val(4), bad);
+                f.sys_exit_imm(0);
+                f.bind(bad);
+                f.sys_exit_imm(1);
+            })
+        },
+    ));
     cases.push(case("fork_wait".into(), TestExpectation::PassBoth, |o| {
         single_main("fork", o, |f| {
             f.syscall(Sys::Fork as i64);
@@ -630,21 +690,25 @@ fn shm_family() -> Vec<TestCase> {
 fn swap_family() -> Vec<TestCase> {
     (0..6)
         .map(|i| {
-            case(format!("swap_roundtrip_{i}"), TestExpectation::PassBoth, move |o| {
-                single_main("swap", o, |f| {
-                    f.malloc_imm(Ptr(0), 64);
-                    f.malloc_imm(Ptr(1), 32);
-                    f.li(Val(0), 4242 + i as i64);
-                    f.store(Val(0), Ptr(1), 0, Width::D);
-                    f.store_ptr(Ptr(1), Ptr(0), 0);
-                    f.li(Val(1), 4096);
-                    f.set_arg_val(0, Val(1));
-                    f.syscall(Sys::Swapctl as i64);
-                    f.load_ptr(Ptr(2), Ptr(0), 0);
-                    f.load(Val(2), Ptr(2), 0, Width::D, false);
-                    exit_check(f, Val(2), 4242 + i as i64);
-                })
-            })
+            case(
+                format!("swap_roundtrip_{i}"),
+                TestExpectation::PassBoth,
+                move |o| {
+                    single_main("swap", o, |f| {
+                        f.malloc_imm(Ptr(0), 64);
+                        f.malloc_imm(Ptr(1), 32);
+                        f.li(Val(0), 4242 + i as i64);
+                        f.store(Val(0), Ptr(1), 0, Width::D);
+                        f.store_ptr(Ptr(1), Ptr(0), 0);
+                        f.li(Val(1), 4096);
+                        f.set_arg_val(0, Val(1));
+                        f.syscall(Sys::Swapctl as i64);
+                        f.load_ptr(Ptr(2), Ptr(0), 0);
+                        f.load(Val(2), Ptr(2), 0, Width::D, false);
+                        exit_check(f, Val(2), 4242 + i as i64);
+                    })
+                },
+            )
         })
         .collect()
 }
@@ -653,64 +717,72 @@ fn dynlink_family() -> Vec<TestCase> {
     let mut cases = Vec::new();
     for i in 0..6 {
         let a = 10 + i as i64;
-        cases.push(case(format!("dynlink_call_{i}"), TestExpectation::PassBoth, move |o| {
-            let mut pb = ProgramBuilder::new("dyn");
-            let mut lib = pb.object("libx");
-            {
-                let mut f = FnBuilder::begin(&mut lib, "twice_plus", o);
-                f.arg_to_val(Val(0), 0);
-                f.add(Val(0), Val(0), Val(0));
-                f.add_imm(Val(0), Val(0), 3);
-                f.set_ret_val(Val(0));
-                f.ret();
-            }
-            lib.add_data("lib_global", &77u64.to_le_bytes(), 16);
-            pb.add(lib.finish());
-            let mut exe = pb.object("dyn");
-            {
-                let mut f = FnBuilder::begin(&mut exe, "main", o);
-                f.enter(32);
-                f.li(Val(0), a);
-                f.set_arg_val(0, Val(0));
-                f.call_global("twice_plus");
-                f.ret_val_to(Val(1));
-                f.load_global_ptr(Ptr(0), "lib_global");
-                f.load(Val(2), Ptr(0), 0, Width::D, false);
-                f.add(Val(1), Val(1), Val(2));
-                exit_check(&mut f, Val(1), 2 * a + 3 + 77);
-            }
-            exe.set_entry("main");
-            pb.add(exe.finish());
-            pb.finish()
-        }));
+        cases.push(case(
+            format!("dynlink_call_{i}"),
+            TestExpectation::PassBoth,
+            move |o| {
+                let mut pb = ProgramBuilder::new("dyn");
+                let mut lib = pb.object("libx");
+                {
+                    let mut f = FnBuilder::begin(&mut lib, "twice_plus", o);
+                    f.arg_to_val(Val(0), 0);
+                    f.add(Val(0), Val(0), Val(0));
+                    f.add_imm(Val(0), Val(0), 3);
+                    f.set_ret_val(Val(0));
+                    f.ret();
+                }
+                lib.add_data("lib_global", &77u64.to_le_bytes(), 16);
+                pb.add(lib.finish());
+                let mut exe = pb.object("dyn");
+                {
+                    let mut f = FnBuilder::begin(&mut exe, "main", o);
+                    f.enter(32);
+                    f.li(Val(0), a);
+                    f.set_arg_val(0, Val(0));
+                    f.call_global("twice_plus");
+                    f.ret_val_to(Val(1));
+                    f.load_global_ptr(Ptr(0), "lib_global");
+                    f.load(Val(2), Ptr(0), 0, Width::D, false);
+                    f.add(Val(1), Val(1), Val(2));
+                    exit_check(&mut f, Val(1), 2 * a + 3 + 77);
+                }
+                exe.set_entry("main");
+                pb.add(exe.finish());
+                pb.finish()
+            },
+        ));
     }
     for i in 0..4 {
-        cases.push(case(format!("funcptr_reloc_{i}"), TestExpectation::PassBoth, move |o| {
-            // A data-segment function-pointer table initialised by RTLD,
-            // called indirectly.
-            let mut pb = ProgramBuilder::new("fp");
-            let mut exe = pb.object("fp");
-            {
-                let mut f = FnBuilder::begin(&mut exe, "cb", o);
-                f.li(Val(0), 55 + i as i64);
-                f.set_ret_val(Val(0));
-                f.ret();
-            }
-            let slot = exe.add_data("vtable", &[0u8; 32], 16);
-            exe.add_data_reloc(slot, "cb", 0);
-            {
-                let mut f = FnBuilder::begin(&mut exe, "main", o);
-                f.enter(32);
-                f.load_global_ptr(Ptr(0), "vtable");
-                f.load_ptr(Ptr(1), Ptr(0), 0);
-                f.call_ptr(Ptr(1));
-                f.ret_val_to(Val(0));
-                exit_check(&mut f, Val(0), 55 + i as i64);
-            }
-            exe.set_entry("main");
-            pb.add(exe.finish());
-            pb.finish()
-        }));
+        cases.push(case(
+            format!("funcptr_reloc_{i}"),
+            TestExpectation::PassBoth,
+            move |o| {
+                // A data-segment function-pointer table initialised by RTLD,
+                // called indirectly.
+                let mut pb = ProgramBuilder::new("fp");
+                let mut exe = pb.object("fp");
+                {
+                    let mut f = FnBuilder::begin(&mut exe, "cb", o);
+                    f.li(Val(0), 55 + i as i64);
+                    f.set_ret_val(Val(0));
+                    f.ret();
+                }
+                let slot = exe.add_data("vtable", &[0u8; 32], 16);
+                exe.add_data_reloc(slot, "cb", 0);
+                {
+                    let mut f = FnBuilder::begin(&mut exe, "main", o);
+                    f.enter(32);
+                    f.load_global_ptr(Ptr(0), "vtable");
+                    f.load_ptr(Ptr(1), Ptr(0), 0);
+                    f.call_ptr(Ptr(1));
+                    f.ret_val_to(Val(0));
+                    exit_check(&mut f, Val(0), 55 + i as i64);
+                }
+                exe.set_entry("main");
+                pb.add(exe.finish());
+                pb.finish()
+            },
+        ));
     }
     cases
 }
@@ -908,7 +980,7 @@ fn latent_bug_family() -> Vec<TestCase> {
                 f.malloc_imm(Ptr(1), 16); // earlier allocation: the buffer
                                           // is interior to the arena chunk
                 f.malloc_imm(Ptr(0), 32); // history buffer
-                // On an "empty command line", the scan starts at index -1.
+                                          // On an "empty command line", the scan starts at index -1.
                 f.load(Val(0), Ptr(0), -1, Width::B, false);
                 f.sys_exit_imm(0);
             })
@@ -976,19 +1048,23 @@ fn latent_bug_family() -> Vec<TestCase> {
 fn skip_family() -> Vec<TestCase> {
     let mut cases: Vec<TestCase> = (0..24)
         .map(|i| {
-            case(format!("sbrk_needed_{i}"), TestExpectation::SkipBoth, move |o| {
-                single_main("sbrk", o, |f| {
-                    f.syscall(Sys::Sbrk as i64);
-                    f.ret_val_to(Val(0));
-                    // ENOSYS -> skip
-                    f.li(Val(1), -78);
-                    let fail = f.label();
-                    f.bne(Val(0), Val(1), fail);
-                    f.sys_exit_imm(SKIP_EXIT_CODE);
-                    f.bind(fail);
-                    f.sys_exit_imm(1);
-                })
-            })
+            case(
+                format!("sbrk_needed_{i}"),
+                TestExpectation::SkipBoth,
+                move |o| {
+                    single_main("sbrk", o, |f| {
+                        f.syscall(Sys::Sbrk as i64);
+                        f.ret_val_to(Val(0));
+                        // ENOSYS -> skip
+                        f.li(Val(1), -78);
+                        let fail = f.label();
+                        f.bne(Val(0), Val(1), fail);
+                        f.sys_exit_imm(SKIP_EXIT_CODE);
+                        f.bind(fail);
+                        f.sys_exit_imm(1);
+                    })
+                },
+            )
         })
         .collect();
     // "We exclude two management utilities that require compatibility shims
@@ -1015,14 +1091,18 @@ fn skip_family() -> Vec<TestCase> {
 fn preexisting_failures_family() -> Vec<TestCase> {
     (0..8)
         .map(|i| {
-            case(format!("known_broken_{i}"), TestExpectation::FailBoth, move |o| {
-                single_main("broken", o, |f| {
-                    // A plain logic bug: asserts the wrong checksum.
-                    f.li(Val(0), 2);
-                    f.add_imm(Val(0), Val(0), 2);
-                    exit_check(f, Val(0), 5);
-                })
-            })
+            case(
+                format!("known_broken_{i}"),
+                TestExpectation::FailBoth,
+                move |o| {
+                    single_main("broken", o, |f| {
+                        // A plain logic bug: asserts the wrong checksum.
+                        f.li(Val(0), 2);
+                        f.add_imm(Val(0), Val(0), 2);
+                        exit_check(f, Val(0), 5);
+                    })
+                },
+            )
         })
         .collect()
 }

@@ -34,4 +34,4 @@ pub mod minidb;
 pub mod suite;
 
 pub use compat::{Category, ChangeRecord, Component, STATIC_CHANGES};
-pub use suite::{SuiteOutcome, SuiteResult, TestCase, TestExpectation};
+pub use suite::{FailureKind, SuiteOutcome, SuiteResult, TestCase, TestExpectation};

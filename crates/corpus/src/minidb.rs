@@ -15,9 +15,9 @@
 //! interleave fields on hard-coded offsets and so corrupt capability bytes
 //! ("returning slightly different results").
 
+use crate::compat::Category;
 use crate::families::{emit_insertion_sort_recptrs, single_main};
 use crate::suite::{TestCase, TestExpectation};
-use crate::compat::Category;
 use cheri_isa::codegen::{CodegenOpts, FnBuilder, Ptr, Val};
 use cheri_isa::Width;
 use cheri_kernel::Sys;
@@ -420,7 +420,7 @@ pub fn pg_regress_suite() -> Vec<TestCase> {
         cases.push(TestCase {
             name: format!("pg_putget_{i}"),
             expectation: TestExpectation::PassBoth,
-            build: Box::new(move |o| {
+            build: std::sync::Arc::new(move |o| {
                 build_with_libdb("pg", o, move |f| {
                     f.enter(96);
                     f.li(Val(0), 64);
@@ -469,7 +469,7 @@ pub fn pg_regress_suite() -> Vec<TestCase> {
         cases.push(TestCase {
             name: format!("pg_update_{i}"),
             expectation: TestExpectation::PassBoth,
-            build: Box::new(move |o| {
+            build: std::sync::Arc::new(move |o| {
                 build_with_libdb("pgu", o, move |f| {
                     f.enter(64);
                     f.li(Val(0), 32);
@@ -505,7 +505,7 @@ pub fn pg_regress_suite() -> Vec<TestCase> {
         cases.push(TestCase {
             name: format!("pg_ptr_size_assumption_{i}"),
             expectation: TestExpectation::FailCheriOnly(Category::PointerShape),
-            build: Box::new(move |o| {
+            build: std::sync::Arc::new(move |o| {
                 single_main("pgps", o, move |f| {
                     let n = 3 + i as i64;
                     f.li(Val(5), 16 + 8 * (2 * (n % 3) + 2));
@@ -533,7 +533,7 @@ pub fn pg_regress_suite() -> Vec<TestCase> {
     cases.push(TestCase {
         name: "pg_underaligned_datum".into(),
         expectation: TestExpectation::FailCheriOnly(Category::Alignment),
-        build: Box::new(|o| {
+        build: std::sync::Arc::new(|o| {
             single_main("pgua", o, |f| {
                 f.malloc_imm(Ptr(0), 64);
                 f.malloc_imm(Ptr(1), 16);
@@ -552,7 +552,7 @@ pub fn pg_regress_suite() -> Vec<TestCase> {
         cases.push(TestCase {
             name: format!("pg_packed_tuple_{i}"),
             expectation: TestExpectation::FailCheriOnly(Category::PointerShape),
-            build: Box::new(move |o| {
+            build: std::sync::Arc::new(move |o| {
                 single_main("pgpk", o, move |f| {
                     f.malloc_imm(Ptr(0), 64); // tuple buffer
                     f.malloc_imm(Ptr(1), 16); // pointee
@@ -579,7 +579,7 @@ pub fn pg_regress_suite() -> Vec<TestCase> {
     cases.push(TestCase {
         name: "pg_needs_shim".into(),
         expectation: TestExpectation::SkipCheriOnly,
-        build: Box::new(|o| {
+        build: std::sync::Arc::new(|o| {
             single_main("pgshim", o, |f| {
                 f.abi_is_purecap(Val(0));
                 let run = f.label();
@@ -597,7 +597,7 @@ pub fn pg_regress_suite() -> Vec<TestCase> {
         cases.push(TestCase {
             name: format!("pg_aggregate_{i}"),
             expectation: TestExpectation::PassBoth,
-            build: Box::new(move |o| {
+            build: std::sync::Arc::new(move |o| {
                 build_with_libdb("pga", o, move |f| {
                     f.enter(96);
                     f.li(Val(0), 64);

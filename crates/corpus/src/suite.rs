@@ -1,10 +1,17 @@
 //! Suite runner: executes a corpus under one ABI and tallies Table 1 rows.
+//!
+//! Execution goes through the unified [`cheriabi::harness`]: each test case
+//! becomes a [`RunSpec`] and the suite fans out across a worker pool, with
+//! reports reassembled in corpus order so the tallies (and the failure list
+//! feeding Table 2) are identical at any `--jobs` level.
 
 use crate::compat::Category;
-use cheri_kernel::{AbiMode, ExitStatus, Kernel, KernelConfig, SpawnOpts};
 use cheri_isa::codegen::CodegenOpts;
+use cheri_kernel::{AbiMode, ExitStatus};
 use cheri_rtld::Program;
+use cheriabi::harness::{CaseOutcome, Harness, RunSpec};
 use std::fmt;
+use std::sync::Arc;
 
 /// Exit code a test uses to report "skipped" (the automake convention).
 pub const SKIP_EXIT_CODE: i64 = 77;
@@ -29,8 +36,9 @@ pub enum TestExpectation {
 pub struct TestCase {
     /// Unique name.
     pub name: String,
-    /// Builds the guest program for a codegen configuration.
-    pub build: Box<dyn Fn(CodegenOpts) -> Program + Send + Sync>,
+    /// Builds the guest program for a codegen configuration (shared so the
+    /// harness can hand it to a worker thread).
+    pub build: Arc<dyn Fn(CodegenOpts) -> Program + Send + Sync>,
     /// Expected behaviour.
     pub expectation: TestExpectation,
 }
@@ -41,19 +49,51 @@ impl fmt::Debug for TestCase {
     }
 }
 
+/// Why a test failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The guest ran and ended badly (non-zero exit, trap, budget).
+    Status(ExitStatus),
+    /// The program did not load.
+    Load(String),
+    /// Building or running the case panicked in the harness worker.
+    Panicked(String),
+}
+
+impl FailureKind {
+    /// The guest exit status, if the test actually ran.
+    #[must_use]
+    pub fn status(&self) -> Option<ExitStatus> {
+        match self {
+            FailureKind::Status(status) => Some(*status),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailureKind::Status(status) => write!(f, "{status:?}"),
+            FailureKind::Load(e) => write!(f, "load failed: {e}"),
+            FailureKind::Panicked(e) => write!(f, "panicked: {e}"),
+        }
+    }
+}
+
 /// Outcome of one test under one ABI.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SuiteOutcome {
     /// Exit code 0.
     Pass,
-    /// Non-zero exit, trap, or budget exhaustion.
-    Fail(ExitStatus),
+    /// Non-zero exit, trap, budget exhaustion, load failure, or panic.
+    Fail(FailureKind),
     /// Exit code [`SKIP_EXIT_CODE`].
     Skip,
 }
 
 /// Aggregate results for one ABI (one row of Table 1).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SuiteResult {
     /// Tests that passed.
     pub pass: usize,
@@ -61,8 +101,8 @@ pub struct SuiteResult {
     pub fail: usize,
     /// Tests that skipped.
     pub skip: usize,
-    /// Names and statuses of failures (for the Table 2 dynamic analysis).
-    pub failures: Vec<(String, ExitStatus)>,
+    /// Names and failure kinds, in corpus order (feeds Table 2).
+    pub failures: Vec<(String, FailureKind)>,
 }
 
 impl SuiteResult {
@@ -95,38 +135,63 @@ pub fn opts_for(abi: AbiMode) -> CodegenOpts {
     }
 }
 
-/// Runs one test under `abi` in a fresh kernel.
+/// Instruction budget per corpus test.
+const CASE_BUDGET: u64 = 20_000_000;
+
+/// Lowers one test into a harness spec for `abi`.
 #[must_use]
-pub fn run_case(case: &TestCase, abi: AbiMode) -> SuiteOutcome {
-    let program = (case.build)(opts_for(abi));
-    let mut kernel = Kernel::new(KernelConfig::default());
-    let mut opts = SpawnOpts::new(abi);
-    opts.instr_budget = Some(20_000_000);
-    let (status, _console) = kernel
-        .run_program(&program, &opts)
-        .expect("corpus programs must load");
-    match status {
-        ExitStatus::Code(0) => SuiteOutcome::Pass,
-        ExitStatus::Code(SKIP_EXIT_CODE) => SuiteOutcome::Skip,
-        other => SuiteOutcome::Fail(other),
+pub fn case_spec(case: &TestCase, abi: AbiMode) -> RunSpec {
+    let build = Arc::clone(&case.build);
+    RunSpec::new(
+        case.name.clone(),
+        Arc::new(move |opts, _seed| build(opts)),
+        opts_for(abi),
+        abi,
+    )
+    .with_budget(CASE_BUDGET)
+}
+
+/// Scores a harness outcome as a suite outcome.
+#[must_use]
+pub fn score(outcome: &CaseOutcome) -> SuiteOutcome {
+    match outcome {
+        CaseOutcome::Exited(ExitStatus::Code(0)) => SuiteOutcome::Pass,
+        CaseOutcome::Exited(ExitStatus::Code(SKIP_EXIT_CODE)) => SuiteOutcome::Skip,
+        CaseOutcome::Exited(other) => SuiteOutcome::Fail(FailureKind::Status(*other)),
+        CaseOutcome::LoadFailed(e) => SuiteOutcome::Fail(FailureKind::Load(e.clone())),
+        CaseOutcome::Panicked(e) => SuiteOutcome::Fail(FailureKind::Panicked(e.clone())),
     }
 }
 
-/// Runs a whole suite under `abi`.
+/// Runs one test under `abi` in a fresh kernel.
 #[must_use]
-pub fn run_suite(cases: &[TestCase], abi: AbiMode) -> SuiteResult {
+pub fn run_case(case: &TestCase, abi: AbiMode) -> SuiteOutcome {
+    score(&cheriabi::harness::execute_spec(&case_spec(case, abi)).outcome)
+}
+
+/// Runs a whole suite under `abi` across `jobs` workers.
+#[must_use]
+pub fn run_suite_jobs(cases: &[TestCase], abi: AbiMode, jobs: usize) -> SuiteResult {
+    let specs: Vec<RunSpec> = cases.iter().map(|case| case_spec(case, abi)).collect();
+    let reports = Harness::new(jobs).run(&specs);
     let mut result = SuiteResult::default();
-    for case in cases {
-        match run_case(case, abi) {
+    for report in &reports {
+        match score(&report.outcome) {
             SuiteOutcome::Pass => result.pass += 1,
             SuiteOutcome::Skip => result.skip += 1,
-            SuiteOutcome::Fail(status) => {
+            SuiteOutcome::Fail(kind) => {
                 result.fail += 1;
-                result.failures.push((case.name.clone(), status));
+                result.failures.push((report.name.clone(), kind));
             }
         }
     }
     result
+}
+
+/// Runs a whole suite under `abi` sequentially.
+#[must_use]
+pub fn run_suite(cases: &[TestCase], abi: AbiMode) -> SuiteResult {
+    run_suite_jobs(cases, abi, 1)
 }
 
 /// Classifies a suite's failures into Table 2 categories using the dynamic
@@ -136,9 +201,9 @@ pub fn classify_failures(result: &SuiteResult) -> Vec<(String, Option<Category>)
     result
         .failures
         .iter()
-        .map(|(name, status)| {
-            let cat = match status {
-                ExitStatus::Fault(cause) => Category::from_trap(cause),
+        .map(|(name, kind)| {
+            let cat = match kind {
+                FailureKind::Status(ExitStatus::Fault(cause)) => Category::from_trap(cause),
                 _ => None,
             };
             (name.clone(), cat)

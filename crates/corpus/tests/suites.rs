@@ -4,10 +4,12 @@
 
 use cheri_corpus::families::{freebsd_suite, libcxx_suite};
 use cheri_corpus::minidb::{build_initdb, initdb_expected_exit, pg_regress_suite};
-use cheri_corpus::suite::{run_case, run_suite, SuiteOutcome};
+use cheri_corpus::suite::{
+    run_case, run_suite, run_suite_jobs, FailureKind, SuiteOutcome, TestCase,
+};
 use cheri_corpus::TestExpectation;
-use cheri_kernel::{AbiMode, ExitStatus, Kernel, KernelConfig, SpawnOpts};
 use cheri_isa::codegen::CodegenOpts;
+use cheri_kernel::{AbiMode, ExitStatus, Kernel, KernelConfig, SpawnOpts};
 
 /// Every test behaves exactly as its expectation declares, under both ABIs.
 /// (This is the corpus's own self-check; the Table 1 binary only tallies.)
@@ -25,7 +27,11 @@ fn freebsd_corpus_matches_expectations() {
             }
             TestExpectation::FailCheriOnly(_) => {
                 assert_eq!(m, SuiteOutcome::Pass, "{} mips64", case.name);
-                assert!(matches!(c, SuiteOutcome::Fail(_)), "{} cheriabi: {c:?}", case.name);
+                assert!(
+                    matches!(c, SuiteOutcome::Fail(_)),
+                    "{} cheriabi: {c:?}",
+                    case.name
+                );
             }
             TestExpectation::FailBoth => {
                 assert!(matches!(m, SuiteOutcome::Fail(_)), "{} mips64", case.name);
@@ -81,6 +87,52 @@ fn libcxx_suite_shape() {
     let c = run_suite(&cases, AbiMode::CheriAbi);
     assert_eq!(m.fail, 0);
     assert_eq!(c.fail, 5, "failures: {:?}", c.failures);
+}
+
+/// The harness produces bit-identical aggregates at any worker count: one
+/// worker and eight workers must agree on every tally *and* on the order
+/// of the failure list (which feeds Table 2 classification).
+#[test]
+fn suite_results_are_identical_at_any_job_count() {
+    let cases = freebsd_suite();
+    for abi in [AbiMode::Mips64, AbiMode::CheriAbi] {
+        let seq = run_suite_jobs(&cases, abi, 1);
+        let par = run_suite_jobs(&cases, abi, 8);
+        assert_eq!(seq, par, "{abi}: aggregates diverge across job counts");
+    }
+    // run_suite is the sequential path.
+    assert_eq!(
+        run_suite(&cases, AbiMode::CheriAbi),
+        run_suite_jobs(&cases, AbiMode::CheriAbi, 8)
+    );
+}
+
+/// A case whose builder panics becomes a Fail report (its own failure
+/// entry) without taking down the suite or any sibling case.
+#[test]
+fn panicking_case_is_a_fail_report() {
+    let mut cases = freebsd_suite();
+    cases.truncate(6);
+    cases.insert(
+        3,
+        TestCase {
+            name: "corpus-panics".to_string(),
+            build: std::sync::Arc::new(|_| panic!("corpus builder exploded")),
+            expectation: TestExpectation::FailBoth,
+        },
+    );
+    let r = run_suite_jobs(&cases, AbiMode::Mips64, 4);
+    assert_eq!(r.total(), 7);
+    let kind = r
+        .failures
+        .iter()
+        .find(|(name, _)| name == "corpus-panics")
+        .map(|(_, kind)| kind.clone())
+        .expect("panicking case reported as a failure");
+    assert_eq!(
+        kind,
+        FailureKind::Panicked("corpus builder exploded".to_string())
+    );
 }
 
 /// initdb runs to completion with the same output under both ABIs (it is

@@ -2,8 +2,8 @@
 
 use crate::{DerivationTrace, RegFile};
 use cheri_cap::{CapFault, Capability, Perms};
-use cheri_mem::{AccessKind, CacheHierarchy, FRAME_SIZE};
 use cheri_isa::{Instr, Width};
+use cheri_mem::{AccessKind, CacheHierarchy, FRAME_SIZE};
 use cheri_vm::{Access, AsId, Vm, VmError};
 use std::collections::HashMap;
 use std::fmt;
@@ -104,7 +104,10 @@ impl Cpu {
     /// object's text segment).
     pub fn register_code(&mut self, id: AsId, start: u64, code: Arc<Vec<Instr>>) {
         let end = start + code.len() as u64 * 4;
-        self.code.entry(id).or_default().push(CodeRegion { start, end, code });
+        self.code
+            .entry(id)
+            .or_default()
+            .push(CodeRegion { start, end, code });
     }
 
     /// Forgets all code regions of an address space (process teardown).
@@ -118,7 +121,11 @@ impl Cpu {
         if let Some(regions) = self.code.get(&from) {
             let cloned: Vec<CodeRegion> = regions
                 .iter()
-                .map(|r| CodeRegion { start: r.start, end: r.end, code: r.code.clone() })
+                .map(|r| CodeRegion {
+                    start: r.start,
+                    end: r.end,
+                    code: r.code.clone(),
+                })
                 .collect();
             self.code.insert(to, cloned);
         }
@@ -156,9 +163,11 @@ impl Cpu {
         if let Some(&base) = self.tlb.get(&key) {
             return Ok(base + vaddr % FRAME_SIZE);
         }
-        let pa = vm
-            .translate(id, vaddr, access)
-            .map_err(|e| TrapInfo { cause: TrapCause::Vm(e), pc, vaddr: Some(vaddr) })?;
+        let pa = vm.translate(id, vaddr, access).map_err(|e| TrapInfo {
+            cause: TrapCause::Vm(e),
+            pc,
+            vaddr: Some(vaddr),
+        })?;
         if self.tlb.len() >= 256 {
             self.tlb.clear();
         }
@@ -183,7 +192,7 @@ impl Cpu {
         pc: u64,
     ) -> Result<u64, TrapInfo> {
         let size = w.bytes();
-        if aligned_required && vaddr % size != 0 {
+        if aligned_required && !vaddr.is_multiple_of(size) {
             return Err(TrapInfo {
                 cause: TrapCause::Cap(CapFault::UnalignedDataAccess),
                 pc,
@@ -191,12 +200,20 @@ impl Cpu {
             });
         }
         cap.check_access(vaddr, size, Perms::LOAD)
-            .map_err(|f| TrapInfo { cause: TrapCause::Cap(f), pc, vaddr: Some(vaddr) })?;
+            .map_err(|f| TrapInfo {
+                cause: TrapCause::Cap(f),
+                pc,
+                vaddr: Some(vaddr),
+            })?;
         let pa = self.translate_cached(vm, id, vaddr, Access::Read, pc)?;
         self.stats.cycles += self.caches.access(pa, AccessKind::Load);
         let mut buf = [0u8; 8];
         vm.read_bytes(id, vaddr, &mut buf[..size as usize])
-            .map_err(|e| TrapInfo { cause: TrapCause::Vm(e), pc, vaddr: Some(vaddr) })?;
+            .map_err(|e| TrapInfo {
+                cause: TrapCause::Vm(e),
+                pc,
+                vaddr: Some(vaddr),
+            })?;
         let raw = u64::from_le_bytes(buf);
         Ok(if signed {
             match w {
@@ -223,7 +240,7 @@ impl Cpu {
         pc: u64,
     ) -> Result<(), TrapInfo> {
         let size = w.bytes();
-        if aligned_required && vaddr % size != 0 {
+        if aligned_required && !vaddr.is_multiple_of(size) {
             return Err(TrapInfo {
                 cause: TrapCause::Cap(CapFault::UnalignedDataAccess),
                 pc,
@@ -231,18 +248,30 @@ impl Cpu {
             });
         }
         cap.check_access(vaddr, size, Perms::STORE)
-            .map_err(|f| TrapInfo { cause: TrapCause::Cap(f), pc, vaddr: Some(vaddr) })?;
+            .map_err(|f| TrapInfo {
+                cause: TrapCause::Cap(f),
+                pc,
+                vaddr: Some(vaddr),
+            })?;
         let pa = self.translate_cached(vm, id, vaddr, Access::Write, pc)?;
         self.stats.cycles += self.caches.access(pa, AccessKind::Store);
         let bytes = value.to_le_bytes();
         vm.write_bytes(id, vaddr, &bytes[..size as usize])
-            .map_err(|e| TrapInfo { cause: TrapCause::Vm(e), pc, vaddr: Some(vaddr) })?;
+            .map_err(|e| TrapInfo {
+                cause: TrapCause::Vm(e),
+                pc,
+                vaddr: Some(vaddr),
+            })?;
         Ok(())
     }
 
-    fn legacy_cap<'r>(rf: &'r RegFile, pc: u64) -> Result<&'r Capability, TrapInfo> {
+    fn legacy_cap(rf: &RegFile, pc: u64) -> Result<&Capability, TrapInfo> {
         if !rf.ddc.tag() {
-            Err(TrapInfo { cause: TrapCause::Cap(CapFault::DdcNull), pc, vaddr: None })
+            Err(TrapInfo {
+                cause: TrapCause::Cap(CapFault::DdcNull),
+                pc,
+                vaddr: None,
+            })
         } else {
             Ok(&rf.ddc)
         }
@@ -256,17 +285,26 @@ impl Cpu {
         let pc = rf.pc;
         rf.pcc
             .check_access(pc, 4, Perms::EXECUTE)
-            .map_err(|f| TrapInfo { cause: TrapCause::Cap(f), pc, vaddr: Some(pc) })?;
+            .map_err(|f| TrapInfo {
+                cause: TrapCause::Cap(f),
+                pc,
+                vaddr: Some(pc),
+            })?;
         let pa = self.translate_cached(vm, id, pc, Access::Exec, pc)?;
         self.stats.cycles += self.caches.access(pa, AccessKind::Fetch);
-        let regions = self
-            .code
-            .get(&id)
-            .ok_or(TrapInfo { cause: TrapCause::NoCode, pc, vaddr: Some(pc) })?;
+        let regions = self.code.get(&id).ok_or(TrapInfo {
+            cause: TrapCause::NoCode,
+            pc,
+            vaddr: Some(pc),
+        })?;
         let region = regions
             .iter()
             .find(|r| pc >= r.start && pc < r.end)
-            .ok_or(TrapInfo { cause: TrapCause::NoCode, pc, vaddr: Some(pc) })?;
+            .ok_or(TrapInfo {
+                cause: TrapCause::NoCode,
+                pc,
+                vaddr: Some(pc),
+            })?;
         Ok(region.code[((pc - region.start) / 4) as usize])
     }
 
@@ -308,7 +346,11 @@ impl Cpu {
 
         macro_rules! capfault {
             ($f:expr, $va:expr) => {
-                TrapInfo { cause: TrapCause::Cap($f), pc, vaddr: $va }
+                TrapInfo {
+                    cause: TrapCause::Cap($f),
+                    pc,
+                    vaddr: $va,
+                }
             };
         }
 
@@ -321,7 +363,7 @@ impl Cpu {
             Instr::Mul { rd, rs, rt } => rf.w(rd, rf.r(rs).wrapping_mul(rf.r(rt))),
             Instr::DivU { rd, rs, rt } => {
                 let d = rf.r(rt);
-                rf.w(rd, if d == 0 { 0 } else { rf.r(rs) / d });
+                rf.w(rd, rf.r(rs).checked_div(d).unwrap_or(0));
             }
             Instr::DivS { rd, rs, rt } => {
                 let d = rf.r(rt) as i64;
@@ -407,12 +449,18 @@ impl Cpu {
             }
             Instr::Nop => {}
 
-            Instr::Load { rd, base, off, w, signed } => {
+            Instr::Load {
+                rd,
+                base,
+                off,
+                w,
+                signed,
+            } => {
                 let ddc = *Self::legacy_cap(rf, pc)?;
                 let vaddr = rf.r(base).wrapping_add(off as u64);
                 // Legacy unaligned access is fixed up by the kernel on
                 // FreeBSD/MIPS at significant cost; emulate that.
-                let aligned = vaddr % w.bytes() == 0;
+                let aligned = vaddr.is_multiple_of(w.bytes());
                 if !aligned {
                     self.stats.cycles += 50;
                 }
@@ -422,13 +470,19 @@ impl Cpu {
             Instr::Store { rs, base, off, w } => {
                 let ddc = *Self::legacy_cap(rf, pc)?;
                 let vaddr = rf.r(base).wrapping_add(off as u64);
-                if vaddr % w.bytes() != 0 {
+                if !vaddr.is_multiple_of(w.bytes()) {
                     self.stats.cycles += 50;
                 }
                 let v = rf.r(rs);
                 self.data_write(vm, id, &ddc, vaddr, w, v, false, pc)?;
             }
-            Instr::CLoad { rd, cb, off, w, signed } => {
+            Instr::CLoad {
+                rd,
+                cb,
+                off,
+                w,
+                signed,
+            } => {
                 let cap = rf.c(cb);
                 let vaddr = cap.addr().wrapping_add(off as u64);
                 let v = self.data_read(vm, id, &cap, vaddr, w, signed, true, pc)?;
@@ -444,16 +498,18 @@ impl Cpu {
                 let cap = rf.c(cb);
                 let vaddr = cap.addr().wrapping_add(off as u64);
                 let size = cap.format().in_memory_size();
-                if vaddr % size != 0 {
+                if !vaddr.is_multiple_of(size) {
                     return Err(capfault!(CapFault::UnalignedCapAccess, Some(vaddr)));
                 }
                 cap.check_access(vaddr, size, Perms::LOAD)
                     .map_err(|f| capfault!(f, Some(vaddr)))?;
                 let pa = self.translate_cached(vm, id, vaddr, Access::Read, pc)?;
                 self.stats.cycles += self.caches.access(pa, AccessKind::Load);
-                let loaded = vm
-                    .load_cap(id, vaddr)
-                    .map_err(|e| TrapInfo { cause: TrapCause::Vm(e), pc, vaddr: Some(vaddr) })?;
+                let loaded = vm.load_cap(id, vaddr).map_err(|e| TrapInfo {
+                    cause: TrapCause::Vm(e),
+                    pc,
+                    vaddr: Some(vaddr),
+                })?;
                 let value = match loaded {
                     Some(c) => {
                         if cap.perms().contains(Perms::LOAD_CAP) {
@@ -465,8 +521,7 @@ impl Cpu {
                         }
                     }
                     None => {
-                        let raw = self
-                            .data_read(vm, id, &cap, vaddr, Width::D, false, true, pc)?;
+                        let raw = self.data_read(vm, id, &cap, vaddr, Width::D, false, true, pc)?;
                         Capability::null(cap.format()).with_addr(raw)
                     }
                 };
@@ -477,7 +532,7 @@ impl Cpu {
                 let value = rf.c(cs);
                 let vaddr = cap.addr().wrapping_add(off as u64);
                 let size = cap.format().in_memory_size();
-                if vaddr % size != 0 {
+                if !vaddr.is_multiple_of(size) {
                     return Err(capfault!(CapFault::UnalignedCapAccess, Some(vaddr)));
                 }
                 cap.check_access(vaddr, size, Perms::STORE)
@@ -497,8 +552,11 @@ impl Cpu {
                 }
                 let pa = self.translate_cached(vm, id, vaddr, Access::Write, pc)?;
                 self.stats.cycles += self.caches.access(pa, AccessKind::Store);
-                vm.store_cap(id, vaddr, value)
-                    .map_err(|e| TrapInfo { cause: TrapCause::Vm(e), pc, vaddr: Some(vaddr) })?;
+                vm.store_cap(id, vaddr, value).map_err(|e| TrapInfo {
+                    cause: TrapCause::Vm(e),
+                    pc,
+                    vaddr: Some(vaddr),
+                })?;
             }
 
             Instr::CGetAddr { rd, cb } => rf.w(rd, rf.c(cb).addr()),
@@ -508,29 +566,43 @@ impl Cpu {
             Instr::CGetTag { rd, cb } => rf.w(rd, u64::from(rf.c(cb).tag())),
             Instr::CGetOffset { rd, cb } => rf.w(rd, rf.c(cb).offset()),
             Instr::CGetType { rd, cb } => {
-                rf.w(rd, rf.c(cb).otype().map_or(u64::MAX, |t| u64::from(t.value())));
+                rf.w(
+                    rd,
+                    rf.c(cb).otype().map_or(u64::MAX, |t| u64::from(t.value())),
+                );
             }
 
             Instr::CSetAddr { cd, cb, rs } => rf.wc(cd, rf.c(cb).with_addr(rf.r(rs))),
             Instr::CIncOffset { cd, cb, rs } => rf.wc(cd, rf.c(cb).inc_addr(rf.r(rs) as i64)),
             Instr::CIncOffsetImm { cd, cb, imm } => rf.wc(cd, rf.c(cb).inc_addr(imm)),
             Instr::CSetBounds { cd, cb, rs } => {
-                let c = rf.c(cb).set_bounds(rf.r(rs), false).map_err(|f| capfault!(f, None))?;
+                let c = rf
+                    .c(cb)
+                    .set_bounds(rf.r(rs), false)
+                    .map_err(|f| capfault!(f, None))?;
                 self.trace.record(&c);
                 rf.wc(cd, c);
             }
             Instr::CSetBoundsImm { cd, cb, imm } => {
-                let c = rf.c(cb).set_bounds(imm, false).map_err(|f| capfault!(f, None))?;
+                let c = rf
+                    .c(cb)
+                    .set_bounds(imm, false)
+                    .map_err(|f| capfault!(f, None))?;
                 self.trace.record(&c);
                 rf.wc(cd, c);
             }
             Instr::CSetBoundsExact { cd, cb, rs } => {
-                let c = rf.c(cb).set_bounds(rf.r(rs), true).map_err(|f| capfault!(f, None))?;
+                let c = rf
+                    .c(cb)
+                    .set_bounds(rf.r(rs), true)
+                    .map_err(|f| capfault!(f, None))?;
                 self.trace.record(&c);
                 rf.wc(cd, c);
             }
             Instr::CAndPerm { cd, cb, rs } => {
-                let c = rf.c(cb).and_perms(Perms::from_bits_truncate(rf.r(rs) as u32));
+                let c = rf
+                    .c(cb)
+                    .and_perms(Perms::from_bits_truncate(rf.r(rs) as u32));
                 self.trace.record(&c);
                 rf.wc(cd, c);
             }
@@ -617,15 +689,28 @@ mod tests {
         let mut vm = Vm::new(128);
         let id = vm.create_space(PrincipalId::from_raw(1), CapFormat::C128);
         let text_bytes: Vec<u8> = (0..code.len() as u32).flat_map(u32::to_le_bytes).collect();
-        vm.map(id, Some(0x10000), (code.len() as u64 * 4).max(4096), Prot::rx(),
-               Backing::Image { data: std::sync::Arc::new(text_bytes), offset: 0 }, "text")
+        vm.map(
+            id,
+            Some(0x10000),
+            (code.len() as u64 * 4).max(4096),
+            Prot::rx(),
+            Backing::Image {
+                data: std::sync::Arc::new(text_bytes),
+                offset: 0,
+            },
+            "text",
+        )
+        .unwrap();
+        vm.map(id, Some(0x20000), 4096, Prot::rw(), Backing::Zero, "data")
             .unwrap();
-        vm.map(id, Some(0x20000), 4096, Prot::rw(), Backing::Zero, "data").unwrap();
         let mut cpu = Cpu::new();
         cpu.register_code(id, 0x10000, std::sync::Arc::new(code));
         let mut rf = RegFile::new(CapFormat::C128);
         let root = vm.space(id).root;
-        rf.pcc = root.with_addr(0x10000).set_bounds(0x1000, false).unwrap()
+        rf.pcc = root
+            .with_addr(0x10000)
+            .set_bounds(0x1000, false)
+            .unwrap()
             .and_perms(Perms::user_code());
         rf.pc = 0x10000;
         if purecap {
@@ -635,15 +720,25 @@ mod tests {
             rf.ddc = root.with_source(CapSource::Exec);
         }
         // A data capability in c13 covering the rw page.
-        rf.wc(creg::ptr(0), root.with_addr(0x20000).set_bounds(4096, true).unwrap());
+        rf.wc(
+            creg::ptr(0),
+            root.with_addr(0x20000).set_bounds(4096, true).unwrap(),
+        );
         (cpu, vm, id, rf)
     }
 
     #[test]
     fn alu_and_syscall() {
         let code = vec![
-            Instr::Li { rd: ireg::A0, imm: 20 },
-            Instr::AddI { rd: ireg::A0, rs: ireg::A0, imm: 22 },
+            Instr::Li {
+                rd: ireg::A0,
+                imm: 20,
+            },
+            Instr::AddI {
+                rd: ireg::A0,
+                rs: ireg::A0,
+                imm: 22,
+            },
             Instr::Syscall,
         ];
         let (mut cpu, mut vm, id, mut rf) = machine(code, false);
@@ -656,10 +751,27 @@ mod tests {
     #[test]
     fn legacy_load_store_via_ddc() {
         let code = vec![
-            Instr::Li { rd: ireg::T0, imm: 0x20010 },
-            Instr::Li { rd: ireg::T1, imm: 77 },
-            Instr::Store { rs: ireg::T1, base: ireg::T0, off: 0, w: Width::D },
-            Instr::Load { rd: ireg::T2, base: ireg::T0, off: 0, w: Width::D, signed: false },
+            Instr::Li {
+                rd: ireg::T0,
+                imm: 0x20010,
+            },
+            Instr::Li {
+                rd: ireg::T1,
+                imm: 77,
+            },
+            Instr::Store {
+                rs: ireg::T1,
+                base: ireg::T0,
+                off: 0,
+                w: Width::D,
+            },
+            Instr::Load {
+                rd: ireg::T2,
+                base: ireg::T0,
+                off: 0,
+                w: Width::D,
+                signed: false,
+            },
             Instr::Syscall,
         ];
         let (mut cpu, mut vm, id, mut rf) = machine(code, false);
@@ -670,8 +782,17 @@ mod tests {
     #[test]
     fn legacy_access_traps_with_null_ddc() {
         let code = vec![
-            Instr::Li { rd: ireg::T0, imm: 0x20010 },
-            Instr::Load { rd: ireg::T2, base: ireg::T0, off: 0, w: Width::D, signed: false },
+            Instr::Li {
+                rd: ireg::T0,
+                imm: 0x20010,
+            },
+            Instr::Load {
+                rd: ireg::T2,
+                base: ireg::T0,
+                off: 0,
+                w: Width::D,
+                signed: false,
+            },
         ];
         let (mut cpu, mut vm, id, mut rf) = machine(code, true);
         match cpu.run(&mut vm, id, &mut rf, 100) {
@@ -684,11 +805,31 @@ mod tests {
     fn capability_bounds_enforced_on_loads() {
         let code = vec![
             // In-bounds store/load via c13.
-            Instr::Li { rd: ireg::T1, imm: 5 },
-            Instr::CStore { rs: ireg::T1, cb: creg::ptr(0), off: 8, w: Width::D },
-            Instr::CLoad { rd: ireg::T2, cb: creg::ptr(0), off: 8, w: Width::D, signed: false },
+            Instr::Li {
+                rd: ireg::T1,
+                imm: 5,
+            },
+            Instr::CStore {
+                rs: ireg::T1,
+                cb: creg::ptr(0),
+                off: 8,
+                w: Width::D,
+            },
+            Instr::CLoad {
+                rd: ireg::T2,
+                cb: creg::ptr(0),
+                off: 8,
+                w: Width::D,
+                signed: false,
+            },
             // One byte past the 4096-byte bounds.
-            Instr::CLoad { rd: ireg::T3, cb: creg::ptr(0), off: 4096, w: Width::B, signed: false },
+            Instr::CLoad {
+                rd: ireg::T3,
+                cb: creg::ptr(0),
+                off: 4096,
+                w: Width::B,
+                signed: false,
+            },
         ];
         let (mut cpu, mut vm, id, mut rf) = machine(code, true);
         match cpu.run(&mut vm, id, &mut rf, 100) {
@@ -704,14 +845,40 @@ mod tests {
     #[test]
     fn cap_roundtrip_through_memory_keeps_tag() {
         let code = vec![
-            Instr::Csc { cs: creg::ptr(0), cb: creg::ptr(0), off: 16 },
-            Instr::Clc { cd: creg::ptr(1), cb: creg::ptr(0), off: 16 },
-            Instr::CGetTag { rd: ireg::T0, cb: creg::ptr(1) },
+            Instr::Csc {
+                cs: creg::ptr(0),
+                cb: creg::ptr(0),
+                off: 16,
+            },
+            Instr::Clc {
+                cd: creg::ptr(1),
+                cb: creg::ptr(0),
+                off: 16,
+            },
+            Instr::CGetTag {
+                rd: ireg::T0,
+                cb: creg::ptr(1),
+            },
             // Overwrite one byte of the stored capability, reload: tag gone.
-            Instr::Li { rd: ireg::T1, imm: 0xab },
-            Instr::CStore { rs: ireg::T1, cb: creg::ptr(0), off: 18, w: Width::B },
-            Instr::Clc { cd: creg::ptr(2), cb: creg::ptr(0), off: 16 },
-            Instr::CGetTag { rd: ireg::T2, cb: creg::ptr(2) },
+            Instr::Li {
+                rd: ireg::T1,
+                imm: 0xab,
+            },
+            Instr::CStore {
+                rs: ireg::T1,
+                cb: creg::ptr(0),
+                off: 18,
+                w: Width::B,
+            },
+            Instr::Clc {
+                cd: creg::ptr(2),
+                cb: creg::ptr(0),
+                off: 16,
+            },
+            Instr::CGetTag {
+                rd: ireg::T2,
+                cb: creg::ptr(2),
+            },
             Instr::Syscall,
         ];
         let (mut cpu, mut vm, id, mut rf) = machine(code, true);
@@ -724,10 +891,24 @@ mod tests {
     fn derived_capability_cannot_widen() {
         let code = vec![
             // Narrow c13 to 16 bytes at 0x20000 then try to re-widen.
-            Instr::Li { rd: ireg::T0, imm: 16 },
-            Instr::CSetBounds { cd: creg::ptr(1), cb: creg::ptr(0), rs: ireg::T0 },
-            Instr::Li { rd: ireg::T1, imm: 64 },
-            Instr::CSetBounds { cd: creg::ptr(2), cb: creg::ptr(1), rs: ireg::T1 },
+            Instr::Li {
+                rd: ireg::T0,
+                imm: 16,
+            },
+            Instr::CSetBounds {
+                cd: creg::ptr(1),
+                cb: creg::ptr(0),
+                rs: ireg::T0,
+            },
+            Instr::Li {
+                rd: ireg::T1,
+                imm: 64,
+            },
+            Instr::CSetBounds {
+                cd: creg::ptr(2),
+                cb: creg::ptr(1),
+                rs: ireg::T1,
+            },
         ];
         let (mut cpu, mut vm, id, mut rf) = machine(code, true);
         match cpu.run(&mut vm, id, &mut rf, 100) {
@@ -738,7 +919,11 @@ mod tests {
 
     #[test]
     fn unaligned_capability_access_traps() {
-        let code = vec![Instr::Clc { cd: creg::ptr(1), cb: creg::ptr(0), off: 8 }];
+        let code = vec![Instr::Clc {
+            cd: creg::ptr(1),
+            cb: creg::ptr(0),
+            off: 8,
+        }];
         let (mut cpu, mut vm, id, mut rf) = machine(code, true);
         match cpu.run(&mut vm, id, &mut rf, 100) {
             Exit::Trap(t) => assert_eq!(t.cause, TrapCause::Cap(CapFault::UnalignedCapAccess)),
@@ -789,8 +974,15 @@ mod tests {
     #[test]
     fn trace_records_setbounds() {
         let code = vec![
-            Instr::Li { rd: ireg::T0, imm: 32 },
-            Instr::CSetBounds { cd: creg::ptr(1), cb: creg::ptr(0), rs: ireg::T0 },
+            Instr::Li {
+                rd: ireg::T0,
+                imm: 32,
+            },
+            Instr::CSetBounds {
+                cd: creg::ptr(1),
+                cb: creg::ptr(0),
+                rs: ireg::T0,
+            },
             Instr::Syscall,
         ];
         let (mut cpu, mut vm, id, mut rf) = machine(code, true);
@@ -803,8 +995,17 @@ mod tests {
     #[test]
     fn cycles_exceed_instret_with_cold_caches() {
         let code = vec![
-            Instr::Li { rd: ireg::T0, imm: 0x20000 },
-            Instr::Load { rd: ireg::T1, base: ireg::T0, off: 0, w: Width::D, signed: false },
+            Instr::Li {
+                rd: ireg::T0,
+                imm: 0x20000,
+            },
+            Instr::Load {
+                rd: ireg::T1,
+                base: ireg::T0,
+                off: 0,
+                w: Width::D,
+                signed: false,
+            },
             Instr::Syscall,
         ];
         let (mut cpu, mut vm, id, mut rf) = machine(code, false);

@@ -1,7 +1,7 @@
 //! A small two-pass assembler: emit instructions with symbolic labels, then
 //! resolve branch targets.
 
-use crate::{Instr, IReg};
+use crate::{IReg, Instr};
 use std::fmt;
 
 /// A forward-referenceable code location.

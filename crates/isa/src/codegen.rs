@@ -68,40 +68,64 @@ impl CodegenOpts {
     /// Plain legacy mips64 code.
     #[must_use]
     pub fn mips64() -> CodegenOpts {
-        CodegenOpts { abi: Abi::Mips64, ptr_size: 8, clc_large_imm: false, asan: false, subobject_bounds: false }
+        CodegenOpts {
+            abi: Abi::Mips64,
+            ptr_size: 8,
+            clc_large_imm: false,
+            asan: false,
+            subobject_bounds: false,
+        }
     }
 
     /// CheriABI pure-capability code with the large-immediate CLC (the
     /// paper's shipping configuration).
     #[must_use]
     pub fn purecap() -> CodegenOpts {
-        CodegenOpts { abi: Abi::PureCap, ptr_size: 16, clc_large_imm: true, asan: false, subobject_bounds: false }
+        CodegenOpts {
+            abi: Abi::PureCap,
+            ptr_size: 16,
+            clc_large_imm: true,
+            asan: false,
+            subobject_bounds: false,
+        }
     }
 
     /// CheriABI code restricted to the original small CLC immediate (the
     /// "11% initdb overhead" configuration of §5.2).
     #[must_use]
     pub fn purecap_small_clc() -> CodegenOpts {
-        CodegenOpts { clc_large_imm: false, ..CodegenOpts::purecap() }
+        CodegenOpts {
+            clc_large_imm: false,
+            ..CodegenOpts::purecap()
+        }
     }
 
     /// CheriABI with 256-bit capabilities (format ablation).
     #[must_use]
     pub fn purecap_c256() -> CodegenOpts {
-        CodegenOpts { ptr_size: 32, ..CodegenOpts::purecap() }
+        CodegenOpts {
+            ptr_size: 32,
+            ..CodegenOpts::purecap()
+        }
     }
 
     /// mips64 with AddressSanitizer instrumentation.
     #[must_use]
     pub fn mips64_asan() -> CodegenOpts {
-        CodegenOpts { asan: true, ..CodegenOpts::mips64() }
+        CodegenOpts {
+            asan: true,
+            ..CodegenOpts::mips64()
+        }
     }
 
     /// CheriABI with sub-object bounds enabled (the §6 future-work
     /// experiment: stronger protection, breaks `container_of`).
     #[must_use]
     pub fn purecap_subobject() -> CodegenOpts {
-        CodegenOpts { subobject_bounds: true, ..CodegenOpts::purecap() }
+        CodegenOpts {
+            subobject_bounds: true,
+            ..CodegenOpts::purecap()
+        }
     }
 
     /// Short configuration name used in benchmark output.
@@ -171,7 +195,13 @@ impl<'a> FnBuilder<'a> {
     pub fn begin(ob: &'a mut ObjectBuilder, name: &str, opts: CodegenOpts) -> FnBuilder<'a> {
         ob.begin_function(name);
         let emitted_at_start = ob.asm.here();
-        FnBuilder { ob, opts, frame_size: 0, poisoned: Vec::new(), emitted_at_start }
+        FnBuilder {
+            ob,
+            opts,
+            frame_size: 0,
+            poisoned: Vec::new(),
+            emitted_at_start,
+        }
     }
 
     /// Number of instructions emitted so far for this function.
@@ -216,12 +246,29 @@ impl<'a> FnBuilder<'a> {
         self.frame_size = size;
         match self.opts.abi {
             Abi::Mips64 => {
-                self.emit(Instr::AddI { rd: ireg::SP, rs: ireg::SP, imm: -size });
-                self.emit(Instr::Store { rs: ireg::RA, base: ireg::SP, off: (size - 8) as i32, w: Width::D });
+                self.emit(Instr::AddI {
+                    rd: ireg::SP,
+                    rs: ireg::SP,
+                    imm: -size,
+                });
+                self.emit(Instr::Store {
+                    rs: ireg::RA,
+                    base: ireg::SP,
+                    off: (size - 8) as i32,
+                    w: Width::D,
+                });
             }
             Abi::PureCap => {
-                self.emit(Instr::CIncOffsetImm { cd: creg::CSP, cb: creg::CSP, imm: -size });
-                self.emit(Instr::Csc { cs: creg::CRA, cb: creg::CSP, off: (size - 16) as i32 });
+                self.emit(Instr::CIncOffsetImm {
+                    cd: creg::CSP,
+                    cb: creg::CSP,
+                    imm: -size,
+                });
+                self.emit(Instr::Csc {
+                    cs: creg::CRA,
+                    cb: creg::CSP,
+                    off: (size - 16) as i32,
+                });
             }
         }
     }
@@ -239,15 +286,33 @@ impl<'a> FnBuilder<'a> {
         match self.opts.abi {
             Abi::Mips64 => {
                 if size > 0 {
-                    self.emit(Instr::Load { rd: ireg::RA, base: ireg::SP, off: (size - 8) as i32, w: Width::D, signed: false });
-                    self.emit(Instr::AddI { rd: ireg::SP, rs: ireg::SP, imm: size });
+                    self.emit(Instr::Load {
+                        rd: ireg::RA,
+                        base: ireg::SP,
+                        off: (size - 8) as i32,
+                        w: Width::D,
+                        signed: false,
+                    });
+                    self.emit(Instr::AddI {
+                        rd: ireg::SP,
+                        rs: ireg::SP,
+                        imm: size,
+                    });
                 }
                 self.emit(Instr::Jr { rs: ireg::RA });
             }
             Abi::PureCap => {
                 if size > 0 {
-                    self.emit(Instr::Clc { cd: creg::CRA, cb: creg::CSP, off: (size - 16) as i32 });
-                    self.emit(Instr::CIncOffsetImm { cd: creg::CSP, cb: creg::CSP, imm: size });
+                    self.emit(Instr::Clc {
+                        cd: creg::CRA,
+                        cb: creg::CSP,
+                        off: (size - 16) as i32,
+                    });
+                    self.emit(Instr::CIncOffsetImm {
+                        cd: creg::CSP,
+                        cb: creg::CSP,
+                        imm: size,
+                    });
                 }
                 self.emit(Instr::CJr { cb: creg::CRA });
             }
@@ -266,16 +331,35 @@ impl<'a> FnBuilder<'a> {
     /// pointer-aligned); 8 bytes under mips64, 16 under CheriABI.
     pub fn spill_ptr(&mut self, p: Ptr, off: i64) {
         match self.opts.abi {
-            Abi::Mips64 => self.emit(Instr::Store { rs: p.ireg(), base: ireg::SP, off: off as i32, w: Width::D }),
-            Abi::PureCap => self.emit(Instr::Csc { cs: p.creg(), cb: creg::CSP, off: off as i32 }),
+            Abi::Mips64 => self.emit(Instr::Store {
+                rs: p.ireg(),
+                base: ireg::SP,
+                off: off as i32,
+                w: Width::D,
+            }),
+            Abi::PureCap => self.emit(Instr::Csc {
+                cs: p.creg(),
+                cb: creg::CSP,
+                off: off as i32,
+            }),
         }
     }
 
     /// Reloads pointer register `p` from the frame slot at `off`.
     pub fn reload_ptr(&mut self, p: Ptr, off: i64) {
         match self.opts.abi {
-            Abi::Mips64 => self.emit(Instr::Load { rd: p.ireg(), base: ireg::SP, off: off as i32, w: Width::D, signed: false }),
-            Abi::PureCap => self.emit(Instr::Clc { cd: p.creg(), cb: creg::CSP, off: off as i32 }),
+            Abi::Mips64 => self.emit(Instr::Load {
+                rd: p.ireg(),
+                base: ireg::SP,
+                off: off as i32,
+                w: Width::D,
+                signed: false,
+            }),
+            Abi::PureCap => self.emit(Instr::Clc {
+                cd: p.creg(),
+                cb: creg::CSP,
+                off: off as i32,
+            }),
         }
     }
 
@@ -290,87 +374,154 @@ impl<'a> FnBuilder<'a> {
 
     /// `dst = src`.
     pub fn mv(&mut self, dst: Val, src: Val) {
-        self.emit(Instr::Move { rd: dst.reg(), rs: src.reg() });
+        self.emit(Instr::Move {
+            rd: dst.reg(),
+            rs: src.reg(),
+        });
     }
 
     /// `d = a + b`.
     pub fn add(&mut self, d: Val, a: Val, b: Val) {
-        self.emit(Instr::Add { rd: d.reg(), rs: a.reg(), rt: b.reg() });
+        self.emit(Instr::Add {
+            rd: d.reg(),
+            rs: a.reg(),
+            rt: b.reg(),
+        });
     }
 
     /// `d = a + imm`.
     pub fn add_imm(&mut self, d: Val, a: Val, imm: i64) {
-        self.emit(Instr::AddI { rd: d.reg(), rs: a.reg(), imm });
+        self.emit(Instr::AddI {
+            rd: d.reg(),
+            rs: a.reg(),
+            imm,
+        });
     }
 
     /// `d = a - b`.
     pub fn sub(&mut self, d: Val, a: Val, b: Val) {
-        self.emit(Instr::Sub { rd: d.reg(), rs: a.reg(), rt: b.reg() });
+        self.emit(Instr::Sub {
+            rd: d.reg(),
+            rs: a.reg(),
+            rt: b.reg(),
+        });
     }
 
     /// `d = a * b`.
     pub fn mul(&mut self, d: Val, a: Val, b: Val) {
-        self.emit(Instr::Mul { rd: d.reg(), rs: a.reg(), rt: b.reg() });
+        self.emit(Instr::Mul {
+            rd: d.reg(),
+            rs: a.reg(),
+            rt: b.reg(),
+        });
     }
 
     /// `d = a / b` (unsigned).
     pub fn divu(&mut self, d: Val, a: Val, b: Val) {
-        self.emit(Instr::DivU { rd: d.reg(), rs: a.reg(), rt: b.reg() });
+        self.emit(Instr::DivU {
+            rd: d.reg(),
+            rs: a.reg(),
+            rt: b.reg(),
+        });
     }
 
     /// `d = a % b` (unsigned).
     pub fn remu(&mut self, d: Val, a: Val, b: Val) {
-        self.emit(Instr::RemU { rd: d.reg(), rs: a.reg(), rt: b.reg() });
+        self.emit(Instr::RemU {
+            rd: d.reg(),
+            rs: a.reg(),
+            rt: b.reg(),
+        });
     }
 
     /// `d = a & b`.
     pub fn and(&mut self, d: Val, a: Val, b: Val) {
-        self.emit(Instr::And { rd: d.reg(), rs: a.reg(), rt: b.reg() });
+        self.emit(Instr::And {
+            rd: d.reg(),
+            rs: a.reg(),
+            rt: b.reg(),
+        });
     }
 
     /// `d = a | b`.
     pub fn or(&mut self, d: Val, a: Val, b: Val) {
-        self.emit(Instr::Or { rd: d.reg(), rs: a.reg(), rt: b.reg() });
+        self.emit(Instr::Or {
+            rd: d.reg(),
+            rs: a.reg(),
+            rt: b.reg(),
+        });
     }
 
     /// `d = a ^ b`.
     pub fn xor(&mut self, d: Val, a: Val, b: Val) {
-        self.emit(Instr::Xor { rd: d.reg(), rs: a.reg(), rt: b.reg() });
+        self.emit(Instr::Xor {
+            rd: d.reg(),
+            rs: a.reg(),
+            rt: b.reg(),
+        });
     }
 
     /// `d = a & imm`.
     pub fn and_imm(&mut self, d: Val, a: Val, imm: u64) {
-        self.emit(Instr::AndI { rd: d.reg(), rs: a.reg(), imm });
+        self.emit(Instr::AndI {
+            rd: d.reg(),
+            rs: a.reg(),
+            imm,
+        });
     }
 
     /// `d = a << b` (variable shift).
     pub fn shl(&mut self, d: Val, a: Val, b: Val) {
-        self.emit(Instr::Sllv { rd: d.reg(), rs: a.reg(), rt: b.reg() });
+        self.emit(Instr::Sllv {
+            rd: d.reg(),
+            rs: a.reg(),
+            rt: b.reg(),
+        });
     }
 
     /// `d = a >> b` (variable logical shift).
     pub fn shr(&mut self, d: Val, a: Val, b: Val) {
-        self.emit(Instr::Srlv { rd: d.reg(), rs: a.reg(), rt: b.reg() });
+        self.emit(Instr::Srlv {
+            rd: d.reg(),
+            rs: a.reg(),
+            rt: b.reg(),
+        });
     }
 
     /// `d = a << sh`.
     pub fn shl_imm(&mut self, d: Val, a: Val, sh: u8) {
-        self.emit(Instr::SllI { rd: d.reg(), rs: a.reg(), sh });
+        self.emit(Instr::SllI {
+            rd: d.reg(),
+            rs: a.reg(),
+            sh,
+        });
     }
 
     /// `d = a >> sh` (logical).
     pub fn shr_imm(&mut self, d: Val, a: Val, sh: u8) {
-        self.emit(Instr::SrlI { rd: d.reg(), rs: a.reg(), sh });
+        self.emit(Instr::SrlI {
+            rd: d.reg(),
+            rs: a.reg(),
+            sh,
+        });
     }
 
     /// `d = (a < b)` signed.
     pub fn slt(&mut self, d: Val, a: Val, b: Val) {
-        self.emit(Instr::Slt { rd: d.reg(), rs: a.reg(), rt: b.reg() });
+        self.emit(Instr::Slt {
+            rd: d.reg(),
+            rs: a.reg(),
+            rt: b.reg(),
+        });
     }
 
     /// `d = (a < b)` unsigned.
     pub fn sltu(&mut self, d: Val, a: Val, b: Val) {
-        self.emit(Instr::Sltu { rd: d.reg(), rs: a.reg(), rt: b.reg() });
+        self.emit(Instr::Sltu {
+            rd: d.reg(),
+            rs: a.reg(),
+            rt: b.reg(),
+        });
     }
 
     // ------------------------------------------------------------------
@@ -445,12 +596,24 @@ impl<'a> FnBuilder<'a> {
         let off = (slot as u64 * self.opts.ptr_size) as i64;
         match self.opts.abi {
             Abi::Mips64 => {
-                self.emit(Instr::Load { rd: ireg::AT, base: ireg::GP, off: off as i32, w: Width::D, signed: false });
-                self.emit(Instr::Jalr { rd: ireg::RA, rs: ireg::AT });
+                self.emit(Instr::Load {
+                    rd: ireg::AT,
+                    base: ireg::GP,
+                    off: off as i32,
+                    w: Width::D,
+                    signed: false,
+                });
+                self.emit(Instr::Jalr {
+                    rd: ireg::RA,
+                    rs: ireg::AT,
+                });
             }
             Abi::PureCap => {
                 self.emit_got_clc(creg::CJ, off);
-                self.emit(Instr::CJalr { cd: creg::CRA, cb: creg::CJ });
+                self.emit(Instr::CJalr {
+                    cd: creg::CRA,
+                    cb: creg::CJ,
+                });
             }
         }
     }
@@ -459,8 +622,14 @@ impl<'a> FnBuilder<'a> {
     /// from a v-table or callback field).
     pub fn call_ptr(&mut self, p: Ptr) {
         match self.opts.abi {
-            Abi::Mips64 => self.emit(Instr::Jalr { rd: ireg::RA, rs: p.ireg() }),
-            Abi::PureCap => self.emit(Instr::CJalr { cd: creg::CRA, cb: p.creg() }),
+            Abi::Mips64 => self.emit(Instr::Jalr {
+                rd: ireg::RA,
+                rs: p.ireg(),
+            }),
+            Abi::PureCap => self.emit(Instr::CJalr {
+                cd: creg::CRA,
+                cb: p.creg(),
+            }),
         }
     }
 
@@ -468,8 +637,15 @@ impl<'a> FnBuilder<'a> {
     /// runtime ABI probe used by tests that must skip on one ABI.
     pub fn abi_is_purecap(&mut self, v: Val) {
         self.emit(Instr::CGetDdc { cd: creg::CT0 });
-        self.emit(Instr::CGetTag { rd: v.reg(), cb: creg::CT0 });
-        self.emit(Instr::XorI { rd: v.reg(), rs: v.reg(), imm: 1 });
+        self.emit(Instr::CGetTag {
+            rd: v.reg(),
+            cb: creg::CT0,
+        });
+        self.emit(Instr::XorI {
+            rd: v.reg(),
+            rs: v.reg(),
+            imm: 1,
+        });
     }
 
     /// Emits a trap (used by generated abort paths).
@@ -480,7 +656,10 @@ impl<'a> FnBuilder<'a> {
     /// Raw system call: number in `$v0`, result in `$v0` (FreeBSD-style
     /// error flag in `$v1`).
     pub fn syscall(&mut self, num: i64) {
-        self.emit(Instr::Li { rd: ireg::V0, imm: num });
+        self.emit(Instr::Li {
+            rd: ireg::V0,
+            imm: num,
+        });
         self.emit(Instr::Syscall);
     }
 
@@ -490,62 +669,104 @@ impl<'a> FnBuilder<'a> {
 
     /// Copies integer argument `i` into `v` (function entry).
     pub fn arg_to_val(&mut self, v: Val, i: u8) {
-        self.emit(Instr::Move { rd: v.reg(), rs: ireg::arg(i) });
+        self.emit(Instr::Move {
+            rd: v.reg(),
+            rs: ireg::arg(i),
+        });
     }
 
     /// Copies pointer argument `i` into `p` (function entry). Under
     /// CheriABI pointer arguments travel in the capability register file.
     pub fn arg_to_ptr(&mut self, p: Ptr, i: u8) {
         match self.opts.abi {
-            Abi::Mips64 => self.emit(Instr::Move { rd: p.ireg(), rs: ireg::arg(i) }),
-            Abi::PureCap => self.emit(Instr::CMove { cd: p.creg(), cb: creg::arg(i) }),
+            Abi::Mips64 => self.emit(Instr::Move {
+                rd: p.ireg(),
+                rs: ireg::arg(i),
+            }),
+            Abi::PureCap => self.emit(Instr::CMove {
+                cd: p.creg(),
+                cb: creg::arg(i),
+            }),
         }
     }
 
     /// Places `v` in integer-argument slot `i` before a call.
     pub fn set_arg_val(&mut self, i: u8, v: Val) {
-        self.emit(Instr::Move { rd: ireg::arg(i), rs: v.reg() });
+        self.emit(Instr::Move {
+            rd: ireg::arg(i),
+            rs: v.reg(),
+        });
     }
 
     /// Clears pointer-argument slot `i` (passes NULL).
     pub fn set_arg_null(&mut self, i: u8) {
         match self.opts.abi {
-            Abi::Mips64 => self.emit(Instr::Move { rd: ireg::arg(i), rs: ireg::ZERO }),
-            Abi::PureCap => self.emit(Instr::CMove { cd: creg::arg(i), cb: creg::CNULL }),
+            Abi::Mips64 => self.emit(Instr::Move {
+                rd: ireg::arg(i),
+                rs: ireg::ZERO,
+            }),
+            Abi::PureCap => self.emit(Instr::CMove {
+                cd: creg::arg(i),
+                cb: creg::CNULL,
+            }),
         }
     }
 
     /// Places `p` in pointer-argument slot `i` before a call.
     pub fn set_arg_ptr(&mut self, i: u8, p: Ptr) {
         match self.opts.abi {
-            Abi::Mips64 => self.emit(Instr::Move { rd: ireg::arg(i), rs: p.ireg() }),
-            Abi::PureCap => self.emit(Instr::CMove { cd: creg::arg(i), cb: p.creg() }),
+            Abi::Mips64 => self.emit(Instr::Move {
+                rd: ireg::arg(i),
+                rs: p.ireg(),
+            }),
+            Abi::PureCap => self.emit(Instr::CMove {
+                cd: creg::arg(i),
+                cb: p.creg(),
+            }),
         }
     }
 
     /// Sets the integer return value from `v`.
     pub fn set_ret_val(&mut self, v: Val) {
-        self.emit(Instr::Move { rd: ireg::V0, rs: v.reg() });
+        self.emit(Instr::Move {
+            rd: ireg::V0,
+            rs: v.reg(),
+        });
     }
 
     /// Reads the integer return value into `v` after a call.
     pub fn ret_val_to(&mut self, v: Val) {
-        self.emit(Instr::Move { rd: v.reg(), rs: ireg::V0 });
+        self.emit(Instr::Move {
+            rd: v.reg(),
+            rs: ireg::V0,
+        });
     }
 
     /// Sets the pointer return value from `p`.
     pub fn set_ret_ptr(&mut self, p: Ptr) {
         match self.opts.abi {
-            Abi::Mips64 => self.emit(Instr::Move { rd: ireg::V0, rs: p.ireg() }),
-            Abi::PureCap => self.emit(Instr::CMove { cd: creg::C3, cb: p.creg() }),
+            Abi::Mips64 => self.emit(Instr::Move {
+                rd: ireg::V0,
+                rs: p.ireg(),
+            }),
+            Abi::PureCap => self.emit(Instr::CMove {
+                cd: creg::C3,
+                cb: p.creg(),
+            }),
         }
     }
 
     /// Reads the pointer return value into `p` after a call.
     pub fn ret_ptr_to(&mut self, p: Ptr) {
         match self.opts.abi {
-            Abi::Mips64 => self.emit(Instr::Move { rd: p.ireg(), rs: ireg::V0 }),
-            Abi::PureCap => self.emit(Instr::CMove { cd: p.creg(), cb: creg::C3 }),
+            Abi::Mips64 => self.emit(Instr::Move {
+                rd: p.ireg(),
+                rs: ireg::V0,
+            }),
+            Abi::PureCap => self.emit(Instr::CMove {
+                cd: p.creg(),
+                cb: creg::C3,
+            }),
         }
     }
 
@@ -559,8 +780,20 @@ impl<'a> FnBuilder<'a> {
             self.emit_asan_check(p, off, w);
         }
         match self.opts.abi {
-            Abi::Mips64 => self.emit(Instr::Load { rd: v.reg(), base: p.ireg(), off: off as i32, w, signed }),
-            Abi::PureCap => self.emit(Instr::CLoad { rd: v.reg(), cb: p.creg(), off: off as i32, w, signed }),
+            Abi::Mips64 => self.emit(Instr::Load {
+                rd: v.reg(),
+                base: p.ireg(),
+                off: off as i32,
+                w,
+                signed,
+            }),
+            Abi::PureCap => self.emit(Instr::CLoad {
+                rd: v.reg(),
+                cb: p.creg(),
+                off: off as i32,
+                w,
+                signed,
+            }),
         }
     }
 
@@ -570,8 +803,18 @@ impl<'a> FnBuilder<'a> {
             self.emit_asan_check(p, off, w);
         }
         match self.opts.abi {
-            Abi::Mips64 => self.emit(Instr::Store { rs: v.reg(), base: p.ireg(), off: off as i32, w }),
-            Abi::PureCap => self.emit(Instr::CStore { rs: v.reg(), cb: p.creg(), off: off as i32, w }),
+            Abi::Mips64 => self.emit(Instr::Store {
+                rs: v.reg(),
+                base: p.ireg(),
+                off: off as i32,
+                w,
+            }),
+            Abi::PureCap => self.emit(Instr::CStore {
+                rs: v.reg(),
+                cb: p.creg(),
+                off: off as i32,
+                w,
+            }),
         }
     }
 
@@ -582,8 +825,18 @@ impl<'a> FnBuilder<'a> {
             self.emit_asan_check(pb, off, Width::D);
         }
         match self.opts.abi {
-            Abi::Mips64 => self.emit(Instr::Load { rd: pd.ireg(), base: pb.ireg(), off: off as i32, w: Width::D, signed: false }),
-            Abi::PureCap => self.emit(Instr::Clc { cd: pd.creg(), cb: pb.creg(), off: off as i32 }),
+            Abi::Mips64 => self.emit(Instr::Load {
+                rd: pd.ireg(),
+                base: pb.ireg(),
+                off: off as i32,
+                w: Width::D,
+                signed: false,
+            }),
+            Abi::PureCap => self.emit(Instr::Clc {
+                cd: pd.creg(),
+                cb: pb.creg(),
+                off: off as i32,
+            }),
         }
     }
 
@@ -593,8 +846,17 @@ impl<'a> FnBuilder<'a> {
             self.emit_asan_check(pb, off, Width::D);
         }
         match self.opts.abi {
-            Abi::Mips64 => self.emit(Instr::Store { rs: ps.ireg(), base: pb.ireg(), off: off as i32, w: Width::D }),
-            Abi::PureCap => self.emit(Instr::Csc { cs: ps.creg(), cb: pb.creg(), off: off as i32 }),
+            Abi::Mips64 => self.emit(Instr::Store {
+                rs: ps.ireg(),
+                base: pb.ireg(),
+                off: off as i32,
+                w: Width::D,
+            }),
+            Abi::PureCap => self.emit(Instr::Csc {
+                cs: ps.creg(),
+                cb: pb.creg(),
+                off: off as i32,
+            }),
         }
     }
 
@@ -605,32 +867,62 @@ impl<'a> FnBuilder<'a> {
     /// `pd = pb + v` (C pointer arithmetic: bounds/permissions unchanged).
     pub fn ptr_add(&mut self, pd: Ptr, pb: Ptr, v: Val) {
         match self.opts.abi {
-            Abi::Mips64 => self.emit(Instr::Add { rd: pd.ireg(), rs: pb.ireg(), rt: v.reg() }),
-            Abi::PureCap => self.emit(Instr::CIncOffset { cd: pd.creg(), cb: pb.creg(), rs: v.reg() }),
+            Abi::Mips64 => self.emit(Instr::Add {
+                rd: pd.ireg(),
+                rs: pb.ireg(),
+                rt: v.reg(),
+            }),
+            Abi::PureCap => self.emit(Instr::CIncOffset {
+                cd: pd.creg(),
+                cb: pb.creg(),
+                rs: v.reg(),
+            }),
         }
     }
 
     /// `pd = pb + imm`.
     pub fn ptr_add_imm(&mut self, pd: Ptr, pb: Ptr, imm: i64) {
         match self.opts.abi {
-            Abi::Mips64 => self.emit(Instr::AddI { rd: pd.ireg(), rs: pb.ireg(), imm }),
-            Abi::PureCap => self.emit(Instr::CIncOffsetImm { cd: pd.creg(), cb: pb.creg(), imm }),
+            Abi::Mips64 => self.emit(Instr::AddI {
+                rd: pd.ireg(),
+                rs: pb.ireg(),
+                imm,
+            }),
+            Abi::PureCap => self.emit(Instr::CIncOffsetImm {
+                cd: pd.creg(),
+                cb: pb.creg(),
+                imm,
+            }),
         }
     }
 
     /// `pd = pb` (register move).
     pub fn ptr_mv(&mut self, pd: Ptr, pb: Ptr) {
         match self.opts.abi {
-            Abi::Mips64 => self.emit(Instr::Move { rd: pd.ireg(), rs: pb.ireg() }),
-            Abi::PureCap => self.emit(Instr::CMove { cd: pd.creg(), cb: pb.creg() }),
+            Abi::Mips64 => self.emit(Instr::Move {
+                rd: pd.ireg(),
+                rs: pb.ireg(),
+            }),
+            Abi::PureCap => self.emit(Instr::CMove {
+                cd: pd.creg(),
+                cb: pb.creg(),
+            }),
         }
     }
 
     /// `v = pa - pb` (pointer difference in bytes).
     pub fn ptr_diff(&mut self, v: Val, pa: Ptr, pb: Ptr) {
         match self.opts.abi {
-            Abi::Mips64 => self.emit(Instr::Sub { rd: v.reg(), rs: pa.ireg(), rt: pb.ireg() }),
-            Abi::PureCap => self.emit(Instr::CSub { rd: v.reg(), cb: pa.creg(), ct: pb.creg() }),
+            Abi::Mips64 => self.emit(Instr::Sub {
+                rd: v.reg(),
+                rs: pa.ireg(),
+                rt: pb.ireg(),
+            }),
+            Abi::PureCap => self.emit(Instr::CSub {
+                rd: v.reg(),
+                cb: pa.creg(),
+                ct: pb.creg(),
+            }),
         }
     }
 
@@ -638,8 +930,14 @@ impl<'a> FnBuilder<'a> {
     /// `CGetAddr` compiler mode, §5.3).
     pub fn ptr_to_int(&mut self, v: Val, p: Ptr) {
         match self.opts.abi {
-            Abi::Mips64 => self.emit(Instr::Move { rd: v.reg(), rs: p.ireg() }),
-            Abi::PureCap => self.emit(Instr::CGetAddr { rd: v.reg(), cb: p.creg() }),
+            Abi::Mips64 => self.emit(Instr::Move {
+                rd: v.reg(),
+                rs: p.ireg(),
+            }),
+            Abi::PureCap => self.emit(Instr::CGetAddr {
+                rd: v.reg(),
+                cb: p.creg(),
+            }),
         }
     }
 
@@ -649,8 +947,15 @@ impl<'a> FnBuilder<'a> {
     /// exactly the forgeability CheriABI removes.
     pub fn int_to_ptr(&mut self, pd: Ptr, v: Val, pb: Ptr) {
         match self.opts.abi {
-            Abi::Mips64 => self.emit(Instr::Move { rd: pd.ireg(), rs: v.reg() }),
-            Abi::PureCap => self.emit(Instr::CFromPtr { cd: pd.creg(), cb: pb.creg(), rs: v.reg() }),
+            Abi::Mips64 => self.emit(Instr::Move {
+                rd: pd.ireg(),
+                rs: v.reg(),
+            }),
+            Abi::PureCap => self.emit(Instr::CFromPtr {
+                cd: pd.creg(),
+                cb: pb.creg(),
+                rs: v.reg(),
+            }),
         }
     }
 
@@ -658,12 +963,27 @@ impl<'a> FnBuilder<'a> {
     pub fn ptr_is_null(&mut self, v: Val, p: Ptr) {
         match self.opts.abi {
             Abi::Mips64 => {
-                self.emit(Instr::Sltu { rd: v.reg(), rs: ireg::ZERO, rt: p.ireg() });
-                self.emit(Instr::XorI { rd: v.reg(), rs: v.reg(), imm: 1 });
+                self.emit(Instr::Sltu {
+                    rd: v.reg(),
+                    rs: ireg::ZERO,
+                    rt: p.ireg(),
+                });
+                self.emit(Instr::XorI {
+                    rd: v.reg(),
+                    rs: v.reg(),
+                    imm: 1,
+                });
             }
             Abi::PureCap => {
-                self.emit(Instr::CGetTag { rd: v.reg(), cb: p.creg() });
-                self.emit(Instr::XorI { rd: v.reg(), rs: v.reg(), imm: 1 });
+                self.emit(Instr::CGetTag {
+                    rd: v.reg(),
+                    cb: p.creg(),
+                });
+                self.emit(Instr::XorI {
+                    rd: v.reg(),
+                    rs: v.reg(),
+                    imm: 1,
+                });
             }
         }
     }
@@ -674,14 +994,26 @@ impl<'a> FnBuilder<'a> {
     pub fn addr_of_stack(&mut self, p: Ptr, off: i64, len: u64) {
         match self.opts.abi {
             Abi::Mips64 => {
-                self.emit(Instr::AddI { rd: p.ireg(), rs: ireg::SP, imm: off });
+                self.emit(Instr::AddI {
+                    rd: p.ireg(),
+                    rs: ireg::SP,
+                    imm: off,
+                });
                 if self.opts.asan {
                     self.emit_stack_redzones(off, len);
                 }
             }
             Abi::PureCap => {
-                self.emit(Instr::CIncOffsetImm { cd: p.creg(), cb: creg::CSP, imm: off });
-                self.emit(Instr::CSetBoundsImm { cd: p.creg(), cb: p.creg(), imm: len });
+                self.emit(Instr::CIncOffsetImm {
+                    cd: p.creg(),
+                    cb: creg::CSP,
+                    imm: off,
+                });
+                self.emit(Instr::CSetBoundsImm {
+                    cd: p.creg(),
+                    cb: p.creg(),
+                    imm: len,
+                });
             }
         }
     }
@@ -696,7 +1028,11 @@ impl<'a> FnBuilder<'a> {
     pub fn addr_of_field(&mut self, pd: Ptr, p_obj: Ptr, off: i64, len: u64) {
         self.ptr_add_imm(pd, p_obj, off);
         if self.opts.abi == Abi::PureCap && self.opts.subobject_bounds {
-            self.emit(Instr::CSetBoundsImm { cd: pd.creg(), cb: pd.creg(), imm: len });
+            self.emit(Instr::CSetBoundsImm {
+                cd: pd.creg(),
+                cb: pd.creg(),
+                imm: len,
+            });
         }
     }
 
@@ -705,8 +1041,16 @@ impl<'a> FnBuilder<'a> {
     /// demonstrate what the bounds-setting buys.
     pub fn addr_of_stack_unbounded(&mut self, p: Ptr, off: i64) {
         match self.opts.abi {
-            Abi::Mips64 => self.emit(Instr::AddI { rd: p.ireg(), rs: ireg::SP, imm: off }),
-            Abi::PureCap => self.emit(Instr::CIncOffsetImm { cd: p.creg(), cb: creg::CSP, imm: off }),
+            Abi::Mips64 => self.emit(Instr::AddI {
+                rd: p.ireg(),
+                rs: ireg::SP,
+                imm: off,
+            }),
+            Abi::PureCap => self.emit(Instr::CIncOffsetImm {
+                cd: p.creg(),
+                cb: creg::CSP,
+                imm: off,
+            }),
         }
     }
 
@@ -718,7 +1062,13 @@ impl<'a> FnBuilder<'a> {
         let off = (slot as u64 * self.opts.ptr_size) as i64;
         match self.opts.abi {
             Abi::Mips64 => {
-                self.emit(Instr::Load { rd: p.ireg(), base: ireg::GP, off: off as i32, w: Width::D, signed: false });
+                self.emit(Instr::Load {
+                    rd: p.ireg(),
+                    base: ireg::GP,
+                    off: off as i32,
+                    w: Width::D,
+                    signed: false,
+                });
             }
             Abi::PureCap => self.emit_got_clc(p.creg(), off),
         }
@@ -735,15 +1085,34 @@ impl<'a> FnBuilder<'a> {
 
     /// CLC from the GOT with the immediate-range rules of §5.2.
     fn emit_got_clc(&mut self, cd: CReg, off: i64) {
-        let range = if self.opts.clc_large_imm { CLC_LARGE_IMM_RANGE } else { CLC_SMALL_IMM_RANGE };
+        let range = if self.opts.clc_large_imm {
+            CLC_LARGE_IMM_RANGE
+        } else {
+            CLC_SMALL_IMM_RANGE
+        };
         if off < range {
-            self.emit(Instr::Clc { cd, cb: creg::CGP, off: off as i32 });
+            self.emit(Instr::Clc {
+                cd,
+                cb: creg::CGP,
+                off: off as i32,
+            });
         } else {
             // Materialise the slot address first: the expensive global
             // access pattern the large-immediate CLC eliminates.
-            self.emit(Instr::Li { rd: ireg::AT, imm: off });
-            self.emit(Instr::CIncOffset { cd: creg::CT0, cb: creg::CGP, rs: ireg::AT });
-            self.emit(Instr::Clc { cd, cb: creg::CT0, off: 0 });
+            self.emit(Instr::Li {
+                rd: ireg::AT,
+                imm: off,
+            });
+            self.emit(Instr::CIncOffset {
+                cd: creg::CT0,
+                cb: creg::CGP,
+                rs: ireg::AT,
+            });
+            self.emit(Instr::Clc {
+                cd,
+                cb: creg::CT0,
+                off: 0,
+            });
         }
     }
 
@@ -755,19 +1124,56 @@ impl<'a> FnBuilder<'a> {
     /// computes the shadow byte, branches around on 0, applies the
     /// partial-granule rule, and `Break`s on poison.
     fn emit_asan_check(&mut self, p: Ptr, off: i64, w: Width) {
-        assert_eq!(self.opts.abi, Abi::Mips64, "asan instruments legacy code only");
+        assert_eq!(
+            self.opts.abi,
+            Abi::Mips64,
+            "asan instruments legacy code only"
+        );
         let ok = self.ob.asm.label();
         // AT = addr; V1 = shadow byte; FP = scratch.
-        self.emit(Instr::AddI { rd: ireg::AT, rs: p.ireg(), imm: off });
-        self.emit(Instr::SrlI { rd: ireg::V1, rs: ireg::AT, sh: ASAN_SHADOW_SCALE as u8 });
-        self.emit(Instr::Li { rd: ireg::FP, imm: ASAN_SHADOW_BASE as i64 });
-        self.emit(Instr::Add { rd: ireg::V1, rs: ireg::V1, rt: ireg::FP });
-        self.emit(Instr::Load { rd: ireg::V1, base: ireg::V1, off: 0, w: Width::B, signed: true });
+        self.emit(Instr::AddI {
+            rd: ireg::AT,
+            rs: p.ireg(),
+            imm: off,
+        });
+        self.emit(Instr::SrlI {
+            rd: ireg::V1,
+            rs: ireg::AT,
+            sh: ASAN_SHADOW_SCALE as u8,
+        });
+        self.emit(Instr::Li {
+            rd: ireg::FP,
+            imm: ASAN_SHADOW_BASE as i64,
+        });
+        self.emit(Instr::Add {
+            rd: ireg::V1,
+            rs: ireg::V1,
+            rt: ireg::FP,
+        });
+        self.emit(Instr::Load {
+            rd: ireg::V1,
+            base: ireg::V1,
+            off: 0,
+            w: Width::B,
+            signed: true,
+        });
         self.ob.asm.beq(ireg::V1, ireg::ZERO, ok);
         // Partial granule: abort unless (addr & 7) + size - 1 < shadow.
-        self.emit(Instr::AndI { rd: ireg::AT, rs: ireg::AT, imm: 7 });
-        self.emit(Instr::AddI { rd: ireg::AT, rs: ireg::AT, imm: w.bytes() as i64 - 1 });
-        self.emit(Instr::Slt { rd: ireg::AT, rs: ireg::AT, rt: ireg::V1 });
+        self.emit(Instr::AndI {
+            rd: ireg::AT,
+            rs: ireg::AT,
+            imm: 7,
+        });
+        self.emit(Instr::AddI {
+            rd: ireg::AT,
+            rs: ireg::AT,
+            imm: w.bytes() as i64 - 1,
+        });
+        self.emit(Instr::Slt {
+            rd: ireg::AT,
+            rs: ireg::AT,
+            rt: ireg::V1,
+        });
         self.ob.asm.bne(ireg::AT, ireg::ZERO, ok);
         self.emit(Instr::Break);
         self.ob.asm.bind(ok);
@@ -777,12 +1183,35 @@ impl<'a> FnBuilder<'a> {
     /// (sp-relative), recording it for unpoisoning at `leave_ret`.
     fn emit_shadow_store_for_sp(&mut self, off: i64, val: u8) {
         // AT = (sp + off) >> 3 + SHADOW_BASE; store byte.
-        self.emit(Instr::AddI { rd: ireg::AT, rs: ireg::SP, imm: off });
-        self.emit(Instr::SrlI { rd: ireg::AT, rs: ireg::AT, sh: ASAN_SHADOW_SCALE as u8 });
-        self.emit(Instr::Li { rd: ireg::FP, imm: ASAN_SHADOW_BASE as i64 });
-        self.emit(Instr::Add { rd: ireg::AT, rs: ireg::AT, rt: ireg::FP });
-        self.emit(Instr::Li { rd: ireg::V1, imm: i64::from(val) });
-        self.emit(Instr::Store { rs: ireg::V1, base: ireg::AT, off: 0, w: Width::B });
+        self.emit(Instr::AddI {
+            rd: ireg::AT,
+            rs: ireg::SP,
+            imm: off,
+        });
+        self.emit(Instr::SrlI {
+            rd: ireg::AT,
+            rs: ireg::AT,
+            sh: ASAN_SHADOW_SCALE as u8,
+        });
+        self.emit(Instr::Li {
+            rd: ireg::FP,
+            imm: ASAN_SHADOW_BASE as i64,
+        });
+        self.emit(Instr::Add {
+            rd: ireg::AT,
+            rs: ireg::AT,
+            rt: ireg::FP,
+        });
+        self.emit(Instr::Li {
+            rd: ireg::V1,
+            imm: i64::from(val),
+        });
+        self.emit(Instr::Store {
+            rs: ireg::V1,
+            base: ireg::AT,
+            off: 0,
+            w: Width::B,
+        });
     }
 
     /// Poisons the 8-byte redzones around a stack buffer and the partial
@@ -793,7 +1222,7 @@ impl<'a> FnBuilder<'a> {
         self.emit_shadow_store_for_sp(off - 8, 0xf1);
         self.poisoned.push((off - 8, 0xf1));
         // Partial last granule (len % 8 valid bytes).
-        if len % 8 != 0 {
+        if !len.is_multiple_of(8) {
             let part_off = off + (len as i64 / 8) * 8;
             self.emit_shadow_store_for_sp(part_off, (len % 8) as u8);
             self.poisoned.push((part_off, (len % 8) as u8));
@@ -820,7 +1249,9 @@ mod tests {
     #[test]
     fn stack_ref_costs_more_under_purecap() {
         let legacy = count_instrs(CodegenOpts::mips64(), |fb| fb.addr_of_stack(Ptr(0), 16, 64));
-        let purecap = count_instrs(CodegenOpts::purecap(), |fb| fb.addr_of_stack(Ptr(0), 16, 64));
+        let purecap = count_instrs(CodegenOpts::purecap(), |fb| {
+            fb.addr_of_stack(Ptr(0), 16, 64)
+        });
         assert_eq!(legacy, 1);
         assert_eq!(purecap, 2, "derive + bound");
     }
@@ -828,7 +1259,11 @@ mod tests {
     #[test]
     fn got_access_counts_model_clc_immediates() {
         // Slot 0: one instruction everywhere.
-        for opts in [CodegenOpts::mips64(), CodegenOpts::purecap(), CodegenOpts::purecap_small_clc()] {
+        for opts in [
+            CodegenOpts::mips64(),
+            CodegenOpts::purecap(),
+            CodegenOpts::purecap_small_clc(),
+        ] {
             let n = count_instrs(opts, |fb| fb.load_global_ptr(Ptr(0), "sym0"));
             assert_eq!(n, 1, "{opts:?}");
         }
@@ -891,7 +1326,10 @@ mod tests {
     fn labels_configurations() {
         assert_eq!(CodegenOpts::mips64().label(), "mips64");
         assert_eq!(CodegenOpts::purecap().label(), "cheriabi");
-        assert_eq!(CodegenOpts::purecap_small_clc().label(), "cheriabi-smallclc");
+        assert_eq!(
+            CodegenOpts::purecap_small_clc().label(),
+            "cheriabi-smallclc"
+        );
         assert_eq!(CodegenOpts::mips64_asan().label(), "mips64-asan");
         assert_eq!(CodegenOpts::purecap_c256().label(), "cheriabi-c256");
     }

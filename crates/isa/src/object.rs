@@ -87,7 +87,9 @@ impl GotTable {
             return i;
         }
         let i = self.entries.len();
-        self.entries.push(GotEntry { symbol: symbol.to_string() });
+        self.entries.push(GotEntry {
+            symbol: symbol.to_string(),
+        });
         self.index.insert(symbol.to_string(), i);
         i
     }
@@ -212,7 +214,9 @@ impl ObjectBuilder {
         let id = SymbolId(self.symbols.len());
         self.symbols.push(Symbol {
             name: name.to_string(),
-            kind: SymKind::Func { code_index: self.asm.here() },
+            kind: SymKind::Func {
+                code_index: self.asm.here(),
+            },
         });
         id
     }
@@ -225,7 +229,7 @@ impl ObjectBuilder {
     fn align_data(&mut self, align: u64) -> u64 {
         assert!(self.bss_size == 0, "initialised data after BSS reservation");
         let a = align.max(1);
-        while (self.data.len() as u64) % a != 0 {
+        while !(self.data.len() as u64).is_multiple_of(a) {
             self.data.push(0);
         }
         self.data.len() as u64
@@ -237,7 +241,10 @@ impl ObjectBuilder {
         self.data.extend_from_slice(bytes);
         self.symbols.push(Symbol {
             name: name.to_string(),
-            kind: SymKind::Data { offset, size: bytes.len() as u64 },
+            kind: SymKind::Data {
+                offset,
+                size: bytes.len() as u64,
+            },
         });
         offset
     }
@@ -270,7 +277,10 @@ impl ObjectBuilder {
     /// Uses `table` as the (program-wide) GOT namespace instead of a
     /// private one. Must be called before any slot is allocated.
     pub fn share_got(&mut self, table: Rc<RefCell<GotTable>>) {
-        assert!(self.got.borrow().entries().is_empty(), "GOT already populated");
+        assert!(
+            self.got.borrow().entries().is_empty(),
+            "GOT already populated"
+        );
         self.got = table;
     }
 
@@ -282,7 +292,11 @@ impl ObjectBuilder {
     /// Records that the pointer-sized slot at data-segment `offset` must be
     /// initialised to `symbol + addend` at startup.
     pub fn add_data_reloc(&mut self, offset: u64, symbol: &str, addend: i64) {
-        self.relocs.push(DataReloc { offset, symbol: symbol.to_string(), addend });
+        self.relocs.push(DataReloc {
+            offset,
+            symbol: symbol.to_string(),
+            addend,
+        });
     }
 
     /// Finalises the object, resolving all label fixups.
@@ -316,14 +330,17 @@ mod tests {
     fn layout_and_symbols() {
         let mut b = ObjectBuilder::new("libtest");
         b.begin_function("f");
-        b.asm.emit(Instr::Li { rd: ireg::V0, imm: 7 });
+        b.asm.emit(Instr::Li {
+            rd: ireg::V0,
+            imm: 7,
+        });
         let d0 = b.add_data("greeting", b"hello", 1);
         let d1 = b.add_data("table", &[1, 2, 3, 4], 16);
         let bss = b.reserve_bss("buf", 100, 16);
         let obj = b.finish();
         assert_eq!(d0, 0);
         assert_eq!(d1 % 16, 0);
-        assert!(bss % 16 == 0 && bss >= obj.data.len() as u64);
+        assert!(bss.is_multiple_of(16) && bss >= obj.data.len() as u64);
         assert_eq!(obj.data_segment_size(), bss + 100);
         match obj.find_symbol("f").unwrap().kind {
             SymKind::Func { code_index } => assert_eq!(code_index, 0),

@@ -175,8 +175,16 @@ mod tests {
         for i in 0..8 {
             assert!(seen.insert(ireg::saved(i)));
         }
-        for r in [ireg::ZERO, ireg::AT, ireg::V0, ireg::V1, ireg::GP, ireg::SP, ireg::FP, ireg::RA]
-        {
+        for r in [
+            ireg::ZERO,
+            ireg::AT,
+            ireg::V0,
+            ireg::V1,
+            ireg::GP,
+            ireg::SP,
+            ireg::FP,
+            ireg::RA,
+        ] {
             assert!(seen.insert(r), "{r:?} collides");
         }
     }
@@ -188,9 +196,22 @@ mod tests {
             assert!(seen.insert(creg::arg(i)));
         }
         for i in 0..13 {
-            assert!(seen.insert(creg::ptr(i)), "ptr({i}) collides with an arg reg");
+            assert!(
+                seen.insert(creg::ptr(i)),
+                "ptr({i}) collides with an arg reg"
+            );
         }
-        for r in [creg::CNULL, creg::CSP, creg::CJ, creg::IDC, creg::CT0, creg::CT1, creg::CGP, creg::CRA, creg::CTLS] {
+        for r in [
+            creg::CNULL,
+            creg::CSP,
+            creg::CJ,
+            creg::IDC,
+            creg::CT0,
+            creg::CT1,
+            creg::CGP,
+            creg::CRA,
+            creg::CTLS,
+        ] {
             assert!(seen.insert(r), "{r:?} collides");
         }
     }

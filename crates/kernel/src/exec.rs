@@ -14,9 +14,9 @@ use crate::kernel::Kernel;
 use crate::process::{FileDesc, Pid, ProcState, Process};
 use cheri_alloc::Allocator;
 use cheri_cap::{CapSource, Capability, Perms};
+use cheri_cpu::RegFile;
 use cheri_isa::{creg, ireg, Instr};
 use cheri_rtld::{LoadError, Program};
-use cheri_cpu::RegFile;
 use cheri_vm::{Backing, Prot};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
@@ -79,19 +79,28 @@ impl Kernel {
         // Trampoline page: `li v0, SIGRETURN; syscall`, mapped read-only
         // executable below the text cursor.
         let tramp_code = vec![
-            Instr::Li { rd: ireg::V0, imm: crate::abi::Sys::Sigreturn as i64 },
+            Instr::Li {
+                rd: ireg::V0,
+                imm: crate::abi::Sys::Sigreturn as i64,
+            },
             Instr::Syscall,
         ];
-        let tramp_bytes: Vec<u8> = (0..tramp_code.len() as u32).flat_map(u32::to_le_bytes).collect();
+        let tramp_bytes: Vec<u8> = (0..tramp_code.len() as u32)
+            .flat_map(u32::to_le_bytes)
+            .collect();
         self.vm.map(
             space,
             Some(TRAMPOLINE_BASE),
             4096,
             Prot::rx(),
-            Backing::Image { data: Arc::new(tramp_bytes), offset: 0 },
+            Backing::Image {
+                data: Arc::new(tramp_bytes),
+                offset: 0,
+            },
             "trampoline",
         )?;
-        self.cpu.register_code(space, TRAMPOLINE_BASE, Arc::new(tramp_code));
+        self.cpu
+            .register_code(space, TRAMPOLINE_BASE, Arc::new(tramp_code));
 
         // Load objects, GOT, TLS (text/data mappings + derivations).
         let trace = &mut self.cpu.trace;
@@ -104,7 +113,8 @@ impl Kernel {
             |c| trace.record(c),
         )?;
         for obj in &loaded.objects {
-            self.cpu.register_code(space, obj.text_base, obj.code.clone());
+            self.cpu
+                .register_code(space, obj.text_base, obj.code.clone());
         }
         let (li, lc) = loaded.startup_cost;
         self.cpu.charge(li, lc);
@@ -125,8 +135,14 @@ impl Kernel {
         let stack_top = 0x7fff_f000u64;
         let stack_size = opts.stack_size.div_ceil(4096) * 4096;
         let stack_base = stack_top - stack_size;
-        self.vm
-            .map(space, Some(stack_base), stack_size, Prot::rw(), Backing::Zero, "stack")?;
+        self.vm.map(
+            space,
+            Some(stack_base),
+            stack_size,
+            Prot::rw(),
+            Backing::Zero,
+            "stack",
+        )?;
 
         // ---- Figure 1: arguments, environment, aux arrays ----
         let mut cursor = stack_top;
@@ -134,7 +150,8 @@ impl Kernel {
             let bytes = s.as_bytes();
             cursor -= bytes.len() as u64 + 1;
             vm.write_bytes(space, cursor, bytes).expect("stack mapped");
-            vm.write_bytes(space, cursor + bytes.len() as u64, &[0]).expect("stack mapped");
+            vm.write_bytes(space, cursor + bytes.len() as u64, &[0])
+                .expect("stack mapped");
             cursor
         };
         let arg_addrs: Vec<(u64, u64)> = opts
@@ -224,7 +241,9 @@ impl Kernel {
             AbiMode::Mips64 => {
                 regs.ddc = root.with_source(CapSource::Exec);
                 // Legacy PCC spans the space (checked only by the MMU).
-                regs.pcc = root.with_addr(loaded.entry_pc).and_perms(Perms::user_code());
+                regs.pcc = root
+                    .with_addr(loaded.entry_pc)
+                    .and_perms(Perms::user_code());
                 regs.w(ireg::SP, sp);
                 regs.w(ireg::A1, argv_base);
                 regs.w(ireg::GP, loaded.got_cap.addr());
@@ -257,7 +276,9 @@ impl Kernel {
             children: Vec::new(),
             zombies: Vec::new(),
             traced_by: None,
-            instr_budget: opts.instr_budget.unwrap_or(self.config.default_instr_budget),
+            instr_budget: opts
+                .instr_budget
+                .unwrap_or(self.config.default_instr_budget),
             asan: opts.asan,
             stack_top,
             stack_size,

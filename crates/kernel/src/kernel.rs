@@ -248,7 +248,8 @@ impl Kernel {
         self.vm
             .read_bytes(space, cap.addr(), &mut buf)
             .map_err(|_| Errno::EFAULT)?;
-        self.cpu.charge(len / 8 + 4, len / 8 * costs::COPY_PER_8B + 20);
+        self.cpu
+            .charge(len / 8 + 4, len / 8 * costs::COPY_PER_8B + 20);
         Ok(buf)
     }
 
@@ -266,8 +267,10 @@ impl Kernel {
         self.vm
             .write_bytes(space, cap.addr(), data)
             .map_err(|_| Errno::EFAULT)?;
-        self.cpu
-            .charge(data.len() as u64 / 8 + 4, data.len() as u64 / 8 * costs::COPY_PER_8B + 20);
+        self.cpu.charge(
+            data.len() as u64 / 8 + 4,
+            data.len() as u64 / 8 * costs::COPY_PER_8B + 20,
+        );
         Ok(())
     }
 
@@ -306,7 +309,7 @@ impl Kernel {
     pub fn copyout_cap(&mut self, pid: Pid, uref: UserRef, cap: Capability) -> Result<(), Errno> {
         let access = self.access_cap(pid, uref);
         let size = access.format().in_memory_size();
-        if access.addr() % size != 0 {
+        if !access.addr().is_multiple_of(size) {
             return Err(Errno::EFAULT);
         }
         access
@@ -460,11 +463,13 @@ impl Kernel {
         let f = self.vm.stats.faults;
         let s = self.vm.stats.swap_ins + self.vm.stats.swap_outs;
         if f > self.faults_charged {
-            self.cpu.charge(0, (f - self.faults_charged) * costs::PAGE_FAULT);
+            self.cpu
+                .charge(0, (f - self.faults_charged) * costs::PAGE_FAULT);
             self.faults_charged = f;
         }
         if s > self.swaps_charged {
-            self.cpu.charge(0, (s - self.swaps_charged) * costs::SWAP_PER_PAGE);
+            self.cpu
+                .charge(0, (s - self.swaps_charged) * costs::SWAP_PER_PAGE);
             self.swaps_charged = s;
         }
     }

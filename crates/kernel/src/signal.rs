@@ -77,7 +77,9 @@ impl Kernel {
                 .expect("signal stack mapped");
             off += 8;
         }
-        self.vm.write_u64(space, off, regs.pc).expect("signal stack mapped");
+        self.vm
+            .write_u64(space, off, regs.pc)
+            .expect("signal stack mapped");
 
         // Enter the handler.
         let root = self.vm.space(space).root;
@@ -150,9 +152,17 @@ impl Kernel {
                 });
             off += 16;
         }
-        let pcc = self.vm.load_cap(space, off).expect("mapped").unwrap_or(Capability::null(fmt));
+        let pcc = self
+            .vm
+            .load_cap(space, off)
+            .expect("mapped")
+            .unwrap_or(Capability::null(fmt));
         off += 16;
-        let ddc = self.vm.load_cap(space, off).expect("mapped").unwrap_or(Capability::null(fmt));
+        let ddc = self
+            .vm
+            .load_cap(space, off)
+            .expect("mapped")
+            .unwrap_or(Capability::null(fmt));
         off += 16;
         let mut gpr = [0u64; 32];
         for g in gpr.iter_mut() {

@@ -156,7 +156,11 @@ impl Kernel {
                 p.buf.extend(data.iter());
                 Ok(len)
             }
-            Some(FileDesc::File { path, pos, writable }) => {
+            Some(FileDesc::File {
+                path,
+                pos,
+                writable,
+            }) => {
                 if !writable {
                     return Err(err(Errno::EPERM));
                 }
@@ -252,7 +256,14 @@ impl Kernel {
         let out = self.user_ref(pid, 0);
         let id = self.next_pipe;
         self.next_pipe += 1;
-        self.pipes.insert(id, Pipe { buf: Default::default(), readers: 1, writers: 1 });
+        self.pipes.insert(
+            id,
+            Pipe {
+                buf: Default::default(),
+                readers: 1,
+                writers: 1,
+            },
+        );
         let rfd = self.process_mut(pid).install_fd(FileDesc::PipeRead(id));
         let wfd = self.process_mut(pid).install_fd(FileDesc::PipeWrite(id));
         let mut bytes = [0u8; 8];
@@ -267,7 +278,10 @@ impl Kernel {
     // ------------------------------------------------------------------
 
     fn sys_fork(&mut self, pid: Pid) -> SysRet {
-        let child_space = self.vm.fork_space(self.process(pid).space).map_err(|_| err(Errno::ENOMEM))?;
+        let child_space = self
+            .vm
+            .fork_space(self.process(pid).space)
+            .map_err(|_| err(Errno::ENOMEM))?;
         // COW made previously-writable parent pages read-shared: drop any
         // stale write translations.
         self.cpu.flush_tlb();
@@ -438,7 +452,9 @@ impl Kernel {
                     // only if it would not replace an existing mapping."
                     return Err(err(Errno::EPROT));
                 }
-                self.vm.unmap(space, addr, len.div_ceil(4096) * 4096).map_err(|_| err(Errno::EINVAL))?;
+                self.vm
+                    .unmap(space, addr, len.div_ceil(4096) * 4096)
+                    .map_err(|_| err(Errno::EINVAL))?;
                 self.cpu.flush_tlb();
             }
             self.vm
@@ -453,11 +469,7 @@ impl Kernel {
         // was supplied ("the returned capability is derived from it,
         // preserving provenance"), else from the space root.
         let source_cap = match hint_cap {
-            Some(c)
-                if c.check_access(start, len, Perms::NONE).is_ok() =>
-            {
-                c
-            }
+            Some(c) if c.check_access(start, len, Perms::NONE).is_ok() => c,
             _ => self.vm.space(space).root,
         };
         let ret = source_cap
@@ -480,7 +492,9 @@ impl Kernel {
         if abi == AbiMode::CheriAbi {
             // "We also require the vmmap permission to be present on
             // capabilities passed to munmap and shmdt."
-            let UserRef::Cap(c) = target else { return Err(err(Errno::EPROT)) };
+            let UserRef::Cap(c) = target else {
+                return Err(err(Errno::EPROT));
+            };
             if !c.tag() || !c.perms().contains(Perms::VMMAP) {
                 return Err(err(Errno::EPROT));
             }
@@ -502,7 +516,10 @@ impl Kernel {
         if let Some(&seg) = self.shm.get(&key) {
             return Ok(seg);
         }
-        let seg = self.vm.create_shared_seg(len).map_err(|_| err(Errno::ENOMEM))?;
+        let seg = self
+            .vm
+            .create_shared_seg(len)
+            .map_err(|_| err(Errno::ENOMEM))?;
         self.shm.insert(key, seg);
         Ok(seg)
     }
@@ -520,7 +537,9 @@ impl Kernel {
             // "With shmat, a fixed address is supported. If the fixed
             // address is a valid capability, we require that it have the
             // vmmap user-defined capability permission."
-            let UserRef::Cap(c) = hint else { return Err(err(Errno::EPROT)) };
+            let UserRef::Cap(c) = hint else {
+                return Err(err(Errno::EPROT));
+            };
             if !c.tag() || !c.perms().contains(Perms::VMMAP) {
                 return Err(err(Errno::EPROT));
             }
@@ -556,7 +575,9 @@ impl Kernel {
             (p.space, p.abi)
         };
         if abi == AbiMode::CheriAbi {
-            let UserRef::Cap(c) = target else { return Err(err(Errno::EPROT)) };
+            let UserRef::Cap(c) = target else {
+                return Err(err(Errno::EPROT));
+            };
             if !c.tag() || !c.perms().contains(Perms::VMMAP) {
                 return Err(err(Errno::EPROT));
             }
@@ -568,7 +589,9 @@ impl Kernel {
             .filter(|m| matches!(m.backing, Backing::Shared { .. }))
             .map(|m| (m.start, m.len))
             .ok_or(err(Errno::EINVAL))?;
-        self.vm.unmap(space, m.0, m.1).map_err(|_| err(Errno::EINVAL))?;
+        self.vm
+            .unmap(space, m.0, m.1)
+            .map_err(|_| err(Errno::EINVAL))?;
         self.cpu.flush_tlb();
         Ok(0)
     }
@@ -622,11 +645,10 @@ impl Kernel {
         let mut write_out = 0u64;
         for fd in 0..64 {
             if write_in >> fd & 1 == 1 {
-                match self.process(pid).fd(fd) {
-                    Some(FileDesc::PipeWrite(_) | FileDesc::Console | FileDesc::File { .. }) => {
-                        write_out |= 1 << fd;
-                    }
-                    _ => {}
+                if let Some(FileDesc::PipeWrite(_) | FileDesc::Console | FileDesc::File { .. }) =
+                    self.process(pid).fd(fd)
+                {
+                    write_out |= 1 << fd;
                 }
             }
         }
@@ -635,10 +657,12 @@ impl Kernel {
             return Err(SysFlow::Block(WaitReason::Select(read_in)));
         }
         if !readp.is_null() {
-            self.copyout(pid, readp, &read_out.to_le_bytes()).map_err(err)?;
+            self.copyout(pid, readp, &read_out.to_le_bytes())
+                .map_err(err)?;
         }
         if !writep.is_null() {
-            self.copyout(pid, writep, &write_out.to_le_bytes()).map_err(err)?;
+            self.copyout(pid, writep, &write_out.to_le_bytes())
+                .map_err(err)?;
         }
         Ok(ready)
     }
@@ -653,7 +677,11 @@ impl Kernel {
             UserRef::Cap(c) => c,
             UserRef::Addr(a) => Capability::null(self.config.cap_fmt).with_addr(a),
         };
-        self.process_mut(pid).kq.push(KqEntry { ident, udata: udata_cap, fired: false });
+        self.process_mut(pid).kq.push(KqEntry {
+            ident,
+            udata: udata_cap,
+            fired: false,
+        });
         Ok(0)
     }
 
@@ -681,7 +709,8 @@ impl Kernel {
         }
         for (i, e) in ready.iter().enumerate() {
             let rec = uref_add(out, i as u64 * stride);
-            self.copyout(pid, rec, &e.ident.to_le_bytes()).map_err(err)?;
+            self.copyout(pid, rec, &e.ident.to_le_bytes())
+                .map_err(err)?;
             match abi {
                 AbiMode::CheriAbi => {
                     // Capability-preserving return of the user's udata
@@ -690,8 +719,12 @@ impl Kernel {
                         .map_err(err)?;
                 }
                 AbiMode::Mips64 => {
-                    self.copyout(pid, uref_add(out, i as u64 * stride + 8), &e.udata.addr().to_le_bytes())
-                        .map_err(err)?;
+                    self.copyout(
+                        pid,
+                        uref_add(out, i as u64 * stride + 8),
+                        &e.udata.addr().to_le_bytes(),
+                    )
+                    .map_err(err)?;
                 }
             }
         }
@@ -756,7 +789,10 @@ impl Kernel {
     fn sys_unlink(&mut self, pid: Pid) -> SysRet {
         let path_ref = self.user_ref(pid, 0);
         let path = self.copyinstr(pid, path_ref, 4096).map_err(err)?;
-        self.memfs.remove(&path).map(|_| 0).ok_or(err(Errno::ENOENT))
+        self.memfs
+            .remove(&path)
+            .map(|_| 0)
+            .ok_or(err(Errno::ENOENT))
     }
 
     // ------------------------------------------------------------------
@@ -802,7 +838,8 @@ impl Kernel {
                 UserRef::Addr(a) => {
                     // Legacy realloc: rebuild a pseudo-capability for lookup.
                     let space_root = self.vm.space(p.space).root;
-                    p.allocator.realloc(&mut self.vm, &space_root.with_addr(a), new_len)
+                    p.allocator
+                        .realloc(&mut self.vm, &space_root.with_addr(a), new_len)
                 }
             }
         };
@@ -839,7 +876,9 @@ impl Kernel {
             (p.space, p.abi)
         };
         if abi == AbiMode::CheriAbi {
-            let UserRef::Cap(c) = target else { return Err(err(Errno::EPROT)) };
+            let UserRef::Cap(c) = target else {
+                return Err(err(Errno::EPROT));
+            };
             if !c.tag() || !c.perms().contains(Perms::VMMAP) {
                 return Err(err(Errno::EPROT));
             }

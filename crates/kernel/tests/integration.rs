@@ -142,7 +142,10 @@ fn heap_allocation_roundtrip() {
     let (m, _) = run(AbiMode::Mips64, oob);
     assert_eq!(m, ExitStatus::Code(0));
     let (c, _) = run(AbiMode::CheriAbi, oob);
-    assert_eq!(c, ExitStatus::Fault(TrapCause::Cap(CapFault::LengthViolation)));
+    assert_eq!(
+        c,
+        ExitStatus::Fault(TrapCause::Cap(CapFault::LengthViolation))
+    );
 }
 
 /// fork + pipe: child writes, parent reads, waitpid reaps.
@@ -195,7 +198,11 @@ fn fork_pipe_waitpid() {
             f.set_arg_val(0, Val(4));
             f.syscall(Sys::Exit as i64);
         });
-        assert_eq!(status, ExitStatus::Code(5), "{abi}: parent exits with child's code");
+        assert_eq!(
+            status,
+            ExitStatus::Code(5),
+            "{abi}: parent exits with child's code"
+        );
         assert_eq!(console, "Y", "{abi}");
     }
 }
@@ -344,7 +351,11 @@ fn kevent_preserves_capability_udata() {
         f.set_arg_val(0, Val(4));
         f.syscall(Sys::Exit as i64);
     });
-    assert_eq!(status, ExitStatus::Code(123), "udata tag survived the kernel");
+    assert_eq!(
+        status,
+        ExitStatus::Code(123),
+        "udata tag survived the kernel"
+    );
 }
 
 /// Confused-deputy protection (Figure 3): a read(2) into an undersized
@@ -378,7 +389,7 @@ fn syscall_buffer_overflow_blocked_by_cheriabi() {
         f.set_arg_val(2, Val(1));
         f.syscall(Sys::Read as i64);
         f.ret_val_to(Val(2)); // bytes read or -EFAULT
-        // exit(canary == 0x7777 ? ret : -1)
+                              // exit(canary == 0x7777 ? ret : -1)
         f.load(Val(3), Ptr(1), 0, Width::D, false);
         f.li(Val(4), 0x7777);
         let ok = f.label();
@@ -391,7 +402,11 @@ fn syscall_buffer_overflow_blocked_by_cheriabi() {
     let (m, _) = run(AbiMode::Mips64, body);
     assert_eq!(m, ExitStatus::Code(-1), "legacy kernel smashed the canary");
     let (c, _) = run(AbiMode::CheriAbi, body);
-    assert_eq!(c, ExitStatus::Code(-14), "CheriABI kernel faulted with EFAULT");
+    assert_eq!(
+        c,
+        ExitStatus::Code(-14),
+        "CheriABI kernel faulted with EFAULT"
+    );
 }
 
 /// Swap round trip under guest control: capabilities stored to the heap
@@ -421,7 +436,11 @@ fn swap_preserves_guest_capabilities() {
         f.set_arg_val(0, Val(3));
         f.syscall(Sys::Exit as i64);
     });
-    assert_eq!(status, ExitStatus::Code(321), "rederivation restored the tag");
+    assert_eq!(
+        status,
+        ExitStatus::Code(321),
+        "rederivation restored the tag"
+    );
 }
 
 /// sbrk is unsupported "as a matter of principle" (§4).
@@ -448,7 +467,9 @@ fn ptrace_injection_respects_principals() {
         f.jmp(top);
     });
     let mut k = Kernel::new(KernelConfig::default());
-    let target = k.spawn(&target_prog, &SpawnOpts::new(AbiMode::CheriAbi)).unwrap();
+    let target = k
+        .spawn(&target_prog, &SpawnOpts::new(AbiMode::CheriAbi))
+        .unwrap();
     // Run a few quanta so the target is alive.
     k.run(200_000);
 
@@ -459,21 +480,36 @@ fn ptrace_injection_respects_principals() {
         f.set_arg_val(0, Val(0));
         f.syscall(Sys::Exit as i64);
     });
-    let tracer = k.spawn(&tracer_prog, &SpawnOpts::new(AbiMode::CheriAbi)).unwrap();
+    let tracer = k
+        .spawn(&tracer_prog, &SpawnOpts::new(AbiMode::CheriAbi))
+        .unwrap();
 
     // Attach.
-    set_args(&mut k, tracer, &[1, target.0.into(), 0, 0, 0, 0]);
+    set_args(&mut k, tracer, &[1, target.0, 0, 0, 0, 0]);
     assert_eq!(k.sys_ptrace_public(tracer), Ok(0));
     // Inject a capability at the target's stack top region.
     let stack_probe = {
         let p = k.process(target);
         p.stack_top - 4096
     };
-    set_args(&mut k, tracer, &[11, target.0.into(), stack_probe & !15, stack_probe & !15, 64,
-        u64::from(Perms::user_data().bits())]);
+    set_args(
+        &mut k,
+        tracer,
+        &[
+            11,
+            target.0,
+            stack_probe & !15,
+            stack_probe & !15,
+            64,
+            u64::from(Perms::user_data().bits()),
+        ],
+    );
     assert_eq!(k.sys_ptrace_public(tracer), Ok(0));
     let space = k.process(target).space;
-    let injected = k.vm.load_cap(space, stack_probe & !15).unwrap().expect("tagged");
+    let injected =
+        k.vm.load_cap(space, stack_probe & !15)
+            .unwrap()
+            .expect("tagged");
     assert_eq!(
         injected.provenance().principal,
         k.process(target).principal,
@@ -482,8 +518,18 @@ fn ptrace_injection_respects_principals() {
     assert_eq!(injected.provenance().source, cheri_cap::CapSource::Debugger);
 
     // Excess authority is refused.
-    set_args(&mut k, tracer, &[11, target.0.into(), stack_probe & !15, stack_probe & !15, 64,
-        u64::from(Perms::ALL.bits())]);
+    set_args(
+        &mut k,
+        tracer,
+        &[
+            11,
+            target.0,
+            stack_probe & !15,
+            stack_probe & !15,
+            64,
+            u64::from(Perms::ALL.bits()),
+        ],
+    );
     assert_eq!(
         k.sys_ptrace_public(tracer),
         Err(cheri_kernel::Errno::EPROT),

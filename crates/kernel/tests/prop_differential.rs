@@ -143,7 +143,7 @@ proptest! {
         let m = run(&steps, CodegenOpts::mips64(), AbiMode::Mips64);
         prop_assert!(matches!(m, ExitStatus::Code(_)), "mips64: {m:?}");
         let c = run(&steps, CodegenOpts::purecap(), AbiMode::CheriAbi);
-        prop_assert_eq!(m.clone(), c, "cheriabi diverged");
+        prop_assert_eq!(m, c, "cheriabi diverged");
         let c2 = run(&steps, CodegenOpts::purecap_small_clc(), AbiMode::CheriAbi);
         prop_assert_eq!(m, c2, "small-clc cheriabi diverged");
     }

@@ -34,13 +34,21 @@ impl CacheConfig {
     /// 32-KiB, 4-way, 64-byte lines: the paper's L1.
     #[must_use]
     pub fn l1_default() -> CacheConfig {
-        CacheConfig { size: 32 * 1024, line: 64, ways: 4 }
+        CacheConfig {
+            size: 32 * 1024,
+            line: 64,
+            ways: 4,
+        }
     }
 
     /// 256-KiB, 8-way, 64-byte lines: the paper's shared L2.
     #[must_use]
     pub fn l2_default() -> CacheConfig {
-        CacheConfig { size: 256 * 1024, line: 64, ways: 8 }
+        CacheConfig {
+            size: 256 * 1024,
+            line: 64,
+            ways: 8,
+        }
     }
 
     fn num_sets(&self) -> usize {
@@ -58,7 +66,10 @@ struct Cache {
 
 impl Cache {
     fn new(cfg: CacheConfig) -> Cache {
-        Cache { cfg, sets: vec![Vec::new(); cfg.num_sets()] }
+        Cache {
+            cfg,
+            sets: vec![Vec::new(); cfg.num_sets()],
+        }
     }
 
     /// Returns `true` on hit; always installs the line.

@@ -410,8 +410,12 @@ mod tests {
     #[test]
     fn data_roundtrip() {
         let (mut pm, f) = mem();
-        pm.write_u64(PAddr::new(f, 16), 0xdead_beef_cafe_f00d).unwrap();
-        assert_eq!(pm.read_u64(PAddr::new(f, 16)).unwrap(), 0xdead_beef_cafe_f00d);
+        pm.write_u64(PAddr::new(f, 16), 0xdead_beef_cafe_f00d)
+            .unwrap();
+        assert_eq!(
+            pm.read_u64(PAddr::new(f, 16)).unwrap(),
+            0xdead_beef_cafe_f00d
+        );
         pm.write_u8(PAddr::new(f, 16), 0xaa).unwrap();
         assert_eq!(pm.read_u8(PAddr::new(f, 16)).unwrap(), 0xaa);
     }
@@ -486,7 +490,11 @@ mod tests {
         pm.free_frame(a);
         assert_eq!(pm.free_frames(), 1);
         let c = pm.alloc_frame().unwrap();
-        assert_eq!(pm.read_u64(PAddr::new(c, 0)).unwrap(), 0, "recycled frame zeroed");
+        assert_eq!(
+            pm.read_u64(PAddr::new(c, 0)).unwrap(),
+            0,
+            "recycled frame zeroed"
+        );
         let _ = b;
     }
 

@@ -85,8 +85,16 @@ mod tests {
 
     #[test]
     fn addition_accumulates() {
-        let a = MemStats { l1d_hits: 1, l2_misses: 2, ..MemStats::default() };
-        let b = MemStats { l1d_hits: 3, stall_cycles: 5, ..MemStats::default() };
+        let a = MemStats {
+            l1d_hits: 1,
+            l2_misses: 2,
+            ..MemStats::default()
+        };
+        let b = MemStats {
+            l1d_hits: 3,
+            stall_cycles: 5,
+            ..MemStats::default()
+        };
         let c = a + b;
         assert_eq!(c.l1d_hits, 4);
         assert_eq!(c.l2_misses, 2);
@@ -96,7 +104,11 @@ mod tests {
     #[test]
     fn miss_rate_handles_zero() {
         assert_eq!(MemStats::default().l2_miss_rate(), 0.0);
-        let s = MemStats { l2_hits: 1, l2_misses: 3, ..MemStats::default() };
+        let s = MemStats {
+            l2_hits: 1,
+            l2_misses: 3,
+            ..MemStats::default()
+        };
         assert!((s.l2_miss_rate() - 0.75).abs() < 1e-9);
     }
 }

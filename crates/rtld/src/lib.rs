@@ -57,7 +57,12 @@ pub struct ProgramBuilder {
 
 impl fmt::Debug for ProgramBuilder {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "ProgramBuilder({}, {} objects)", self.name, self.objects.len())
+        write!(
+            f,
+            "ProgramBuilder({}, {} objects)",
+            self.name,
+            self.objects.len()
+        )
     }
 }
 
@@ -218,7 +223,10 @@ pub fn load(
             Some(text_cursor),
             text_len,
             Prot::rx(),
-            Backing::Image { data: Arc::new(text_bytes), offset: 0 },
+            Backing::Image {
+                data: Arc::new(text_bytes),
+                offset: 0,
+            },
             "text",
         )?;
         text_cursor = (text_base + text_len + 0xffff) & !0xffff;
@@ -229,7 +237,10 @@ pub fn load(
             Some(text_cursor),
             data_len,
             Prot::rw(),
-            Backing::Image { data: Arc::new(obj.data.clone()), offset: 0 },
+            Backing::Image {
+                data: Arc::new(obj.data.clone()),
+                offset: 0,
+            },
             "data",
         )?;
         text_cursor = (data_base + data_len + 0xffff) & !0xffff;
@@ -456,10 +467,7 @@ mod tests {
                 assert!(got0.perms().contains(Perms::EXECUTE));
                 assert_eq!(got0.base(), lp.objects[0].text_base);
                 // counter slot: data cap bounded to 8 bytes.
-                let got1 = vm
-                    .load_cap(space, lp.got_cap.base() + 16)
-                    .unwrap()
-                    .unwrap();
+                let got1 = vm.load_cap(space, lp.got_cap.base() + 16).unwrap().unwrap();
                 assert!(got1.length() >= 8 && got1.length() <= 16);
                 assert!(!got1.perms().contains(Perms::EXECUTE));
                 assert_eq!(got1.provenance().source, CapSource::GlobReloc);
@@ -519,7 +527,10 @@ mod tests {
         let space = vm.create_space(PrincipalId::from_raw(1), CapFormat::C128);
         let lp = load(&mut vm, space, &program, Abi::PureCap, 16, |_| {}).unwrap();
         let data_base = lp.objects[0].data_base;
-        let cap = vm.load_cap(space, data_base + slot).unwrap().expect("tagged");
+        let cap = vm
+            .load_cap(space, data_base + slot)
+            .unwrap()
+            .expect("tagged");
         assert_eq!(cap.addr(), data_base, "points at `target` (offset 0)");
         assert!(cap.length() >= 8);
     }

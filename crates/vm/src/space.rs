@@ -203,9 +203,7 @@ impl AddressSpace {
     #[must_use]
     pub fn is_range_mapped(&self, start: u64, len: u64) -> bool {
         let end = start.saturating_add(len);
-        self.maps
-            .values()
-            .any(|m| m.start < end && start < m.end())
+        self.maps.values().any(|m| m.start < end && start < m.end())
     }
 
     /// Finds a free, page-aligned region of `len` bytes at or after the
@@ -253,7 +251,13 @@ mod tests {
         let mut s = space();
         s.maps.insert(
             0x1000,
-            Mapping { start: 0x1000, len: 0x2000, prot: Prot::rw(), backing: Backing::Zero, label: "a" },
+            Mapping {
+                start: 0x1000,
+                len: 0x2000,
+                prot: Prot::rw(),
+                backing: Backing::Zero,
+                label: "a",
+            },
         );
         assert!(s.mapping_at(0x1000).is_some());
         assert!(s.mapping_at(0x2fff).is_some());
@@ -269,7 +273,13 @@ mod tests {
         let hint = s.mmap_hint;
         s.maps.insert(
             hint,
-            Mapping { start: hint, len: 0x3000, prot: Prot::rw(), backing: Backing::Zero, label: "x" },
+            Mapping {
+                start: hint,
+                len: 0x3000,
+                prot: Prot::rw(),
+                backing: Backing::Zero,
+                label: "x",
+            },
         );
         let got = s.find_free(0x1000).unwrap();
         assert_eq!(got, hint + 0x3000);

@@ -149,7 +149,8 @@ impl Vm {
     pub fn create_space(&mut self, principal: PrincipalId, fmt: CapFormat) -> AsId {
         let id = AsId(self.next_as);
         self.next_as += 1;
-        self.spaces.insert(id, AddressSpace::new(id, principal, fmt));
+        self.spaces
+            .insert(id, AddressSpace::new(id, principal, fmt));
         id
     }
 
@@ -176,7 +177,9 @@ impl Vm {
     /// Destroys a space, releasing frames, swap slots and shared-segment
     /// references.
     pub fn destroy_space(&mut self, id: AsId) {
-        let Some(space) = self.spaces.remove(&id) else { return };
+        let Some(space) = self.spaces.remove(&id) else {
+            return;
+        };
         for (_, st) in space.pages {
             match st {
                 PageState::Resident { frame, .. } => self.release_frame(frame),
@@ -226,11 +229,18 @@ impl Vm {
                     if !mapping_shared {
                         *st = PageState::Resident { frame, cow: true };
                     }
-                    child_pages.insert(vpn, PageState::Resident { frame, cow: child_cow && !mapping_shared || cow && mapping_shared });
+                    child_pages.insert(
+                        vpn,
+                        PageState::Resident {
+                            frame,
+                            cow: child_cow && !mapping_shared || cow && mapping_shared,
+                        },
+                    );
                     *self.frame_refs.entry(frame).or_insert(1) += 1;
                 }
                 PageState::Swapped { slot } => {
-                    new_swap_slots.push((vpn, self.swap[slot as usize].clone().expect("live slot")));
+                    new_swap_slots
+                        .push((vpn, self.swap[slot as usize].clone().expect("live slot")));
                 }
             }
         }
@@ -296,9 +306,16 @@ impl Vm {
             }
             None => space.find_free(len).ok_or(VmError::OutOfMemory)?,
         };
-        space
-            .maps
-            .insert(start, Mapping { start, len, prot, backing: backing.clone(), label });
+        space.maps.insert(
+            start,
+            Mapping {
+                start,
+                len,
+                prot,
+                backing: backing.clone(),
+                label,
+            },
+        );
         if fixed.is_none() {
             space.mmap_hint = start + len;
         }
@@ -315,7 +332,7 @@ impl Vm {
     ///
     /// [`VmError::BadAlignment`] on unaligned arguments.
     pub fn unmap(&mut self, id: AsId, start: u64, len: u64) -> Result<(), VmError> {
-        if start % FRAME_SIZE != 0 || len % FRAME_SIZE != 0 || len == 0 {
+        if !start.is_multiple_of(FRAME_SIZE) || !len.is_multiple_of(FRAME_SIZE) || len == 0 {
             return Err(VmError::BadAlignment(start));
         }
         let end = start + len;
@@ -343,7 +360,9 @@ impl Vm {
                     label: m.label,
                 };
                 if let Backing::Shared { seg } = left.backing {
-                    self.shared.get_mut(&seg).map(|s| s.refs += 1);
+                    if let Some(s) = self.shared.get_mut(&seg) {
+                        s.refs += 1;
+                    }
                 }
                 space.maps.insert(left.start, left);
             }
@@ -363,7 +382,9 @@ impl Vm {
                     label: m.label,
                 };
                 if let Backing::Shared { seg } = right.backing {
-                    self.shared.get_mut(&seg).map(|s| s.refs += 1);
+                    if let Some(s) = self.shared.get_mut(&seg) {
+                        s.refs += 1;
+                    }
                 }
                 space.maps.insert(right.start, right);
             }
@@ -397,7 +418,7 @@ impl Vm {
     /// [`VmError::BadAlignment`] on unaligned arguments or
     /// [`VmError::Unmapped`] if part of the range has no mapping.
     pub fn protect(&mut self, id: AsId, start: u64, len: u64, prot: Prot) -> Result<(), VmError> {
-        if start % FRAME_SIZE != 0 || len % FRAME_SIZE != 0 || len == 0 {
+        if !start.is_multiple_of(FRAME_SIZE) || !len.is_multiple_of(FRAME_SIZE) || len == 0 {
             return Err(VmError::BadAlignment(start));
         }
         let end = start + len;
@@ -444,7 +465,13 @@ impl Vm {
                     }
                     space.maps.insert(
                         pstart,
-                        Mapping { start: pstart, len: plen, prot: pprot, backing, label: m.label },
+                        Mapping {
+                            start: pstart,
+                            len: plen,
+                            prot: pprot,
+                            backing,
+                            label: m.label,
+                        },
                     );
                 }
                 if let Backing::Shared { seg } = m.backing {
@@ -492,7 +519,14 @@ impl Vm {
         }
         let id = self.next_seg;
         self.next_seg += 1;
-        self.shared.insert(id, SharedSeg { frames, len, refs: 1 });
+        self.shared.insert(
+            id,
+            SharedSeg {
+                frames,
+                len,
+                refs: 1,
+            },
+        );
         Ok(id)
     }
 
@@ -520,7 +554,10 @@ impl Vm {
     ///
     /// [`VmError::NoSuchSegment`] for an unknown segment.
     pub fn seg_len(&self, seg: u64) -> Result<u64, VmError> {
-        self.shared.get(&seg).map(|s| s.len).ok_or(VmError::NoSuchSegment)
+        self.shared
+            .get(&seg)
+            .map(|s| s.len)
+            .ok_or(VmError::NoSuchSegment)
     }
 
     // ------------------------------------------------------------------
@@ -538,9 +575,7 @@ impl Vm {
         let vpn = vaddr / FRAME_SIZE;
         let off = vaddr % FRAME_SIZE;
         let space = self.spaces.get_mut(&id).ok_or(VmError::NoSuchSpace)?;
-        let mapping = space
-            .mapping_at(vaddr)
-            .ok_or(VmError::Unmapped(vaddr))?;
+        let mapping = space.mapping_at(vaddr).ok_or(VmError::Unmapped(vaddr))?;
         if !mapping.prot.allows(access.required_prot()) {
             return Err(VmError::Protection(vaddr));
         }
@@ -595,9 +630,7 @@ impl Vm {
                     let n = (data.len() - src_start).min(FRAME_SIZE as usize);
                     let mut page = vec![0u8; FRAME_SIZE as usize];
                     page[..n].copy_from_slice(&data[src_start..src_start + n]);
-                    self.phys
-                        .set_frame_data(frame, &page)
-                        .expect("fresh frame");
+                    self.phys.set_frame_data(frame, &page).expect("fresh frame");
                 }
                 frame
             }
@@ -610,7 +643,9 @@ impl Vm {
             }
         };
         let cow = false;
-        self.space_mut(id).pages.insert(vpn, PageState::Resident { frame, cow });
+        self.space_mut(id)
+            .pages
+            .insert(vpn, PageState::Resident { frame, cow });
         Ok(frame)
     }
 
@@ -630,9 +665,13 @@ impl Vm {
             .expect("both frames live");
         self.release_frame(frame);
         self.stats.cow_copies += 1;
-        self.space_mut(id)
-            .pages
-            .insert(vpn, PageState::Resident { frame: new, cow: false });
+        self.space_mut(id).pages.insert(
+            vpn,
+            PageState::Resident {
+                frame: new,
+                cow: false,
+            },
+        );
         Ok(new)
     }
 
@@ -724,7 +763,9 @@ impl Vm {
         self.stats.swap_ins += 1;
         let frame = self.alloc_frame_tracked()?;
         let s = self.swap[slot as usize].take().expect("live swap slot");
-        self.phys.set_frame_data(frame, &s.data).expect("fresh frame");
+        self.phys
+            .set_frame_data(frame, &s.data)
+            .expect("fresh frame");
         // Rederive each saved capability from the space's root: tags return
         // only for capabilities whose authority the principal actually has.
         let root = self.space(id).root;
@@ -857,7 +898,9 @@ mod tests {
     #[test]
     fn demand_zero_and_rw() {
         let (mut vm, id) = setup();
-        let base = vm.map(id, None, 8192, Prot::rw(), Backing::Zero, "anon").unwrap();
+        let base = vm
+            .map(id, None, 8192, Prot::rw(), Backing::Zero, "anon")
+            .unwrap();
         vm.write_u64(id, base + 100, 42).unwrap();
         assert_eq!(vm.read_u64(id, base + 100).unwrap(), 42);
         assert_eq!(vm.stats.faults, 1);
@@ -882,7 +925,17 @@ mod tests {
         img[0] = 0xaa;
         img[4999] = 0xbb;
         let base = vm
-            .map(id, Some(0x10000), 8192, Prot::rx(), Backing::Image { data: Arc::new(img), offset: 0 }, "text")
+            .map(
+                id,
+                Some(0x10000),
+                8192,
+                Prot::rx(),
+                Backing::Image {
+                    data: Arc::new(img),
+                    offset: 0,
+                },
+                "text",
+            )
             .unwrap();
         let mut b = [0u8; 1];
         vm.read_bytes(id, base, &mut b).unwrap();
@@ -896,7 +949,8 @@ mod tests {
     #[test]
     fn fixed_mapping_collision_detected() {
         let (mut vm, id) = setup();
-        vm.map(id, Some(0x20000), 4096, Prot::rw(), Backing::Zero, "a").unwrap();
+        vm.map(id, Some(0x20000), 4096, Prot::rw(), Backing::Zero, "a")
+            .unwrap();
         assert_eq!(
             vm.map(id, Some(0x20000), 4096, Prot::rw(), Backing::Zero, "b"),
             Err(VmError::MappingExists(0x20000))
@@ -906,20 +960,34 @@ mod tests {
     #[test]
     fn unmap_splits_mappings() {
         let (mut vm, id) = setup();
-        let base = vm.map(id, Some(0x30000), 3 * 4096, Prot::rw(), Backing::Zero, "big").unwrap();
+        let base = vm
+            .map(
+                id,
+                Some(0x30000),
+                3 * 4096,
+                Prot::rw(),
+                Backing::Zero,
+                "big",
+            )
+            .unwrap();
         vm.write_u64(id, base, 1).unwrap();
         vm.write_u64(id, base + 4096, 2).unwrap();
         vm.write_u64(id, base + 8192, 3).unwrap();
         vm.unmap(id, base + 4096, 4096).unwrap();
         assert_eq!(vm.read_u64(id, base).unwrap(), 1);
         assert_eq!(vm.read_u64(id, base + 8192).unwrap(), 3);
-        assert_eq!(vm.read_u64(id, base + 4096), Err(VmError::Unmapped(base + 4096)));
+        assert_eq!(
+            vm.read_u64(id, base + 4096),
+            Err(VmError::Unmapped(base + 4096))
+        );
     }
 
     #[test]
     fn cow_after_fork_preserves_tags_and_isolation() {
         let (mut vm, id) = setup();
-        let base = vm.map(id, None, 4096, Prot::rw(), Backing::Zero, "anon").unwrap();
+        let base = vm
+            .map(id, None, 4096, Prot::rw(), Backing::Zero, "anon")
+            .unwrap();
         let space_root = vm.space(id).root;
         let cap = space_root.with_addr(base).set_bounds(64, true).unwrap();
         vm.store_cap(id, base, cap).unwrap();
@@ -932,7 +1000,11 @@ mod tests {
         // Child writes: COW copy, tags preserved on the copied page.
         vm.write_u64(child, base + 64, 8).unwrap();
         assert_eq!(vm.stats.cow_copies, 1);
-        assert_eq!(vm.load_cap(child, base).unwrap(), Some(cap), "tag survived the copy");
+        assert_eq!(
+            vm.load_cap(child, base).unwrap(),
+            Some(cap),
+            "tag survived the copy"
+        );
         // Parent unchanged.
         assert_eq!(vm.read_u64(id, base + 64).unwrap(), 7);
         assert_eq!(vm.read_u64(child, base + 64).unwrap(), 8);
@@ -941,7 +1013,9 @@ mod tests {
     #[test]
     fn swap_roundtrip_rederives_capabilities() {
         let (mut vm, id) = setup();
-        let base = vm.map(id, None, 4096, Prot::rw(), Backing::Zero, "anon").unwrap();
+        let base = vm
+            .map(id, None, 4096, Prot::rw(), Backing::Zero, "anon")
+            .unwrap();
         let root = vm.space(id).root;
         let cap = root
             .with_addr(base)
@@ -971,12 +1045,18 @@ mod tests {
         // A capability whose perms exceed the space root (e.g. SYSTEM_REGS)
         // must NOT regain its tag at swap-in.
         let (mut vm, id) = setup();
-        let base = vm.map(id, None, 4096, Prot::rw(), Backing::Zero, "anon").unwrap();
+        let base = vm
+            .map(id, None, 4096, Prot::rw(), Backing::Zero, "anon")
+            .unwrap();
         let kroot = Capability::root(CapFormat::C128, PrincipalId::KERNEL, CapSource::Boot);
         let evil = kroot.with_addr(base).set_bounds(64, true).unwrap(); // retains SYSTEM_REGS
         vm.store_cap(id, base, evil).unwrap();
         assert!(vm.swap_out(id, base).unwrap());
-        assert_eq!(vm.load_cap(id, base).unwrap(), None, "tag must not be rederived");
+        assert_eq!(
+            vm.load_cap(id, base).unwrap(),
+            None,
+            "tag must not be rederived"
+        );
         assert_eq!(vm.stats.caps_refused, 1);
     }
 
@@ -986,8 +1066,12 @@ mod tests {
         let a = vm.create_space(PrincipalId::from_raw(1), CapFormat::C128);
         let b = vm.create_space(PrincipalId::from_raw(2), CapFormat::C128);
         let seg = vm.create_shared_seg(4096).unwrap();
-        let va = vm.map(a, None, 4096, Prot::rw(), Backing::Shared { seg }, "shm").unwrap();
-        let vb = vm.map(b, None, 4096, Prot::rw(), Backing::Shared { seg }, "shm").unwrap();
+        let va = vm
+            .map(a, None, 4096, Prot::rw(), Backing::Shared { seg }, "shm")
+            .unwrap();
+        let vb = vm
+            .map(b, None, 4096, Prot::rw(), Backing::Shared { seg }, "shm")
+            .unwrap();
         vm.write_u64(a, va + 8, 1234).unwrap();
         assert_eq!(vm.read_u64(b, vb + 8).unwrap(), 1234);
         // Shared pages are never swapped by the private-page path.
@@ -997,7 +1081,9 @@ mod tests {
     #[test]
     fn destroy_space_releases_frames() {
         let (mut vm, id) = setup();
-        let base = vm.map(id, None, 8192, Prot::rw(), Backing::Zero, "anon").unwrap();
+        let base = vm
+            .map(id, None, 8192, Prot::rw(), Backing::Zero, "anon")
+            .unwrap();
         vm.write_u64(id, base, 1).unwrap();
         vm.write_u64(id, base + 4096, 1).unwrap();
         let before = vm.phys.allocated_frames();
@@ -1009,15 +1095,25 @@ mod tests {
     #[test]
     fn fork_shares_frames_until_write() {
         let (mut vm, id) = setup();
-        let base = vm.map(id, None, 4096, Prot::rw(), Backing::Zero, "anon").unwrap();
+        let base = vm
+            .map(id, None, 4096, Prot::rw(), Backing::Zero, "anon")
+            .unwrap();
         vm.write_u64(id, base, 5).unwrap();
         let frames_before = vm.phys.allocated_frames();
         let child = vm.fork_space(id).unwrap();
         assert_eq!(vm.phys.allocated_frames(), frames_before, "no copy yet");
         assert_eq!(vm.read_u64(child, base).unwrap(), 5);
-        assert_eq!(vm.phys.allocated_frames(), frames_before, "reads stay shared");
+        assert_eq!(
+            vm.phys.allocated_frames(),
+            frames_before,
+            "reads stay shared"
+        );
         vm.write_u64(id, base, 6).unwrap();
-        assert_eq!(vm.phys.allocated_frames(), frames_before + 1, "writer copied");
+        assert_eq!(
+            vm.phys.allocated_frames(),
+            frames_before + 1,
+            "writer copied"
+        );
         assert_eq!(vm.read_u64(child, base).unwrap(), 5);
     }
 }

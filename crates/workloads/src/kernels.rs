@@ -193,7 +193,9 @@ fn adpcm(opts: CodegenOpts, seed: u64, encode: bool) -> Program {
     let name = if encode { "adpcm-enc" } else { "adpcm-dec" };
     let mut pb = cheri_rtld::ProgramBuilder::new(name);
     let mut exe = pb.object(name);
-    let table: Vec<u8> = (0..16u64).flat_map(|i| (7 + i * 13).to_le_bytes()).collect();
+    let table: Vec<u8> = (0..16u64)
+        .flat_map(|i| (7 + i * 13).to_le_bytes())
+        .collect();
     exe.add_data("step_table", &table, 16);
     {
         let mut f = FnBuilder::begin(&mut exe, "main", opts);
@@ -274,7 +276,7 @@ pub fn gobmk(opts: CodegenOpts, seed: u64) -> Program {
         emit_lcg_step(f, Val(0));
         f.li(Val(2), cells);
         f.remu(Val(2), Val(0), Val(2)); // pos
-        // colour = move & 1 + 1
+                                        // colour = move & 1 + 1
         f.and_imm(Val(3), Val(1), 1);
         f.add_imm(Val(3), Val(3), 1);
         f.ptr_add(Ptr(1), Ptr(0), Val(2));
@@ -329,7 +331,7 @@ pub fn libquantum(opts: CodegenOpts, seed: u64) -> Program {
         f.ptr_add(Ptr(1), Ptr(0), Val(3));
         f.load(Val(4), Ptr(1), 0, Width::D, false); // re
         f.load(Val(5), Ptr(1), 8, Width::D, false); // im
-        // controlled-not-ish: re' = re ^ (im << 1); im' = im + (re >> 2)
+                                                    // controlled-not-ish: re' = re ^ (im << 1); im' = im + (re >> 2)
         f.shl_imm(Val(7), Val(5), 1);
         f.xor(Val(4), Val(4), Val(7));
         f.shr_imm(Val(7), Val(4), 2);

@@ -29,6 +29,7 @@
 mod kernels;
 mod pointer;
 pub mod tlsish;
+pub mod trials;
 
 use cheri_isa::codegen::{CodegenOpts, FnBuilder};
 use cheri_rtld::{Program, ProgramBuilder};
@@ -69,14 +70,38 @@ pub(crate) fn single(
 #[must_use]
 pub fn mibench() -> Vec<Workload> {
     vec![
-        Workload { name: "security-sha", build: kernels::sha },
-        Workload { name: "office-stringsearch", build: kernels::stringsearch },
-        Workload { name: "auto-qsort", build: pointer::qsort },
-        Workload { name: "auto-basicmath", build: kernels::basicmath },
-        Workload { name: "network-dijkstra", build: pointer::dijkstra },
-        Workload { name: "network-patricia", build: pointer::patricia },
-        Workload { name: "telco-adpcm-enc", build: kernels::adpcm_enc },
-        Workload { name: "telco-adpcm-dec", build: kernels::adpcm_dec },
+        Workload {
+            name: "security-sha",
+            build: kernels::sha,
+        },
+        Workload {
+            name: "office-stringsearch",
+            build: kernels::stringsearch,
+        },
+        Workload {
+            name: "auto-qsort",
+            build: pointer::qsort,
+        },
+        Workload {
+            name: "auto-basicmath",
+            build: kernels::basicmath,
+        },
+        Workload {
+            name: "network-dijkstra",
+            build: pointer::dijkstra,
+        },
+        Workload {
+            name: "network-patricia",
+            build: pointer::patricia,
+        },
+        Workload {
+            name: "telco-adpcm-enc",
+            build: kernels::adpcm_enc,
+        },
+        Workload {
+            name: "telco-adpcm-dec",
+            build: kernels::adpcm_dec,
+        },
     ]
 }
 
@@ -84,10 +109,22 @@ pub fn mibench() -> Vec<Workload> {
 #[must_use]
 pub fn spec() -> Vec<Workload> {
     vec![
-        Workload { name: "spec2006-gobmk", build: kernels::gobmk },
-        Workload { name: "spec2006-libquantum", build: kernels::libquantum },
-        Workload { name: "spec2006-astar", build: pointer::astar },
-        Workload { name: "spec2006-xalancbmk", build: pointer::xalancbmk },
+        Workload {
+            name: "spec2006-gobmk",
+            build: kernels::gobmk,
+        },
+        Workload {
+            name: "spec2006-libquantum",
+            build: kernels::libquantum,
+        },
+        Workload {
+            name: "spec2006-astar",
+            build: pointer::astar,
+        },
+        Workload {
+            name: "spec2006-xalancbmk",
+            build: pointer::xalancbmk,
+        },
     ]
 }
 
@@ -157,7 +194,11 @@ mod tests {
             sopts.asan = true;
             sopts.instr_budget = Some(300_000_000);
             let (status, _) = k.run_program(&program, &sopts).expect("load");
-            assert!(matches!(status, ExitStatus::Code(_)), "{}: {status:?}", w.name);
+            assert!(
+                matches!(status, ExitStatus::Code(_)),
+                "{}: {status:?}",
+                w.name
+            );
         }
     }
 }

@@ -57,7 +57,7 @@ pub fn dijkstra(opts: CodegenOpts, seed: u64) -> Program {
         f.malloc_imm(Ptr(0), n * n * 8); // adj
         f.malloc_imm(Ptr(1), n * 8); // dist
         f.malloc_imm(Ptr(2), n); // visited
-        // adj[i][j] = lcg % 15 + 1
+                                 // adj[i][j] = lcg % 15 + 1
         f.li(Val(6), seed as i64 | 1);
         f.li(Val(0), 0);
         let fill = f.label();
@@ -96,7 +96,7 @@ pub fn dijkstra(opts: CodegenOpts, seed: u64) -> Program {
         f.bind(inited);
         f.li(Val(1), 0);
         f.store(Val(1), Ptr(1), 0, Width::D); // dist[0] = 0
-        // main loop: n rounds of (pick min unvisited, relax row)
+                                              // main loop: n rounds of (pick min unvisited, relax row)
         f.li(Val(0), 0); // round
         let r_top = f.label();
         let r_done = f.label();
@@ -130,7 +130,7 @@ pub fn dijkstra(opts: CodegenOpts, seed: u64) -> Program {
         f.jmp(p_top);
         f.bind(p_done);
         f.bltz(Val(1), r_done); // all visited
-        // visited[u] = 1
+                                // visited[u] = 1
         f.ptr_add(Ptr(4), Ptr(2), Val(1));
         f.li(Val(3), 1);
         f.store(Val(3), Ptr(4), 0, Width::B);
@@ -306,8 +306,8 @@ pub fn astar(opts: CodegenOpts, seed: u64) -> Program {
         f.li(Val(6), seed as i64 | 1);
         crate::kernels::emit_fill(f, Ptr(0), dim * dim, Val(6));
         f.malloc_imm(Ptr(1), max_open * ps); // open list (ptr array)
-        // node: [pos u64][g u64][f u64] padded to 32
-        // start node at pos 0
+                                             // node: [pos u64][g u64][f u64] padded to 32
+                                             // start node at pos 0
         f.malloc_imm(Ptr(2), 32);
         f.li(Val(0), 0);
         f.store(Val(0), Ptr(2), 0, Width::D);
@@ -433,10 +433,10 @@ pub fn xalancbmk(opts: CodegenOpts, seed: u64) -> Program {
         f.mul(Val(2), Val(2), Val(1));
         f.ptr_add(Ptr(2), Ptr(1), Val(2));
         f.load_ptr(Ptr(3), Ptr(2), 0); // parent
-        // new node
+                                       // new node
         f.malloc_imm(Ptr(4), node_size);
         f.store(Val(6), Ptr(4), 0, Width::D); // tag = lcg
-        // new.sibling = parent.child; parent.child = new
+                                              // new.sibling = parent.child; parent.child = new
         f.load_ptr(Ptr(5), Ptr(3), child_off);
         f.store_ptr(Ptr(5), Ptr(4), sibling_off);
         f.store_ptr(Ptr(4), Ptr(3), child_off);

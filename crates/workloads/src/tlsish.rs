@@ -24,7 +24,9 @@ pub fn build(opts: CodegenOpts, sessions: i64) -> Program {
     // ---- libtls: the dynamically linked "crypto" library ----
     let mut lib = pb.object("libtls");
     lib.set_tls_size(128);
-    let suites: Vec<u8> = (0..32u64).flat_map(|i| (0x1301 + i * 7).to_le_bytes()).collect();
+    let suites: Vec<u8> = (0..32u64)
+        .flat_map(|i| (0x1301 + i * 7).to_le_bytes())
+        .collect();
     lib.add_data("ciphersuites", &suites, 16);
     {
         // mix(buf, len): xor-rotate over a buffer ("encryption").
@@ -104,7 +106,7 @@ pub fn build(opts: CodegenOpts, sessions: i64) -> Program {
         f.syscall(Sys::Pipe as i64);
         f.load(Val(6), Ptr(0), 0, Width::W, false); // rfd
         f.load(Val(5), Ptr(0), 4, Width::W, false); // wfd
-        // fds live in the frame across the session loop
+                                                    // fds live in the frame across the session loop
         f.addr_of_stack(Ptr(0), 72, 16);
         f.store(Val(6), Ptr(0), 0, Width::D);
         f.store(Val(5), Ptr(0), 8, Width::D);
@@ -141,7 +143,7 @@ pub fn build(opts: CodegenOpts, sessions: i64) -> Program {
         f.set_arg_val(0, Val(2));
         f.syscall(Sys::RtMalloc as i64);
         f.ret_ptr_to(Ptr(2)); // key
-        // traffic buffer size varies per session: 64 + (i * 37) % 1600
+                              // traffic buffer size varies per session: 64 + (i * 37) % 1600
         f.li(Val(2), 37);
         f.mul(Val(2), Val(2), Val(0));
         f.li(Val(3), 1600);
@@ -150,7 +152,7 @@ pub fn build(opts: CodegenOpts, sessions: i64) -> Program {
         f.set_arg_val(0, Val(2));
         f.syscall(Sys::RtMalloc as i64);
         f.ret_ptr_to(Ptr(3)); // buffer
-        // link them: session.buf = buffer; session.key = key
+                              // link them: session.buf = buffer; session.key = key
         f.store(Val(0), Ptr(1), 0, Width::D);
         f.store_ptr(Ptr(3), Ptr(1), buf_ptr_off);
         f.store_ptr(Ptr(2), Ptr(1), key_ptr_off);
@@ -304,6 +306,10 @@ mod tests {
             );
         }
         // Figure 5 shape: the bulk of capabilities are small.
-        assert!(cdf.fraction_at_most(10) > 0.75, "fraction <=1KiB: {}", cdf.fraction_at_most(10));
+        assert!(
+            cdf.fraction_at_most(10) > 0.75,
+            "fraction <=1KiB: {}",
+            cdf.fraction_at_most(10)
+        );
     }
 }

@@ -1,0 +1,148 @@
+//! Figure 4 trial batching on the unified harness.
+//!
+//! A Figure 4 row compares one workload across several input seeds: for
+//! each seed the workload runs under mips64 and under CheriABI, both ABIs
+//! must compute the same result, and the per-seed overhead percentages
+//! feed the median/IQR columns. This module lowers a set of named
+//! workloads into paired [`RunSpec`]s (mips64 then purecap, per seed, in
+//! workload-major order), fans them across the harness, and reduces the
+//! reports to [`OverheadRow`]s. Because reports come back in submission
+//! order, the rows — and every statistic computed from them — are
+//! identical at any `--jobs` level.
+
+use crate::Workload;
+use cheri_isa::codegen::CodegenOpts;
+use cheri_kernel::{AbiMode, ExitStatus};
+use cheriabi::harness::{BuildFn, CaseOutcome, CaseReport, Harness, RunSpec};
+use cheriabi::Metrics;
+use std::sync::Arc;
+
+/// Instruction budget per trial run (matches the `cheri-bench` default).
+pub const TRIAL_BUDGET: u64 = 2_000_000_000;
+
+/// One named workload prepared for trial batching.
+#[derive(Clone)]
+pub struct Trial {
+    /// Display name (the Figure 4 x-axis label).
+    pub name: String,
+    /// Builds the guest program for a configuration and input seed.
+    pub build: BuildFn,
+}
+
+impl Trial {
+    /// A trial from a name and a shareable builder.
+    #[must_use]
+    pub fn new(name: impl Into<String>, build: BuildFn) -> Trial {
+        Trial {
+            name: name.into(),
+            build,
+        }
+    }
+
+    /// A trial from a [`Workload`].
+    #[must_use]
+    pub fn from_workload(w: &Workload) -> Trial {
+        let build = w.build;
+        Trial::new(w.name, Arc::new(build))
+    }
+}
+
+/// One Figure 4 row: per-seed overhead percentages of CheriABI over the
+/// mips64 baseline, in seed order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OverheadRow {
+    /// Workload name.
+    pub name: String,
+    /// Instruction overhead per seed, percent.
+    pub instr: Vec<f64>,
+    /// Cycle overhead per seed, percent.
+    pub cycles: Vec<f64>,
+    /// L2-miss overhead per seed, percent.
+    pub l2: Vec<f64>,
+}
+
+fn clean_metrics(report: &CaseReport) -> (ExitStatus, Metrics) {
+    match &report.outcome {
+        CaseOutcome::Exited(status @ ExitStatus::Code(_)) => (*status, report.metrics),
+        other => panic!("{}: trial stopped abnormally: {other}", report.name),
+    }
+}
+
+/// Runs every trial at every seed under both ABIs across `jobs` workers
+/// and reduces to one [`OverheadRow`] per trial.
+///
+/// # Panics
+///
+/// Panics if any run fails to load, panics, or exits abnormally, or if the
+/// two ABIs disagree on a workload's result — Figure 4 only compares runs
+/// that computed the same answer.
+#[must_use]
+pub fn overhead_rows(trials: &[Trial], seeds: &[u64], jobs: usize) -> Vec<OverheadRow> {
+    let mut specs = Vec::with_capacity(trials.len() * seeds.len() * 2);
+    for trial in trials {
+        for &seed in seeds {
+            specs.push(
+                RunSpec::new(
+                    format!("{}-s{}-mips64", trial.name, seed),
+                    Arc::clone(&trial.build),
+                    CodegenOpts::mips64(),
+                    AbiMode::Mips64,
+                )
+                .with_seed(seed)
+                .with_budget(TRIAL_BUDGET),
+            );
+            specs.push(
+                RunSpec::new(
+                    format!("{}-s{}-cheriabi", trial.name, seed),
+                    Arc::clone(&trial.build),
+                    CodegenOpts::purecap(),
+                    AbiMode::CheriAbi,
+                )
+                .with_seed(seed)
+                .with_budget(TRIAL_BUDGET),
+            );
+        }
+    }
+    let reports = Harness::new(jobs).run(&specs);
+
+    let mut rows = Vec::with_capacity(trials.len());
+    let mut next = reports.iter();
+    for trial in trials {
+        let mut row = OverheadRow {
+            name: trial.name.clone(),
+            instr: Vec::with_capacity(seeds.len()),
+            cycles: Vec::with_capacity(seeds.len()),
+            l2: Vec::with_capacity(seeds.len()),
+        };
+        for _ in seeds {
+            let (sm, mm) = clean_metrics(next.next().expect("one report per spec"));
+            let (sc, mc) = clean_metrics(next.next().expect("one report per spec"));
+            assert_eq!(sm, sc, "{}: results differ between ABIs", trial.name);
+            let o = mc.overhead_vs(&mm);
+            row.instr.push((o.instructions - 1.0) * 100.0);
+            row.cycles.push((o.cycles - 1.0) * 100.0);
+            row.l2.push((o.l2_misses - 1.0) * 100.0);
+        }
+        rows.push(row);
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_are_identical_at_any_job_count() {
+        let trials: Vec<Trial> = crate::mibench()
+            .iter()
+            .take(2)
+            .map(Trial::from_workload)
+            .collect();
+        let seq = overhead_rows(&trials, &[3, 7], 1);
+        let par = overhead_rows(&trials, &[3, 7], 8);
+        assert_eq!(seq, par);
+        assert_eq!(seq.len(), 2);
+        assert_eq!(seq[0].instr.len(), 2);
+    }
+}

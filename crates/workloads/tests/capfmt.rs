@@ -12,7 +12,10 @@ fn run(name: &str, opts: CodegenOpts, fmt: CapFormat) -> (ExitStatus, u64) {
         .find(|w| w.name == name)
         .expect("registered");
     let program = (w.build)(opts, 7);
-    let mut sys = System::with_config(KernelConfig { cap_fmt: fmt, ..KernelConfig::default() });
+    let mut sys = System::with_config(KernelConfig {
+        cap_fmt: fmt,
+        ..KernelConfig::default()
+    });
     let mut sopts = SpawnOpts::new(AbiMode::CheriAbi);
     sopts.instr_budget = Some(2_000_000_000);
     let (status, _c, m) = sys.measure(&program, &sopts).expect("loads");

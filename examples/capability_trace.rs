@@ -46,9 +46,17 @@ fn main() {
             "abstract-capability scan: {} capabilities checked, {} violations, sources: {:?}",
             report.caps_checked,
             report.violations.len(),
-            report.by_source.keys().map(|s| s.label()).collect::<Vec<_>>()
+            report
+                .by_source
+                .keys()
+                .map(|s| s.label())
+                .collect::<Vec<_>>()
         );
-        assert!(report.is_clean(), "invariant violated: {:?}", report.violations);
+        assert!(
+            report.is_clean(),
+            "invariant violated: {:?}",
+            report.violations
+        );
         println!("invariant I4 holds: every capability traces to the process principal");
     } else {
         println!("(process finished before the mid-run scan; rerun for the live check)");

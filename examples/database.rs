@@ -13,13 +13,26 @@ use cheriabi::{AbiMode, ExitStatus, SpawnOpts, System};
 fn main() {
     let records = 300;
     println!("minidb initdb with {records} records");
-    println!("{:<20} {:>12} {:>12} {:>10}", "config", "cycles", "instrs", "vs mips64");
+    println!(
+        "{:<20} {:>12} {:>12} {:>10}",
+        "config", "cycles", "instrs", "vs mips64"
+    );
     let mut base = 0.0f64;
     for (name, opts, abi, asan) in [
         ("mips64", CodegenOpts::mips64(), AbiMode::Mips64, false),
         ("cheriabi", CodegenOpts::purecap(), AbiMode::CheriAbi, false),
-        ("cheriabi-smallclc", CodegenOpts::purecap_small_clc(), AbiMode::CheriAbi, false),
-        ("mips64-asan", CodegenOpts::mips64_asan(), AbiMode::Mips64, true),
+        (
+            "cheriabi-smallclc",
+            CodegenOpts::purecap_small_clc(),
+            AbiMode::CheriAbi,
+            false,
+        ),
+        (
+            "mips64-asan",
+            CodegenOpts::mips64_asan(),
+            AbiMode::Mips64,
+            true,
+        ),
     ] {
         let program = build_initdb(opts, records);
         let mut sys = System::new();

@@ -11,10 +11,7 @@ use cheri_isa::Width;
 use cheriabi::guest::GuestOps;
 use cheriabi::{AbiMode, ProgramBuilder, SpawnOpts, Sys, System};
 
-fn run(
-    name: &str,
-    body: impl Fn(&mut FnBuilder<'_>) + Copy,
-) {
+fn run(name: &str, body: impl Fn(&mut FnBuilder<'_>) + Copy) {
     println!("== {name} ==");
     for (abi, opts) in [
         (AbiMode::Mips64, CodegenOpts::mips64()),

@@ -1,0 +1,18 @@
+#!/bin/sh
+# CI gate: formatting, lints, and the tier-1 build + test pass.
+#
+# Run from the repository root. Fails fast on the first broken stage so the
+# log points straight at the offending gate.
+set -eu
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q
+
+echo "CI: all gates passed"

@@ -58,7 +58,7 @@ fn guest_tracer_debugs_guest_target() {
         f.set_arg_val(1, Val(1));
         f.syscall(Sys::Ptrace as i64);
         f.ret_val_to(Val(6)); // 0
-        // getreg(target, t7=19) -> heap address
+                              // getreg(target, t7=19) -> heap address
         f.li(Val(0), 5);
         f.set_arg_val(0, Val(0));
         f.li(Val(1), tpid);
@@ -67,7 +67,7 @@ fn guest_tracer_debugs_guest_target() {
         f.set_arg_val(2, Val(2));
         f.syscall(Sys::Ptrace as i64);
         f.ret_val_to(Val(5)); // heap addr
-        // peek(target, heap) -> 0xfeed
+                              // peek(target, heap) -> 0xfeed
         f.li(Val(0), 3);
         f.set_arg_val(0, Val(0));
         f.li(Val(1), tpid);

@@ -4,9 +4,9 @@
 
 use cheri_isa::codegen::{CodegenOpts, FnBuilder, Ptr, Val};
 use cheri_isa::Width;
+use cheri_kernel::{Kernel, KernelConfig};
 use cheriabi::guest::GuestOps;
 use cheriabi::{AbiMode, CapFault, ExitStatus, ProgramBuilder, SpawnOpts, Sys, TrapCause};
-use cheri_kernel::{Kernel, KernelConfig};
 
 fn run(opts: CodegenOpts, abi: AbiMode, body: impl FnOnce(&mut FnBuilder<'_>)) -> ExitStatus {
     let mut pb = ProgramBuilder::new("ext");
@@ -19,7 +19,9 @@ fn run(opts: CodegenOpts, abi: AbiMode, body: impl FnOnce(&mut FnBuilder<'_>)) -
     pb.add(exe.finish());
     let program = pb.finish();
     let mut k = Kernel::new(KernelConfig::default());
-    k.run_program(&program, &SpawnOpts::new(abi)).expect("loads").0
+    k.run_program(&program, &SpawnOpts::new(abi))
+        .expect("loads")
+        .0
 }
 
 /// Temporal safety off (the paper's shipping configuration): freed memory
@@ -179,7 +181,7 @@ fn subobject_bounds_tradeoff() {
         f.malloc_imm(Ptr(0), 48);
         f.li(Val(0), 0x4ead);
         f.store(Val(0), Ptr(0), 0, Width::D); // header
-        // take &payload (offset 8, 32 bytes)
+                                              // take &payload (offset 8, 32 bytes)
         f.addr_of_field(Ptr(1), Ptr(0), 8, 32);
         // container_of(payload) -> read the header via the member pointer
         f.ptr_add_imm(Ptr(2), Ptr(1), -8);
@@ -190,8 +192,15 @@ fn subobject_bounds_tradeoff() {
     let status = run(CodegenOpts::purecap(), AbiMode::CheriAbi, container_of);
     assert_eq!(status, ExitStatus::Code(0x4ead));
     // Opt-in: the member capability is too narrow to reach the header.
-    let status = run(CodegenOpts::purecap_subobject(), AbiMode::CheriAbi, container_of);
-    assert_eq!(status, ExitStatus::Fault(TrapCause::Cap(CapFault::LengthViolation)));
+    let status = run(
+        CodegenOpts::purecap_subobject(),
+        AbiMode::CheriAbi,
+        container_of,
+    );
+    assert_eq!(
+        status,
+        ExitStatus::Fault(TrapCause::Cap(CapFault::LengthViolation))
+    );
     // And on legacy mips64 everything "works" regardless.
     let status = run(CodegenOpts::mips64(), AbiMode::Mips64, container_of);
     assert_eq!(status, ExitStatus::Code(0x4ead));
@@ -210,8 +219,16 @@ fn subobject_bounds_close_the_intra_object_blind_spot() {
         f.sys_exit_imm(0);
     };
     let status = run(CodegenOpts::purecap(), AbiMode::CheriAbi, intra_overflow);
-    assert_eq!(status, ExitStatus::Code(0), "default: inside the object, missed");
-    let status = run(CodegenOpts::purecap_subobject(), AbiMode::CheriAbi, intra_overflow);
+    assert_eq!(
+        status,
+        ExitStatus::Code(0),
+        "default: inside the object, missed"
+    );
+    let status = run(
+        CodegenOpts::purecap_subobject(),
+        AbiMode::CheriAbi,
+        intra_overflow,
+    );
     assert_eq!(
         status,
         ExitStatus::Fault(TrapCause::Cap(CapFault::LengthViolation)),

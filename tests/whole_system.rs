@@ -4,10 +4,10 @@
 
 use cheri_isa::codegen::{CodegenOpts, FnBuilder, Ptr, Val};
 use cheri_isa::Width;
+use cheri_kernel::{Kernel, KernelConfig, RunOutcome};
 use cheriabi::guest::GuestOps;
 use cheriabi::verify::check_process;
 use cheriabi::{AbiMode, ExitStatus, Perms, ProgramBuilder, SpawnOpts, Sys, System, TrapCause};
-use cheri_kernel::{Kernel, KernelConfig, RunOutcome};
 
 fn opts_for(abi: AbiMode) -> CodegenOpts {
     match abi {
@@ -67,7 +67,9 @@ fn mixed_abi_processes_share_memory() {
     let w = k.spawn(&writer, &SpawnOpts::new(AbiMode::Mips64)).unwrap();
     assert_eq!(k.run(10_000_000), RunOutcome::AllExited);
     assert_eq!(k.exit_status(w), Some(ExitStatus::Code(0)));
-    let r = k.spawn(&reader, &SpawnOpts::new(AbiMode::CheriAbi)).unwrap();
+    let r = k
+        .spawn(&reader, &SpawnOpts::new(AbiMode::CheriAbi))
+        .unwrap();
     assert_eq!(k.run(10_000_000), RunOutcome::AllExited);
     assert_eq!(
         k.exit_status(r),
@@ -89,10 +91,19 @@ fn principals_are_disjoint_across_processes() {
         })
     };
     let mut sys = System::new();
-    let a = sys.kernel.spawn(&spin(&()), &SpawnOpts::new(AbiMode::CheriAbi)).unwrap();
-    let b = sys.kernel.spawn(&spin(&()), &SpawnOpts::new(AbiMode::CheriAbi)).unwrap();
+    let a = sys
+        .kernel
+        .spawn(&spin(&()), &SpawnOpts::new(AbiMode::CheriAbi))
+        .unwrap();
+    let b = sys
+        .kernel
+        .spawn(&spin(&()), &SpawnOpts::new(AbiMode::CheriAbi))
+        .unwrap();
     sys.kernel.run(1_000_000);
-    assert_ne!(sys.kernel.process(a).principal, sys.kernel.process(b).principal);
+    assert_ne!(
+        sys.kernel.process(a).principal,
+        sys.kernel.process(b).principal
+    );
     for pid in [a, b] {
         let report = check_process(&sys.kernel, pid);
         assert!(report.is_clean(), "{pid}: {:?}", report.violations);
@@ -128,7 +139,7 @@ fn capability_fault_delivers_catchable_sigprot() {
         f.malloc_imm(Ptr(1), 32);
         f.li(Val(1), 7);
         f.store(Val(1), Ptr(1), 32, Width::B); // traps, handler runs, resumes after
-        // prove we survived AND the handler ran
+                                               // prove we survived AND the handler ran
         f.load_global_ptr(Ptr(2), "mark");
         f.load(Val(2), Ptr(2), 0, Width::D, false);
         f.add_imm(Val(2), Val(2), 10);
@@ -138,7 +149,9 @@ fn capability_fault_delivers_catchable_sigprot() {
     pb.add(exe.finish());
     let program = pb.finish();
     let mut k = Kernel::new(KernelConfig::default());
-    let (status, _) = k.run_program(&program, &SpawnOpts::new(AbiMode::CheriAbi)).unwrap();
+    let (status, _) = k
+        .run_program(&program, &SpawnOpts::new(AbiMode::CheriAbi))
+        .unwrap();
     assert_eq!(status, ExitStatus::Code(11), "handler ran (1) + 10");
 }
 
@@ -182,15 +195,24 @@ fn disabling_kernel_discipline_reenables_confused_deputy() {
     // With discipline (default): EFAULT.
     let mut k = Kernel::new(KernelConfig::default());
     let (status, _) = k
-        .run_program(&program(AbiMode::CheriAbi, body), &SpawnOpts::new(AbiMode::CheriAbi))
+        .run_program(
+            &program(AbiMode::CheriAbi, body),
+            &SpawnOpts::new(AbiMode::CheriAbi),
+        )
         .unwrap();
     assert_eq!(status, ExitStatus::Code(-14));
 
     // Without discipline: the kernel uses its address-space-wide authority
     // and smashes the canary.
-    let mut k = Kernel::new(KernelConfig { kernel_cap_discipline: false, ..KernelConfig::default() });
+    let mut k = Kernel::new(KernelConfig {
+        kernel_cap_discipline: false,
+        ..KernelConfig::default()
+    });
     let (status, _) = k
-        .run_program(&program(AbiMode::CheriAbi, body), &SpawnOpts::new(AbiMode::CheriAbi))
+        .run_program(
+            &program(AbiMode::CheriAbi, body),
+            &SpawnOpts::new(AbiMode::CheriAbi),
+        )
         .unwrap();
     assert_eq!(status, ExitStatus::Code(-1), "canary destroyed");
 }
@@ -243,13 +265,20 @@ fn swap_pressure_across_processes() {
         })
     };
     let mut k = Kernel::new(KernelConfig::default());
-    let a = k.spawn(&worker(0), &SpawnOpts::new(AbiMode::CheriAbi)).unwrap();
-    let b = k.spawn(&worker(100), &SpawnOpts::new(AbiMode::CheriAbi)).unwrap();
+    let a = k
+        .spawn(&worker(0), &SpawnOpts::new(AbiMode::CheriAbi))
+        .unwrap();
+    let b = k
+        .spawn(&worker(100), &SpawnOpts::new(AbiMode::CheriAbi))
+        .unwrap();
     assert_eq!(k.run(50_000_000), RunOutcome::AllExited);
     assert_eq!(k.exit_status(a), Some(ExitStatus::Code(465 % 64)));
     assert_eq!(k.exit_status(b), Some(ExitStatus::Code(465 % 64 + 100)));
     assert!(k.vm.stats.swap_outs > 0, "pages really were evicted");
-    assert!(k.vm.stats.caps_rederived > 0, "capabilities really were rederived");
+    assert!(
+        k.vm.stats.caps_rederived > 0,
+        "capabilities really were rederived"
+    );
     assert_eq!(k.vm.stats.caps_refused, 0);
 }
 
@@ -276,7 +305,9 @@ fn c256_configuration_works_end_to_end() {
         pb.add(exe.finish());
         pb.finish()
     };
-    let (status, _) = k.run_program(&p, &SpawnOpts::new(AbiMode::CheriAbi)).unwrap();
+    let (status, _) = k
+        .run_program(&p, &SpawnOpts::new(AbiMode::CheriAbi))
+        .unwrap();
     assert_eq!(status, ExitStatus::Code(5));
     // Exact bounds: 100-byte malloc under C256 rejects offset 100.
     let p2 = {
@@ -297,7 +328,9 @@ fn c256_configuration_works_end_to_end() {
         cap_fmt: cheriabi::CapFormat::C256,
         ..KernelConfig::default()
     });
-    let (status, _) = k.run_program(&p2, &SpawnOpts::new(AbiMode::CheriAbi)).unwrap();
+    let (status, _) = k
+        .run_program(&p2, &SpawnOpts::new(AbiMode::CheriAbi))
+        .unwrap();
     assert_eq!(
         status,
         ExitStatus::Fault(TrapCause::Cap(cheriabi::CapFault::LengthViolation))
@@ -322,9 +355,13 @@ fn capability_integrity_survives_byte_identical_overwrite() {
             f.sys_exit_imm(0);
         });
         let mut k = Kernel::new(KernelConfig::default());
-        k.run_program(&p, &SpawnOpts::new(AbiMode::CheriAbi)).unwrap()
+        k.run_program(&p, &SpawnOpts::new(AbiMode::CheriAbi))
+            .unwrap()
     };
-    assert_eq!(status, ExitStatus::Fault(TrapCause::Cap(cheriabi::CapFault::TagViolation)));
+    assert_eq!(
+        status,
+        ExitStatus::Fault(TrapCause::Cap(cheriabi::CapFault::TagViolation))
+    );
 }
 
 /// mmap's returned capability really carries VMMAP: a process can unmap its
@@ -352,7 +389,8 @@ fn vmmap_permission_tracks_provenance() {
             f.sys_exit(Val(4));
         });
         let mut k = Kernel::new(KernelConfig::default());
-        k.run_program(&p, &SpawnOpts::new(AbiMode::CheriAbi)).unwrap()
+        k.run_program(&p, &SpawnOpts::new(AbiMode::CheriAbi))
+            .unwrap()
     };
     assert_eq!(status, ExitStatus::Code(0));
 }
@@ -376,7 +414,9 @@ fn readonly_mapping_capability_lacks_store() {
         f.sys_exit_imm(0);
     });
     let mut k = Kernel::new(KernelConfig::default());
-    let (status, _) = k.run_program(&p, &SpawnOpts::new(AbiMode::CheriAbi)).unwrap();
+    let (status, _) = k
+        .run_program(&p, &SpawnOpts::new(AbiMode::CheriAbi))
+        .unwrap();
     assert_eq!(
         status,
         ExitStatus::Fault(TrapCause::Cap(cheriabi::CapFault::PermitStoreViolation))
