@@ -3,17 +3,21 @@
 //! numbers (the paper's metric) come from the `table*`/`fig*`/`*_macro`
 //! binaries. These benches exist to track the *relative* cost of the design
 //! choices and to keep the whole pipeline exercised under `cargo bench`.
+//!
+//! Every bench goes through the declarative [`RunSpec`] path — the same
+//! spec the table/figure binaries would hash and cache — so the ablations
+//! measure exactly what the experiments run.
 
-use cheri_bench::measure;
-use cheri_corpus::minidb::build_initdb;
 use cheri_isa::codegen::CodegenOpts;
-use cheri_kernel::{AbiMode, KernelConfig, SpawnOpts};
-use cheriabi::System;
+use cheri_kernel::{AbiMode, KernelConfig};
+use cheriabi::harness::{execute_spec, RunSpec};
+use cheriabi::spec::ProgramSpec;
 use criterion::{criterion_group, criterion_main, Criterion};
 
 /// D2 ablation: CLC immediate reach (plus the mips64 baseline and the asan
 /// software baseline) on the initdb macro-benchmark.
 fn bench_initdb_configs(c: &mut Criterion) {
+    let registry = cheri_bench::registry();
     let mut g = c.benchmark_group("initdb");
     g.sample_size(10);
     for (name, opts, abi, asan) in [
@@ -32,9 +36,16 @@ fn bench_initdb_configs(c: &mut Criterion) {
             true,
         ),
     ] {
-        let program = build_initdb(opts, 120);
+        let spec = RunSpec::new(
+            format!("ablation-initdb-{name}"),
+            ProgramSpec::Initdb { records: 120 },
+            opts,
+            abi,
+        )
+        .with_budget(2_000_000_000)
+        .with_asan(asan);
         g.bench_function(name, |b| {
-            b.iter(|| measure(&program, abi, asan));
+            b.iter(|| execute_spec(&registry, &spec));
         });
     }
     g.finish();
@@ -44,12 +55,9 @@ fn bench_initdb_configs(c: &mut Criterion) {
 /// pointer-heavy workload (the wider format doubles pointer footprint
 /// again).
 fn bench_cap_format(c: &mut Criterion) {
+    let registry = cheri_bench::registry();
     let mut g = c.benchmark_group("capfmt-xalancbmk");
     g.sample_size(10);
-    let w = cheri_workloads::all()
-        .into_iter()
-        .find(|w| w.name == "spec2006-xalancbmk")
-        .expect("workload registered");
     for (name, opts, fmt) in [
         ("c128", CodegenOpts::purecap(), cheriabi::CapFormat::C128),
         (
@@ -58,17 +66,22 @@ fn bench_cap_format(c: &mut Criterion) {
             cheriabi::CapFormat::C256,
         ),
     ] {
-        let program = (w.build)(opts, 7);
+        let spec = RunSpec::new(
+            format!("ablation-capfmt-{name}"),
+            ProgramSpec::Workload {
+                name: "spec2006-xalancbmk".to_string(),
+            },
+            opts,
+            AbiMode::CheriAbi,
+        )
+        .with_seed(7)
+        .with_budget(2_000_000_000)
+        .with_config(KernelConfig {
+            cap_fmt: fmt,
+            ..KernelConfig::default()
+        });
         g.bench_function(name, |b| {
-            b.iter(|| {
-                let mut sys = System::with_config(KernelConfig {
-                    cap_fmt: fmt,
-                    ..KernelConfig::default()
-                });
-                let mut sopts = SpawnOpts::new(AbiMode::CheriAbi);
-                sopts.instr_budget = Some(2_000_000_000);
-                sys.measure(&program, &sopts).expect("loads")
-            });
+            b.iter(|| execute_spec(&registry, &spec));
         });
     }
     g.finish();
@@ -77,7 +90,8 @@ fn bench_cap_format(c: &mut Criterion) {
 /// Table 3 sampling: one representative BOdiagsuite case under all three
 /// detector configurations.
 fn bench_bodiag_detectors(c: &mut Criterion) {
-    use bodiagsuite::{AccessDir, CaseCfg, Config, Idiom, Region, Variant};
+    use bodiagsuite::{case_spec, AccessDir, CaseCfg, Config, Idiom, Region, Variant};
+    let registry = cheri_bench::registry();
     let cfg = CaseCfg {
         id: 0,
         region: Region::Heap,
@@ -88,8 +102,9 @@ fn bench_bodiag_detectors(c: &mut Criterion) {
     let mut g = c.benchmark_group("bodiag-detectors");
     g.sample_size(10);
     for config in Config::ALL {
+        let spec = case_spec(&cfg, Variant::Min, config);
         g.bench_function(config.label(), |b| {
-            b.iter(|| bodiagsuite::run_one(&cfg, Variant::Min, config));
+            b.iter(|| execute_spec(&registry, &spec));
         });
     }
     g.finish();

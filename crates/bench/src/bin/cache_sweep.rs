@@ -7,11 +7,12 @@
 use cheri_bench::cli;
 use cheri_isa::codegen::CodegenOpts;
 use cheri_kernel::AbiMode;
-use cheriabi::harness::{CaseOutcome, CaseReport, Harness, RunSpec};
+use cheriabi::harness::{CaseOutcome, CaseReport, RunSpec};
+use cheriabi::spec::ProgramSpec;
 use cheriabi::Metrics;
-use std::sync::Arc;
 
 const SEED: u64 = 7;
+const WORKLOAD: &str = "spec2006-xalancbmk";
 const L2_SIZES_KIB: [u64; 5] = [64, 128, 256, 512, 1024];
 
 fn metrics(report: &CaseReport) -> Metrics {
@@ -23,18 +24,6 @@ fn metrics(report: &CaseReport) -> Metrics {
 
 fn main() {
     let opts = cli::parse_env();
-    let w = cheri_workloads::all()
-        .into_iter()
-        .find(|w| w.name == "spec2006-xalancbmk")
-        .expect("registered");
-    if !opts.json {
-        println!("Cache sweep: CheriABI cycle overhead vs L2 size (spec2006-xalancbmk)");
-        println!(
-            "{:>8} {:>12} {:>12} {:>9} {:>14}",
-            "L2", "mips64 cyc", "cheri cyc", "overhead", "cheri L2 miss"
-        );
-    }
-    let build = w.build;
     let mut specs = Vec::with_capacity(L2_SIZES_KIB.len() * 2);
     for l2_kib in L2_SIZES_KIB {
         for (label, codegen, abi) in [
@@ -43,8 +32,10 @@ fn main() {
         ] {
             specs.push(
                 RunSpec::new(
-                    format!("{}-l2-{l2_kib}K-{label}", w.name),
-                    Arc::new(build),
+                    format!("{WORKLOAD}-l2-{l2_kib}K-{label}"),
+                    ProgramSpec::Workload {
+                        name: WORKLOAD.to_string(),
+                    },
                     codegen,
                     abi,
                 )
@@ -54,7 +45,16 @@ fn main() {
             );
         }
     }
-    let reports = Harness::new(opts.jobs).run(&specs);
+    let Some(reports) = cli::run_specs(&cheri_bench::registry(), &specs, &opts) else {
+        return;
+    };
+    if !opts.json {
+        println!("Cache sweep: CheriABI cycle overhead vs L2 size (spec2006-xalancbmk)");
+        println!(
+            "{:>8} {:>12} {:>12} {:>9} {:>14}",
+            "L2", "mips64 cyc", "cheri cyc", "overhead", "cheri L2 miss"
+        );
+    }
     for (i, l2_kib) in L2_SIZES_KIB.into_iter().enumerate() {
         let m = metrics(&reports[i * 2]);
         let c = metrics(&reports[i * 2 + 1]);

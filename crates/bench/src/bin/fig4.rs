@@ -5,14 +5,27 @@
 
 use cheri_bench::cli::{self, json_escape, json_f64};
 use cheri_bench::{iqr, median};
-use cheri_corpus::minidb::build_initdb;
-use cheri_workloads::trials::{overhead_rows, Trial};
-use std::sync::Arc;
+use cheri_workloads::trials::{rows_from_reports, trial_specs, Trial};
+use cheriabi::spec::ProgramSpec;
 
 const SEEDS: [u64; 5] = [3, 7, 13, 29, 61];
 
 fn main() {
     let opts = cli::parse_env();
+    let mut trials: Vec<Trial> = cheri_workloads::all()
+        .iter()
+        .map(Trial::from_workload)
+        .collect();
+    // initdb-dynamic: the record count varies slightly with the seed so the
+    // IQR is meaningful.
+    trials.push(Trial::new(
+        "initdb-dynamic",
+        ProgramSpec::InitdbDynamic { base_records: 360 },
+    ));
+    let specs = trial_specs(&trials, &SEEDS);
+    let Some(reports) = cli::run_specs(&cheri_bench::registry(), &specs, &opts) else {
+        return;
+    };
     if !opts.json {
         println!(
             "Figure 4: CheriABI overhead vs mips64 baseline, median (IQR) over {} seeds",
@@ -23,17 +36,7 @@ fn main() {
             "benchmark", "instructions", "cycles", "l2cache misses"
         );
     }
-    let mut trials: Vec<Trial> = cheri_workloads::all()
-        .iter()
-        .map(Trial::from_workload)
-        .collect();
-    // initdb-dynamic: the record count varies slightly with the seed so the
-    // IQR is meaningful.
-    trials.push(Trial::new(
-        "initdb-dynamic",
-        Arc::new(|opts, seed| build_initdb(opts, 360 + (seed % 5) as i64 * 20)),
-    ));
-    for row in overhead_rows(&trials, &SEEDS, opts.jobs) {
+    for row in rows_from_reports(&trials, &SEEDS, &reports) {
         if opts.json {
             println!(
                 "{{\"figure\":\"fig4\",\"benchmark\":\"{}\",\"instr_median\":{},\"instr_iqr\":{},\"cycles_median\":{},\"cycles_iqr\":{},\"l2_median\":{},\"l2_iqr\":{}}}",

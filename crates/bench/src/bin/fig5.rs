@@ -3,27 +3,58 @@
 //! their bounds, per capability source (§5.5's trace-based reconstruction
 //! of the process's abstract capability).
 
+use cheri_bench::cli::{self, json_escape, json_f64};
 use cheri_isa::codegen::CodegenOpts;
-use cheri_kernel::{AbiMode, SpawnOpts};
-use cheri_workloads::tlsish;
-use cheriabi::System;
+use cheri_kernel::AbiMode;
+use cheriabi::harness::RunSpec;
+use cheriabi::spec::ProgramSpec;
+
+const SESSIONS: i64 = 200;
 
 fn main() {
-    let program = tlsish::build(CodegenOpts::purecap(), 200);
-    let mut sys = System::new();
-    sys.enable_tracing();
-    let (status, _console, metrics) = sys
-        .measure(&program, &SpawnOpts::new(AbiMode::CheriAbi))
-        .expect("tlsish loads");
-    let cdf = sys.capability_histogram();
+    let opts = cli::parse_env();
+    let spec = RunSpec::new(
+        format!("tlsish-{SESSIONS}"),
+        ProgramSpec::Tlsish { sessions: SESSIONS },
+        CodegenOpts::purecap(),
+        AbiMode::CheriAbi,
+    )
+    .with_trace(true);
+    let Some(reports) = cli::run_specs(&cheri_bench::registry(), &[spec], &opts) else {
+        return;
+    };
+    let report = &reports[0];
+    let cdf = report
+        .cap_cdf
+        .as_ref()
+        .expect("traced run collects the capability CDF");
+    if opts.json {
+        for source in cdf.sources() {
+            let max = cdf.max_exp_with_growth(source).unwrap_or(0);
+            for exp in 0..=max {
+                println!(
+                    "{{\"figure\":\"fig5\",\"source\":\"{}\",\"log2_bound\":{exp},\"cumulative\":{}}}",
+                    json_escape(&format!("{source}")),
+                    cdf.cumulative(source, exp)
+                );
+            }
+        }
+        println!(
+            "{{\"figure\":\"fig5\",\"total\":{},\"frac_le_1kib\":{},\"frac_le_16mib\":{}}}",
+            cdf.total(),
+            json_f64(cdf.fraction_at_most(10)),
+            json_f64(cdf.fraction_at_most(24))
+        );
+        return;
+    }
     println!(
-        "Figure 5: cumulative capabilities by bounds size (tlsish, {} sessions, exit {status:?})",
-        200
+        "Figure 5: cumulative capabilities by bounds size (tlsish, {} sessions, {})",
+        SESSIONS, report.outcome
     );
     println!(
         "run: {} instructions, {} syscalls, {} derivation events",
-        metrics.instructions,
-        metrics.syscalls,
+        report.metrics.instructions,
+        report.metrics.syscalls,
         cdf.total()
     );
     println!();

@@ -9,32 +9,79 @@
 //! "reduces the code size of most binaries by over 10%, and reduces the
 //! initdb overhead from 11% to 6.8%".
 
-use cheri_bench::{configurations, measure};
-use cheri_corpus::minidb::build_initdb;
+use cheri_bench::cli::{self, json_escape, json_f64};
+use cheri_bench::configurations;
+use cheri_kernel::ExitStatus;
+use cheriabi::harness::{CaseOutcome, CaseReport, RunSpec};
+use cheriabi::spec::ProgramSpec;
+
+const RECORDS: i64 = 420;
+
+fn cycles_instrs(report: &CaseReport) -> (u64, u64) {
+    match &report.outcome {
+        CaseOutcome::Exited(ExitStatus::Code(_)) => {
+            (report.metrics.cycles, report.metrics.instructions)
+        }
+        other => panic!("{}: initdb stopped abnormally: {other}", report.name),
+    }
+}
 
 fn main() {
-    let records = 420;
-    println!("initdb macro-benchmark ({records} records)");
-    println!(
-        "{:<20} {:>14} {:>12} {:>10} {:>10}",
-        "config", "cycles", "instrs", "vs mips64", "code size"
-    );
-    let mut base_cycles = 0f64;
-    for (name, opts, abi, asan) in configurations() {
-        let program = build_initdb(opts, records);
-        let code: usize = program.objects.iter().map(|o| o.code.len()).sum();
-        let (_, m) = measure(&program, abi, asan);
-        if name == "mips64" {
-            base_cycles = m.cycles as f64;
-        }
+    let cli_opts = cli::parse_env();
+    let registry = cheri_bench::registry();
+    let program = ProgramSpec::Initdb { records: RECORDS };
+    let configs = configurations();
+    let specs: Vec<RunSpec> = configs
+        .iter()
+        .map(|(name, opts, abi, asan)| {
+            RunSpec::new(format!("initdb-{name}"), program.clone(), *opts, *abi)
+                .with_budget(2_000_000_000)
+                .with_asan(*asan)
+        })
+        .collect();
+    let Some(reports) = cli::run_specs(&registry, &specs, &cli_opts) else {
+        return;
+    };
+    if !cli_opts.json {
+        println!("initdb macro-benchmark ({RECORDS} records)");
         println!(
-            "{:<20} {:>14} {:>12} {:>9.2}x {:>10}",
-            name,
-            m.cycles,
-            m.instructions,
-            m.cycles as f64 / base_cycles,
-            code,
+            "{:<20} {:>14} {:>12} {:>10} {:>10}",
+            "config", "cycles", "instrs", "vs mips64", "code size"
         );
+    }
+    let mut base_cycles = 0f64;
+    for ((name, opts, _, _), report) in configs.iter().zip(&reports) {
+        // Code size is a static property of the lowered program; it does
+        // not need (and must not perturb) the measured run.
+        let code: usize = registry
+            .lower(&program, *opts, report.seed)
+            .objects
+            .iter()
+            .map(|o| o.code.len())
+            .sum();
+        let (cycles, instrs) = cycles_instrs(report);
+        if *name == "mips64" {
+            base_cycles = cycles as f64;
+        }
+        if cli_opts.json {
+            println!(
+                "{{\"experiment\":\"initdb_macro\",\"config\":\"{}\",\"cycles\":{cycles},\"instructions\":{instrs},\"vs_mips64\":{},\"code_bytes\":{code}}}",
+                json_escape(name),
+                json_f64(cycles as f64 / base_cycles)
+            );
+        } else {
+            println!(
+                "{:<20} {:>14} {:>12} {:>9.2}x {:>10}",
+                name,
+                cycles,
+                instrs,
+                cycles as f64 / base_cycles,
+                code,
+            );
+        }
+    }
+    if cli_opts.json {
+        return;
     }
     println!();
     println!(

@@ -4,27 +4,78 @@
 //! kernel having to construct capabilities from four integer pointer
 //! arguments).
 
-use cheri_bench::{measure, micro_benchmarks};
+use cheri_bench::cli::{self, json_escape, json_f64};
+use cheri_bench::micro_benchmarks;
 use cheri_isa::codegen::CodegenOpts;
-use cheri_kernel::AbiMode;
+use cheri_kernel::{AbiMode, ExitStatus};
+use cheriabi::harness::{CaseOutcome, CaseReport, RunSpec};
+use cheriabi::spec::ProgramSpec;
+
+fn cycles(report: &CaseReport) -> f64 {
+    match &report.outcome {
+        CaseOutcome::Exited(ExitStatus::Code(0)) => report.metrics.cycles as f64,
+        other => panic!(
+            "{}: micro-benchmark stopped abnormally: {other}",
+            report.name
+        ),
+    }
+}
 
 fn main() {
-    println!("Syscall micro-benchmarks: cycles per call");
-    println!(
-        "{:<10} {:>14} {:>14} {:>9}",
-        "syscall", "mips64", "cheriabi", "delta"
-    );
-    for (name, build, iters) in micro_benchmarks() {
-        // Calibrate loop overhead away by measuring two iteration counts.
-        let cycles_per_call = |opts, abi| {
-            let (_, m_lo) = measure(&build(opts, iters / 2), abi, false);
-            let (_, m_hi) = measure(&build(opts, iters), abi, false);
-            (m_hi.cycles - m_lo.cycles) as f64 / (iters - iters / 2) as f64
+    let opts = cli::parse_env();
+    let micros = micro_benchmarks();
+    // Calibrate loop overhead away by measuring two iteration counts per
+    // ABI: four specs per micro-benchmark, one harness session in all.
+    let mut specs = Vec::with_capacity(micros.len() * 4);
+    for (name, _, iters) in &micros {
+        for (label, codegen, abi) in [
+            ("mips64", CodegenOpts::mips64(), AbiMode::Mips64),
+            ("cheriabi", CodegenOpts::purecap(), AbiMode::CheriAbi),
+        ] {
+            for iter_count in [*iters / 2, *iters] {
+                specs.push(RunSpec::new(
+                    format!("micro-{name}-{label}-i{iter_count}"),
+                    ProgramSpec::Micro {
+                        kind: (*name).to_string(),
+                        iters: iter_count,
+                    },
+                    codegen,
+                    abi,
+                ));
+            }
+        }
+    }
+    let Some(reports) = cli::run_specs(&cheri_bench::registry(), &specs, &opts) else {
+        return;
+    };
+    if !opts.json {
+        println!("Syscall micro-benchmarks: cycles per call");
+        println!(
+            "{:<10} {:>14} {:>14} {:>9}",
+            "syscall", "mips64", "cheriabi", "delta"
+        );
+    }
+    for (i, (name, _, iters)) in micros.iter().enumerate() {
+        let per_call = |lo: &CaseReport, hi: &CaseReport| {
+            (cycles(hi) - cycles(lo)) / (*iters - *iters / 2) as f64
         };
-        let m = cycles_per_call(CodegenOpts::mips64(), AbiMode::Mips64);
-        let c = cycles_per_call(CodegenOpts::purecap(), AbiMode::CheriAbi);
+        let m = per_call(&reports[i * 4], &reports[i * 4 + 1]);
+        let c = per_call(&reports[i * 4 + 2], &reports[i * 4 + 3]);
         let delta = (c / m - 1.0) * 100.0;
-        println!("{:<10} {:>14.0} {:>14.0} {:>+8.1}%", name, m, c, delta);
+        if opts.json {
+            println!(
+                "{{\"experiment\":\"syscall_micro\",\"syscall\":\"{}\",\"mips64_cycles_per_call\":{},\"cheriabi_cycles_per_call\":{},\"delta_pct\":{}}}",
+                json_escape(name),
+                json_f64(m),
+                json_f64(c),
+                json_f64(delta)
+            );
+        } else {
+            println!("{:<10} {:>14.0} {:>14.0} {:>+8.1}%", name, m, c, delta);
+        }
+    }
+    if opts.json {
+        return;
     }
     println!();
     println!(

@@ -1,15 +1,36 @@
 //! Regenerates **Table 1**: test-suite results (pass / fail / skip) for the
 //! FreeBSD-suite stand-in, the minidb `pg_regress` suite, and the
 //! libc++-like subsuite, under the legacy mips64 ABI and CheriABI.
+//!
+//! All six suite×ABI batches run as one harness session, so `--cache`,
+//! `--shard` and `--json-stream` see a single spec list with stable
+//! submission indices.
 
 use cheri_bench::cli::{self, json_escape};
 use cheri_corpus::families::{freebsd_suite, libcxx_suite};
 use cheri_corpus::minidb::pg_regress_suite;
-use cheri_corpus::suite::run_suite_jobs;
+use cheri_corpus::suite::{suite_from_reports, suite_specs};
 use cheri_kernel::AbiMode;
 
 fn main() {
     let opts = cli::parse_env();
+    let suites: Vec<(&str, Vec<cheri_corpus::TestCase>)> = vec![
+        ("FreeBSD", freebsd_suite()),
+        ("PostgreSQL", pg_regress_suite()),
+        ("libc++", libcxx_suite()),
+    ];
+    let mut specs = Vec::new();
+    let mut batches = Vec::new();
+    for (name, cases) in &suites {
+        for abi in [AbiMode::Mips64, AbiMode::CheriAbi] {
+            let batch = suite_specs(cases, abi);
+            batches.push((*name, abi, specs.len()..specs.len() + batch.len()));
+            specs.extend(batch);
+        }
+    }
+    let Some(reports) = cli::run_specs(&cheri_bench::registry(), &specs, &opts) else {
+        return;
+    };
     if !opts.json {
         println!("Table 1: test suite results (this reproduction's corpus)");
         println!(
@@ -17,33 +38,26 @@ fn main() {
             "suite", "pass", "fail", "skip", "total"
         );
     }
-    let suites: Vec<(&str, Vec<cheri_corpus::TestCase>)> = vec![
-        ("FreeBSD", freebsd_suite()),
-        ("PostgreSQL", pg_regress_suite()),
-        ("libc++", libcxx_suite()),
-    ];
-    for (name, cases) in &suites {
-        for abi in [AbiMode::Mips64, AbiMode::CheriAbi] {
-            let r = run_suite_jobs(cases, abi, opts.jobs);
-            if opts.json {
-                println!(
-                    "{{\"table\":\"table1\",\"suite\":\"{}\",\"abi\":\"{abi}\",\"pass\":{},\"fail\":{},\"skip\":{},\"total\":{}}}",
-                    json_escape(name),
-                    r.pass,
-                    r.fail,
-                    r.skip,
-                    r.total()
-                );
-            } else {
-                println!(
-                    "{:<22} {:>6} {:>6} {:>6} {:>7}",
-                    format!("{name} {abi}"),
-                    r.pass,
-                    r.fail,
-                    r.skip,
-                    r.total()
-                );
-            }
+    for (name, abi, range) in batches {
+        let r = suite_from_reports(&reports[range]);
+        if opts.json {
+            println!(
+                "{{\"table\":\"table1\",\"suite\":\"{}\",\"abi\":\"{abi}\",\"pass\":{},\"fail\":{},\"skip\":{},\"total\":{}}}",
+                json_escape(name),
+                r.pass,
+                r.fail,
+                r.skip,
+                r.total()
+            );
+        } else {
+            println!(
+                "{:<22} {:>6} {:>6} {:>6} {:>7}",
+                format!("{name} {abi}"),
+                r.pass,
+                r.fail,
+                r.skip,
+                r.total()
+            );
         }
     }
     if opts.json {

@@ -3,13 +3,48 @@
 //! reproduction's porting changes, plus a dynamic classification of the
 //! traps observed when running the corpus under CheriABI.
 
+use cheri_bench::cli::{self, json_escape};
 use cheri_corpus::compat::{render_table, Category, STATIC_CHANGES};
 use cheri_corpus::families::freebsd_suite;
-use cheri_corpus::suite::{classify_failures, run_suite};
+use cheri_corpus::suite::{classify_failures, suite_from_reports, suite_specs};
 use cheri_kernel::AbiMode;
 use std::collections::BTreeMap;
 
 fn main() {
+    let opts = cli::parse_env();
+    let cases = freebsd_suite();
+    let specs = suite_specs(&cases, AbiMode::CheriAbi);
+    let Some(reports) = cli::run_specs(&cheri_bench::registry(), &specs, &opts) else {
+        return;
+    };
+    let result = suite_from_reports(&reports);
+    let mut by_cat: BTreeMap<&'static str, Vec<String>> = BTreeMap::new();
+    for (name, cat) in classify_failures(&result) {
+        let key = cat.map_or("logic/other", Category::header);
+        by_cat.entry(key).or_default().push(name);
+    }
+    if opts.json {
+        for row in STATIC_CHANGES {
+            println!(
+                "{{\"table\":\"table2\",\"component\":\"{}\",\"category\":\"{}\",\"description\":\"{}\"}}",
+                json_escape(row.component.label()),
+                json_escape(row.category.header()),
+                json_escape(row.description)
+            );
+        }
+        for (cat, names) in &by_cat {
+            let list: Vec<String> = names
+                .iter()
+                .map(|n| format!("\"{}\"", json_escape(n)))
+                .collect();
+            println!(
+                "{{\"table\":\"table2\",\"dynamic_category\":\"{}\",\"failures\":[{}]}}",
+                json_escape(cat),
+                list.join(",")
+            );
+        }
+        return;
+    }
     println!("Table 2 (static inventory of this reproduction's changes):");
     println!("{}", render_table(STATIC_CHANGES));
     println!("categories: PP pointer provenance, IP integer provenance, M monotonicity,");
@@ -18,12 +53,6 @@ fn main() {
     println!();
 
     println!("Dynamic classification of CheriABI corpus failures:");
-    let result = run_suite(&freebsd_suite(), AbiMode::CheriAbi);
-    let mut by_cat: BTreeMap<&'static str, Vec<String>> = BTreeMap::new();
-    for (name, cat) in classify_failures(&result) {
-        let key = cat.map_or("logic/other", Category::header);
-        by_cat.entry(key).or_default().push(name);
-    }
     for (cat, names) in &by_cat {
         println!("  {:<12} {:>3}  ({})", cat, names.len(), names.join(", "));
     }

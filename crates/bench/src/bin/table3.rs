@@ -1,19 +1,23 @@
 //! Regenerates **Table 3**: BOdiagsuite detection counts for mips64,
 //! CheriABI and AddressSanitizer at min / med / large overflow magnitudes.
 
-use bodiagsuite::{all_cases, run_table3_jobs};
+use bodiagsuite::{all_cases, table3_from_reports, table3_specs};
 use cheri_bench::cli::{self, json_escape};
 
 fn main() {
     let opts = cli::parse_env();
     let cases = all_cases();
+    let specs = table3_specs(&cases);
+    let Some(reports) = cli::run_specs(&cheri_bench::registry(), &specs, &opts) else {
+        return;
+    };
     if !opts.json {
         println!(
             "Table 3: BOdiagsuite tests with detected errors (of {} total)",
             cases.len()
         );
     }
-    let table = run_table3_jobs(&cases, opts.jobs);
+    let table = table3_from_reports(&cases, &reports);
     if opts.json {
         for (config, counts) in &table.detected {
             println!(

@@ -1,13 +1,30 @@
 //! Shared command-line handling for the evaluation binaries.
 //!
-//! Every table/figure binary accepts the same two flags:
+//! Every table/figure binary accepts the same flags:
 //!
 //! * `--jobs N` — number of harness workers (default: all available
 //!   cores). Results are identical at any level; `--jobs 1` is the exact
 //!   sequential path.
 //! * `--json` — emit one machine-readable JSON line per result row
 //!   instead of the human-readable table.
+//! * `--cache` / `--no-cache` — serve unchanged cases from the
+//!   content-addressed report cache under `target/harness-cache/`
+//!   (default: off). Hit/miss counts go to stderr so cached and uncached
+//!   runs produce byte-identical stdout.
+//! * `--shard I/N` — execute only submission indices `i ≡ I (mod N)` and
+//!   print one deterministic per-case JSON line per owned index instead
+//!   of the aggregate. Sorting the concatenated lines of all `N` shards
+//!   by their `"case"` field reproduces `--shard 0/1` byte for byte.
+//! * `--progress` — progress line (cases completed / total, ETA) on
+//!   stderr, composing with any stdout mode.
+//! * `--json-stream` — emit each case report as it completes (completion
+//!   order, tagged with its submission index) ahead of the ordered
+//!   aggregate.
 
+use cheri_isa::codegen;
+use cheriabi::cache::ReportCache;
+use cheriabi::harness::{CaseReport, Harness, RunSpec, SessionOpts, Shard};
+use cheriabi::spec::Registry;
 use std::fmt::Write as _;
 
 /// Parsed common options.
@@ -17,6 +34,14 @@ pub struct BenchOpts {
     pub jobs: usize,
     /// Emit JSON report lines instead of the human table.
     pub json: bool,
+    /// Serve and record case reports through the content-addressed cache.
+    pub cache: bool,
+    /// Execute (and print) only this shard's submission indices.
+    pub shard: Option<Shard>,
+    /// Write a progress line to stderr.
+    pub progress: bool,
+    /// Emit each case report as it completes.
+    pub json_stream: bool,
 }
 
 impl Default for BenchOpts {
@@ -24,12 +49,16 @@ impl Default for BenchOpts {
         BenchOpts {
             jobs: cheriabi::harness::available_parallelism(),
             json: false,
+            cache: false,
+            shard: None,
+            progress: false,
+            json_stream: false,
         }
     }
 }
 
-/// Parses `--jobs N` / `--json` / `--help` from an argument list (without
-/// the program name). Returns an error message on anything unrecognised.
+/// Parses the shared flags from an argument list (without the program
+/// name). Returns an error message on anything unrecognised.
 pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<BenchOpts, String> {
     let mut opts = BenchOpts::default();
     let mut iter = args.into_iter();
@@ -46,6 +75,14 @@ pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<BenchOpts, S
                 opts.jobs = jobs;
             }
             "--json" => opts.json = true,
+            "--cache" => opts.cache = true,
+            "--no-cache" => opts.cache = false,
+            "--shard" => {
+                let value = iter.next().ok_or("--shard needs a value (I/N)")?;
+                opts.shard = Some(Shard::parse(&value)?);
+            }
+            "--progress" => opts.progress = true,
+            "--json-stream" => opts.json_stream = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown argument: {other}\n{USAGE}")),
         }
@@ -54,7 +91,15 @@ pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<BenchOpts, S
 }
 
 /// Usage text shared by the binaries.
-pub const USAGE: &str = "options:\n  --jobs N   harness workers (default: all cores)\n  --json     machine-readable output, one JSON line per row";
+pub const USAGE: &str = "options:\n  \
+    --jobs N       harness workers (default: all cores)\n  \
+    --json         machine-readable output, one JSON line per row\n  \
+    --cache        serve unchanged cases from target/harness-cache/\n  \
+    --no-cache     disable the report cache (the default)\n  \
+    --shard I/N    run submission indices i % N == I; print per-case\n                 \
+    JSON lines (sort all shards' lines by \"case\" to merge)\n  \
+    --progress     progress line (completed/total, ETA) on stderr\n  \
+    --json-stream  emit each case report as it completes";
 
 /// Parses the process arguments; prints the usage text and exits 0 on
 /// `--help`, exits 2 on anything unrecognised.
@@ -72,6 +117,64 @@ pub fn parse_env() -> BenchOpts {
             std::process::exit(2);
         }
     }
+}
+
+/// Runs one harness session over `specs` honouring every shared flag:
+/// cache (with a hit/miss summary on stderr), shard, progress and the
+/// JSON stream.
+///
+/// Returns the reports in submission order — or `None` in shard mode,
+/// where the aggregate cannot be computed and the per-case deterministic
+/// JSON lines have already been printed; the caller just returns.
+#[must_use]
+pub fn run_specs(
+    registry: &Registry,
+    specs: &[RunSpec],
+    opts: &BenchOpts,
+) -> Option<Vec<CaseReport>> {
+    let cache = if opts.cache {
+        match ReportCache::open_default(codegen::fingerprint()) {
+            Ok(cache) => Some(cache),
+            Err(err) => {
+                eprintln!("warning: report cache unavailable ({err}); running uncached");
+                None
+            }
+        }
+    } else {
+        None
+    };
+    let stream = |index: usize, report: &CaseReport, _cached: bool| {
+        println!("{}", report.to_json_tagged(index));
+    };
+    let session = Harness::new(opts.jobs).run_session(
+        registry,
+        specs,
+        &SessionOpts {
+            cache: cache.as_ref(),
+            shard: opts.shard,
+            progress: opts.progress,
+            on_report: if opts.json_stream {
+                Some(&stream)
+            } else {
+                None
+            },
+        },
+    );
+    if let Some(cache) = &cache {
+        eprintln!(
+            "cache: {} hits, {} misses ({})",
+            session.cache_hits,
+            session.cache_misses,
+            cache.dir().display()
+        );
+    }
+    if opts.shard.is_some() {
+        for (index, report) in &session.reports {
+            println!("{}", report.to_json_deterministic(*index));
+        }
+        return None;
+    }
+    Some(session.into_reports())
 }
 
 /// Escapes a string for inclusion in a JSON string literal.
@@ -121,6 +224,29 @@ mod tests {
         let defaults = parse_args(args(&[])).expect("parses");
         assert!(defaults.jobs >= 1);
         assert!(!defaults.json);
+        assert!(!defaults.cache);
+        assert_eq!(defaults.shard, None);
+        assert!(!defaults.progress);
+        assert!(!defaults.json_stream);
+    }
+
+    #[test]
+    fn parses_session_flags() {
+        let opts = parse_args(args(&[
+            "--cache",
+            "--shard",
+            "1/4",
+            "--progress",
+            "--json-stream",
+        ]))
+        .expect("parses");
+        assert!(opts.cache);
+        assert_eq!(opts.shard, Some(Shard { index: 1, count: 4 }));
+        assert!(opts.progress);
+        assert!(opts.json_stream);
+        // Last of --cache / --no-cache wins.
+        let off = parse_args(args(&["--cache", "--no-cache"])).expect("parses");
+        assert!(!off.cache);
     }
 
     #[test]
@@ -128,6 +254,9 @@ mod tests {
         assert!(parse_args(args(&["--jobs"])).is_err());
         assert!(parse_args(args(&["--jobs", "zero"])).is_err());
         assert!(parse_args(args(&["--jobs", "0"])).is_err());
+        assert!(parse_args(args(&["--shard"])).is_err());
+        assert!(parse_args(args(&["--shard", "2/2"])).is_err());
+        assert!(parse_args(args(&["--shard", "nope"])).is_err());
         assert!(parse_args(args(&["--frobnicate"])).is_err());
     }
 

@@ -26,7 +26,40 @@ use cheri_isa::codegen::{CodegenOpts, FnBuilder, Ptr, Val};
 use cheri_kernel::{AbiMode, ExitStatus, KernelConfig, SpawnOpts, Sys};
 use cheri_rtld::{Program, ProgramBuilder};
 use cheriabi::guest::GuestOps;
+use cheriabi::spec::{ProgramSpec, Registry};
 use cheriabi::{Metrics, System};
+
+/// This crate's entry in the program registry: lowers
+/// [`ProgramSpec::Micro`] (the §5.2 syscall micro-benchmarks, by kind).
+///
+/// # Panics
+///
+/// Panics when the spec names a kind [`micro_benchmarks`] does not define
+/// — inside a harness worker this is confined to the case's report.
+#[must_use]
+pub fn lower(spec: &ProgramSpec, opts: CodegenOpts, _seed: u64) -> Option<Program> {
+    let ProgramSpec::Micro { kind, iters } = spec else {
+        return None;
+    };
+    let (_, build, _) = micro_benchmarks()
+        .into_iter()
+        .find(|(name, _, _)| name == kind)
+        .unwrap_or_else(|| panic!("no syscall micro-benchmark named `{kind}`"));
+    Some(build(opts, *iters))
+}
+
+/// The full program registry: every guest program any table or figure
+/// binary names — corpus suites and minidb (`cheri-corpus`), BOdiagsuite
+/// cases (`bodiagsuite`), Figure 4/5 workloads (`cheri-workloads`) and the
+/// syscall micros (this crate).
+#[must_use]
+pub fn registry() -> Registry {
+    Registry::builtin()
+        .with(cheri_corpus::suite::lower)
+        .with(bodiagsuite::lower)
+        .with(cheri_workloads::lower)
+        .with(lower)
+}
 
 /// A single measured run of `program` under `abi`.
 ///
@@ -281,6 +314,46 @@ mod tests {
                 assert_eq!(status, ExitStatus::Code(0), "{name}/{cname}");
                 assert!(m.syscalls >= 5, "{name}/{cname}: {m:?}");
             }
+        }
+    }
+
+    /// The combined registry lowers one program of every family a binary
+    /// can name.
+    #[test]
+    fn registry_covers_every_program_family() {
+        use bodiagsuite::{program_spec, CaseCfg};
+        let r = registry();
+        let corpus_case = cheri_corpus::families::freebsd_suite()[0].name.clone();
+        let bodiag = program_spec(
+            &CaseCfg {
+                id: 0,
+                region: bodiagsuite::Region::Heap,
+                access: bodiagsuite::AccessDir::Write,
+                idiom: bodiagsuite::Idiom::DirectOffset,
+                len: 16,
+            },
+            bodiagsuite::Variant::Min,
+        );
+        for spec in [
+            ProgramSpec::Exit { code: 3 },
+            ProgramSpec::Corpus { case: corpus_case },
+            bodiag,
+            ProgramSpec::Workload {
+                name: "auto-qsort".to_string(),
+            },
+            ProgramSpec::Tlsish { sessions: 2 },
+            ProgramSpec::Initdb { records: 12 },
+            ProgramSpec::InitdbDynamic { base_records: 12 },
+            ProgramSpec::Micro {
+                kind: "getpid".to_string(),
+                iters: 3,
+            },
+        ] {
+            let program = r.lower(&spec, CodegenOpts::mips64(), 7);
+            assert!(
+                !program.objects.is_empty(),
+                "{spec:?} lowered to an empty program"
+            );
         }
     }
 

@@ -28,9 +28,9 @@ use cheri_isa::Width;
 use cheri_kernel::{AbiMode, ExitStatus};
 use cheri_rtld::{Program, ProgramBuilder};
 use cheriabi::guest::GuestOps;
-use cheriabi::harness::{CaseOutcome, Harness, RunSpec};
+use cheriabi::harness::{CaseOutcome, CaseReport, Harness, RunSpec};
+use cheriabi::spec::{ProgramSpec, Registry};
 use std::fmt;
-use std::sync::Arc;
 
 /// Number of base test cases (paper: 291).
 pub const TOTAL_CASES: usize = 291;
@@ -52,6 +52,41 @@ pub enum Region {
     },
 }
 
+impl Region {
+    /// Stable label used in [`ProgramSpec::Bodiag`] (the tail travels as a
+    /// separate field).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Region::Stack => "stack",
+            Region::Heap => "heap",
+            Region::Global => "global",
+            Region::IntraObject { .. } => "intra",
+        }
+    }
+
+    /// The intra-object tail, `0` for every other region.
+    #[must_use]
+    pub fn tail(self) -> u64 {
+        match self {
+            Region::IntraObject { tail } => tail,
+            _ => 0,
+        }
+    }
+
+    /// Inverse of [`Region::label`] + [`Region::tail`].
+    #[must_use]
+    pub fn from_label(label: &str, tail: u64) -> Option<Region> {
+        match label {
+            "stack" => Some(Region::Stack),
+            "heap" => Some(Region::Heap),
+            "global" => Some(Region::Global),
+            "intra" => Some(Region::IntraObject { tail }),
+            _ => None,
+        }
+    }
+}
+
 /// Whether the overflowing access reads or writes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum AccessDir {
@@ -59,6 +94,27 @@ pub enum AccessDir {
     Read,
     /// Out-of-bounds write.
     Write,
+}
+
+impl AccessDir {
+    /// Stable label used in [`ProgramSpec::Bodiag`].
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            AccessDir::Read => "read",
+            AccessDir::Write => "write",
+        }
+    }
+
+    /// Inverse of [`AccessDir::label`].
+    #[must_use]
+    pub fn from_label(label: &str) -> Option<AccessDir> {
+        match label {
+            "read" => Some(AccessDir::Read),
+            "write" => Some(AccessDir::Write),
+            _ => None,
+        }
+    }
 }
 
 /// How the out-of-bounds address is formed.
@@ -70,6 +126,29 @@ pub enum Idiom {
     IndexReg,
     /// A loop walking the buffer one byte at a time, ending past it.
     LoopInduction,
+}
+
+impl Idiom {
+    /// Stable label used in [`ProgramSpec::Bodiag`].
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Idiom::DirectOffset => "direct",
+            Idiom::IndexReg => "index",
+            Idiom::LoopInduction => "loop",
+        }
+    }
+
+    /// Inverse of [`Idiom::label`].
+    #[must_use]
+    pub fn from_label(label: &str) -> Option<Idiom> {
+        match label {
+            "direct" => Some(Idiom::DirectOffset),
+            "index" => Some(Idiom::IndexReg),
+            "loop" => Some(Idiom::LoopInduction),
+            _ => None,
+        }
+    }
 }
 
 /// The buggy-variant magnitudes of Table 3 (plus the correct baseline).
@@ -100,7 +179,7 @@ impl Variant {
         }
     }
 
-    /// Column label used in Table 3.
+    /// Column label used in Table 3 (and in [`ProgramSpec::Bodiag`]).
     #[must_use]
     pub fn label(self) -> &'static str {
         match self {
@@ -109,6 +188,12 @@ impl Variant {
             Variant::Med => "med",
             Variant::Large => "large",
         }
+    }
+
+    /// Inverse of [`Variant::label`].
+    #[must_use]
+    pub fn from_label(label: &str) -> Option<Variant> {
+        Variant::ALL.into_iter().find(|v| v.label() == label)
     }
 }
 
@@ -342,13 +427,69 @@ impl Config {
 /// Instruction budget per case run.
 const CASE_BUDGET: u64 = 5_000_000;
 
+/// The declarative identity of one case/variant: everything
+/// [`build_case`] consumes, as plain data. (`CaseCfg::id` is a display
+/// ordinal, not an input to the generator, so it is not part of the
+/// identity.)
+#[must_use]
+pub fn program_spec(cfg: &CaseCfg, variant: Variant) -> ProgramSpec {
+    ProgramSpec::Bodiag {
+        region: cfg.region.label().to_string(),
+        tail: cfg.region.tail(),
+        access: cfg.access.label().to_string(),
+        idiom: cfg.idiom.label().to_string(),
+        len: cfg.len,
+        variant: variant.label().to_string(),
+    }
+}
+
+/// This crate's entry in the program registry: lowers
+/// [`ProgramSpec::Bodiag`] back through the label parsers into
+/// [`build_case`].
+///
+/// # Panics
+///
+/// Panics on an unparseable label — inside a harness worker this is
+/// confined to the case's report.
+#[must_use]
+pub fn lower(spec: &ProgramSpec, opts: CodegenOpts, _seed: u64) -> Option<Program> {
+    let ProgramSpec::Bodiag {
+        region,
+        tail,
+        access,
+        idiom,
+        len,
+        variant,
+    } = spec
+    else {
+        return None;
+    };
+    let cfg = CaseCfg {
+        id: 0,
+        region: Region::from_label(region, *tail)
+            .unwrap_or_else(|| panic!("bad bodiag region `{region}`")),
+        access: AccessDir::from_label(access)
+            .unwrap_or_else(|| panic!("bad bodiag access `{access}`")),
+        idiom: Idiom::from_label(idiom).unwrap_or_else(|| panic!("bad bodiag idiom `{idiom}`")),
+        len: *len,
+    };
+    let variant =
+        Variant::from_label(variant).unwrap_or_else(|| panic!("bad bodiag variant `{variant}`"));
+    Some(build_case(&cfg, variant, opts))
+}
+
+/// A registry sufficient for everything this crate lowers.
+#[must_use]
+pub fn registry() -> Registry {
+    Registry::builtin().with(lower)
+}
+
 /// Lowers one case/variant/config into a harness spec.
 #[must_use]
 pub fn case_spec(cfg: &CaseCfg, variant: Variant, config: Config) -> RunSpec {
-    let cfg = *cfg;
     RunSpec::new(
         format!("case{:03}-{}-{}", cfg.id, variant.label(), config.label()),
-        Arc::new(move |opts, _seed| build_case(&cfg, variant, opts)),
+        program_spec(cfg, variant),
         config.codegen(),
         config.abi(),
     )
@@ -363,7 +504,7 @@ pub fn case_spec(cfg: &CaseCfg, variant: Variant, config: Config) -> RunSpec {
 /// those (the batched [`run_table3_jobs`] path records them instead).
 #[must_use]
 pub fn run_one(cfg: &CaseCfg, variant: Variant, config: Config) -> (bool, ExitStatus) {
-    let report = cheriabi::harness::execute_spec(&case_spec(cfg, variant, config));
+    let report = cheriabi::harness::execute_spec(&registry(), &case_spec(cfg, variant, config));
     match report.outcome {
         CaseOutcome::Exited(status) => (status.is_safety_stop(), status),
         other => panic!("{}: {other}", report.name),
@@ -406,12 +547,12 @@ impl fmt::Display for Table3 {
 /// The buggy variants in Table 3 column order.
 const BUGGY: [Variant; 3] = [Variant::Min, Variant::Med, Variant::Large];
 
-/// Runs the complete suite (all cases, variants and configurations) across
-/// `jobs` workers. The spec list — and therefore every count and the order
-/// of `false_positives` — follows the sequential nesting (config, then
-/// case, then min/med/large/ok) regardless of `jobs`.
+/// The complete Table 3 spec matrix, in the canonical nesting (config,
+/// then case, then min/med/large/ok) — the input to
+/// [`table3_from_reports`], and to the harness's caching / sharding /
+/// streaming session modes in between.
 #[must_use]
-pub fn run_table3_jobs(cases: &[CaseCfg], jobs: usize) -> Table3 {
+pub fn table3_specs(cases: &[CaseCfg]) -> Vec<RunSpec> {
     let mut specs = Vec::with_capacity(Config::ALL.len() * cases.len() * 4);
     for config in Config::ALL {
         for cfg in cases {
@@ -421,8 +562,18 @@ pub fn run_table3_jobs(cases: &[CaseCfg], jobs: usize) -> Table3 {
             specs.push(case_spec(cfg, Variant::Ok, config));
         }
     }
-    let reports = Harness::new(jobs).run(&specs);
+    specs
+}
 
+/// Tallies the reports of a [`table3_specs`] run (in spec order, for the
+/// same `cases`) into the Table 3 aggregate.
+///
+/// # Panics
+///
+/// Panics if `reports` does not have one entry per spec of
+/// `table3_specs(cases)`.
+#[must_use]
+pub fn table3_from_reports(cases: &[CaseCfg], reports: &[CaseReport]) -> Table3 {
     let mut table = Table3::default();
     let mut next = reports.iter();
     for config in Config::ALL {
@@ -450,7 +601,21 @@ pub fn run_table3_jobs(cases: &[CaseCfg], jobs: usize) -> Table3 {
         }
         table.detected.push((config, counts));
     }
+    assert!(
+        next.next().is_none(),
+        "more reports than table3_specs produced"
+    );
     table
+}
+
+/// Runs the complete suite (all cases, variants and configurations) across
+/// `jobs` workers. The spec list — and therefore every count and the order
+/// of `false_positives` — follows the sequential nesting (config, then
+/// case, then min/med/large/ok) regardless of `jobs`.
+#[must_use]
+pub fn run_table3_jobs(cases: &[CaseCfg], jobs: usize) -> Table3 {
+    let reports = Harness::new(jobs).run(&registry(), &table3_specs(cases));
+    table3_from_reports(cases, &reports)
 }
 
 /// Runs the complete suite sequentially.
@@ -576,6 +741,42 @@ mod tests {
         let par = run_table3_jobs(&cases, 8);
         assert_eq!(seq, par);
         assert_eq!(run_table3(&cases), par);
+    }
+
+    /// Running the Table 3 matrix as two shards and merging is identical —
+    /// per-case reports and final aggregate both — to the unsharded run.
+    #[test]
+    fn two_shards_merge_to_the_unsharded_table3() {
+        use cheriabi::harness::{merge_shards, SessionOpts, Shard};
+
+        let cases: Vec<CaseCfg> = all_cases().into_iter().step_by(29).collect();
+        let specs = table3_specs(&cases);
+        let registry = registry();
+        let full = Harness::new(4).run(&registry, &specs);
+        let shards: Vec<_> = (0..2)
+            .map(|index| {
+                let opts = SessionOpts {
+                    shard: Some(Shard { index, count: 2 }),
+                    ..SessionOpts::default()
+                };
+                Harness::new(4)
+                    .run_session(&registry, &specs, &opts)
+                    .reports
+            })
+            .collect();
+        let merged = merge_shards(shards);
+        assert_eq!(merged.len(), full.len());
+        for (i, (a, b)) in merged.iter().zip(&full).enumerate() {
+            assert_eq!(
+                a.to_json_deterministic(i).to_string(),
+                b.to_json_deterministic(i).to_string(),
+                "per-case JSON line {i} diverges"
+            );
+        }
+        assert_eq!(
+            table3_from_reports(&cases, &merged),
+            table3_from_reports(&cases, &full)
+        );
     }
 
     #[test]

@@ -1,0 +1,381 @@
+//! Content-addressed on-disk cache for [`CaseReport`]s.
+//!
+//! A [`crate::harness::RunSpec`] is plain data, so an unchanged case has an
+//! unchanged identity — and because each case runs in a fresh deterministic
+//! kernel, an unchanged identity means an unchanged report. The cache
+//! exploits that: before executing a spec, [`crate::harness::Harness::run_session`]
+//! asks the cache for the report of an identical earlier run and skips the
+//! guest entirely on a hit. A warm re-run of an unchanged experiment
+//! executes zero guest instructions and emits byte-identical output.
+//!
+//! **Keying.** The cache key is 64-bit FNV-1a over the canonical JSON of
+//! the spec's *identity*: the [`ProgramSpec`], codegen options, process
+//! ABI, sanitizer flag, seed, instruction budget, kernel configuration and
+//! L2 override — plus a caller-supplied *salt* (the codegen fingerprint
+//! from `cheri_isa::codegen::fingerprint`, so any change to instruction
+//! selection invalidates every entry wholesale). The spec's display name
+//! and wall-clock deadline are *not* part of the identity: neither changes
+//! what the guest computes. Stored entries embed the full identity JSON
+//! and every load re-compares it, so an FNV collision degrades to a cache
+//! miss, never a wrong report.
+//!
+//! **What is never cached.** Panicked and deadline-exceeded outcomes
+//! (environmental, not functions of the spec) and traced runs (the
+//! capability CDF is not serialized, and Figure 5 wants a fresh trace).
+//!
+//! **On disk.** One JSON file per entry under the cache directory
+//! (default `target/harness-cache/`), named by the hex key. Writes go to a
+//! temporary file first and are renamed into place, so concurrent workers
+//! and even concurrent processes can share a directory; a torn or corrupt
+//! entry fails to parse and reads as a miss.
+
+use crate::harness::{CaseOutcome, CaseReport, RunSpec};
+use crate::json::{self, Json};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A handle to one cache directory + salt.
+#[derive(Debug)]
+pub struct ReportCache {
+    dir: PathBuf,
+    salt: u64,
+    tmp_seq: AtomicU64,
+}
+
+impl ReportCache {
+    /// Opens (creating if needed) a cache rooted at `dir`, salted with the
+    /// caller's codegen fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the directory cannot be created.
+    pub fn new(dir: impl Into<PathBuf>, salt: u64) -> io::Result<ReportCache> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(ReportCache {
+            dir,
+            salt,
+            tmp_seq: AtomicU64::new(0),
+        })
+    }
+
+    /// Opens the conventional location, `<target dir>/harness-cache/`
+    /// (honouring `CARGO_TARGET_DIR`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the directory cannot be created.
+    pub fn open_default(salt: u64) -> io::Result<ReportCache> {
+        let target = std::env::var_os("CARGO_TARGET_DIR")
+            .map_or_else(|| PathBuf::from("target"), PathBuf::from);
+        ReportCache::new(target.join("harness-cache"), salt)
+    }
+
+    /// The directory entries live in.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The canonical identity of `spec` under this cache's salt — every
+    /// field that can change what the guest computes, nothing else.
+    #[must_use]
+    pub fn identity(&self, spec: &RunSpec) -> Json {
+        let mut fields = vec![("salt".to_string(), Json::u64(self.salt))];
+        if let Json::Obj(all) = spec.to_json() {
+            fields.extend(
+                all.into_iter()
+                    .filter(|(k, _)| !matches!(k.as_str(), "name" | "deadline_nanos" | "trace")),
+            );
+        }
+        Json::Obj(fields)
+    }
+
+    /// The content key for `spec`: FNV-1a over its canonical identity.
+    #[must_use]
+    pub fn key(&self, spec: &RunSpec) -> u64 {
+        json::fnv1a(self.identity(spec).to_string().as_bytes())
+    }
+
+    fn entry_path(&self, spec: &RunSpec) -> PathBuf {
+        self.dir.join(format!("{:016x}.json", self.key(spec)))
+    }
+
+    /// The cached report for `spec`, if one exists — with the entry's
+    /// stored identity re-checked against the spec, so a key collision
+    /// reads as a miss. The report's name is rewritten to the spec's
+    /// (names are display-only and not part of the identity).
+    #[must_use]
+    pub fn load(&self, spec: &RunSpec) -> Option<CaseReport> {
+        if spec.trace {
+            return None;
+        }
+        let text = fs::read_to_string(self.entry_path(spec)).ok()?;
+        let entry = json::parse(&text).ok()?;
+        if *entry.get("identity")? != self.identity(spec) {
+            return None;
+        }
+        let mut report = CaseReport::from_json(entry.get("report")?).ok()?;
+        report.name = spec.name.clone();
+        Some(report)
+    }
+
+    /// Records `report` as the result of `spec`. Traced specs and
+    /// panicked / deadline-exceeded outcomes are never recorded; I/O
+    /// failures are swallowed (a cache that cannot write is merely cold).
+    pub fn store(&self, spec: &RunSpec, report: &CaseReport) {
+        if spec.trace
+            || matches!(
+                report.outcome,
+                CaseOutcome::Panicked(_) | CaseOutcome::DeadlineExceeded
+            )
+        {
+            return;
+        }
+        let entry = Json::obj(vec![
+            ("identity", self.identity(spec)),
+            ("report", report.to_json()),
+        ]);
+        let path = self.entry_path(spec);
+        let tmp = self.dir.join(format!(
+            "{:016x}.tmp.{}.{}",
+            self.key(spec),
+            std::process::id(),
+            self.tmp_seq.fetch_add(1, Ordering::Relaxed)
+        ));
+        let mut text = entry.to_string();
+        text.push('\n');
+        if fs::write(&tmp, text).is_ok() && fs::rename(&tmp, &path).is_err() {
+            let _ = fs::remove_file(&tmp);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{execute_spec, Harness, RunSpec, SessionOpts};
+    use crate::json;
+    use crate::spec::{single_main, ProgramSpec, Registry};
+    use cheri_isa::codegen::CodegenOpts;
+    use cheri_kernel::AbiMode;
+    use cheri_rtld::Program;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
+
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> TempDir {
+            static SEQ: AtomicUsize = AtomicUsize::new(0);
+            let dir = std::env::temp_dir().join(format!(
+                "cheriabi-cache-test-{tag}-{}-{}",
+                std::process::id(),
+                SEQ.fetch_add(1, Ordering::SeqCst)
+            ));
+            fs::create_dir_all(&dir).expect("create temp dir");
+            TempDir(dir)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn exit_spec(name: &str, seed: u64) -> RunSpec {
+        RunSpec::new(
+            name,
+            ProgramSpec::Exit { code: 0 },
+            CodegenOpts::purecap(),
+            AbiMode::CheriAbi,
+        )
+        .with_seed(seed)
+    }
+
+    #[test]
+    fn hit_returns_a_byte_identical_report() {
+        let tmp = TempDir::new("roundtrip");
+        let cache = ReportCache::new(&tmp.0, 1).expect("open cache");
+        let registry = Registry::builtin();
+        let spec = exit_spec("case", 5);
+        assert!(cache.load(&spec).is_none(), "cold cache misses");
+        let cold = execute_spec(&registry, &spec);
+        cache.store(&spec, &cold);
+        let warm = cache.load(&spec).expect("warm cache hits");
+        assert_eq!(warm, cold);
+        assert_eq!(
+            warm.to_json().to_string(),
+            cold.to_json().to_string(),
+            "byte-identical re-encode"
+        );
+    }
+
+    #[test]
+    fn any_identity_field_change_misses() {
+        let tmp = TempDir::new("identity");
+        let cache = ReportCache::new(&tmp.0, 1).expect("open cache");
+        let registry = Registry::builtin();
+        let spec = exit_spec("case", 5);
+        cache.store(&spec, &execute_spec(&registry, &spec));
+        assert!(cache.load(&spec).is_some());
+
+        // Every identity field change must miss.
+        assert!(cache.load(&spec.clone().with_seed(6)).is_none(), "seed");
+        assert!(
+            cache.load(&spec.clone().with_budget(123)).is_none(),
+            "budget"
+        );
+        assert!(cache.load(&spec.clone().with_asan(true)).is_none(), "asan");
+        assert!(
+            cache.load(&spec.clone().with_l2_size(65536)).is_none(),
+            "l2"
+        );
+        let mut other_program = spec.clone();
+        other_program.program = ProgramSpec::Exit { code: 1 };
+        assert!(cache.load(&other_program).is_none(), "program");
+        let mut other_opts = spec.clone();
+        other_opts.opts = CodegenOpts::purecap_small_clc();
+        assert!(cache.load(&other_opts).is_none(), "codegen opts");
+        let mut other_abi = spec.clone();
+        other_abi.opts = CodegenOpts::mips64();
+        other_abi.abi = AbiMode::Mips64;
+        assert!(cache.load(&other_abi).is_none(), "abi");
+
+        // Name and deadline are display/scheduling concerns, not identity.
+        let renamed = cache
+            .load(&spec.clone().with_deadline(Duration::from_secs(9)))
+            .expect("deadline is not identity");
+        assert_eq!(renamed.name, "case");
+        let mut other_name = spec.clone();
+        other_name.name = "same-program-other-name".to_string();
+        let hit = cache.load(&other_name).expect("name is not identity");
+        assert_eq!(hit.name, "same-program-other-name");
+    }
+
+    #[test]
+    fn salt_change_invalidates_everything() {
+        let tmp = TempDir::new("salt");
+        let registry = Registry::builtin();
+        let spec = exit_spec("case", 5);
+        let old = ReportCache::new(&tmp.0, 0xAAAA).expect("open cache");
+        old.store(&spec, &execute_spec(&registry, &spec));
+        assert!(old.load(&spec).is_some());
+        let new = ReportCache::new(&tmp.0, 0xBBBB).expect("open cache");
+        assert!(
+            new.load(&spec).is_none(),
+            "a new codegen fingerprint must miss the old entry"
+        );
+    }
+
+    #[test]
+    fn nondeterministic_outcomes_are_not_cached() {
+        let tmp = TempDir::new("skip");
+        let cache = ReportCache::new(&tmp.0, 1).expect("open cache");
+        let registry = Registry::builtin();
+
+        let boom = RunSpec::new(
+            "boom",
+            ProgramSpec::Boom,
+            CodegenOpts::purecap(),
+            AbiMode::CheriAbi,
+        );
+        cache.store(&boom, &execute_spec(&registry, &boom));
+        assert!(cache.load(&boom).is_none(), "panics are not cached");
+
+        let slow = RunSpec::new(
+            "slow",
+            ProgramSpec::Spin { iters: i64::MAX },
+            CodegenOpts::mips64(),
+            AbiMode::Mips64,
+        )
+        .with_budget(50_000_000)
+        .with_deadline(Duration::from_millis(1));
+        cache.store(&slow, &execute_spec(&registry, &slow));
+        assert!(
+            cache.load(&slow).is_none(),
+            "deadline misses are not cached"
+        );
+
+        let traced = exit_spec("traced", 0).with_trace(true);
+        cache.store(&traced, &execute_spec(&registry, &traced));
+        assert!(cache.load(&traced).is_none(), "traced runs are not cached");
+    }
+
+    #[test]
+    fn corrupt_entries_read_as_misses() {
+        let tmp = TempDir::new("corrupt");
+        let cache = ReportCache::new(&tmp.0, 1).expect("open cache");
+        let registry = Registry::builtin();
+        let spec = exit_spec("case", 5);
+        cache.store(&spec, &execute_spec(&registry, &spec));
+        let path = cache.entry_path(&spec);
+        fs::write(&path, "{ torn").expect("corrupt the entry");
+        assert!(cache.load(&spec).is_none());
+        // And a colliding key with a different identity must also miss.
+        let other = exit_spec("case", 6);
+        let entry = json::parse(&fs::read_to_string(cache.entry_path(&spec)).unwrap_or_default());
+        drop(entry);
+        fs::copy(cache.entry_path(&spec), cache.entry_path(&other)).ok();
+        assert!(cache.load(&other).is_none(), "identity mismatch is a miss");
+    }
+
+    /// A lowerer that counts how many times it actually builds, so the
+    /// "cache hit skips execution" contract is observable.
+    static BUILDS: AtomicUsize = AtomicUsize::new(0);
+
+    fn counting_lowerer(spec: &ProgramSpec, opts: CodegenOpts, _seed: u64) -> Option<Program> {
+        use crate::guest::GuestOps;
+        match spec {
+            ProgramSpec::Workload { name } if name == "counted" => {
+                BUILDS.fetch_add(1, Ordering::SeqCst);
+                Some(single_main("counted", opts, |f| f.sys_exit_imm(0)))
+            }
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn a_warm_session_skips_execution_entirely() {
+        let tmp = TempDir::new("session");
+        let cache = ReportCache::new(&tmp.0, 1).expect("open cache");
+        let registry = Registry::builtin().with(counting_lowerer);
+        let specs: Vec<RunSpec> = (0..6)
+            .map(|i| {
+                RunSpec::new(
+                    format!("counted-{i}"),
+                    ProgramSpec::Workload {
+                        name: "counted".to_string(),
+                    },
+                    CodegenOpts::purecap(),
+                    AbiMode::CheriAbi,
+                )
+                .with_seed(i)
+            })
+            .collect();
+        let opts = SessionOpts {
+            cache: Some(&cache),
+            ..SessionOpts::default()
+        };
+        BUILDS.store(0, Ordering::SeqCst);
+        let cold = Harness::new(3).run_session(&registry, &specs, &opts);
+        assert_eq!(cold.cache_hits, 0);
+        assert_eq!(cold.cache_misses, 6);
+        assert_eq!(BUILDS.load(Ordering::SeqCst), 6, "cold run builds all");
+        let warm = Harness::new(3).run_session(&registry, &specs, &opts);
+        assert_eq!(warm.cache_hits, 6, "warm run is 100% hits");
+        assert_eq!(warm.cache_misses, 0);
+        assert_eq!(BUILDS.load(Ordering::SeqCst), 6, "warm run builds nothing");
+        for ((ia, a), (ib, b)) in cold.reports.iter().zip(&warm.reports) {
+            assert_eq!(ia, ib);
+            assert_eq!(
+                a.to_json().to_string(),
+                b.to_json().to_string(),
+                "warm report is byte-identical (including cached wall time)"
+            );
+        }
+    }
+}

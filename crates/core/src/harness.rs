@@ -2,53 +2,67 @@
 //!
 //! Every experiment in this reproduction — Table 1's corpus cases, Table 3's
 //! case × variant × config matrix, Figure 4's multi-trial workload sweeps,
-//! the cache-size sweep — boils down to the same operation: *build a guest
-//! program, run it in a fresh [`System`], record what happened*. Each case
-//! runs in its own isolated kernel with no shared mutable state, so the
-//! whole battery is embarrassingly parallel.
+//! the syscall micro-benchmarks, the cache-size sweep — boils down to the
+//! same operation: *build a guest program, run it in a fresh [`System`],
+//! record what happened*. Each case runs in its own isolated kernel with no
+//! shared mutable state, so the whole battery is embarrassingly parallel.
 //!
 //! This module factors that operation out once:
 //!
-//! * [`RunSpec`] — one case: a program builder plus the ABI, codegen
-//!   options, instruction budget, deterministic seed and (optionally) a
-//!   kernel/cache configuration override;
+//! * [`RunSpec`] — one case, as **plain data**: a declarative
+//!   [`ProgramSpec`] naming the guest program plus the ABI, codegen
+//!   options, instruction budget, wall-clock deadline, deterministic seed
+//!   and (optionally) a kernel/cache configuration override. Because a
+//!   spec is `Hash + Eq` and round-trips through JSON, it can be
+//!   content-addressed ([`crate::cache`]) and shipped to another machine
+//!   ([`Shard`]);
 //! * [`CaseReport`] — what happened: the outcome (exit status, load error,
-//!   or isolated panic), the performance counters of the run, and wall
-//!   time;
+//!   isolated panic, or missed deadline), the performance counters of the
+//!   run, and wall time;
 //! * [`Harness`] — the executor: fans a slice of specs across a
 //!   `std::thread` worker pool sharing one atomic work index, then
 //!   reassembles the reports **in submission order**, so every aggregate
 //!   computed from them is bit-identical to a sequential run.
+//!   [`Harness::run_session`] additionally supports report caching, shard
+//!   filtering, progress reporting and streaming callbacks.
 //!
 //! Determinism contract: a [`RunSpec`] fully determines its
 //! [`CaseReport`] (minus wall time) because each case gets a fresh
 //! `Kernel`. `Harness::new(1)` and `Harness::new(n)` therefore return
 //! reports that differ only in `wall`, which no aggregation consumes.
+//! Sharding preserves the contract: a shard executes the subset of
+//! submission indices it owns and reports them in submission order, so the
+//! concatenation of all shards, merged by index ([`merge_shards`]), is
+//! identical to an unsharded run.
 
+use crate::cache::ReportCache;
+use crate::json::Json;
+use crate::spec::{ProgramSpec, Registry};
+use crate::trace::SizeCdf;
 use crate::{Metrics, System};
-use cheri_isa::codegen::CodegenOpts;
+use cheri_cap::{CapFault, CapFormat};
+use cheri_cpu::TrapCause;
+use cheri_isa::codegen::{Abi, CodegenOpts};
 use cheri_kernel::{AbiMode, ExitStatus, KernelConfig, SpawnOpts};
 use cheri_mem::{CacheConfig, CacheHierarchy};
-use cheri_rtld::Program;
+use cheri_vm::VmError;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{mpsc, Mutex};
 use std::time::{Duration, Instant};
 
-/// A shareable guest-program builder: codegen options plus an input seed in,
-/// program out. Builders must be `Send + Sync` because specs are executed
-/// from worker threads; every builder in this repository already is.
-pub type BuildFn = Arc<dyn Fn(CodegenOpts, u64) -> Program + Send + Sync>;
-
-/// Everything needed to run one case.
-#[derive(Clone)]
+/// Everything needed to run one case — plain data throughout, so two specs
+/// can be compared, hashed, serialized, and executed on different machines
+/// with identical results.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct RunSpec {
     /// Display name (used in reports and `--json` lines).
     pub name: String,
-    /// Builds the guest program.
-    pub build: BuildFn,
-    /// Codegen options handed to the builder.
+    /// Declarative identity of the guest program (lowered via a
+    /// [`Registry`] at execution time).
+    pub program: ProgramSpec,
+    /// Codegen options handed to the lowering.
     pub opts: CodegenOpts,
     /// Process ABI to run under.
     pub abi: AbiMode,
@@ -57,48 +71,44 @@ pub struct RunSpec {
     pub asan: bool,
     /// Per-process instruction budget (`None` = kernel default).
     pub instr_budget: Option<u64>,
-    /// Deterministic input seed handed to the builder.
+    /// Wall-clock budget for the case (`None` = unlimited). A case that
+    /// exceeds it is reported as [`CaseOutcome::DeadlineExceeded`] instead
+    /// of stalling its worker.
+    pub deadline: Option<Duration>,
+    /// Deterministic input seed handed to the lowering.
     pub seed: u64,
     /// Kernel configuration for the fresh kernel this case runs in.
     pub config: KernelConfig,
     /// Optional shared-L2 capacity override in bytes (the cache-sweep
     /// experiment); L1 geometry and line size stay at the paper's defaults.
     pub l2_size: Option<u64>,
-}
-
-impl fmt::Debug for RunSpec {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("RunSpec")
-            .field("name", &self.name)
-            .field("abi", &self.abi)
-            .field("asan", &self.asan)
-            .field("instr_budget", &self.instr_budget)
-            .field("seed", &self.seed)
-            .field("l2_size", &self.l2_size)
-            .finish_non_exhaustive()
-    }
+    /// Collect the capability-derivation trace (Figure 5); the report then
+    /// carries the size distribution. Traced runs are never cached.
+    pub trace: bool,
 }
 
 impl RunSpec {
     /// A spec with the default kernel configuration, no budget override, no
-    /// sanitizer and seed 0.
+    /// deadline, no sanitizer, no tracing and seed 0.
     #[must_use]
     pub fn new(
         name: impl Into<String>,
-        build: BuildFn,
+        program: ProgramSpec,
         opts: CodegenOpts,
         abi: AbiMode,
     ) -> RunSpec {
         RunSpec {
             name: name.into(),
-            build,
+            program,
             opts,
             abi,
             asan: false,
             instr_budget: None,
+            deadline: None,
             seed: 0,
             config: KernelConfig::default(),
             l2_size: None,
+            trace: false,
         }
     }
 
@@ -113,6 +123,13 @@ impl RunSpec {
     #[must_use]
     pub fn with_budget(mut self, budget: u64) -> RunSpec {
         self.instr_budget = Some(budget);
+        self
+    }
+
+    /// Sets the wall-clock deadline.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> RunSpec {
+        self.deadline = Some(deadline);
         self
     }
 
@@ -136,6 +153,264 @@ impl RunSpec {
         self.l2_size = Some(bytes);
         self
     }
+
+    /// Enables capability-derivation tracing.
+    #[must_use]
+    pub fn with_trace(mut self, trace: bool) -> RunSpec {
+        self.trace = trace;
+        self
+    }
+
+    /// Canonical JSON encoding of the complete spec.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", Json::str(self.name.clone())),
+            ("spec", self.program.to_json()),
+            ("opts", codegen_opts_to_json(self.opts)),
+            ("abi", Json::str(abi_mode_label(self.abi))),
+            ("asan", Json::Bool(self.asan)),
+            ("instr_budget", Json::opt(self.instr_budget.map(Json::u64))),
+            (
+                "deadline_nanos",
+                Json::opt(self.deadline.map(|d| Json::Int(d.as_nanos() as i128))),
+            ),
+            ("seed", Json::u64(self.seed)),
+            ("config", kernel_config_to_json(self.config)),
+            ("l2_size", Json::opt(self.l2_size.map(Json::u64))),
+            ("trace", Json::Bool(self.trace)),
+        ])
+    }
+
+    /// Decodes [`RunSpec::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the value is not a recognised encoding.
+    pub fn from_json(v: &Json) -> Result<RunSpec, String> {
+        Ok(RunSpec {
+            name: v.field("name")?.as_str()?.to_string(),
+            program: ProgramSpec::from_json(v.field("spec")?)?,
+            opts: codegen_opts_from_json(v.field("opts")?)?,
+            abi: abi_mode_from_label(v.field("abi")?.as_str()?)?,
+            asan: v.field("asan")?.as_bool()?,
+            instr_budget: v.field("instr_budget")?.as_opt(Json::as_u64)?,
+            deadline: v
+                .field("deadline_nanos")?
+                .as_opt(Json::as_u128)?
+                .map(|n| Duration::from_nanos(u64::try_from(n).unwrap_or(u64::MAX))),
+            seed: v.field("seed")?.as_u64()?,
+            config: kernel_config_from_json(v.field("config")?)?,
+            l2_size: v.field("l2_size")?.as_opt(Json::as_u64)?,
+            trace: v.field("trace")?.as_bool()?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// JSON codecs for the configuration types a spec embeds
+// ---------------------------------------------------------------------
+
+fn abi_mode_label(abi: AbiMode) -> &'static str {
+    match abi {
+        AbiMode::Mips64 => "mips64",
+        AbiMode::CheriAbi => "cheriabi",
+    }
+}
+
+fn abi_mode_from_label(s: &str) -> Result<AbiMode, String> {
+    match s {
+        "mips64" => Ok(AbiMode::Mips64),
+        "cheriabi" => Ok(AbiMode::CheriAbi),
+        other => Err(format!("unknown abi `{other}`")),
+    }
+}
+
+fn codegen_opts_to_json(opts: CodegenOpts) -> Json {
+    Json::obj(vec![
+        (
+            "abi",
+            Json::str(match opts.abi {
+                Abi::Mips64 => "mips64",
+                Abi::PureCap => "purecap",
+            }),
+        ),
+        ("ptr_size", Json::u64(opts.ptr_size)),
+        ("clc_large_imm", Json::Bool(opts.clc_large_imm)),
+        ("asan", Json::Bool(opts.asan)),
+        ("subobject_bounds", Json::Bool(opts.subobject_bounds)),
+    ])
+}
+
+fn codegen_opts_from_json(v: &Json) -> Result<CodegenOpts, String> {
+    Ok(CodegenOpts {
+        abi: match v.field("abi")?.as_str()? {
+            "mips64" => Abi::Mips64,
+            "purecap" => Abi::PureCap,
+            other => return Err(format!("unknown codegen abi `{other}`")),
+        },
+        ptr_size: v.field("ptr_size")?.as_u64()?,
+        clc_large_imm: v.field("clc_large_imm")?.as_bool()?,
+        asan: v.field("asan")?.as_bool()?,
+        subobject_bounds: v.field("subobject_bounds")?.as_bool()?,
+    })
+}
+
+fn kernel_config_to_json(config: KernelConfig) -> Json {
+    Json::obj(vec![
+        (
+            "cap_fmt",
+            Json::str(match config.cap_fmt {
+                CapFormat::C128 => "c128",
+                CapFormat::C256 => "c256",
+            }),
+        ),
+        ("phys_frames", Json::u64(config.phys_frames as u64)),
+        (
+            "kernel_cap_discipline",
+            Json::Bool(config.kernel_cap_discipline),
+        ),
+        ("quantum", Json::u64(config.quantum)),
+        (
+            "default_instr_budget",
+            Json::u64(config.default_instr_budget),
+        ),
+    ])
+}
+
+fn kernel_config_from_json(v: &Json) -> Result<KernelConfig, String> {
+    Ok(KernelConfig {
+        cap_fmt: match v.field("cap_fmt")?.as_str()? {
+            "c128" => CapFormat::C128,
+            "c256" => CapFormat::C256,
+            other => return Err(format!("unknown cap format `{other}`")),
+        },
+        phys_frames: v.field("phys_frames")?.as_usize()?,
+        kernel_cap_discipline: v.field("kernel_cap_discipline")?.as_bool()?,
+        quantum: v.field("quantum")?.as_u64()?,
+        default_instr_budget: v.field("default_instr_budget")?.as_u64()?,
+    })
+}
+
+/// All capability-fault variants, for mnemonic round-tripping.
+const CAP_FAULTS: &[CapFault] = &[
+    CapFault::TagViolation,
+    CapFault::SealViolation,
+    CapFault::TypeViolation,
+    CapFault::LengthViolation,
+    CapFault::RepresentabilityViolation,
+    CapFault::MonotonicityViolation,
+    CapFault::PermitLoadViolation,
+    CapFault::PermitStoreViolation,
+    CapFault::PermitExecuteViolation,
+    CapFault::PermitLoadCapViolation,
+    CapFault::PermitStoreCapViolation,
+    CapFault::PermitStoreLocalCapViolation,
+    CapFault::PermitSealViolation,
+    CapFault::PermitUnsealViolation,
+    CapFault::AccessSystemRegsViolation,
+    CapFault::UserPermViolation,
+    CapFault::UnalignedCapAccess,
+    CapFault::UnalignedDataAccess,
+    CapFault::DdcNull,
+];
+
+fn trap_cause_token(cause: TrapCause) -> String {
+    match cause {
+        TrapCause::Cap(f) => format!("cap:{}", f.mnemonic()),
+        TrapCause::Vm(e) => match e {
+            VmError::Unmapped(a) => format!("vm:unmapped:{a}"),
+            VmError::Protection(a) => format!("vm:protection:{a}"),
+            VmError::OutOfMemory => "vm:oom".to_string(),
+            VmError::NoSuchSpace => "vm:no-space".to_string(),
+            VmError::NoSuchSegment => "vm:no-segment".to_string(),
+            VmError::MappingExists(a) => format!("vm:exists:{a}"),
+            VmError::BadAlignment(a) => format!("vm:bad-align:{a}"),
+            VmError::BadRange(a) => format!("vm:bad-range:{a}"),
+            // `VmError` is non-exhaustive; an unknown future variant still
+            // needs *some* stable token (it just won't parse back).
+            other => format!("vm:other:{other:?}"),
+        },
+        TrapCause::NoCode => "nocode".to_string(),
+    }
+}
+
+fn trap_cause_from_token(token: &str) -> Result<TrapCause, String> {
+    if token == "nocode" {
+        return Ok(TrapCause::NoCode);
+    }
+    if let Some(mnemonic) = token.strip_prefix("cap:") {
+        return CAP_FAULTS
+            .iter()
+            .find(|f| f.mnemonic() == mnemonic)
+            .map(|f| TrapCause::Cap(*f))
+            .ok_or_else(|| format!("unknown capability fault `{mnemonic}`"));
+    }
+    if let Some(rest) = token.strip_prefix("vm:") {
+        let (kind, addr) = match rest.split_once(':') {
+            Some((kind, addr)) => {
+                let addr: u64 = addr
+                    .parse()
+                    .map_err(|_| format!("bad address in `{token}`"))?;
+                (kind, addr)
+            }
+            None => (rest, 0),
+        };
+        let e = match kind {
+            "unmapped" => VmError::Unmapped(addr),
+            "protection" => VmError::Protection(addr),
+            "oom" => VmError::OutOfMemory,
+            "no-space" => VmError::NoSuchSpace,
+            "no-segment" => VmError::NoSuchSegment,
+            "exists" => VmError::MappingExists(addr),
+            "bad-align" => VmError::BadAlignment(addr),
+            "bad-range" => VmError::BadRange(addr),
+            other => return Err(format!("unknown vm fault `{other}`")),
+        };
+        return Ok(TrapCause::Vm(e));
+    }
+    Err(format!("unknown trap token `{token}`"))
+}
+
+/// Canonical JSON encoding of an exit status.
+#[must_use]
+pub fn exit_status_to_json(status: ExitStatus) -> Json {
+    match status {
+        ExitStatus::Code(code) => Json::obj(vec![
+            ("status", Json::str("code")),
+            ("code", Json::i64(code)),
+        ]),
+        ExitStatus::Fault(cause) => Json::obj(vec![
+            ("status", Json::str("fault")),
+            ("cause", Json::str(trap_cause_token(cause))),
+        ]),
+        ExitStatus::Signaled(sig) => Json::obj(vec![
+            ("status", Json::str("signaled")),
+            ("signal", Json::u64(u64::from(sig))),
+        ]),
+        ExitStatus::SanitizerAbort => Json::obj(vec![("status", Json::str("sanitizer-abort"))]),
+        ExitStatus::BudgetExhausted => Json::obj(vec![("status", Json::str("budget-exhausted"))]),
+    }
+}
+
+/// Decodes [`exit_status_to_json`] output.
+///
+/// # Errors
+///
+/// Returns a message if the value is not a recognised encoding.
+pub fn exit_status_from_json(v: &Json) -> Result<ExitStatus, String> {
+    match v.field("status")?.as_str()? {
+        "code" => Ok(ExitStatus::Code(v.field("code")?.as_i64()?)),
+        "fault" => Ok(ExitStatus::Fault(trap_cause_from_token(
+            v.field("cause")?.as_str()?,
+        )?)),
+        "signaled" => Ok(ExitStatus::Signaled(
+            u8::try_from(v.field("signal")?.as_u64()?).map_err(|e| e.to_string())?,
+        )),
+        "sanitizer-abort" => Ok(ExitStatus::SanitizerAbort),
+        "budget-exhausted" => Ok(ExitStatus::BudgetExhausted),
+        other => Err(format!("unknown exit status `{other}`")),
+    }
 }
 
 /// How a case concluded.
@@ -149,6 +424,8 @@ pub enum CaseOutcome {
     /// Building or running the case panicked; the panic is confined to the
     /// case's worker and reported here instead of killing the run.
     Panicked(String),
+    /// The case exceeded its [`RunSpec::deadline`]; the worker moved on.
+    DeadlineExceeded,
 }
 
 impl CaseOutcome {
@@ -160,6 +437,47 @@ impl CaseOutcome {
             _ => None,
         }
     }
+
+    /// Canonical JSON encoding.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        match self {
+            CaseOutcome::Exited(status) => Json::obj(vec![
+                ("outcome", Json::str("exited")),
+                ("exit", exit_status_to_json(*status)),
+            ]),
+            CaseOutcome::LoadFailed(e) => Json::obj(vec![
+                ("outcome", Json::str("load-failed")),
+                ("error", Json::str(e.clone())),
+            ]),
+            CaseOutcome::Panicked(e) => Json::obj(vec![
+                ("outcome", Json::str("panicked")),
+                ("error", Json::str(e.clone())),
+            ]),
+            CaseOutcome::DeadlineExceeded => Json::obj(vec![("outcome", Json::str("deadline"))]),
+        }
+    }
+
+    /// Decodes [`CaseOutcome::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the value is not a recognised encoding.
+    pub fn from_json(v: &Json) -> Result<CaseOutcome, String> {
+        match v.field("outcome")?.as_str()? {
+            "exited" => Ok(CaseOutcome::Exited(exit_status_from_json(
+                v.field("exit")?,
+            )?)),
+            "load-failed" => Ok(CaseOutcome::LoadFailed(
+                v.field("error")?.as_str()?.to_string(),
+            )),
+            "panicked" => Ok(CaseOutcome::Panicked(
+                v.field("error")?.as_str()?.to_string(),
+            )),
+            "deadline" => Ok(CaseOutcome::DeadlineExceeded),
+            other => Err(format!("unknown outcome `{other}`")),
+        }
+    }
 }
 
 impl fmt::Display for CaseOutcome {
@@ -168,12 +486,13 @@ impl fmt::Display for CaseOutcome {
             CaseOutcome::Exited(status) => write!(f, "{status:?}"),
             CaseOutcome::LoadFailed(e) => write!(f, "load failed: {e}"),
             CaseOutcome::Panicked(e) => write!(f, "panicked: {e}"),
+            CaseOutcome::DeadlineExceeded => write!(f, "deadline exceeded"),
         }
     }
 }
 
 /// The result of one executed [`RunSpec`].
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CaseReport {
     /// Spec name.
     pub name: String,
@@ -186,16 +505,97 @@ pub struct CaseReport {
     /// Counters consumed by the run (zero when the program never ran).
     pub metrics: Metrics,
     /// Host wall-clock time spent on the case (build + run). The only
-    /// nondeterministic field; no aggregate consumes it.
+    /// nondeterministic field; no aggregate consumes it. A cache hit
+    /// returns the *cached* wall time, keeping the whole report
+    /// byte-identical to the original run's.
     pub wall: Duration,
+    /// The Figure 5 capability-size distribution, collected only when
+    /// [`RunSpec::trace`] was set (never part of the cached/streamed JSON).
+    pub cap_cdf: Option<SizeCdf>,
 }
 
-/// Executes one spec in a fresh kernel, confining panics to the report.
-#[must_use]
-pub fn execute_spec(spec: &RunSpec) -> CaseReport {
+impl CaseReport {
+    /// Canonical JSON encoding (omits `cap_cdf`; traced runs are
+    /// rendered by their experiment, not by the generic report line).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", Json::str(self.name.clone())),
+            ("seed", Json::u64(self.seed)),
+            ("outcome", self.outcome.to_json()),
+            ("console", Json::str(self.console.clone())),
+            (
+                "metrics",
+                Json::obj(vec![
+                    ("instructions", Json::u64(self.metrics.instructions)),
+                    ("cycles", Json::u64(self.metrics.cycles)),
+                    ("l2_misses", Json::u64(self.metrics.l2_misses)),
+                    ("syscalls", Json::u64(self.metrics.syscalls)),
+                ]),
+            ),
+            ("wall_nanos", Json::Int(self.wall.as_nanos() as i128)),
+        ])
+    }
+
+    /// [`CaseReport::to_json`] with the submission index prepended — the
+    /// `--json-stream` line format.
+    #[must_use]
+    pub fn to_json_tagged(&self, index: usize) -> Json {
+        let mut fields = vec![("case".to_string(), Json::u64(index as u64))];
+        if let Json::Obj(rest) = self.to_json() {
+            fields.extend(rest);
+        }
+        Json::Obj(fields)
+    }
+
+    /// [`CaseReport::to_json_tagged`] minus the wall-clock field — the
+    /// `--shard` line format, where byte-identity across machines and runs
+    /// matters and wall time (the one nondeterministic field) would break
+    /// it.
+    #[must_use]
+    pub fn to_json_deterministic(&self, index: usize) -> Json {
+        match self.to_json_tagged(index) {
+            Json::Obj(fields) => Json::Obj(
+                fields
+                    .into_iter()
+                    .filter(|(k, _)| k != "wall_nanos")
+                    .collect(),
+            ),
+            other => other,
+        }
+    }
+
+    /// Decodes [`CaseReport::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the value is not a recognised encoding.
+    pub fn from_json(v: &Json) -> Result<CaseReport, String> {
+        let m = v.field("metrics")?;
+        Ok(CaseReport {
+            name: v.field("name")?.as_str()?.to_string(),
+            seed: v.field("seed")?.as_u64()?,
+            outcome: CaseOutcome::from_json(v.field("outcome")?)?,
+            console: v.field("console")?.as_str()?.to_string(),
+            metrics: Metrics {
+                instructions: m.field("instructions")?.as_u64()?,
+                cycles: m.field("cycles")?.as_u64()?,
+                l2_misses: m.field("l2_misses")?.as_u64()?,
+                syscalls: m.field("syscalls")?.as_u64()?,
+            },
+            wall: Duration::from_nanos(
+                u64::try_from(v.field("wall_nanos")?.as_u128()?).unwrap_or(u64::MAX),
+            ),
+            cap_cdf: None,
+        })
+    }
+}
+
+/// Builds and runs one spec on the current thread (no deadline handling).
+fn execute_inner(registry: &Registry, spec: &RunSpec) -> CaseReport {
     let start = Instant::now();
     let run = catch_unwind(AssertUnwindSafe(|| {
-        let program = (spec.build)(spec.opts, spec.seed);
+        let program = registry.lower(&spec.program, spec.opts, spec.seed);
         let mut sys = System::with_config(spec.config);
         if let Some(l2) = spec.l2_size {
             sys.kernel.cpu.caches = CacheHierarchy::new(
@@ -207,23 +607,32 @@ pub fn execute_spec(spec: &RunSpec) -> CaseReport {
                 },
             );
         }
+        if spec.trace {
+            sys.enable_tracing();
+        }
         let mut opts = SpawnOpts::new(spec.abi);
         opts.asan = spec.asan;
         opts.instr_budget = spec.instr_budget;
-        sys.measure(&program, &opts)
+        let result = sys.measure(&program, &opts);
+        let cdf = spec.trace.then(|| sys.capability_histogram());
+        (result, cdf)
     }));
     let wall = start.elapsed();
-    let (outcome, console, metrics) = match run {
-        Ok(Ok((status, console, metrics))) => (CaseOutcome::Exited(status), console, metrics),
-        Ok(Err(load)) => (
+    let (outcome, console, metrics, cap_cdf) = match run {
+        Ok((Ok((status, console, metrics)), cdf)) => {
+            (CaseOutcome::Exited(status), console, metrics, cdf)
+        }
+        Ok((Err(load), _)) => (
             CaseOutcome::LoadFailed(load.to_string()),
             String::new(),
             Metrics::default(),
+            None,
         ),
         Err(payload) => (
             CaseOutcome::Panicked(panic_message(payload.as_ref())),
             String::new(),
             Metrics::default(),
+            None,
         ),
     };
     CaseReport {
@@ -233,6 +642,45 @@ pub fn execute_spec(spec: &RunSpec) -> CaseReport {
         console,
         metrics,
         wall,
+        cap_cdf,
+    }
+}
+
+/// Executes one spec in a fresh kernel, confining panics to the report and
+/// enforcing the spec's wall-clock deadline (if any).
+///
+/// Deadline enforcement runs the case on a dedicated thread and abandons
+/// it on timeout: the simulation cannot be preempted mid-instruction, so
+/// the abandoned thread winds down on its own when the case's instruction
+/// budget runs out, while the calling worker moves on immediately. Give
+/// deadline-bearing specs a finite instruction budget so abandoned runs
+/// cannot spin forever.
+#[must_use]
+pub fn execute_spec(registry: &Registry, spec: &RunSpec) -> CaseReport {
+    let Some(limit) = spec.deadline else {
+        return execute_inner(registry, spec);
+    };
+    let start = Instant::now();
+    let (tx, rx) = mpsc::channel();
+    let thread_registry = registry.clone();
+    let thread_spec = spec.clone();
+    std::thread::Builder::new()
+        .name(format!("case-{}", spec.name))
+        .spawn(move || {
+            let _ = tx.send(execute_inner(&thread_registry, &thread_spec));
+        })
+        .expect("spawn case thread");
+    match rx.recv_timeout(limit) {
+        Ok(report) => report,
+        Err(_) => CaseReport {
+            name: spec.name.clone(),
+            seed: spec.seed,
+            outcome: CaseOutcome::DeadlineExceeded,
+            console: String::new(),
+            metrics: Metrics::default(),
+            wall: start.elapsed(),
+            cap_cdf: None,
+        },
     }
 }
 
@@ -244,6 +692,108 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     } else {
         "non-string panic payload".to_string()
     }
+}
+
+/// A shard assignment: this process owns every submission index `i` with
+/// `i % count == index`. Round-robin (rather than contiguous blocks)
+/// balances matrices whose expensive cases cluster.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Shard {
+    /// This shard's number, `0..count`.
+    pub index: usize,
+    /// Total number of shards.
+    pub count: usize,
+}
+
+impl Shard {
+    /// Parses the `I/N` command-line form (`0/2`, `1/2`, ...).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the text is not `I/N` with `I < N`, `N ≥ 1`.
+    pub fn parse(text: &str) -> Result<Shard, String> {
+        let (i, n) = text
+            .split_once('/')
+            .ok_or_else(|| format!("--shard wants I/N, got `{text}`"))?;
+        let index: usize = i.parse().map_err(|_| format!("bad shard index `{i}`"))?;
+        let count: usize = n.parse().map_err(|_| format!("bad shard count `{n}`"))?;
+        if count == 0 || index >= count {
+            return Err(format!(
+                "shard index {index} out of range for {count} shards"
+            ));
+        }
+        Ok(Shard { index, count })
+    }
+
+    /// Whether this shard owns submission index `i`.
+    #[must_use]
+    pub fn owns(&self, i: usize) -> bool {
+        i % self.count == self.index
+    }
+}
+
+impl fmt::Display for Shard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+/// A [`SessionOpts::on_report`] observer: called with
+/// `(submission_index, report, from_cache)`.
+pub type ReportObserver<'a> = dyn Fn(usize, &CaseReport, bool) + Sync + 'a;
+
+/// Per-run execution options for [`Harness::run_session`].
+#[derive(Default)]
+pub struct SessionOpts<'a> {
+    /// Serve and record reports through this content-addressed cache.
+    pub cache: Option<&'a ReportCache>,
+    /// Execute only the submission indices this shard owns.
+    pub shard: Option<Shard>,
+    /// Write a progress line (cases completed / total, ETA) to stderr.
+    pub progress: bool,
+    /// Called once per completed case, as it completes (completion order,
+    /// not submission order). Drives `--json-stream`.
+    pub on_report: Option<&'a ReportObserver<'a>>,
+}
+
+/// What a session produced: the owned reports plus cache counters.
+#[derive(Clone, Debug)]
+pub struct Session {
+    /// `(submission_index, report)` for every owned index, in submission
+    /// order. Unsharded sessions own every index.
+    pub reports: Vec<(usize, CaseReport)>,
+    /// Cases served from the report cache.
+    pub cache_hits: usize,
+    /// Cases actually executed (and recorded, when caching).
+    pub cache_misses: usize,
+}
+
+impl Session {
+    /// Drops the indices (valid for unsharded sessions, where they are
+    /// `0..n` by construction).
+    #[must_use]
+    pub fn into_reports(self) -> Vec<CaseReport> {
+        self.reports.into_iter().map(|(_, r)| r).collect()
+    }
+}
+
+/// Merges per-shard report lists back into submission order.
+///
+/// # Panics
+///
+/// Panics if the shards do not cover every index exactly once (a merge of
+/// mismatched runs would silently corrupt every downstream aggregate).
+#[must_use]
+pub fn merge_shards(shards: impl IntoIterator<Item = Vec<(usize, CaseReport)>>) -> Vec<CaseReport> {
+    let mut all: Vec<(usize, CaseReport)> = shards.into_iter().flatten().collect();
+    all.sort_by_key(|(i, _)| *i);
+    for (expect, (i, _)) in all.iter().enumerate() {
+        assert_eq!(
+            *i, expect,
+            "shard reports do not cover every submission index exactly once"
+        );
+    }
+    all.into_iter().map(|(_, r)| r).collect()
 }
 
 /// The parallel executor.
@@ -277,39 +827,112 @@ impl Harness {
         self.jobs
     }
 
-    /// Executes every spec and returns the reports in submission order.
-    ///
-    /// With one job (or one spec) this runs inline on the calling thread —
-    /// the exact sequential path. Otherwise `jobs` workers pull case
-    /// indices from a shared atomic counter; each case still runs in its
-    /// own fresh kernel, so scheduling order cannot affect any report.
+    /// Executes every spec and returns the reports in submission order —
+    /// the simple path with no cache, shard, or streaming.
     #[must_use]
-    pub fn run(&self, specs: &[RunSpec]) -> Vec<CaseReport> {
-        let workers = self.jobs.min(specs.len());
-        if workers <= 1 {
-            return specs.iter().map(execute_spec).collect();
-        }
-        let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<CaseReport>>> =
-            specs.iter().map(|_| Mutex::new(None)).collect();
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let idx = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(spec) = specs.get(idx) else { break };
-                    let report = execute_spec(spec);
-                    *slots[idx].lock().expect("slot lock poisoned") = Some(report);
-                });
+    pub fn run(&self, registry: &Registry, specs: &[RunSpec]) -> Vec<CaseReport> {
+        self.run_session(registry, specs, &SessionOpts::default())
+            .into_reports()
+    }
+
+    /// Executes the owned subset of `specs` and returns the reports in
+    /// submission order, serving unchanged cases from the report cache.
+    ///
+    /// With one job (or one owned case) the cases run inline on the
+    /// calling thread — the exact sequential path. Otherwise `jobs`
+    /// workers pull owned indices from a shared atomic counter; each case
+    /// still runs in its own fresh kernel, so scheduling order cannot
+    /// affect any report.
+    #[must_use]
+    pub fn run_session(
+        &self,
+        registry: &Registry,
+        specs: &[RunSpec],
+        opts: &SessionOpts<'_>,
+    ) -> Session {
+        let owned: Vec<usize> = (0..specs.len())
+            .filter(|&i| opts.shard.is_none_or(|s| s.owns(i)))
+            .collect();
+        let total = owned.len();
+        let hits = AtomicUsize::new(0);
+        let done = AtomicUsize::new(0);
+        let started = Instant::now();
+
+        let run_one = |index: usize| -> CaseReport {
+            let spec = &specs[index];
+            let (report, cached) = match opts.cache.and_then(|c| c.load(spec)) {
+                Some(report) => {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                    (report, true)
+                }
+                None => {
+                    let report = execute_spec(registry, spec);
+                    if let Some(cache) = opts.cache {
+                        cache.store(spec, &report);
+                    }
+                    (report, false)
+                }
+            };
+            if let Some(cb) = opts.on_report {
+                cb(index, &report, cached);
             }
-        });
-        slots
-            .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("slot lock poisoned")
-                    .expect("every index claimed exactly once")
-            })
-            .collect()
+            if opts.progress {
+                let completed = done.fetch_add(1, Ordering::Relaxed) + 1;
+                progress_line(completed, total, started);
+            }
+            report
+        };
+
+        let workers = self.jobs.min(total);
+        let reports: Vec<CaseReport> = if workers <= 1 {
+            owned.iter().map(|&i| run_one(i)).collect()
+        } else {
+            let next = AtomicUsize::new(0);
+            let slots: Vec<Mutex<Option<CaseReport>>> =
+                owned.iter().map(|_| Mutex::new(None)).collect();
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let slot = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&index) = owned.get(slot) else { break };
+                        let report = run_one(index);
+                        *slots[slot].lock().expect("slot lock poisoned") = Some(report);
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|slot| {
+                    slot.into_inner()
+                        .expect("slot lock poisoned")
+                        .expect("every slot claimed exactly once")
+                })
+                .collect()
+        };
+        let cache_hits = hits.load(Ordering::Relaxed);
+        Session {
+            reports: owned.into_iter().zip(reports).collect(),
+            cache_hits,
+            cache_misses: total - cache_hits,
+        }
+    }
+}
+
+/// Writes the `--progress` line: throttled to ~100 updates per run so a
+/// 3000-case matrix does not spam stderr, always including the final case.
+fn progress_line(completed: usize, total: usize, started: Instant) {
+    let step = (total / 100).max(1);
+    if !completed.is_multiple_of(step) && completed != total {
+        return;
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let eta = elapsed / completed as f64 * (total - completed) as f64;
+    eprint!(
+        "\rharness: {completed}/{total} cases ({}%), eta {eta:.1}s",
+        completed * 100 / total.max(1)
+    );
+    if completed == total {
+        eprintln!();
     }
 }
 
@@ -322,32 +945,25 @@ pub fn available_parallelism() -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::guest::GuestOps;
-    use cheri_isa::codegen::{FnBuilder, Val};
-    use cheri_rtld::ProgramBuilder;
+    use crate::json;
 
     fn exit_with_seed_spec(name: &str, seed: u64) -> RunSpec {
-        let build: BuildFn = Arc::new(|opts, seed| {
-            let mut pb = ProgramBuilder::new("h");
-            let mut exe = pb.object("h");
-            {
-                let mut f = FnBuilder::begin(&mut exe, "main", opts);
-                f.li(Val(0), (seed % 64) as i64);
-                f.sys_exit(Val(0));
-            }
-            exe.set_entry("main");
-            pb.add(exe.finish());
-            pb.finish()
-        });
-        RunSpec::new(name, build, CodegenOpts::purecap(), AbiMode::CheriAbi).with_seed(seed)
+        RunSpec::new(
+            name,
+            ProgramSpec::Exit { code: 0 },
+            CodegenOpts::purecap(),
+            AbiMode::CheriAbi,
+        )
+        .with_seed(seed)
     }
 
     #[test]
     fn reports_come_back_in_submission_order() {
+        let registry = Registry::builtin();
         let specs: Vec<RunSpec> = (0..24)
             .map(|i| exit_with_seed_spec(&format!("case-{i}"), i))
             .collect();
-        let reports = Harness::new(8).run(&specs);
+        let reports = Harness::new(8).run(&registry, &specs);
         assert_eq!(reports.len(), specs.len());
         for (i, report) in reports.iter().enumerate() {
             assert_eq!(report.name, format!("case-{i}"));
@@ -360,11 +976,12 @@ mod tests {
 
     #[test]
     fn parallel_reports_match_sequential_reports() {
+        let registry = Registry::builtin();
         let specs: Vec<RunSpec> = (0..16)
             .map(|i| exit_with_seed_spec(&format!("case-{i}"), i * 7))
             .collect();
-        let seq = Harness::new(1).run(&specs);
-        let par = Harness::new(8).run(&specs);
+        let seq = Harness::new(1).run(&registry, &specs);
+        let par = Harness::new(8).run(&registry, &specs);
         for (a, b) in seq.iter().zip(&par) {
             assert_eq!(a.name, b.name);
             assert_eq!(a.outcome, b.outcome);
@@ -375,19 +992,24 @@ mod tests {
 
     #[test]
     fn a_panicking_case_is_isolated_to_its_own_report() {
+        let registry = Registry::builtin();
         let mut specs: Vec<RunSpec> = (0..6)
             .map(|i| exit_with_seed_spec(&format!("ok-{i}"), i))
             .collect();
-        let build: BuildFn = Arc::new(|_, _| panic!("builder exploded"));
         specs.insert(
             3,
-            RunSpec::new("boom", build, CodegenOpts::purecap(), AbiMode::CheriAbi),
+            RunSpec::new(
+                "boom",
+                ProgramSpec::Boom,
+                CodegenOpts::purecap(),
+                AbiMode::CheriAbi,
+            ),
         );
-        let reports = Harness::new(4).run(&specs);
+        let reports = Harness::new(4).run(&registry, &specs);
         assert_eq!(reports.len(), 7);
         assert_eq!(
             reports[3].outcome,
-            CaseOutcome::Panicked("builder exploded".to_string())
+            CaseOutcome::Panicked("probe program `boom` always fails to build".to_string())
         );
         for (i, report) in reports.iter().enumerate() {
             if i != 3 {
@@ -400,20 +1022,207 @@ mod tests {
     }
 
     #[test]
-    fn load_errors_become_reports_not_panics() {
-        let build: BuildFn = Arc::new(|_, _| {
-            let mut pb = ProgramBuilder::new("empty");
-            let mut exe = pb.object("empty");
-            exe.set_entry("missing");
-            pb.add(exe.finish());
-            pb.finish()
-        });
-        let spec = RunSpec::new("no-entry", build, CodegenOpts::purecap(), AbiMode::CheriAbi);
-        let report = execute_spec(&spec);
+    fn unclaimed_specs_become_reports_not_panics() {
+        // The builtin registry cannot lower a corpus case; the failure is
+        // confined to the report like any builder panic.
+        let registry = Registry::builtin();
+        let spec = RunSpec::new(
+            "unclaimed",
+            ProgramSpec::Corpus {
+                case: "no-such-case".to_string(),
+            },
+            CodegenOpts::purecap(),
+            AbiMode::CheriAbi,
+        );
+        let report = execute_spec(&registry, &spec);
         assert!(
-            matches!(report.outcome, CaseOutcome::LoadFailed(_)),
+            matches!(report.outcome, CaseOutcome::Panicked(_)),
             "got {:?}",
             report.outcome
         );
+    }
+
+    #[test]
+    fn deadline_reports_instead_of_stalling() {
+        let registry = Registry::builtin();
+        // A case that takes far longer than 5 ms of wall time; the bounded
+        // instruction budget lets the abandoned thread wind down.
+        let slow = RunSpec::new(
+            "slow",
+            ProgramSpec::Spin { iters: i64::MAX },
+            CodegenOpts::mips64(),
+            AbiMode::Mips64,
+        )
+        .with_budget(50_000_000)
+        .with_deadline(Duration::from_millis(5));
+        let fast = RunSpec::new(
+            "fast",
+            ProgramSpec::Exit { code: 1 },
+            CodegenOpts::mips64(),
+            AbiMode::Mips64,
+        )
+        .with_deadline(Duration::from_secs(60));
+        let reports = Harness::new(2).run(&registry, &[slow, fast]);
+        assert_eq!(reports[0].outcome, CaseOutcome::DeadlineExceeded);
+        assert_eq!(reports[1].outcome, CaseOutcome::Exited(ExitStatus::Code(1)));
+    }
+
+    #[test]
+    fn sharded_sessions_merge_to_the_unsharded_run() {
+        let registry = Registry::builtin();
+        let specs: Vec<RunSpec> = (0..11)
+            .map(|i| exit_with_seed_spec(&format!("case-{i}"), i * 3))
+            .collect();
+        let full = Harness::new(4).run(&registry, &specs);
+        let shards: Vec<Vec<(usize, CaseReport)>> = (0..3)
+            .map(|index| {
+                let opts = SessionOpts {
+                    shard: Some(Shard { index, count: 3 }),
+                    ..SessionOpts::default()
+                };
+                let session = Harness::new(2).run_session(&registry, &specs, &opts);
+                // A shard owns exactly its round-robin indices.
+                for (i, _) in &session.reports {
+                    assert_eq!(i % 3, index);
+                }
+                session.reports
+            })
+            .collect();
+        let merged = merge_shards(shards);
+        assert_eq!(merged.len(), full.len());
+        for (a, b) in merged.iter().zip(&full) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.outcome, b.outcome);
+            assert_eq!(a.metrics, b.metrics);
+        }
+    }
+
+    #[test]
+    fn shard_parsing_accepts_i_slash_n_only() {
+        assert_eq!(Shard::parse("0/2"), Ok(Shard { index: 0, count: 2 }));
+        assert_eq!(Shard::parse("1/2"), Ok(Shard { index: 1, count: 2 }));
+        assert!(Shard::parse("2/2").is_err());
+        assert!(Shard::parse("0/0").is_err());
+        assert!(Shard::parse("1").is_err());
+        assert!(Shard::parse("a/b").is_err());
+    }
+
+    #[test]
+    fn on_report_fires_once_per_owned_case() {
+        let registry = Registry::builtin();
+        let specs: Vec<RunSpec> = (0..10)
+            .map(|i| exit_with_seed_spec(&format!("case-{i}"), i))
+            .collect();
+        let seen = Mutex::new(Vec::new());
+        let callback = |index: usize, report: &CaseReport, cached: bool| {
+            assert!(!cached);
+            seen.lock().unwrap().push((index, report.name.clone()));
+        };
+        let opts = SessionOpts {
+            on_report: Some(&callback),
+            ..SessionOpts::default()
+        };
+        let session = Harness::new(4).run_session(&registry, &specs, &opts);
+        assert_eq!(session.cache_hits, 0);
+        assert_eq!(session.cache_misses, 10);
+        let mut seen = seen.into_inner().unwrap();
+        seen.sort();
+        let expected: Vec<(usize, String)> = (0..10).map(|i| (i, format!("case-{i}"))).collect();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn run_spec_round_trips_through_json() {
+        let spec = RunSpec::new(
+            "rt",
+            ProgramSpec::Bodiag {
+                region: "stack".to_string(),
+                tail: 0,
+                access: "write".to_string(),
+                idiom: "loop".to_string(),
+                len: 33,
+                variant: "min".to_string(),
+            },
+            CodegenOpts::purecap_small_clc(),
+            AbiMode::CheriAbi,
+        )
+        .with_seed(9)
+        .with_budget(1_000_000)
+        .with_deadline(Duration::from_millis(750))
+        .with_asan(false)
+        .with_l2_size(256 * 1024);
+        let text = spec.to_json().to_string();
+        let back = RunSpec::from_json(&json::parse(&text).expect("parses")).expect("decodes");
+        assert_eq!(back, spec);
+        assert_eq!(back.to_json().to_string(), text);
+    }
+
+    #[test]
+    fn reports_round_trip_through_json() {
+        let registry = Registry::builtin();
+        let statuses = [
+            CaseOutcome::Exited(ExitStatus::Code(7)),
+            CaseOutcome::Exited(ExitStatus::Fault(TrapCause::Cap(CapFault::LengthViolation))),
+            CaseOutcome::Exited(ExitStatus::Fault(TrapCause::Vm(VmError::Unmapped(4096)))),
+            CaseOutcome::Exited(ExitStatus::SanitizerAbort),
+            CaseOutcome::Exited(ExitStatus::BudgetExhausted),
+            CaseOutcome::Exited(ExitStatus::Signaled(9)),
+            CaseOutcome::LoadFailed("no entry".to_string()),
+            CaseOutcome::Panicked("builder \"exploded\"\n".to_string()),
+            CaseOutcome::DeadlineExceeded,
+        ];
+        for outcome in statuses {
+            let report = CaseReport {
+                name: "rt".to_string(),
+                seed: 3,
+                outcome,
+                console: "hello\n".to_string(),
+                metrics: Metrics {
+                    instructions: 10,
+                    cycles: 25,
+                    l2_misses: 1,
+                    syscalls: 2,
+                },
+                wall: Duration::from_micros(1234),
+                cap_cdf: None,
+            };
+            let text = report.to_json().to_string();
+            let back =
+                CaseReport::from_json(&json::parse(&text).expect("parses")).expect("decodes");
+            assert_eq!(back, report);
+            assert_eq!(back.to_json().to_string(), text, "byte-identical re-encode");
+        }
+        // And a real run's report round-trips too.
+        let report = execute_spec(&registry, &exit_with_seed_spec("real", 5));
+        let back =
+            CaseReport::from_json(&json::parse(&report.to_json().to_string()).expect("parses"))
+                .expect("decodes");
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn tagged_lines_carry_the_submission_index() {
+        let report = CaseReport {
+            name: "t".to_string(),
+            seed: 0,
+            outcome: CaseOutcome::Exited(ExitStatus::Code(0)),
+            console: String::new(),
+            metrics: Metrics::default(),
+            wall: Duration::ZERO,
+            cap_cdf: None,
+        };
+        let line = report.to_json_tagged(12).to_string();
+        assert!(line.starts_with("{\"case\":12,\"name\":\"t\""), "{line}");
+    }
+
+    #[test]
+    fn traced_specs_collect_the_capability_cdf() {
+        let registry = Registry::builtin();
+        let spec = exit_with_seed_spec("traced", 0).with_trace(true);
+        let report = execute_spec(&registry, &spec);
+        let cdf = report.cap_cdf.expect("trace collected");
+        assert!(cdf.total() > 0, "even exit(0) derives capabilities");
+        let untraced = execute_spec(&registry, &exit_with_seed_spec("plain", 0));
+        assert!(untraced.cap_cdf.is_none());
     }
 }

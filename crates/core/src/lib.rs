@@ -43,9 +43,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod debug;
 pub mod guest;
 pub mod harness;
+pub mod json;
+pub mod spec;
 pub mod trace;
 pub mod verify;
 

@@ -1,0 +1,400 @@
+//! Declarative guest-program identities and the lowering registry.
+//!
+//! Before this module, a harness case carried its guest program as an
+//! opaque `Arc<dyn Fn>` closure — impossible to hash, compare, serialize,
+//! or hand to another machine. [`ProgramSpec`] replaces that closure with a
+//! plain-data *name* for the program: every guest program in the repository
+//! (corpus families, bodiagsuite cases, the Figure 4/5 workloads, the
+//! syscall micro-benchmarks, minidb `initdb`) is a variant here, and a
+//! [`Registry`] of per-crate lowering functions turns a variant into an
+//! executable [`Program`] on demand.
+//!
+//! The split matters for layering: this crate sits *below* the crates that
+//! own the program builders (`cheri-corpus`, `bodiagsuite`,
+//! `cheri-workloads`, `cheri-bench`), so the variants live here as pure
+//! data and each crate contributes a [`LowerFn`] that recognises its own
+//! variants. `cheri_bench::registry()` composes the full set; the
+//! substrate crates compose only what they need. Lowering functions are
+//! plain `fn` pointers, so a [`Registry`] is `'static`, trivially
+//! cloneable, and safe to hand to detached deadline-watch threads.
+//!
+//! Because a [`ProgramSpec`] is `Hash + Eq` and round-trips through JSON
+//! ([`ProgramSpec::to_json`] / [`ProgramSpec::from_json`]), the harness can
+//! content-address case reports (see [`crate::cache`]) and split a spec
+//! list across machines (see [`crate::harness::Shard`]).
+
+use crate::guest::GuestOps;
+use crate::json::Json;
+use cheri_isa::codegen::{CodegenOpts, FnBuilder, Val};
+use cheri_rtld::{Program, ProgramBuilder};
+use std::sync::Arc;
+
+/// The declarative identity of one guest program, possibly parameterized.
+///
+/// Variants are *data about which program to build*, not the program
+/// itself; the builder code stays in the crate that owns it and is reached
+/// through a [`Registry`]. The `Exit` / `Spin` / `Boom` probes are lowered
+/// by this crate (see [`Registry::builtin`]) and exist for harness tests
+/// and plumbing checks; everything else is lowered by a downstream crate.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum ProgramSpec {
+    /// Probe: exits with `(code + seed) % 64` (seed-sensitive on purpose,
+    /// so determinism and cache-key tests can distinguish seeds).
+    Exit {
+        /// Base exit code.
+        code: i64,
+    },
+    /// Probe: spins for `iters` loop iterations, then exits 0. Used by the
+    /// deadline and progress tests, which need a case that takes a while.
+    Spin {
+        /// Loop iterations.
+        iters: i64,
+    },
+    /// Probe: the builder panics (exercises harness panic isolation).
+    Boom,
+    /// A named test of the generated corpus (Tables 1/2); the name is
+    /// unique across the FreeBSD-like, pg_regress-like and libc++-like
+    /// suites. Lowered by `cheri-corpus`.
+    Corpus {
+        /// Unique case name, e.g. `arith_sum_17`.
+        case: String,
+    },
+    /// One bodiagsuite case/variant (Table 3), fully described: the region
+    /// labels round-trip through `bodiagsuite`'s parsers. Lowered by
+    /// `bodiagsuite`.
+    Bodiag {
+        /// Region label: `stack` / `heap` / `global` / `intra`.
+        region: String,
+        /// Bytes of struct tail after the array field (`intra` only; 0
+        /// otherwise).
+        tail: u64,
+        /// Access label: `read` / `write`.
+        access: String,
+        /// Idiom label: `direct` / `index` / `loop`.
+        idiom: String,
+        /// Buffer length in bytes.
+        len: u64,
+        /// Variant label: `ok` / `min` / `med` / `large`.
+        variant: String,
+    },
+    /// A named Figure 4 workload (`cheri_workloads::all()`). Lowered by
+    /// `cheri-workloads`.
+    Workload {
+        /// Workload name, e.g. `spec2006-xalancbmk`.
+        name: String,
+    },
+    /// The `tlsish` openssl-`s_server` stand-in (Figure 5). Lowered by
+    /// `cheri-workloads`.
+    Tlsish {
+        /// Number of simulated TLS sessions.
+        sessions: i64,
+    },
+    /// minidb `initdb` with a fixed record count (§5.2 macro-benchmark).
+    /// Lowered by `cheri-corpus`.
+    Initdb {
+        /// Records to insert.
+        records: i64,
+    },
+    /// The Figure 4 `initdb-dynamic` workload: record count varies with
+    /// the input seed as `base_records + (seed % 5) * 20`, so the
+    /// per-seed IQR is meaningful. Lowered by `cheri-corpus`.
+    InitdbDynamic {
+        /// Base record count at seed ≡ 0 (mod 5).
+        base_records: i64,
+    },
+    /// A §5.2 syscall micro-benchmark. Lowered by `cheri-bench`.
+    Micro {
+        /// Benchmark kind: `getpid` / `pipe_rw` / `select` / `fork`.
+        kind: String,
+        /// Iterations of the syscall loop.
+        iters: i64,
+    },
+}
+
+impl ProgramSpec {
+    /// Canonical JSON encoding (`{"program":"exit","code":0}`-style: a
+    /// stable tag plus the variant's parameters, in declaration order).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        match self {
+            ProgramSpec::Exit { code } => Json::obj(vec![
+                ("program", Json::str("exit")),
+                ("code", Json::i64(*code)),
+            ]),
+            ProgramSpec::Spin { iters } => Json::obj(vec![
+                ("program", Json::str("spin")),
+                ("iters", Json::i64(*iters)),
+            ]),
+            ProgramSpec::Boom => Json::obj(vec![("program", Json::str("boom"))]),
+            ProgramSpec::Corpus { case } => Json::obj(vec![
+                ("program", Json::str("corpus")),
+                ("case", Json::str(case.clone())),
+            ]),
+            ProgramSpec::Bodiag {
+                region,
+                tail,
+                access,
+                idiom,
+                len,
+                variant,
+            } => Json::obj(vec![
+                ("program", Json::str("bodiag")),
+                ("region", Json::str(region.clone())),
+                ("tail", Json::u64(*tail)),
+                ("access", Json::str(access.clone())),
+                ("idiom", Json::str(idiom.clone())),
+                ("len", Json::u64(*len)),
+                ("variant", Json::str(variant.clone())),
+            ]),
+            ProgramSpec::Workload { name } => Json::obj(vec![
+                ("program", Json::str("workload")),
+                ("name", Json::str(name.clone())),
+            ]),
+            ProgramSpec::Tlsish { sessions } => Json::obj(vec![
+                ("program", Json::str("tlsish")),
+                ("sessions", Json::i64(*sessions)),
+            ]),
+            ProgramSpec::Initdb { records } => Json::obj(vec![
+                ("program", Json::str("initdb")),
+                ("records", Json::i64(*records)),
+            ]),
+            ProgramSpec::InitdbDynamic { base_records } => Json::obj(vec![
+                ("program", Json::str("initdb-dynamic")),
+                ("base_records", Json::i64(*base_records)),
+            ]),
+            ProgramSpec::Micro { kind, iters } => Json::obj(vec![
+                ("program", Json::str("micro")),
+                ("kind", Json::str(kind.clone())),
+                ("iters", Json::i64(*iters)),
+            ]),
+        }
+    }
+
+    /// Decodes [`ProgramSpec::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the value is not a recognised encoding.
+    pub fn from_json(v: &Json) -> Result<ProgramSpec, String> {
+        let tag = v.field("program")?.as_str()?;
+        match tag {
+            "exit" => Ok(ProgramSpec::Exit {
+                code: v.field("code")?.as_i64()?,
+            }),
+            "spin" => Ok(ProgramSpec::Spin {
+                iters: v.field("iters")?.as_i64()?,
+            }),
+            "boom" => Ok(ProgramSpec::Boom),
+            "corpus" => Ok(ProgramSpec::Corpus {
+                case: v.field("case")?.as_str()?.to_string(),
+            }),
+            "bodiag" => Ok(ProgramSpec::Bodiag {
+                region: v.field("region")?.as_str()?.to_string(),
+                tail: v.field("tail")?.as_u64()?,
+                access: v.field("access")?.as_str()?.to_string(),
+                idiom: v.field("idiom")?.as_str()?.to_string(),
+                len: v.field("len")?.as_u64()?,
+                variant: v.field("variant")?.as_str()?.to_string(),
+            }),
+            "workload" => Ok(ProgramSpec::Workload {
+                name: v.field("name")?.as_str()?.to_string(),
+            }),
+            "tlsish" => Ok(ProgramSpec::Tlsish {
+                sessions: v.field("sessions")?.as_i64()?,
+            }),
+            "initdb" => Ok(ProgramSpec::Initdb {
+                records: v.field("records")?.as_i64()?,
+            }),
+            "initdb-dynamic" => Ok(ProgramSpec::InitdbDynamic {
+                base_records: v.field("base_records")?.as_i64()?,
+            }),
+            "micro" => Ok(ProgramSpec::Micro {
+                kind: v.field("kind")?.as_str()?.to_string(),
+                iters: v.field("iters")?.as_i64()?,
+            }),
+            other => Err(format!("unknown program tag `{other}`")),
+        }
+    }
+}
+
+/// One crate's lowering function: returns `Some(program)` for the variants
+/// it owns, `None` for everything else. Must be a plain `fn` so the
+/// registry stays `'static` and copyable across threads.
+pub type LowerFn = fn(&ProgramSpec, CodegenOpts, u64) -> Option<Program>;
+
+/// An ordered set of [`LowerFn`]s; the first one to claim a spec wins.
+#[derive(Clone)]
+pub struct Registry {
+    lowerers: Arc<Vec<LowerFn>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Registry({} lowerers)", self.lowerers.len())
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::builtin()
+    }
+}
+
+impl Registry {
+    /// A registry knowing only this crate's probe programs (`Exit`,
+    /// `Spin`, `Boom`).
+    #[must_use]
+    pub fn builtin() -> Registry {
+        Registry {
+            lowerers: Arc::new(vec![lower_builtin as LowerFn]),
+        }
+    }
+
+    /// Extends the registry with another crate's lowering function
+    /// (builder-style, so crates can chain their dependencies' sets).
+    #[must_use]
+    pub fn with(self, f: LowerFn) -> Registry {
+        let mut lowerers = (*self.lowerers).clone();
+        lowerers.push(f);
+        Registry {
+            lowerers: Arc::new(lowerers),
+        }
+    }
+
+    /// Lowers `spec` to an executable program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no registered lowerer claims the spec — inside a harness
+    /// worker this is confined to the case's report, like any builder
+    /// panic.
+    #[must_use]
+    pub fn lower(&self, spec: &ProgramSpec, opts: CodegenOpts, seed: u64) -> Program {
+        for f in self.lowerers.iter() {
+            if let Some(program) = f(spec, opts, seed) {
+                return program;
+            }
+        }
+        panic!("no registered lowering for program spec {spec:?}")
+    }
+}
+
+/// Lowers the probe variants owned by this crate.
+fn lower_builtin(spec: &ProgramSpec, opts: CodegenOpts, seed: u64) -> Option<Program> {
+    match spec {
+        ProgramSpec::Exit { code } => {
+            let code = *code;
+            Some(single_main("exit", opts, |f| {
+                f.li(Val(0), (code + seed as i64) % 64);
+                f.sys_exit(Val(0));
+            }))
+        }
+        ProgramSpec::Spin { iters } => {
+            let iters = *iters;
+            Some(single_main("spin", opts, |f| {
+                f.li(Val(0), 0);
+                let top = f.label();
+                let done = f.label();
+                f.bind(top);
+                f.li(Val(1), iters);
+                f.sub(Val(1), Val(0), Val(1));
+                f.beqz(Val(1), done);
+                f.add_imm(Val(0), Val(0), 1);
+                f.jmp(top);
+                f.bind(done);
+                f.sys_exit_imm(0);
+            }))
+        }
+        ProgramSpec::Boom => panic!("probe program `boom` always fails to build"),
+        _ => None,
+    }
+}
+
+/// Builds a single-object program whose `main` is emitted by `body`.
+pub(crate) fn single_main(
+    name: &str,
+    opts: CodegenOpts,
+    body: impl FnOnce(&mut FnBuilder<'_>),
+) -> Program {
+    let mut pb = ProgramBuilder::new(name);
+    let mut exe = pb.object(name);
+    {
+        let mut f = FnBuilder::begin(&mut exe, "main", opts);
+        body(&mut f);
+    }
+    exe.set_entry("main");
+    pb.add(exe.finish());
+    pb.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn all_variants() -> Vec<ProgramSpec> {
+        vec![
+            ProgramSpec::Exit { code: 7 },
+            ProgramSpec::Spin { iters: 100 },
+            ProgramSpec::Boom,
+            ProgramSpec::Corpus {
+                case: "arith_sum_17".to_string(),
+            },
+            ProgramSpec::Bodiag {
+                region: "intra".to_string(),
+                tail: 7,
+                access: "write".to_string(),
+                idiom: "direct".to_string(),
+                len: 25,
+                variant: "med".to_string(),
+            },
+            ProgramSpec::Workload {
+                name: "auto-qsort".to_string(),
+            },
+            ProgramSpec::Tlsish { sessions: 200 },
+            ProgramSpec::Initdb { records: 420 },
+            ProgramSpec::InitdbDynamic { base_records: 360 },
+            ProgramSpec::Micro {
+                kind: "select".to_string(),
+                iters: 200,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_variant_round_trips_through_json() {
+        for spec in all_variants() {
+            let text = spec.to_json().to_string();
+            let back =
+                ProgramSpec::from_json(&json::parse(&text).expect("parses")).expect("decodes");
+            assert_eq!(back, spec, "{text}");
+            // Canonical: re-encoding is byte-identical.
+            assert_eq!(back.to_json().to_string(), text);
+        }
+    }
+
+    #[test]
+    fn unknown_tags_are_rejected() {
+        let v = json::parse("{\"program\":\"no-such-program\"}").expect("parses");
+        assert!(ProgramSpec::from_json(&v).is_err());
+    }
+
+    #[test]
+    fn builtin_registry_lowers_probes_only() {
+        let reg = Registry::builtin();
+        let p = reg.lower(&ProgramSpec::Exit { code: 3 }, CodegenOpts::purecap(), 0);
+        assert!(!p.objects.is_empty());
+        let spin = reg.lower(&ProgramSpec::Spin { iters: 5 }, CodegenOpts::mips64(), 0);
+        assert!(!spin.objects.is_empty());
+        let unclaimed = std::panic::catch_unwind(|| {
+            reg.lower(
+                &ProgramSpec::Workload {
+                    name: "auto-qsort".to_string(),
+                },
+                CodegenOpts::purecap(),
+                0,
+            )
+        });
+        assert!(unclaimed.is_err(), "workload must not lower from builtin");
+    }
+}

@@ -17,7 +17,7 @@ pub const MIN_EXP: u32 = 2;
 pub const MAX_EXP: u32 = 23;
 
 /// Cumulative capability counts per source and size bucket.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct SizeCdf {
     /// `counts[source][k]` = number of capabilities with
     /// `length <= 2^(MIN_EXP + k)`; the final bucket also absorbs larger

@@ -1,17 +1,23 @@
 //! Suite runner: executes a corpus under one ABI and tallies Table 1 rows.
 //!
 //! Execution goes through the unified [`cheriabi::harness`]: each test case
-//! becomes a [`RunSpec`] and the suite fans out across a worker pool, with
-//! reports reassembled in corpus order so the tallies (and the failure list
-//! feeding Table 2) are identical at any `--jobs` level.
+//! becomes a declarative [`RunSpec`] naming its program
+//! ([`ProgramSpec::Corpus`] keyed by the case's unique name), and the suite
+//! fans out across a worker pool with reports reassembled in corpus order,
+//! so the tallies (and the failure list feeding Table 2) are identical at
+//! any `--jobs` level. Because specs are plain data, suite runs compose
+//! with the harness's report cache and `--shard` splitting; this module's
+//! [`lower`] function is the corpus's entry in the program registry.
 
 use crate::compat::Category;
 use cheri_isa::codegen::CodegenOpts;
 use cheri_kernel::{AbiMode, ExitStatus};
 use cheri_rtld::Program;
-use cheriabi::harness::{CaseOutcome, Harness, RunSpec};
+use cheriabi::harness::{CaseOutcome, CaseReport, Harness, RunSpec};
+use cheriabi::spec::{ProgramSpec, Registry};
+use std::collections::HashMap;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Exit code a test uses to report "skipped" (the automake convention).
 pub const SKIP_EXIT_CODE: i64 = 77;
@@ -32,13 +38,18 @@ pub enum TestExpectation {
     SkipCheriOnly,
 }
 
+/// Builds the guest program for a codegen configuration (shared so the
+/// registry can hand it to a worker thread).
+pub type CaseBuilder = Arc<dyn Fn(CodegenOpts) -> Program + Send + Sync>;
+
 /// One corpus test.
 pub struct TestCase {
-    /// Unique name.
+    /// The case's identity in the program registry
+    /// ([`ProgramSpec::Corpus`]): a name may recur across suites, but
+    /// only ever for the identical program.
     pub name: String,
-    /// Builds the guest program for a codegen configuration (shared so the
-    /// harness can hand it to a worker thread).
-    pub build: Arc<dyn Fn(CodegenOpts) -> Program + Send + Sync>,
+    /// Builds the guest program.
+    pub build: CaseBuilder,
     /// Expected behaviour.
     pub expectation: TestExpectation,
 }
@@ -58,6 +69,8 @@ pub enum FailureKind {
     Load(String),
     /// Building or running the case panicked in the harness worker.
     Panicked(String),
+    /// The case exceeded its wall-clock deadline.
+    Deadline,
 }
 
 impl FailureKind {
@@ -77,6 +90,7 @@ impl fmt::Display for FailureKind {
             FailureKind::Status(status) => write!(f, "{status:?}"),
             FailureKind::Load(e) => write!(f, "load failed: {e}"),
             FailureKind::Panicked(e) => write!(f, "panicked: {e}"),
+            FailureKind::Deadline => write!(f, "deadline exceeded"),
         }
     }
 }
@@ -86,7 +100,8 @@ impl fmt::Display for FailureKind {
 pub enum SuiteOutcome {
     /// Exit code 0.
     Pass,
-    /// Non-zero exit, trap, budget exhaustion, load failure, or panic.
+    /// Non-zero exit, trap, budget exhaustion, load failure, panic, or
+    /// missed deadline.
     Fail(FailureKind),
     /// Exit code [`SKIP_EXIT_CODE`].
     Skip,
@@ -138,17 +153,82 @@ pub fn opts_for(abi: AbiMode) -> CodegenOpts {
 /// Instruction budget per corpus test.
 const CASE_BUDGET: u64 = 20_000_000;
 
+/// Every corpus case builder, keyed by name — the lookup table behind
+/// [`ProgramSpec::Corpus`] lowering. Built once, on first use; the case
+/// *lists* are cheap to build (the builders are closures, invoked only
+/// when a case actually lowers). The libc++-like subsuite reuses whole
+/// families of the FreeBSD-like suite, so a name can appear in several
+/// suites — always denoting the identical program (same family
+/// constructor, same parameters), which is what makes name-keyed lowering
+/// (and name-keyed report caching) sound.
+fn case_builders() -> &'static HashMap<String, CaseBuilder> {
+    static MAP: OnceLock<HashMap<String, CaseBuilder>> = OnceLock::new();
+    MAP.get_or_init(|| {
+        let mut map = HashMap::new();
+        for case in crate::families::freebsd_suite()
+            .into_iter()
+            .chain(crate::families::libcxx_suite())
+            .chain(crate::minidb::pg_regress_suite())
+        {
+            map.entry(case.name.clone()).or_insert(case.build);
+        }
+        map
+    })
+}
+
+/// This crate's entry in the program registry: lowers [`ProgramSpec::Corpus`]
+/// (by unique case name), [`ProgramSpec::Initdb`] and
+/// [`ProgramSpec::InitdbDynamic`] (the Figure 4 workload, whose record
+/// count varies with the seed as `base_records + (seed % 5) * 20`).
+///
+/// # Panics
+///
+/// Panics when a `Corpus` spec names a case no suite defines — inside a
+/// harness worker this is confined to the case's report.
+#[must_use]
+pub fn lower(spec: &ProgramSpec, opts: CodegenOpts, seed: u64) -> Option<Program> {
+    match spec {
+        ProgramSpec::Corpus { case } => {
+            let build = case_builders()
+                .get(case)
+                .unwrap_or_else(|| panic!("no corpus case named `{case}`"));
+            Some(build(opts))
+        }
+        ProgramSpec::Initdb { records } => Some(crate::minidb::build_initdb(opts, *records)),
+        ProgramSpec::InitdbDynamic { base_records } => Some(crate::minidb::build_initdb(
+            opts,
+            base_records + (seed % 5) as i64 * 20,
+        )),
+        _ => None,
+    }
+}
+
+/// A registry sufficient for everything this crate lowers.
+#[must_use]
+pub fn registry() -> Registry {
+    Registry::builtin().with(lower)
+}
+
 /// Lowers one test into a harness spec for `abi`.
 #[must_use]
 pub fn case_spec(case: &TestCase, abi: AbiMode) -> RunSpec {
-    let build = Arc::clone(&case.build);
     RunSpec::new(
         case.name.clone(),
-        Arc::new(move |opts, _seed| build(opts)),
+        ProgramSpec::Corpus {
+            case: case.name.clone(),
+        },
         opts_for(abi),
         abi,
     )
     .with_budget(CASE_BUDGET)
+}
+
+/// Lowers a whole suite into harness specs for `abi`, in corpus order —
+/// the input to [`suite_from_reports`], and to the harness's caching /
+/// sharding / streaming session modes in between.
+#[must_use]
+pub fn suite_specs(cases: &[TestCase], abi: AbiMode) -> Vec<RunSpec> {
+    cases.iter().map(|case| case_spec(case, abi)).collect()
 }
 
 /// Scores a harness outcome as a suite outcome.
@@ -160,22 +240,15 @@ pub fn score(outcome: &CaseOutcome) -> SuiteOutcome {
         CaseOutcome::Exited(other) => SuiteOutcome::Fail(FailureKind::Status(*other)),
         CaseOutcome::LoadFailed(e) => SuiteOutcome::Fail(FailureKind::Load(e.clone())),
         CaseOutcome::Panicked(e) => SuiteOutcome::Fail(FailureKind::Panicked(e.clone())),
+        CaseOutcome::DeadlineExceeded => SuiteOutcome::Fail(FailureKind::Deadline),
     }
 }
 
-/// Runs one test under `abi` in a fresh kernel.
+/// Tallies suite reports (in corpus order) into one Table 1 row.
 #[must_use]
-pub fn run_case(case: &TestCase, abi: AbiMode) -> SuiteOutcome {
-    score(&cheriabi::harness::execute_spec(&case_spec(case, abi)).outcome)
-}
-
-/// Runs a whole suite under `abi` across `jobs` workers.
-#[must_use]
-pub fn run_suite_jobs(cases: &[TestCase], abi: AbiMode, jobs: usize) -> SuiteResult {
-    let specs: Vec<RunSpec> = cases.iter().map(|case| case_spec(case, abi)).collect();
-    let reports = Harness::new(jobs).run(&specs);
+pub fn suite_from_reports<'a>(reports: impl IntoIterator<Item = &'a CaseReport>) -> SuiteResult {
     let mut result = SuiteResult::default();
-    for report in &reports {
+    for report in reports {
         match score(&report.outcome) {
             SuiteOutcome::Pass => result.pass += 1,
             SuiteOutcome::Skip => result.skip += 1,
@@ -186,6 +259,19 @@ pub fn run_suite_jobs(cases: &[TestCase], abi: AbiMode, jobs: usize) -> SuiteRes
         }
     }
     result
+}
+
+/// Runs one test under `abi` in a fresh kernel.
+#[must_use]
+pub fn run_case(case: &TestCase, abi: AbiMode) -> SuiteOutcome {
+    score(&cheriabi::harness::execute_spec(&registry(), &case_spec(case, abi)).outcome)
+}
+
+/// Runs a whole suite under `abi` across `jobs` workers.
+#[must_use]
+pub fn run_suite_jobs(cases: &[TestCase], abi: AbiMode, jobs: usize) -> SuiteResult {
+    let reports = Harness::new(jobs).run(&registry(), &suite_specs(cases, abi));
+    suite_from_reports(&reports)
 }
 
 /// Runs a whole suite under `abi` sequentially.

@@ -107,7 +107,8 @@ fn suite_results_are_identical_at_any_job_count() {
     );
 }
 
-/// A case whose builder panics becomes a Fail report (its own failure
+/// A case whose lowering panics — here, a suite entry naming a program the
+/// registry does not define — becomes a Fail report (its own failure
 /// entry) without taking down the suite or any sibling case.
 #[test]
 fn panicking_case_is_a_fail_report() {
@@ -117,7 +118,7 @@ fn panicking_case_is_a_fail_report() {
         3,
         TestCase {
             name: "corpus-panics".to_string(),
-            build: std::sync::Arc::new(|_| panic!("corpus builder exploded")),
+            build: std::sync::Arc::new(|_| unreachable!("never looked up")),
             expectation: TestExpectation::FailBoth,
         },
     );
@@ -131,7 +132,37 @@ fn panicking_case_is_a_fail_report() {
         .expect("panicking case reported as a failure");
     assert_eq!(
         kind,
-        FailureKind::Panicked("corpus builder exploded".to_string())
+        FailureKind::Panicked("no corpus case named `corpus-panics`".to_string())
+    );
+}
+
+/// A case that exceeds its wall-clock deadline is scored as its own
+/// failure kind instead of stalling a harness worker.
+#[test]
+fn deadline_miss_is_a_fail_report() {
+    use cheri_corpus::suite::{registry, score, suite_from_reports};
+    use cheriabi::harness::{Harness, RunSpec};
+    use cheriabi::spec::ProgramSpec;
+    use std::time::Duration;
+
+    let spin = RunSpec::new(
+        "spins-forever",
+        ProgramSpec::Spin { iters: i64::MAX },
+        CodegenOpts::mips64(),
+        AbiMode::Mips64,
+    )
+    .with_budget(50_000_000)
+    .with_deadline(Duration::from_millis(5));
+    let reports = Harness::new(2).run(&registry(), &[spin]);
+    assert_eq!(
+        score(&reports[0].outcome),
+        SuiteOutcome::Fail(FailureKind::Deadline)
+    );
+    let tally = suite_from_reports(&reports);
+    assert_eq!(tally.fail, 1);
+    assert_eq!(
+        tally.failures,
+        vec![("spins-forever".to_string(), FailureKind::Deadline)]
     );
 }
 

@@ -22,7 +22,7 @@
 //!   (9–10 instructions per access) plus stack redzone poisoning; the
 //!   software baseline the paper compares against in §5.2 and Table 3.
 
-use crate::object::ObjectBuilder;
+use crate::object::{Object, ObjectBuilder};
 use crate::{creg, ireg, CReg, IReg, Instr, Label, Width};
 
 /// Which process ABI code is generated for (paper §4).
@@ -36,7 +36,7 @@ pub enum Abi {
 }
 
 /// Compilation options, including the paper's ablation toggles.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct CodegenOpts {
     /// Target ABI.
     pub abi: Abi,
@@ -1234,10 +1234,118 @@ impl<'a> FnBuilder<'a> {
     }
 }
 
+/// A stable fingerprint of instruction selection: the FNV-1a hash of the
+/// code a fixed probe program lowers to under every stock [`CodegenOpts`]
+/// configuration.
+///
+/// The harness's content-addressed report cache
+/// (`cheriabi::cache::ReportCache`) salts every cache key with this value,
+/// so *any* change to how this module lowers guest code — a reordered
+/// emission, a new bounds check, a different spill width — invalidates all
+/// cached reports wholesale without anyone remembering to bump a version
+/// number. The probe deliberately walks the ABI-sensitive surface: stack
+/// derivations, near and far GOT accesses, capability spills, pointer
+/// arithmetic, sanitizer instrumentation, calls and syscalls.
+#[must_use]
+pub fn fingerprint() -> u64 {
+    // FNV-1a, hand-rolled: `DefaultHasher` is unstable across Rust
+    // releases, which would silently invalidate caches on toolchain bumps
+    // (and worse, *fail* to invalidate them within one).
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for opts in [
+        CodegenOpts::mips64(),
+        CodegenOpts::mips64_asan(),
+        CodegenOpts::purecap(),
+        CodegenOpts::purecap_small_clc(),
+        CodegenOpts::purecap_c256(),
+        CodegenOpts::purecap_subobject(),
+    ] {
+        eat(format!("{opts:?}").as_bytes());
+        let obj = fingerprint_probe(opts);
+        for instr in &obj.code {
+            eat(format!("{instr:?}").as_bytes());
+            eat(b";");
+        }
+        eat(format!("got={}", obj.got.len()).as_bytes());
+    }
+    hash
+}
+
+/// Lowers the fixed probe function used by [`fingerprint`].
+fn fingerprint_probe(opts: CodegenOpts) -> Object {
+    let mut ob = ObjectBuilder::new("fingerprint-probe");
+    ob.add_data("g_near", &[1, 2, 3, 4, 5, 6, 7, 8], 8);
+    // Push a later symbol's GOT slot beyond the small-CLC immediate range
+    // so the far-access materialisation path is part of the fingerprint.
+    for i in 0..200 {
+        ob.got_slot(&format!("pad{i}"));
+    }
+    ob.add_data("g_far", &[8, 7, 6, 5, 4, 3, 2, 1], 8);
+    {
+        let mut f = FnBuilder::begin(&mut ob, "main", opts);
+        f.enter(192);
+        f.li(Val(0), 41);
+        f.add_imm(Val(1), Val(0), 1);
+        f.mul(Val(2), Val(0), Val(1));
+        // Stack derivation (bounded under CheriABI) + every access width.
+        f.addr_of_stack(Ptr(0), 0, 64);
+        for (i, w) in [Width::B, Width::H, Width::W, Width::D]
+            .into_iter()
+            .enumerate()
+        {
+            f.store(Val(2), Ptr(0), 8 * i as i64, w);
+            f.load(Val(3), Ptr(0), 8 * i as i64, w, false);
+        }
+        // Sub-object derivation and pointer arithmetic.
+        f.addr_of_field(Ptr(1), Ptr(0), 8, 16);
+        f.ptr_add_imm(Ptr(2), Ptr(1), 4);
+        f.ptr_diff(Val(4), Ptr(2), Ptr(1));
+        // Capability-width spill/reload (8 vs 16 vs 32 bytes).
+        f.spill_ptr(Ptr(0), f.ptr_slot(8));
+        f.reload_ptr(Ptr(3), f.ptr_slot(8));
+        f.store_ptr(Ptr(1), Ptr(0), 16);
+        f.load_ptr(Ptr(4), Ptr(0), 16);
+        // Near and far GOT accesses (small vs large CLC immediates).
+        f.load_global_ptr(Ptr(5), "g_near");
+        f.load_global_ptr(Ptr(6), "g_far");
+        // Control flow, calls, and the syscall veneer.
+        let out = f.label();
+        f.beqz(Val(3), out);
+        f.call_global("helper");
+        f.bind(out);
+        f.set_arg_val(0, Val(2));
+        f.syscall(1);
+        f.leave_ret();
+    }
+    {
+        let mut f = FnBuilder::begin(&mut ob, "helper", opts);
+        f.enter(32);
+        f.tls_ptr(Ptr(0));
+        f.ptr_is_null(Val(0), Ptr(0));
+        f.set_ret_val(Val(0));
+        f.leave_ret();
+    }
+    ob.set_entry("main");
+    ob.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::object::ObjectBuilder;
+
+    #[test]
+    fn fingerprint_is_deterministic_and_nonzero() {
+        let a = fingerprint();
+        assert_eq!(a, fingerprint());
+        assert_ne!(a, 0);
+    }
 
     fn count_instrs(opts: CodegenOpts, f: impl FnOnce(&mut FnBuilder<'_>)) -> u32 {
         let mut ob = ObjectBuilder::new("t");

@@ -12,7 +12,7 @@ use std::fmt;
 
 /// Global kernel configuration, including the design-choice toggles used by
 /// the ablation benchmarks (DESIGN.md D1/D4).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct KernelConfig {
     /// Capability format for all address spaces (D1).
     pub cap_fmt: CapFormat,

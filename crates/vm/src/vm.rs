@@ -737,7 +737,7 @@ impl Vm {
     ///
     /// [`VmError::NoSuchSpace`] for an unknown space.
     pub fn swap_out_space(&mut self, id: AsId, max: usize) -> Result<usize, VmError> {
-        let vpns: Vec<u64> = {
+        let mut vpns: Vec<u64> = {
             let space = self.spaces.get(&id).ok_or(VmError::NoSuchSpace)?;
             space
                 .pages
@@ -746,6 +746,11 @@ impl Vm {
                 .map(|(&vpn, _)| vpn)
                 .collect()
         };
+        // The page table is a HashMap; evict in address order rather than
+        // (seeded, per-process) iteration order so that *which* pages a
+        // bounded pageout takes — and every fault count and cycle total
+        // downstream of it — is identical across runs and shards.
+        vpns.sort_unstable();
         let mut n = 0;
         for vpn in vpns {
             if n >= max {

@@ -137,6 +137,36 @@ pub fn all() -> Vec<Workload> {
     v
 }
 
+/// This crate's entry in the program registry: lowers
+/// [`cheriabi::spec::ProgramSpec::Workload`] (by Figure 4 name) and
+/// [`cheriabi::spec::ProgramSpec::Tlsish`].
+///
+/// # Panics
+///
+/// Panics when a `Workload` spec names a workload [`all`] does not define
+/// — inside a harness worker this is confined to the case's report.
+#[must_use]
+pub fn lower(spec: &cheriabi::spec::ProgramSpec, opts: CodegenOpts, seed: u64) -> Option<Program> {
+    use cheriabi::spec::ProgramSpec;
+    match spec {
+        ProgramSpec::Workload { name } => {
+            let w = all()
+                .into_iter()
+                .find(|w| w.name == name)
+                .unwrap_or_else(|| panic!("no workload named `{name}`"));
+            Some((w.build)(opts, seed))
+        }
+        ProgramSpec::Tlsish { sessions } => Some(tlsish::build(opts, *sessions)),
+        _ => None,
+    }
+}
+
+/// A registry sufficient for everything this crate lowers.
+#[must_use]
+pub fn registry() -> cheriabi::spec::Registry {
+    cheriabi::spec::Registry::builtin().with(lower)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

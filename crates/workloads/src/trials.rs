@@ -9,41 +9,50 @@
 //! reports to [`OverheadRow`]s. Because reports come back in submission
 //! order, the rows — and every statistic computed from them — are
 //! identical at any `--jobs` level.
+//!
+//! A [`Trial`] names its guest program declaratively (a
+//! [`ProgramSpec`]), so the caller must supply a [`Registry`] that can
+//! lower every trial it passes — [`crate::registry`] covers the Figure 4
+//! workloads; `cheri_bench::registry()` covers everything.
 
 use crate::Workload;
 use cheri_isa::codegen::CodegenOpts;
 use cheri_kernel::{AbiMode, ExitStatus};
-use cheriabi::harness::{BuildFn, CaseOutcome, CaseReport, Harness, RunSpec};
+use cheriabi::harness::{CaseOutcome, CaseReport, Harness, RunSpec};
+use cheriabi::spec::{ProgramSpec, Registry};
 use cheriabi::Metrics;
-use std::sync::Arc;
 
 /// Instruction budget per trial run (matches the `cheri-bench` default).
 pub const TRIAL_BUDGET: u64 = 2_000_000_000;
 
 /// One named workload prepared for trial batching.
-#[derive(Clone)]
+#[derive(Clone, Debug)]
 pub struct Trial {
     /// Display name (the Figure 4 x-axis label).
     pub name: String,
-    /// Builds the guest program for a configuration and input seed.
-    pub build: BuildFn,
+    /// Declarative identity of the guest program.
+    pub program: ProgramSpec,
 }
 
 impl Trial {
-    /// A trial from a name and a shareable builder.
+    /// A trial from a name and a program spec.
     #[must_use]
-    pub fn new(name: impl Into<String>, build: BuildFn) -> Trial {
+    pub fn new(name: impl Into<String>, program: ProgramSpec) -> Trial {
         Trial {
             name: name.into(),
-            build,
+            program,
         }
     }
 
     /// A trial from a [`Workload`].
     #[must_use]
     pub fn from_workload(w: &Workload) -> Trial {
-        let build = w.build;
-        Trial::new(w.name, Arc::new(build))
+        Trial::new(
+            w.name,
+            ProgramSpec::Workload {
+                name: w.name.to_string(),
+            },
+        )
     }
 }
 
@@ -68,23 +77,18 @@ fn clean_metrics(report: &CaseReport) -> (ExitStatus, Metrics) {
     }
 }
 
-/// Runs every trial at every seed under both ABIs across `jobs` workers
-/// and reduces to one [`OverheadRow`] per trial.
-///
-/// # Panics
-///
-/// Panics if any run fails to load, panics, or exits abnormally, or if the
-/// two ABIs disagree on a workload's result — Figure 4 only compares runs
-/// that computed the same answer.
+/// The paired spec matrix for `trials` × `seeds` (mips64 then purecap, per
+/// seed, workload-major) — the input to [`rows_from_reports`], and to the
+/// harness's caching / sharding / streaming session modes in between.
 #[must_use]
-pub fn overhead_rows(trials: &[Trial], seeds: &[u64], jobs: usize) -> Vec<OverheadRow> {
+pub fn trial_specs(trials: &[Trial], seeds: &[u64]) -> Vec<RunSpec> {
     let mut specs = Vec::with_capacity(trials.len() * seeds.len() * 2);
     for trial in trials {
         for &seed in seeds {
             specs.push(
                 RunSpec::new(
                     format!("{}-s{}-mips64", trial.name, seed),
-                    Arc::clone(&trial.build),
+                    trial.program.clone(),
                     CodegenOpts::mips64(),
                     AbiMode::Mips64,
                 )
@@ -94,7 +98,7 @@ pub fn overhead_rows(trials: &[Trial], seeds: &[u64], jobs: usize) -> Vec<Overhe
             specs.push(
                 RunSpec::new(
                     format!("{}-s{}-cheriabi", trial.name, seed),
-                    Arc::clone(&trial.build),
+                    trial.program.clone(),
                     CodegenOpts::purecap(),
                     AbiMode::CheriAbi,
                 )
@@ -103,8 +107,23 @@ pub fn overhead_rows(trials: &[Trial], seeds: &[u64], jobs: usize) -> Vec<Overhe
             );
         }
     }
-    let reports = Harness::new(jobs).run(&specs);
+    specs
+}
 
+/// Reduces the reports of a [`trial_specs`] run (in spec order, for the
+/// same `trials` and `seeds`) to one [`OverheadRow`] per trial.
+///
+/// # Panics
+///
+/// Panics if any run failed to load, panicked, or exited abnormally, or if
+/// the two ABIs disagree on a workload's result — Figure 4 only compares
+/// runs that computed the same answer.
+#[must_use]
+pub fn rows_from_reports(
+    trials: &[Trial],
+    seeds: &[u64],
+    reports: &[CaseReport],
+) -> Vec<OverheadRow> {
     let mut rows = Vec::with_capacity(trials.len());
     let mut next = reports.iter();
     for trial in trials {
@@ -128,6 +147,24 @@ pub fn overhead_rows(trials: &[Trial], seeds: &[u64], jobs: usize) -> Vec<Overhe
     rows
 }
 
+/// Runs every trial at every seed under both ABIs across `jobs` workers
+/// and reduces to one [`OverheadRow`] per trial. The registry must lower
+/// every trial's program.
+///
+/// # Panics
+///
+/// As [`rows_from_reports`].
+#[must_use]
+pub fn overhead_rows(
+    registry: &Registry,
+    trials: &[Trial],
+    seeds: &[u64],
+    jobs: usize,
+) -> Vec<OverheadRow> {
+    let reports = Harness::new(jobs).run(registry, &trial_specs(trials, seeds));
+    rows_from_reports(trials, seeds, &reports)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,8 +176,9 @@ mod tests {
             .take(2)
             .map(Trial::from_workload)
             .collect();
-        let seq = overhead_rows(&trials, &[3, 7], 1);
-        let par = overhead_rows(&trials, &[3, 7], 8);
+        let registry = crate::registry();
+        let seq = overhead_rows(&registry, &trials, &[3, 7], 1);
+        let par = overhead_rows(&registry, &trials, &[3, 7], 8);
         assert_eq!(seq, par);
         assert_eq!(seq.len(), 2);
         assert_eq!(seq[0].instr.len(), 2);

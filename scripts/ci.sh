@@ -15,4 +15,32 @@ echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
 
+echo "==> report cache: warm table1 re-run is 100% hits and byte-identical"
+cargo build --release -p cheri-bench --bins
+rm -rf target/harness-cache
+./target/release/table1 --jobs 2 --json --cache \
+    > target/table1-cold.json 2> target/table1-cold.err
+./target/release/table1 --jobs 2 --json --cache \
+    > target/table1-warm.json 2> target/table1-warm.err
+grep -q ", 0 misses" target/table1-warm.err || {
+    echo "FAIL: warm table1 run executed cases instead of hitting the cache:"
+    cat target/table1-warm.err
+    exit 1
+}
+cmp target/table1-cold.json target/table1-warm.json || {
+    echo "FAIL: warm table1 JSON differs from the cold run"
+    exit 1
+}
+
+echo "==> shards: table1 0/2 + 1/2 merge byte-identically to the unsharded run"
+./target/release/table1 --jobs 2 --shard 0/1 > target/table1-full.lines
+./target/release/table1 --jobs 2 --shard 0/2 > target/table1-s0.lines
+./target/release/table1 --jobs 2 --shard 1/2 > target/table1-s1.lines
+sort -t: -k2,2n target/table1-s0.lines target/table1-s1.lines \
+    > target/table1-merged.lines
+cmp target/table1-full.lines target/table1-merged.lines || {
+    echo "FAIL: merged shard output differs from the unsharded run"
+    exit 1
+}
+
 echo "CI: all gates passed"
