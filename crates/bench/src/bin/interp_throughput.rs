@@ -1,0 +1,198 @@
+//! Host-side interpreter throughput: guest-MIPS with the fetch/translate
+//! fast path on vs. the `--no-fast-path` baseline.
+//!
+//! Unlike every other binary here, this one measures *host* wall time, so
+//! its numbers vary run to run and machine to machine. Guest-visible
+//! metrics must NOT vary: the binary re-measures each program in both
+//! modes and exits non-zero if any counter differs, making every
+//! invocation a determinism check for the TLB/epoch fast path.
+//!
+//! Writes `BENCH_interp.json` (see EXPERIMENTS.md).
+
+use std::time::Instant;
+
+use cheri_bench::cli::json_f64;
+use cheri_corpus::families::freebsd_suite;
+use cheri_isa::codegen::CodegenOpts;
+use cheri_kernel::{AbiMode, KernelConfig, SpawnOpts};
+use cheriabi::spec::{ProgramSpec, Registry};
+use cheriabi::{Metrics, System};
+
+const USAGE: &str = "usage: interp_throughput [options]
+  --no-fast-path    measure only the slow-path baseline
+  --trials <n>      wall-time trials per mode (default 3, best-of)
+  --spin-iters <n>  spin loop iterations (default 2000000)
+  --out <path>      output JSON path (default BENCH_interp.json)
+  -h, --help        this help";
+
+struct Opts {
+    fast_too: bool,
+    trials: u32,
+    spin_iters: i64,
+    out: String,
+}
+
+fn parse_args() -> Result<Opts, String> {
+    let mut opts = Opts {
+        fast_too: true,
+        trials: 3,
+        spin_iters: 2_000_000,
+        out: "BENCH_interp.json".to_string(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--no-fast-path" => opts.fast_too = false,
+            "--trials" => {
+                opts.trials = args
+                    .next()
+                    .ok_or("--trials needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--trials: {e}"))?;
+            }
+            "--spin-iters" => {
+                opts.spin_iters = args
+                    .next()
+                    .ok_or("--spin-iters needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--spin-iters: {e}"))?;
+            }
+            "--out" => opts.out = args.next().ok_or("--out needs a value")?,
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+    if opts.trials == 0 {
+        return Err("--trials must be at least 1".to_string());
+    }
+    Ok(opts)
+}
+
+/// One timed execution. Returns guest metrics and host wall seconds.
+fn run_once(registry: &Registry, spec: &ProgramSpec, fast: bool) -> (Metrics, f64) {
+    let program = registry.lower(spec, CodegenOpts::purecap(), 0);
+    let mut sys = System::with_config(KernelConfig::default());
+    sys.kernel.cpu.set_fast_path(fast);
+    let opts = SpawnOpts::new(AbiMode::CheriAbi);
+    let start = Instant::now();
+    let (_, _, metrics) = sys.measure(&program, &opts).expect("program loads");
+    (metrics, start.elapsed().as_secs_f64())
+}
+
+/// Best-of-`trials` wall time for one (program, mode) pair; asserts the
+/// guest metrics are identical across trials.
+fn run_mode(registry: &Registry, spec: &ProgramSpec, fast: bool, trials: u32) -> (Metrics, f64) {
+    let (metrics, mut best) = run_once(registry, spec, fast);
+    for _ in 1..trials {
+        let (m, wall) = run_once(registry, spec, fast);
+        assert_eq!(m, metrics, "guest metrics must be identical across trials");
+        best = best.min(wall);
+    }
+    (metrics, best)
+}
+
+fn mips(instructions: u64, wall: f64) -> f64 {
+    instructions as f64 / wall / 1e6
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("interp_throughput: {e}");
+            std::process::exit(2);
+        }
+    };
+    let registry = cheri_bench::registry();
+    let corpus_case = freebsd_suite()
+        .first()
+        .map(|c| c.name.clone())
+        .expect("non-empty corpus");
+    let programs: Vec<(String, ProgramSpec)> = vec![
+        (
+            "spin".to_string(),
+            ProgramSpec::Spin {
+                iters: opts.spin_iters,
+            },
+        ),
+        (
+            "workload:auto-qsort".to_string(),
+            ProgramSpec::Workload {
+                name: "auto-qsort".to_string(),
+            },
+        ),
+        (
+            format!("corpus:{corpus_case}"),
+            ProgramSpec::Corpus { case: corpus_case },
+        ),
+    ];
+    let mut lines = Vec::new();
+    let mut spin_speedup: Option<f64> = None;
+    let mut mismatch = false;
+    println!(
+        "{:<28} {:>12} {:>11} {:>11} {:>8}",
+        "program", "guest instrs", "base MIPS", "fast MIPS", "speedup"
+    );
+    for (name, spec) in &programs {
+        let (base_metrics, base_wall) = run_mode(&registry, spec, false, opts.trials);
+        let base_mips = mips(base_metrics.instructions, base_wall);
+        let (fast_stats, speedup) = if opts.fast_too {
+            let (fast_metrics, fast_wall) = run_mode(&registry, spec, true, opts.trials);
+            if fast_metrics != base_metrics {
+                eprintln!(
+                    "interp_throughput: {name}: guest metrics diverge between \
+                     fast path and baseline: {fast_metrics:?} vs {base_metrics:?}"
+                );
+                mismatch = true;
+            }
+            let fast_mips = mips(fast_metrics.instructions, fast_wall);
+            let speedup = fast_mips / base_mips;
+            if name == "spin" {
+                spin_speedup = Some(speedup);
+            }
+            (Some((fast_wall, fast_mips)), Some(speedup))
+        } else {
+            (None, None)
+        };
+        let (fast_wall_j, fast_mips_j, speedup_j) = match (fast_stats, speedup) {
+            (Some((w, m)), Some(s)) => (json_f64(w * 1e3), json_f64(m), json_f64(s)),
+            _ => ("null".to_string(), "null".to_string(), "null".to_string()),
+        };
+        println!(
+            "{:<28} {:>12} {:>11.2} {:>11} {:>8}",
+            name,
+            base_metrics.instructions,
+            base_mips,
+            fast_stats.map_or("-".to_string(), |(_, m)| format!("{m:.2}")),
+            speedup.map_or("-".to_string(), |s| format!("{s:.2}x")),
+        );
+        lines.push(format!(
+            "{{\"program\":\"{}\",\"instructions\":{},\"cycles\":{},\"wall_ms_base\":{},\"mips_base\":{},\"wall_ms_fast\":{},\"mips_fast\":{},\"speedup\":{}}}",
+            cheri_bench::cli::json_escape(name),
+            base_metrics.instructions,
+            base_metrics.cycles,
+            json_f64(base_wall * 1e3),
+            json_f64(base_mips),
+            fast_wall_j,
+            fast_mips_j,
+            speedup_j,
+        ));
+    }
+    let doc = format!(
+        "{{\"bench\":\"interp_throughput\",\"trials\":{},\"spin_speedup\":{},\"results\":[{}]}}\n",
+        opts.trials,
+        spin_speedup.map_or("null".to_string(), json_f64),
+        lines.join(",")
+    );
+    if let Err(e) = std::fs::write(&opts.out, &doc) {
+        eprintln!("interp_throughput: writing {}: {e}", opts.out);
+        std::process::exit(1);
+    }
+    println!("wrote {}", opts.out);
+    if mismatch {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,34 @@
+//! Runs an externally supplied `RunSpec` list through the shared harness
+//! session — cache, shard, progress and JSON streaming included — so
+//! external tooling can drive arbitrary spec matrices without a dedicated
+//! binary per experiment.
+//!
+//! The list comes from `--specs <path>` or stdin with `--specs -`, as a
+//! top-level JSON array of spec objects or one object per line. Every
+//! table/figure binary prints its own session's list with `--dump-specs`,
+//! so `table1 --dump-specs | run_specs --specs -` replays table 1 case by
+//! case, and any subset of those lines replays a pinned sub-suite (the
+//! `scripts/ci.sh` golden gate does exactly that).
+
+use cheri_bench::cli;
+
+fn main() {
+    let (opts, specs_source) = cli::parse_env_with_specs();
+    let Some(source) = specs_source else {
+        eprintln!("run_specs: requires --specs <path> (or --specs - for stdin)");
+        std::process::exit(2);
+    };
+    let specs = match cli::read_specs(&source) {
+        Ok(specs) => specs,
+        Err(msg) => {
+            eprintln!("run_specs: {msg}");
+            std::process::exit(2);
+        }
+    };
+    let Some(reports) = cli::run_specs(&cheri_bench::registry(), &specs, &opts) else {
+        return;
+    };
+    for (index, report) in reports.iter().enumerate() {
+        println!("{}", report.to_json_tagged(index));
+    }
+}

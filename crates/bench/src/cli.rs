@@ -21,7 +21,6 @@
 //!   order, tagged with its submission index) ahead of the ordered
 //!   aggregate.
 
-use cheri_isa::codegen;
 use cheriabi::cache::ReportCache;
 use cheriabi::harness::{CaseReport, Harness, RunSpec, SessionOpts, Shard};
 use cheriabi::spec::Registry;
@@ -42,6 +41,12 @@ pub struct BenchOpts {
     pub progress: bool,
     /// Emit each case report as it completes.
     pub json_stream: bool,
+    /// After the session, prune the report cache down to this many bytes
+    /// (LRU by mtime; never evicts entries this session just wrote).
+    pub cache_limit: Option<u64>,
+    /// Print the session's spec list as JSON lines and exit instead of
+    /// running anything (feed the output to `run_specs --specs`).
+    pub dump_specs: bool,
 }
 
 impl Default for BenchOpts {
@@ -53,6 +58,8 @@ impl Default for BenchOpts {
             shard: None,
             progress: false,
             json_stream: false,
+            cache_limit: None,
+            dump_specs: false,
         }
     }
 }
@@ -83,6 +90,17 @@ pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<BenchOpts, S
             }
             "--progress" => opts.progress = true,
             "--json-stream" => opts.json_stream = true,
+            "--cache-limit" => {
+                let value = iter.next().ok_or("--cache-limit needs a value (bytes)")?;
+                let limit: u64 = value
+                    .parse()
+                    .map_err(|_| format!("--cache-limit: not a byte count: {value}"))?;
+                opts.cache_limit = Some(limit);
+            }
+            "--dump-specs" => opts.dump_specs = true,
+            "--specs" => {
+                return Err("--specs is only supported by the run_specs binary".to_string());
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown argument: {other}\n{USAGE}")),
         }
@@ -99,7 +117,11 @@ pub const USAGE: &str = "options:\n  \
     --shard I/N    run submission indices i % N == I; print per-case\n                 \
     JSON lines (sort all shards' lines by \"case\" to merge)\n  \
     --progress     progress line (completed/total, ETA) on stderr\n  \
-    --json-stream  emit each case report as it completes";
+    --json-stream  emit each case report as it completes\n  \
+    --cache-limit B  after the session, prune the report cache to at most\n                 \
+    B bytes (oldest entries first; never this session's own)\n  \
+    --dump-specs   print the session's RunSpec JSON lines and exit\n                 \
+    (pipe into `run_specs --specs -` to replay them)";
 
 /// Parses the process arguments; prints the usage text and exits 0 on
 /// `--help`, exits 2 on anything unrecognised.
@@ -119,6 +141,89 @@ pub fn parse_env() -> BenchOpts {
     }
 }
 
+/// Like [`parse_env`], but additionally accepts `--specs <path|->`: an
+/// external `RunSpec` list (see [`read_specs`]) driven through the same
+/// cache/shard session machinery. Only the `run_specs` binary takes it.
+#[must_use]
+pub fn parse_env_with_specs() -> (BenchOpts, Option<String>) {
+    let mut rest = Vec::new();
+    let mut specs = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--specs" {
+            match args.next() {
+                Some(value) => specs = Some(value),
+                None => {
+                    eprintln!("--specs needs a value (a path, or - for stdin)");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            rest.push(arg);
+        }
+    }
+    if rest.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        println!(
+            "  --specs P      read the RunSpec list from file P, or stdin with\n                 \
+             `--specs -` (a JSON array, or one spec object per line)"
+        );
+        std::process::exit(0);
+    }
+    match parse_args(rest) {
+        Ok(opts) => (opts, specs),
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Reads a `RunSpec` list from `source`: a file path, or `-` for stdin.
+/// Accepts either a top-level JSON array of spec objects or one spec
+/// object per non-blank line (the `--dump-specs` format).
+///
+/// # Errors
+///
+/// Returns a message naming the offending input on I/O or parse failure.
+pub fn read_specs(source: &str) -> Result<Vec<RunSpec>, String> {
+    use std::io::Read as _;
+    let text = if source == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| format!("reading stdin: {e}"))?;
+        buf
+    } else {
+        std::fs::read_to_string(source).map_err(|e| format!("reading {source}: {e}"))?
+    };
+    let mut specs = Vec::new();
+    if text.trim_start().starts_with('[') {
+        let doc = cheriabi::json::parse(&text).map_err(|e| format!("spec list: {e}"))?;
+        let cheriabi::json::Json::Arr(items) = doc else {
+            return Err("spec list: expected a JSON array".to_string());
+        };
+        for (i, item) in items.iter().enumerate() {
+            specs.push(RunSpec::from_json(item).map_err(|e| format!("spec [{i}]: {e}"))?);
+        }
+    } else {
+        for (lineno, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let doc = cheriabi::json::parse(line)
+                .map_err(|e| format!("spec line {}: {e}", lineno + 1))?;
+            specs.push(
+                RunSpec::from_json(&doc).map_err(|e| format!("spec line {}: {e}", lineno + 1))?,
+            );
+        }
+    }
+    if specs.is_empty() {
+        return Err(format!("no specs found in {source}"));
+    }
+    Ok(specs)
+}
+
 /// Runs one harness session over `specs` honouring every shared flag:
 /// cache (with a hit/miss summary on stderr), shard, progress and the
 /// JSON stream.
@@ -132,8 +237,16 @@ pub fn run_specs(
     specs: &[RunSpec],
     opts: &BenchOpts,
 ) -> Option<Vec<CaseReport>> {
+    if opts.dump_specs {
+        for spec in specs {
+            println!("{}", spec.to_json());
+        }
+        return None;
+    }
     let cache = if opts.cache {
-        match ReportCache::open_default(codegen::fingerprint()) {
+        // The salt covers codegen *and* runtime behaviour, so a kernel or
+        // VM change invalidates cached reports just like a codegen change.
+        match ReportCache::open_default(cheriabi::cache::session_salt()) {
             Ok(cache) => Some(cache),
             Err(err) => {
                 eprintln!("warning: report cache unavailable ({err}); running uncached");
@@ -167,6 +280,14 @@ pub fn run_specs(
             session.cache_misses,
             cache.dir().display()
         );
+        if let Some(limit) = opts.cache_limit {
+            match cache.prune(limit) {
+                Ok((removed, remaining)) => eprintln!(
+                    "cache: pruned {removed} entries, {remaining} bytes remain (limit {limit})"
+                ),
+                Err(err) => eprintln!("warning: cache prune failed: {err}"),
+            }
+        }
     }
     if opts.shard.is_some() {
         for (index, report) in &session.reports {
@@ -258,6 +379,55 @@ mod tests {
         assert!(parse_args(args(&["--shard", "2/2"])).is_err());
         assert!(parse_args(args(&["--shard", "nope"])).is_err());
         assert!(parse_args(args(&["--frobnicate"])).is_err());
+        assert!(parse_args(args(&["--cache-limit"])).is_err());
+        assert!(parse_args(args(&["--cache-limit", "lots"])).is_err());
+        assert!(
+            parse_args(args(&["--specs", "-"])).is_err(),
+            "--specs belongs to run_specs only"
+        );
+    }
+
+    #[test]
+    fn parses_cache_limit_and_dump_specs() {
+        let opts = parse_args(args(&["--cache-limit", "1048576", "--dump-specs"])).expect("parses");
+        assert_eq!(opts.cache_limit, Some(1_048_576));
+        assert!(opts.dump_specs);
+        let defaults = parse_args(args(&[])).expect("parses");
+        assert_eq!(defaults.cache_limit, None);
+        assert!(!defaults.dump_specs);
+    }
+
+    #[test]
+    fn read_specs_accepts_lines_and_arrays() {
+        use cheri_isa::codegen::CodegenOpts;
+        use cheri_kernel::AbiMode;
+        use cheriabi::harness::RunSpec;
+        use cheriabi::spec::ProgramSpec;
+        let spec = RunSpec::new(
+            "one",
+            ProgramSpec::Exit { code: 3 },
+            CodegenOpts::purecap(),
+            AbiMode::CheriAbi,
+        )
+        .with_seed(7);
+        let line = spec.to_json().to_string();
+        let dir = std::env::temp_dir().join(format!(
+            "cheri-bench-specs-{}-{}",
+            std::process::id(),
+            line.len()
+        ));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let lines_path = dir.join("specs.jsonl");
+        std::fs::write(&lines_path, format!("{line}\n\n{line}\n")).expect("write");
+        let from_lines = read_specs(lines_path.to_str().expect("utf8 path")).expect("lines");
+        assert_eq!(from_lines.len(), 2);
+        assert_eq!(from_lines[0], spec);
+        let array_path = dir.join("specs.json");
+        std::fs::write(&array_path, format!("[{line},\n {line}]")).expect("write");
+        let from_array = read_specs(array_path.to_str().expect("utf8 path")).expect("array");
+        assert_eq!(from_array, from_lines);
+        assert!(read_specs(dir.join("missing.json").to_str().expect("utf8")).is_err());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

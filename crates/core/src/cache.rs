@@ -29,12 +29,96 @@
 //! and even concurrent processes can share a directory; a torn or corrupt
 //! entry fails to parse and reads as a miss.
 
-use crate::harness::{CaseOutcome, CaseReport, RunSpec};
+use crate::harness::{execute_spec, CaseOutcome, CaseReport, RunSpec};
 use crate::json::{self, Json};
+use std::collections::HashSet;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::SystemTime;
+
+/// A versioned fingerprint of the *runtime* — kernel, VM, CPU, loader —
+/// as observed through a fixed probe trace: a scripted VM scenario
+/// (map, demand fault, fork, COW write, swap round trip, mprotect,
+/// teardown) plus one tiny guest program executed under each ABI, with
+/// every resulting counter folded into an FNV-1a hash. Any behavioural
+/// change to paging, scheduling, the cost model or instruction execution
+/// changes some counter and therefore the revision.
+///
+/// Computed once per process (the probes are two sub-millisecond guest
+/// runs) and combined with `cheri_isa::codegen::fingerprint()` in
+/// [`session_salt`] so cached [`CaseReport`]s are invalidated by runtime
+/// changes as well as codegen changes.
+#[must_use]
+pub fn runtime_revision() -> u64 {
+    static REV: OnceLock<u64> = OnceLock::new();
+    *REV.get_or_init(compute_runtime_revision)
+}
+
+fn compute_runtime_revision() -> u64 {
+    use crate::spec::{ProgramSpec, Registry};
+    use cheri_cap::{CapFormat, PrincipalId};
+    use cheri_isa::codegen::CodegenOpts;
+    use cheri_kernel::AbiMode;
+    use cheri_vm::{Backing, Prot, Vm};
+    use std::fmt::Write as _;
+
+    let mut log = String::new();
+    // Scripted VM trace: every paging mechanism leaves a counter.
+    let mut vm = Vm::new(64);
+    let a = vm.create_space(PrincipalId::from_raw(7), CapFormat::C128);
+    let base = vm
+        .map(a, None, 3 * 4096, Prot::rw(), Backing::Zero, "probe")
+        .expect("probe map");
+    vm.write_u64(a, base + 8, 0x1234).expect("probe write");
+    let b = vm.fork_space(a).expect("probe fork");
+    vm.write_u64(a, base + 8, 0x5678).expect("probe cow write");
+    assert!(vm.swap_out(a, base).expect("probe swap_out"));
+    let readback = vm.read_u64(a, base + 8).expect("probe swap_in");
+    vm.protect(a, base, 4096, Prot::READ)
+        .expect("probe protect");
+    vm.unmap(a, base + 4096, 4096).expect("probe unmap");
+    vm.destroy_space(b);
+    let _ = write!(
+        log,
+        "vm:{:?}:{}:{}:{};",
+        vm.stats,
+        vm.epoch(),
+        vm.phys.allocated_frames(),
+        readback
+    );
+    // One tiny guest under each ABI: exercises codegen's runtime half —
+    // loader, kernel entry/exit, scheduler charges, cache cost model.
+    let registry = Registry::builtin();
+    for (label, opts, abi) in [
+        ("purecap", CodegenOpts::purecap(), AbiMode::CheriAbi),
+        ("mips64", CodegenOpts::mips64(), AbiMode::Mips64),
+    ] {
+        let spec = RunSpec::new(
+            format!("runtime-probe-{label}"),
+            ProgramSpec::Spin { iters: 500 },
+            opts,
+            abi,
+        );
+        let report = execute_spec(&registry, &spec);
+        let _ = write!(log, "{label}:{:?}:{:?};", report.outcome, report.metrics);
+    }
+    json::fnv1a(log.as_bytes())
+}
+
+/// The report-cache salt for this build *and* this runtime:
+/// `cheri_isa::codegen::fingerprint()` (instruction selection) combined
+/// with [`runtime_revision`] (kernel/VM/CPU behaviour). Use this when
+/// opening a [`ReportCache`] that outlives the current binary.
+#[must_use]
+pub fn session_salt() -> u64 {
+    let mut bytes = [0u8; 16];
+    bytes[..8].copy_from_slice(&cheri_isa::codegen::fingerprint().to_le_bytes());
+    bytes[8..].copy_from_slice(&runtime_revision().to_le_bytes());
+    json::fnv1a(&bytes)
+}
 
 /// A handle to one cache directory + salt.
 #[derive(Debug)]
@@ -42,6 +126,11 @@ pub struct ReportCache {
     dir: PathBuf,
     salt: u64,
     tmp_seq: AtomicU64,
+    /// Entry paths written by *this* handle, exempt from [`ReportCache::prune`]:
+    /// the session that just produced a report must never lose it to its
+    /// own size bound (mtime granularity makes "newest by timestamp" an
+    /// unreliable substitute).
+    written: Mutex<HashSet<PathBuf>>,
 }
 
 impl ReportCache {
@@ -58,6 +147,7 @@ impl ReportCache {
             dir,
             salt,
             tmp_seq: AtomicU64::new(0),
+            written: Mutex::new(HashSet::new()),
         })
     }
 
@@ -147,9 +237,71 @@ impl ReportCache {
         ));
         let mut text = entry.to_string();
         text.push('\n');
-        if fs::write(&tmp, text).is_ok() && fs::rename(&tmp, &path).is_err() {
-            let _ = fs::remove_file(&tmp);
+        if fs::write(&tmp, text).is_ok() {
+            if fs::rename(&tmp, &path).is_ok() {
+                self.written
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .insert(path);
+            } else {
+                let _ = fs::remove_file(&tmp);
+            }
         }
+    }
+
+    /// Shrinks the cache directory to at most `limit_bytes` of entries by
+    /// deleting the least-recently-modified entry files first. Entries
+    /// written through this handle are never deleted, so a session can
+    /// prune after storing its own reports without losing any of them —
+    /// even if the limit is too small to honour (the directory may then
+    /// stay above the limit).
+    ///
+    /// Returns `(entries_removed, entry_bytes_remaining)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the cache directory cannot be listed;
+    /// errors on individual files (e.g. a concurrent session removed one
+    /// first) are ignored.
+    pub fn prune(&self, limit_bytes: u64) -> io::Result<(usize, u64)> {
+        let mut entries: Vec<(PathBuf, u64, SystemTime)> = Vec::new();
+        let mut total: u64 = 0;
+        for dirent in fs::read_dir(&self.dir)? {
+            let Ok(dirent) = dirent else { continue };
+            let path = dirent.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("json") {
+                continue;
+            }
+            let Ok(meta) = dirent.metadata() else {
+                continue;
+            };
+            if !meta.is_file() {
+                continue;
+            }
+            total += meta.len();
+            let mtime = meta.modified().unwrap_or(SystemTime::UNIX_EPOCH);
+            entries.push((path, meta.len(), mtime));
+        }
+        // Oldest first; name breaks timestamp ties deterministically.
+        entries.sort_by(|x, y| x.2.cmp(&y.2).then_with(|| x.0.cmp(&y.0)));
+        let written = self
+            .written
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut removed = 0usize;
+        for (path, len, _) in entries {
+            if total <= limit_bytes {
+                break;
+            }
+            if written.contains(&path) {
+                continue;
+            }
+            if fs::remove_file(&path).is_ok() {
+                removed += 1;
+                total -= len;
+            }
+        }
+        Ok((removed, total))
     }
 }
 
@@ -377,5 +529,59 @@ mod tests {
                 "warm report is byte-identical (including cached wall time)"
             );
         }
+    }
+
+    #[test]
+    fn prune_never_evicts_the_entry_just_written() {
+        let tmp = TempDir::new("prune");
+        let registry = Registry::builtin();
+        // An earlier session leaves some entries behind.
+        let old_session = ReportCache::new(&tmp.0, 1).expect("open cache");
+        for seed in 0..4 {
+            let spec = exit_spec("old", seed);
+            old_session.store(&spec, &execute_spec(&registry, &spec));
+        }
+        drop(old_session);
+        // A new session writes one entry, then prunes to a limit far too
+        // small to hold anything.
+        let cache = ReportCache::new(&tmp.0, 1).expect("open cache");
+        let fresh = exit_spec("fresh", 99);
+        cache.store(&fresh, &execute_spec(&registry, &fresh));
+        let (removed, remaining) = cache.prune(0).expect("prune");
+        assert_eq!(removed, 4, "all foreign entries go");
+        assert!(remaining > 0, "own entry still on disk");
+        assert!(
+            cache.load(&fresh).is_some(),
+            "the entry just written must survive its own prune"
+        );
+        for seed in 0..4 {
+            assert!(cache.load(&exit_spec("old", seed)).is_none());
+        }
+    }
+
+    #[test]
+    fn prune_is_a_no_op_under_the_limit() {
+        let tmp = TempDir::new("prune-noop");
+        let registry = Registry::builtin();
+        let cache = ReportCache::new(&tmp.0, 1).expect("open cache");
+        let spec = exit_spec("case", 5);
+        cache.store(&spec, &execute_spec(&registry, &spec));
+        let (removed, remaining) = cache.prune(u64::MAX).expect("prune");
+        assert_eq!(removed, 0);
+        assert!(remaining > 0);
+        assert!(cache.load(&spec).is_some());
+    }
+
+    #[test]
+    fn runtime_revision_is_deterministic_and_nonzero() {
+        let a = runtime_revision();
+        let b = runtime_revision();
+        assert_eq!(a, b);
+        assert_ne!(a, 0);
+        assert_ne!(
+            session_salt(),
+            cheri_isa::codegen::fingerprint(),
+            "the salt must fold in more than the codegen fingerprint"
+        );
     }
 }

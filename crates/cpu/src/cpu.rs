@@ -57,15 +57,34 @@ pub struct CpuStats {
     pub syscalls: u64,
 }
 
+#[derive(Clone)]
 struct CodeRegion {
     start: u64,
     end: u64,
     code: Arc<Vec<Instr>>,
 }
 
+/// Direct-mapped TLB geometry: sets per access kind. Must be a power of
+/// two — the set index is `vpn & (TLB_SETS - 1)`.
+const TLB_SETS: usize = 256;
+/// Read / Write / Exec each get their own way so that a page readable and
+/// executable at different physical rights never aliases.
+const TLB_KINDS: usize = 3;
+/// Sentinel VPN marking an empty TLB slot (no user VPN reaches it:
+/// user addresses top out well below `u64::MAX * FRAME_SIZE`).
+const TLB_INVALID_VPN: u64 = u64::MAX;
+
+/// One direct-mapped TLB slot: the virtual page number it holds a
+/// translation for and the physical frame base it maps to.
+#[derive(Clone, Copy)]
+struct TlbEntry {
+    vpn: u64,
+    base: u64,
+}
+
 /// The simulated core: caches, counters, registered code regions, and a
-/// tiny TLB (flushed by the kernel on context switches and mapping
-/// changes).
+/// direct-mapped TLB that self-invalidates by comparing the VM's
+/// translation epoch (no kernel flush calls required).
 pub struct Cpu {
     /// Cache hierarchy (shared by fetch and data sides, as on the FPGA).
     pub caches: CacheHierarchy,
@@ -75,7 +94,21 @@ pub struct Cpu {
     pub trace: DerivationTrace,
     code: HashMap<AsId, Vec<CodeRegion>>,
     cur_as: Option<AsId>,
-    tlb: HashMap<(u8, u64), u64>,
+    /// Direct-mapped translation cache, `TLB_KINDS * TLB_SETS` slots.
+    /// Valid only while `seen_epoch == vm.epoch()` and the context is
+    /// `cur_as`; reset wholesale otherwise.
+    tlb: Vec<TlbEntry>,
+    /// The [`cheri_vm::Vm::epoch`] value the TLB contents were filled
+    /// under.
+    seen_epoch: u64,
+    /// The code region the last fetch hit: straight-line fetch and branch
+    /// target resolution stay inside it without touching the region map.
+    cur_code: Option<CodeRegion>,
+    /// When false, every fetch/load/store takes the full `vm.translate`
+    /// and region-scan path — the measurement baseline for
+    /// `interp_throughput --no-fast-path`. Guest-visible state and all
+    /// counters are identical either way.
+    fast_path: bool,
 }
 
 impl fmt::Debug for Cpu {
@@ -96,8 +129,40 @@ impl Cpu {
             trace: DerivationTrace::new(),
             code: HashMap::new(),
             cur_as: None,
-            tlb: HashMap::new(),
+            tlb: vec![
+                TlbEntry {
+                    vpn: TLB_INVALID_VPN,
+                    base: 0,
+                };
+                TLB_KINDS * TLB_SETS
+            ],
+            seen_epoch: 0,
+            cur_code: None,
+            fast_path: true,
         }
+    }
+
+    /// Enables or disables the translation/fetch fast path. Disabling it
+    /// forces every access through the full VM walk and region scan —
+    /// useful only as a performance baseline; guest-visible behaviour is
+    /// identical in both modes.
+    pub fn set_fast_path(&mut self, on: bool) {
+        self.fast_path = on;
+        self.reset_tlb();
+    }
+
+    /// Whether the translation/fetch fast path is enabled.
+    #[must_use]
+    pub fn fast_path(&self) -> bool {
+        self.fast_path
+    }
+
+    /// Invalidates every TLB slot and the resident code block.
+    fn reset_tlb(&mut self) {
+        for e in &mut self.tlb {
+            e.vpn = TLB_INVALID_VPN;
+        }
+        self.cur_code = None;
     }
 
     /// Registers a code region (done by the loader / RTLD when mapping an
@@ -108,11 +173,13 @@ impl Cpu {
             .entry(id)
             .or_default()
             .push(CodeRegion { start, end, code });
+        self.cur_code = None;
     }
 
     /// Forgets all code regions of an address space (process teardown).
     pub fn clear_code(&mut self, id: AsId) {
         self.code.remove(&id);
+        self.cur_code = None;
     }
 
     /// Copies the code map of `from` to `to` (fork: the child shares the
@@ -128,13 +195,18 @@ impl Cpu {
                 })
                 .collect();
             self.code.insert(to, cloned);
+            self.cur_code = None;
         }
     }
 
-    /// Flushes the TLB; the kernel must call this after `fork`, `munmap`,
-    /// swap-out and on context switch.
+    /// Drops every cached translation and the resident code block.
+    ///
+    /// Kernel code no longer needs to call this: mapping changes bump the
+    /// VM's translation epoch and the Cpu self-invalidates by comparing
+    /// epochs on the next access. It remains public for tests and tools
+    /// that want a cold-cache starting point.
     pub fn flush_tlb(&mut self) {
-        self.tlb.clear();
+        self.reset_tlb();
     }
 
     /// Charges the cost of work performed by a trusted runtime service on
@@ -147,8 +219,14 @@ impl Cpu {
     fn set_context(&mut self, id: AsId) {
         if self.cur_as != Some(id) {
             self.cur_as = Some(id);
-            self.tlb.clear();
+            self.reset_tlb();
         }
+    }
+
+    /// TLB slot index for a (access kind, virtual page number) pair.
+    #[inline]
+    fn tlb_index(access: Access, vpn: u64) -> usize {
+        access as usize * TLB_SETS + (vpn as usize & (TLB_SETS - 1))
     }
 
     fn translate_cached(
@@ -159,19 +237,44 @@ impl Cpu {
         access: Access,
         pc: u64,
     ) -> Result<u64, TrapInfo> {
-        let key = (access as u8, vaddr / FRAME_SIZE);
-        if let Some(&base) = self.tlb.get(&key) {
-            return Ok(base + vaddr % FRAME_SIZE);
+        if !self.fast_path {
+            let pa = vm.translate(id, vaddr, access).map_err(|e| TrapInfo {
+                cause: TrapCause::Vm(e),
+                pc,
+                vaddr: Some(vaddr),
+            })?;
+            return Ok(pa.0);
+        }
+        // Self-invalidate: any mapping mutation since the TLB was filled
+        // shows up as an epoch mismatch.
+        let epoch = vm.epoch();
+        if epoch != self.seen_epoch {
+            self.reset_tlb();
+            self.seen_epoch = epoch;
+        }
+        let vpn = vaddr / FRAME_SIZE;
+        let idx = Self::tlb_index(access, vpn);
+        let e = self.tlb[idx];
+        if e.vpn == vpn {
+            return Ok(e.base + vaddr % FRAME_SIZE);
         }
         let pa = vm.translate(id, vaddr, access).map_err(|e| TrapInfo {
             cause: TrapCause::Vm(e),
             pc,
             vaddr: Some(vaddr),
         })?;
-        if self.tlb.len() >= 256 {
-            self.tlb.clear();
+        // The translation itself may have bumped the epoch (COW resolution,
+        // swap-in): re-check before caching, or the fill would survive an
+        // invalidation it was itself the cause of.
+        let now = vm.epoch();
+        if now != self.seen_epoch {
+            self.reset_tlb();
+            self.seen_epoch = now;
         }
-        self.tlb.insert(key, pa.0 - pa.0 % FRAME_SIZE);
+        self.tlb[idx] = TlbEntry {
+            vpn,
+            base: pa.0 - pa.0 % FRAME_SIZE,
+        };
         Ok(pa.0)
     }
 
@@ -292,6 +395,15 @@ impl Cpu {
             })?;
         let pa = self.translate_cached(vm, id, pc, Access::Exec, pc)?;
         self.stats.cycles += self.caches.access(pa, AccessKind::Fetch);
+        // Straight-line execution stays inside one region: serve it from
+        // the resident block without touching the region map.
+        if self.fast_path {
+            if let Some(r) = &self.cur_code {
+                if pc >= r.start && pc < r.end {
+                    return Ok(r.code[((pc - r.start) / 4) as usize]);
+                }
+            }
+        }
         let regions = self.code.get(&id).ok_or(TrapInfo {
             cause: TrapCause::NoCode,
             pc,
@@ -305,10 +417,19 @@ impl Cpu {
                 pc,
                 vaddr: Some(pc),
             })?;
-        Ok(region.code[((pc - region.start) / 4) as usize])
+        let instr = region.code[((pc - region.start) / 4) as usize];
+        if self.fast_path {
+            self.cur_code = Some(region.clone());
+        }
+        Ok(instr)
     }
 
     fn region_start(&self, id: AsId, pc: u64) -> u64 {
+        if let Some(r) = &self.cur_code {
+            if pc >= r.start && pc < r.end {
+                return r.start;
+            }
+        }
         self.code
             .get(&id)
             .and_then(|rs| rs.iter().find(|r| pc >= r.start && pc < r.end))
@@ -1011,5 +1132,175 @@ mod tests {
         let (mut cpu, mut vm, id, mut rf) = machine(code, false);
         cpu.run(&mut vm, id, &mut rf, 100);
         assert!(cpu.stats.cycles > cpu.stats.instret);
+    }
+
+    // ------------------------------------------------------------------
+    // Epoch invalidation edges: each test warms the TLB with a guest
+    // access, mutates the VM from the kernel side *without* any explicit
+    // flush, and proves the next guest access re-faults instead of using
+    // a stale translation.
+    // ------------------------------------------------------------------
+
+    /// `store; syscall; store; load; syscall` against the rw data page,
+    /// split into two `run` calls at the first syscall.
+    fn store_sync_store_load() -> Vec<Instr> {
+        vec![
+            Instr::Li {
+                rd: ireg::T0,
+                imm: 0x20010,
+            },
+            Instr::Li {
+                rd: ireg::T1,
+                imm: 7,
+            },
+            Instr::Store {
+                rs: ireg::T1,
+                base: ireg::T0,
+                off: 0,
+                w: Width::D,
+            },
+            Instr::Load {
+                rd: ireg::T2,
+                base: ireg::T0,
+                off: 0,
+                w: Width::D,
+                signed: false,
+            },
+            Instr::Syscall,
+            Instr::Li {
+                rd: ireg::T1,
+                imm: 9,
+            },
+            Instr::Store {
+                rs: ireg::T1,
+                base: ireg::T0,
+                off: 0,
+                w: Width::D,
+            },
+            Instr::Load {
+                rd: ireg::T2,
+                base: ireg::T0,
+                off: 0,
+                w: Width::D,
+                signed: false,
+            },
+            Instr::Syscall,
+        ]
+    }
+
+    #[test]
+    fn mprotect_revoking_write_faults_through_warm_tlb() {
+        let (mut cpu, mut vm, id, mut rf) = machine(store_sync_store_load(), false);
+        assert_eq!(cpu.run(&mut vm, id, &mut rf, 100), Exit::Syscall);
+        // Kernel side: revoke write on the data page. No flush call — the
+        // epoch bump alone must kill the warm Write translation.
+        vm.protect(id, 0x20000, 4096, Prot::READ).unwrap();
+        match cpu.run(&mut vm, id, &mut rf, 100) {
+            Exit::Trap(t) => {
+                assert_eq!(t.cause, TrapCause::Vm(VmError::Protection(0x20010)));
+            }
+            e => panic!("expected protection fault, got {e:?}"),
+        }
+    }
+
+    #[test]
+    fn swap_out_of_translated_page_refaults_and_swaps_in() {
+        let (mut cpu, mut vm, id, mut rf) = machine(store_sync_store_load(), false);
+        assert_eq!(cpu.run(&mut vm, id, &mut rf, 100), Exit::Syscall);
+        assert_eq!(rf.r(ireg::T2), 7);
+        // Kernel side: evict the data page. Its frame is freed and may be
+        // reused; a stale TLB entry would read someone else's memory.
+        assert!(vm.swap_out(id, 0x20000).unwrap());
+        assert_eq!(cpu.run(&mut vm, id, &mut rf, 100), Exit::Syscall);
+        assert_eq!(rf.r(ireg::T2), 9, "data must survive the swap round trip");
+        assert_eq!(
+            vm.stats.swap_ins, 1,
+            "the access after eviction must re-fault"
+        );
+    }
+
+    #[test]
+    fn cow_resolve_redirects_warm_read_translation() {
+        let (mut cpu, mut vm, id, mut rf) = machine(store_sync_store_load(), false);
+        assert_eq!(cpu.run(&mut vm, id, &mut rf, 100), Exit::Syscall);
+        assert_eq!(rf.r(ireg::T2), 7, "warm Read TLB entry for the data page");
+        // Kernel side: fork. The parent's data page is now COW-shared.
+        let child = vm.fork_space(id).unwrap();
+        cpu.clone_code(id, child);
+        // Parent resumes: the store must copy the page, and the load after
+        // it must read 9 from the *new* frame — a stale Read entry would
+        // keep pointing at the old shared frame, which still holds 7.
+        assert_eq!(cpu.run(&mut vm, id, &mut rf, 100), Exit::Syscall);
+        assert_eq!(rf.r(ireg::T2), 9, "read must follow the COW copy");
+        assert_eq!(vm.stats.cow_copies, 1);
+        assert_eq!(vm.read_u64(child, 0x20010).unwrap(), 7, "child unchanged");
+    }
+
+    #[test]
+    fn fork_teardown_leaves_parent_sole_owner() {
+        let (mut cpu, mut vm, id, mut rf) = machine(store_sync_store_load(), false);
+        assert_eq!(cpu.run(&mut vm, id, &mut rf, 100), Exit::Syscall);
+        // Kernel side: fork, then tear the child down again (exit before
+        // touching anything). Both transitions bump the epoch.
+        let child = vm.fork_space(id).unwrap();
+        cpu.clone_code(id, child);
+        cpu.clear_code(child);
+        vm.destroy_space(child);
+        // Parent resumes sole owner: the write clears the COW marking in
+        // place, with no page copy.
+        assert_eq!(cpu.run(&mut vm, id, &mut rf, 100), Exit::Syscall);
+        assert_eq!(rf.r(ireg::T2), 9);
+        assert_eq!(vm.stats.cow_copies, 0, "sole owner must not copy");
+    }
+
+    #[test]
+    fn fast_path_and_baseline_agree_on_all_counters() {
+        // A branchy loop plus memory traffic, run twice from identical
+        // machines: once with the fast path, once forced down the full
+        // vm.translate + region-scan path. Every guest-visible counter
+        // must agree.
+        let code = vec![
+            Instr::Li {
+                rd: ireg::T0,
+                imm: 200,
+            },
+            Instr::Li {
+                rd: ireg::T1,
+                imm: 0x20000,
+            },
+            // loop:
+            Instr::Store {
+                rs: ireg::T0,
+                base: ireg::T1,
+                off: 8,
+                w: Width::D,
+            },
+            Instr::Load {
+                rd: ireg::T2,
+                base: ireg::T1,
+                off: 8,
+                w: Width::D,
+                signed: false,
+            },
+            Instr::AddI {
+                rd: ireg::T0,
+                rs: ireg::T0,
+                imm: -1,
+            },
+            Instr::Bgtz {
+                rs: ireg::T0,
+                target: 2,
+            },
+            Instr::Syscall,
+        ];
+        let mut results = Vec::new();
+        for fast in [true, false] {
+            let (mut cpu, mut vm, id, mut rf) = machine(code.clone(), false);
+            cpu.set_fast_path(fast);
+            assert_eq!(cpu.fast_path(), fast);
+            assert_eq!(cpu.run(&mut vm, id, &mut rf, 10_000), Exit::Syscall);
+            results.push((cpu.stats, cpu.caches.stats(), vm.stats, rf.r(ireg::T2)));
+        }
+        assert_eq!(results[0], results[1]);
     }
 }

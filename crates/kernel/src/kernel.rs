@@ -410,7 +410,6 @@ impl Kernel {
             }
             self.stats.ctx_switches += 1;
             self.cpu.charge(0, costs::CONTEXT_SWITCH);
-            self.cpu.flush_tlb();
             self.deliver_pending_signal(pid);
             if !matches!(self.process(pid).state, ProcState::Runnable) {
                 continue;
@@ -520,7 +519,8 @@ impl Kernel {
             }
         }
         self.cpu.clear_code(space);
-        self.cpu.flush_tlb();
+        // destroy_space bumps the translation epoch; the Cpu's TLB
+        // self-invalidates on the next access.
         self.vm.destroy_space(space);
     }
 

@@ -142,7 +142,6 @@ impl Kernel {
                 let addr = self.user_val(tracer, 2);
                 let val = self.user_val(tracer, 3);
                 let space = self.process(target).space;
-                self.cpu.flush_tlb();
                 self.vm
                     .write_u64(space, addr, val)
                     .map(|()| 0)
@@ -193,7 +192,6 @@ impl Kernel {
                     return Err(Errno::EPROT);
                 }
                 let injected = cap.with_source(cheri_cap::CapSource::Debugger);
-                self.cpu.flush_tlb();
                 self.vm
                     .store_cap(space, store_at, injected)
                     .map(|()| 0)

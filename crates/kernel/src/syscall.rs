@@ -282,9 +282,9 @@ impl Kernel {
             .vm
             .fork_space(self.process(pid).space)
             .map_err(|_| err(Errno::ENOMEM))?;
-        // COW made previously-writable parent pages read-shared: drop any
-        // stale write translations.
-        self.cpu.flush_tlb();
+        // COW made previously-writable parent pages read-shared;
+        // fork_space bumped the translation epoch, so any stale write
+        // translation dies on the next access.
         let pages = self.vm.space(child_space).pages.len() as u64;
         let child_pid = Pid(self.next_pid);
         self.next_pid += 1;
@@ -455,7 +455,6 @@ impl Kernel {
                 self.vm
                     .unmap(space, addr, len.div_ceil(4096) * 4096)
                     .map_err(|_| err(Errno::EINVAL))?;
-                self.cpu.flush_tlb();
             }
             self.vm
                 .map(space, Some(addr), len, prot, Backing::Zero, "mmap")
@@ -505,7 +504,6 @@ impl Kernel {
         self.vm
             .unmap(space, target.addr(), len.div_ceil(4096) * 4096)
             .map_err(|_| err(Errno::EINVAL))?;
-        self.cpu.flush_tlb();
         Ok(0)
     }
 
@@ -592,7 +590,6 @@ impl Kernel {
         self.vm
             .unmap(space, m.0, m.1)
             .map_err(|_| err(Errno::EINVAL))?;
-        self.cpu.flush_tlb();
         Ok(0)
     }
 
@@ -603,7 +600,6 @@ impl Kernel {
             .vm
             .swap_out_space(space, n)
             .map_err(|_| err(Errno::EINVAL))?;
-        self.cpu.flush_tlb();
         Ok(evicted as u64)
     }
 
@@ -889,7 +885,6 @@ impl Kernel {
         self.vm
             .protect(space, target.addr(), len.div_ceil(4096) * 4096, prot)
             .map_err(|_| err(Errno::EINVAL))?;
-        self.cpu.flush_tlb();
         Ok(0)
     }
 
@@ -924,7 +919,6 @@ impl Kernel {
                 revoked += 1;
             }
         }
-        self.cpu.flush_tlb();
         Ok(revoked)
     }
 }

@@ -111,6 +111,13 @@ pub struct Vm {
     shared: HashMap<u64, SharedSeg>,
     next_seg: u64,
     frame_refs: HashMap<FrameId, usize>,
+    /// Monotone translation epoch: bumped by every operation that can
+    /// change an established virtual→physical translation (map, unmap,
+    /// mprotect, fork COW re-marking, COW resolution, swap in/out, space
+    /// teardown, shared-segment destruction). Translation caches compare
+    /// their saved epoch against [`Vm::epoch`] and self-invalidate on
+    /// mismatch; see DESIGN.md "The TLB and the translation epoch".
+    epoch: u64,
 }
 
 impl fmt::Debug for Vm {
@@ -138,7 +145,26 @@ impl Vm {
             shared: HashMap::new(),
             next_seg: 1,
             frame_refs: HashMap::new(),
+            epoch: 0,
         }
+    }
+
+    /// Current translation epoch.
+    ///
+    /// The epoch is bumped whenever *any* established translation may have
+    /// changed. A cache that recorded `epoch()` at fill time may keep serving
+    /// a translation only while `epoch()` still returns the same value.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Records that established translations may have changed. Called from
+    /// every mutation path (map/unmap/protect, fork COW re-marking, COW
+    /// resolution, swap in/out, teardown) — never from pure demand faults,
+    /// which only add translations for pages no cache can have seen.
+    fn bump_epoch(&mut self) {
+        self.epoch += 1;
     }
 
     // ------------------------------------------------------------------
@@ -191,6 +217,9 @@ impl Vm {
                 self.release_seg(seg);
             }
         }
+        // Frames owned by the space were released above: any translation a
+        // cache still holds for this space id is now dangling.
+        self.bump_epoch();
     }
 
     /// Clones `parent` into a new space sharing all private pages
@@ -257,6 +286,9 @@ impl Vm {
         }
         child.pages = child_pages;
         self.spaces.insert(id, child);
+        // Previously-writable parent pages were just re-marked COW: a cached
+        // write translation for the parent would bypass the copy.
+        self.bump_epoch();
         Ok(id)
     }
 
@@ -322,6 +354,7 @@ impl Vm {
         if let Backing::Shared { seg } = backing {
             self.shared.get_mut(&seg).expect("checked above").refs += 1;
         }
+        self.bump_epoch();
         Ok(start)
     }
 
@@ -406,6 +439,7 @@ impl Vm {
         for seg in released_segs {
             self.release_seg(seg);
         }
+        self.bump_epoch();
         Ok(())
     }
 
@@ -488,6 +522,10 @@ impl Vm {
                 self.release_seg(seg);
             }
         }
+        // A cached translation carries the access rights it was probed with;
+        // revoking a right must force the next access back through the
+        // protection check above.
+        self.bump_epoch();
         Ok(())
     }
 
@@ -545,6 +583,7 @@ impl Vm {
             for f in s.frames {
                 self.release_frame(f);
             }
+            self.bump_epoch();
         }
     }
 
@@ -564,6 +603,27 @@ impl Vm {
     // Translation and demand paging
     // ------------------------------------------------------------------
 
+    /// Non-faulting translation fast path: succeeds only when the page is
+    /// already resident and the access needs no VM work at all (no demand
+    /// fault, no swap-in, no COW resolution). Takes `&self`, touches no
+    /// statistics and has no side effects, so callers may consult it — or a
+    /// cache built on top of it — any number of times without perturbing
+    /// guest-visible behaviour.
+    #[must_use]
+    pub fn lookup(&self, id: AsId, vaddr: u64, access: Access) -> Option<PAddr> {
+        let space = self.spaces.get(&id)?;
+        let mapping = space.mapping_at(vaddr)?;
+        if !mapping.prot.allows(access.required_prot()) {
+            return None;
+        }
+        match space.pages.get(&(vaddr / FRAME_SIZE)) {
+            Some(&PageState::Resident { frame, cow }) if !(cow && access == Access::Write) => {
+                Some(PAddr::new(frame, vaddr % FRAME_SIZE))
+            }
+            _ => None,
+        }
+    }
+
     /// Translates `vaddr` for `access`, faulting pages in and resolving COW
     /// as needed. Returns the physical address.
     ///
@@ -572,6 +632,16 @@ impl Vm {
     /// [`VmError::Unmapped`], [`VmError::Protection`] or
     /// [`VmError::OutOfMemory`].
     pub fn translate(&mut self, id: AsId, vaddr: u64, access: Access) -> Result<PAddr, VmError> {
+        if let Some(pa) = self.lookup(id, vaddr, access) {
+            return Ok(pa);
+        }
+        self.translate_slow(id, vaddr, access)
+    }
+
+    /// Faulting slow path behind [`Vm::translate`]: resolves the mapping,
+    /// checks protection, and performs whatever VM work the page needs.
+    /// May bump the translation epoch (COW resolution, swap-in).
+    fn translate_slow(&mut self, id: AsId, vaddr: u64, access: Access) -> Result<PAddr, VmError> {
         let vpn = vaddr / FRAME_SIZE;
         let off = vaddr % FRAME_SIZE;
         let space = self.spaces.get_mut(&id).ok_or(VmError::NoSuchSpace)?;
@@ -656,6 +726,7 @@ impl Vm {
             self.space_mut(id)
                 .pages
                 .insert(vpn, PageState::Resident { frame, cow: false });
+            self.bump_epoch();
             return Ok(frame);
         }
         let new = self.alloc_frame_tracked()?;
@@ -672,6 +743,9 @@ impl Vm {
                 cow: false,
             },
         );
+        // Read translations for this page still point at the old shared
+        // frame; the writer must not keep reading stale data through them.
+        self.bump_epoch();
         Ok(new)
     }
 
@@ -727,6 +801,9 @@ impl Vm {
             .pages
             .insert(vpn, PageState::Swapped { slot });
         self.stats.swap_outs += 1;
+        // The frame just freed may be reused immediately; any cached
+        // translation for this page is dangling.
+        self.bump_epoch();
         Ok(true)
     }
 
@@ -790,6 +867,7 @@ impl Vm {
         self.space_mut(id)
             .pages
             .insert(vpn, PageState::Resident { frame, cow: false });
+        self.bump_epoch();
         Ok(frame)
     }
 
@@ -1120,5 +1198,67 @@ mod tests {
             "writer copied"
         );
         assert_eq!(vm.read_u64(child, base).unwrap(), 5);
+    }
+
+    #[test]
+    fn epoch_bumps_on_every_mapping_mutation() {
+        let (mut vm, id) = setup();
+        let mut last = vm.epoch();
+        let base = vm
+            .map(id, None, 8192, Prot::rw(), Backing::Zero, "anon")
+            .unwrap();
+        assert!(vm.epoch() > last, "map must bump the epoch");
+        last = vm.epoch();
+        vm.write_u64(id, base, 1).unwrap();
+        assert_eq!(vm.epoch(), last, "pure demand fault must not bump");
+        let child = vm.fork_space(id).unwrap();
+        assert!(vm.epoch() > last, "fork_space must bump the epoch");
+        last = vm.epoch();
+        vm.write_u64(id, base, 2).unwrap();
+        assert!(vm.epoch() > last, "COW resolution must bump the epoch");
+        last = vm.epoch();
+        vm.protect(id, base, 4096, Prot::READ).unwrap();
+        assert!(vm.epoch() > last, "protect must bump the epoch");
+        last = vm.epoch();
+        vm.destroy_space(child);
+        assert!(vm.epoch() > last, "destroy_space must bump the epoch");
+        last = vm.epoch();
+        // Fault the second page in privately, then push it through a swap
+        // round trip.
+        vm.write_u64(id, base + 4096, 3).unwrap();
+        assert_eq!(vm.epoch(), last, "pure demand fault must not bump");
+        assert!(vm.swap_out(id, base + 4096).unwrap());
+        assert!(vm.epoch() > last, "swap_out must bump the epoch");
+        last = vm.epoch();
+        assert_eq!(vm.read_u64(id, base + 4096).unwrap(), 3);
+        assert!(vm.epoch() > last, "swap_in must bump the epoch");
+        last = vm.epoch();
+        vm.unmap(id, base + 4096, 4096).unwrap();
+        assert!(vm.epoch() > last, "unmap must bump the epoch");
+    }
+
+    #[test]
+    fn lookup_is_side_effect_free_and_matches_translate() {
+        let (mut vm, id) = setup();
+        let base = vm
+            .map(id, None, 4096, Prot::rw(), Backing::Zero, "anon")
+            .unwrap();
+        // Nothing resident yet: lookup must refuse rather than fault in.
+        assert_eq!(vm.lookup(id, base, Access::Read), None);
+        assert_eq!(vm.stats.faults, 0);
+        let pa = vm.translate(id, base + 8, Access::Write).unwrap();
+        assert_eq!(vm.lookup(id, base + 8, Access::Write), Some(pa));
+        // A COW page is visible to reads but not writes via the fast path.
+        vm.fork_space(id).unwrap();
+        let faults = vm.stats.faults;
+        let cows = vm.stats.cow_copies;
+        let epoch = vm.epoch();
+        for _ in 0..4 {
+            assert!(vm.lookup(id, base, Access::Read).is_some());
+            assert_eq!(vm.lookup(id, base, Access::Write), None);
+        }
+        assert_eq!(vm.stats.faults, faults, "lookup must not fault");
+        assert_eq!(vm.stats.cow_copies, cows, "lookup must not resolve COW");
+        assert_eq!(vm.epoch(), epoch, "lookup must not bump the epoch");
     }
 }

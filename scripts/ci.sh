@@ -43,4 +43,15 @@ cmp target/table1-full.lines target/table1-merged.lines || {
     exit 1
 }
 
+echo "==> golden: pinned table1 sub-suite is byte-identical to the committed golden"
+./target/release/run_specs --specs scripts/golden/table1_pinned.specs \
+    --jobs 2 --no-cache --shard 0/1 > target/table1-pinned.lines
+cmp scripts/golden/table1_pinned.golden target/table1-pinned.lines || {
+    echo "FAIL: pinned sub-suite output differs from scripts/golden/table1_pinned.golden"
+    echo "      (cycle/L2 metrics changed; if intentional, regenerate the golden:"
+    echo "       ./target/release/run_specs --specs scripts/golden/table1_pinned.specs \\"
+    echo "           --jobs 2 --no-cache --shard 0/1 > scripts/golden/table1_pinned.golden)"
+    exit 1
+}
+
 echo "CI: all gates passed"
