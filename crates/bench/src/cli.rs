@@ -47,6 +47,9 @@ pub struct BenchOpts {
     /// Print the session's spec list as JSON lines and exit instead of
     /// running anything (feed the output to `run_specs --specs`).
     pub dump_specs: bool,
+    /// Re-run panicked / deadline-exceeded cases up to this many times
+    /// with deterministic backoff before accepting the outcome.
+    pub retries: u64,
 }
 
 impl Default for BenchOpts {
@@ -60,6 +63,7 @@ impl Default for BenchOpts {
             json_stream: false,
             cache_limit: None,
             dump_specs: false,
+            retries: 0,
         }
     }
 }
@@ -98,6 +102,13 @@ pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<BenchOpts, S
                 opts.cache_limit = Some(limit);
             }
             "--dump-specs" => opts.dump_specs = true,
+            "--retries" => {
+                let value = iter.next().ok_or("--retries needs a value")?;
+                let retries: u64 = value
+                    .parse()
+                    .map_err(|_| format!("--retries: not a number: {value}"))?;
+                opts.retries = retries;
+            }
             "--specs" => {
                 return Err("--specs is only supported by the run_specs binary".to_string());
             }
@@ -121,7 +132,9 @@ pub const USAGE: &str = "options:\n  \
     --cache-limit B  after the session, prune the report cache to at most\n                 \
     B bytes (oldest entries first; never this session's own)\n  \
     --dump-specs   print the session's RunSpec JSON lines and exit\n                 \
-    (pipe into `run_specs --specs -` to replay them)";
+    (pipe into `run_specs --specs -` to replay them)\n  \
+    --retries N    re-run panicked / deadline-exceeded cases up to N times\n                 \
+    (deterministic backoff; cache keys and entries are unaffected)";
 
 /// Parses the process arguments; prints the usage text and exits 0 on
 /// `--help`, exits 2 on anything unrecognised.
@@ -271,6 +284,7 @@ pub fn run_specs(
             } else {
                 None
             },
+            retries: opts.retries,
         },
     );
     if let Some(cache) = &cache {
@@ -395,6 +409,15 @@ mod tests {
         let defaults = parse_args(args(&[])).expect("parses");
         assert_eq!(defaults.cache_limit, None);
         assert!(!defaults.dump_specs);
+    }
+
+    #[test]
+    fn parses_retries() {
+        let opts = parse_args(args(&["--retries", "3"])).expect("parses");
+        assert_eq!(opts.retries, 3);
+        assert_eq!(parse_args(args(&[])).expect("parses").retries, 0);
+        assert!(parse_args(args(&["--retries"])).is_err());
+        assert!(parse_args(args(&["--retries", "many"])).is_err());
     }
 
     #[test]

@@ -458,6 +458,65 @@ mod tests {
     }
 
     #[test]
+    fn fault_plans_salt_the_key_but_retry_metadata_does_not() {
+        use crate::fault::{FaultKind, FaultPlan};
+        let tmp = TempDir::new("fault-identity");
+        let cache = ReportCache::new(&tmp.0, 1).expect("open cache");
+        let registry = Registry::builtin();
+        let plain = exit_spec("case", 5);
+        cache.store(&plain, &execute_spec(&registry, &plain));
+        assert!(cache.load(&plain).is_some());
+
+        // Arming any fault plan changes what the guest may observe, so it
+        // must miss the fault-free entry — and distinct plans must miss
+        // each other.
+        let flipped = plain
+            .clone()
+            .with_fault(FaultPlan::new(FaultKind::BitFlipData {
+                after_writes: 3,
+                bit: 0,
+            }));
+        assert!(cache.load(&flipped).is_none(), "fault plan salts the key");
+        cache.store(&flipped, &execute_spec(&registry, &flipped));
+        assert!(cache.load(&flipped).is_some());
+        assert!(cache.load(&plain).is_some(), "fault-free entry untouched");
+        let other_plan = plain
+            .clone()
+            .with_fault(FaultPlan::new(FaultKind::BitFlipData {
+                after_writes: 3,
+                bit: 1,
+            }));
+        assert!(cache.load(&other_plan).is_none(), "plans are distinct keys");
+        let mut weakened = flipped.clone();
+        weakened.fault.as_mut().expect("planned").weaken_tag_clear = true;
+        assert!(
+            cache.load(&weakened).is_none(),
+            "the weakened hook is part of the identity"
+        );
+
+        // Retry metadata, by contrast, is attached after the store: a
+        // session run with retries enabled produces the same keys and
+        // byte-identical entries as one without.
+        let specs = vec![exit_spec("retry", 7)];
+        let with_retries = SessionOpts {
+            cache: Some(&cache),
+            retries: 3,
+            ..SessionOpts::default()
+        };
+        let cold = Harness::new(1).run_session(&registry, &specs, &with_retries);
+        assert_eq!(cold.cache_misses, 1);
+        let without_retries = SessionOpts {
+            cache: Some(&cache),
+            ..SessionOpts::default()
+        };
+        let warm = Harness::new(1).run_session(&registry, &specs, &without_retries);
+        assert_eq!(warm.cache_hits, 1, "retry settings never change the key");
+        let report = &warm.reports[0].1;
+        assert_eq!(report.retries, 0, "cached entries hold no retry metadata");
+        assert!(!report.quarantined);
+    }
+
+    #[test]
     fn corrupt_entries_read_as_misses() {
         let tmp = TempDir::new("corrupt");
         let cache = ReportCache::new(&tmp.0, 1).expect("open cache");

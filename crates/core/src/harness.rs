@@ -36,6 +36,7 @@
 //! identical to an unsharded run.
 
 use crate::cache::ReportCache;
+use crate::fault::{FaultCounters, FaultPlan};
 use crate::json::Json;
 use crate::spec::{ProgramSpec, Registry};
 use crate::trace::SizeCdf;
@@ -85,6 +86,12 @@ pub struct RunSpec {
     /// Collect the capability-derivation trace (Figure 5); the report then
     /// carries the size distribution. Traced runs are never cached.
     pub trace: bool,
+    /// Optional fault-injection plan, armed on the fresh kernel before the
+    /// guest spawns. Part of the cache identity (a faulted run never
+    /// serves a fault-free entry); `None` encodes to nothing, so fault-free
+    /// spec JSON — and every existing golden — is byte-identical to before
+    /// the fault plane existed.
+    pub fault: Option<FaultPlan>,
 }
 
 impl RunSpec {
@@ -109,6 +116,7 @@ impl RunSpec {
             config: KernelConfig::default(),
             l2_size: None,
             trace: false,
+            fault: None,
         }
     }
 
@@ -161,10 +169,17 @@ impl RunSpec {
         self
     }
 
+    /// Arms a fault-injection plan on this case's kernel.
+    #[must_use]
+    pub fn with_fault(mut self, plan: FaultPlan) -> RunSpec {
+        self.fault = Some(plan);
+        self
+    }
+
     /// Canonical JSON encoding of the complete spec.
     #[must_use]
     pub fn to_json(&self) -> Json {
-        Json::obj(vec![
+        let mut fields = vec![
             ("name", Json::str(self.name.clone())),
             ("spec", self.program.to_json()),
             ("opts", codegen_opts_to_json(self.opts)),
@@ -179,7 +194,11 @@ impl RunSpec {
             ("config", kernel_config_to_json(self.config)),
             ("l2_size", Json::opt(self.l2_size.map(Json::u64))),
             ("trace", Json::Bool(self.trace)),
-        ])
+        ];
+        if let Some(plan) = &self.fault {
+            fields.push(("fault", plan.to_json()));
+        }
+        Json::obj(fields)
     }
 
     /// Decodes [`RunSpec::to_json`] output.
@@ -203,6 +222,12 @@ impl RunSpec {
             config: kernel_config_from_json(v.field("config")?)?,
             l2_size: v.field("l2_size")?.as_opt(Json::as_u64)?,
             trace: v.field("trace")?.as_bool()?,
+            // Absent in all pre-fault-plane encodings; `get` keeps them
+            // parseable.
+            fault: match v.get("fault") {
+                Some(plan) => Some(FaultPlan::from_json(plan)?),
+                None => None,
+            },
         })
     }
 }
@@ -327,6 +352,7 @@ fn trap_cause_token(cause: TrapCause) -> String {
             VmError::MappingExists(a) => format!("vm:exists:{a}"),
             VmError::BadAlignment(a) => format!("vm:bad-align:{a}"),
             VmError::BadRange(a) => format!("vm:bad-range:{a}"),
+            VmError::SwapIo(a) => format!("vm:swap-io:{a}"),
             // `VmError` is non-exhaustive; an unknown future variant still
             // needs *some* stable token (it just won't parse back).
             other => format!("vm:other:{other:?}"),
@@ -365,6 +391,7 @@ fn trap_cause_from_token(token: &str) -> Result<TrapCause, String> {
             "exists" => VmError::MappingExists(addr),
             "bad-align" => VmError::BadAlignment(addr),
             "bad-range" => VmError::BadRange(addr),
+            "swap-io" => VmError::SwapIo(addr),
             other => return Err(format!("unknown vm fault `{other}`")),
         };
         return Ok(TrapCause::Vm(e));
@@ -512,14 +539,27 @@ pub struct CaseReport {
     /// The Figure 5 capability-size distribution, collected only when
     /// [`RunSpec::trace`] was set (never part of the cached/streamed JSON).
     pub cap_cdf: Option<SizeCdf>,
+    /// Times the case was re-executed by the session's retry policy
+    /// ([`SessionOpts::retries`]). Retry metadata never reaches the cache:
+    /// the cache key is a function of the spec alone, and stored entries
+    /// hold the execution result from before the metadata is attached.
+    pub retries: u64,
+    /// True when the case still had a transient outcome
+    /// (panicked/deadline) after exhausting its retries.
+    pub quarantined: bool,
+    /// What the armed fault plane did, when [`RunSpec::fault`] was set.
+    pub faults: Option<FaultCounters>,
 }
 
 impl CaseReport {
     /// Canonical JSON encoding (omits `cap_cdf`; traced runs are
     /// rendered by their experiment, not by the generic report line).
+    /// Retry metadata and fault counters are appended only when present,
+    /// so a plain, fault-free report encodes byte-identically to before
+    /// the fault plane existed — existing goldens stay valid.
     #[must_use]
     pub fn to_json(&self) -> Json {
-        Json::obj(vec![
+        let mut fields = vec![
             ("name", Json::str(self.name.clone())),
             ("seed", Json::u64(self.seed)),
             ("outcome", self.outcome.to_json()),
@@ -534,7 +574,17 @@ impl CaseReport {
                 ]),
             ),
             ("wall_nanos", Json::Int(self.wall.as_nanos() as i128)),
-        ])
+        ];
+        if self.retries != 0 {
+            fields.push(("retries", Json::u64(self.retries)));
+        }
+        if self.quarantined {
+            fields.push(("quarantined", Json::Bool(true)));
+        }
+        if let Some(counters) = &self.faults {
+            fields.push(("faults", counters.to_json()));
+        }
+        Json::obj(fields)
     }
 
     /// [`CaseReport::to_json`] with the submission index prepended — the
@@ -587,6 +637,19 @@ impl CaseReport {
                 u64::try_from(v.field("wall_nanos")?.as_u128()?).unwrap_or(u64::MAX),
             ),
             cap_cdf: None,
+            // Optional tail fields (absent in pre-fault-plane encodings).
+            retries: match v.get("retries") {
+                Some(n) => n.as_u64()?,
+                None => 0,
+            },
+            quarantined: match v.get("quarantined") {
+                Some(b) => b.as_bool()?,
+                None => false,
+            },
+            faults: match v.get("faults") {
+                Some(counters) => Some(FaultCounters::from_json(counters)?),
+                None => None,
+            },
         })
     }
 }
@@ -610,28 +673,38 @@ fn execute_inner(registry: &Registry, spec: &RunSpec) -> CaseReport {
         if spec.trace {
             sys.enable_tracing();
         }
+        // Arm the fault plane before the guest spawns, so access counts
+        // start from the same zero on every run of this spec.
+        if let Some(plan) = &spec.fault {
+            plan.arm(&mut sys.kernel);
+        }
         let mut opts = SpawnOpts::new(spec.abi);
         opts.asan = spec.asan;
         opts.instr_budget = spec.instr_budget;
         let result = sys.measure(&program, &opts);
         let cdf = spec.trace.then(|| sys.capability_histogram());
-        (result, cdf)
+        // Harvest even when the load failed: a fault injected into the
+        // exec path still fired.
+        let faults = spec.fault.map(|_| FaultCounters::harvest(&sys.kernel));
+        (result, cdf, faults)
     }));
     let wall = start.elapsed();
-    let (outcome, console, metrics, cap_cdf) = match run {
-        Ok((Ok((status, console, metrics)), cdf)) => {
-            (CaseOutcome::Exited(status), console, metrics, cdf)
+    let (outcome, console, metrics, cap_cdf, faults) = match run {
+        Ok((Ok((status, console, metrics)), cdf, faults)) => {
+            (CaseOutcome::Exited(status), console, metrics, cdf, faults)
         }
-        Ok((Err(load), _)) => (
+        Ok((Err(load), _, faults)) => (
             CaseOutcome::LoadFailed(load.to_string()),
             String::new(),
             Metrics::default(),
             None,
+            faults,
         ),
         Err(payload) => (
             CaseOutcome::Panicked(panic_message(payload.as_ref())),
             String::new(),
             Metrics::default(),
+            None,
             None,
         ),
     };
@@ -643,6 +716,9 @@ fn execute_inner(registry: &Registry, spec: &RunSpec) -> CaseReport {
         metrics,
         wall,
         cap_cdf,
+        retries: 0,
+        quarantined: false,
+        faults,
     }
 }
 
@@ -680,6 +756,9 @@ pub fn execute_spec(registry: &Registry, spec: &RunSpec) -> CaseReport {
             metrics: Metrics::default(),
             wall: start.elapsed(),
             cap_cdf: None,
+            retries: 0,
+            quarantined: false,
+            faults: None,
         },
     }
 }
@@ -754,6 +833,35 @@ pub struct SessionOpts<'a> {
     /// Called once per completed case, as it completes (completion order,
     /// not submission order). Drives `--json-stream`.
     pub on_report: Option<&'a ReportObserver<'a>>,
+    /// Re-execute a case up to this many times when its outcome is
+    /// *transient* — panicked or deadline-exceeded, the two outcomes that
+    /// can reflect host conditions rather than the spec — with a
+    /// deterministic exponential backoff ([`retry_backoff`]) between
+    /// attempts. The final report carries the attempt count in
+    /// [`CaseReport::retries`]; a case still transient after the last
+    /// attempt is marked [`CaseReport::quarantined`]. Retry metadata is
+    /// attached *after* the cache store, so cached entries (and cache
+    /// keys, which depend only on the spec) never see it.
+    pub retries: u64,
+}
+
+/// Whether `outcome` is worth retrying: only panics and missed deadlines
+/// can be environmental; every other outcome is a deterministic function
+/// of the spec.
+#[must_use]
+pub fn outcome_is_transient(outcome: &CaseOutcome) -> bool {
+    matches!(
+        outcome,
+        CaseOutcome::Panicked(_) | CaseOutcome::DeadlineExceeded
+    )
+}
+
+/// The deterministic backoff before retry `attempt` (1-based): 10 ms
+/// doubling per attempt, capped at 320 ms. A pure function of the attempt
+/// number — no jitter — so retried sessions stay reproducible.
+#[must_use]
+pub fn retry_backoff(attempt: u64) -> Duration {
+    Duration::from_millis(10u64 << attempt.clamp(1, 6).saturating_sub(1))
 }
 
 /// What a session produced: the owned reports plus cache counters.
@@ -866,10 +974,20 @@ impl Harness {
                     (report, true)
                 }
                 None => {
-                    let report = execute_spec(registry, spec);
+                    let mut report = execute_spec(registry, spec);
+                    let mut attempts = 0u64;
+                    while attempts < opts.retries && outcome_is_transient(&report.outcome) {
+                        attempts += 1;
+                        std::thread::sleep(retry_backoff(attempts));
+                        report = execute_spec(registry, spec);
+                    }
+                    // Store first: the cache holds the execution result;
+                    // retry metadata is session bookkeeping, not identity.
                     if let Some(cache) = opts.cache {
                         cache.store(spec, &report);
                     }
+                    report.retries = attempts;
+                    report.quarantined = attempts > 0 && outcome_is_transient(&report.outcome);
                     (report, false)
                 }
             };
@@ -1185,6 +1303,9 @@ mod tests {
                 },
                 wall: Duration::from_micros(1234),
                 cap_cdf: None,
+                retries: 0,
+                quarantined: false,
+                faults: None,
             };
             let text = report.to_json().to_string();
             let back =
@@ -1210,9 +1331,161 @@ mod tests {
             metrics: Metrics::default(),
             wall: Duration::ZERO,
             cap_cdf: None,
+            retries: 0,
+            quarantined: false,
+            faults: None,
         };
         let line = report.to_json_tagged(12).to_string();
         assert!(line.starts_with("{\"case\":12,\"name\":\"t\""), "{line}");
+    }
+
+    #[test]
+    fn swap_io_traps_round_trip_through_json() {
+        let status = ExitStatus::Fault(TrapCause::Vm(VmError::SwapIo(8192)));
+        let text = exit_status_to_json(status).to_string();
+        assert!(text.contains("vm:swap-io:8192"), "{text}");
+        let back = exit_status_from_json(&json::parse(&text).expect("parses")).expect("decodes");
+        assert_eq!(back, status);
+    }
+
+    #[test]
+    fn retry_metadata_round_trips_but_plain_reports_omit_it() {
+        use crate::fault::FaultCounters;
+        let mut report = CaseReport {
+            name: "rt".to_string(),
+            seed: 1,
+            outcome: CaseOutcome::Panicked("flaky".to_string()),
+            console: String::new(),
+            metrics: Metrics::default(),
+            wall: Duration::from_micros(5),
+            cap_cdf: None,
+            retries: 3,
+            quarantined: true,
+            faults: Some(FaultCounters {
+                flips: 1,
+                tags_cleared: 1,
+                ..FaultCounters::default()
+            }),
+        };
+        let text = report.to_json().to_string();
+        assert!(text.contains("\"retries\":3"), "{text}");
+        assert!(text.contains("\"quarantined\":true"), "{text}");
+        assert!(text.contains("\"faults\":{"), "{text}");
+        let back = CaseReport::from_json(&json::parse(&text).expect("parses")).expect("decodes");
+        assert_eq!(back, report);
+        assert_eq!(back.to_json().to_string(), text, "byte-identical re-encode");
+        // A plain report encodes without any of the tail fields, so every
+        // pre-fault-plane golden (and cache entry) stays byte-identical.
+        report.retries = 0;
+        report.quarantined = false;
+        report.faults = None;
+        let plain = report.to_json().to_string();
+        assert!(!plain.contains("retries"), "{plain}");
+        assert!(!plain.contains("quarantined"), "{plain}");
+        assert!(!plain.contains("faults"), "{plain}");
+        let back = CaseReport::from_json(&json::parse(&plain).expect("parses")).expect("decodes");
+        assert_eq!(back, report, "absent tail fields decode to defaults");
+    }
+
+    #[test]
+    fn fault_plans_ride_run_spec_json() {
+        use crate::fault::{FaultKind, FaultPlan};
+        let plain = exit_with_seed_spec("f", 4);
+        let plain_text = plain.to_json().to_string();
+        assert!(!plain_text.contains("\"fault\":"), "{plain_text}");
+        // Pre-fault-plane JSON (no `fault` key) still decodes.
+        let back = RunSpec::from_json(&json::parse(&plain_text).expect("parses")).expect("decodes");
+        assert_eq!(back, plain);
+        // And a planned spec round-trips byte-identically.
+        let planned = plain.with_fault(FaultPlan::new(FaultKind::BitFlipCap {
+            after_writes: 40,
+            bit: 3,
+        }));
+        let text = planned.to_json().to_string();
+        assert!(
+            text.contains("\"fault\":{\"kind\":\"bit-flip-cap\""),
+            "{text}"
+        );
+        let back = RunSpec::from_json(&json::parse(&text).expect("parses")).expect("decodes");
+        assert_eq!(back, planned);
+        assert_eq!(back.to_json().to_string(), text);
+    }
+
+    #[test]
+    fn retries_rerun_transient_cases_then_quarantine() {
+        let registry = Registry::builtin();
+        let specs = vec![
+            RunSpec::new(
+                "boom",
+                ProgramSpec::Boom,
+                CodegenOpts::purecap(),
+                AbiMode::CheriAbi,
+            ),
+            exit_with_seed_spec("fine", 2),
+        ];
+        let opts = SessionOpts {
+            retries: 2,
+            ..SessionOpts::default()
+        };
+        let session = Harness::new(1).run_session(&registry, &specs, &opts);
+        let reports = session.into_reports();
+        assert!(matches!(reports[0].outcome, CaseOutcome::Panicked(_)));
+        assert_eq!(reports[0].retries, 2, "both retries spent");
+        assert!(reports[0].quarantined, "still transient => quarantined");
+        assert_eq!(reports[1].retries, 0, "healthy cases are not retried");
+        assert!(!reports[1].quarantined);
+        // Backoff is a pure function of the attempt number.
+        assert_eq!(retry_backoff(1), Duration::from_millis(10));
+        assert_eq!(retry_backoff(2), Duration::from_millis(20));
+        assert_eq!(retry_backoff(100), Duration::from_millis(320));
+        assert!(outcome_is_transient(&CaseOutcome::DeadlineExceeded));
+        assert!(!outcome_is_transient(&CaseOutcome::Exited(
+            ExitStatus::Code(0)
+        )));
+    }
+
+    #[test]
+    fn faulted_specs_collect_counters_without_host_panics() {
+        use crate::fault::{FaultKind, FaultPlan};
+        let registry = Registry::builtin();
+        // A transparent EINTR: malloc is an eligible syscall, so the
+        // injection fires and the guest still exits with its normal code.
+        let spec = RunSpec::new(
+            "eintr",
+            ProgramSpec::CapChurn { iters: 10 },
+            CodegenOpts::purecap(),
+            AbiMode::CheriAbi,
+        )
+        .with_fault(FaultPlan::new(FaultKind::SyscallEintr { at: 1 }));
+        let report = execute_spec(&registry, &spec);
+        assert_eq!(report.outcome, CaseOutcome::Exited(ExitStatus::Code(9)));
+        let counters = report.faults.expect("faulted spec harvests counters");
+        assert_eq!(counters.eintr_injected, 1);
+        // A capability bit-flip with proper semantics: the run must end in
+        // a clean exit or a clean guest fault — never a panic, and never a
+        // still-tagged corrupted capability.
+        let spec = RunSpec::new(
+            "flip",
+            ProgramSpec::CapChurn { iters: 10 },
+            CodegenOpts::purecap(),
+            AbiMode::CheriAbi,
+        )
+        .with_fault(FaultPlan::new(FaultKind::BitFlipCap {
+            after_writes: 50,
+            bit: 1,
+        }));
+        let report = execute_spec(&registry, &spec);
+        assert!(
+            matches!(report.outcome, CaseOutcome::Exited(_)),
+            "got {:?}",
+            report.outcome
+        );
+        let counters = report.faults.expect("harvested");
+        assert_eq!(counters.tags_preserved, 0);
+        assert_eq!(counters.corrupt_cap_loads, 0, "no escapes");
+        // An unfaulted spec carries no counters at all.
+        let plain = execute_spec(&registry, &exit_with_seed_spec("plain", 0));
+        assert!(plain.faults.is_none());
     }
 
     #[test]

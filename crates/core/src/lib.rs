@@ -13,7 +13,11 @@
 //!   capability-count-vs-bounds-size distribution, per source;
 //! * [`verify`] — the abstract-capability invariant checker: every tagged
 //!   capability reachable by a process (registers and private memory) must
-//!   belong to that process's principal (DESIGN.md invariant I4).
+//!   belong to that process's principal (DESIGN.md invariant I4);
+//! * [`fault`] — the seeded, deterministic fault-injection plane:
+//!   physical-memory bit-flips, swap-device I/O errors and transient
+//!   syscall errors, armed per-case so corruption provably lands as a
+//!   clean capability fault, never a host panic.
 //!
 //! ```
 //! use cheriabi::{System, guest::GuestOps};
@@ -45,6 +49,7 @@
 
 pub mod cache;
 pub mod debug;
+pub mod fault;
 pub mod guest;
 pub mod harness;
 pub mod json;

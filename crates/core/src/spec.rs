@@ -25,7 +25,9 @@
 
 use crate::guest::GuestOps;
 use crate::json::Json;
-use cheri_isa::codegen::{CodegenOpts, FnBuilder, Val};
+use cheri_isa::codegen::{CodegenOpts, FnBuilder, Ptr, Val};
+use cheri_isa::Width;
+use cheri_kernel::Sys;
 use cheri_rtld::{Program, ProgramBuilder};
 use std::sync::Arc;
 
@@ -52,6 +54,25 @@ pub enum ProgramSpec {
     },
     /// Probe: the builder panics (exercises harness panic isolation).
     Boom,
+    /// Probe: a capability-churn loop for the fault campaign — every
+    /// iteration writes data, stores a pointer to memory, reloads it and
+    /// dereferences it, so both data and capability granules mutate at a
+    /// steady deterministic rate and an injected corruption is quickly
+    /// *observed*. Iterates `iters + seed % 4` times (seed-sensitive so
+    /// different seeds shift the access stream under injected faults).
+    CapChurn {
+        /// Base loop iterations.
+        iters: i64,
+    },
+    /// Probe: a swap-stress loop for the fault campaign — touches
+    /// `pages + seed % 3` pages (one data word and one stored pointer
+    /// each), forces the whole space out through `swapctl`, then reloads
+    /// and dereferences every stored pointer, exercising the tag-preserving
+    /// swap path (Figure 2) and the swap-device error paths.
+    SwapStress {
+        /// Base page count.
+        pages: i64,
+    },
     /// A named test of the generated corpus (Tables 1/2); the name is
     /// unique across the FreeBSD-like, pg_regress-like and libc++-like
     /// suites. Lowered by `cheri-corpus`.
@@ -126,6 +147,14 @@ impl ProgramSpec {
                 ("iters", Json::i64(*iters)),
             ]),
             ProgramSpec::Boom => Json::obj(vec![("program", Json::str("boom"))]),
+            ProgramSpec::CapChurn { iters } => Json::obj(vec![
+                ("program", Json::str("cap-churn")),
+                ("iters", Json::i64(*iters)),
+            ]),
+            ProgramSpec::SwapStress { pages } => Json::obj(vec![
+                ("program", Json::str("swap-stress")),
+                ("pages", Json::i64(*pages)),
+            ]),
             ProgramSpec::Corpus { case } => Json::obj(vec![
                 ("program", Json::str("corpus")),
                 ("case", Json::str(case.clone())),
@@ -185,6 +214,12 @@ impl ProgramSpec {
                 iters: v.field("iters")?.as_i64()?,
             }),
             "boom" => Ok(ProgramSpec::Boom),
+            "cap-churn" => Ok(ProgramSpec::CapChurn {
+                iters: v.field("iters")?.as_i64()?,
+            }),
+            "swap-stress" => Ok(ProgramSpec::SwapStress {
+                pages: v.field("pages")?.as_i64()?,
+            }),
             "corpus" => Ok(ProgramSpec::Corpus {
                 case: v.field("case")?.as_str()?.to_string(),
             }),
@@ -306,6 +341,73 @@ fn lower_builtin(spec: &ProgramSpec, opts: CodegenOpts, seed: u64) -> Option<Pro
             }))
         }
         ProgramSpec::Boom => panic!("probe program `boom` always fails to build"),
+        ProgramSpec::CapChurn { iters } => {
+            let total = *iters + (seed % 4) as i64;
+            Some(single_main("cap-churn", opts, |f| {
+                f.malloc_imm(Ptr(0), 64); // pointer slot
+                f.malloc_imm(Ptr(1), 16); // pointee
+                f.li(Val(0), 0); // i
+                f.li(Val(2), 0); // last observed value
+                let top = f.label();
+                let done = f.label();
+                f.bind(top);
+                f.li(Val(1), total);
+                f.sub(Val(1), Val(0), Val(1));
+                f.beqz(Val(1), done);
+                f.store(Val(0), Ptr(1), 0, Width::D); // data granule mutates
+                f.store_ptr(Ptr(1), Ptr(0), 0); // capability granule mutates
+                f.load_ptr(Ptr(2), Ptr(0), 0); // reload the capability
+                f.load(Val(2), Ptr(2), 0, Width::D, false); // and dereference it
+                f.add_imm(Val(0), Val(0), 1);
+                f.jmp(top);
+                f.bind(done);
+                f.sys_exit(Val(2)); // total - 1 when unfaulted
+            }))
+        }
+        ProgramSpec::SwapStress { pages } => {
+            let pages = *pages + (seed % 3) as i64;
+            Some(single_main("swap-stress", opts, |f| {
+                f.malloc_imm(Ptr(0), pages * 4096);
+                // Write phase: one data word and one stored pointer per page.
+                f.li(Val(0), 0);
+                let wtop = f.label();
+                let wdone = f.label();
+                f.bind(wtop);
+                f.li(Val(1), pages);
+                f.sub(Val(1), Val(0), Val(1));
+                f.beqz(Val(1), wdone);
+                f.shl_imm(Val(1), Val(0), 12);
+                f.ptr_add(Ptr(1), Ptr(0), Val(1));
+                f.store(Val(0), Ptr(1), 0, Width::D);
+                f.store_ptr(Ptr(1), Ptr(1), 16); // tag must survive the swap
+                f.add_imm(Val(0), Val(0), 1);
+                f.jmp(wtop);
+                f.bind(wdone);
+                // Force everything out to the swap device.
+                f.li(Val(1), 1_000_000);
+                f.set_arg_val(0, Val(1));
+                f.syscall(Sys::Swapctl as i64);
+                // Read-back phase: reload each stored pointer, dereference
+                // it, and sum the page indices it points at.
+                f.li(Val(0), 0);
+                f.li(Val(3), 0);
+                let rtop = f.label();
+                let rdone = f.label();
+                f.bind(rtop);
+                f.li(Val(1), pages);
+                f.sub(Val(1), Val(0), Val(1));
+                f.beqz(Val(1), rdone);
+                f.shl_imm(Val(1), Val(0), 12);
+                f.ptr_add(Ptr(1), Ptr(0), Val(1));
+                f.load_ptr(Ptr(2), Ptr(1), 16);
+                f.load(Val(2), Ptr(2), 0, Width::D, false);
+                f.add(Val(3), Val(3), Val(2));
+                f.add_imm(Val(0), Val(0), 1);
+                f.jmp(rtop);
+                f.bind(rdone);
+                f.sys_exit(Val(3)); // pages*(pages-1)/2 when unfaulted
+            }))
+        }
         _ => None,
     }
 }
@@ -337,6 +439,8 @@ mod tests {
             ProgramSpec::Exit { code: 7 },
             ProgramSpec::Spin { iters: 100 },
             ProgramSpec::Boom,
+            ProgramSpec::CapChurn { iters: 40 },
+            ProgramSpec::SwapStress { pages: 5 },
             ProgramSpec::Corpus {
                 case: "arith_sum_17".to_string(),
             },
@@ -396,5 +500,39 @@ mod tests {
             )
         });
         assert!(unclaimed.is_err(), "workload must not lower from builtin");
+    }
+
+    #[test]
+    fn fault_probes_run_to_their_expected_exit_codes() {
+        use crate::{AbiMode, ExitStatus, SpawnOpts, System};
+        let reg = Registry::builtin();
+        for (abi, opts) in [
+            (AbiMode::Mips64, CodegenOpts::mips64()),
+            (AbiMode::CheriAbi, CodegenOpts::purecap()),
+        ] {
+            for seed in [0u64, 1, 5] {
+                let churn = reg.lower(&ProgramSpec::CapChurn { iters: 20 }, opts, seed);
+                let mut sys = System::new();
+                let (status, _) = sys
+                    .kernel
+                    .run_program(&churn, &SpawnOpts::new(abi))
+                    .expect("churn runs");
+                let total = 20 + (seed % 4) as i64;
+                assert_eq!(status, ExitStatus::Code(total - 1), "{abi} seed {seed}");
+
+                let swap = reg.lower(&ProgramSpec::SwapStress { pages: 4 }, opts, seed);
+                let mut sys = System::new();
+                let (status, _) = sys
+                    .kernel
+                    .run_program(&swap, &SpawnOpts::new(abi))
+                    .expect("swap-stress runs");
+                let pages = 4 + (seed % 3) as i64;
+                assert_eq!(
+                    status,
+                    ExitStatus::Code(pages * (pages - 1) / 2),
+                    "{abi} seed {seed}"
+                );
+            }
+        }
     }
 }

@@ -139,6 +139,10 @@ pub enum Errno {
     EPERM = 1,
     ENOENT = 2,
     ESRCH = 3,
+    /// Interrupted call. With kernel restart semantics (the default here)
+    /// user code never observes it; the fault-injection plane uses it to
+    /// exercise the restart path.
+    EINTR = 4,
     EBADF = 9,
     ECHILD = 10,
     ENOMEM = 12,

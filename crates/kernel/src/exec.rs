@@ -17,7 +17,7 @@ use cheri_cap::{CapSource, Capability, Perms};
 use cheri_cpu::RegFile;
 use cheri_isa::{creg, ireg, Instr};
 use cheri_rtld::{LoadError, Program};
-use cheri_vm::{Backing, Prot};
+use cheri_vm::{Backing, Prot, VmError};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
@@ -146,24 +146,25 @@ impl Kernel {
 
         // ---- Figure 1: arguments, environment, aux arrays ----
         let mut cursor = stack_top;
-        let mut place_str = |vm: &mut cheri_vm::Vm, s: &str| -> u64 {
+        // Stack writes are fallible (a fault-injected swap error can reach
+        // even the exec path): failures surface as LoadError, not panics.
+        let mut place_str = |vm: &mut cheri_vm::Vm, s: &str| -> Result<u64, LoadError> {
             let bytes = s.as_bytes();
             cursor -= bytes.len() as u64 + 1;
-            vm.write_bytes(space, cursor, bytes).expect("stack mapped");
-            vm.write_bytes(space, cursor + bytes.len() as u64, &[0])
-                .expect("stack mapped");
-            cursor
+            vm.write_bytes(space, cursor, bytes)?;
+            vm.write_bytes(space, cursor + bytes.len() as u64, &[0])?;
+            Ok(cursor)
         };
         let arg_addrs: Vec<(u64, u64)> = opts
             .args
             .iter()
-            .map(|a| (place_str(&mut self.vm, a), a.len() as u64 + 1))
-            .collect();
+            .map(|a| Ok((place_str(&mut self.vm, a)?, a.len() as u64 + 1)))
+            .collect::<Result<_, LoadError>>()?;
         let env_addrs: Vec<(u64, u64)> = opts
             .env
             .iter()
-            .map(|e| (place_str(&mut self.vm, e), e.len() as u64 + 1))
-            .collect();
+            .map(|e| Ok((place_str(&mut self.vm, e)?, e.len() as u64 + 1)))
+            .collect::<Result<_, LoadError>>()?;
         cursor &= !15; // align for the pointer arrays
 
         // envv[] then argv[] (each NULL-terminated), pointers as bounded
@@ -171,7 +172,7 @@ impl Kernel {
         let mut write_ptr_array = |vm: &mut cheri_vm::Vm,
                                    trace: &mut cheri_cpu::DerivationTrace,
                                    addrs: &[(u64, u64)]|
-         -> u64 {
+         -> Result<u64, LoadError> {
             let slots = addrs.len() as u64 + 1;
             cursor -= slots * ptr_size;
             cursor &= !(ptr_size - 1);
@@ -183,22 +184,22 @@ impl Kernel {
                         let cap = root
                             .with_addr(*addr)
                             .set_bounds(*len, false)
-                            .expect("string within root")
+                            .map_err(|_| LoadError::Vm(VmError::BadRange(*addr)))?
                             .and_perms(Perms::user_data() - Perms::VMMAP)
                             .with_source(CapSource::Exec);
                         trace.record(&cap);
-                        vm.store_cap(space, slot, cap).expect("stack mapped");
+                        vm.store_cap(space, slot, cap)?;
                     }
                     AbiMode::Mips64 => {
-                        vm.write_u64(space, slot, *addr).expect("stack mapped");
+                        vm.write_u64(space, slot, *addr)?;
                     }
                 }
             }
             // NULL terminator is already zero (demand-zero stack).
-            base
+            Ok(base)
         };
-        let envv_base = write_ptr_array(&mut self.vm, &mut self.cpu.trace, &env_addrs);
-        let argv_base = write_ptr_array(&mut self.vm, &mut self.cpu.trace, &arg_addrs);
+        let envv_base = write_ptr_array(&mut self.vm, &mut self.cpu.trace, &env_addrs)?;
+        let argv_base = write_ptr_array(&mut self.vm, &mut self.cpu.trace, &arg_addrs)?;
         let _ = envv_base;
 
         // Register state.
@@ -215,7 +216,7 @@ impl Kernel {
                 let stack_cap = root
                     .with_addr(stack_base)
                     .set_bounds(stack_size, false)
-                    .expect("stack within root")
+                    .map_err(|_| LoadError::Vm(VmError::BadRange(stack_base)))?
                     .and_perms(Perms::user_data() - Perms::VMMAP)
                     .with_addr(sp)
                     .with_source(CapSource::Stack);
@@ -224,7 +225,7 @@ impl Kernel {
                 let argv_cap = root
                     .with_addr(argv_base)
                     .set_bounds((arg_addrs.len() as u64 + 1) * ptr_size, false)
-                    .expect("argv within root")
+                    .map_err(|_| LoadError::Vm(VmError::BadRange(argv_base)))?
                     .and_perms(Perms::user_data() - Perms::VMMAP)
                     .with_source(CapSource::Exec);
                 self.cpu.trace.record(&argv_cap);
@@ -276,6 +277,7 @@ impl Kernel {
             children: Vec::new(),
             zombies: Vec::new(),
             traced_by: None,
+            swap_retry: None,
             instr_budget: opts
                 .instr_budget
                 .unwrap_or(self.config.default_instr_budget),

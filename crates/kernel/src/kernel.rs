@@ -56,6 +56,40 @@ pub struct KernelStats {
     pub spawns: u64,
 }
 
+/// Schedule for injected transient syscall errors (the fault plane's third
+/// family). Counters are global across processes so a (seed, plan) pair
+/// deterministically picks the same victim call.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct SyscallFaultSpec {
+    /// Inject `EINTR` on the Nth eligible syscall (1-based): the kernel
+    /// restarts the call transparently (rewind + re-dispatch).
+    pub eintr_at: Option<u64>,
+    /// Inject `ENOMEM` on the Nth eligible syscall (1-based): the guest
+    /// observes the errno.
+    pub enomem_at: Option<u64>,
+}
+
+/// Armed spec plus observability counters for syscall fault injection.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SyscallFaults {
+    pub(crate) spec: SyscallFaultSpec,
+    /// Eligible syscalls observed (excludes `exit`/`sigreturn`, which must
+    /// never be interrupted).
+    pub calls: u64,
+    /// `EINTR` restarts performed.
+    pub eintr_injected: u64,
+    /// `ENOMEM` errors delivered.
+    pub enomem_injected: u64,
+}
+
+impl SyscallFaults {
+    /// True if any injected syscall fault has fired.
+    #[must_use]
+    pub fn fired(&self) -> bool {
+        self.eintr_injected + self.enomem_injected > 0
+    }
+}
+
 /// A pipe's kernel state.
 #[derive(Debug, Default)]
 pub(crate) struct Pipe {
@@ -124,6 +158,7 @@ pub struct Kernel {
     /// In-memory filesystem (path -> bytes).
     pub memfs: HashMap<String, Vec<u8>>,
     pub(crate) shm: HashMap<u64, u64>,
+    pub(crate) syscall_faults: SyscallFaults,
     faults_charged: u64,
     swaps_charged: u64,
 }
@@ -151,9 +186,24 @@ impl Kernel {
             next_pipe: 1,
             memfs: HashMap::new(),
             shm: HashMap::new(),
+            syscall_faults: SyscallFaults::default(),
             faults_charged: 0,
             swaps_charged: 0,
         }
+    }
+
+    /// Arms transient syscall-error injection. Counters reset.
+    pub fn arm_syscall_faults(&mut self, spec: SyscallFaultSpec) {
+        self.syscall_faults = SyscallFaults {
+            spec,
+            ..SyscallFaults::default()
+        };
+    }
+
+    /// Syscall fault-injection state and counters.
+    #[must_use]
+    pub fn syscall_faults(&self) -> &SyscallFaults {
+        &self.syscall_faults
     }
 
     /// Access a process entry.
@@ -173,6 +223,17 @@ impl Kernel {
     /// Panics for unknown pids.
     pub fn process_mut(&mut self, pid: Pid) -> &mut Process {
         self.procs.get_mut(&pid).expect("unknown pid")
+    }
+
+    /// Non-panicking process lookup, for paths reachable with a stale pid.
+    #[must_use]
+    pub fn try_process(&self, pid: Pid) -> Option<&Process> {
+        self.procs.get(&pid)
+    }
+
+    /// Non-panicking mutable process lookup.
+    pub fn try_process_mut(&mut self, pid: Pid) -> Option<&mut Process> {
+        self.procs.get_mut(&pid)
     }
 
     /// The exit status of `pid` if it has finished.
@@ -435,6 +496,17 @@ impl Kernel {
             let p = self.process_mut(pid);
             p.regs = regs;
             p.instr_budget = p.instr_budget.saturating_sub(used);
+            // Any slice that does not end in a swap-I/O trap clears the
+            // retry site: a later error at the same site gets a fresh retry.
+            if !matches!(
+                exit,
+                Exit::Trap(TrapInfo {
+                    cause: TrapCause::Vm(VmError::SwapIo(_)),
+                    ..
+                })
+            ) {
+                p.swap_retry = None;
+            }
         }
         self.charge_vm_work();
         match exit {
@@ -475,6 +547,28 @@ impl Kernel {
 
     fn handle_trap(&mut self, pid: Pid, trap: TrapInfo) {
         self.stats.traps += 1;
+        if self.try_process(pid).is_none() {
+            return;
+        }
+        // Swap-device I/O errors are transient by contract: retry the
+        // faulting access once (the CPU left pc at the instruction, so
+        // re-running re-enters swap-in); a second failure at the same
+        // (pc, vaddr) site becomes SIGBUS — never a host panic, and never
+        // the SIGPROT handler path, which is for capability faults.
+        if let TrapCause::Vm(VmError::SwapIo(vaddr)) = trap.cause {
+            let site = (trap.pc, vaddr);
+            let p = self.process_mut(pid);
+            if p.swap_retry != Some(site) {
+                p.swap_retry = Some(site);
+                p.regs.pc = trap.pc;
+                if !self.runq.contains(&pid) {
+                    self.runq.push_back(pid);
+                }
+                return;
+            }
+            self.terminate(pid, ExitStatus::Signaled(crate::signal::SIGBUS));
+            return;
+        }
         // VM faults the pager could not service transparently and all
         // capability faults become a synchronous SIGPROT-style signal; with
         // no handler installed, the process dies recording the cause.

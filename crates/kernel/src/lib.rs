@@ -36,7 +36,7 @@ mod syscall;
 
 pub use abi::{AbiMode, Errno, Sys};
 pub use exec::SpawnOpts;
-pub use kernel::{Kernel, KernelConfig, KernelStats, RunOutcome};
+pub use kernel::{Kernel, KernelConfig, KernelStats, RunOutcome, SyscallFaultSpec, SyscallFaults};
 pub use process::{ExitStatus, Pid, ProcState, Process, WaitReason};
 pub use ptrace::PtraceOp;
-pub use signal::{Signal, SIGPROT};
+pub use signal::{Signal, SIGBUS, SIGPROT};

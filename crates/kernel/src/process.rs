@@ -145,6 +145,10 @@ pub struct Process {
     pub zombies: Vec<(Pid, ExitStatus)>,
     /// Tracer process, if being debugged.
     pub traced_by: Option<Pid>,
+    /// Pending swap-I/O retry site `(pc, vaddr)`: set after the first
+    /// `SwapIo` trap at that site so a repeat becomes SIGBUS instead of an
+    /// unbounded retry loop. Cleared whenever a slice ends without one.
+    pub swap_retry: Option<(u64, u64)>,
     /// Instruction budget left (runaway guard).
     pub instr_budget: u64,
     /// Whether the process was built with asan instrumentation.

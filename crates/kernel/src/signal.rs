@@ -22,6 +22,10 @@ pub type Signal = u8;
 /// CheriBSD's capability-fault signal.
 pub const SIGPROT: Signal = 34;
 
+/// Bus error: delivered when a swap-device I/O error persists past the
+/// kernel's single retry (the fault plane's graceful-degradation contract).
+pub const SIGBUS: Signal = 10;
+
 /// Number of bytes a signal frame occupies: 32 capability registers + PCC +
 /// DDC (16 bytes each, stored as capabilities) + 32 GPRs + pc (8 bytes
 /// each).
@@ -32,18 +36,22 @@ const fn frame_size_aligned() -> u64 {
 }
 
 impl Kernel {
-    /// Delivers the first pending signal of `pid`, if any.
+    /// Delivers the first pending signal of `pid`, if any. A process whose
+    /// signal frame cannot be written (unmapped stack, swap I/O failure)
+    /// is terminated with that signal rather than panicking the kernel.
     pub(crate) fn deliver_pending_signal(&mut self, pid: Pid) {
         let Some(sig) = self.process_mut(pid).pending_signals.pop_front() else {
             return;
         };
-        let handler = match self.process(pid).sighandlers.get(&sig) {
-            Some(&h) => h,
-            None => {
-                self.terminate(pid, ExitStatus::Signaled(sig));
-                return;
-            }
-        };
+        if self.deliver_signal_inner(pid, sig).is_none() {
+            self.terminate(pid, ExitStatus::Signaled(sig));
+        }
+    }
+
+    /// The fallible body of signal delivery; `None` means the frame could
+    /// not be constructed and the caller must kill the process.
+    fn deliver_signal_inner(&mut self, pid: Pid, sig: crate::signal::Signal) -> Option<()> {
+        let handler = *self.process(pid).sighandlers.get(&sig)?;
         self.stats.signals_delivered += 1;
         self.cpu.charge(200, costs::SIGNAL_DELIVERY);
 
@@ -60,26 +68,24 @@ impl Kernel {
 
         // Save capability registers (tags preserved), then PCC and DDC.
         let mut off = frame;
-        let store = |k: &mut Kernel, off: u64, c: Capability| {
-            k.vm.store_cap(space, off, c).expect("signal stack mapped");
+        let store = |k: &mut Kernel, off: u64, c: Capability| -> Option<()> {
+            k.vm.store_cap(space, off, c).ok()
         };
         for i in 0..32u8 {
-            store(self, off, regs.c(cheri_isa::CReg(i)));
+            store(self, off, regs.c(cheri_isa::CReg(i)))?;
             off += 16;
         }
-        store(self, off, regs.pcc);
+        store(self, off, regs.pcc)?;
         off += 16;
-        store(self, off, regs.ddc);
+        store(self, off, regs.ddc)?;
         off += 16;
         for i in 0..32u8 {
             self.vm
                 .write_u64(space, off, regs.r(cheri_isa::IReg(i)))
-                .expect("signal stack mapped");
+                .ok()?;
             off += 8;
         }
-        self.vm
-            .write_u64(space, off, regs.pc)
-            .expect("signal stack mapped");
+        self.vm.write_u64(space, off, regs.pc).ok()?;
 
         // Enter the handler.
         let root = self.vm.space(space).root;
@@ -98,7 +104,7 @@ impl Kernel {
         let tramp_cap = root
             .with_addr(tramp)
             .set_bounds(16, false)
-            .expect("trampoline within root")
+            .ok()?
             .and_perms(Perms::user_code())
             .with_source(CapSource::Signal);
         if abi == crate::abi::AbiMode::CheriAbi {
@@ -114,7 +120,7 @@ impl Kernel {
                     regs.pcc = root
                         .with_addr(tb)
                         .set_bounds(tl, false)
-                        .expect("text within root")
+                        .ok()?
                         .with_addr(handler)
                         .and_perms(Perms::user_code());
                 }
@@ -128,6 +134,7 @@ impl Kernel {
                 regs.w(ireg::RA, tramp);
             }
         }
+        Some(())
     }
 
     /// `sigreturn`: restores the register state saved by signal delivery.
@@ -142,34 +149,38 @@ impl Kernel {
         let mut off = frame;
         let mut caps = [Capability::null(fmt); 32];
         for slot in caps.iter_mut() {
-            *slot = self
-                .vm
-                .load_cap(space, off)
-                .expect("signal stack mapped")
-                .unwrap_or_else(|| {
-                    let raw = self.vm.read_u64(space, off).unwrap_or(0);
-                    Capability::null(fmt).with_addr(raw)
-                });
+            // An unreadable frame (stack unmapped behind our back, swap
+            // I/O failure) aborts the return; the caller kills the process.
+            let Ok(loaded) = self.vm.load_cap(space, off) else {
+                return false;
+            };
+            *slot = loaded.unwrap_or_else(|| {
+                let raw = self.vm.read_u64(space, off).unwrap_or(0);
+                Capability::null(fmt).with_addr(raw)
+            });
             off += 16;
         }
-        let pcc = self
-            .vm
-            .load_cap(space, off)
-            .expect("mapped")
-            .unwrap_or(Capability::null(fmt));
+        let Ok(pcc_slot) = self.vm.load_cap(space, off) else {
+            return false;
+        };
+        let pcc = pcc_slot.unwrap_or(Capability::null(fmt));
         off += 16;
-        let ddc = self
-            .vm
-            .load_cap(space, off)
-            .expect("mapped")
-            .unwrap_or(Capability::null(fmt));
+        let Ok(ddc_slot) = self.vm.load_cap(space, off) else {
+            return false;
+        };
+        let ddc = ddc_slot.unwrap_or(Capability::null(fmt));
         off += 16;
         let mut gpr = [0u64; 32];
         for g in gpr.iter_mut() {
-            *g = self.vm.read_u64(space, off).expect("mapped");
+            let Ok(v) = self.vm.read_u64(space, off) else {
+                return false;
+            };
+            *g = v;
             off += 8;
         }
-        let pc = self.vm.read_u64(space, off).expect("mapped");
+        let Ok(pc) = self.vm.read_u64(space, off) else {
+            return false;
+        };
         let p = self.process_mut(pid);
         p.regs.caps = caps;
         p.regs.pcc = pcc;

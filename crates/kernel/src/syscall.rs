@@ -49,6 +49,33 @@ impl Kernel {
         );
         self.cpu
             .charge(0, if is_runtime { 12 } else { costs::SYSCALL_BASE });
+        // Fault plane: transient syscall errors. `exit` and `sigreturn` are
+        // never interrupted (neither is restartable).
+        if let Some(sys) = Sys::from_number(num) {
+            if !matches!(sys, Sys::Exit | Sys::Sigreturn) {
+                self.syscall_faults.calls += 1;
+                let calls = self.syscall_faults.calls;
+                if Some(calls) == self.syscall_faults.spec.eintr_at {
+                    // EINTR with kernel restart semantics: rewind pc to the
+                    // syscall instruction and requeue; the retried call is
+                    // transparent to the guest.
+                    self.syscall_faults.eintr_injected += 1;
+                    let p = self.process_mut(pid);
+                    p.regs.pc = p.regs.pc.wrapping_sub(4);
+                    self.requeue(pid);
+                    return;
+                }
+                if Some(calls) == self.syscall_faults.spec.enomem_at {
+                    // ENOMEM is guest-visible: delivered as the errno.
+                    self.syscall_faults.enomem_injected += 1;
+                    self.process_mut(pid)
+                        .regs
+                        .w(ireg::V0, Errno::ENOMEM.as_ret());
+                    self.requeue(pid);
+                    return;
+                }
+            }
+        }
         let result: SysRet = match Sys::from_number(num) {
             None => Err(err(Errno::ENOSYS)),
             Some(sys) => {
@@ -196,7 +223,7 @@ impl Kernel {
                     return Err(SysFlow::Block(WaitReason::PipeReadable(id)));
                 }
                 let n = (p.buf.len() as u64).min(len);
-                let p = self.pipes.get_mut(&id).expect("checked");
+                let p = self.pipes.get_mut(&id).ok_or(err(Errno::EBADF))?;
                 let data: Vec<u8> = p.buf.drain(..n as usize).collect();
                 self.copyout(pid, buf, &data).map_err(err)?;
                 Ok(n)
@@ -311,6 +338,7 @@ impl Kernel {
             children: Vec::new(),
             zombies: Vec::new(),
             traced_by: None,
+            swap_retry: None,
             instr_budget: parent.instr_budget,
             asan: parent.asan,
             stack_top: parent.stack_top,
@@ -619,14 +647,14 @@ impl Kernel {
         } else {
             let b = self.copyin(pid, readp, 8).map_err(err)?;
             self.cpu.charge(0, costs::SELECT_PER_SET);
-            u64::from_le_bytes(b.try_into().expect("8 bytes"))
+            u64::from_le_bytes(b.try_into().map_err(|_| err(Errno::EFAULT))?)
         };
         let write_in = if writep.is_null() {
             0
         } else {
             let b = self.copyin(pid, writep, 8).map_err(err)?;
             self.cpu.charge(0, costs::SELECT_PER_SET);
-            u64::from_le_bytes(b.try_into().expect("8 bytes"))
+            u64::from_le_bytes(b.try_into().map_err(|_| err(Errno::EFAULT))?)
         };
         if !exceptp.is_null() {
             let _ = self.copyin(pid, exceptp, 8).map_err(err)?;
@@ -772,7 +800,7 @@ impl Kernel {
             _ => return Err(err(Errno::ENOENT)),
         };
         let lenbuf = self.copyin(pid, oldlenp, 8).map_err(err)?;
-        let maxlen = u64::from_le_bytes(lenbuf.try_into().expect("8 bytes"));
+        let maxlen = u64::from_le_bytes(lenbuf.try_into().map_err(|_| err(Errno::EFAULT))?);
         let n = maxlen.min(value.len() as u64);
         if !oldp.is_null() {
             self.copyout(pid, oldp, &value[..n as usize]).map_err(err)?;
@@ -798,7 +826,7 @@ impl Kernel {
     fn sys_rt_malloc(&mut self, pid: Pid) -> SysRet {
         let len = self.user_val(pid, 0);
         let space_ok = {
-            let p = self.procs.get_mut(&pid).expect("live process");
+            let p = self.procs.get_mut(&pid).ok_or(err(Errno::ESRCH))?;
             p.allocator.malloc(&mut self.vm, len)
         };
         self.charge_allocator(pid);
@@ -814,7 +842,7 @@ impl Kernel {
     fn sys_rt_free(&mut self, pid: Pid) -> SysRet {
         let target = self.user_ref(pid, 0);
         let res = {
-            let p = self.procs.get_mut(&pid).expect("live process");
+            let p = self.procs.get_mut(&pid).ok_or(err(Errno::ESRCH))?;
             match target {
                 UserRef::Cap(c) => p.allocator.free(&mut self.vm, &c),
                 UserRef::Addr(a) => p.allocator.free_addr(&mut self.vm, a),
@@ -828,7 +856,7 @@ impl Kernel {
         let target = self.user_ref(pid, 0);
         let new_len = self.user_val(pid, 1);
         let res = {
-            let p = self.procs.get_mut(&pid).expect("live process");
+            let p = self.procs.get_mut(&pid).ok_or(err(Errno::ESRCH))?;
             match target {
                 UserRef::Cap(c) => p.allocator.realloc(&mut self.vm, &c, new_len),
                 UserRef::Addr(a) => {
@@ -893,11 +921,11 @@ impl Kernel {
     /// then recycles the quarantine. Returns the number revoked.
     fn sys_rt_revoke(&mut self, pid: Pid) -> SysRet {
         let ranges = {
-            let p = self.procs.get_mut(&pid).expect("live process");
+            let p = self.procs.get_mut(&pid).ok_or(err(Errno::ESRCH))?;
             p.allocator.quarantined_ranges()
         };
         let res = {
-            let p = self.procs.get_mut(&pid).expect("live process");
+            let p = self.procs.get_mut(&pid).ok_or(err(Errno::ESRCH))?;
             p.allocator.revoke(&mut self.vm)
         };
         self.charge_allocator(pid);

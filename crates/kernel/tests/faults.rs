@@ -1,0 +1,180 @@
+//! Fault-plane kernel tests: injected swap-device I/O errors and transient
+//! syscall errors must degrade gracefully — transparent retry, SIGBUS, or a
+//! guest-visible errno — and never panic the host kernel.
+
+use cheri_isa::codegen::{CodegenOpts, FnBuilder, Ptr, Val};
+use cheri_isa::Width;
+use cheri_kernel::{
+    AbiMode, ExitStatus, Kernel, KernelConfig, SpawnOpts, Sys, SyscallFaultSpec, SIGBUS,
+};
+use cheri_rtld::{Program, ProgramBuilder};
+use cheri_vm::SwapFaultSpec;
+
+fn opts_for(abi: AbiMode) -> CodegenOpts {
+    match abi {
+        AbiMode::Mips64 => CodegenOpts::mips64(),
+        AbiMode::CheriAbi => CodegenOpts::purecap(),
+    }
+}
+
+fn program(abi: AbiMode, body: impl FnOnce(&mut FnBuilder<'_>)) -> Program {
+    let mut pb = ProgramBuilder::new("test");
+    let mut exe = pb.object("test");
+    exe.add_data("buf", &[0u8; 64], 16);
+    {
+        let mut f = FnBuilder::begin(&mut exe, "main", opts_for(abi));
+        body(&mut f);
+    }
+    exe.set_entry("main");
+    pb.add(exe.finish());
+    pb.finish()
+}
+
+fn both_abis() -> [AbiMode; 2] {
+    [AbiMode::Mips64, AbiMode::CheriAbi]
+}
+
+/// Emits: store 77 to the global buffer, force everything to swap, load it
+/// back and exit with the loaded value.
+fn swap_roundtrip_body(f: &mut FnBuilder<'_>) {
+    f.load_global_ptr(Ptr(0), "buf");
+    f.li(Val(0), 77);
+    f.store(Val(0), Ptr(0), 0, Width::D);
+    f.li(Val(1), 4096);
+    f.set_arg_val(0, Val(1));
+    f.syscall(Sys::Swapctl as i64);
+    f.load_global_ptr(Ptr(0), "buf");
+    f.load(Val(2), Ptr(0), 0, Width::D, false);
+    f.set_arg_val(0, Val(2));
+    f.syscall(Sys::Exit as i64);
+}
+
+/// A single swap-read error is absorbed by the kernel's one retry: the
+/// guest still sees its data and exits normally.
+#[test]
+fn transient_swap_read_error_is_retried_transparently() {
+    for abi in both_abis() {
+        let prog = program(abi, swap_roundtrip_body);
+        let mut k = Kernel::new(KernelConfig::default());
+        let pid = k.spawn(&prog, &SpawnOpts::new(abi)).expect("spawn");
+        k.vm.arm_swap_faults(SwapFaultSpec {
+            read_fail_at: Some(1),
+            read_fail_count: 1,
+            ..Default::default()
+        });
+        k.run(1_000_000_000);
+        assert_eq!(k.exit_status(pid), Some(ExitStatus::Code(77)), "{abi}");
+        assert_eq!(k.vm.swap_faults().read_errors, 1, "{abi}");
+    }
+}
+
+/// A persistent swap-read error exhausts the single retry and the guest is
+/// killed with SIGBUS — a clean degradation, never a host panic.
+#[test]
+fn persistent_swap_read_error_delivers_sigbus() {
+    for abi in both_abis() {
+        let prog = program(abi, swap_roundtrip_body);
+        let mut k = Kernel::new(KernelConfig::default());
+        let pid = k.spawn(&prog, &SpawnOpts::new(abi)).expect("spawn");
+        k.vm.arm_swap_faults(SwapFaultSpec {
+            read_fail_at: Some(1),
+            read_fail_count: 1_000,
+            ..Default::default()
+        });
+        k.run(1_000_000_000);
+        assert_eq!(
+            k.exit_status(pid),
+            Some(ExitStatus::Signaled(SIGBUS)),
+            "{abi}"
+        );
+        assert!(k.vm.swap_faults().read_errors >= 2, "{abi}");
+    }
+}
+
+/// Swap-write errors during `swapctl` bound the page-out but never fail the
+/// syscall: the affected pages simply stay resident.
+#[test]
+fn swap_write_errors_degrade_pageout_without_failing_guest() {
+    for abi in both_abis() {
+        let prog = program(abi, swap_roundtrip_body);
+        let mut k = Kernel::new(KernelConfig::default());
+        let pid = k.spawn(&prog, &SpawnOpts::new(abi)).expect("spawn");
+        k.vm.arm_swap_faults(SwapFaultSpec {
+            write_fail_at: Some(1),
+            write_fail_count: 1_000_000,
+            ..Default::default()
+        });
+        k.run(1_000_000_000);
+        assert_eq!(k.exit_status(pid), Some(ExitStatus::Code(77)), "{abi}");
+        assert!(k.vm.swap_faults().write_errors >= 2, "{abi}");
+    }
+}
+
+/// Emits: getpid, move the return value into the exit code.
+fn getpid_exit_body(f: &mut FnBuilder<'_>) {
+    f.syscall(Sys::Getpid as i64);
+    f.ret_val_to(Val(0));
+    f.set_arg_val(0, Val(0));
+    f.syscall(Sys::Exit as i64);
+}
+
+/// Injected EINTR restarts the call inside the kernel: invisible to the
+/// guest, which still sees the real return value.
+#[test]
+fn injected_eintr_restarts_transparently() {
+    for abi in both_abis() {
+        let prog = program(abi, getpid_exit_body);
+        let mut k = Kernel::new(KernelConfig::default());
+        let pid = k.spawn(&prog, &SpawnOpts::new(abi)).expect("spawn");
+        k.arm_syscall_faults(SyscallFaultSpec {
+            eintr_at: Some(1),
+            enomem_at: None,
+        });
+        k.run(1_000_000_000);
+        assert_eq!(
+            k.exit_status(pid),
+            Some(ExitStatus::Code(pid.0 as i64)),
+            "{abi}"
+        );
+        assert_eq!(k.syscall_faults().eintr_injected, 1, "{abi}");
+    }
+}
+
+/// Injected ENOMEM is guest-visible as the errno return.
+#[test]
+fn injected_enomem_is_guest_visible() {
+    for abi in both_abis() {
+        let prog = program(abi, getpid_exit_body);
+        let mut k = Kernel::new(KernelConfig::default());
+        let pid = k.spawn(&prog, &SpawnOpts::new(abi)).expect("spawn");
+        k.arm_syscall_faults(SyscallFaultSpec {
+            eintr_at: None,
+            enomem_at: Some(1),
+        });
+        k.run(1_000_000_000);
+        assert_eq!(k.exit_status(pid), Some(ExitStatus::Code(-12)), "{abi}");
+        assert_eq!(k.syscall_faults().enomem_injected, 1, "{abi}");
+    }
+}
+
+/// `exit` is never interrupted: a pending injection aimed past the last
+/// eligible call simply never fires.
+#[test]
+fn exit_is_never_interrupted() {
+    for abi in both_abis() {
+        let prog = program(abi, |f| {
+            f.li(Val(0), 9);
+            f.set_arg_val(0, Val(0));
+            f.syscall(Sys::Exit as i64);
+        });
+        let mut k = Kernel::new(KernelConfig::default());
+        let pid = k.spawn(&prog, &SpawnOpts::new(abi)).expect("spawn");
+        k.arm_syscall_faults(SyscallFaultSpec {
+            eintr_at: Some(1),
+            enomem_at: Some(1),
+        });
+        k.run(1_000_000_000);
+        assert_eq!(k.exit_status(pid), Some(ExitStatus::Code(9)), "{abi}");
+        assert!(!k.syscall_faults().fired(), "{abi}");
+    }
+}

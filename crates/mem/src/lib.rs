@@ -28,5 +28,5 @@ mod phys;
 mod stats;
 
 pub use cache::{AccessKind, CacheConfig, CacheHierarchy};
-pub use phys::{FrameId, PAddr, PhysMem, FRAME_SIZE};
+pub use phys::{FrameId, PAddr, PhysFaultSpec, PhysFaults, PhysMem, FRAME_SIZE};
 pub use stats::MemStats;

@@ -1,7 +1,7 @@
 //! Tagged physical memory: 4-KiB frames with one tag bit per 16-byte granule.
 
 use cheri_cap::{Capability, TAG_GRANULE};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 /// Size of a physical frame (and of a virtual page) in bytes.
@@ -81,6 +81,59 @@ impl Frame {
     }
 }
 
+/// A scheduled physical-memory bit-flip: after `after_mutations` mutating
+/// accesses (data writes and capability stores), one bit of one granule is
+/// flipped. Deterministic: the same spec against the same access stream
+/// always corrupts the same bit of the same granule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PhysFaultSpec {
+    /// Fire once this many mutating accesses have been observed.
+    pub after_mutations: u64,
+    /// Bit index within the 128-bit granule to flip (taken mod 128).
+    pub bit: u32,
+    /// When true, corrupt a stored capability: once due, the flip fires at
+    /// the next capability-width *load* of a tagged granule, so the
+    /// corrupted value is by construction the one about to be observed
+    /// (corruption of memory that is never read again is invisible and
+    /// proves nothing). When false, corrupt the granule touched by the
+    /// triggering mutating access (plain data).
+    pub target_cap: bool,
+    /// Test-only weakening: leave the tag set on a corrupted capability
+    /// granule instead of clearing it. Used by the fault campaign to prove
+    /// its silent-success oracle actually detects escapes.
+    pub preserve_tag: bool,
+}
+
+/// Injector state and counters for the physical-memory fault plane.
+#[derive(Clone, Debug, Default)]
+pub struct PhysFaults {
+    spec: Option<PhysFaultSpec>,
+    fired: bool,
+    /// Granules whose bytes were corrupted by the injector and not yet
+    /// rewritten, as `(frame, granule)` pairs.
+    corrupt: HashSet<(u32, u16)>,
+    /// Mutating accesses observed (write paths only; loads are free).
+    pub mutations: u64,
+    /// Bit-flips actually performed.
+    pub flips: u64,
+    /// Tags cleared because corruption hit a tagged granule (the CHERI
+    /// capability-integrity semantics).
+    pub tags_cleared: u64,
+    /// Tags left set on a corrupted granule (test-only weakening).
+    pub tags_preserved: u64,
+    /// Capability loads that returned a still-tagged corrupted granule —
+    /// every one of these is an escape of capability integrity.
+    pub corrupt_cap_loads: u64,
+}
+
+impl PhysFaults {
+    /// True once the armed flip has been performed.
+    #[must_use]
+    pub fn fired(&self) -> bool {
+        self.fired
+    }
+}
+
 /// Error returned when addressing an unallocated frame.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct BadFrame(pub FrameId);
@@ -113,6 +166,7 @@ pub struct PhysMem {
     frames: Vec<Option<Frame>>,
     free: Vec<FrameId>,
     allocated: usize,
+    faults: PhysFaults,
 }
 
 impl fmt::Debug for PhysMem {
@@ -134,6 +188,108 @@ impl PhysMem {
             frames: (0..num_frames).map(|_| None).collect(),
             free: (0..num_frames as u32).rev().map(FrameId).collect(),
             allocated: 0,
+            faults: PhysFaults::default(),
+        }
+    }
+
+    /// Arms the fault injector; the flip fires on the scheduled mutating
+    /// access (see [`PhysFaultSpec`]).
+    pub fn arm_faults(&mut self, spec: PhysFaultSpec) {
+        self.faults.spec = Some(spec);
+        self.faults.fired = false;
+    }
+
+    /// Injector state and counters.
+    #[must_use]
+    pub fn faults(&self) -> &PhysFaults {
+        &self.faults
+    }
+
+    /// Counts one mutating access and fires an armed *data* flip when due
+    /// (capability flips fire on load instead, see [`PhysMem::note_cap_load`]).
+    /// `addr` is the address of the access that advanced the counter.
+    fn note_mutation(&mut self, addr: PAddr) {
+        self.faults.mutations += 1;
+        let Some(spec) = self.faults.spec else { return };
+        if spec.target_cap || self.faults.fired || self.faults.mutations < spec.after_mutations {
+            return;
+        }
+        let fid = addr.frame();
+        let g = (addr.offset() / TAG_GRANULE) as usize % GRANULES_PER_FRAME;
+        let Ok(f) = self.frame_mut(fid) else { return };
+        let byte = g * TAG_GRANULE as usize + (spec.bit as usize / 8) % TAG_GRANULE as usize;
+        f.data[byte] ^= 1 << (spec.bit % 8);
+        if f.tag_bit(g) && !spec.preserve_tag {
+            // CHERI semantics: any in-place change to a capability granule
+            // that did not come from a capability store clears the tag; the
+            // value degrades to untagged data and a later dereference traps.
+            f.set_tag(g, false);
+            f.caps.remove(&(g as u16));
+            self.faults.tags_cleared += 1;
+        }
+        self.faults.fired = true;
+        self.faults.flips += 1;
+        self.faults.corrupt.insert((fid.0, g as u16));
+    }
+
+    /// Records a capability-width load at `addr`, firing a due capability
+    /// flip on the granule being loaded: the corruption lands exactly on a
+    /// value the machine is about to observe, so the normal semantics
+    /// (clear the tag) must surface as an untagged load, and the weakened
+    /// semantics (tag preserved) must surface as a counted escape. A load
+    /// that observes a still-tagged corrupted granule is a
+    /// capability-integrity escape; callers (the VM layer) invoke this on
+    /// every capability load so the fault campaign's silent-success oracle
+    /// can count them.
+    pub fn note_cap_load(&mut self, addr: PAddr) {
+        let fid = addr.frame();
+        let g = (addr.offset() / TAG_GRANULE) as usize;
+        if let Some(spec) = self.faults.spec {
+            if spec.target_cap
+                && !self.faults.fired
+                && self.faults.mutations >= spec.after_mutations
+            {
+                if let Ok(f) = self.frame_mut(fid) {
+                    if f.tag_bit(g) {
+                        let byte = g * TAG_GRANULE as usize
+                            + (spec.bit as usize / 8) % TAG_GRANULE as usize;
+                        f.data[byte] ^= 1 << (spec.bit % 8);
+                        if spec.preserve_tag {
+                            // Weakened (test-only): the architectural tag
+                            // survives even though the granule's bytes
+                            // changed — capability integrity is now violated
+                            // and the campaign oracle must notice.
+                            self.faults.tags_preserved += 1;
+                        } else {
+                            f.set_tag(g, false);
+                            f.caps.remove(&(g as u16));
+                            self.faults.tags_cleared += 1;
+                        }
+                        self.faults.fired = true;
+                        self.faults.flips += 1;
+                        self.faults.corrupt.insert((fid.0, g as u16));
+                    }
+                }
+            }
+        }
+        if self.faults.corrupt.is_empty() {
+            return;
+        }
+        if self.faults.corrupt.contains(&(fid.0, g as u16))
+            && self.frame(fid).is_ok_and(|f| f.tag_bit(g))
+        {
+            self.faults.corrupt_cap_loads += 1;
+        }
+    }
+
+    /// Forgets corruption markings for granules `g0..=g1` of `frame` —
+    /// called when those granules are legitimately rewritten.
+    fn clear_corrupt_range(&mut self, frame: FrameId, g0: usize, g1: usize) {
+        if self.faults.corrupt.is_empty() {
+            return;
+        }
+        for g in g0..=g1 {
+            self.faults.corrupt.remove(&(frame.0, g as u16));
         }
     }
 
@@ -169,6 +325,7 @@ impl PhysMem {
         *slot = None;
         self.allocated -= 1;
         self.free.push(id);
+        self.clear_corrupt_range(id, 0, GRANULES_PER_FRAME - 1);
     }
 
     fn frame(&self, id: FrameId) -> Result<&Frame, BadFrame> {
@@ -223,6 +380,8 @@ impl PhysMem {
                 f.caps.remove(&(g as u16));
             }
         }
+        self.clear_corrupt_range(addr.frame(), g0, g1);
+        self.note_mutation(addr);
         Ok(())
     }
 
@@ -295,6 +454,10 @@ impl PhysMem {
                 f.set_tag(g, k == 0);
             }
             f.caps.insert((off / TAG_GRANULE as usize) as u16, cap);
+            // The store supersedes any injected corruption of these
+            // granules: the caps-map entry is now authoritative.
+            let g0 = off / TAG_GRANULE as usize;
+            self.clear_corrupt_range(addr.frame(), g0, g0 + (size / TAG_GRANULE) as usize - 1);
         }
         Ok(())
     }
@@ -365,6 +528,7 @@ impl PhysMem {
         f.data.copy_from_slice(data);
         f.tags = [0; GRANULES_PER_FRAME / 64];
         f.caps.clear();
+        self.clear_corrupt_range(id, 0, GRANULES_PER_FRAME - 1);
         Ok(())
     }
 
@@ -511,5 +675,106 @@ mod tests {
     fn unallocated_frame_errors() {
         let pm = PhysMem::new(2);
         assert!(pm.read_u8(PAddr::new(FrameId(1), 0)).is_err());
+    }
+
+    #[test]
+    fn injected_flip_on_data_corrupts_only_bytes() {
+        let (mut pm, f) = mem();
+        pm.arm_faults(PhysFaultSpec {
+            after_mutations: 2,
+            bit: 0,
+            target_cap: false,
+            preserve_tag: false,
+        });
+        pm.write_u64(PAddr::new(f, 0), 0).unwrap();
+        pm.write_u64(PAddr::new(f, 64), 0).unwrap(); // trigger
+        assert_eq!(pm.faults().flips, 1);
+        assert_eq!(pm.faults().tags_cleared, 0);
+        assert_eq!(pm.read_u8(PAddr::new(f, 64)).unwrap(), 1, "bit 0 flipped");
+    }
+
+    #[test]
+    fn injected_flip_on_cap_granule_clears_tag() {
+        let (mut pm, f) = mem();
+        pm.store_cap(PAddr::new(f, 32), cap()).unwrap();
+        pm.arm_faults(PhysFaultSpec {
+            after_mutations: 1,
+            bit: 9,
+            target_cap: true,
+            preserve_tag: false,
+        });
+        pm.write_u8(PAddr::new(f, 512), 0).unwrap(); // now due
+        assert_eq!(pm.faults().flips, 0, "cap flips wait for a load");
+        pm.note_cap_load(PAddr::new(f, 32)); // trigger: the loaded granule
+        assert_eq!(pm.faults().flips, 1);
+        assert_eq!(pm.faults().tags_cleared, 1);
+        assert_eq!(
+            pm.load_cap(PAddr::new(f, 32)).unwrap(),
+            None,
+            "corrupted capability must load untagged"
+        );
+        pm.note_cap_load(PAddr::new(f, 32));
+        assert_eq!(pm.faults().corrupt_cap_loads, 0, "no escape: tag cleared");
+    }
+
+    #[test]
+    fn weakened_tag_clear_is_a_detectable_escape() {
+        let (mut pm, f) = mem();
+        pm.store_cap(PAddr::new(f, 32), cap()).unwrap();
+        pm.arm_faults(PhysFaultSpec {
+            after_mutations: 1,
+            bit: 3,
+            target_cap: true,
+            preserve_tag: true,
+        });
+        pm.write_u8(PAddr::new(f, 512), 0).unwrap(); // now due
+        pm.note_cap_load(PAddr::new(f, 32)); // trigger: flips *and* escapes
+        assert_eq!(pm.faults().tags_preserved, 1);
+        assert_eq!(
+            pm.load_cap(PAddr::new(f, 32)).unwrap(),
+            Some(cap()),
+            "weakened clear leaves the tagged value live"
+        );
+        assert_eq!(pm.faults().corrupt_cap_loads, 1, "escape counted");
+        pm.note_cap_load(PAddr::new(f, 32));
+        assert_eq!(pm.faults().corrupt_cap_loads, 2, "every load counts");
+    }
+
+    #[test]
+    fn cap_flip_waits_for_a_tagged_load() {
+        let (mut pm, f) = mem();
+        pm.arm_faults(PhysFaultSpec {
+            after_mutations: 1,
+            bit: 0,
+            target_cap: true,
+            preserve_tag: false,
+        });
+        pm.write_u8(PAddr::new(f, 0), 7).unwrap(); // due, but no caps yet
+        pm.note_cap_load(PAddr::new(f, 64)); // untagged load: no victim
+        assert_eq!(pm.faults().flips, 0);
+        pm.store_cap(PAddr::new(f, 64), cap()).unwrap();
+        pm.note_cap_load(PAddr::new(f, 64));
+        assert_eq!(pm.faults().flips, 1);
+        assert_eq!(pm.faults().tags_cleared, 1);
+    }
+
+    #[test]
+    fn rewriting_a_corrupted_granule_clears_the_marking() {
+        let (mut pm, f) = mem();
+        pm.arm_faults(PhysFaultSpec {
+            after_mutations: 1,
+            bit: 0,
+            target_cap: false,
+            preserve_tag: false,
+        });
+        pm.write_u8(PAddr::new(f, 0), 7).unwrap(); // trigger: granule 0
+        assert_eq!(pm.faults().flips, 1);
+        pm.store_cap(PAddr::new(f, 0), cap()).unwrap();
+        pm.note_cap_load(PAddr::new(f, 0));
+        assert_eq!(
+            pm.faults().corrupt_cap_loads,
+            0,
+            "legitimate store supersedes the corruption"
+        );
     }
 }

@@ -49,6 +49,9 @@ pub enum VmError {
     BadAlignment(u64),
     /// The requested range exceeds the user address range.
     BadRange(u64),
+    /// The swap device failed to read or write the slot backing this
+    /// address. Transient: the kernel retries once, then delivers SIGBUS.
+    SwapIo(u64),
 }
 
 impl fmt::Display for VmError {
@@ -62,6 +65,7 @@ impl fmt::Display for VmError {
             VmError::MappingExists(a) => write!(f, "mapping exists at {a:#x}"),
             VmError::BadAlignment(a) => write!(f, "bad alignment {a:#x}"),
             VmError::BadRange(a) => write!(f, "address {a:#x} outside user range"),
+            VmError::SwapIo(a) => write!(f, "swap I/O error at {a:#x}"),
         }
     }
 }
@@ -81,8 +85,71 @@ pub struct VmStats {
     pub caps_rederived: u64,
     /// Capabilities found unrederivable during swap-in (left untagged).
     pub caps_refused: u64,
+    /// Capabilities whose owning mapping vanished while the page sat in
+    /// swap: left untagged at swap-in and reported here rather than being
+    /// silently folded into `caps_refused`.
+    pub caps_orphaned: u64,
     /// COW resolutions (page copies).
     pub cow_copies: u64,
+}
+
+/// A scheduled swap-device I/O failure: the `at`-th read (swap-in) or
+/// write (swap-out) attempt fails, and so do the following `count - 1`
+/// attempts of the same kind. Deterministic against a fixed access stream.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct SwapFaultSpec {
+    /// 1-based swap-in attempt at which reads start failing.
+    pub read_fail_at: Option<u64>,
+    /// How many consecutive swap-in attempts fail (0 treated as 1).
+    pub read_fail_count: u32,
+    /// 1-based swap-out attempt at which writes start failing.
+    pub write_fail_at: Option<u64>,
+    /// How many consecutive swap-out attempts fail (0 treated as 1).
+    pub write_fail_count: u32,
+}
+
+/// Swap-device injector state and counters.
+#[derive(Clone, Debug, Default)]
+pub struct SwapFaults {
+    spec: SwapFaultSpec,
+    /// Swap-in attempts observed (including failed ones).
+    pub reads: u64,
+    /// Swap-out attempts observed (including failed ones).
+    pub writes: u64,
+    /// Injected swap-in failures.
+    pub read_errors: u64,
+    /// Injected swap-out failures.
+    pub write_errors: u64,
+}
+
+impl SwapFaults {
+    fn fail_read(&mut self) -> bool {
+        self.reads += 1;
+        let Some(at) = self.spec.read_fail_at else {
+            return false;
+        };
+        let n = u64::from(self.spec.read_fail_count.max(1));
+        if self.reads >= at && self.reads < at + n {
+            self.read_errors += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn fail_write(&mut self) -> bool {
+        self.writes += 1;
+        let Some(at) = self.spec.write_fail_at else {
+            return false;
+        };
+        let n = u64::from(self.spec.write_fail_count.max(1));
+        if self.writes >= at && self.writes < at + n {
+            self.write_errors += 1;
+            true
+        } else {
+            false
+        }
+    }
 }
 
 #[derive(Clone)]
@@ -111,6 +178,7 @@ pub struct Vm {
     shared: HashMap<u64, SharedSeg>,
     next_seg: u64,
     frame_refs: HashMap<FrameId, usize>,
+    swap_faults: SwapFaults,
     /// Monotone translation epoch: bumped by every operation that can
     /// change an established virtual→physical translation (map, unmap,
     /// mprotect, fork COW re-marking, COW resolution, swap in/out, space
@@ -145,8 +213,20 @@ impl Vm {
             shared: HashMap::new(),
             next_seg: 1,
             frame_refs: HashMap::new(),
+            swap_faults: SwapFaults::default(),
             epoch: 0,
         }
+    }
+
+    /// Arms the swap-device fault injector.
+    pub fn arm_swap_faults(&mut self, spec: SwapFaultSpec) {
+        self.swap_faults.spec = spec;
+    }
+
+    /// Swap-device injector state and counters.
+    #[must_use]
+    pub fn swap_faults(&self) -> &SwapFaults {
+        &self.swap_faults
     }
 
     /// Current translation epoch.
@@ -787,6 +867,11 @@ impl Vm {
                 return Ok(false);
             }
         }
+        // Injected swap-device write error: nothing has been mutated yet,
+        // so the page simply stays resident and the caller may retry.
+        if self.swap_faults.fail_write() {
+            return Err(VmError::SwapIo(vpn * FRAME_SIZE));
+        }
         let data = self.phys.frame_data(frame).expect("live frame");
         let caps = self
             .phys
@@ -833,14 +918,30 @@ impl Vm {
             if n >= max {
                 break;
             }
-            if self.swap_out(id, vpn * FRAME_SIZE)? {
-                n += 1;
+            match self.swap_out(id, vpn * FRAME_SIZE) {
+                Ok(true) => n += 1,
+                Ok(false) => {}
+                // Transient swap-device write error: retry the page once,
+                // then skip it — bounded pageout degrades instead of
+                // failing. The skip is visible in the swap-fault counters.
+                Err(VmError::SwapIo(_)) => match self.swap_out(id, vpn * FRAME_SIZE) {
+                    Ok(true) => n += 1,
+                    Ok(false) | Err(VmError::SwapIo(_)) => {}
+                    Err(e) => return Err(e),
+                },
+                Err(e) => return Err(e),
             }
         }
         Ok(n)
     }
 
     fn swap_in(&mut self, id: AsId, vpn: u64, slot: u64) -> Result<FrameId, VmError> {
+        // Injected swap-device read error: checked before the slot is
+        // consumed or a frame allocated, so a retry re-enters this path
+        // with the slot still live.
+        if self.swap_faults.fail_read() {
+            return Err(VmError::SwapIo(vpn * FRAME_SIZE));
+        }
         self.stats.faults += 1;
         self.stats.swap_ins += 1;
         let frame = self.alloc_frame_tracked()?;
@@ -852,6 +953,13 @@ impl Vm {
         // only for capabilities whose authority the principal actually has.
         let root = self.space(id).root;
         for (off, saved) in s.caps {
+            // A capability whose owning mapping was unmapped while the page
+            // sat in swap must not come back tagged: report it instead of
+            // folding it into the authority-refusal count.
+            if self.space(id).mapping_at(saved.base()).is_none() {
+                self.stats.caps_orphaned += 1;
+                continue;
+            }
             match saved.rederive(&root) {
                 Ok(c) => {
                     self.phys
@@ -944,6 +1052,10 @@ impl Vm {
     /// Any translation fault.
     pub fn load_cap(&mut self, id: AsId, vaddr: u64) -> Result<Option<Capability>, VmError> {
         let pa = self.translate(id, vaddr, Access::Read)?;
+        // Every capability-width load funnels through here (CPU CLC and
+        // kernel copy paths alike): let the fault plane count loads that
+        // observe a still-tagged corrupted granule.
+        self.phys.note_cap_load(pa);
         Ok(self.phys.load_cap(pa).expect("translated frame"))
     }
 
@@ -1235,6 +1347,83 @@ mod tests {
         last = vm.epoch();
         vm.unmap(id, base + 4096, 4096).unwrap();
         assert!(vm.epoch() > last, "unmap must bump the epoch");
+    }
+
+    #[test]
+    fn swap_in_reports_orphaned_caps_when_mapping_vanished() {
+        let (mut vm, id) = setup();
+        let holder = vm
+            .map(id, Some(0x40000), 4096, Prot::rw(), Backing::Zero, "holder")
+            .unwrap();
+        let target = vm
+            .map(id, Some(0x50000), 4096, Prot::rw(), Backing::Zero, "target")
+            .unwrap();
+        let root = vm.space(id).root;
+        let cap = root
+            .with_addr(target)
+            .set_bounds(64, true)
+            .unwrap()
+            .and_perms(Perms::user_data())
+            .with_source(CapSource::Malloc);
+        vm.store_cap(id, holder + 16, cap).unwrap();
+        assert!(vm.swap_out(id, holder).unwrap());
+        // The mapping owning the capability's memory vanishes while the
+        // holder page sits in swap.
+        vm.unmap(id, target, 4096).unwrap();
+        assert_eq!(
+            vm.load_cap(id, holder + 16).unwrap(),
+            None,
+            "orphaned capability must come back untagged"
+        );
+        assert_eq!(vm.stats.caps_orphaned, 1, "orphan reported, not dropped");
+        assert_eq!(vm.stats.caps_refused, 0);
+        assert_eq!(vm.stats.caps_rederived, 0);
+    }
+
+    #[test]
+    fn injected_swap_read_error_is_transient_and_retryable() {
+        let (mut vm, id) = setup();
+        let base = vm
+            .map(id, None, 4096, Prot::rw(), Backing::Zero, "anon")
+            .unwrap();
+        vm.write_u64(id, base + 8, 77).unwrap();
+        assert!(vm.swap_out(id, base).unwrap());
+        vm.arm_swap_faults(SwapFaultSpec {
+            read_fail_at: Some(1),
+            read_fail_count: 1,
+            ..SwapFaultSpec::default()
+        });
+        assert_eq!(
+            vm.read_u64(id, base + 8),
+            Err(VmError::SwapIo(base)),
+            "first swap-in attempt fails"
+        );
+        assert_eq!(vm.swap_faults().read_errors, 1);
+        // The slot was not consumed: the retry succeeds with the data intact.
+        assert_eq!(vm.read_u64(id, base + 8).unwrap(), 77);
+        assert_eq!(vm.stats.swap_ins, 1);
+    }
+
+    #[test]
+    fn injected_swap_write_error_degrades_bounded_pageout() {
+        let (mut vm, id) = setup();
+        let base = vm
+            .map(id, None, 2 * 4096, Prot::rw(), Backing::Zero, "anon")
+            .unwrap();
+        vm.write_u64(id, base, 1).unwrap();
+        vm.write_u64(id, base + 4096, 2).unwrap();
+        // Two consecutive write failures: the first page fails its initial
+        // attempt and its retry, so it is skipped; the second page evicts.
+        vm.arm_swap_faults(SwapFaultSpec {
+            write_fail_at: Some(1),
+            write_fail_count: 2,
+            ..SwapFaultSpec::default()
+        });
+        let n = vm.swap_out_space(id, 8).unwrap();
+        assert_eq!(n, 1, "one page skipped, one evicted");
+        assert_eq!(vm.swap_faults().write_errors, 2);
+        assert_eq!(vm.read_u64(id, base).unwrap(), 1, "skipped page intact");
+        assert_eq!(vm.read_u64(id, base + 4096).unwrap(), 2);
     }
 
     #[test]

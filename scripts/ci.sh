@@ -54,4 +54,24 @@ cmp scripts/golden/table1_pinned.golden target/table1-pinned.lines || {
     exit 1
 }
 
+echo "==> fault plane: 8-seed campaign is panic-free with no silent successes"
+./target/release/fault_campaign --seeds 8 --jobs 2 --out target/faults-smoke.json || {
+    echo "FAIL: fault campaign reported host panics or silent successes"
+    exit 1
+}
+if ./target/release/fault_campaign --seeds 2 --jobs 2 --out /dev/null \
+    --weaken-tag-clear > /dev/null 2>&1; then
+    echo "FAIL: weakened tag clearing went undetected — the silent-success"
+    echo "      oracle is broken (it must fail when corruption keeps its tag)"
+    exit 1
+fi
+./target/release/fault_campaign --seeds 2 --dump-specs > target/faults-specs.lines
+cmp scripts/golden/fault_campaign.specs target/faults-specs.lines || {
+    echo "FAIL: fault campaign spec matrix differs from scripts/golden/fault_campaign.specs"
+    echo "      (if intentional, regenerate the golden:"
+    echo "       ./target/release/fault_campaign --seeds 2 --dump-specs \\"
+    echo "           > scripts/golden/fault_campaign.specs)"
+    exit 1
+}
+
 echo "CI: all gates passed"
