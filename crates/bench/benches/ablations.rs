@@ -1,8 +1,9 @@
-//! Criterion benches for the DESIGN.md ablations. Wall time here is host
-//! simulation time, which is proportional to guest work; the guest-cycle
-//! numbers (the paper's metric) come from the `table*`/`fig*`/`*_macro`
-//! binaries. These benches exist to track the *relative* cost of the design
-//! choices and to keep the whole pipeline exercised under `cargo bench`.
+//! Criterion benches for the DESIGN.md ablations. The *primary* number is
+//! guest cycles per iteration — fully deterministic, via the vendored
+//! stub's custom-measurement API reading the harness's per-thread guest
+//! clock — with host wall time printed as a secondary. These benches track
+//! the *relative* cost of the design choices and keep the whole pipeline
+//! exercised under `cargo bench`.
 //!
 //! Every bench goes through the declarative [`RunSpec`] path — the same
 //! spec the table/figure binaries would hash and cache — so the ablations
@@ -10,13 +11,47 @@
 
 use cheri_isa::codegen::CodegenOpts;
 use cheri_kernel::{AbiMode, KernelConfig};
-use cheriabi::harness::{execute_spec, RunSpec};
+use cheriabi::harness::{execute_spec, guest_cycles_consumed, RunSpec};
 use cheriabi::spec::ProgramSpec;
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, Criterion, Measurement};
+
+/// Guest cycles retired by the cases a bench iteration executes, read from
+/// the harness's per-thread deterministic clock. Identical on every run of
+/// an unchanged workload, unlike wall time.
+struct GuestCycles;
+
+impl Measurement for GuestCycles {
+    type Intermediate = u64;
+    type Value = u64;
+
+    fn start(&self) -> u64 {
+        guest_cycles_consumed()
+    }
+
+    fn end(&self, i: u64) -> u64 {
+        guest_cycles_consumed().wrapping_sub(i)
+    }
+
+    fn add(&self, v1: &u64, v2: &u64) -> u64 {
+        v1.wrapping_add(*v2)
+    }
+
+    fn zero(&self) -> u64 {
+        0
+    }
+
+    fn to_f64(&self, value: &u64) -> f64 {
+        *value as f64
+    }
+
+    fn unit(&self) -> &'static str {
+        "guest-cycles"
+    }
+}
 
 /// D2 ablation: CLC immediate reach (plus the mips64 baseline and the asan
 /// software baseline) on the initdb macro-benchmark.
-fn bench_initdb_configs(c: &mut Criterion) {
+fn bench_initdb_configs(c: &mut Criterion<GuestCycles>) {
     let registry = cheri_bench::registry();
     let mut g = c.benchmark_group("initdb");
     g.sample_size(10);
@@ -54,7 +89,7 @@ fn bench_initdb_configs(c: &mut Criterion) {
 /// D1 ablation: 128-bit compressed vs 256-bit exact capabilities on a
 /// pointer-heavy workload (the wider format doubles pointer footprint
 /// again).
-fn bench_cap_format(c: &mut Criterion) {
+fn bench_cap_format(c: &mut Criterion<GuestCycles>) {
     let registry = cheri_bench::registry();
     let mut g = c.benchmark_group("capfmt-xalancbmk");
     g.sample_size(10);
@@ -89,7 +124,7 @@ fn bench_cap_format(c: &mut Criterion) {
 
 /// Table 3 sampling: one representative BOdiagsuite case under all three
 /// detector configurations.
-fn bench_bodiag_detectors(c: &mut Criterion) {
+fn bench_bodiag_detectors(c: &mut Criterion<GuestCycles>) {
     use bodiagsuite::{case_spec, AccessDir, CaseCfg, Config, Idiom, Region, Variant};
     let registry = cheri_bench::registry();
     let cfg = CaseCfg {
@@ -110,10 +145,37 @@ fn bench_bodiag_detectors(c: &mut Criterion) {
     g.finish();
 }
 
+/// Superblock ablation: the same spin workload under the superblock fast
+/// path and the single-step reference interpreter. Guest cycles per
+/// iteration must be *identical* across the two rows — the equivalence
+/// contract, visible right in the bench output — while the wall-time
+/// secondary shows the host-speed gap.
+fn bench_superblock_modes(c: &mut Criterion<GuestCycles>) {
+    let registry = cheri_bench::registry();
+    let mut g = c.benchmark_group("superblock-spin");
+    g.sample_size(10);
+    for (name, fast_path) in [("superblock", true), ("single-step", false)] {
+        let spec = RunSpec::new(
+            format!("ablation-superblock-{name}"),
+            ProgramSpec::Spin { iters: 200_000 },
+            CodegenOpts::mips64(),
+            AbiMode::Mips64,
+        )
+        .with_budget(2_000_000_000)
+        .with_fast_path(fast_path);
+        g.bench_function(name, |b| {
+            b.iter(|| execute_spec(&registry, &spec));
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
-    benches,
-    bench_initdb_configs,
+    name = benches;
+    config = Criterion::default().with_measurement(GuestCycles);
+    targets = bench_initdb_configs,
     bench_cap_format,
-    bench_bodiag_detectors
+    bench_bodiag_detectors,
+    bench_superblock_modes
 );
 criterion_main!(benches);

@@ -1,11 +1,13 @@
-//! Host-side interpreter throughput: guest-MIPS with the fetch/translate
-//! fast path on vs. the `--no-fast-path` baseline.
+//! Host-side interpreter throughput: guest-MIPS across the three execution
+//! modes — the single-step baseline (`--no-fast-path`), the TLB fast path
+//! with superblocks disabled, and the full superblock machine.
 //!
 //! Unlike every other binary here, this one measures *host* wall time, so
 //! its numbers vary run to run and machine to machine. Guest-visible
-//! metrics must NOT vary: the binary re-measures each program in both
-//! modes and exits non-zero if any counter differs, making every
-//! invocation a determinism check for the TLB/epoch fast path.
+//! metrics must NOT vary: the binary re-measures each program in every
+//! mode and exits non-zero if any counter differs, making every
+//! invocation a determinism check for the TLB/epoch fast path and the
+//! superblock execution core.
 //!
 //! Writes `BENCH_interp.json` (see EXPERIMENTS.md).
 
@@ -71,11 +73,38 @@ fn parse_args() -> Result<Opts, String> {
     Ok(opts)
 }
 
+/// An interpreter execution mode: the fetch/translate fast path and,
+/// on top of it, the superblock execution core.
+#[derive(Clone, Copy)]
+struct Mode {
+    fast: bool,
+    superblocks: bool,
+}
+
+impl Mode {
+    /// Single-step reference interpreter.
+    const BASE: Mode = Mode {
+        fast: false,
+        superblocks: false,
+    };
+    /// TLB/epoch fast path only (PR 3's fast mode).
+    const TLB: Mode = Mode {
+        fast: true,
+        superblocks: false,
+    };
+    /// The full superblock machine (the default everywhere else).
+    const FULL: Mode = Mode {
+        fast: true,
+        superblocks: true,
+    };
+}
+
 /// One timed execution. Returns guest metrics and host wall seconds.
-fn run_once(registry: &Registry, spec: &ProgramSpec, fast: bool) -> (Metrics, f64) {
+fn run_once(registry: &Registry, spec: &ProgramSpec, mode: Mode) -> (Metrics, f64) {
     let program = registry.lower(spec, CodegenOpts::purecap(), 0);
     let mut sys = System::with_config(KernelConfig::default());
-    sys.kernel.cpu.set_fast_path(fast);
+    sys.kernel.cpu.set_fast_path(mode.fast);
+    sys.kernel.cpu.set_superblocks(mode.superblocks);
     let opts = SpawnOpts::new(AbiMode::CheriAbi);
     let start = Instant::now();
     let (_, _, metrics) = sys.measure(&program, &opts).expect("program loads");
@@ -84,10 +113,10 @@ fn run_once(registry: &Registry, spec: &ProgramSpec, fast: bool) -> (Metrics, f6
 
 /// Best-of-`trials` wall time for one (program, mode) pair; asserts the
 /// guest metrics are identical across trials.
-fn run_mode(registry: &Registry, spec: &ProgramSpec, fast: bool, trials: u32) -> (Metrics, f64) {
-    let (metrics, mut best) = run_once(registry, spec, fast);
+fn run_mode(registry: &Registry, spec: &ProgramSpec, mode: Mode, trials: u32) -> (Metrics, f64) {
+    let (metrics, mut best) = run_once(registry, spec, mode);
     for _ in 1..trials {
-        let (m, wall) = run_once(registry, spec, fast);
+        let (m, wall) = run_once(registry, spec, mode);
         assert_eq!(m, metrics, "guest metrics must be identical across trials");
         best = best.min(wall);
     }
@@ -133,52 +162,74 @@ fn main() {
     let mut spin_speedup: Option<f64> = None;
     let mut mismatch = false;
     println!(
-        "{:<28} {:>12} {:>11} {:>11} {:>8}",
-        "program", "guest instrs", "base MIPS", "fast MIPS", "speedup"
+        "{:<28} {:>12} {:>11} {:>11} {:>11} {:>8} {:>8}",
+        "program", "guest instrs", "base MIPS", "tlb MIPS", "fast MIPS", "speedup", "sb gain"
     );
     for (name, spec) in &programs {
-        let (base_metrics, base_wall) = run_mode(&registry, spec, false, opts.trials);
+        let (base_metrics, base_wall) = run_mode(&registry, spec, Mode::BASE, opts.trials);
         let base_mips = mips(base_metrics.instructions, base_wall);
-        let (fast_stats, speedup) = if opts.fast_too {
-            let (fast_metrics, fast_wall) = run_mode(&registry, spec, true, opts.trials);
-            if fast_metrics != base_metrics {
-                eprintln!(
-                    "interp_throughput: {name}: guest metrics diverge between \
-                     fast path and baseline: {fast_metrics:?} vs {base_metrics:?}"
-                );
-                mismatch = true;
+        let (tlb_stats, fast_stats, speedup, sb_speedup) = if opts.fast_too {
+            let (tlb_metrics, tlb_wall) = run_mode(&registry, spec, Mode::TLB, opts.trials);
+            let (fast_metrics, fast_wall) = run_mode(&registry, spec, Mode::FULL, opts.trials);
+            for (mode, m) in [
+                ("tlb fast path", &tlb_metrics),
+                ("superblock", &fast_metrics),
+            ] {
+                if m != &base_metrics {
+                    eprintln!(
+                        "interp_throughput: {name}: guest metrics diverge between \
+                         {mode} and baseline: {m:?} vs {base_metrics:?}"
+                    );
+                    mismatch = true;
+                }
             }
+            let tlb_mips = mips(tlb_metrics.instructions, tlb_wall);
             let fast_mips = mips(fast_metrics.instructions, fast_wall);
             let speedup = fast_mips / base_mips;
+            let sb = fast_mips / tlb_mips;
             if name == "spin" {
                 spin_speedup = Some(speedup);
             }
-            (Some((fast_wall, fast_mips)), Some(speedup))
+            (
+                Some((tlb_wall, tlb_mips)),
+                Some((fast_wall, fast_mips)),
+                Some(speedup),
+                Some(sb),
+            )
         } else {
-            (None, None)
+            (None, None, None, None)
+        };
+        let (tlb_wall_j, tlb_mips_j) = match tlb_stats {
+            Some((w, m)) => (json_f64(w * 1e3), json_f64(m)),
+            None => ("null".to_string(), "null".to_string()),
         };
         let (fast_wall_j, fast_mips_j, speedup_j) = match (fast_stats, speedup) {
             (Some((w, m)), Some(s)) => (json_f64(w * 1e3), json_f64(m), json_f64(s)),
             _ => ("null".to_string(), "null".to_string(), "null".to_string()),
         };
         println!(
-            "{:<28} {:>12} {:>11.2} {:>11} {:>8}",
+            "{:<28} {:>12} {:>11.2} {:>11} {:>11} {:>8} {:>8}",
             name,
             base_metrics.instructions,
             base_mips,
+            tlb_stats.map_or("-".to_string(), |(_, m)| format!("{m:.2}")),
             fast_stats.map_or("-".to_string(), |(_, m)| format!("{m:.2}")),
             speedup.map_or("-".to_string(), |s| format!("{s:.2}x")),
+            sb_speedup.map_or("-".to_string(), |s| format!("{s:.2}x")),
         );
         lines.push(format!(
-            "{{\"program\":\"{}\",\"instructions\":{},\"cycles\":{},\"wall_ms_base\":{},\"mips_base\":{},\"wall_ms_fast\":{},\"mips_fast\":{},\"speedup\":{}}}",
+            "{{\"program\":\"{}\",\"instructions\":{},\"cycles\":{},\"wall_ms_base\":{},\"mips_base\":{},\"wall_ms_tlb\":{},\"mips_tlb\":{},\"wall_ms_fast\":{},\"mips_fast\":{},\"speedup\":{},\"sb_speedup\":{}}}",
             cheri_bench::cli::json_escape(name),
             base_metrics.instructions,
             base_metrics.cycles,
             json_f64(base_wall * 1e3),
             json_f64(base_mips),
+            tlb_wall_j,
+            tlb_mips_j,
             fast_wall_j,
             fast_mips_j,
             speedup_j,
+            sb_speedup.map_or("null".to_string(), json_f64),
         ));
     }
     let doc = format!(

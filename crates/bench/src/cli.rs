@@ -50,6 +50,10 @@ pub struct BenchOpts {
     /// Re-run panicked / deadline-exceeded cases up to this many times
     /// with deterministic backoff before accepting the outcome.
     pub retries: u64,
+    /// Run the superblock fast path (default). `--no-fast-path` clears it,
+    /// forcing every case through the single-step reference interpreter —
+    /// the guest-metric equivalence gate.
+    pub fast_path: bool,
 }
 
 impl Default for BenchOpts {
@@ -64,6 +68,7 @@ impl Default for BenchOpts {
             cache_limit: None,
             dump_specs: false,
             retries: 0,
+            fast_path: true,
         }
     }
 }
@@ -102,6 +107,8 @@ pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<BenchOpts, S
                 opts.cache_limit = Some(limit);
             }
             "--dump-specs" => opts.dump_specs = true,
+            "--no-fast-path" => opts.fast_path = false,
+            "--fast-path" => opts.fast_path = true,
             "--retries" => {
                 let value = iter.next().ok_or("--retries needs a value")?;
                 let retries: u64 = value
@@ -134,7 +141,10 @@ pub const USAGE: &str = "options:\n  \
     --dump-specs   print the session's RunSpec JSON lines and exit\n                 \
     (pipe into `run_specs --specs -` to replay them)\n  \
     --retries N    re-run panicked / deadline-exceeded cases up to N times\n                 \
-    (deterministic backoff; cache keys and entries are unaffected)";
+    (deterministic backoff; cache keys and entries are unaffected)\n  \
+    --no-fast-path run every case on the single-step reference interpreter\n                 \
+    instead of the superblock fast path (guest metrics are\n                 \
+    byte-identical by contract; only host speed changes)";
 
 /// Parses the process arguments; prints the usage text and exits 0 on
 /// `--help`, exits 2 on anything unrecognised.
@@ -250,6 +260,20 @@ pub fn run_specs(
     specs: &[RunSpec],
     opts: &BenchOpts,
 ) -> Option<Vec<CaseReport>> {
+    // `--no-fast-path` rewrites every spec before anything else sees it,
+    // so dumps, cache lookups and execution all agree on the mode. The
+    // default (fast path on) leaves specs untouched: a spec that already
+    // opted out stays opted out.
+    let adjusted: Vec<RunSpec>;
+    let specs: &[RunSpec] = if opts.fast_path {
+        specs
+    } else {
+        adjusted = specs
+            .iter()
+            .map(|s| s.clone().with_fast_path(false))
+            .collect();
+        &adjusted
+    };
     if opts.dump_specs {
         for spec in specs {
             println!("{}", spec.to_json());
@@ -418,6 +442,22 @@ mod tests {
         assert_eq!(parse_args(args(&[])).expect("parses").retries, 0);
         assert!(parse_args(args(&["--retries"])).is_err());
         assert!(parse_args(args(&["--retries", "many"])).is_err());
+    }
+
+    #[test]
+    fn parses_fast_path_toggle() {
+        assert!(parse_args(args(&[])).expect("parses").fast_path);
+        assert!(
+            !parse_args(args(&["--no-fast-path"]))
+                .expect("parses")
+                .fast_path
+        );
+        // Last toggle wins.
+        assert!(
+            parse_args(args(&["--no-fast-path", "--fast-path"]))
+                .expect("parses")
+                .fast_path
+        );
     }
 
     #[test]

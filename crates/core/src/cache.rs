@@ -13,9 +13,10 @@
 //! ABI, sanitizer flag, seed, instruction budget, kernel configuration and
 //! L2 override — plus a caller-supplied *salt* (the codegen fingerprint
 //! from `cheri_isa::codegen::fingerprint`, so any change to instruction
-//! selection invalidates every entry wholesale). The spec's display name
-//! and wall-clock deadline are *not* part of the identity: neither changes
-//! what the guest computes. Stored entries embed the full identity JSON
+//! selection invalidates every entry wholesale). The spec's display name,
+//! wall-clock deadline and execution mode (`fast_path`) are *not* part of
+//! the identity: none of them changes what the guest computes — the
+//! superblock machine is gated to produce byte-identical guest metrics. Stored entries embed the full identity JSON
 //! and every load re-compares it, so an FNV collision degrades to a cache
 //! miss, never a wrong report.
 //!
@@ -175,10 +176,12 @@ impl ReportCache {
     pub fn identity(&self, spec: &RunSpec) -> Json {
         let mut fields = vec![("salt".to_string(), Json::u64(self.salt))];
         if let Json::Obj(all) = spec.to_json() {
-            fields.extend(
-                all.into_iter()
-                    .filter(|(k, _)| !matches!(k.as_str(), "name" | "deadline_nanos" | "trace")),
-            );
+            fields.extend(all.into_iter().filter(|(k, _)| {
+                !matches!(
+                    k.as_str(),
+                    "name" | "deadline_nanos" | "trace" | "fast_path"
+                )
+            }));
         }
         Json::Obj(fields)
     }
@@ -396,6 +399,13 @@ mod tests {
         other_abi.opts = CodegenOpts::mips64();
         other_abi.abi = AbiMode::Mips64;
         assert!(cache.load(&other_abi).is_none(), "abi");
+
+        // The execution mode is not identity either: both modes produce
+        // byte-identical guest metrics by contract.
+        assert!(
+            cache.load(&spec.clone().with_fast_path(false)).is_some(),
+            "fast_path is not identity"
+        );
 
         // Name and deadline are display/scheduling concerns, not identity.
         let renamed = cache

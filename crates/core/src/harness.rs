@@ -92,6 +92,13 @@ pub struct RunSpec {
     /// spec JSON — and every existing golden — is byte-identical to before
     /// the fault plane existed.
     pub fault: Option<FaultPlan>,
+    /// Run the superblock fast path (the default). `false` forces the
+    /// single-step reference interpreter — the equivalence-gate
+    /// configuration. Excluded from the report-cache identity (both modes
+    /// produce byte-identical guest metrics by contract); `true` encodes
+    /// to nothing, so default spec JSON — and every existing golden — is
+    /// byte-identical to before the superblock machine existed.
+    pub fast_path: bool,
 }
 
 impl RunSpec {
@@ -117,6 +124,7 @@ impl RunSpec {
             l2_size: None,
             trace: false,
             fault: None,
+            fast_path: true,
         }
     }
 
@@ -176,6 +184,14 @@ impl RunSpec {
         self
     }
 
+    /// Selects between the superblock fast path (`true`, the default) and
+    /// the single-step reference interpreter (`false`).
+    #[must_use]
+    pub fn with_fast_path(mut self, fast_path: bool) -> RunSpec {
+        self.fast_path = fast_path;
+        self
+    }
+
     /// Canonical JSON encoding of the complete spec.
     #[must_use]
     pub fn to_json(&self) -> Json {
@@ -195,6 +211,9 @@ impl RunSpec {
             ("l2_size", Json::opt(self.l2_size.map(Json::u64))),
             ("trace", Json::Bool(self.trace)),
         ];
+        if !self.fast_path {
+            fields.push(("fast_path", Json::Bool(false)));
+        }
         if let Some(plan) = &self.fault {
             fields.push(("fault", plan.to_json()));
         }
@@ -227,6 +246,10 @@ impl RunSpec {
             fault: match v.get("fault") {
                 Some(plan) => Some(FaultPlan::from_json(plan)?),
                 None => None,
+            },
+            fast_path: match v.get("fast_path") {
+                Some(b) => b.as_bool()?,
+                None => true,
             },
         })
     }
@@ -518,6 +541,65 @@ impl fmt::Display for CaseOutcome {
     }
 }
 
+/// Host-side interpreter counters: how the simulator ran the case, never
+/// what the guest observed. TLB and superblock hit rates vary with the
+/// execution mode (they collapse to zero under `--no-fast-path`), so they
+/// are excluded from guest-metric equivalence, from the deterministic
+/// shard/golden line format, and from the report cache's identity.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HostCounters {
+    /// Translations served from the software TLB.
+    pub tlb_hits: u64,
+    /// Translations that took the full VM walk.
+    pub tlb_misses: u64,
+    /// Fetches/block entries served by the resident decoded region.
+    pub sb_hits: u64,
+    /// Fetches/block entries that re-scanned the region map.
+    pub sb_misses: u64,
+}
+
+impl HostCounters {
+    /// Canonical JSON encoding.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("tlb_hits", Json::u64(self.tlb_hits)),
+            ("tlb_misses", Json::u64(self.tlb_misses)),
+            ("sb_hits", Json::u64(self.sb_hits)),
+            ("sb_misses", Json::u64(self.sb_misses)),
+        ])
+    }
+
+    /// Decodes [`HostCounters::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the value is not a recognised encoding.
+    pub fn from_json(v: &Json) -> Result<HostCounters, String> {
+        Ok(HostCounters {
+            tlb_hits: v.field("tlb_hits")?.as_u64()?,
+            tlb_misses: v.field("tlb_misses")?.as_u64()?,
+            sb_hits: v.field("sb_hits")?.as_u64()?,
+            sb_misses: v.field("sb_misses")?.as_u64()?,
+        })
+    }
+}
+
+std::thread_local! {
+    // Guest cycles retired by cases executed on this thread — the
+    // deterministic clock the bench measurement reads.
+    static GUEST_CYCLES: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Total guest cycles consumed by every case executed on the calling
+/// thread so far. Monotonic and fully deterministic (it advances by each
+/// case's `metrics.cycles`), which makes it usable as a virtual clock for
+/// benchmark measurements that must not wobble with host load.
+#[must_use]
+pub fn guest_cycles_consumed() -> u64 {
+    GUEST_CYCLES.with(std::cell::Cell::get)
+}
+
 /// The result of one executed [`RunSpec`].
 #[derive(Clone, Debug, PartialEq)]
 pub struct CaseReport {
@@ -549,6 +631,10 @@ pub struct CaseReport {
     pub quarantined: bool,
     /// What the armed fault plane did, when [`RunSpec::fault`] was set.
     pub faults: Option<FaultCounters>,
+    /// Host-side interpreter counters (TLB/superblock hit rates). Absent
+    /// when the case never ran or every counter is zero; always excluded
+    /// from the deterministic line format and the report-cache identity.
+    pub host: Option<HostCounters>,
 }
 
 impl CaseReport {
@@ -584,6 +670,9 @@ impl CaseReport {
         if let Some(counters) = &self.faults {
             fields.push(("faults", counters.to_json()));
         }
+        if let Some(host) = &self.host {
+            fields.push(("host", host.to_json()));
+        }
         Json::obj(fields)
     }
 
@@ -608,7 +697,7 @@ impl CaseReport {
             Json::Obj(fields) => Json::Obj(
                 fields
                     .into_iter()
-                    .filter(|(k, _)| k != "wall_nanos")
+                    .filter(|(k, _)| !matches!(k.as_str(), "wall_nanos" | "host"))
                     .collect(),
             ),
             other => other,
@@ -650,6 +739,10 @@ impl CaseReport {
                 Some(counters) => Some(FaultCounters::from_json(counters)?),
                 None => None,
             },
+            host: match v.get("host") {
+                Some(host) => Some(HostCounters::from_json(host)?),
+                None => None,
+            },
         })
     }
 }
@@ -673,6 +766,7 @@ fn execute_inner(registry: &Registry, spec: &RunSpec) -> CaseReport {
         if spec.trace {
             sys.enable_tracing();
         }
+        sys.kernel.cpu.set_fast_path(spec.fast_path);
         // Arm the fault plane before the guest spawns, so access counts
         // start from the same zero on every run of this spec.
         if let Some(plan) = &spec.fault {
@@ -686,19 +780,31 @@ fn execute_inner(registry: &Registry, spec: &RunSpec) -> CaseReport {
         // Harvest even when the load failed: a fault injected into the
         // exec path still fired.
         let faults = spec.fault.map(|_| FaultCounters::harvest(&sys.kernel));
-        (result, cdf, faults)
+        let host = HostCounters {
+            tlb_hits: sys.kernel.cpu.stats.tlb_hits,
+            tlb_misses: sys.kernel.cpu.stats.tlb_misses,
+            sb_hits: sys.kernel.cpu.stats.sb_hits,
+            sb_misses: sys.kernel.cpu.stats.sb_misses,
+        };
+        (result, cdf, faults, host)
     }));
     let wall = start.elapsed();
-    let (outcome, console, metrics, cap_cdf, faults) = match run {
-        Ok((Ok((status, console, metrics)), cdf, faults)) => {
-            (CaseOutcome::Exited(status), console, metrics, cdf, faults)
-        }
-        Ok((Err(load), _, faults)) => (
+    let (outcome, console, metrics, cap_cdf, faults, host) = match run {
+        Ok((Ok((status, console, metrics)), cdf, faults, host)) => (
+            CaseOutcome::Exited(status),
+            console,
+            metrics,
+            cdf,
+            faults,
+            (host != HostCounters::default()).then_some(host),
+        ),
+        Ok((Err(load), _, faults, host)) => (
             CaseOutcome::LoadFailed(load.to_string()),
             String::new(),
             Metrics::default(),
             None,
             faults,
+            (host != HostCounters::default()).then_some(host),
         ),
         Err(payload) => (
             CaseOutcome::Panicked(panic_message(payload.as_ref())),
@@ -706,8 +812,11 @@ fn execute_inner(registry: &Registry, spec: &RunSpec) -> CaseReport {
             Metrics::default(),
             None,
             None,
+            None,
         ),
     };
+    // Advance the thread's deterministic guest clock by this case's cost.
+    GUEST_CYCLES.with(|c| c.set(c.get().wrapping_add(metrics.cycles)));
     CaseReport {
         name: spec.name.clone(),
         seed: spec.seed,
@@ -719,6 +828,7 @@ fn execute_inner(registry: &Registry, spec: &RunSpec) -> CaseReport {
         retries: 0,
         quarantined: false,
         faults,
+        host,
     }
 }
 
@@ -759,6 +869,7 @@ pub fn execute_spec(registry: &Registry, spec: &RunSpec) -> CaseReport {
             retries: 0,
             quarantined: false,
             faults: None,
+            host: None,
         },
     }
 }
@@ -1306,6 +1417,7 @@ mod tests {
                 retries: 0,
                 quarantined: false,
                 faults: None,
+                host: None,
             };
             let text = report.to_json().to_string();
             let back =
@@ -1334,6 +1446,7 @@ mod tests {
             retries: 0,
             quarantined: false,
             faults: None,
+            host: None,
         };
         let line = report.to_json_tagged(12).to_string();
         assert!(line.starts_with("{\"case\":12,\"name\":\"t\""), "{line}");
@@ -1366,6 +1479,7 @@ mod tests {
                 tags_cleared: 1,
                 ..FaultCounters::default()
             }),
+            host: None,
         };
         let text = report.to_json().to_string();
         assert!(text.contains("\"retries\":3"), "{text}");

@@ -1,9 +1,11 @@
 //! The fetch/decode/execute core.
 
+use crate::ops;
+use crate::region::{DecodedInstr, DecodedRegion};
 use crate::{DerivationTrace, RegFile};
 use cheri_cap::{CapFault, Capability, Perms};
 use cheri_isa::{Instr, Width};
-use cheri_mem::{AccessKind, CacheHierarchy, FRAME_SIZE};
+use cheri_mem::{AccessKind, CacheHierarchy, MemEventRing, MemEventSink, FRAME_SIZE};
 use cheri_vm::{Access, AsId, Vm, VmError};
 use std::collections::HashMap;
 use std::fmt;
@@ -46,8 +48,15 @@ pub enum TrapCause {
     NoCode,
 }
 
-/// Retired-instruction and cycle counters (the Figure 4 metrics).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+/// Retired-instruction and cycle counters (the Figure 4 metrics), plus
+/// host-side fast-path efficacy counters.
+///
+/// Equality compares **guest-visible** fields only (`instret`, `cycles`,
+/// `syscalls`): the TLB and superblock counters describe how the simulator
+/// got there, differ legitimately between the superblock and
+/// `--no-fast-path` modes, and must never participate in the
+/// metric-equivalence gates.
+#[derive(Clone, Copy, Debug, Default)]
 pub struct CpuStats {
     /// Instructions retired.
     pub instret: u64,
@@ -55,14 +64,23 @@ pub struct CpuStats {
     pub cycles: u64,
     /// `syscall` instructions retired.
     pub syscalls: u64,
+    /// Host-side: translations served from the TLB.
+    pub tlb_hits: u64,
+    /// Host-side: translations that took the full VM walk.
+    pub tlb_misses: u64,
+    /// Host-side: fetches/block entries served by the resident region.
+    pub sb_hits: u64,
+    /// Host-side: fetches/block entries that re-scanned the region map.
+    pub sb_misses: u64,
 }
 
-#[derive(Clone)]
-struct CodeRegion {
-    start: u64,
-    end: u64,
-    code: Arc<Vec<Instr>>,
+impl PartialEq for CpuStats {
+    fn eq(&self, other: &CpuStats) -> bool {
+        (self.instret, self.cycles, self.syscalls) == (other.instret, other.cycles, other.syscalls)
+    }
 }
+
+impl Eq for CpuStats {}
 
 /// Direct-mapped TLB geometry: sets per access kind. Must be a power of
 /// two — the set index is `vpn & (TLB_SETS - 1)`.
@@ -82,6 +100,39 @@ struct TlbEntry {
     base: u64,
 }
 
+/// Superblock re-entry cache geometry: direct-mapped on the block-entry
+/// pc. Must be a power of two. A loop body usually spans a handful of
+/// blocks (its header plus one per conditional), so a small table already
+/// captures the re-entry pattern a single slot would thrash on.
+const SB_SLOTS: usize = 32;
+
+/// Cached block-entry state for re-entering the same superblock: a hot
+/// loop re-executes its body blocks millions of times, and without this
+/// the per-entry PCC check, translation and clamp arithmetic dominate
+/// tiny blocks. Valid only while the VM translation epoch and the exact
+/// PCC still match — the same monotone-epoch argument that makes the TLB
+/// sound — and dropped wholesale whenever the region map or execution
+/// context changes.
+#[derive(Clone)]
+struct SbEntry {
+    /// Virtual address the block was entered at.
+    pc: u64,
+    /// Its translation under `epoch`.
+    pa: u64,
+    /// Instruction index of `pc` within `region`.
+    idx: usize,
+    /// Budget-independent run length: already clamped to the block end,
+    /// the page boundary and the PCC top (but *not* `max(1)`-floored —
+    /// the executor applies the budget clamp and the floor itself).
+    n: usize,
+    /// The exact PCC the entry checks passed under.
+    pcc: Capability,
+    /// VM translation epoch the entry was computed under.
+    epoch: u64,
+    /// The region containing `pc`.
+    region: Arc<DecodedRegion>,
+}
+
 /// The simulated core: caches, counters, registered code regions, and a
 /// direct-mapped TLB that self-invalidates by comparing the VM's
 /// translation epoch (no kernel flush calls required).
@@ -92,7 +143,7 @@ pub struct Cpu {
     pub stats: CpuStats,
     /// Derivation tracing for Figure 5.
     pub trace: DerivationTrace,
-    code: HashMap<AsId, Vec<CodeRegion>>,
+    code: HashMap<AsId, Vec<Arc<DecodedRegion>>>,
     cur_as: Option<AsId>,
     /// Direct-mapped translation cache, `TLB_KINDS * TLB_SETS` slots.
     /// Valid only while `seen_epoch == vm.epoch()` and the context is
@@ -103,12 +154,49 @@ pub struct Cpu {
     seen_epoch: u64,
     /// The code region the last fetch hit: straight-line fetch and branch
     /// target resolution stay inside it without touching the region map.
-    cur_code: Option<CodeRegion>,
+    cur_code: Option<Arc<DecodedRegion>>,
+    /// Re-entry cache for recently entered superblocks, direct-mapped on
+    /// the entry pc ([`SB_SLOTS`] slots): loops re-enter the same blocks
+    /// at the same PCC under the same epoch, so the entry checks and
+    /// clamps need computing once, not per iteration.
+    sb_entries: Vec<Option<SbEntry>>,
     /// When false, every fetch/load/store takes the full `vm.translate`
     /// and region-scan path — the measurement baseline for
     /// `interp_throughput --no-fast-path`. Guest-visible state and all
     /// counters are identical either way.
     fast_path: bool,
+    /// When false, the superblock loop is skipped even with the fast path
+    /// on: the TLB-only ablation point.
+    superblocks: bool,
+    /// Forces every memory event straight into the cache model (no ring
+    /// batching) and single-step execution. Armed fault plans set this so
+    /// ordering-sensitive triggers always observe an up-to-date model.
+    exact_events: bool,
+    /// Effective mode for the current `run`: batch events and execute by
+    /// superblock. Recomputed at every `run` entry from the three flags
+    /// and `trace.enabled`.
+    batch: bool,
+    /// Pending memory events awaiting a batched drain.
+    events: MemEventRing,
+}
+
+/// Per-instruction execution context handed to op handlers: the VM and
+/// register file, the instruction's own `pc`, the fall-through successor
+/// in `next` (handlers overwrite it to branch), and the enclosing region's
+/// start for resolving static branch targets.
+pub(crate) struct ExecCtx<'a> {
+    /// Virtual memory of the executing address space.
+    pub vm: &'a mut Vm,
+    /// The executing address space.
+    pub id: AsId,
+    /// Architectural register file.
+    pub rf: &'a mut RegFile,
+    /// Address of the executing instruction.
+    pub pc: u64,
+    /// Successor address; `pc + 4` unless a handler branches.
+    pub next: u64,
+    /// Start address of the enclosing code region.
+    pub rstart: u64,
 }
 
 impl fmt::Debug for Cpu {
@@ -138,7 +226,12 @@ impl Cpu {
             ],
             seen_epoch: 0,
             cur_code: None,
+            sb_entries: vec![None; SB_SLOTS],
             fast_path: true,
+            superblocks: true,
+            exact_events: false,
+            batch: false,
+            events: MemEventRing::new(),
         }
     }
 
@@ -157,45 +250,90 @@ impl Cpu {
         self.fast_path
     }
 
-    /// Invalidates every TLB slot and the resident code block.
+    /// Enables or disables superblock execution (the TLB-only ablation
+    /// point when disabled). Guest-visible behaviour is identical in both
+    /// modes.
+    pub fn set_superblocks(&mut self, on: bool) {
+        self.superblocks = on;
+        self.cur_code = None;
+        self.reset_sb_entries();
+    }
+
+    /// Whether superblock execution is enabled.
+    #[must_use]
+    pub fn superblocks(&self) -> bool {
+        self.superblocks
+    }
+
+    /// Forces exact memory-event replay (no ring batching) and single-step
+    /// execution. Fault-plan arming sets this so ordering-sensitive
+    /// trigger points always observe an up-to-date cache model.
+    pub fn set_exact_mem_events(&mut self, on: bool) {
+        self.exact_events = on;
+    }
+
+    /// Whether exact memory-event replay is forced.
+    #[must_use]
+    pub fn exact_mem_events(&self) -> bool {
+        self.exact_events
+    }
+
+    /// Invalidates every TLB slot, the resident code block and the
+    /// superblock re-entry cache.
     fn reset_tlb(&mut self) {
         for e in &mut self.tlb {
             e.vpn = TLB_INVALID_VPN;
         }
         self.cur_code = None;
+        self.reset_sb_entries();
     }
 
-    /// Registers a code region (done by the loader / RTLD when mapping an
-    /// object's text segment).
-    pub fn register_code(&mut self, id: AsId, start: u64, code: Arc<Vec<Instr>>) {
-        let end = start + code.len() as u64 * 4;
-        self.code
-            .entry(id)
-            .or_default()
-            .push(CodeRegion { start, end, code });
+    /// Invalidates the superblock re-entry cache.
+    fn reset_sb_entries(&mut self) {
+        for e in &mut self.sb_entries {
+            *e = None;
+        }
+    }
+
+    /// Re-entry cache slot for a block-entry pc (instructions are 4-byte
+    /// aligned, so the index uses `pc >> 2`).
+    #[inline]
+    fn sb_slot(pc: u64) -> usize {
+        (pc >> 2) as usize & (SB_SLOTS - 1)
+    }
+
+    /// Registers a pre-decoded, immutable code region (done by the loader
+    /// / RTLD when mapping an object's text segment). The region is shared
+    /// by reference: registration, fork and residency never copy it.
+    pub fn register_region(&mut self, id: AsId, region: Arc<DecodedRegion>) {
+        self.code.entry(id).or_default().push(region);
         self.cur_code = None;
+        self.reset_sb_entries();
+    }
+
+    /// Decodes and registers a code region in one step. Convenience
+    /// wrapper over [`DecodedRegion::decode`] + [`Cpu::register_region`]
+    /// for callers that don't retain the decoded form.
+    pub fn register_code(&mut self, id: AsId, start: u64, code: Arc<Vec<Instr>>) {
+        self.register_region(id, DecodedRegion::decode(start, &code));
     }
 
     /// Forgets all code regions of an address space (process teardown).
     pub fn clear_code(&mut self, id: AsId) {
         self.code.remove(&id);
         self.cur_code = None;
+        self.reset_sb_entries();
     }
 
     /// Copies the code map of `from` to `to` (fork: the child shares the
-    /// parent's text mappings).
+    /// parent's text mappings). Regions are immutable and `Arc`-shared, so
+    /// this bumps reference counts instead of cloning instruction vectors.
     pub fn clone_code(&mut self, from: AsId, to: AsId) {
         if let Some(regions) = self.code.get(&from) {
-            let cloned: Vec<CodeRegion> = regions
-                .iter()
-                .map(|r| CodeRegion {
-                    start: r.start,
-                    end: r.end,
-                    code: r.code.clone(),
-                })
-                .collect();
-            self.code.insert(to, cloned);
+            let shared = regions.clone();
+            self.code.insert(to, shared);
             self.cur_code = None;
+            self.reset_sb_entries();
         }
     }
 
@@ -229,7 +367,7 @@ impl Cpu {
         access as usize * TLB_SETS + (vpn as usize & (TLB_SETS - 1))
     }
 
-    fn translate_cached(
+    pub(crate) fn translate_cached(
         &mut self,
         vm: &mut Vm,
         id: AsId,
@@ -256,8 +394,10 @@ impl Cpu {
         let idx = Self::tlb_index(access, vpn);
         let e = self.tlb[idx];
         if e.vpn == vpn {
+            self.stats.tlb_hits += 1;
             return Ok(e.base + vaddr % FRAME_SIZE);
         }
+        self.stats.tlb_misses += 1;
         let pa = vm.translate(id, vaddr, access).map_err(|e| TrapInfo {
             cause: TrapCause::Vm(e),
             pc,
@@ -279,11 +419,41 @@ impl Cpu {
     }
 
     // ------------------------------------------------------------------
+    // Memory-event sink
+    // ------------------------------------------------------------------
+
+    /// Records one physical memory access in program order. In batched
+    /// mode the event joins the pending ring (drained at superblock
+    /// boundaries, or here when full); otherwise it is replayed into the
+    /// cache model immediately — the exact-mode reference semantics.
+    #[inline]
+    pub(crate) fn mem_access(&mut self, pa: u64, kind: AccessKind) {
+        if self.batch {
+            if self.events.is_full() {
+                self.stats.cycles += self.caches.drain(&mut self.events);
+            }
+            self.events.record(pa, kind);
+        } else {
+            self.stats.cycles += self.caches.access(pa, kind);
+        }
+    }
+
+    /// Replays every pending event into the cache model and charges the
+    /// resulting stall cycles. Called at every `run` exit, so syscalls,
+    /// traps and instruction-limit returns always observe model state and
+    /// cycle counts identical to exact mode.
+    fn drain_events(&mut self) {
+        if !self.events.is_empty() {
+            self.stats.cycles += self.caches.drain(&mut self.events);
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Data access helpers
     // ------------------------------------------------------------------
 
     #[allow(clippy::too_many_arguments)]
-    fn data_read(
+    pub(crate) fn data_read(
         &mut self,
         vm: &mut Vm,
         id: AsId,
@@ -309,7 +479,7 @@ impl Cpu {
                 vaddr: Some(vaddr),
             })?;
         let pa = self.translate_cached(vm, id, vaddr, Access::Read, pc)?;
-        self.stats.cycles += self.caches.access(pa, AccessKind::Load);
+        self.mem_access(pa, AccessKind::Load);
         let mut buf = [0u8; 8];
         vm.read_bytes(id, vaddr, &mut buf[..size as usize])
             .map_err(|e| TrapInfo {
@@ -331,7 +501,7 @@ impl Cpu {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn data_write(
+    pub(crate) fn data_write(
         &mut self,
         vm: &mut Vm,
         id: AsId,
@@ -357,7 +527,7 @@ impl Cpu {
                 vaddr: Some(vaddr),
             })?;
         let pa = self.translate_cached(vm, id, vaddr, Access::Write, pc)?;
-        self.stats.cycles += self.caches.access(pa, AccessKind::Store);
+        self.mem_access(pa, AccessKind::Store);
         let bytes = value.to_le_bytes();
         vm.write_bytes(id, vaddr, &bytes[..size as usize])
             .map_err(|e| TrapInfo {
@@ -368,7 +538,7 @@ impl Cpu {
         Ok(())
     }
 
-    fn legacy_cap(rf: &RegFile, pc: u64) -> Result<&Capability, TrapInfo> {
+    pub(crate) fn legacy_cap(rf: &RegFile, pc: u64) -> Result<&Capability, TrapInfo> {
         if !rf.ddc.tag() {
             Err(TrapInfo {
                 cause: TrapCause::Cap(CapFault::DdcNull),
@@ -384,7 +554,21 @@ impl Cpu {
     // Fetch
     // ------------------------------------------------------------------
 
-    fn fetch(&mut self, vm: &mut Vm, id: AsId, rf: &RegFile) -> Result<Instr, TrapInfo> {
+    /// Scans the region map for the region containing `pc`.
+    fn find_region(&self, id: AsId, pc: u64) -> Option<Arc<DecodedRegion>> {
+        self.code
+            .get(&id)?
+            .iter()
+            .find(|r| r.contains(pc))
+            .map(Arc::clone)
+    }
+
+    fn fetch(
+        &mut self,
+        vm: &mut Vm,
+        id: AsId,
+        rf: &RegFile,
+    ) -> Result<(DecodedInstr, u64), TrapInfo> {
         let pc = rf.pc;
         rf.pcc
             .check_access(pc, 4, Perms::EXECUTE)
@@ -394,47 +578,29 @@ impl Cpu {
                 vaddr: Some(pc),
             })?;
         let pa = self.translate_cached(vm, id, pc, Access::Exec, pc)?;
-        self.stats.cycles += self.caches.access(pa, AccessKind::Fetch);
+        self.mem_access(pa, AccessKind::Fetch);
         // Straight-line execution stays inside one region: serve it from
         // the resident block without touching the region map.
         if self.fast_path {
             if let Some(r) = &self.cur_code {
-                if pc >= r.start && pc < r.end {
-                    return Ok(r.code[((pc - r.start) / 4) as usize]);
+                if r.contains(pc) {
+                    self.stats.sb_hits += 1;
+                    return Ok((r.instr_at(r.index_of(pc)), r.start()));
                 }
             }
         }
-        let regions = self.code.get(&id).ok_or(TrapInfo {
+        self.stats.sb_misses += 1;
+        let region = self.find_region(id, pc).ok_or(TrapInfo {
             cause: TrapCause::NoCode,
             pc,
             vaddr: Some(pc),
         })?;
-        let region = regions
-            .iter()
-            .find(|r| pc >= r.start && pc < r.end)
-            .ok_or(TrapInfo {
-                cause: TrapCause::NoCode,
-                pc,
-                vaddr: Some(pc),
-            })?;
-        let instr = region.code[((pc - region.start) / 4) as usize];
+        let di = region.instr_at(region.index_of(pc));
+        let rstart = region.start();
         if self.fast_path {
-            self.cur_code = Some(region.clone());
+            self.cur_code = Some(region);
         }
-        Ok(instr)
-    }
-
-    fn region_start(&self, id: AsId, pc: u64) -> u64 {
-        if let Some(r) = &self.cur_code {
-            if pc >= r.start && pc < r.end {
-                return r.start;
-            }
-        }
-        self.code
-            .get(&id)
-            .and_then(|rs| rs.iter().find(|r| pc >= r.start && pc < r.end))
-            .map(|r| r.start)
-            .expect("executing pc has a region")
+        Ok((di, rstart))
     }
 
     // ------------------------------------------------------------------
@@ -443,9 +609,36 @@ impl Cpu {
 
     /// Runs until a syscall, break, trap, or `max_instrs` retired
     /// instructions.
+    ///
+    /// Execution mode is chosen here: superblock batching when the fast
+    /// path and superblocks are enabled and neither tracing nor exact
+    /// event replay demands per-instruction fidelity; the single-step
+    /// path otherwise. Pending memory events are always drained before
+    /// returning, so the caller observes cycle counts, cache statistics
+    /// and model state identical to exact mode at every exit — syscall,
+    /// trap, break or instruction limit.
     pub fn run(&mut self, vm: &mut Vm, id: AsId, rf: &mut RegFile, max_instrs: u64) -> Exit {
         self.set_context(id);
+        self.batch =
+            self.fast_path && self.superblocks && !self.trace.enabled && !self.exact_events;
+        let exit = self.run_inner(vm, id, rf, max_instrs);
+        self.drain_events();
+        self.batch = false;
+        exit
+    }
+
+    fn run_inner(&mut self, vm: &mut Vm, id: AsId, rf: &mut RegFile, max_instrs: u64) -> Exit {
         let mut executed = 0u64;
+        if self.batch {
+            while executed < max_instrs {
+                if let Some(exit) =
+                    self.run_superblock(vm, id, rf, max_instrs - executed, &mut executed)
+                {
+                    return exit;
+                }
+            }
+            return Exit::InstrLimit;
+        }
         while executed < max_instrs {
             match self.step(vm, id, rf) {
                 Ok(None) => executed += 1,
@@ -456,338 +649,172 @@ impl Cpu {
         Exit::InstrLimit
     }
 
+    /// Executes one superblock prefix: a straight-line run with a single
+    /// PCC bounds/perm check and a single translation, clamped so it can
+    /// never cross a page boundary, exceed the PCC's top, or outrun the
+    /// instruction budget. Returns `Some(exit)` to leave the run loop,
+    /// `None` to continue with the next block.
+    fn run_superblock(
+        &mut self,
+        vm: &mut Vm,
+        id: AsId,
+        rf: &mut RegFile,
+        budget: u64,
+        executed: &mut u64,
+    ) -> Option<Exit> {
+        let pc = rf.pc;
+        // Re-entry fast path: loops re-enter the same blocks at the same
+        // PCC under the same epoch, so the entry check, translation,
+        // region lookup and clamps from last time are all still valid.
+        // (Epoch monotonicity makes the `pa` reuse exactly as sound as a
+        // TLB hit; the exact-PCC compare re-validates the EXECUTE check
+        // and the top clamp.) The entry is *moved* out of its slot for the
+        // duration of the block — no refcount traffic on a hit — and moved
+        // back at the end. Op handlers never touch the region map or mode
+        // flags, and the guard re-validates on every entry, so restoring
+        // an entry that a mid-block epoch bump invalidated is harmless.
+        let slot = Self::sb_slot(pc);
+        let e = match self.sb_entries[slot].take() {
+            Some(e) if e.pc == pc && e.epoch == vm.epoch() && e.pcc == rf.pcc => {
+                self.stats.sb_hits += 1;
+                self.mem_access(e.pa, AccessKind::Fetch);
+                e
+            }
+            _ => {
+                if let Err(f) = rf.pcc.check_access(pc, 4, Perms::EXECUTE) {
+                    return Some(Exit::Trap(TrapInfo {
+                        cause: TrapCause::Cap(f),
+                        pc,
+                        vaddr: Some(pc),
+                    }));
+                }
+                let pa0 = match self.translate_cached(vm, id, pc, Access::Exec, pc) {
+                    Ok(pa) => pa,
+                    Err(t) => return Some(Exit::Trap(t)),
+                };
+                // The first instruction's fetch event goes in *before* the
+                // region lookup, so a NoCode trap charges exactly what the
+                // single-step path charges.
+                self.mem_access(pa0, AccessKind::Fetch);
+                let region = if let Some(r) = self.cur_code.as_ref().filter(|r| r.contains(pc)) {
+                    self.stats.sb_hits += 1;
+                    Arc::clone(r)
+                } else {
+                    self.stats.sb_misses += 1;
+                    match self.find_region(id, pc) {
+                        Some(r) => {
+                            self.cur_code = Some(Arc::clone(&r));
+                            r
+                        }
+                        None => {
+                            return Some(Exit::Trap(TrapInfo {
+                                cause: TrapCause::NoCode,
+                                pc,
+                                vaddr: Some(pc),
+                            }))
+                        }
+                    }
+                };
+                let idx = region.index_of(pc);
+                // Clamp the run: past a page boundary the next fetch needs
+                // a fresh translation (and must not pre-fault a page the
+                // block may never reach); past the PCC top the
+                // per-instruction check of the slow path would trap.
+                let run_len = region.block_last(idx) - idx + 1;
+                let page_rem = ((FRAME_SIZE - pc % FRAME_SIZE) / 4) as usize;
+                let pcc_top = rf.pcc.base().saturating_add(rf.pcc.length());
+                let pcc_rem = ((pcc_top - pc) / 4) as usize;
+                // The epoch is recorded *after* the translation, which may
+                // itself have bumped it (COW resolution, swap-in).
+                SbEntry {
+                    pc,
+                    pa: pa0,
+                    idx,
+                    n: run_len.min(page_rem).min(pcc_rem),
+                    pcc: rf.pcc,
+                    epoch: vm.epoch(),
+                    region,
+                }
+            }
+        };
+        // Past the budget the run loop must return InstrLimit. The max(1)
+        // keeps progress even at degenerate clamps (e.g. an unaligned pc
+        // at the very end of a page).
+        let budget_rem = usize::try_from(budget).unwrap_or(usize::MAX);
+        let n = e.n.min(budget_rem).max(1);
+        let block_epoch = self.seen_epoch;
+        let rstart = e.region.start();
+        let mut cur_pc = pc;
+        let mut pa = e.pa;
+        let mut out = None;
+        for (k, di) in e.region.run(e.idx, n).iter().enumerate() {
+            if k > 0 {
+                self.mem_access(pa, AccessKind::Fetch);
+            }
+            self.stats.instret += 1;
+            self.stats.cycles += u64::from(di.base_cycles);
+            let mut cx = ExecCtx {
+                vm: &mut *vm,
+                id,
+                rf: &mut *rf,
+                pc: cur_pc,
+                next: cur_pc.wrapping_add(4),
+                rstart,
+            };
+            match ops::OP_TABLE[usize::from(di.op)](self, &mut cx, di.instr) {
+                Err(trap) => {
+                    out = Some(Exit::Trap(trap));
+                    break;
+                }
+                Ok(Some(exit)) => {
+                    out = Some(exit);
+                    break;
+                }
+                Ok(None) => {
+                    let next = cx.next;
+                    rf.pc = next;
+                    *executed += 1;
+                    if next != cur_pc.wrapping_add(4) {
+                        // Taken control flow: resume with a fresh block.
+                        break;
+                    }
+                    if di.instr.is_memory() && self.seen_epoch != block_epoch {
+                        // A data access mutated the mapping state (COW
+                        // resolution, swap-in eviction): the block-entry
+                        // translation is stale, so re-enter.
+                        break;
+                    }
+                    cur_pc = next;
+                    pa += 4;
+                }
+            }
+        }
+        self.sb_entries[slot] = Some(e);
+        out
+    }
+
     /// Executes a single instruction.
     fn step(&mut self, vm: &mut Vm, id: AsId, rf: &mut RegFile) -> StepResult {
         let pc = rf.pc;
-        let instr = self.fetch(vm, id, rf)?;
+        let (di, rstart) = self.fetch(vm, id, rf)?;
         self.stats.instret += 1;
-        self.stats.cycles += instr.base_cycles();
-        let mut next = pc.wrapping_add(4);
-        let rstart = |cpu: &Cpu| cpu.region_start(id, pc);
-
-        macro_rules! capfault {
-            ($f:expr, $va:expr) => {
-                TrapInfo {
-                    cause: TrapCause::Cap($f),
-                    pc,
-                    vaddr: $va,
-                }
-            };
-        }
-
-        match instr {
-            Instr::Li { rd, imm } => rf.w(rd, imm as u64),
-            Instr::Move { rd, rs } => rf.w(rd, rf.r(rs)),
-
-            Instr::Add { rd, rs, rt } => rf.w(rd, rf.r(rs).wrapping_add(rf.r(rt))),
-            Instr::Sub { rd, rs, rt } => rf.w(rd, rf.r(rs).wrapping_sub(rf.r(rt))),
-            Instr::Mul { rd, rs, rt } => rf.w(rd, rf.r(rs).wrapping_mul(rf.r(rt))),
-            Instr::DivU { rd, rs, rt } => {
-                let d = rf.r(rt);
-                rf.w(rd, rf.r(rs).checked_div(d).unwrap_or(0));
-            }
-            Instr::DivS { rd, rs, rt } => {
-                let d = rf.r(rt) as i64;
-                let n = rf.r(rs) as i64;
-                rf.w(rd, if d == 0 { 0 } else { n.wrapping_div(d) as u64 });
-            }
-            Instr::RemU { rd, rs, rt } => {
-                let d = rf.r(rt);
-                rf.w(rd, if d == 0 { 0 } else { rf.r(rs) % d });
-            }
-            Instr::And { rd, rs, rt } => rf.w(rd, rf.r(rs) & rf.r(rt)),
-            Instr::Or { rd, rs, rt } => rf.w(rd, rf.r(rs) | rf.r(rt)),
-            Instr::Xor { rd, rs, rt } => rf.w(rd, rf.r(rs) ^ rf.r(rt)),
-            Instr::Nor { rd, rs, rt } => rf.w(rd, !(rf.r(rs) | rf.r(rt))),
-            Instr::Sllv { rd, rs, rt } => rf.w(rd, rf.r(rs) << (rf.r(rt) & 63)),
-            Instr::Srlv { rd, rs, rt } => rf.w(rd, rf.r(rs) >> (rf.r(rt) & 63)),
-            Instr::Srav { rd, rs, rt } => rf.w(rd, ((rf.r(rs) as i64) >> (rf.r(rt) & 63)) as u64),
-            Instr::Slt { rd, rs, rt } => rf.w(rd, u64::from((rf.r(rs) as i64) < (rf.r(rt) as i64))),
-            Instr::Sltu { rd, rs, rt } => rf.w(rd, u64::from(rf.r(rs) < rf.r(rt))),
-
-            Instr::AddI { rd, rs, imm } => rf.w(rd, rf.r(rs).wrapping_add(imm as u64)),
-            Instr::AndI { rd, rs, imm } => rf.w(rd, rf.r(rs) & imm),
-            Instr::OrI { rd, rs, imm } => rf.w(rd, rf.r(rs) | imm),
-            Instr::XorI { rd, rs, imm } => rf.w(rd, rf.r(rs) ^ imm),
-            Instr::SllI { rd, rs, sh } => rf.w(rd, rf.r(rs) << (sh & 63)),
-            Instr::SrlI { rd, rs, sh } => rf.w(rd, rf.r(rs) >> (sh & 63)),
-            Instr::SraI { rd, rs, sh } => rf.w(rd, ((rf.r(rs) as i64) >> (sh & 63)) as u64),
-            Instr::SltI { rd, rs, imm } => rf.w(rd, u64::from((rf.r(rs) as i64) < imm)),
-            Instr::SltuI { rd, rs, imm } => rf.w(rd, u64::from(rf.r(rs) < imm)),
-
-            Instr::Beq { rs, rt, target } => {
-                if rf.r(rs) == rf.r(rt) {
-                    next = rstart(self) + u64::from(target) * 4;
-                }
-            }
-            Instr::Bne { rs, rt, target } => {
-                if rf.r(rs) != rf.r(rt) {
-                    next = rstart(self) + u64::from(target) * 4;
-                }
-            }
-            Instr::Blez { rs, target } => {
-                if (rf.r(rs) as i64) <= 0 {
-                    next = rstart(self) + u64::from(target) * 4;
-                }
-            }
-            Instr::Bgtz { rs, target } => {
-                if (rf.r(rs) as i64) > 0 {
-                    next = rstart(self) + u64::from(target) * 4;
-                }
-            }
-            Instr::Bltz { rs, target } => {
-                if (rf.r(rs) as i64) < 0 {
-                    next = rstart(self) + u64::from(target) * 4;
-                }
-            }
-            Instr::Bgez { rs, target } => {
-                if (rf.r(rs) as i64) >= 0 {
-                    next = rstart(self) + u64::from(target) * 4;
-                }
-            }
-            Instr::J { target } => next = rstart(self) + u64::from(target) * 4,
-            Instr::Jal { target } => {
-                // Return continuation in both files: $ra for legacy code,
-                // $cra (PCC-derived, hence bounded) for pure-capability
-                // code.
-                rf.w(cheri_isa::ireg::RA, next);
-                rf.wc(cheri_isa::creg::CRA, rf.pcc.with_addr(next));
-                next = rstart(self) + u64::from(target) * 4;
-            }
-            Instr::Jr { rs } => next = rf.r(rs),
-            Instr::Jalr { rd, rs } => {
-                rf.w(rd, next);
-                next = rf.r(rs);
-            }
-            Instr::Syscall => {
-                self.stats.syscalls += 1;
+        self.stats.cycles += u64::from(di.base_cycles);
+        let mut cx = ExecCtx {
+            vm: &mut *vm,
+            id,
+            rf: &mut *rf,
+            pc,
+            next: pc.wrapping_add(4),
+            rstart,
+        };
+        match ops::OP_TABLE[usize::from(di.op)](self, &mut cx, di.instr)? {
+            Some(exit) => Ok(Some(exit)),
+            None => {
+                let next = cx.next;
                 rf.pc = next;
-                return Ok(Some(Exit::Syscall));
+                Ok(None)
             }
-            Instr::Break => {
-                rf.pc = pc;
-                return Ok(Some(Exit::Break));
-            }
-            Instr::Nop => {}
-
-            Instr::Load {
-                rd,
-                base,
-                off,
-                w,
-                signed,
-            } => {
-                let ddc = *Self::legacy_cap(rf, pc)?;
-                let vaddr = rf.r(base).wrapping_add(off as u64);
-                // Legacy unaligned access is fixed up by the kernel on
-                // FreeBSD/MIPS at significant cost; emulate that.
-                let aligned = vaddr.is_multiple_of(w.bytes());
-                if !aligned {
-                    self.stats.cycles += 50;
-                }
-                let v = self.data_read(vm, id, &ddc, vaddr, w, signed, false, pc)?;
-                rf.w(rd, v);
-            }
-            Instr::Store { rs, base, off, w } => {
-                let ddc = *Self::legacy_cap(rf, pc)?;
-                let vaddr = rf.r(base).wrapping_add(off as u64);
-                if !vaddr.is_multiple_of(w.bytes()) {
-                    self.stats.cycles += 50;
-                }
-                let v = rf.r(rs);
-                self.data_write(vm, id, &ddc, vaddr, w, v, false, pc)?;
-            }
-            Instr::CLoad {
-                rd,
-                cb,
-                off,
-                w,
-                signed,
-            } => {
-                let cap = rf.c(cb);
-                let vaddr = cap.addr().wrapping_add(off as u64);
-                let v = self.data_read(vm, id, &cap, vaddr, w, signed, true, pc)?;
-                rf.w(rd, v);
-            }
-            Instr::CStore { rs, cb, off, w } => {
-                let cap = rf.c(cb);
-                let vaddr = cap.addr().wrapping_add(off as u64);
-                let v = rf.r(rs);
-                self.data_write(vm, id, &cap, vaddr, w, v, true, pc)?;
-            }
-            Instr::Clc { cd, cb, off } => {
-                let cap = rf.c(cb);
-                let vaddr = cap.addr().wrapping_add(off as u64);
-                let size = cap.format().in_memory_size();
-                if !vaddr.is_multiple_of(size) {
-                    return Err(capfault!(CapFault::UnalignedCapAccess, Some(vaddr)));
-                }
-                cap.check_access(vaddr, size, Perms::LOAD)
-                    .map_err(|f| capfault!(f, Some(vaddr)))?;
-                let pa = self.translate_cached(vm, id, vaddr, Access::Read, pc)?;
-                self.stats.cycles += self.caches.access(pa, AccessKind::Load);
-                let loaded = vm.load_cap(id, vaddr).map_err(|e| TrapInfo {
-                    cause: TrapCause::Vm(e),
-                    pc,
-                    vaddr: Some(vaddr),
-                })?;
-                let value = match loaded {
-                    Some(c) => {
-                        if cap.perms().contains(Perms::LOAD_CAP) {
-                            c
-                        } else {
-                            // Loading through a no-LOAD_CAP capability
-                            // strips the tag.
-                            c.clear_tag()
-                        }
-                    }
-                    None => {
-                        let raw = self.data_read(vm, id, &cap, vaddr, Width::D, false, true, pc)?;
-                        Capability::null(cap.format()).with_addr(raw)
-                    }
-                };
-                rf.wc(cd, value);
-            }
-            Instr::Csc { cs, cb, off } => {
-                let cap = rf.c(cb);
-                let value = rf.c(cs);
-                let vaddr = cap.addr().wrapping_add(off as u64);
-                let size = cap.format().in_memory_size();
-                if !vaddr.is_multiple_of(size) {
-                    return Err(capfault!(CapFault::UnalignedCapAccess, Some(vaddr)));
-                }
-                cap.check_access(vaddr, size, Perms::STORE)
-                    .map_err(|f| capfault!(f, Some(vaddr)))?;
-                if value.tag() {
-                    if !cap.perms().contains(Perms::STORE_CAP) {
-                        return Err(capfault!(CapFault::PermitStoreCapViolation, Some(vaddr)));
-                    }
-                    if !value.perms().contains(Perms::GLOBAL)
-                        && !cap.perms().contains(Perms::STORE_LOCAL_CAP)
-                    {
-                        return Err(capfault!(
-                            CapFault::PermitStoreLocalCapViolation,
-                            Some(vaddr)
-                        ));
-                    }
-                }
-                let pa = self.translate_cached(vm, id, vaddr, Access::Write, pc)?;
-                self.stats.cycles += self.caches.access(pa, AccessKind::Store);
-                vm.store_cap(id, vaddr, value).map_err(|e| TrapInfo {
-                    cause: TrapCause::Vm(e),
-                    pc,
-                    vaddr: Some(vaddr),
-                })?;
-            }
-
-            Instr::CGetAddr { rd, cb } => rf.w(rd, rf.c(cb).addr()),
-            Instr::CGetBase { rd, cb } => rf.w(rd, rf.c(cb).base()),
-            Instr::CGetLen { rd, cb } => rf.w(rd, rf.c(cb).length()),
-            Instr::CGetPerm { rd, cb } => rf.w(rd, u64::from(rf.c(cb).perms().bits())),
-            Instr::CGetTag { rd, cb } => rf.w(rd, u64::from(rf.c(cb).tag())),
-            Instr::CGetOffset { rd, cb } => rf.w(rd, rf.c(cb).offset()),
-            Instr::CGetType { rd, cb } => {
-                rf.w(
-                    rd,
-                    rf.c(cb).otype().map_or(u64::MAX, |t| u64::from(t.value())),
-                );
-            }
-
-            Instr::CSetAddr { cd, cb, rs } => rf.wc(cd, rf.c(cb).with_addr(rf.r(rs))),
-            Instr::CIncOffset { cd, cb, rs } => rf.wc(cd, rf.c(cb).inc_addr(rf.r(rs) as i64)),
-            Instr::CIncOffsetImm { cd, cb, imm } => rf.wc(cd, rf.c(cb).inc_addr(imm)),
-            Instr::CSetBounds { cd, cb, rs } => {
-                let c = rf
-                    .c(cb)
-                    .set_bounds(rf.r(rs), false)
-                    .map_err(|f| capfault!(f, None))?;
-                self.trace.record(&c);
-                rf.wc(cd, c);
-            }
-            Instr::CSetBoundsImm { cd, cb, imm } => {
-                let c = rf
-                    .c(cb)
-                    .set_bounds(imm, false)
-                    .map_err(|f| capfault!(f, None))?;
-                self.trace.record(&c);
-                rf.wc(cd, c);
-            }
-            Instr::CSetBoundsExact { cd, cb, rs } => {
-                let c = rf
-                    .c(cb)
-                    .set_bounds(rf.r(rs), true)
-                    .map_err(|f| capfault!(f, None))?;
-                self.trace.record(&c);
-                rf.wc(cd, c);
-            }
-            Instr::CAndPerm { cd, cb, rs } => {
-                let c = rf
-                    .c(cb)
-                    .and_perms(Perms::from_bits_truncate(rf.r(rs) as u32));
-                self.trace.record(&c);
-                rf.wc(cd, c);
-            }
-            Instr::CClearTag { cd, cb } => rf.wc(cd, rf.c(cb).clear_tag()),
-            Instr::CMove { cd, cb } => rf.wc(cd, rf.c(cb)),
-            Instr::CRrl { rd, rs } => {
-                rf.w(rd, rf.pcc.format().representable_length(rf.r(rs)));
-            }
-            Instr::CRam { rd, rs } => {
-                rf.w(rd, rf.pcc.format().representable_alignment_mask(rf.r(rs)));
-            }
-            Instr::CSub { rd, cb, ct } => {
-                rf.w(rd, rf.c(cb).addr().wrapping_sub(rf.c(ct).addr()));
-            }
-            Instr::CFromPtr { cd, cb, rs } => {
-                let v = rf.r(rs);
-                let c = if v == 0 {
-                    Capability::null(rf.pcc.format())
-                } else {
-                    rf.c(cb).with_addr(v)
-                };
-                self.trace.record(&c);
-                rf.wc(cd, c);
-            }
-            Instr::CToPtr { rd, cb, ct } => {
-                let c = rf.c(cb);
-                let _ = ct;
-                rf.w(rd, if c.tag() { c.addr() } else { 0 });
-            }
-            Instr::CSeal { cd, cs, ct } => {
-                let c = rf.c(cs).seal(&rf.c(ct)).map_err(|f| capfault!(f, None))?;
-                rf.wc(cd, c);
-            }
-            Instr::CUnseal { cd, cs, ct } => {
-                let c = rf.c(cs).unseal(&rf.c(ct)).map_err(|f| capfault!(f, None))?;
-                rf.wc(cd, c);
-            }
-            Instr::CTestSubset { rd, cb, ct } => {
-                let a = rf.c(cb);
-                let b = rf.c(ct);
-                rf.w(rd, u64::from(a.tag() && b.tag() && b.is_subset_of(&a)));
-            }
-
-            Instr::CJr { cb } => {
-                let t = rf.c(cb);
-                t.check_access(t.addr(), 4, Perms::EXECUTE)
-                    .map_err(|f| capfault!(f, Some(t.addr())))?;
-                rf.pcc = t;
-                next = t.addr();
-            }
-            Instr::CJalr { cd, cb } => {
-                let t = rf.c(cb);
-                t.check_access(t.addr(), 4, Perms::EXECUTE)
-                    .map_err(|f| capfault!(f, Some(t.addr())))?;
-                rf.wc(cd, rf.pcc.with_addr(next));
-                rf.pcc = t;
-                next = t.addr();
-            }
-            Instr::CGetPcc { cd } => rf.wc(cd, rf.pcc.with_addr(pc)),
-            Instr::CGetDdc { cd } => rf.wc(cd, rf.ddc),
         }
-
-        rf.pc = next;
-        Ok(None)
     }
 }
 
@@ -1129,9 +1156,51 @@ mod tests {
             },
             Instr::Syscall,
         ];
-        let (mut cpu, mut vm, id, mut rf) = machine(code, false);
-        cpu.run(&mut vm, id, &mut rf, 100);
+        let (mut cpu, mut vm, id, mut rf) = machine(code.clone(), false);
+        assert_eq!(cpu.run(&mut vm, id, &mut rf, 100), Exit::Syscall);
         assert!(cpu.stats.cycles > cpu.stats.instret);
+
+        // Pin the contract, not the call sites: total cycles must equal
+        // the instructions' base cost plus *exactly* the stall cycles an
+        // in-order replay of the access stream through an ExactSink
+        // produces — however the execute loop batched them internally.
+        let text_pa = vm.translate(id, 0x10000, Access::Exec).unwrap().0;
+        let data_pa = vm.translate(id, 0x20000, Access::Read).unwrap().0;
+        let mut reference = CacheHierarchy::fpga_default();
+        let mut sink = cheri_mem::ExactSink::new(&mut reference);
+        sink.record(text_pa, AccessKind::Fetch); // li
+        sink.record(text_pa + 4, AccessKind::Fetch); // load
+        sink.record(data_pa, AccessKind::Load);
+        sink.record(text_pa + 8, AccessKind::Fetch); // syscall
+        let stalls = sink.stalls;
+        let base: u64 = code.iter().map(Instr::base_cycles).sum();
+        assert_eq!(cpu.stats.cycles, base + stalls);
+        assert_eq!(cpu.caches.stats(), reference.stats());
+    }
+
+    #[test]
+    fn all_execution_modes_agree_on_all_counters() {
+        // Superblock batching, forced-exact single-step, TLB-only, and
+        // the no-fast-path baseline must be guest-indistinguishable.
+        let code = store_sync_store_load();
+        let mut results = Vec::new();
+        for (fast, superblocks, exact) in [
+            (true, true, false),
+            (true, true, true),
+            (true, false, false),
+            (false, false, false),
+        ] {
+            let (mut cpu, mut vm, id, mut rf) = machine(code.clone(), false);
+            cpu.set_fast_path(fast);
+            cpu.set_superblocks(superblocks);
+            cpu.set_exact_mem_events(exact);
+            assert_eq!(cpu.run(&mut vm, id, &mut rf, 10_000), Exit::Syscall);
+            assert_eq!(cpu.run(&mut vm, id, &mut rf, 10_000), Exit::Syscall);
+            results.push((cpu.stats, cpu.caches.stats(), vm.stats, rf.r(ireg::T2)));
+        }
+        for r in &results[1..] {
+            assert_eq!(*r, results[0]);
+        }
     }
 
     // ------------------------------------------------------------------

@@ -24,9 +24,12 @@
 
 #[allow(clippy::module_inception)]
 mod cpu;
+mod ops;
 mod regfile;
+mod region;
 mod trace;
 
 pub use cpu::{Cpu, CpuStats, Exit, TrapCause, TrapInfo};
 pub use regfile::RegFile;
+pub use region::DecodedRegion;
 pub use trace::DerivationTrace;

@@ -1,0 +1,209 @@
+//! Decode-once code regions, pre-split into superblocks.
+//!
+//! A [`DecodedRegion`] is built exactly once per registration and then
+//! shared immutably (`Arc`) between the per-space region map and the
+//! core's resident block — registration, fork and fetch all stop copying
+//! instruction vectors. Each instruction carries its pre-resolved dispatch
+//! index into the flat op table (threaded dispatch) and its base cycle
+//! cost, and the region records, for every instruction index, where the
+//! straight-line run starting there ends: the *superblock* structure the
+//! execute loop exploits to batch bounds checks and translations.
+
+use crate::ops;
+use cheri_isa::Instr;
+use std::sync::Arc;
+
+/// One pre-decoded instruction: the instruction itself plus everything the
+/// hot loop would otherwise recompute per execution.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct DecodedInstr {
+    /// The architectural instruction.
+    pub instr: Instr,
+    /// Pre-resolved index into [`ops::OP_TABLE`].
+    pub op: u8,
+    /// Pre-resolved [`Instr::base_cycles`] (fits in a byte for every op).
+    pub base_cycles: u8,
+}
+
+/// An immutable, decode-once code region.
+///
+/// `block_last[i]` is the index of the last instruction of the superblock
+/// containing `i`: the straight-line run from `i` extends through
+/// `block_last[i]` inclusive, stopping at the first control-flow
+/// instruction or just before the next *block leader* (any static branch
+/// target), so no branch can ever jump into the middle of a run the
+/// executor has already committed to.
+#[derive(Debug)]
+pub struct DecodedRegion {
+    start: u64,
+    end: u64,
+    code: Vec<DecodedInstr>,
+    block_last: Vec<u32>,
+}
+
+impl DecodedRegion {
+    /// Decodes `code` (to be mapped at virtual address `start`) into a
+    /// shareable region: dispatch indices resolved, base cycles cached,
+    /// superblock boundaries computed at every static branch target and
+    /// control-flow instruction.
+    #[must_use]
+    pub fn decode(start: u64, code: &[Instr]) -> Arc<DecodedRegion> {
+        let n = code.len();
+        let mut leader = vec![false; n + 1];
+        if n > 0 {
+            leader[0] = true;
+        }
+        for instr in code {
+            if let Some(t) = instr.branch_target() {
+                if (t as usize) < n {
+                    leader[t as usize] = true;
+                }
+            }
+        }
+        let decoded = code
+            .iter()
+            .map(|&instr| DecodedInstr {
+                instr,
+                op: ops::dispatch_index(&instr),
+                base_cycles: u8::try_from(instr.base_cycles()).expect("base cycles fit in u8"),
+            })
+            .collect();
+        let mut block_last = vec![0u32; n];
+        for i in (0..n).rev() {
+            block_last[i] = if code[i].is_control() || i + 1 == n || leader[i + 1] {
+                i as u32
+            } else {
+                block_last[i + 1]
+            };
+        }
+        Arc::new(DecodedRegion {
+            start,
+            end: start + n as u64 * 4,
+            code: decoded,
+            block_last,
+        })
+    }
+
+    /// First virtual address of the region.
+    #[must_use]
+    pub fn start(&self) -> u64 {
+        self.start
+    }
+
+    /// One past the last virtual address of the region.
+    #[must_use]
+    pub fn end(&self) -> u64 {
+        self.end
+    }
+
+    /// Number of instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Whether the region holds no instructions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+
+    /// Whether `pc` falls inside the region.
+    #[inline]
+    pub(crate) fn contains(&self, pc: u64) -> bool {
+        pc >= self.start && pc < self.end
+    }
+
+    /// Instruction index for an in-region `pc`.
+    #[inline]
+    pub(crate) fn index_of(&self, pc: u64) -> usize {
+        ((pc - self.start) / 4) as usize
+    }
+
+    /// The decoded instruction at `idx`.
+    #[inline]
+    pub(crate) fn instr_at(&self, idx: usize) -> DecodedInstr {
+        self.code[idx]
+    }
+
+    /// The decoded run of `n` instructions starting at `idx` — one bounds
+    /// check for the whole superblock instead of one per instruction.
+    #[inline]
+    pub(crate) fn run(&self, idx: usize, n: usize) -> &[DecodedInstr] {
+        &self.code[idx..idx + n]
+    }
+
+    /// Index of the last instruction of the superblock containing `idx`.
+    #[inline]
+    pub(crate) fn block_last(&self, idx: usize) -> usize {
+        self.block_last[idx] as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheri_isa::ireg;
+
+    #[test]
+    fn splits_at_branch_targets_and_terminators() {
+        // 0: li ; 1: li ; 2: addi ; 3: bgtz ->2 ; 4: nop ; 5: syscall
+        let code = vec![
+            Instr::Li {
+                rd: ireg::T0,
+                imm: 1,
+            },
+            Instr::Li {
+                rd: ireg::T1,
+                imm: 2,
+            },
+            Instr::AddI {
+                rd: ireg::T0,
+                rs: ireg::T0,
+                imm: -1,
+            },
+            Instr::Bgtz {
+                rs: ireg::T0,
+                target: 2,
+            },
+            Instr::Nop,
+            Instr::Syscall,
+        ];
+        let r = DecodedRegion::decode(0x10000, &code);
+        assert_eq!(r.start(), 0x10000);
+        assert_eq!(r.end(), 0x10000 + 6 * 4);
+        assert_eq!(r.len(), 6);
+        // Index 2 is a branch target, so the run from 0 stops at 1.
+        assert_eq!(r.block_last(0), 1);
+        assert_eq!(r.block_last(1), 1);
+        // The run from the leader at 2 extends through the branch at 3.
+        assert_eq!(r.block_last(2), 3);
+        assert_eq!(r.block_last(3), 3);
+        // Syscall terminates its own run.
+        assert_eq!(r.block_last(4), 5);
+        assert_eq!(r.block_last(5), 5);
+    }
+
+    #[test]
+    fn decoded_instrs_carry_dispatch_and_cycles() {
+        let code = vec![
+            Instr::Nop,
+            Instr::Mul {
+                rd: ireg::T0,
+                rs: ireg::T1,
+                rt: ireg::T2,
+            },
+        ];
+        let r = DecodedRegion::decode(0, &code);
+        assert_eq!(r.instr_at(0).instr, Instr::Nop);
+        assert_eq!(u64::from(r.instr_at(1).base_cycles), code[1].base_cycles());
+        assert_ne!(r.instr_at(0).op, r.instr_at(1).op);
+    }
+
+    #[test]
+    fn out_of_range_targets_are_ignored() {
+        let code = vec![Instr::J { target: 99 }];
+        let r = DecodedRegion::decode(0, &code);
+        assert_eq!(r.block_last(0), 0);
+    }
+}

@@ -427,6 +427,49 @@ impl Instr {
                 | Instr::Csc { .. }
         )
     }
+
+    /// Whether this instruction may transfer control (branches, jumps,
+    /// traps into the kernel). Superblock formation treats these as
+    /// terminators: a straight-line run never continues past one.
+    #[must_use]
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            Instr::Beq { .. }
+                | Instr::Bne { .. }
+                | Instr::Blez { .. }
+                | Instr::Bgtz { .. }
+                | Instr::Bltz { .. }
+                | Instr::Bgez { .. }
+                | Instr::J { .. }
+                | Instr::Jal { .. }
+                | Instr::Jr { .. }
+                | Instr::Jalr { .. }
+                | Instr::Syscall
+                | Instr::Break
+                | Instr::CJr { .. }
+                | Instr::CJalr { .. }
+        )
+    }
+
+    /// Static branch target (an instruction index within the enclosing
+    /// object), when the instruction encodes one. Register-indirect jumps
+    /// return `None`; their targets are still block leaders because the
+    /// jump itself terminates its block.
+    #[must_use]
+    pub fn branch_target(&self) -> Option<u32> {
+        match self {
+            Instr::Beq { target, .. }
+            | Instr::Bne { target, .. }
+            | Instr::Blez { target, .. }
+            | Instr::Bgtz { target, .. }
+            | Instr::Bltz { target, .. }
+            | Instr::Bgez { target, .. }
+            | Instr::J { target }
+            | Instr::Jal { target } => Some(*target),
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -459,6 +502,31 @@ mod tests {
         };
         assert!(add.base_cycles() < mul.base_cycles());
         assert!(mul.base_cycles() < div.base_cycles());
+    }
+
+    #[test]
+    fn control_classification_and_targets() {
+        assert!(Instr::Beq {
+            rs: ireg::V0,
+            rt: ireg::V1,
+            target: 7
+        }
+        .is_control());
+        assert!(Instr::Syscall.is_control());
+        assert!(Instr::CJr { cb: creg::CRA }.is_control());
+        assert!(!Instr::Nop.is_control());
+        assert_eq!(
+            Instr::Bne {
+                rs: ireg::V0,
+                rt: ireg::V1,
+                target: 9
+            }
+            .branch_target(),
+            Some(9)
+        );
+        assert_eq!(Instr::Jal { target: 3 }.branch_target(), Some(3));
+        assert_eq!(Instr::Jr { rs: ireg::RA }.branch_target(), None);
+        assert_eq!(Instr::Nop.branch_target(), None);
     }
 
     #[test]

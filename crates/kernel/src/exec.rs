@@ -14,7 +14,7 @@ use crate::kernel::Kernel;
 use crate::process::{FileDesc, Pid, ProcState, Process};
 use cheri_alloc::Allocator;
 use cheri_cap::{CapSource, Capability, Perms};
-use cheri_cpu::RegFile;
+use cheri_cpu::{DecodedRegion, RegFile};
 use cheri_isa::{creg, ireg, Instr};
 use cheri_rtld::{LoadError, Program};
 use cheri_vm::{Backing, Prot, VmError};
@@ -100,7 +100,7 @@ impl Kernel {
             "trampoline",
         )?;
         self.cpu
-            .register_code(space, TRAMPOLINE_BASE, Arc::new(tramp_code));
+            .register_region(space, DecodedRegion::decode(TRAMPOLINE_BASE, &tramp_code));
 
         // Load objects, GOT, TLS (text/data mappings + derivations).
         let trace = &mut self.cpu.trace;
@@ -114,7 +114,7 @@ impl Kernel {
         )?;
         for obj in &loaded.objects {
             self.cpu
-                .register_code(space, obj.text_base, obj.code.clone());
+                .register_region(space, DecodedRegion::decode(obj.text_base, &obj.code));
         }
         let (li, lc) = loaded.startup_cost;
         self.cpu.charge(li, lc);

@@ -60,24 +60,46 @@ impl CacheConfig {
 #[derive(Clone, Debug)]
 struct Cache {
     cfg: CacheConfig,
+    /// Whether line size and set count are both powers of two (true for
+    /// every geometry the paper uses), letting the hot path shift and
+    /// mask instead of divide.
+    pow2: bool,
+    /// `log2(line)` when `pow2`.
+    line_shift: u32,
+    /// `num_sets - 1` when `pow2`.
+    set_mask: u64,
     /// `sets[s]` holds line tags in LRU order (front = most recent).
     sets: Vec<Vec<u64>>,
 }
 
 impl Cache {
     fn new(cfg: CacheConfig) -> Cache {
+        let num_sets = cfg.num_sets();
         Cache {
             cfg,
-            sets: vec![Vec::new(); cfg.num_sets()],
+            pow2: cfg.line.is_power_of_two() && num_sets.is_power_of_two(),
+            line_shift: cfg.line.trailing_zeros(),
+            set_mask: num_sets as u64 - 1,
+            sets: vec![Vec::new(); num_sets],
         }
     }
 
     /// Returns `true` on hit; always installs the line.
     fn access(&mut self, paddr: u64) -> bool {
-        let line = paddr / self.cfg.line;
-        let set = (line as usize) % self.sets.len();
+        let (line, set_idx) = if self.pow2 {
+            let line = paddr >> self.line_shift;
+            (line, (line & self.set_mask) as usize)
+        } else {
+            let line = paddr / self.cfg.line;
+            (line, (line as usize) % self.sets.len())
+        };
         let ways = self.cfg.ways;
-        let set = &mut self.sets[set];
+        let set = &mut self.sets[set_idx];
+        // Hot loops hammer the most-recently-used line: a hit at the LRU
+        // front needs no reordering at all.
+        if set.first() == Some(&line) {
+            return true;
+        }
         if let Some(pos) = set.iter().position(|&t| t == line) {
             set.remove(pos);
             set.insert(0, line);
@@ -169,6 +191,21 @@ impl CacheHierarchy {
         cycles
     }
 
+    /// Replays every queued event, in order, through [`CacheHierarchy::access`]
+    /// and returns the total stall cycles. Draining empties the ring.
+    ///
+    /// Because replay preserves program order exactly, the model state and
+    /// [`MemStats`] after a drain are identical to what per-access calls
+    /// would have produced — the only difference is *when* the work happens.
+    pub fn drain(&mut self, ring: &mut MemEventRing) -> u64 {
+        let mut cycles = 0;
+        for &(paddr, kind) in &ring.events {
+            cycles += self.access(paddr, kind);
+        }
+        ring.events.clear();
+        cycles
+    }
+
     /// Accumulated statistics.
     #[must_use]
     pub fn stats(&self) -> MemStats {
@@ -185,6 +222,92 @@ impl CacheHierarchy {
         self.l1i.flush();
         self.l1d.flush();
         self.l2.flush();
+    }
+}
+
+/// A consumer of physical memory access events.
+///
+/// The execute loop is the producer: every fetch, load and store emits one
+/// `(paddr, kind)` event *in program order*. How promptly the cache model
+/// observes them is the sink's choice — [`MemEventRing`] batches, while
+/// [`ExactSink`] replays each event into the hierarchy immediately. Both
+/// must yield identical model state once all events are consumed; the
+/// equivalence gate in CI holds that line.
+pub trait MemEventSink {
+    /// Record one access. Ordering across calls is program order.
+    fn record(&mut self, paddr: u64, kind: AccessKind);
+}
+
+/// A bounded FIFO of pending memory events, drained in batches by
+/// [`CacheHierarchy::drain`] at superblock boundaries (and mandatorily
+/// before any point that reads cycles or cache statistics).
+#[derive(Clone, Debug, Default)]
+pub struct MemEventRing {
+    events: Vec<(u64, AccessKind)>,
+}
+
+impl MemEventRing {
+    /// Capacity bound: producers should drain once [`MemEventRing::is_full`]
+    /// reports true. (Exceeding it is not UB — the ring grows — but keeps
+    /// the batch cache-resident on the host: at 16 bytes per event the
+    /// buffer must stay well under the host L1 size, or every event gets
+    /// written to and re-read from L2 and the batching costs more than it
+    /// saves.)
+    pub const CAPACITY: usize = 512;
+
+    /// Creates an empty ring with [`MemEventRing::CAPACITY`] reserved.
+    #[must_use]
+    pub fn new() -> MemEventRing {
+        MemEventRing {
+            events: Vec::with_capacity(Self::CAPACITY),
+        }
+    }
+
+    /// Number of queued events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events are queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Whether the ring has reached its nominal capacity.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.events.len() >= Self::CAPACITY
+    }
+}
+
+impl MemEventSink for MemEventRing {
+    fn record(&mut self, paddr: u64, kind: AccessKind) {
+        self.events.push((paddr, kind));
+    }
+}
+
+/// An event sink that replays each access into the hierarchy the moment it
+/// is recorded, accumulating stall cycles in [`ExactSink::stalls`]. This is
+/// the reference semantics: batched mode must be indistinguishable from it.
+#[derive(Debug)]
+pub struct ExactSink<'a> {
+    caches: &'a mut CacheHierarchy,
+    /// Stall cycles charged so far.
+    pub stalls: u64,
+}
+
+impl<'a> ExactSink<'a> {
+    /// Wraps a hierarchy for immediate replay.
+    pub fn new(caches: &'a mut CacheHierarchy) -> ExactSink<'a> {
+        ExactSink { caches, stalls: 0 }
+    }
+}
+
+impl MemEventSink for ExactSink<'_> {
+    fn record(&mut self, paddr: u64, kind: AccessKind) {
+        self.stalls += self.caches.access(paddr, kind);
     }
 }
 
@@ -248,5 +371,51 @@ mod tests {
         h.access(0x40, AccessKind::Load);
         h.flush();
         assert!(h.access(0x40, AccessKind::Load) > 0);
+    }
+
+    /// A pseudo-random but deterministic access trace.
+    fn trace() -> Vec<(u64, AccessKind)> {
+        let mut x = 0x9e3779b97f4a7c15u64;
+        let mut out = Vec::new();
+        for i in 0..10_000u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let pa = (x >> 16) % (2 * 1024 * 1024);
+            let kind = match i % 3 {
+                0 => AccessKind::Fetch,
+                1 => AccessKind::Load,
+                _ => AccessKind::Store,
+            };
+            out.push((pa, kind));
+        }
+        out
+    }
+
+    #[test]
+    fn batched_drain_equals_exact_replay() {
+        let mut exact_h = CacheHierarchy::fpga_default();
+        let exact_stalls = {
+            let mut sink = ExactSink::new(&mut exact_h);
+            for (pa, kind) in trace() {
+                sink.record(pa, kind);
+            }
+            sink.stalls
+        };
+
+        let mut batched_h = CacheHierarchy::fpga_default();
+        let mut ring = MemEventRing::new();
+        let mut batched_stalls = 0;
+        for (pa, kind) in trace() {
+            if ring.is_full() {
+                batched_stalls += batched_h.drain(&mut ring);
+            }
+            ring.record(pa, kind);
+        }
+        batched_stalls += batched_h.drain(&mut ring);
+
+        assert!(ring.is_empty());
+        assert_eq!(batched_stalls, exact_stalls);
+        assert_eq!(batched_h.stats(), exact_h.stats());
     }
 }

@@ -54,9 +54,46 @@ cmp scripts/golden/table1_pinned.golden target/table1-pinned.lines || {
     exit 1
 }
 
+echo "==> golden: pinned table3 sub-suite is byte-identical to the committed golden"
+./target/release/run_specs --specs scripts/golden/table3_pinned.specs \
+    --jobs 2 --no-cache --shard 0/1 > target/table3-pinned.lines
+cmp scripts/golden/table3_pinned.golden target/table3-pinned.lines || {
+    echo "FAIL: pinned sub-suite output differs from scripts/golden/table3_pinned.golden"
+    echo "      (detection outcomes or metrics changed; if intentional, regenerate:"
+    echo "       ./target/release/run_specs --specs scripts/golden/table3_pinned.specs \\"
+    echo "           --jobs 2 --no-cache --shard 0/1 > scripts/golden/table3_pinned.golden)"
+    exit 1
+}
+
+echo "==> superblock equivalence: table1 pinned suite, superblock vs --no-fast-path"
+./target/release/run_specs --specs scripts/golden/table1_pinned.specs \
+    --jobs 2 --no-cache --no-fast-path --shard 0/1 > target/table1-singlestep.lines
+cmp target/table1-pinned.lines target/table1-singlestep.lines || {
+    echo "FAIL: guest metrics diverge between the superblock machine and the"
+    echo "      single-step reference interpreter on the table1 pinned suite"
+    exit 1
+}
+./target/release/run_specs --specs scripts/golden/table3_pinned.specs \
+    --jobs 2 --no-cache --no-fast-path --shard 0/1 > target/table3-singlestep.lines
+cmp target/table3-pinned.lines target/table3-singlestep.lines || {
+    echo "FAIL: guest metrics diverge between the superblock machine and the"
+    echo "      single-step reference interpreter on the table3 pinned suite"
+    exit 1
+}
+
 echo "==> fault plane: 8-seed campaign is panic-free with no silent successes"
 ./target/release/fault_campaign --seeds 8 --jobs 2 --out target/faults-smoke.json || {
     echo "FAIL: fault campaign reported host panics or silent successes"
+    exit 1
+}
+./target/release/fault_campaign --seeds 8 --jobs 2 --no-fast-path \
+    --out target/faults-smoke-singlestep.json || {
+    echo "FAIL: single-step fault campaign reported host panics or silent successes"
+    exit 1
+}
+cmp target/faults-smoke.json target/faults-smoke-singlestep.json || {
+    echo "FAIL: fault-campaign JSON diverges between the superblock machine and"
+    echo "      the single-step reference interpreter (8-seed smoke)"
     exit 1
 }
 if ./target/release/fault_campaign --seeds 2 --jobs 2 --out /dev/null \

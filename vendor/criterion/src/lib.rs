@@ -3,37 +3,113 @@
 //! The build environment has no crates.io access, so this vendored crate
 //! implements the subset of the criterion API that `cheri-bench` uses:
 //! [`Criterion::benchmark_group`], `sample_size`, `bench_function` with a
-//! [`Bencher`], and the `criterion_group!`/`criterion_main!` macros. Each
-//! benchmark runs `sample_size` timed samples and prints the mean and
-//! min/max wall time per iteration — enough to track the *relative* cost of
-//! the DESIGN.md ablations, which is all the real benches claim.
+//! [`Bencher`], the `criterion_group!`/`criterion_main!` macros, and the
+//! custom-measurement API ([`Measurement`], [`Criterion::with_measurement`])
+//! so benches can report a *deterministic* metric — guest cycles — as the
+//! primary number with wall time as a secondary. Each benchmark runs
+//! `sample_size` samples and prints the mean and min/max per iteration —
+//! enough to track the *relative* cost of the DESIGN.md ablations, which is
+//! all the real benches claim.
 
 use std::time::{Duration, Instant};
 
-/// Benchmark driver.
-#[derive(Debug, Default)]
-pub struct Criterion {}
+/// How a benchmark iteration is measured. Mirrors criterion's trait of the
+/// same name: `start`/`end` bracket one timed closure, `add`/`zero` fold
+/// samples, `to_f64` renders for display.
+pub trait Measurement {
+    /// Value captured at the start of a measurement.
+    type Intermediate;
+    /// One sample's worth of measurement.
+    type Value;
 
-impl Criterion {
+    /// Begins a measurement.
+    fn start(&self) -> Self::Intermediate;
+    /// Ends a measurement begun with [`Measurement::start`].
+    fn end(&self, i: Self::Intermediate) -> Self::Value;
+    /// Sums two sample values.
+    fn add(&self, v1: &Self::Value, v2: &Self::Value) -> Self::Value;
+    /// The additive identity.
+    fn zero(&self) -> Self::Value;
+    /// Renders a value for display/statistics.
+    fn to_f64(&self, value: &Self::Value) -> f64;
+    /// Unit label for display (`"s"` selects the classic wall-time format).
+    fn unit(&self) -> &'static str;
+}
+
+/// The default measurement: host wall-clock time.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WallTime;
+
+impl Measurement for WallTime {
+    type Intermediate = Instant;
+    type Value = Duration;
+
+    fn start(&self) -> Instant {
+        Instant::now()
+    }
+
+    fn end(&self, i: Instant) -> Duration {
+        i.elapsed()
+    }
+
+    fn add(&self, v1: &Duration, v2: &Duration) -> Duration {
+        *v1 + *v2
+    }
+
+    fn zero(&self) -> Duration {
+        Duration::ZERO
+    }
+
+    fn to_f64(&self, value: &Duration) -> f64 {
+        value.as_secs_f64()
+    }
+
+    fn unit(&self) -> &'static str {
+        "s"
+    }
+}
+
+/// Benchmark driver, generic over how iterations are measured.
+#[derive(Debug)]
+pub struct Criterion<M: Measurement = WallTime> {
+    measurement: M,
+}
+
+impl Default for Criterion<WallTime> {
+    fn default() -> Self {
+        Criterion {
+            measurement: WallTime,
+        }
+    }
+}
+
+impl<M: Measurement> Criterion<M> {
+    /// Replaces the measurement, keeping everything else.
+    pub fn with_measurement<N: Measurement>(self, measurement: N) -> Criterion<N> {
+        Criterion { measurement }
+    }
+
     /// Starts a named group of related benchmarks.
-    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_, M> {
         println!("benchmark group: {name}");
         BenchmarkGroup {
             name: name.to_string(),
             sample_size: 10,
+            measurement: &self.measurement,
         }
     }
 }
 
 /// A named group of benchmarks sharing configuration.
 #[derive(Debug)]
-pub struct BenchmarkGroup {
+pub struct BenchmarkGroup<'a, M: Measurement> {
     name: String,
     sample_size: usize,
+    measurement: &'a M,
 }
 
-impl BenchmarkGroup {
-    /// Sets the number of timed samples per benchmark.
+impl<M: Measurement> BenchmarkGroup<'_, M> {
+    /// Sets the number of samples per benchmark.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         self.sample_size = n.max(1);
         self
@@ -43,17 +119,22 @@ impl BenchmarkGroup {
     /// [`Bencher::iter`].
     pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
     where
-        F: FnMut(&mut Bencher),
+        F: FnMut(&mut Bencher<'_, M>),
     {
         let mut samples = Vec::with_capacity(self.sample_size);
+        let mut wall_samples = Vec::with_capacity(self.sample_size);
         for _ in 0..self.sample_size {
             let mut b = Bencher {
+                measurement: self.measurement,
+                value: self.measurement.zero(),
                 elapsed: Duration::ZERO,
                 iterations: 0,
             };
             f(&mut b);
             if b.iterations > 0 {
-                samples.push(b.elapsed.as_secs_f64() / b.iterations as f64);
+                let per_iter = b.iterations as f64;
+                samples.push(self.measurement.to_f64(&b.value) / per_iter);
+                wall_samples.push(b.elapsed.as_secs_f64() / per_iter);
             }
         }
         if samples.is_empty() {
@@ -61,16 +142,33 @@ impl BenchmarkGroup {
             return self;
         }
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
-        let max = samples.iter().cloned().fold(0.0f64, f64::max);
-        println!(
-            "  {}/{id}: mean {:.3} ms/iter (min {:.3}, max {:.3}, {} samples)",
-            self.name,
-            mean * 1e3,
-            min * 1e3,
-            max * 1e3,
-            samples.len()
-        );
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(0.0f64, f64::max);
+        let wall_mean = wall_samples.iter().sum::<f64>() / wall_samples.len() as f64;
+        if self.measurement.unit() == "s" {
+            // The classic wall-time line, byte-compatible with the stub's
+            // original output.
+            println!(
+                "  {}/{id}: mean {:.3} ms/iter (min {:.3}, max {:.3}, {} samples)",
+                self.name,
+                mean * 1e3,
+                min * 1e3,
+                max * 1e3,
+                samples.len()
+            );
+        } else {
+            // Custom measurement primary (deterministic), wall secondary.
+            println!(
+                "  {}/{id}: mean {:.0} {}/iter (min {:.0}, max {:.0}, {} samples; wall {:.3} ms/iter)",
+                self.name,
+                mean,
+                self.measurement.unit(),
+                min,
+                max,
+                samples.len(),
+                wall_mean * 1e3
+            );
+        }
         self
     }
 
@@ -78,30 +176,44 @@ impl BenchmarkGroup {
     pub fn finish(self) {}
 }
 
-/// Times the closure passed to [`Bencher::iter`].
+/// Measures the closure passed to [`Bencher::iter`] — once with the
+/// group's [`Measurement`] and always with wall time as a secondary.
 #[derive(Debug)]
-pub struct Bencher {
+pub struct Bencher<'a, M: Measurement = WallTime> {
+    measurement: &'a M,
+    value: M::Value,
     elapsed: Duration,
     iterations: u64,
 }
 
-impl Bencher {
-    /// Times one execution of `f` (called once per sample).
+impl<M: Measurement> Bencher<'_, M> {
+    /// Measures one execution of `f` (called once per sample).
     pub fn iter<O, F>(&mut self, mut f: F)
     where
         F: FnMut() -> O,
     {
-        let start = Instant::now();
+        let m_start = self.measurement.start();
+        let wall_start = Instant::now();
         let out = f();
-        self.elapsed += start.elapsed();
+        self.elapsed += wall_start.elapsed();
+        let sample = self.measurement.end(m_start);
+        self.value = self.measurement.add(&self.value, &sample);
         self.iterations += 1;
         drop(out);
     }
 }
 
 /// Declares a function running the listed benchmark functions in order.
+/// The `name = ...; config = ...; targets = ...` form threads a configured
+/// [`Criterion`] (e.g. with a custom measurement) into every target.
 #[macro_export]
 macro_rules! criterion_group {
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
     ($group:ident, $($target:path),+ $(,)?) => {
         fn $group() {
             let mut criterion = $crate::Criterion::default();
