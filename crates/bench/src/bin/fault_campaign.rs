@@ -10,9 +10,13 @@
 //!   tag-clearing discipline failed. `--weaken-tag-clear` arms exactly
 //!   that broken discipline as a self-test: the campaign must then fail.
 //!
-//! Each cell is one `(seed, fault kind, ABI)` triple run over a probe
-//! program chosen per kind (a capability-churn loop for memory and
-//! syscall faults, a swap-stress loop for swap-device faults). Cells ride
+//! Each cell is one `(seed, fault kind, ABI, probe family)` tuple. Two
+//! probe families run per triple: a single-process probe chosen per kind
+//! (a capability-churn loop for memory and syscall faults, a swap-stress
+//! loop for swap-device faults), and a scenario-plane probe — the same
+//! fault armed mid-serve in the multi-process minidb scenario, where a
+//! killed process surfaces as a degraded request count or a diagnosed
+//! deadlock. Cells ride
 //! the shared harness session, so `--jobs`, `--cache`, `--shard`,
 //! `--retries` and `--dump-specs` all apply, and the campaign JSON —
 //! built solely from deterministic fields (outcomes and fault counters,
@@ -21,7 +25,7 @@
 //! Extra flags beyond the shared set:
 //!
 //! * `--seeds N` — seeds per (kind, ABI) cell (default 17, giving
-//!   17 × 6 × 2 = 204 cells);
+//!   17 × 6 × 2 × 2 = 408 cells);
 //! * `--weaken-tag-clear` — self-test hook, see above;
 //! * `--out PATH` — where to write the campaign JSON (default
 //!   `BENCH_faults.json`; `-` for stdout only).
@@ -30,7 +34,7 @@
 
 use cheri_bench::cli::{self, BenchOpts};
 use cheri_isa::codegen::CodegenOpts;
-use cheri_kernel::AbiMode;
+use cheri_kernel::{AbiMode, KernelConfig};
 use cheriabi::fault::{all_kinds, FaultKind, FaultPlan};
 use cheriabi::harness::{CaseOutcome, CaseReport, RunSpec};
 use cheriabi::json::Json;
@@ -80,6 +84,10 @@ fn classify(report: &CaseReport) -> CellClass {
         CaseOutcome::Exited(ExitStatus::Code(_)) if fired => CellClass::Degraded,
         CaseOutcome::Exited(ExitStatus::Code(_)) => CellClass::Unaffected,
         CaseOutcome::Exited(_) => CellClass::CleanFault,
+        // A deadlocked scenario is the fault surfacing as a guest-visible
+        // outcome (a killed server strands its clients on reply pipes);
+        // the kernel's diagnostics travel in the outcome JSON.
+        CaseOutcome::Deadlock(_) => CellClass::CleanFault,
         CaseOutcome::LoadFailed(_) | CaseOutcome::DeadlineExceeded => CellClass::Other,
     }
 }
@@ -92,6 +100,21 @@ fn probe_for(kind: FaultKind) -> ProgramSpec {
             ProgramSpec::SwapStress { pages: 5 }
         }
         _ => ProgramSpec::CapChurn { iters: 40 },
+    }
+}
+
+/// The scenario-plane probe for a fault kind: the same fault injected
+/// mid-serve into a multi-process minidb scenario. Swap faults only have
+/// something to hit when the server forces swap traffic.
+fn scenario_probe_for(kind: FaultKind) -> ProgramSpec {
+    ProgramSpec::Scenario {
+        clients: 2,
+        queries: 4,
+        mix: "mixed".to_string(),
+        swap_pressure: matches!(
+            kind,
+            FaultKind::SwapReadErr { .. } | FaultKind::SwapWriteErr { .. }
+        ),
     }
 }
 
@@ -141,6 +164,27 @@ fn build_specs(seeds: u64, weaken: bool) -> Vec<RunSpec> {
                         abi,
                     )
                     .with_seed(seed)
+                    .with_fault(plan),
+                );
+                // Scenario cell family: the same fault armed mid-serve in
+                // the multi-process minidb scenario. Tight pipes keep the
+                // processes blocking/waking, so the fault lands amid real
+                // scheduler traffic; a killed process shows up as either a
+                // degraded request count or a diagnosed deadlock.
+                let mut plan = FaultPlan::new(kind);
+                plan.weaken_tag_clear = weaken;
+                specs.push(
+                    RunSpec::new(
+                        format!("scenario-{}-{abi}-s{seed}", kind.tag()),
+                        scenario_probe_for(kind),
+                        opts,
+                        abi,
+                    )
+                    .with_seed(seed)
+                    .with_config(KernelConfig {
+                        pipe_capacity: 6,
+                        ..KernelConfig::default()
+                    })
                     .with_fault(plan),
                 );
             }
@@ -259,7 +303,7 @@ fn main() {
         );
     } else {
         println!(
-            "fault campaign: {} cells ({} seeds x {} kinds x 2 ABIs)",
+            "fault campaign: {} cells ({} seeds x {} kinds x 2 ABIs x 2 probe families)",
             reports.len(),
             seeds,
             all_kinds(1, 0).len()

@@ -305,7 +305,7 @@ fn codegen_opts_from_json(v: &Json) -> Result<CodegenOpts, String> {
 }
 
 fn kernel_config_to_json(config: KernelConfig) -> Json {
-    Json::obj(vec![
+    let json = Json::obj(vec![
         (
             "cap_fmt",
             Json::str(match config.cap_fmt {
@@ -323,7 +323,20 @@ fn kernel_config_to_json(config: KernelConfig) -> Json {
             "default_instr_budget",
             Json::u64(config.default_instr_budget),
         ),
-    ])
+    ]);
+    // Absent encodes the default so pre-existing spec JSON (goldens, cache
+    // keys) is byte-identical for configs that never touched pipes.
+    let mut fields = match json {
+        Json::Obj(fields) => fields,
+        _ => unreachable!(),
+    };
+    if config.pipe_capacity != KernelConfig::default().pipe_capacity {
+        fields.push((
+            "pipe_capacity".to_string(),
+            Json::u64(config.pipe_capacity as u64),
+        ));
+    }
+    Json::Obj(fields)
 }
 
 fn kernel_config_from_json(v: &Json) -> Result<KernelConfig, String> {
@@ -337,6 +350,10 @@ fn kernel_config_from_json(v: &Json) -> Result<KernelConfig, String> {
         kernel_cap_discipline: v.field("kernel_cap_discipline")?.as_bool()?,
         quantum: v.field("quantum")?.as_u64()?,
         default_instr_budget: v.field("default_instr_budget")?.as_u64()?,
+        pipe_capacity: match v.get("pipe_capacity") {
+            Some(j) => j.as_usize()?,
+            None => KernelConfig::default().pipe_capacity,
+        },
     })
 }
 
@@ -476,6 +493,11 @@ pub enum CaseOutcome {
     Panicked(String),
     /// The case exceeded its [`RunSpec::deadline`]; the worker moved on.
     DeadlineExceeded,
+    /// The scheduler declared deadlock (every live process blocked on a
+    /// condition no runnable process can satisfy); the string is the
+    /// kernel's per-pid blocked-on diagnostics. Only scenario runs report
+    /// this — `run_program` folds it into budget exhaustion.
+    Deadlock(String),
 }
 
 impl CaseOutcome {
@@ -505,6 +527,10 @@ impl CaseOutcome {
                 ("error", Json::str(e.clone())),
             ]),
             CaseOutcome::DeadlineExceeded => Json::obj(vec![("outcome", Json::str("deadline"))]),
+            CaseOutcome::Deadlock(diag) => Json::obj(vec![
+                ("outcome", Json::str("deadlock")),
+                ("diagnostics", Json::str(diag.clone())),
+            ]),
         }
     }
 
@@ -525,6 +551,9 @@ impl CaseOutcome {
                 v.field("error")?.as_str()?.to_string(),
             )),
             "deadline" => Ok(CaseOutcome::DeadlineExceeded),
+            "deadlock" => Ok(CaseOutcome::Deadlock(
+                v.field("diagnostics")?.as_str()?.to_string(),
+            )),
             other => Err(format!("unknown outcome `{other}`")),
         }
     }
@@ -537,6 +566,7 @@ impl fmt::Display for CaseOutcome {
             CaseOutcome::LoadFailed(e) => write!(f, "load failed: {e}"),
             CaseOutcome::Panicked(e) => write!(f, "panicked: {e}"),
             CaseOutcome::DeadlineExceeded => write!(f, "deadline exceeded"),
+            CaseOutcome::Deadlock(diag) => write!(f, "deadlock: {diag}"),
         }
     }
 }
@@ -545,7 +575,10 @@ impl fmt::Display for CaseOutcome {
 /// what the guest observed. TLB and superblock hit rates vary with the
 /// execution mode (they collapse to zero under `--no-fast-path`), so they
 /// are excluded from guest-metric equivalence, from the deterministic
-/// shard/golden line format, and from the report cache's identity.
+/// shard/golden line format, and from the report cache's identity. The
+/// scheduler counters (wakes/blocks/runq depth/context switches) ride in
+/// the same bucket: they happen to be mode-invariant, but they describe
+/// how the kernel ran the process tree, not what the guest computed.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct HostCounters {
     /// Translations served from the software TLB.
@@ -556,18 +589,39 @@ pub struct HostCounters {
     pub sb_hits: u64,
     /// Fetches/block entries that re-scanned the region map.
     pub sb_misses: u64,
+    /// Blocked processes woken by the scheduler.
+    pub wakes: u64,
+    /// Processes put to sleep on a wait condition.
+    pub blocks: u64,
+    /// Deepest run-queue occupancy observed.
+    pub max_runq_depth: u64,
+    /// Context switches performed.
+    pub ctx_switches: u64,
 }
 
 impl HostCounters {
-    /// Canonical JSON encoding.
+    /// Canonical JSON encoding. The scheduler fields are emitted only when
+    /// nonzero, so single-process reports (and their cached encodings)
+    /// stay byte-identical to before the scenario plane existed.
     #[must_use]
     pub fn to_json(&self) -> Json {
-        Json::obj(vec![
-            ("tlb_hits", Json::u64(self.tlb_hits)),
-            ("tlb_misses", Json::u64(self.tlb_misses)),
-            ("sb_hits", Json::u64(self.sb_hits)),
-            ("sb_misses", Json::u64(self.sb_misses)),
-        ])
+        let mut fields = vec![
+            ("tlb_hits".to_string(), Json::u64(self.tlb_hits)),
+            ("tlb_misses".to_string(), Json::u64(self.tlb_misses)),
+            ("sb_hits".to_string(), Json::u64(self.sb_hits)),
+            ("sb_misses".to_string(), Json::u64(self.sb_misses)),
+        ];
+        for (key, value) in [
+            ("wakes", self.wakes),
+            ("blocks", self.blocks),
+            ("max_runq_depth", self.max_runq_depth),
+            ("ctx_switches", self.ctx_switches),
+        ] {
+            if value != 0 {
+                fields.push((key.to_string(), Json::u64(value)));
+            }
+        }
+        Json::Obj(fields)
     }
 
     /// Decodes [`HostCounters::to_json`] output.
@@ -576,11 +630,99 @@ impl HostCounters {
     ///
     /// Returns a message if the value is not a recognised encoding.
     pub fn from_json(v: &Json) -> Result<HostCounters, String> {
+        let opt = |key: &str| -> Result<u64, String> {
+            match v.get(key) {
+                Some(n) => n.as_u64(),
+                None => Ok(0),
+            }
+        };
         Ok(HostCounters {
             tlb_hits: v.field("tlb_hits")?.as_u64()?,
             tlb_misses: v.field("tlb_misses")?.as_u64()?,
             sb_hits: v.field("sb_hits")?.as_u64()?,
             sb_misses: v.field("sb_misses")?.as_u64()?,
+            wakes: opt("wakes")?,
+            blocks: opt("blocks")?,
+            max_runq_depth: opt("max_runq_depth")?,
+            ctx_switches: opt("ctx_switches")?,
+        })
+    }
+}
+
+/// Latency aggregate for one scenario run (`ProgramSpec::Scenario`):
+/// per-request enqueue→reply latencies, stamped by the guest clients in
+/// guest cycles, reduced to nearest-rank percentiles. Everything here is
+/// deterministic guest arithmetic, so the struct participates in report
+/// equality, the deterministic line format, and goldens.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScenarioStats {
+    /// Client processes the scenario forked.
+    pub clients: u64,
+    /// Requests the scenario was configured to issue (clients × queries).
+    pub requests: u64,
+    /// Requests that completed (latency stamps harvested); fewer than
+    /// `requests` means clients aborted or the run ended early — the
+    /// fault campaign's "degraded" signal.
+    pub completed: u64,
+    /// Median latency in guest cycles (nearest-rank).
+    pub p50: u64,
+    /// 95th-percentile latency in guest cycles (nearest-rank).
+    pub p95: u64,
+    /// 99th-percentile latency in guest cycles (nearest-rank).
+    pub p99: u64,
+}
+
+impl ScenarioStats {
+    /// Reduces raw latency stamps to percentiles (nearest-rank on the
+    /// sorted array; zeros when nothing completed).
+    #[must_use]
+    pub fn from_latencies(clients: u64, requests: u64, latencies: &[u64]) -> ScenarioStats {
+        let mut sorted = latencies.to_vec();
+        sorted.sort_unstable();
+        let rank = |pct: u64| -> u64 {
+            if sorted.is_empty() {
+                return 0;
+            }
+            let n = sorted.len() as u64;
+            let idx = (pct * n).div_ceil(100).max(1) - 1;
+            sorted[idx as usize]
+        };
+        ScenarioStats {
+            clients,
+            requests,
+            completed: latencies.len() as u64,
+            p50: rank(50),
+            p95: rank(95),
+            p99: rank(99),
+        }
+    }
+
+    /// Canonical JSON encoding.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("clients", Json::u64(self.clients)),
+            ("requests", Json::u64(self.requests)),
+            ("completed", Json::u64(self.completed)),
+            ("p50", Json::u64(self.p50)),
+            ("p95", Json::u64(self.p95)),
+            ("p99", Json::u64(self.p99)),
+        ])
+    }
+
+    /// Decodes [`ScenarioStats::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the value is not a recognised encoding.
+    pub fn from_json(v: &Json) -> Result<ScenarioStats, String> {
+        Ok(ScenarioStats {
+            clients: v.field("clients")?.as_u64()?,
+            requests: v.field("requests")?.as_u64()?,
+            completed: v.field("completed")?.as_u64()?,
+            p50: v.field("p50")?.as_u64()?,
+            p95: v.field("p95")?.as_u64()?,
+            p99: v.field("p99")?.as_u64()?,
         })
     }
 }
@@ -635,6 +777,10 @@ pub struct CaseReport {
     /// when the case never ran or every counter is zero; always excluded
     /// from the deterministic line format and the report-cache identity.
     pub host: Option<HostCounters>,
+    /// Latency percentiles, present only for scenario specs
+    /// (`ProgramSpec::Scenario`). Deterministic guest data — unlike
+    /// `host`, it *is* part of the deterministic line format.
+    pub scenario: Option<ScenarioStats>,
 }
 
 impl CaseReport {
@@ -672,6 +818,9 @@ impl CaseReport {
         }
         if let Some(host) = &self.host {
             fields.push(("host", host.to_json()));
+        }
+        if let Some(scenario) = &self.scenario {
+            fields.push(("scenario", scenario.to_json()));
         }
         Json::obj(fields)
     }
@@ -743,6 +892,10 @@ impl CaseReport {
                 Some(host) => Some(HostCounters::from_json(host)?),
                 None => None,
             },
+            scenario: match v.get("scenario") {
+                Some(stats) => Some(ScenarioStats::from_json(stats)?),
+                None => None,
+            },
         })
     }
 }
@@ -775,7 +928,30 @@ fn execute_inner(registry: &Registry, spec: &RunSpec) -> CaseReport {
         let mut opts = SpawnOpts::new(spec.abi);
         opts.asan = spec.asan;
         opts.instr_budget = spec.instr_budget;
-        let result = sys.measure(&program, &opts);
+        // Scenario specs run the whole process tree through the scheduler
+        // and harvest latency stamps; everything else takes the classic
+        // run-one-guest `measure` path.
+        let scenario_shape = match &spec.program {
+            ProgramSpec::Scenario {
+                clients, queries, ..
+            } => Some((*clients, *queries)),
+            _ => None,
+        };
+        let (result, extra) = if let Some((clients, queries)) = scenario_shape {
+            match sys.run_scenario(&program, &opts, clients) {
+                Ok(run) => {
+                    let stats =
+                        ScenarioStats::from_latencies(clients, clients * queries, &run.latencies);
+                    (
+                        Ok((run.status, run.console, run.metrics)),
+                        Some((run.deadlock, stats)),
+                    )
+                }
+                Err(load) => (Err(load), None),
+            }
+        } else {
+            (sys.measure(&program, &opts), None)
+        };
         let cdf = spec.trace.then(|| sys.capability_histogram());
         // Harvest even when the load failed: a fault injected into the
         // exec path still fired.
@@ -785,31 +961,46 @@ fn execute_inner(registry: &Registry, spec: &RunSpec) -> CaseReport {
             tlb_misses: sys.kernel.cpu.stats.tlb_misses,
             sb_hits: sys.kernel.cpu.stats.sb_hits,
             sb_misses: sys.kernel.cpu.stats.sb_misses,
+            wakes: sys.kernel.stats.wakes,
+            blocks: sys.kernel.stats.blocks,
+            max_runq_depth: sys.kernel.stats.max_runq_depth,
+            ctx_switches: sys.kernel.stats.ctx_switches,
         };
-        (result, cdf, faults, host)
+        (result, cdf, faults, host, extra)
     }));
     let wall = start.elapsed();
-    let (outcome, console, metrics, cap_cdf, faults, host) = match run {
-        Ok((Ok((status, console, metrics)), cdf, faults, host)) => (
-            CaseOutcome::Exited(status),
-            console,
-            metrics,
-            cdf,
-            faults,
-            (host != HostCounters::default()).then_some(host),
-        ),
-        Ok((Err(load), _, faults, host)) => (
+    let (outcome, console, metrics, cap_cdf, faults, host, scenario) = match run {
+        Ok((Ok((status, console, metrics)), cdf, faults, host, extra)) => {
+            let outcome = match &extra {
+                // A deadlocked scenario is a guest-visible failure with
+                // the kernel's per-pid diagnostics attached.
+                Some((Some(diag), _)) => CaseOutcome::Deadlock(diag.clone()),
+                _ => CaseOutcome::Exited(status),
+            };
+            (
+                outcome,
+                console,
+                metrics,
+                cdf,
+                faults,
+                (host != HostCounters::default()).then_some(host),
+                extra.map(|(_, stats)| stats),
+            )
+        }
+        Ok((Err(load), _, faults, host, _)) => (
             CaseOutcome::LoadFailed(load.to_string()),
             String::new(),
             Metrics::default(),
             None,
             faults,
             (host != HostCounters::default()).then_some(host),
+            None,
         ),
         Err(payload) => (
             CaseOutcome::Panicked(panic_message(payload.as_ref())),
             String::new(),
             Metrics::default(),
+            None,
             None,
             None,
             None,
@@ -829,6 +1020,7 @@ fn execute_inner(registry: &Registry, spec: &RunSpec) -> CaseReport {
         quarantined: false,
         faults,
         host,
+        scenario,
     }
 }
 
@@ -870,6 +1062,7 @@ pub fn execute_spec(registry: &Registry, spec: &RunSpec) -> CaseReport {
             quarantined: false,
             faults: None,
             host: None,
+            scenario: None,
         },
     }
 }
@@ -1399,6 +1592,7 @@ mod tests {
             CaseOutcome::LoadFailed("no entry".to_string()),
             CaseOutcome::Panicked("builder \"exploded\"\n".to_string()),
             CaseOutcome::DeadlineExceeded,
+            CaseOutcome::Deadlock("pid3: pipe-read(0); pid4: pipe-write(1)".to_string()),
         ];
         for outcome in statuses {
             let report = CaseReport {
@@ -1418,6 +1612,7 @@ mod tests {
                 quarantined: false,
                 faults: None,
                 host: None,
+                scenario: None,
             };
             let text = report.to_json().to_string();
             let back =
@@ -1447,6 +1642,7 @@ mod tests {
             quarantined: false,
             faults: None,
             host: None,
+            scenario: None,
         };
         let line = report.to_json_tagged(12).to_string();
         assert!(line.starts_with("{\"case\":12,\"name\":\"t\""), "{line}");
@@ -1480,6 +1676,7 @@ mod tests {
                 ..FaultCounters::default()
             }),
             host: None,
+            scenario: None,
         };
         let text = report.to_json().to_string();
         assert!(text.contains("\"retries\":3"), "{text}");

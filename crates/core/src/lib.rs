@@ -110,6 +110,23 @@ pub struct MetricOverheads {
     pub l2_misses: f64,
 }
 
+/// What one scenario run produced (see [`System::run_scenario`]).
+#[derive(Clone, Debug)]
+pub struct ScenarioRun {
+    /// Exit status of the scenario's main process.
+    pub status: ExitStatus,
+    /// Main-process console output (clients write binary stamps to their
+    /// own consoles, harvested separately into `latencies`).
+    pub console: String,
+    /// Metrics consumed by the whole process tree.
+    pub metrics: Metrics,
+    /// Blocked-process diagnostics if the scheduler declared deadlock.
+    pub deadlock: Option<String>,
+    /// Per-request enqueue→reply latencies in guest cycles, concatenated
+    /// client by client in pid order.
+    pub latencies: Vec<u64>,
+}
+
 /// A booted machine.
 pub struct System {
     /// The kernel (owns the CPU and VM).
@@ -172,6 +189,69 @@ impl System {
                 syscalls: c1.syscalls - c0.syscalls,
             },
         ))
+    }
+
+    /// Runs a multi-tenant scenario program (`ProgramSpec::Scenario`
+    /// lowerings) and harvests its per-request latency stamps.
+    ///
+    /// The program's process tree is fixed by construction: the spawned
+    /// process (`main`) forks the server first and then each client in
+    /// order, so the clients occupy pids `main + 2 .. main + 2 + clients`.
+    /// Each client writes its latency array — one little-endian `u64` of
+    /// guest cycles per completed request — to its console fd, which this
+    /// method decodes from the *raw* console bytes (the lossy UTF-8 view
+    /// would corrupt the binary stamps).
+    ///
+    /// # Errors
+    ///
+    /// Propagates load failures.
+    pub fn run_scenario(
+        &mut self,
+        program: &Program,
+        opts: &SpawnOpts,
+        clients: u64,
+    ) -> Result<ScenarioRun, cheri_rtld::LoadError> {
+        // Mid-run `Sys::Cycles` stamps must agree between the superblock
+        // fast path and the single-step interpreter, so make batched
+        // cache-event charging exact (same requirement as the fault plane).
+        self.kernel.cpu.set_exact_mem_events(true);
+        let c0 = self.kernel.cpu.stats;
+        let m0 = self.kernel.cpu.caches.stats();
+        let main = self.kernel.spawn(program, opts)?;
+        let budget = self.kernel.process(main).instr_budget;
+        let outcome = self.kernel.run(budget);
+        let deadlock = (outcome == RunOutcome::Deadlock).then(|| self.kernel.blocked_diagnostics());
+        let status = self
+            .kernel
+            .exit_status(main)
+            .unwrap_or(ExitStatus::BudgetExhausted);
+        let console = self.kernel.process(main).console_string();
+        let c1 = self.kernel.cpu.stats;
+        let m1 = self.kernel.cpu.caches.stats();
+        let mut latencies = Vec::new();
+        for i in 0..clients {
+            let Some(client) = self.kernel.try_process(Pid(main.0 + 2 + i)) else {
+                continue;
+            };
+            latencies.extend(
+                client
+                    .console
+                    .chunks_exact(8)
+                    .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk"))),
+            );
+        }
+        Ok(ScenarioRun {
+            status,
+            console,
+            metrics: Metrics {
+                instructions: c1.instret - c0.instret,
+                cycles: c1.cycles - c0.cycles,
+                l2_misses: m1.l2_misses - m0.l2_misses,
+                syscalls: c1.syscalls - c0.syscalls,
+            },
+            deadlock,
+            latencies,
+        })
     }
 
     /// Enables capability-derivation tracing (Figure 5).

@@ -130,6 +130,22 @@ pub enum ProgramSpec {
         /// Iterations of the syscall loop.
         iters: i64,
     },
+    /// The multi-tenant minidb scenario: a forked server process serves
+    /// `clients` forked client processes over blocking pipes, each client
+    /// issuing `queries` requests and stamping per-request latency in guest
+    /// cycles (`Sys::Cycles`). The harness harvests the stamps into
+    /// latency percentiles (see `harness::ScenarioStats`). Lowered by
+    /// `cheri-corpus`.
+    Scenario {
+        /// Concurrent client processes.
+        clients: u64,
+        /// Requests per client.
+        queries: u64,
+        /// Query mix: `get` / `put` / `mixed` (seeded per-client LCG).
+        mix: String,
+        /// Whether the server forces pages to the swap device each round.
+        swap_pressure: bool,
+    },
 }
 
 impl ProgramSpec {
@@ -196,6 +212,18 @@ impl ProgramSpec {
                 ("kind", Json::str(kind.clone())),
                 ("iters", Json::i64(*iters)),
             ]),
+            ProgramSpec::Scenario {
+                clients,
+                queries,
+                mix,
+                swap_pressure,
+            } => Json::obj(vec![
+                ("program", Json::str("scenario")),
+                ("clients", Json::u64(*clients)),
+                ("queries", Json::u64(*queries)),
+                ("mix", Json::str(mix.clone())),
+                ("swap_pressure", Json::Bool(*swap_pressure)),
+            ]),
         }
     }
 
@@ -246,6 +274,12 @@ impl ProgramSpec {
             "micro" => Ok(ProgramSpec::Micro {
                 kind: v.field("kind")?.as_str()?.to_string(),
                 iters: v.field("iters")?.as_i64()?,
+            }),
+            "scenario" => Ok(ProgramSpec::Scenario {
+                clients: v.field("clients")?.as_u64()?,
+                queries: v.field("queries")?.as_u64()?,
+                mix: v.field("mix")?.as_str()?.to_string(),
+                swap_pressure: v.field("swap_pressure")?.as_bool()?,
             }),
             other => Err(format!("unknown program tag `{other}`")),
         }
@@ -461,6 +495,12 @@ mod tests {
             ProgramSpec::Micro {
                 kind: "select".to_string(),
                 iters: 200,
+            },
+            ProgramSpec::Scenario {
+                clients: 4,
+                queries: 12,
+                mix: "mixed".to_string(),
+                swap_pressure: true,
             },
         ]
     }

@@ -31,6 +31,7 @@
 pub mod compat;
 pub mod families;
 pub mod minidb;
+pub mod scenario;
 pub mod suite;
 
 pub use compat::{Category, ChangeRecord, Component, STATIC_CHANGES};

@@ -36,14 +36,7 @@ pub fn build_with_libdb(
     body: impl FnOnce(&mut FnBuilder<'_>),
 ) -> Program {
     let mut pb = ProgramBuilder::new(name);
-
-    // ---- libdb (inlined from add_libdb to keep builder ownership) ----
-    let mut lib = pb.object("libdb");
-    lib.set_tls_size(32);
-    emit_db_create(&mut lib, opts);
-    emit_db_put(&mut lib, opts);
-    emit_db_get(&mut lib, opts);
-    pb.add(lib.finish());
+    add_libdb(&mut pb, opts);
 
     let mut exe = pb.object(name);
     {
@@ -53,6 +46,18 @@ pub fn build_with_libdb(
     exe.set_entry("main");
     pb.add(exe.finish());
     pb.finish()
+}
+
+/// Adds the `libdb` shared object (`db_create`/`db_put`/`db_get`) to a
+/// program under construction — shared with the scenario plane, whose
+/// server links the same library.
+pub(crate) fn add_libdb(pb: &mut ProgramBuilder, opts: CodegenOpts) {
+    let mut lib = pb.object("libdb");
+    lib.set_tls_size(32);
+    emit_db_create(&mut lib, opts);
+    emit_db_put(&mut lib, opts);
+    emit_db_get(&mut lib, opts);
+    pb.add(lib.finish());
 }
 
 fn emit_db_create(lib: &mut cheri_isa::ObjectBuilder, opts: CodegenOpts) {
@@ -147,7 +152,7 @@ fn emit_db_get(lib: &mut cheri_isa::ObjectBuilder, opts: CodegenOpts) {
 }
 
 /// Emits `main`-side code that stores `key`/`value` through `db_put`.
-fn call_put(f: &mut FnBuilder<'_>, table: Ptr, key: Val, value: Val) {
+pub(crate) fn call_put(f: &mut FnBuilder<'_>, table: Ptr, key: Val, value: Val) {
     f.set_arg_ptr(0, table);
     f.set_arg_val(1, key);
     f.set_arg_val(2, value);
@@ -155,7 +160,7 @@ fn call_put(f: &mut FnBuilder<'_>, table: Ptr, key: Val, value: Val) {
 }
 
 /// Emits a `db_get` call; result in `out`.
-fn call_get(f: &mut FnBuilder<'_>, table: Ptr, key: Val, out: Val) {
+pub(crate) fn call_get(f: &mut FnBuilder<'_>, table: Ptr, key: Val, out: Val) {
     f.set_arg_ptr(0, table);
     f.set_arg_val(1, key);
     f.call_global("db_get");

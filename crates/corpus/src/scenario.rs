@@ -1,0 +1,408 @@
+//! The scenario plane's guest program: a multi-tenant minidb server under
+//! concurrent client load.
+//!
+//! One `main` process creates two pipes per client (requests in, replies
+//! out), forks a server linked against the same `libdb` the `initdb`
+//! macro-benchmark uses, forks `clients` client processes, and reaps them
+//! all. Each client issues `queries` requests — an 8-byte
+//! `[op: u32][key: u32]` message — and blocks for the server's 8-byte
+//! reply before issuing the next one, stamping the enqueue→reply latency
+//! of every request in deterministic guest cycles (`Sys::Cycles`). The
+//! stamps are flushed to the client's console as little-endian `u64`s,
+//! where `System::run_scenario` harvests them into percentiles.
+//!
+//! Everything interesting happens in the kernel: requests and replies ride
+//! *blocking* pipes (readers sleep on empty buffers, writers sleep on full
+//! ones — run the scenario with a small `KernelConfig::pipe_capacity` and
+//! every message forces partial writes and wake/block churn), the server's
+//! `db_put` path mallocs a capability-carrying record per request, and the
+//! optional swap-pressure mode forces pages to the swap device every
+//! round, so replies land only after tag-preserving swap-ins.
+//!
+//! Process-tree shape is fixed by construction: only `main` forks, server
+//! first, then clients in index order — so the spawned pid `p` implies
+//! server `p+1` and client `i` at `p+2+i`, which is the contract
+//! `System::run_scenario` harvests latencies by.
+
+use crate::minidb::{add_libdb, call_get, call_put};
+use cheri_isa::codegen::{CodegenOpts, FnBuilder, Ptr, Val};
+use cheri_isa::{Label, Width};
+use cheri_kernel::Sys;
+use cheri_rtld::{Program, ProgramBuilder};
+use cheriabi::guest::GuestOps;
+
+/// Hash-table capacity the server creates. Must stay well above
+/// [`KEY_SPACE`]: `db_put` probes forever on a full table.
+const TABLE_CAP: i64 = 128;
+
+/// Keys are drawn from `0..KEY_SPACE` (a power of two, so the client can
+/// mask instead of dividing).
+const KEY_SPACE: i64 = 32;
+
+/// Request/reply message size in bytes.
+const MSG: i64 = 8;
+
+/// Frame offset of the fd table in `main` (16 bytes per client:
+/// `[req_r: u32][req_w: u32][rep_r: u32][rep_w: u32]`).
+const FD0: i64 = 16;
+
+/// Builds the scenario program. `mix` selects the per-request operation:
+/// `"get"`, `"put"`, or `"mixed"` (an LCG bit, different per client and
+/// per seed). `swap_pressure` makes the server evict pages to the swap
+/// device after every round of replies.
+#[must_use]
+pub fn build(
+    opts: CodegenOpts,
+    seed: u64,
+    clients: u64,
+    queries: u64,
+    mix: &str,
+    swap_pressure: bool,
+) -> Program {
+    let n = clients as i64;
+    let q = queries as i64;
+    let mix = match mix {
+        "put" => 1u8,
+        "mixed" => 2,
+        _ => 0, // "get"
+    };
+    let mut pb = ProgramBuilder::new("scenario");
+    add_libdb(&mut pb, opts);
+    let mut exe = pb.object("scenario");
+    {
+        let mut f = FnBuilder::begin(&mut exe, "scenario_client", opts);
+        emit_client(&mut f, q, mix, seed);
+    }
+    {
+        let mut f = FnBuilder::begin(&mut exe, "scenario_server", opts);
+        emit_server(&mut f, n, q, swap_pressure);
+    }
+    {
+        let mut f = FnBuilder::begin(&mut exe, "main", opts);
+        emit_main(&mut f, n);
+    }
+    exe.set_entry("main");
+    pb.add(exe.finish());
+    pb.finish()
+}
+
+/// Emits a loop writing exactly `len` bytes from `buf` to the runtime fd
+/// in `fd`, advancing past partial writes (a small pipe buffer reports
+/// short counts and blocks the writer when full). Jumps to `abort` on any
+/// error (negative return: reader gone, injected errno) or a zero-byte
+/// write. Clobbers `Val(0..=2)` and `Ptr(4)`; `fd` and `buf` must not
+/// alias those.
+fn emit_write_all(f: &mut FnBuilder<'_>, fd: Val, buf: Ptr, len: i64, abort: Label) {
+    let top = f.label();
+    let done = f.label();
+    f.li(Val(0), 0); // bytes sent
+    f.bind(top);
+    f.li(Val(2), len);
+    f.sub(Val(2), Val(2), Val(0));
+    f.beqz(Val(2), done);
+    f.ptr_add(Ptr(4), buf, Val(0));
+    f.set_arg_val(0, fd);
+    f.set_arg_ptr(1, Ptr(4));
+    f.set_arg_val(2, Val(2));
+    f.syscall(Sys::Write as i64);
+    f.ret_val_to(Val(1));
+    f.bltz(Val(1), abort);
+    f.beqz(Val(1), abort);
+    f.add(Val(0), Val(0), Val(1));
+    f.jmp(top);
+    f.bind(done);
+}
+
+/// Emits a loop reading exactly `len` bytes into `buf` from the runtime fd
+/// in `fd` (blocking on an empty pipe). Jumps to `abort` on error or EOF.
+/// Clobbers `Val(0..=2)` and `Ptr(4)`; `fd` and `buf` must not alias
+/// those.
+fn emit_read_exact(f: &mut FnBuilder<'_>, fd: Val, buf: Ptr, len: i64, abort: Label) {
+    let top = f.label();
+    let done = f.label();
+    f.li(Val(0), 0); // bytes received
+    f.bind(top);
+    f.li(Val(2), len);
+    f.sub(Val(2), Val(2), Val(0));
+    f.beqz(Val(2), done);
+    f.ptr_add(Ptr(4), buf, Val(0));
+    f.set_arg_val(0, fd);
+    f.set_arg_ptr(1, Ptr(4));
+    f.set_arg_val(2, Val(2));
+    f.syscall(Sys::Read as i64);
+    f.ret_val_to(Val(1));
+    f.bltz(Val(1), abort);
+    f.beqz(Val(1), abort); // EOF mid-message
+    f.add(Val(0), Val(0), Val(1));
+    f.jmp(top);
+    f.bind(done);
+}
+
+/// `scenario_client(req_w, rep_r, idx)`: the request loop. Keeps all state
+/// in registers (no calls, and temporaries survive syscalls), stamping
+/// each request with `Sys::Cycles` before the write and after the reply.
+/// On any pipe error it stops early and flushes only the stamps it has —
+/// the harness counts those as completed and the rest as degraded.
+fn emit_client(f: &mut FnBuilder<'_>, queries: i64, mix: u8, seed: u64) {
+    f.enter(48);
+    f.arg_to_val(Val(7), 0); // request-pipe write fd
+    f.arg_to_val(Val(6), 1); // reply-pipe read fd
+    f.arg_to_val(Val(0), 2); // client index
+    f.malloc_imm(Ptr(0), queries * MSG); // latency stamps
+                                         // Per-client LCG state, perturbed by the case seed so different seeds
+                                         // walk different key streams (and thus different probe lengths).
+    f.li(Val(1), 1_000_003);
+    f.mul(Val(5), Val(0), Val(1));
+    f.add_imm(Val(5), Val(5), 12_345 + (seed % 1024) as i64);
+    f.addr_of_stack(Ptr(1), 16, MSG as u64); // message buffer
+    f.li(Val(3), 0); // completed requests
+    let q_top = f.label();
+    let finish = f.label();
+    f.bind(q_top);
+    f.li(Val(0), queries);
+    f.sub(Val(0), Val(3), Val(0));
+    f.beqz(Val(0), finish);
+    // state = (state * 1103515245 + 12345) & 0x7fffffff
+    f.li(Val(0), 1_103_515_245);
+    f.mul(Val(5), Val(5), Val(0));
+    f.add_imm(Val(5), Val(5), 12_345);
+    f.li(Val(0), 0x7fff_ffff);
+    f.and(Val(5), Val(5), Val(0));
+    f.and_imm(Val(1), Val(5), (KEY_SPACE - 1) as u64); // key
+    match mix {
+        0 => f.li(Val(2), 0),
+        1 => f.li(Val(2), 1),
+        _ => {
+            // Mixed: one LCG bit away from the key bits.
+            f.shr_imm(Val(2), Val(5), 5);
+            f.and_imm(Val(2), Val(2), 1);
+        }
+    }
+    f.store(Val(2), Ptr(1), 0, Width::W); // op
+    f.store(Val(1), Ptr(1), 4, Width::W); // key
+    f.syscall(Sys::Cycles as i64); // enqueue stamp
+    f.ret_val_to(Val(4));
+    emit_write_all(f, Val(7), Ptr(1), MSG, finish);
+    emit_read_exact(f, Val(6), Ptr(1), MSG, finish);
+    f.syscall(Sys::Cycles as i64); // reply stamp
+    f.ret_val_to(Val(0));
+    f.sub(Val(0), Val(0), Val(4));
+    f.shl_imm(Val(1), Val(3), 3);
+    f.ptr_add(Ptr(2), Ptr(0), Val(1));
+    f.store(Val(0), Ptr(2), 0, Width::D);
+    f.add_imm(Val(3), Val(3), 1);
+    f.jmp(q_top);
+    f.bind(finish);
+    // Flush the stamps (completed requests only) to the console as raw
+    // little-endian u64s; run_scenario decodes them from the raw bytes.
+    f.li(Val(0), 1);
+    f.set_arg_val(0, Val(0));
+    f.set_arg_ptr(1, Ptr(0));
+    f.shl_imm(Val(1), Val(3), 3);
+    f.set_arg_val(2, Val(1));
+    f.syscall(Sys::Write as i64);
+    f.leave_ret();
+}
+
+/// `scenario_server(fdtab)`: creates the table, then serves `queries`
+/// rounds of one request per client, in client order. Loop state lives in
+/// stack slots (the `db_*` calls preserve no registers); fds are re-read
+/// from the fd table each time they're needed.
+fn emit_server(f: &mut FnBuilder<'_>, clients: i64, queries: i64, swap_pressure: bool) {
+    // Frame: fdtab spill @16, table spill @32, round @48, client @56,
+    // message buffer @64, saved key @72.
+    f.enter(96);
+    f.arg_to_ptr(Ptr(0), 0);
+    f.spill_ptr(Ptr(0), 16);
+    f.li(Val(0), TABLE_CAP);
+    f.set_arg_val(0, Val(0));
+    f.call_global("db_create");
+    f.ret_ptr_to(Ptr(1));
+    f.spill_ptr(Ptr(1), 32);
+    f.addr_of_stack(Ptr(6), 48, 8);
+    f.li(Val(0), 0);
+    f.store(Val(0), Ptr(6), 0, Width::D); // round = 0
+    let r_top = f.label();
+    let finish = f.label();
+    let i_top = f.label();
+    let i_done = f.label();
+    f.bind(r_top);
+    f.addr_of_stack(Ptr(6), 48, 8);
+    f.load(Val(0), Ptr(6), 0, Width::D, false);
+    f.li(Val(1), queries);
+    f.sub(Val(1), Val(0), Val(1));
+    f.beqz(Val(1), finish);
+    f.addr_of_stack(Ptr(6), 56, 8);
+    f.li(Val(0), 0);
+    f.store(Val(0), Ptr(6), 0, Width::D); // client = 0
+    f.bind(i_top);
+    f.addr_of_stack(Ptr(6), 56, 8);
+    f.load(Val(0), Ptr(6), 0, Width::D, false);
+    f.li(Val(1), clients);
+    f.sub(Val(1), Val(0), Val(1));
+    f.beqz(Val(1), i_done);
+    // Request fd: fdtab[client].req_r.
+    f.reload_ptr(Ptr(0), 16);
+    f.shl_imm(Val(1), Val(0), 4);
+    f.ptr_add(Ptr(2), Ptr(0), Val(1));
+    f.load(Val(6), Ptr(2), 0, Width::W, false);
+    f.addr_of_stack(Ptr(3), 64, MSG as u64);
+    emit_read_exact(f, Val(6), Ptr(3), MSG, finish);
+    f.load(Val(0), Ptr(3), 0, Width::W, false); // op
+    f.load(Val(1), Ptr(3), 4, Width::W, false); // key
+    f.addr_of_stack(Ptr(6), 72, 8);
+    f.store(Val(1), Ptr(6), 0, Width::D); // save key across the call
+    let do_get = f.label();
+    let reply = f.label();
+    f.beqz(Val(0), do_get);
+    // put(key, key + 100); reply with the stored value.
+    f.add_imm(Val(2), Val(1), 100);
+    f.reload_ptr(Ptr(1), 32);
+    call_put(f, Ptr(1), Val(1), Val(2));
+    f.addr_of_stack(Ptr(6), 72, 8);
+    f.load(Val(1), Ptr(6), 0, Width::D, false);
+    f.add_imm(Val(2), Val(1), 100);
+    f.jmp(reply);
+    f.bind(do_get);
+    // get(key); reply with the value found (-1 when missing).
+    f.reload_ptr(Ptr(1), 32);
+    call_get(f, Ptr(1), Val(1), Val(2));
+    f.bind(reply);
+    f.addr_of_stack(Ptr(3), 64, MSG as u64);
+    f.store(Val(2), Ptr(3), 0, Width::D);
+    // Reply fd: fdtab[client].rep_w, re-derived after the db_* calls.
+    f.reload_ptr(Ptr(0), 16);
+    f.addr_of_stack(Ptr(6), 56, 8);
+    f.load(Val(0), Ptr(6), 0, Width::D, false);
+    f.shl_imm(Val(1), Val(0), 4);
+    f.ptr_add(Ptr(2), Ptr(0), Val(1));
+    f.load(Val(6), Ptr(2), 12, Width::W, false);
+    emit_write_all(f, Val(6), Ptr(3), MSG, finish);
+    f.addr_of_stack(Ptr(6), 56, 8);
+    f.load(Val(0), Ptr(6), 0, Width::D, false);
+    f.add_imm(Val(0), Val(0), 1);
+    f.store(Val(0), Ptr(6), 0, Width::D); // client += 1
+    f.jmp(i_top);
+    f.bind(i_done);
+    if swap_pressure {
+        // Force pages out every round: the next round's table probes and
+        // record reads fault them back through the tag-preserving swap
+        // path while clients sit blocked on their reply pipes.
+        f.li(Val(0), 2);
+        f.set_arg_val(0, Val(0));
+        f.syscall(Sys::Swapctl as i64);
+    }
+    f.addr_of_stack(Ptr(6), 48, 8);
+    f.load(Val(0), Ptr(6), 0, Width::D, false);
+    f.add_imm(Val(0), Val(0), 1);
+    f.store(Val(0), Ptr(6), 0, Width::D); // round += 1
+    f.jmp(r_top);
+    f.bind(finish);
+    f.leave_ret();
+}
+
+/// `main`: create all pipes up front, fork the server, fork the clients,
+/// reap everything. Creating every pipe before any fork means all
+/// processes inherit all ends — termination is by counted rounds, not
+/// EOF — and only `main` forks, so pids are deterministic.
+fn emit_main(f: &mut FnBuilder<'_>, clients: i64) {
+    f.enter(32 + 16 * clients);
+    for i in 0..clients {
+        // Request pipe: [req_r][req_w] at fdtab[i] + 0.
+        f.addr_of_stack(Ptr(0), FD0 + 16 * i, 8);
+        f.set_arg_ptr(0, Ptr(0));
+        f.syscall(Sys::Pipe as i64);
+        // Reply pipe: [rep_r][rep_w] at fdtab[i] + 8.
+        f.addr_of_stack(Ptr(0), FD0 + 16 * i + 8, 8);
+        f.set_arg_ptr(0, Ptr(0));
+        f.syscall(Sys::Pipe as i64);
+    }
+    // Server first (pid = main + 1).
+    f.syscall(Sys::Fork as i64);
+    f.ret_val_to(Val(0));
+    let after_server = f.label();
+    f.bnez(Val(0), after_server);
+    f.addr_of_stack(Ptr(0), FD0, (16 * clients) as u64);
+    f.set_arg_ptr(0, Ptr(0));
+    f.call_global("scenario_server");
+    f.sys_exit_imm(0);
+    f.bind(after_server);
+    // Clients in index order (client i = main + 2 + i).
+    for i in 0..clients {
+        f.syscall(Sys::Fork as i64);
+        f.ret_val_to(Val(0));
+        let after = f.label();
+        f.bnez(Val(0), after);
+        f.addr_of_stack(Ptr(0), FD0 + 16 * i, 16);
+        f.load(Val(1), Ptr(0), 4, Width::W, false); // req_w
+        f.load(Val(2), Ptr(0), 8, Width::W, false); // rep_r
+        f.set_arg_val(0, Val(1));
+        f.set_arg_val(1, Val(2));
+        f.li(Val(3), i);
+        f.set_arg_val(2, Val(3));
+        f.call_global("scenario_client");
+        f.sys_exit_imm(0);
+        f.bind(after);
+    }
+    for _ in 0..=clients {
+        f.li(Val(1), 0);
+        f.set_arg_val(0, Val(1));
+        f.syscall(Sys::Waitpid as i64);
+    }
+    f.sys_exit_imm(0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::opts_for;
+    use cheri_kernel::KernelConfig;
+    use cheriabi::{AbiMode, ExitStatus, SpawnOpts, System};
+
+    fn run(abi: AbiMode, config: KernelConfig, clients: u64, queries: u64, mix: &str) {
+        let program = build(opts_for(abi), 7, clients, queries, mix, false);
+        let mut sys = System::with_config(config);
+        let run = sys
+            .run_scenario(&program, &SpawnOpts::new(abi), clients)
+            .expect("loads");
+        assert_eq!(run.status, ExitStatus::Code(0), "{abi} {mix}");
+        assert_eq!(run.deadlock, None, "{abi} {mix}");
+        assert_eq!(
+            run.latencies.len() as u64,
+            clients * queries,
+            "{abi} {mix}: every request must stamp a latency"
+        );
+        assert!(run.latencies.iter().all(|&l| l > 0), "{abi} {mix}");
+    }
+
+    #[test]
+    fn scenario_completes_under_both_abis() {
+        for abi in [AbiMode::Mips64, AbiMode::CheriAbi] {
+            run(abi, KernelConfig::default(), 2, 4, "mixed");
+        }
+    }
+
+    #[test]
+    fn scenario_survives_tiny_pipes() {
+        // A 6-byte pipe forces every 8-byte message through partial
+        // writes and writer blocking; results must be unaffected.
+        let config = KernelConfig {
+            pipe_capacity: 6,
+            ..KernelConfig::default()
+        };
+        for abi in [AbiMode::Mips64, AbiMode::CheriAbi] {
+            run(abi, config, 3, 4, "put");
+        }
+    }
+
+    #[test]
+    fn swap_pressure_scenario_completes() {
+        let program = build(CodegenOpts::purecap(), 3, 2, 6, "mixed", true);
+        let mut sys = System::new();
+        let run = sys
+            .run_scenario(&program, &SpawnOpts::new(AbiMode::CheriAbi), 2)
+            .expect("loads");
+        assert_eq!(run.status, ExitStatus::Code(0));
+        assert_eq!(run.latencies.len(), 12);
+    }
+}

@@ -71,6 +71,9 @@ pub enum FailureKind {
     Panicked(String),
     /// The case exceeded its wall-clock deadline.
     Deadline,
+    /// The scheduler declared deadlock; the string is the kernel's per-pid
+    /// blocked-on diagnostics (scenario runs only).
+    Deadlock(String),
 }
 
 impl FailureKind {
@@ -91,6 +94,7 @@ impl fmt::Display for FailureKind {
             FailureKind::Load(e) => write!(f, "load failed: {e}"),
             FailureKind::Panicked(e) => write!(f, "panicked: {e}"),
             FailureKind::Deadline => write!(f, "deadline exceeded"),
+            FailureKind::Deadlock(diag) => write!(f, "deadlock: {diag}"),
         }
     }
 }
@@ -179,7 +183,8 @@ fn case_builders() -> &'static HashMap<String, CaseBuilder> {
 /// This crate's entry in the program registry: lowers [`ProgramSpec::Corpus`]
 /// (by unique case name), [`ProgramSpec::Initdb`] and
 /// [`ProgramSpec::InitdbDynamic`] (the Figure 4 workload, whose record
-/// count varies with the seed as `base_records + (seed % 5) * 20`).
+/// count varies with the seed as `base_records + (seed % 5) * 20`), and
+/// [`ProgramSpec::Scenario`] (the multi-tenant minidb scenario plane).
 ///
 /// # Panics
 ///
@@ -198,6 +203,19 @@ pub fn lower(spec: &ProgramSpec, opts: CodegenOpts, seed: u64) -> Option<Program
         ProgramSpec::InitdbDynamic { base_records } => Some(crate::minidb::build_initdb(
             opts,
             base_records + (seed % 5) as i64 * 20,
+        )),
+        ProgramSpec::Scenario {
+            clients,
+            queries,
+            mix,
+            swap_pressure,
+        } => Some(crate::scenario::build(
+            opts,
+            seed,
+            *clients,
+            *queries,
+            mix,
+            *swap_pressure,
         )),
         _ => None,
     }
@@ -241,6 +259,7 @@ pub fn score(outcome: &CaseOutcome) -> SuiteOutcome {
         CaseOutcome::LoadFailed(e) => SuiteOutcome::Fail(FailureKind::Load(e.clone())),
         CaseOutcome::Panicked(e) => SuiteOutcome::Fail(FailureKind::Panicked(e.clone())),
         CaseOutcome::DeadlineExceeded => SuiteOutcome::Fail(FailureKind::Deadline),
+        CaseOutcome::Deadlock(diag) => SuiteOutcome::Fail(FailureKind::Deadlock(diag.clone())),
     }
 }
 

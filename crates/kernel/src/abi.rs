@@ -87,6 +87,8 @@ pub enum Sys {
     RtRevoke = 44,
     /// `mprotect(addr/cap, len, prot)`.
     Mprotect = 27,
+    /// Reads the deterministic guest cycle clock (scenario latency stamps).
+    Cycles = 28,
 }
 
 impl Sys {
@@ -121,6 +123,7 @@ impl Sys {
             25 => Sys::Unlink,
             26 => Sys::Swapctl,
             27 => Sys::Mprotect,
+            28 => Sys::Cycles,
             40 => Sys::RtMalloc,
             41 => Sys::RtFree,
             42 => Sys::RtRealloc,

@@ -281,6 +281,7 @@ impl Kernel {
             instr_budget: opts
                 .instr_budget
                 .unwrap_or(self.config.default_instr_budget),
+            cycles: 0,
             asan: opts.asan,
             stack_top,
             stack_size,

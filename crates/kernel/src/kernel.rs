@@ -27,6 +27,9 @@ pub struct KernelConfig {
     pub quantum: u64,
     /// Default per-process instruction budget (runaway guard).
     pub default_instr_budget: u64,
+    /// Pipe buffer capacity in bytes; writers block when the buffer is
+    /// full (POSIX `PIPE_BUF`-style backpressure).
+    pub pipe_capacity: usize,
 }
 
 impl Default for KernelConfig {
@@ -37,6 +40,7 @@ impl Default for KernelConfig {
             kernel_cap_discipline: true,
             quantum: 100_000,
             default_instr_budget: 2_000_000_000,
+            pipe_capacity: 4096,
         }
     }
 }
@@ -54,6 +58,12 @@ pub struct KernelStats {
     pub traps: u64,
     /// Processes spawned.
     pub spawns: u64,
+    /// Blocked processes woken by the scheduler.
+    pub wakes: u64,
+    /// Processes put to sleep on a wait condition.
+    pub blocks: u64,
+    /// Deepest run-queue occupancy observed.
+    pub max_runq_depth: u64,
 }
 
 /// Schedule for injected transient syscall errors (the fault plane's third
@@ -94,8 +104,16 @@ impl SyscallFaults {
 #[derive(Debug, Default)]
 pub(crate) struct Pipe {
     pub buf: VecDeque<u8>,
+    pub capacity: usize,
     pub readers: usize,
     pub writers: usize,
+}
+
+impl Pipe {
+    /// Bytes the buffer can still accept.
+    pub(crate) fn space(&self) -> usize {
+        self.capacity.saturating_sub(self.buf.len())
+    }
 }
 
 /// Result of running the scheduler to completion.
@@ -395,6 +413,15 @@ impl Kernel {
             .unwrap_or(true)
     }
 
+    pub(crate) fn pipe_writable(&self, id: u64) -> bool {
+        // Reader loss also "readies" a blocked writer: the retried write
+        // then observes EINVAL instead of sleeping forever.
+        self.pipes
+            .get(&id)
+            .map(|p| p.space() > 0 || p.readers == 0)
+            .unwrap_or(true)
+    }
+
     pub(crate) fn fd_readable(&self, pid: Pid, fd: u64) -> bool {
         match self.process(pid).fd(fd) {
             Some(FileDesc::PipeRead(id)) => self.pipe_readable(*id),
@@ -412,6 +439,7 @@ impl Kernel {
     fn wait_satisfied(&self, pid: Pid, reason: WaitReason) -> bool {
         match reason {
             WaitReason::PipeReadable(id) => self.pipe_readable(id),
+            WaitReason::PipeWritable(id) => self.pipe_writable(id),
             WaitReason::Child(which) => {
                 let p = self.process(pid);
                 match which {
@@ -432,10 +460,15 @@ impl Kernel {
     }
 
     fn wake_ready(&mut self) {
-        let pids: Vec<Pid> = self.procs.keys().copied().collect();
+        // Sorted scan: wake order (and thus run-queue order) must not
+        // depend on HashMap iteration order, or multi-process runs lose
+        // their deterministic schedule.
+        let mut pids: Vec<Pid> = self.procs.keys().copied().collect();
+        pids.sort_unstable();
         for pid in pids {
             if let ProcState::Blocked(reason) = self.process(pid).state {
                 if self.wait_satisfied(pid, reason) {
+                    self.stats.wakes += 1;
                     self.process_mut(pid).state = ProcState::Runnable;
                     if !self.runq.contains(&pid) {
                         self.runq.push_back(pid);
@@ -451,6 +484,7 @@ impl Kernel {
         let start = self.cpu.stats.instret;
         loop {
             self.wake_ready();
+            self.stats.max_runq_depth = self.stats.max_runq_depth.max(self.runq.len() as u64);
             let Some(pid) = self.runq.pop_front() else {
                 if self
                     .procs
@@ -475,7 +509,15 @@ impl Kernel {
             if !matches!(self.process(pid).state, ProcState::Runnable) {
                 continue;
             }
+            // Per-process ledger: every cycle the CPU retires during this
+            // slice — guest instructions plus kernel work done on its
+            // behalf — is charged to the process that was scheduled.
+            let cycles_before = self.cpu.stats.cycles;
             self.run_slice(pid);
+            let delta = self.cpu.stats.cycles - cycles_before;
+            if let Some(p) = self.try_process_mut(pid) {
+                p.cycles += delta;
+            }
         }
     }
 
@@ -645,9 +687,38 @@ impl Kernel {
     /// commits results).
     pub(crate) fn block(&mut self, pid: Pid, reason: WaitReason) {
         // Rewind pc to the syscall instruction so waking re-executes it.
+        self.stats.blocks += 1;
         let p = self.process_mut(pid);
         p.regs.pc = p.regs.pc.wrapping_sub(4);
         p.state = ProcState::Blocked(reason);
+    }
+
+    /// Human-readable snapshot of every non-exited process's scheduling
+    /// state, sorted by pid — the diagnostic attached to
+    /// [`RunOutcome::Deadlock`] reports so a hung scenario names exactly
+    /// who is waiting on what.
+    #[must_use]
+    pub fn blocked_diagnostics(&self) -> String {
+        let mut pids: Vec<Pid> = self.procs.keys().copied().collect();
+        pids.sort_unstable();
+        let mut parts = Vec::new();
+        for pid in pids {
+            let line = match self.process(pid).state {
+                ProcState::Exited(_) => continue,
+                ProcState::Runnable => format!("{pid}: runnable"),
+                ProcState::Blocked(reason) => match reason {
+                    WaitReason::PipeReadable(id) => format!("{pid}: pipe-read({id})"),
+                    WaitReason::PipeWritable(id) => format!("{pid}: pipe-write({id})"),
+                    WaitReason::Child(Some(c)) => format!("{pid}: wait({c})"),
+                    WaitReason::Child(None) => format!("{pid}: wait(any)"),
+                    WaitReason::Kevent => format!("{pid}: kevent"),
+                    WaitReason::Select(bits) => format!("{pid}: select({bits:#x})"),
+                    WaitReason::Traced => format!("{pid}: traced"),
+                },
+            };
+            parts.push(line);
+        }
+        parts.join("; ")
     }
 
     /// Drains allocator charges into the CPU counters.

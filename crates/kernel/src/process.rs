@@ -50,6 +50,8 @@ impl ExitStatus {
 pub enum WaitReason {
     /// Readable data (or EOF) on a pipe.
     PipeReadable(u64),
+    /// Buffer space (or reader loss) on a pipe.
+    PipeWritable(u64),
     /// Exit of a child (or any child if `None`).
     Child(Option<Pid>),
     /// A registered kevent to fire.
@@ -151,6 +153,9 @@ pub struct Process {
     pub swap_retry: Option<(u64, u64)>,
     /// Instruction budget left (runaway guard).
     pub instr_budget: u64,
+    /// Guest cycles this process has consumed (scheduler-maintained ledger;
+    /// includes kernel work performed on its behalf during its slices).
+    pub cycles: u64,
     /// Whether the process was built with asan instrumentation.
     pub asan: bool,
     /// Top of the stack mapping.

@@ -129,6 +129,10 @@ impl Kernel {
                     }
                     Sys::RtRevoke => self.sys_rt_revoke(pid),
                     Sys::Mprotect => self.sys_mprotect(pid),
+                    // The deterministic guest clock: identical across jobs,
+                    // shards and execution modes, so enqueue→reply latency
+                    // stamps are reproducible to the cycle.
+                    Sys::Cycles => Ok(self.cpu.stats.cycles),
                 }
             }
         };
@@ -180,8 +184,16 @@ impl Kernel {
                 if p.readers == 0 {
                     return Err(err(Errno::EINVAL)); // EPIPE-ish
                 }
-                p.buf.extend(data.iter());
-                Ok(len)
+                // Bounded buffer: a full pipe blocks the writer until a
+                // reader drains space; a partially full one takes what
+                // fits and reports the short count (POSIX semantics).
+                let space = p.space();
+                if space == 0 {
+                    return Err(SysFlow::Block(WaitReason::PipeWritable(id)));
+                }
+                let n = space.min(data.len());
+                p.buf.extend(data[..n].iter());
+                Ok(n as u64)
             }
             Some(FileDesc::File {
                 path,
@@ -287,6 +299,7 @@ impl Kernel {
             id,
             Pipe {
                 buf: Default::default(),
+                capacity: self.config.pipe_capacity,
                 readers: 1,
                 writers: 1,
             },
@@ -340,6 +353,7 @@ impl Kernel {
             traced_by: None,
             swap_retry: None,
             instr_budget: parent.instr_budget,
+            cycles: 0,
             asan: parent.asan,
             stack_top: parent.stack_top,
             stack_size: parent.stack_size,
@@ -985,5 +999,6 @@ fn name_of(sys: Sys) -> &'static str {
         Sys::RtSetTemporal => "rt_set_temporal",
         Sys::RtRevoke => "rt_revoke",
         Sys::Mprotect => "mprotect",
+        Sys::Cycles => "cycles",
     }
 }

@@ -1,0 +1,283 @@
+//! Blocking-pipe semantics for the scenario plane: bounded buffers,
+//! writer blocking and wake bookkeeping, deterministic wake ordering, and
+//! EOF when the last writer exits (rather than explicitly closing).
+
+use cheri_isa::codegen::{CodegenOpts, FnBuilder, Ptr, Val};
+use cheri_isa::Width;
+use cheri_kernel::{AbiMode, ExitStatus, Kernel, KernelConfig, RunOutcome, SpawnOpts, Sys};
+use cheri_rtld::{Program, ProgramBuilder};
+
+fn opts_for(abi: AbiMode) -> CodegenOpts {
+    match abi {
+        AbiMode::Mips64 => CodegenOpts::mips64(),
+        AbiMode::CheriAbi => CodegenOpts::purecap(),
+    }
+}
+
+fn program(abi: AbiMode, body: impl FnOnce(&mut FnBuilder<'_>)) -> Program {
+    let mut pb = ProgramBuilder::new("pipes");
+    let mut exe = pb.object("pipes");
+    {
+        let mut f = FnBuilder::begin(&mut exe, "main", opts_for(abi));
+        body(&mut f);
+    }
+    exe.set_entry("main");
+    pb.add(exe.finish());
+    pb.finish()
+}
+
+/// Emits `pipe(&fds)` into the stack at offset 16; read fd in `Val(6)`,
+/// write fd in `Val(7)`.
+fn emit_pipe(f: &mut FnBuilder<'_>) {
+    f.addr_of_stack(Ptr(0), 16, 8);
+    f.set_arg_ptr(0, Ptr(0));
+    f.syscall(Sys::Pipe as i64);
+    f.load(Val(6), Ptr(0), 0, Width::W, false);
+    f.load(Val(7), Ptr(0), 4, Width::W, false);
+}
+
+/// A write larger than the pipe buffer takes what fits and reports the
+/// short count (POSIX partial-write semantics, not a truncation error).
+#[test]
+fn full_pipe_takes_a_partial_write() {
+    let config = KernelConfig {
+        pipe_capacity: 6,
+        ..KernelConfig::default()
+    };
+    for abi in [AbiMode::Mips64, AbiMode::CheriAbi] {
+        let mut k = Kernel::new(config);
+        let prog = program(abi, |f| {
+            f.enter(96);
+            emit_pipe(f);
+            f.addr_of_stack(Ptr(1), 32, 8);
+            f.li(Val(1), 0x1122_3344_5566_7788u64 as i64);
+            f.store(Val(1), Ptr(1), 0, Width::D);
+            f.set_arg_val(0, Val(7));
+            f.set_arg_ptr(1, Ptr(1));
+            f.li(Val(2), 8);
+            f.set_arg_val(2, Val(2));
+            f.syscall(Sys::Write as i64);
+            f.ret_val_to(Val(3)); // 6: only the free space was taken
+            f.set_arg_val(0, Val(3));
+            f.syscall(Sys::Exit as i64);
+        });
+        let (status, _) = k.run_program(&prog, &SpawnOpts::new(abi)).expect("loads");
+        assert_eq!(status, ExitStatus::Code(6), "{abi}");
+    }
+}
+
+/// A writer facing a full buffer blocks (no spinning, no error) until a
+/// reader drains space, and the kernel counts the block and the wake.
+#[test]
+fn writer_blocks_on_full_pipe_until_reader_drains() {
+    let config = KernelConfig {
+        pipe_capacity: 4,
+        ..KernelConfig::default()
+    };
+    for abi in [AbiMode::Mips64, AbiMode::CheriAbi] {
+        let mut k = Kernel::new(config);
+        let prog = program(abi, |f| {
+            f.enter(128);
+            emit_pipe(f);
+            f.syscall(Sys::Fork as i64);
+            f.ret_val_to(Val(0));
+            let parent = f.label();
+            f.bnez(Val(0), parent);
+            // Child: spin long enough for the parent to fill the pipe and
+            // block, then drain 4 bytes to wake it.
+            f.li(Val(1), 0);
+            let spin = f.label();
+            f.bind(spin);
+            f.add_imm(Val(1), Val(1), 1);
+            f.li(Val(2), 20_000);
+            f.sub(Val(3), Val(1), Val(2));
+            f.bnez(Val(3), spin);
+            f.addr_of_stack(Ptr(1), 32, 8);
+            f.set_arg_val(0, Val(6));
+            f.set_arg_ptr(1, Ptr(1));
+            f.li(Val(2), 4);
+            f.set_arg_val(2, Val(2));
+            f.syscall(Sys::Read as i64);
+            f.li(Val(0), 0);
+            f.set_arg_val(0, Val(0));
+            f.syscall(Sys::Exit as i64);
+            // Parent: first write fills the buffer; the second has no
+            // space and must block until the child reads.
+            f.bind(parent);
+            f.addr_of_stack(Ptr(1), 48, 8);
+            f.set_arg_val(0, Val(7));
+            f.set_arg_ptr(1, Ptr(1));
+            f.li(Val(2), 4);
+            f.set_arg_val(2, Val(2));
+            f.syscall(Sys::Write as i64);
+            f.set_arg_val(0, Val(7));
+            f.set_arg_ptr(1, Ptr(1));
+            f.li(Val(2), 4);
+            f.set_arg_val(2, Val(2));
+            f.syscall(Sys::Write as i64);
+            f.ret_val_to(Val(3));
+            f.set_arg_val(0, Val(3));
+            f.syscall(Sys::Exit as i64);
+        });
+        let (status, _) = k.run_program(&prog, &SpawnOpts::new(abi)).expect("loads");
+        assert_eq!(
+            status,
+            ExitStatus::Code(4),
+            "{abi}: blocked write completes"
+        );
+        assert!(k.stats.blocks >= 1, "{abi}: the writer must have slept");
+        assert!(k.stats.wakes >= 1, "{abi}: and been woken");
+    }
+}
+
+/// Two readers blocked on the same pipe wake in pid order when data
+/// arrives — the wake scan is sorted, not HashMap-ordered, so schedules
+/// (and scenario latency stamps) are reproducible.
+#[test]
+fn blocked_readers_wake_in_pid_order() {
+    for abi in [AbiMode::Mips64, AbiMode::CheriAbi] {
+        let mut k = Kernel::new(KernelConfig::default());
+        let prog = program(abi, |f| {
+            f.enter(128);
+            emit_pipe(f);
+            // Fork two children; each blocks reading one byte and exits
+            // with the byte it got.
+            for _ in 0..2 {
+                f.syscall(Sys::Fork as i64);
+                f.ret_val_to(Val(0));
+                let cont = f.label();
+                f.bnez(Val(0), cont);
+                f.addr_of_stack(Ptr(1), 32, 8);
+                f.set_arg_val(0, Val(6));
+                f.set_arg_ptr(1, Ptr(1));
+                f.li(Val(2), 1);
+                f.set_arg_val(2, Val(2));
+                f.syscall(Sys::Read as i64);
+                f.load(Val(3), Ptr(1), 0, Width::B, false);
+                f.set_arg_val(0, Val(3));
+                f.syscall(Sys::Exit as i64);
+                f.bind(cont);
+            }
+            // Parent: spin until both children are asleep, then write two
+            // bytes at once. The first-forked (lower-pid) child must wake
+            // first and take byte 1; the second takes byte 2.
+            f.li(Val(1), 0);
+            let spin = f.label();
+            f.bind(spin);
+            f.add_imm(Val(1), Val(1), 1);
+            f.li(Val(2), 20_000);
+            f.sub(Val(3), Val(1), Val(2));
+            f.bnez(Val(3), spin);
+            f.addr_of_stack(Ptr(1), 48, 8);
+            f.li(Val(2), 0x0201); // little-endian: byte 1 first, then 2
+            f.store(Val(2), Ptr(1), 0, Width::H);
+            f.set_arg_val(0, Val(7));
+            f.set_arg_ptr(1, Ptr(1));
+            f.li(Val(2), 2);
+            f.set_arg_val(2, Val(2));
+            f.syscall(Sys::Write as i64);
+            // Reap in exit order: the first zombie must be the first
+            // child with byte 1, the second the other with byte 2.
+            f.li(Val(5), 0); // accumulated codes
+            for _ in 0..2 {
+                f.li(Val(1), 0);
+                f.set_arg_val(0, Val(1));
+                f.syscall(Sys::Waitpid as i64);
+                f.ret_val_to(Val(2));
+                f.shr_imm(Val(2), Val(2), 8); // exit code
+                f.shl_imm(Val(5), Val(5), 4);
+                f.add(Val(5), Val(5), Val(2));
+            }
+            f.set_arg_val(0, Val(5));
+            f.syscall(Sys::Exit as i64);
+        });
+        let (status, _) = k.run_program(&prog, &SpawnOpts::new(abi)).expect("loads");
+        assert_eq!(
+            status,
+            ExitStatus::Code(0x12),
+            "{abi}: wake order is pid order"
+        );
+    }
+}
+
+/// When the last writing process *exits* (without closing), the reader
+/// gets EOF: process teardown drops fds and the reader is woken.
+#[test]
+fn reader_gets_eof_when_writer_process_exits() {
+    for abi in [AbiMode::Mips64, AbiMode::CheriAbi] {
+        let mut k = Kernel::new(KernelConfig::default());
+        let prog = program(abi, |f| {
+            f.enter(128);
+            emit_pipe(f);
+            f.syscall(Sys::Fork as i64);
+            f.ret_val_to(Val(0));
+            let parent = f.label();
+            f.bnez(Val(0), parent);
+            // Child: write one byte and exit *without* closing anything.
+            f.addr_of_stack(Ptr(1), 32, 8);
+            f.li(Val(2), 0x5a);
+            f.store(Val(2), Ptr(1), 0, Width::B);
+            f.set_arg_val(0, Val(7));
+            f.set_arg_ptr(1, Ptr(1));
+            f.li(Val(2), 1);
+            f.set_arg_val(2, Val(2));
+            f.syscall(Sys::Write as i64);
+            f.li(Val(0), 0);
+            f.set_arg_val(0, Val(0));
+            f.syscall(Sys::Exit as i64);
+            // Parent: close its own write end, consume the byte, then
+            // read again — once the child exits, writers hit zero and the
+            // blocked read must resolve to EOF (0), not deadlock.
+            f.bind(parent);
+            f.set_arg_val(0, Val(7));
+            f.syscall(Sys::Close as i64);
+            f.addr_of_stack(Ptr(2), 48, 8);
+            f.set_arg_val(0, Val(6));
+            f.set_arg_ptr(1, Ptr(2));
+            f.li(Val(1), 1);
+            f.set_arg_val(2, Val(1));
+            f.syscall(Sys::Read as i64);
+            f.set_arg_val(0, Val(6));
+            f.set_arg_ptr(1, Ptr(2));
+            f.li(Val(1), 1);
+            f.set_arg_val(2, Val(1));
+            f.syscall(Sys::Read as i64);
+            f.ret_val_to(Val(2)); // 0: EOF
+            f.add_imm(Val(2), Val(2), 33);
+            f.set_arg_val(0, Val(2));
+            f.syscall(Sys::Exit as i64);
+        });
+        let (status, _) = k.run_program(&prog, &SpawnOpts::new(abi)).expect("loads");
+        assert_eq!(status, ExitStatus::Code(33), "{abi}");
+    }
+}
+
+/// Deadlocked pipe waits produce per-pid diagnostics naming each blocked
+/// process and what it waits on.
+#[test]
+fn deadlock_diagnostics_name_the_blocked_pids() {
+    let mut k = Kernel::new(KernelConfig::default());
+    let prog = program(AbiMode::CheriAbi, |f| {
+        f.enter(96);
+        emit_pipe(f);
+        // Read from a pipe nobody will ever write: guaranteed deadlock.
+        f.addr_of_stack(Ptr(1), 32, 8);
+        f.set_arg_val(0, Val(6));
+        f.set_arg_ptr(1, Ptr(1));
+        f.li(Val(1), 1);
+        f.set_arg_val(2, Val(1));
+        f.syscall(Sys::Read as i64);
+        f.li(Val(0), 0);
+        f.set_arg_val(0, Val(0));
+        f.syscall(Sys::Exit as i64);
+    });
+    let pid = k
+        .spawn(&prog, &SpawnOpts::new(AbiMode::CheriAbi))
+        .expect("loads");
+    assert_eq!(k.run(10_000_000), RunOutcome::Deadlock);
+    let diag = k.blocked_diagnostics();
+    assert!(
+        diag.contains(&format!("{pid}: pipe-read(")),
+        "diagnostics name the blocked reader: {diag}"
+    );
+}

@@ -111,4 +111,51 @@ cmp scripts/golden/fault_campaign.specs target/faults-specs.lines || {
     exit 1
 }
 
+echo "==> scenario plane: pinned table_server grid is byte-identical to the golden"
+./target/release/run_specs --specs scripts/golden/scenario_pinned.specs \
+    --jobs 2 --no-cache --shard 0/1 > target/scenario-pinned.lines
+cmp scripts/golden/scenario_pinned.golden target/scenario-pinned.lines || {
+    echo "FAIL: scenario output differs from scripts/golden/scenario_pinned.golden"
+    echo "      (latency percentiles or scheduling changed; if intentional, regenerate:"
+    echo "       ./target/release/run_specs --specs scripts/golden/scenario_pinned.specs \\"
+    echo "           --jobs 2 --no-cache --shard 0/1 > scripts/golden/scenario_pinned.golden)"
+    exit 1
+}
+./target/release/run_specs --specs scripts/golden/scenario_pinned.specs \
+    --jobs 2 --no-cache --no-fast-path --shard 0/1 > target/scenario-singlestep.lines
+cmp target/scenario-pinned.lines target/scenario-singlestep.lines || {
+    echo "FAIL: scenario latency percentiles diverge between the superblock"
+    echo "      machine and the single-step reference interpreter"
+    exit 1
+}
+./target/release/table_server --dump-specs > target/scenario-specs.lines
+cmp scripts/golden/scenario_pinned.specs target/scenario-specs.lines || {
+    echo "FAIL: table_server spec grid differs from scripts/golden/scenario_pinned.specs"
+    echo "      (if intentional, regenerate the specs AND the golden:"
+    echo "       ./target/release/table_server --dump-specs > scripts/golden/scenario_pinned.specs)"
+    exit 1
+}
+
+echo "==> golden: fig4 sampled sub-grid is byte-identical to the committed golden"
+./target/release/run_specs --specs scripts/golden/fig4_pinned.specs \
+    --jobs 2 --no-cache --shard 0/1 > target/fig4-pinned.lines
+cmp scripts/golden/fig4_pinned.golden target/fig4-pinned.lines || {
+    echo "FAIL: fig4 sampled output differs from scripts/golden/fig4_pinned.golden"
+    echo "      (workload metrics changed; if intentional, regenerate the sample:"
+    echo "       ./target/release/fig4 --dump-specs | awk 'NR % 9 == 1' \\"
+    echo "           > scripts/golden/fig4_pinned.specs"
+    echo "       ./target/release/run_specs --specs scripts/golden/fig4_pinned.specs \\"
+    echo "           --jobs 2 --no-cache --shard 0/1 > scripts/golden/fig4_pinned.golden)"
+    exit 1
+}
+
+echo "==> golden: fig5 capability CDF is byte-identical to the committed golden"
+./target/release/fig5 --jobs 1 --json > target/fig5.lines
+cmp scripts/golden/fig5.golden target/fig5.lines || {
+    echo "FAIL: fig5 capability-size CDF differs from scripts/golden/fig5.golden"
+    echo "      (derivation tracing changed; if intentional, regenerate:"
+    echo "       ./target/release/fig5 --jobs 1 --json > scripts/golden/fig5.golden)"
+    exit 1
+}
+
 echo "CI: all gates passed"
