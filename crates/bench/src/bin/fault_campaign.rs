@@ -49,6 +49,9 @@ enum CellClass {
     /// The guest exited normally after loading a still-tagged corrupted
     /// capability — a campaign failure.
     SilentSuccess,
+    /// The differential oracle caught the fast machine disagreeing with
+    /// the reference semantics (`--oracle` runs) — a campaign failure.
+    Divergence,
     /// The fault surfaced as a guest-visible fault or signal.
     CleanFault,
     /// The fault fired and the guest still produced a valid exit (retry
@@ -67,6 +70,7 @@ impl CellClass {
         match self {
             CellClass::HostPanic => "host-panic",
             CellClass::SilentSuccess => "silent-success",
+            CellClass::Divergence => "divergence",
             CellClass::CleanFault => "clean-fault",
             CellClass::Degraded => "degraded",
             CellClass::Unaffected => "unaffected",
@@ -88,6 +92,7 @@ fn classify(report: &CaseReport) -> CellClass {
         // outcome (a killed server strands its clients on reply pipes);
         // the kernel's diagnostics travel in the outcome JSON.
         CaseOutcome::Deadlock(_) => CellClass::CleanFault,
+        CaseOutcome::Divergence(_) => CellClass::Divergence,
         CaseOutcome::LoadFailed(_) | CaseOutcome::DeadlineExceeded => CellClass::Other,
     }
 }
@@ -243,7 +248,7 @@ fn main() {
         return;
     };
 
-    let mut totals = [0usize; 6];
+    let mut totals = [0usize; 7];
     let mut cells = Vec::new();
     for (spec, report) in specs.iter().zip(&reports) {
         let class = classify(report);
@@ -264,13 +269,15 @@ fn main() {
     }
     let host_panics = totals[CellClass::HostPanic as usize];
     let silent = totals[CellClass::SilentSuccess as usize];
-    let campaign = Json::obj(vec![
+    let divergences = totals[CellClass::Divergence as usize];
+    let campaign_fields = vec![
         ("campaign", Json::str("faults")),
         ("seeds", Json::u64(seeds)),
         ("weaken_tag_clear", Json::Bool(weaken)),
         ("cells", Json::u64(cells.len() as u64)),
         ("host_panics", Json::u64(host_panics as u64)),
         ("silent_successes", Json::u64(silent as u64)),
+        ("divergences", Json::u64(divergences as u64)),
         (
             "clean_faults",
             Json::u64(totals[CellClass::CleanFault as usize] as u64),
@@ -285,7 +292,8 @@ fn main() {
         ),
         ("other", Json::u64(totals[CellClass::Other as usize] as u64)),
         ("results", Json::Arr(cells)),
-    ]);
+    ];
+    let campaign = Json::obj(campaign_fields);
     if out == "-" {
         println!("{campaign}");
     } else {
@@ -311,6 +319,7 @@ fn main() {
         for class in [
             CellClass::HostPanic,
             CellClass::SilentSuccess,
+            CellClass::Divergence,
             CellClass::CleanFault,
             CellClass::Degraded,
             CellClass::Unaffected,
@@ -322,8 +331,11 @@ fn main() {
             println!("campaign JSON: {out}");
         }
     }
-    if host_panics > 0 || silent > 0 {
-        eprintln!("fault_campaign: FAILED — {host_panics} host panics, {silent} silent successes");
+    if host_panics > 0 || silent > 0 || divergences > 0 {
+        eprintln!(
+            "fault_campaign: FAILED — {host_panics} host panics, {silent} silent successes, \
+             {divergences} divergences"
+        );
         std::process::exit(1);
     }
 }

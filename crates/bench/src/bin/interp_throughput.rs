@@ -1,6 +1,9 @@
-//! Host-side interpreter throughput: guest-MIPS across the three execution
-//! modes — the single-step baseline (`--no-fast-path`), the TLB fast path
-//! with superblocks disabled, and the full superblock machine.
+//! Host-side interpreter throughput: guest-MIPS across the four execution
+//! modes — the reference interpreter (the `--oracle` shadow semantics),
+//! the single-step baseline (`--no-fast-path`), the TLB fast path with
+//! superblocks disabled, and the full superblock machine. The ref row
+//! prices the oracle: `ref_overhead` is fast MIPS over reference MIPS,
+//! an upper bound on the slowdown of `--oracle replay`.
 //!
 //! Unlike every other binary here, this one measures *host* wall time, so
 //! its numbers vary run to run and machine to machine. Guest-visible
@@ -79,23 +82,34 @@ fn parse_args() -> Result<Opts, String> {
 struct Mode {
     fast: bool,
     superblocks: bool,
+    reference: bool,
 }
 
 impl Mode {
-    /// Single-step reference interpreter.
+    /// The reference interpreter: pure per-step semantics, no TLB, no
+    /// decoded regions — the machine the differential oracle shadows with.
+    const REF: Mode = Mode {
+        fast: false,
+        superblocks: false,
+        reference: true,
+    };
+    /// Single-step baseline (fast machine, fast path off).
     const BASE: Mode = Mode {
         fast: false,
         superblocks: false,
+        reference: false,
     };
     /// TLB/epoch fast path only (PR 3's fast mode).
     const TLB: Mode = Mode {
         fast: true,
         superblocks: false,
+        reference: false,
     };
     /// The full superblock machine (the default everywhere else).
     const FULL: Mode = Mode {
         fast: true,
         superblocks: true,
+        reference: false,
     };
 }
 
@@ -105,6 +119,7 @@ fn run_once(registry: &Registry, spec: &ProgramSpec, mode: Mode) -> (Metrics, f6
     let mut sys = System::with_config(KernelConfig::default());
     sys.kernel.cpu.set_fast_path(mode.fast);
     sys.kernel.cpu.set_superblocks(mode.superblocks);
+    sys.kernel.cpu.set_reference(mode.reference);
     let opts = SpawnOpts::new(AbiMode::CheriAbi);
     let start = Instant::now();
     let (_, _, metrics) = sys.measure(&program, &opts).expect("program loads");
@@ -162,12 +177,28 @@ fn main() {
     let mut spin_speedup: Option<f64> = None;
     let mut mismatch = false;
     println!(
-        "{:<28} {:>12} {:>11} {:>11} {:>11} {:>8} {:>8}",
-        "program", "guest instrs", "base MIPS", "tlb MIPS", "fast MIPS", "speedup", "sb gain"
+        "{:<28} {:>12} {:>11} {:>11} {:>11} {:>11} {:>8} {:>8}",
+        "program",
+        "guest instrs",
+        "ref MIPS",
+        "base MIPS",
+        "tlb MIPS",
+        "fast MIPS",
+        "speedup",
+        "sb gain"
     );
     for (name, spec) in &programs {
         let (base_metrics, base_wall) = run_mode(&registry, spec, Mode::BASE, opts.trials);
         let base_mips = mips(base_metrics.instructions, base_wall);
+        let (ref_metrics, ref_wall) = run_mode(&registry, spec, Mode::REF, opts.trials);
+        if ref_metrics != base_metrics {
+            eprintln!(
+                "interp_throughput: {name}: guest metrics diverge between the \
+                 reference interpreter and baseline: {ref_metrics:?} vs {base_metrics:?}"
+            );
+            mismatch = true;
+        }
+        let ref_mips = mips(ref_metrics.instructions, ref_wall);
         let (tlb_stats, fast_stats, speedup, sb_speedup) = if opts.fast_too {
             let (tlb_metrics, tlb_wall) = run_mode(&registry, spec, Mode::TLB, opts.trials);
             let (fast_metrics, fast_wall) = run_mode(&registry, spec, Mode::FULL, opts.trials);
@@ -207,10 +238,12 @@ fn main() {
             (Some((w, m)), Some(s)) => (json_f64(w * 1e3), json_f64(m), json_f64(s)),
             _ => ("null".to_string(), "null".to_string(), "null".to_string()),
         };
+        let ref_overhead = fast_stats.map(|(_, fast_mips)| fast_mips / ref_mips);
         println!(
-            "{:<28} {:>12} {:>11.2} {:>11} {:>11} {:>8} {:>8}",
+            "{:<28} {:>12} {:>11.2} {:>11.2} {:>11} {:>11} {:>8} {:>8}",
             name,
             base_metrics.instructions,
+            ref_mips,
             base_mips,
             tlb_stats.map_or("-".to_string(), |(_, m)| format!("{m:.2}")),
             fast_stats.map_or("-".to_string(), |(_, m)| format!("{m:.2}")),
@@ -218,10 +251,12 @@ fn main() {
             sb_speedup.map_or("-".to_string(), |s| format!("{s:.2}x")),
         );
         lines.push(format!(
-            "{{\"program\":\"{}\",\"instructions\":{},\"cycles\":{},\"wall_ms_base\":{},\"mips_base\":{},\"wall_ms_tlb\":{},\"mips_tlb\":{},\"wall_ms_fast\":{},\"mips_fast\":{},\"speedup\":{},\"sb_speedup\":{}}}",
+            "{{\"program\":\"{}\",\"instructions\":{},\"cycles\":{},\"wall_ms_ref\":{},\"mips_ref\":{},\"wall_ms_base\":{},\"mips_base\":{},\"wall_ms_tlb\":{},\"mips_tlb\":{},\"wall_ms_fast\":{},\"mips_fast\":{},\"speedup\":{},\"sb_speedup\":{},\"ref_overhead\":{}}}",
             cheri_bench::cli::json_escape(name),
             base_metrics.instructions,
             base_metrics.cycles,
+            json_f64(ref_wall * 1e3),
+            json_f64(ref_mips),
             json_f64(base_wall * 1e3),
             json_f64(base_mips),
             tlb_wall_j,
@@ -230,6 +265,7 @@ fn main() {
             fast_mips_j,
             speedup_j,
             sb_speedup.map_or("null".to_string(), json_f64),
+            ref_overhead.map_or("null".to_string(), json_f64),
         ));
     }
     let doc = format!(

@@ -22,7 +22,7 @@
 //!   aggregate.
 
 use cheriabi::cache::ReportCache;
-use cheriabi::harness::{CaseReport, Harness, RunSpec, SessionOpts, Shard};
+use cheriabi::harness::{CaseReport, Harness, OracleMode, RunSpec, SessionOpts, Shard};
 use cheriabi::spec::Registry;
 use std::fmt::Write as _;
 
@@ -54,6 +54,13 @@ pub struct BenchOpts {
     /// forcing every case through the single-step reference interpreter —
     /// the guest-metric equivalence gate.
     pub fast_path: bool,
+    /// Differential-oracle mode applied to every spec (`--oracle
+    /// lockstep|replay|off`). A divergence surfaces as a failed case.
+    pub oracle: OracleMode,
+    /// Test-only: weaken the fast machine's `csetbounds` semantics
+    /// (`--weaken-sem`) so the oracle self-test can prove a divergence is
+    /// actually detected. Weakened runs never touch the report cache.
+    pub weaken_sem: bool,
 }
 
 impl Default for BenchOpts {
@@ -69,6 +76,8 @@ impl Default for BenchOpts {
             dump_specs: false,
             retries: 0,
             fast_path: true,
+            oracle: OracleMode::Off,
+            weaken_sem: false,
         }
     }
 }
@@ -109,6 +118,22 @@ pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<BenchOpts, S
             "--dump-specs" => opts.dump_specs = true,
             "--no-fast-path" => opts.fast_path = false,
             "--fast-path" => opts.fast_path = true,
+            "--oracle" => {
+                let value = iter
+                    .next()
+                    .ok_or("--oracle needs a mode (lockstep|replay|off)")?;
+                opts.oracle = match value.as_str() {
+                    "lockstep" => OracleMode::Lockstep,
+                    "replay" => OracleMode::Replay,
+                    "off" => OracleMode::Off,
+                    other => {
+                        return Err(format!(
+                            "--oracle: unknown mode `{other}` (want lockstep, replay or off)"
+                        ))
+                    }
+                };
+            }
+            "--weaken-sem" => opts.weaken_sem = true,
             "--retries" => {
                 let value = iter.next().ok_or("--retries needs a value")?;
                 let retries: u64 = value
@@ -144,7 +169,14 @@ pub const USAGE: &str = "options:\n  \
     (deterministic backoff; cache keys and entries are unaffected)\n  \
     --no-fast-path run every case on the single-step reference interpreter\n                 \
     instead of the superblock fast path (guest metrics are\n                 \
-    byte-identical by contract; only host speed changes)";
+    byte-identical by contract; only host speed changes)\n  \
+    --oracle M     differential oracle: `lockstep` shadows every dispatched\n                 \
+    instruction against the shared semantics, `replay` runs each\n                 \
+    case twice (fast, then reference) and diffs the results;\n                 \
+    a divergence surfaces as a failed case (default: off)\n  \
+    --weaken-sem   test-only: weaken csetbounds in the fast machine so the\n                 \
+    oracle self-test can prove divergences are detected\n                 \
+    (never cached)";
 
 /// Parses the process arguments; prints the usage text and exits 0 on
 /// `--help`, exits 2 on anything unrecognised.
@@ -260,17 +292,30 @@ pub fn run_specs(
     specs: &[RunSpec],
     opts: &BenchOpts,
 ) -> Option<Vec<CaseReport>> {
-    // `--no-fast-path` rewrites every spec before anything else sees it,
-    // so dumps, cache lookups and execution all agree on the mode. The
-    // default (fast path on) leaves specs untouched: a spec that already
-    // opted out stays opted out.
+    // `--no-fast-path`, `--oracle` and `--weaken-sem` rewrite every spec
+    // before anything else sees it, so dumps, cache lookups and execution
+    // all agree on the mode. The defaults leave specs untouched: a spec
+    // that already opted into any of these stays opted in.
     let adjusted: Vec<RunSpec>;
-    let specs: &[RunSpec] = if opts.fast_path {
+    let specs: &[RunSpec] = if opts.fast_path && opts.oracle == OracleMode::Off && !opts.weaken_sem
+    {
         specs
     } else {
         adjusted = specs
             .iter()
-            .map(|s| s.clone().with_fast_path(false))
+            .map(|s| {
+                let mut s = s.clone();
+                if !opts.fast_path {
+                    s = s.with_fast_path(false);
+                }
+                if opts.oracle != OracleMode::Off {
+                    s = s.with_oracle(opts.oracle);
+                }
+                if opts.weaken_sem {
+                    s = s.with_weaken_sem(true);
+                }
+                s
+            })
             .collect();
         &adjusted
     };
@@ -458,6 +503,31 @@ mod tests {
                 .expect("parses")
                 .fast_path
         );
+    }
+
+    #[test]
+    fn parses_oracle_and_weaken_sem() {
+        let defaults = parse_args(args(&[])).expect("parses");
+        assert_eq!(defaults.oracle, OracleMode::Off);
+        assert!(!defaults.weaken_sem);
+        let opts = parse_args(args(&["--oracle", "lockstep", "--weaken-sem"])).expect("parses");
+        assert_eq!(opts.oracle, OracleMode::Lockstep);
+        assert!(opts.weaken_sem);
+        assert_eq!(
+            parse_args(args(&["--oracle", "replay"]))
+                .expect("parses")
+                .oracle,
+            OracleMode::Replay
+        );
+        // Last --oracle wins, and `off` restores the default.
+        assert_eq!(
+            parse_args(args(&["--oracle", "lockstep", "--oracle", "off"]))
+                .expect("parses")
+                .oracle,
+            OracleMode::Off
+        );
+        assert!(parse_args(args(&["--oracle"])).is_err());
+        assert!(parse_args(args(&["--oracle", "sideways"])).is_err());
     }
 
     #[test]

@@ -298,6 +298,22 @@ impl Capability {
         Ok(c)
     }
 
+    /// **Test-only deliberate bug** backing the `--weaken-sem` oracle
+    /// self-test: sets bounds to `[addr, addr + len)` with *no*
+    /// monotonicity check and no representability rounding, so a derived
+    /// capability can silently widen. Never reachable outside a weakened
+    /// run; exists so the differential oracle can prove it detects exactly
+    /// this class of fast-path bug.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn set_bounds_weakened(&self, len: u64) -> Capability {
+        let mut c = *self;
+        c.base = self.addr;
+        c.top = self.addr as u128 + len as u128;
+        c.exp = 0;
+        c
+    }
+
     /// `CAndPerm`: intersects permissions with `mask`. Sealed capabilities
     /// lose their tag instead of trapping.
     #[must_use]
@@ -569,6 +585,25 @@ mod tests {
         let child = parent.with_addr(0x10001).set_bounds(0xffff, false).unwrap();
         assert!(child.base() >= parent.base());
         assert!(child.top() <= parent.top());
+    }
+
+    #[test]
+    fn weakened_set_bounds_widens_and_keeps_tag() {
+        // The deliberate bug the oracle self-test injects: widening a
+        // narrow capability succeeds and the result is *not* a subset of
+        // its parent — the exact invariant breach lockstep must flag.
+        let narrow = user_root()
+            .with_addr(0x1000)
+            .set_bounds(0x10, true)
+            .unwrap();
+        assert_eq!(
+            narrow.set_bounds(0x100, false),
+            Err(CapFault::LengthViolation)
+        );
+        let widened = narrow.set_bounds_weakened(0x100);
+        assert!(widened.tag());
+        assert_eq!(widened.length(), 0x100);
+        assert!(!widened.is_subset_of(&narrow));
     }
 
     #[test]

@@ -14,15 +14,19 @@
 //! L2 override — plus a caller-supplied *salt* (the codegen fingerprint
 //! from `cheri_isa::codegen::fingerprint`, so any change to instruction
 //! selection invalidates every entry wholesale). The spec's display name,
-//! wall-clock deadline and execution mode (`fast_path`) are *not* part of
-//! the identity: none of them changes what the guest computes — the
-//! superblock machine is gated to produce byte-identical guest metrics. Stored entries embed the full identity JSON
+//! wall-clock deadline, execution mode (`fast_path`) and oracle mode
+//! (`oracle`) are *not* part of the identity: none of them changes what
+//! the guest computes — the superblock machine and the oracle are gated
+//! to produce byte-identical guest metrics. Stored entries embed the full identity JSON
 //! and every load re-compares it, so an FNV collision degrades to a cache
 //! miss, never a wrong report.
 //!
 //! **What is never cached.** Panicked and deadline-exceeded outcomes
-//! (environmental, not functions of the spec) and traced runs (the
-//! capability CDF is not serialized, and Figure 5 wants a fresh trace).
+//! (environmental, not functions of the spec), oracle divergences (a
+//! simulator bug must resurface on every run until fixed), traced runs
+//! (the capability CDF is not serialized, and Figure 5 wants a fresh
+//! trace), and anything run with `weaken_sem` (deliberately wrong
+//! semantics must never poison — or be served from — the shared cache).
 //!
 //! **On disk.** One JSON file per entry under the cache directory
 //! (default `target/harness-cache/`), named by the hex key. Writes go to a
@@ -179,7 +183,7 @@ impl ReportCache {
             fields.extend(all.into_iter().filter(|(k, _)| {
                 !matches!(
                     k.as_str(),
-                    "name" | "deadline_nanos" | "trace" | "fast_path"
+                    "name" | "deadline_nanos" | "trace" | "fast_path" | "oracle"
                 )
             }));
         }
@@ -202,7 +206,7 @@ impl ReportCache {
     /// (names are display-only and not part of the identity).
     #[must_use]
     pub fn load(&self, spec: &RunSpec) -> Option<CaseReport> {
-        if spec.trace {
+        if spec.trace || spec.weaken_sem {
             return None;
         }
         let text = fs::read_to_string(self.entry_path(spec)).ok()?;
@@ -215,14 +219,18 @@ impl ReportCache {
         Some(report)
     }
 
-    /// Records `report` as the result of `spec`. Traced specs and
-    /// panicked / deadline-exceeded outcomes are never recorded; I/O
-    /// failures are swallowed (a cache that cannot write is merely cold).
+    /// Records `report` as the result of `spec`. Traced specs,
+    /// weakened-semantics specs, panicked / deadline-exceeded outcomes and
+    /// oracle divergences are never recorded; I/O failures are swallowed
+    /// (a cache that cannot write is merely cold).
     pub fn store(&self, spec: &RunSpec, report: &CaseReport) {
         if spec.trace
+            || spec.weaken_sem
             || matches!(
                 report.outcome,
-                CaseOutcome::Panicked(_) | CaseOutcome::DeadlineExceeded
+                CaseOutcome::Panicked(_)
+                    | CaseOutcome::DeadlineExceeded
+                    | CaseOutcome::Divergence(_)
             )
         {
             return;
@@ -524,6 +532,46 @@ mod tests {
         let report = &warm.reports[0].1;
         assert_eq!(report.retries, 0, "cached entries hold no retry metadata");
         assert!(!report.quarantined);
+    }
+
+    #[test]
+    fn oracle_mode_is_not_identity_but_weakened_runs_never_cache() {
+        use crate::harness::OracleMode;
+        let tmp = TempDir::new("oracle");
+        let cache = ReportCache::new(&tmp.0, 1).expect("open cache");
+        let registry = Registry::builtin();
+        let spec = exit_spec("case", 5);
+        cache.store(&spec, &execute_spec(&registry, &spec));
+
+        // The oracle only observes: a clean oracle run computes the same
+        // guest results, so it may serve (and warm) the plain entry.
+        assert!(
+            cache
+                .load(&spec.clone().with_oracle(OracleMode::Lockstep))
+                .is_some(),
+            "lockstep is not identity"
+        );
+        assert!(
+            cache
+                .load(&spec.clone().with_oracle(OracleMode::Replay))
+                .is_some(),
+            "replay is not identity"
+        );
+
+        // Weakened semantics are deliberately wrong: never served, never
+        // stored.
+        let weak = spec.clone().with_weaken_sem(true);
+        assert!(cache.load(&weak).is_none(), "weakened runs never hit");
+        cache.store(&weak, &execute_spec(&registry, &weak));
+        assert!(cache.load(&weak).is_none(), "weakened runs never store");
+
+        // A divergence outcome is a simulator bug; it must resurface on
+        // every run rather than be replayed from the cache.
+        let other = exit_spec("case", 6);
+        let mut diverged = execute_spec(&registry, &other);
+        diverged.outcome = CaseOutcome::Divergence("synthetic".to_string());
+        cache.store(&other, &diverged);
+        assert!(cache.load(&other).is_none(), "divergences are not cached");
     }
 
     #[test]

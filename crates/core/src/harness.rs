@@ -99,6 +99,53 @@ pub struct RunSpec {
     /// to nothing, so default spec JSON — and every existing golden — is
     /// byte-identical to before the superblock machine existed.
     pub fast_path: bool,
+    /// Differential-oracle mode for this case. Excluded from the
+    /// report-cache identity (a clean oracle run produces the same guest
+    /// results as a plain run by contract); [`OracleMode::Off`] encodes to
+    /// nothing, so oracle-free spec JSON stays byte-identical to before
+    /// the oracle plane existed.
+    pub oracle: OracleMode,
+    /// Test-only: weaken the register-form `csetbounds` semantics in the
+    /// fast machine (skip the bounds clamp) so the oracle's self-test can
+    /// prove the comparison has teeth. Never cached; `false` encodes to
+    /// nothing.
+    pub weaken_sem: bool,
+}
+
+/// How (and whether) a case is diffed against the reference semantics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum OracleMode {
+    /// No oracle (the default).
+    #[default]
+    Off,
+    /// Shadow every dispatched instruction with a side-effect-free
+    /// re-execution of the shared semantics and diff the full
+    /// architectural state; the first mismatch becomes
+    /// [`CaseOutcome::Divergence`].
+    Lockstep,
+    /// Run the case twice — superblock fast path, then the single-step
+    /// reference interpreter — and diff the guest-visible results
+    /// (outcome, console, metrics, scenario stats). A clean replay
+    /// returns the fast run's report byte-identically.
+    Replay,
+}
+
+impl OracleMode {
+    fn label(self) -> Option<&'static str> {
+        match self {
+            OracleMode::Off => None,
+            OracleMode::Lockstep => Some("lockstep"),
+            OracleMode::Replay => Some("replay"),
+        }
+    }
+
+    fn from_label(s: &str) -> Result<OracleMode, String> {
+        match s {
+            "lockstep" => Ok(OracleMode::Lockstep),
+            "replay" => Ok(OracleMode::Replay),
+            other => Err(format!("unknown oracle mode `{other}`")),
+        }
+    }
 }
 
 impl RunSpec {
@@ -125,6 +172,8 @@ impl RunSpec {
             trace: false,
             fault: None,
             fast_path: true,
+            oracle: OracleMode::Off,
+            weaken_sem: false,
         }
     }
 
@@ -192,6 +241,21 @@ impl RunSpec {
         self
     }
 
+    /// Selects the differential-oracle mode.
+    #[must_use]
+    pub fn with_oracle(mut self, oracle: OracleMode) -> RunSpec {
+        self.oracle = oracle;
+        self
+    }
+
+    /// Test-only: weakens the fast machine's `csetbounds` semantics so the
+    /// oracle self-test can prove a divergence is actually detected.
+    #[must_use]
+    pub fn with_weaken_sem(mut self, weaken: bool) -> RunSpec {
+        self.weaken_sem = weaken;
+        self
+    }
+
     /// Canonical JSON encoding of the complete spec.
     #[must_use]
     pub fn to_json(&self) -> Json {
@@ -216,6 +280,12 @@ impl RunSpec {
         }
         if let Some(plan) = &self.fault {
             fields.push(("fault", plan.to_json()));
+        }
+        if let Some(mode) = self.oracle.label() {
+            fields.push(("oracle", Json::str(mode)));
+        }
+        if self.weaken_sem {
+            fields.push(("weaken_sem", Json::Bool(true)));
         }
         Json::obj(fields)
     }
@@ -250,6 +320,14 @@ impl RunSpec {
             fast_path: match v.get("fast_path") {
                 Some(b) => b.as_bool()?,
                 None => true,
+            },
+            oracle: match v.get("oracle") {
+                Some(mode) => OracleMode::from_label(mode.as_str()?)?,
+                None => OracleMode::Off,
+            },
+            weaken_sem: match v.get("weaken_sem") {
+                Some(b) => b.as_bool()?,
+                None => false,
             },
         })
     }
@@ -498,6 +576,12 @@ pub enum CaseOutcome {
     /// kernel's per-pid blocked-on diagnostics. Only scenario runs report
     /// this — `run_program` folds it into budget exhaustion.
     Deadlock(String),
+    /// The differential oracle caught the fast machine disagreeing with
+    /// the reference semantics ([`RunSpec::oracle`]); the string carries
+    /// the pc/instret/register-delta diagnostic (lockstep) or the
+    /// guest-visible difference between the two runs (replay). Never
+    /// cached — a divergence is a simulator bug, not a case result.
+    Divergence(String),
 }
 
 impl CaseOutcome {
@@ -531,6 +615,10 @@ impl CaseOutcome {
                 ("outcome", Json::str("deadlock")),
                 ("diagnostics", Json::str(diag.clone())),
             ]),
+            CaseOutcome::Divergence(detail) => Json::obj(vec![
+                ("outcome", Json::str("divergence")),
+                ("detail", Json::str(detail.clone())),
+            ]),
         }
     }
 
@@ -554,6 +642,9 @@ impl CaseOutcome {
             "deadlock" => Ok(CaseOutcome::Deadlock(
                 v.field("diagnostics")?.as_str()?.to_string(),
             )),
+            "divergence" => Ok(CaseOutcome::Divergence(
+                v.field("detail")?.as_str()?.to_string(),
+            )),
             other => Err(format!("unknown outcome `{other}`")),
         }
     }
@@ -567,6 +658,7 @@ impl fmt::Display for CaseOutcome {
             CaseOutcome::Panicked(e) => write!(f, "panicked: {e}"),
             CaseOutcome::DeadlineExceeded => write!(f, "deadline exceeded"),
             CaseOutcome::Deadlock(diag) => write!(f, "deadlock: {diag}"),
+            CaseOutcome::Divergence(detail) => write!(f, "divergence: {detail}"),
         }
     }
 }
@@ -900,8 +992,62 @@ impl CaseReport {
     }
 }
 
-/// Builds and runs one spec on the current thread (no deadline handling).
+/// Builds and runs one spec on the current thread (no deadline handling),
+/// dispatching replay-oracle cases to [`execute_replay`].
 fn execute_inner(registry: &Registry, spec: &RunSpec) -> CaseReport {
+    if spec.oracle == OracleMode::Replay {
+        return execute_replay(registry, spec);
+    }
+    execute_once(registry, spec, false)
+}
+
+/// Runs the spec twice — fast path, then the single-step reference
+/// interpreter — and diffs the guest-visible results. A clean replay
+/// returns the fast run's report verbatim (byte-identical to an
+/// oracle-free run); a mismatch becomes [`CaseOutcome::Divergence`].
+fn execute_replay(registry: &Registry, spec: &RunSpec) -> CaseReport {
+    let start = Instant::now();
+    let fast = execute_once(registry, spec, false);
+    let reference = execute_once(registry, spec, true);
+    let mut diffs = Vec::new();
+    if fast.outcome != reference.outcome {
+        diffs.push(format!(
+            "outcome: fast `{}`, reference `{}`",
+            fast.outcome, reference.outcome
+        ));
+    }
+    if fast.console != reference.console {
+        diffs.push(format!(
+            "console: fast {:?}, reference {:?}",
+            fast.console, reference.console
+        ));
+    }
+    if fast.metrics != reference.metrics {
+        diffs.push(format!(
+            "metrics: fast {:?}, reference {:?}",
+            fast.metrics, reference.metrics
+        ));
+    }
+    if fast.scenario != reference.scenario {
+        diffs.push(format!(
+            "scenario stats: fast {:?}, reference {:?}",
+            fast.scenario, reference.scenario
+        ));
+    }
+    if diffs.is_empty() {
+        return fast;
+    }
+    CaseReport {
+        outcome: CaseOutcome::Divergence(format!("replay mismatch: {}", diffs.join("; "))),
+        wall: start.elapsed(),
+        ..fast
+    }
+}
+
+/// Builds and runs one spec in a fresh system on the current thread.
+/// `reference` forces the single-step reference interpreter regardless of
+/// [`RunSpec::fast_path`] — the replay oracle's second leg.
+fn execute_once(registry: &Registry, spec: &RunSpec, reference: bool) -> CaseReport {
     let start = Instant::now();
     let run = catch_unwind(AssertUnwindSafe(|| {
         let program = registry.lower(&spec.program, spec.opts, spec.seed);
@@ -920,6 +1066,16 @@ fn execute_inner(registry: &Registry, spec: &RunSpec) -> CaseReport {
             sys.enable_tracing();
         }
         sys.kernel.cpu.set_fast_path(spec.fast_path);
+        sys.kernel.cpu.set_weaken_sem(spec.weaken_sem);
+        if reference {
+            sys.kernel.cpu.set_reference(true);
+        } else if spec.oracle == OracleMode::Lockstep {
+            // Store verification is off while a fault plan is armed:
+            // injected bit-flips corrupt granules behind the architecture's
+            // back, which is exactly the non-architectural behaviour the
+            // fault plane exists to create.
+            sys.kernel.cpu.set_lockstep(1, spec.fault.is_none());
+        }
         // Arm the fault plane before the guest spawns, so access counts
         // start from the same zero on every run of this spec.
         if let Some(plan) = &spec.fault {
@@ -953,6 +1109,10 @@ fn execute_inner(registry: &Registry, spec: &RunSpec) -> CaseReport {
             (sys.measure(&program, &opts), None)
         };
         let cdf = spec.trace.then(|| sys.capability_histogram());
+        // The first lockstep mismatch, if any — it outranks whatever the
+        // guest appeared to do, since the machine that produced that
+        // result just disagreed with its own semantics.
+        let divergence = sys.kernel.cpu.take_divergence();
         // Harvest even when the load failed: a fault injected into the
         // exec path still fired.
         let faults = spec.fault.map(|_| FaultCounters::harvest(&sys.kernel));
@@ -966,15 +1126,16 @@ fn execute_inner(registry: &Registry, spec: &RunSpec) -> CaseReport {
             max_runq_depth: sys.kernel.stats.max_runq_depth,
             ctx_switches: sys.kernel.stats.ctx_switches,
         };
-        (result, cdf, faults, host, extra)
+        (result, cdf, divergence, faults, host, extra)
     }));
     let wall = start.elapsed();
     let (outcome, console, metrics, cap_cdf, faults, host, scenario) = match run {
-        Ok((Ok((status, console, metrics)), cdf, faults, host, extra)) => {
-            let outcome = match &extra {
+        Ok((Ok((status, console, metrics)), cdf, divergence, faults, host, extra)) => {
+            let outcome = match (&divergence, &extra) {
+                (Some(d), _) => CaseOutcome::Divergence(d.to_string()),
                 // A deadlocked scenario is a guest-visible failure with
                 // the kernel's per-pid diagnostics attached.
-                Some((Some(diag), _)) => CaseOutcome::Deadlock(diag.clone()),
+                (None, Some((Some(diag), _))) => CaseOutcome::Deadlock(diag.clone()),
                 _ => CaseOutcome::Exited(status),
             };
             (
@@ -987,7 +1148,7 @@ fn execute_inner(registry: &Registry, spec: &RunSpec) -> CaseReport {
                 extra.map(|(_, stats)| stats),
             )
         }
-        Ok((Err(load), _, faults, host, _)) => (
+        Ok((Err(load), _, _, faults, host, _)) => (
             CaseOutcome::LoadFailed(load.to_string()),
             String::new(),
             Metrics::default(),
@@ -1593,6 +1754,9 @@ mod tests {
             CaseOutcome::Panicked("builder \"exploded\"\n".to_string()),
             CaseOutcome::DeadlineExceeded,
             CaseOutcome::Deadlock("pid3: pipe-read(0); pid4: pipe-write(1)".to_string()),
+            CaseOutcome::Divergence(
+                "divergence at pc=0x10000 instret=4: register state diverged: c15".to_string(),
+            ),
         ];
         for outcome in statuses {
             let report = CaseReport {
@@ -1720,6 +1884,95 @@ mod tests {
         let back = RunSpec::from_json(&json::parse(&text).expect("parses")).expect("decodes");
         assert_eq!(back, planned);
         assert_eq!(back.to_json().to_string(), text);
+    }
+
+    #[test]
+    fn oracle_modes_ride_run_spec_json() {
+        let plain = exit_with_seed_spec("o", 4);
+        let plain_text = plain.to_json().to_string();
+        assert!(!plain_text.contains("\"oracle\""), "{plain_text}");
+        assert!(!plain_text.contains("weaken_sem"), "{plain_text}");
+        // Pre-oracle-plane JSON (no `oracle`/`weaken_sem` keys) still
+        // decodes.
+        let back = RunSpec::from_json(&json::parse(&plain_text).expect("parses")).expect("decodes");
+        assert_eq!(back, plain);
+        // And an oracle spec round-trips byte-identically.
+        for (mode, label) in [
+            (OracleMode::Lockstep, "\"oracle\":\"lockstep\""),
+            (OracleMode::Replay, "\"oracle\":\"replay\""),
+        ] {
+            let spec = plain.clone().with_oracle(mode).with_weaken_sem(true);
+            let text = spec.to_json().to_string();
+            assert!(text.contains(label), "{text}");
+            assert!(text.contains("\"weaken_sem\":true"), "{text}");
+            let back = RunSpec::from_json(&json::parse(&text).expect("parses")).expect("decodes");
+            assert_eq!(back, spec);
+            assert_eq!(back.to_json().to_string(), text);
+        }
+    }
+
+    #[test]
+    fn oracle_runs_are_clean_and_report_identically_to_plain_runs() {
+        let registry = Registry::builtin();
+        let programs = [
+            (
+                ProgramSpec::Exit { code: 3 },
+                CodegenOpts::purecap(),
+                AbiMode::CheriAbi,
+            ),
+            (
+                ProgramSpec::CapChurn { iters: 8 },
+                CodegenOpts::purecap(),
+                AbiMode::CheriAbi,
+            ),
+            (
+                ProgramSpec::Spin { iters: 50 },
+                CodegenOpts::mips64(),
+                AbiMode::Mips64,
+            ),
+        ];
+        for (i, (program, opts, abi)) in programs.into_iter().enumerate() {
+            let plain = RunSpec::new(format!("case-{i}"), program, opts, abi).with_seed(i as u64);
+            let baseline = execute_spec(&registry, &plain);
+            assert!(
+                !matches!(baseline.outcome, CaseOutcome::Divergence(_)),
+                "got {:?}",
+                baseline.outcome
+            );
+            for mode in [OracleMode::Lockstep, OracleMode::Replay] {
+                let report = execute_spec(&registry, &plain.clone().with_oracle(mode));
+                assert_eq!(report.outcome, baseline.outcome, "{mode:?}");
+                assert_eq!(report.console, baseline.console, "{mode:?}");
+                assert_eq!(report.metrics, baseline.metrics, "{mode:?}");
+                assert_eq!(
+                    report.to_json_deterministic(0).to_string(),
+                    baseline.to_json_deterministic(0).to_string(),
+                    "{mode:?} must not perturb the deterministic line"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_sessions_are_deterministic_across_job_counts() {
+        let registry = Registry::builtin();
+        let specs: Vec<RunSpec> = (0..8)
+            .map(|i| {
+                exit_with_seed_spec(&format!("case-{i}"), i).with_oracle(if i % 2 == 0 {
+                    OracleMode::Lockstep
+                } else {
+                    OracleMode::Replay
+                })
+            })
+            .collect();
+        let seq = Harness::new(1).run(&registry, &specs);
+        let par = Harness::new(8).run(&registry, &specs);
+        for (i, (a, b)) in seq.iter().zip(&par).enumerate() {
+            assert_eq!(
+                a.to_json_deterministic(i).to_string(),
+                b.to_json_deterministic(i).to_string()
+            );
+        }
     }
 
     #[test]

@@ -74,6 +74,10 @@ pub enum FailureKind {
     /// The scheduler declared deadlock; the string is the kernel's per-pid
     /// blocked-on diagnostics (scenario runs only).
     Deadlock(String),
+    /// The differential oracle caught the fast machine disagreeing with
+    /// the reference semantics (`--oracle` runs only) — a simulator bug,
+    /// not a guest failure, but a suite failure all the same.
+    Divergence(String),
 }
 
 impl FailureKind {
@@ -95,6 +99,7 @@ impl fmt::Display for FailureKind {
             FailureKind::Panicked(e) => write!(f, "panicked: {e}"),
             FailureKind::Deadline => write!(f, "deadline exceeded"),
             FailureKind::Deadlock(diag) => write!(f, "deadlock: {diag}"),
+            FailureKind::Divergence(detail) => write!(f, "divergence: {detail}"),
         }
     }
 }
@@ -260,6 +265,9 @@ pub fn score(outcome: &CaseOutcome) -> SuiteOutcome {
         CaseOutcome::Panicked(e) => SuiteOutcome::Fail(FailureKind::Panicked(e.clone())),
         CaseOutcome::DeadlineExceeded => SuiteOutcome::Fail(FailureKind::Deadline),
         CaseOutcome::Deadlock(diag) => SuiteOutcome::Fail(FailureKind::Deadlock(diag.clone())),
+        CaseOutcome::Divergence(detail) => {
+            SuiteOutcome::Fail(FailureKind::Divergence(detail.clone()))
+        }
     }
 }
 

@@ -1,11 +1,13 @@
 //! The fetch/decode/execute core.
 
-use crate::ops;
+use crate::ops::{self, CpuPorts, RefPorts};
+use crate::oracle::{self, Divergence, LockstepState};
 use crate::region::{DecodedInstr, DecodedRegion};
 use crate::{DerivationTrace, RegFile};
 use cheri_cap::{CapFault, Capability, Perms};
-use cheri_isa::{Instr, Width};
+use cheri_isa::Instr;
 use cheri_mem::{AccessKind, CacheHierarchy, MemEventRing, MemEventSink, FRAME_SIZE};
+use cheri_sem::{SemExit, StepCtx};
 use cheri_vm::{Access, AsId, Vm, VmError};
 use std::collections::HashMap;
 use std::fmt;
@@ -172,6 +174,18 @@ pub struct Cpu {
     /// batching) and single-step execution. Armed fault plans set this so
     /// ordering-sensitive triggers always observe an up-to-date model.
     exact_events: bool,
+    /// Test-only semantic weakening (`--weaken-sem`): when set,
+    /// `csetbounds` (register form) skips its monotonicity check. Exists
+    /// solely so the oracle self-test can prove divergences are detected.
+    weaken_sem: bool,
+    /// When set, `run` takes the reference interpreter instead of the
+    /// superblock machine: per-step fetch through the full VM walk, exact
+    /// cache accounting, direct semantics dispatch — no TLB, no resident
+    /// region, no re-entry cache, no event batching. Guest-visible
+    /// behaviour is identical by construction; only speed differs.
+    reference: bool,
+    /// Armed lockstep oracle, if any (see [`crate::oracle`]).
+    lockstep: Option<LockstepState>,
     /// Effective mode for the current `run`: batch events and execute by
     /// superblock. Recomputed at every `run` entry from the three flags
     /// and `trace.enabled`.
@@ -180,23 +194,12 @@ pub struct Cpu {
     events: MemEventRing,
 }
 
-/// Per-instruction execution context handed to op handlers: the VM and
-/// register file, the instruction's own `pc`, the fall-through successor
-/// in `next` (handlers overwrite it to branch), and the enclosing region's
-/// start for resolving static branch targets.
-pub(crate) struct ExecCtx<'a> {
-    /// Virtual memory of the executing address space.
-    pub vm: &'a mut Vm,
-    /// The executing address space.
-    pub id: AsId,
-    /// Architectural register file.
-    pub rf: &'a mut RegFile,
-    /// Address of the executing instruction.
-    pub pc: u64,
-    /// Successor address; `pc + 4` unless a handler branches.
-    pub next: u64,
-    /// Start address of the enclosing code region.
-    pub rstart: u64,
+/// Converts a semantics-level exit into the machine-level [`Exit`].
+fn sem_exit(e: SemExit) -> Exit {
+    match e {
+        SemExit::Syscall => Exit::Syscall,
+        SemExit::Break => Exit::Break,
+    }
 }
 
 impl fmt::Debug for Cpu {
@@ -230,6 +233,9 @@ impl Cpu {
             fast_path: true,
             superblocks: true,
             exact_events: false,
+            weaken_sem: false,
+            reference: false,
+            lockstep: None,
             batch: false,
             events: MemEventRing::new(),
         }
@@ -276,6 +282,61 @@ impl Cpu {
     #[must_use]
     pub fn exact_mem_events(&self) -> bool {
         self.exact_events
+    }
+
+    /// Enables the test-only deliberate semantics bug (`--weaken-sem`):
+    /// `csetbounds` (register form) skips its monotonicity check, so a
+    /// derived capability can widen. The lockstep shadow never weakens,
+    /// so the oracle must report a divergence — the self-test that proves
+    /// the oracle plane actually detects semantic drift.
+    pub fn set_weaken_sem(&mut self, on: bool) {
+        self.weaken_sem = on;
+    }
+
+    /// Whether the test-only semantics weakening is active.
+    #[must_use]
+    pub fn weaken_sem(&self) -> bool {
+        self.weaken_sem
+    }
+
+    /// Switches the core to the reference interpreter (see the `reference`
+    /// field): the deliberately simple second consumer of the shared step
+    /// semantics, used as the `--oracle replay` baseline.
+    pub fn set_reference(&mut self, on: bool) {
+        self.reference = on;
+        self.reset_tlb();
+    }
+
+    /// Whether the reference interpreter is active.
+    #[must_use]
+    pub fn reference(&self) -> bool {
+        self.reference
+    }
+
+    /// Arms the lockstep oracle: every `every`-th dispatched instruction —
+    /// and every trap/exit boundary — is re-executed by a side-effect-free
+    /// shadow interpreter and the full architectural state compared.
+    /// `verify_stores` additionally checks what stores left in memory;
+    /// disable it when a fault plan is armed (injected corruption is
+    /// deliberately non-architectural).
+    pub fn set_lockstep(&mut self, every: u64, verify_stores: bool) {
+        let every = every.max(1);
+        self.lockstep = Some(LockstepState {
+            every,
+            countdown: every,
+            verify_stores,
+            divergence: None,
+        });
+    }
+
+    /// Disarms the lockstep oracle, discarding any recorded divergence.
+    pub fn clear_lockstep(&mut self) {
+        self.lockstep = None;
+    }
+
+    /// Takes the first divergence the lockstep oracle observed, if any.
+    pub fn take_divergence(&mut self) -> Option<Divergence> {
+        self.lockstep.as_mut().and_then(|l| l.divergence.take())
     }
 
     /// Invalidates every TLB slot, the resident code block and the
@@ -449,108 +510,6 @@ impl Cpu {
     }
 
     // ------------------------------------------------------------------
-    // Data access helpers
-    // ------------------------------------------------------------------
-
-    #[allow(clippy::too_many_arguments)]
-    pub(crate) fn data_read(
-        &mut self,
-        vm: &mut Vm,
-        id: AsId,
-        cap: &Capability,
-        vaddr: u64,
-        w: Width,
-        signed: bool,
-        aligned_required: bool,
-        pc: u64,
-    ) -> Result<u64, TrapInfo> {
-        let size = w.bytes();
-        if aligned_required && !vaddr.is_multiple_of(size) {
-            return Err(TrapInfo {
-                cause: TrapCause::Cap(CapFault::UnalignedDataAccess),
-                pc,
-                vaddr: Some(vaddr),
-            });
-        }
-        cap.check_access(vaddr, size, Perms::LOAD)
-            .map_err(|f| TrapInfo {
-                cause: TrapCause::Cap(f),
-                pc,
-                vaddr: Some(vaddr),
-            })?;
-        let pa = self.translate_cached(vm, id, vaddr, Access::Read, pc)?;
-        self.mem_access(pa, AccessKind::Load);
-        let mut buf = [0u8; 8];
-        vm.read_bytes(id, vaddr, &mut buf[..size as usize])
-            .map_err(|e| TrapInfo {
-                cause: TrapCause::Vm(e),
-                pc,
-                vaddr: Some(vaddr),
-            })?;
-        let raw = u64::from_le_bytes(buf);
-        Ok(if signed {
-            match w {
-                Width::B => raw as u8 as i8 as i64 as u64,
-                Width::H => raw as u16 as i16 as i64 as u64,
-                Width::W => raw as u32 as i32 as i64 as u64,
-                Width::D => raw,
-            }
-        } else {
-            raw
-        })
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    pub(crate) fn data_write(
-        &mut self,
-        vm: &mut Vm,
-        id: AsId,
-        cap: &Capability,
-        vaddr: u64,
-        w: Width,
-        value: u64,
-        aligned_required: bool,
-        pc: u64,
-    ) -> Result<(), TrapInfo> {
-        let size = w.bytes();
-        if aligned_required && !vaddr.is_multiple_of(size) {
-            return Err(TrapInfo {
-                cause: TrapCause::Cap(CapFault::UnalignedDataAccess),
-                pc,
-                vaddr: Some(vaddr),
-            });
-        }
-        cap.check_access(vaddr, size, Perms::STORE)
-            .map_err(|f| TrapInfo {
-                cause: TrapCause::Cap(f),
-                pc,
-                vaddr: Some(vaddr),
-            })?;
-        let pa = self.translate_cached(vm, id, vaddr, Access::Write, pc)?;
-        self.mem_access(pa, AccessKind::Store);
-        let bytes = value.to_le_bytes();
-        vm.write_bytes(id, vaddr, &bytes[..size as usize])
-            .map_err(|e| TrapInfo {
-                cause: TrapCause::Vm(e),
-                pc,
-                vaddr: Some(vaddr),
-            })?;
-        Ok(())
-    }
-
-    pub(crate) fn legacy_cap(rf: &RegFile, pc: u64) -> Result<&Capability, TrapInfo> {
-        if !rf.ddc.tag() {
-            Err(TrapInfo {
-                cause: TrapCause::Cap(CapFault::DdcNull),
-                pc,
-                vaddr: None,
-            })
-        } else {
-            Ok(&rf.ddc)
-        }
-    }
-
-    // ------------------------------------------------------------------
     // Fetch
     // ------------------------------------------------------------------
 
@@ -619,12 +578,81 @@ impl Cpu {
     /// trap, break or instruction limit.
     pub fn run(&mut self, vm: &mut Vm, id: AsId, rf: &mut RegFile, max_instrs: u64) -> Exit {
         self.set_context(id);
+        if self.reference {
+            return self.run_reference(vm, id, rf, max_instrs);
+        }
         self.batch =
             self.fast_path && self.superblocks && !self.trace.enabled && !self.exact_events;
         let exit = self.run_inner(vm, id, rf, max_instrs);
         self.drain_events();
         self.batch = false;
         exit
+    }
+
+    /// The reference interpreter's run loop: one instruction at a time,
+    /// nothing cached, nothing batched. Fetch is checked against PCC, then
+    /// translated by the full VM walk and charged exactly; the instruction
+    /// is found by scanning the region map and executed by direct
+    /// semantics dispatch ([`cheri_sem::ops::step_instr`]) — the flat op
+    /// table, pre-resolved dispatch indices and superblock clamps are all
+    /// unused here, which is the point: any machinery bug shows up as a
+    /// difference against this loop.
+    fn run_reference(&mut self, vm: &mut Vm, id: AsId, rf: &mut RegFile, max_instrs: u64) -> Exit {
+        let mut executed = 0u64;
+        while executed < max_instrs {
+            match self.step_reference(vm, id, rf) {
+                Ok(None) => executed += 1,
+                Ok(Some(exit)) => return exit,
+                Err(trap) => return Exit::Trap(trap),
+            }
+        }
+        Exit::InstrLimit
+    }
+
+    /// Executes a single instruction the reference way.
+    fn step_reference(&mut self, vm: &mut Vm, id: AsId, rf: &mut RegFile) -> StepResult {
+        let pc = rf.pc;
+        rf.pcc
+            .check_access(pc, 4, Perms::EXECUTE)
+            .map_err(|f| TrapInfo {
+                cause: TrapCause::Cap(f),
+                pc,
+                vaddr: Some(pc),
+            })?;
+        let pa = vm.translate(id, pc, Access::Exec).map_err(|e| TrapInfo {
+            cause: TrapCause::Vm(e),
+            pc,
+            vaddr: Some(pc),
+        })?;
+        self.stats.cycles += self.caches.access(pa.0, AccessKind::Fetch);
+        let region = self.find_region(id, pc).ok_or(TrapInfo {
+            cause: TrapCause::NoCode,
+            pc,
+            vaddr: Some(pc),
+        })?;
+        let di = region.instr_at(region.index_of(pc));
+        let rstart = region.start();
+        self.stats.instret += 1;
+        self.stats.cycles += u64::from(di.base_cycles);
+        let mut cx = StepCtx {
+            rf: &mut *rf,
+            pc,
+            next: pc.wrapping_add(4),
+            rstart,
+        };
+        let mut ports = RefPorts {
+            cpu: self,
+            vm: &mut *vm,
+            id,
+        };
+        match cheri_sem::ops::step_instr(&mut ports, &mut cx, di.instr)? {
+            Some(exit) => Ok(Some(sem_exit(exit))),
+            None => {
+                let next = cx.next;
+                rf.pc = next;
+                Ok(None)
+            }
+        }
     }
 
     fn run_inner(&mut self, vm: &mut Vm, id: AsId, rf: &mut RegFile, max_instrs: u64) -> Exit {
@@ -647,6 +675,60 @@ impl Cpu {
             }
         }
         Exit::InstrLimit
+    }
+
+    /// Pre-instruction snapshot for the lockstep oracle: taken only while
+    /// armed and still divergence-free (the first divergence freezes the
+    /// oracle so its diagnostic names the earliest drift).
+    #[inline]
+    fn lockstep_pre(&self, rf: &RegFile) -> Option<RegFile> {
+        match &self.lockstep {
+            Some(l) if l.divergence.is_none() => Some(rf.clone()),
+            _ => None,
+        }
+    }
+
+    /// Post-instruction lockstep check: decides whether this step is due
+    /// (cadence countdown, or any trap/exit boundary) and if so shadows it
+    /// and records the first divergence.
+    fn lockstep_check(
+        &mut self,
+        vm: &Vm,
+        id: AsId,
+        pre: &RegFile,
+        cx: &StepCtx<'_>,
+        instr: Instr,
+        res: &Result<Option<SemExit>, TrapInfo>,
+    ) {
+        let Some(mut ls) = self.lockstep.take() else {
+            return;
+        };
+        if ls.divergence.is_none() {
+            ls.countdown = ls.countdown.saturating_sub(1);
+            let boundary = !matches!(res, Ok(None));
+            if boundary || ls.countdown == 0 {
+                ls.countdown = ls.every;
+                if let Some(detail) = oracle::check_step(
+                    vm,
+                    id,
+                    pre,
+                    cx.rf,
+                    cx.next,
+                    cx.pc,
+                    cx.rstart,
+                    instr,
+                    res,
+                    ls.verify_stores,
+                ) {
+                    ls.divergence = Some(Divergence {
+                        pc: cx.pc,
+                        instret: self.stats.instret,
+                        detail,
+                    });
+                }
+            }
+        }
+        self.lockstep = Some(ls);
     }
 
     /// Executes one superblock prefix: a straight-line run with a single
@@ -753,21 +835,31 @@ impl Cpu {
             }
             self.stats.instret += 1;
             self.stats.cycles += u64::from(di.base_cycles);
-            let mut cx = ExecCtx {
-                vm: &mut *vm,
-                id,
+            let pre = self.lockstep_pre(rf);
+            let mut cx = StepCtx {
                 rf: &mut *rf,
                 pc: cur_pc,
                 next: cur_pc.wrapping_add(4),
                 rstart,
             };
-            match ops::OP_TABLE[usize::from(di.op)](self, &mut cx, di.instr) {
+            let res = {
+                let mut ports = CpuPorts {
+                    cpu: self,
+                    vm: &mut *vm,
+                    id,
+                };
+                ops::OP_TABLE[usize::from(di.op)](&mut ports, &mut cx, di.instr)
+            };
+            if let Some(pre) = &pre {
+                self.lockstep_check(vm, id, pre, &cx, di.instr, &res);
+            }
+            match res {
                 Err(trap) => {
                     out = Some(Exit::Trap(trap));
                     break;
                 }
                 Ok(Some(exit)) => {
-                    out = Some(exit);
+                    out = Some(sem_exit(exit));
                     break;
                 }
                 Ok(None) => {
@@ -799,16 +891,26 @@ impl Cpu {
         let (di, rstart) = self.fetch(vm, id, rf)?;
         self.stats.instret += 1;
         self.stats.cycles += u64::from(di.base_cycles);
-        let mut cx = ExecCtx {
-            vm: &mut *vm,
-            id,
+        let pre = self.lockstep_pre(rf);
+        let mut cx = StepCtx {
             rf: &mut *rf,
             pc,
             next: pc.wrapping_add(4),
             rstart,
         };
-        match ops::OP_TABLE[usize::from(di.op)](self, &mut cx, di.instr)? {
-            Some(exit) => Ok(Some(exit)),
+        let res = {
+            let mut ports = CpuPorts {
+                cpu: self,
+                vm: &mut *vm,
+                id,
+            };
+            ops::OP_TABLE[usize::from(di.op)](&mut ports, &mut cx, di.instr)
+        };
+        if let Some(pre) = &pre {
+            self.lockstep_check(vm, id, pre, &cx, di.instr, &res);
+        }
+        match res? {
+            Some(exit) => Ok(Some(sem_exit(exit))),
             None => {
                 let next = cx.next;
                 rf.pc = next;
@@ -828,7 +930,7 @@ impl Default for Cpu {
 mod tests {
     use super::*;
     use cheri_cap::{CapFormat, CapSource, PrincipalId};
-    use cheri_isa::{creg, ireg};
+    use cheri_isa::{creg, ireg, Width};
     use cheri_vm::{Backing, Prot};
 
     /// Builds a machine with one space, maps `code` at 0x10000 (rx) and a
@@ -1180,20 +1282,23 @@ mod tests {
 
     #[test]
     fn all_execution_modes_agree_on_all_counters() {
-        // Superblock batching, forced-exact single-step, TLB-only, and
-        // the no-fast-path baseline must be guest-indistinguishable.
+        // Superblock batching, forced-exact single-step, TLB-only, the
+        // no-fast-path baseline, and the reference interpreter must be
+        // guest-indistinguishable.
         let code = store_sync_store_load();
         let mut results = Vec::new();
-        for (fast, superblocks, exact) in [
-            (true, true, false),
-            (true, true, true),
-            (true, false, false),
-            (false, false, false),
+        for (fast, superblocks, exact, reference) in [
+            (true, true, false, false),
+            (true, true, true, false),
+            (true, false, false, false),
+            (false, false, false, false),
+            (true, true, false, true),
         ] {
             let (mut cpu, mut vm, id, mut rf) = machine(code.clone(), false);
             cpu.set_fast_path(fast);
             cpu.set_superblocks(superblocks);
             cpu.set_exact_mem_events(exact);
+            cpu.set_reference(reference);
             assert_eq!(cpu.run(&mut vm, id, &mut rf, 10_000), Exit::Syscall);
             assert_eq!(cpu.run(&mut vm, id, &mut rf, 10_000), Exit::Syscall);
             results.push((cpu.stats, cpu.caches.stats(), vm.stats, rf.r(ireg::T2)));
@@ -1201,6 +1306,108 @@ mod tests {
         for r in &results[1..] {
             assert_eq!(*r, results[0]);
         }
+    }
+
+    // ------------------------------------------------------------------
+    // The lockstep oracle
+    // ------------------------------------------------------------------
+
+    /// The widen probe: narrow a capability, then try to re-widen it. The
+    /// strict semantics trap on the second `csetbounds`; the weakened fast
+    /// path sails through — which the shadow must catch.
+    fn widen_probe() -> Vec<Instr> {
+        vec![
+            Instr::Li {
+                rd: ireg::T0,
+                imm: 16,
+            },
+            Instr::CSetBounds {
+                cd: creg::ptr(1),
+                cb: creg::ptr(0),
+                rs: ireg::T0,
+            },
+            Instr::Li {
+                rd: ireg::T1,
+                imm: 64,
+            },
+            Instr::CSetBounds {
+                cd: creg::ptr(2),
+                cb: creg::ptr(1),
+                rs: ireg::T1,
+            },
+            Instr::Syscall,
+        ]
+    }
+
+    #[test]
+    fn lockstep_is_clean_and_invisible_on_correct_execution() {
+        // A memory-heavy program, with and without the oracle armed: no
+        // divergence, and — crucially for report-cache identity — no
+        // difference in any guest-visible counter either.
+        let code = store_sync_store_load();
+        let mut results = Vec::new();
+        for armed in [false, true] {
+            let (mut cpu, mut vm, id, mut rf) = machine(code.clone(), false);
+            if armed {
+                cpu.set_lockstep(1, true);
+            }
+            assert_eq!(cpu.run(&mut vm, id, &mut rf, 10_000), Exit::Syscall);
+            assert_eq!(cpu.run(&mut vm, id, &mut rf, 10_000), Exit::Syscall);
+            assert_eq!(cpu.take_divergence(), None);
+            results.push((cpu.stats, cpu.caches.stats(), vm.stats, rf.r(ireg::T2)));
+        }
+        assert_eq!(results[0], results[1]);
+    }
+
+    #[test]
+    fn lockstep_matches_traps_too() {
+        // The trapping CLoad at the end is a boundary: the shadow must
+        // reproduce the exact capability fault, not report a divergence.
+        let code = vec![Instr::CLoad {
+            rd: ireg::T3,
+            cb: creg::ptr(0),
+            off: 4096,
+            w: Width::B,
+            signed: false,
+        }];
+        let (mut cpu, mut vm, id, mut rf) = machine(code, true);
+        cpu.set_lockstep(1, true);
+        match cpu.run(&mut vm, id, &mut rf, 100) {
+            Exit::Trap(t) => assert_eq!(t.cause, TrapCause::Cap(CapFault::LengthViolation)),
+            e => panic!("expected length trap, got {e:?}"),
+        }
+        assert_eq!(cpu.take_divergence(), None);
+    }
+
+    #[test]
+    fn lockstep_catches_weakened_semantics() {
+        let (mut cpu, mut vm, id, mut rf) = machine(widen_probe(), true);
+        cpu.set_weaken_sem(true);
+        cpu.set_lockstep(1, true);
+        // The weakened fast path does NOT trap: the program runs to its
+        // syscall with an illegally widened capability in c15.
+        assert_eq!(cpu.run(&mut vm, id, &mut rf, 100), Exit::Syscall);
+        let d = cpu.take_divergence().expect("oracle must catch the widen");
+        assert_eq!(d.pc, 0x10000 + 3 * 4, "the second csetbounds");
+        assert!(
+            d.detail.contains("shadow"),
+            "diagnostic names both sides: {}",
+            d.detail
+        );
+        // Only the first divergence is kept.
+        assert_eq!(cpu.take_divergence(), None);
+    }
+
+    #[test]
+    fn lockstep_cadence_still_lands_on_the_divergent_step() {
+        // every=2 checks instructions 2 and 4 — the second csetbounds is
+        // the 4th retired instruction, so the sampled oracle still sees it.
+        let (mut cpu, mut vm, id, mut rf) = machine(widen_probe(), true);
+        cpu.set_weaken_sem(true);
+        cpu.set_lockstep(2, true);
+        assert_eq!(cpu.run(&mut vm, id, &mut rf, 100), Exit::Syscall);
+        let d = cpu.take_divergence().expect("cadence 2 lands on the widen");
+        assert_eq!(d.instret, 4);
     }
 
     // ------------------------------------------------------------------

@@ -25,11 +25,12 @@
 #[allow(clippy::module_inception)]
 mod cpu;
 mod ops;
-mod regfile;
+mod oracle;
 mod region;
 mod trace;
 
+pub use cheri_sem::RegFile;
 pub use cpu::{Cpu, CpuStats, Exit, TrapCause, TrapInfo};
-pub use regfile::RegFile;
+pub use oracle::Divergence;
 pub use region::DecodedRegion;
 pub use trace::DerivationTrace;

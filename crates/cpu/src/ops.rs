@@ -1,653 +1,266 @@
-//! The flat op table: threaded dispatch for the execute core.
+//! The CPU-side port of the shared step semantics, plus the flat op table.
 //!
-//! Every [`Instr`] variant gets one handler function; [`OP_TABLE`] lists
-//! them in a fixed order and [`dispatch_index`] resolves an instruction to
-//! its slot. Decode ([`crate::region::DecodedRegion`]) runs the resolution
-//! once per instruction at registration time, so both the single-step path
-//! and the superblock loop execute with a single indexed call instead of
-//! re-entering a 70-arm `match` per instruction.
-//!
-//! The table and the index function are generated from the *same* macro
-//! list, so they cannot drift out of sync: a handler's position in
-//! [`OP_TABLE`] is, by construction, the index [`dispatch_index`] assigns
-//! to its pattern.
+//! The per-instruction handler bodies live in [`cheri_sem::ops`] — this
+//! module only supplies what the pure semantics cannot know about:
+//! [`CpuPorts`] implements the [`MemoryPort`]/[`TrapPort`] surface on top
+//! of the core's TLB, batched cache-event sink and derivation trace, and
+//! `with_op_list!` instantiates the flat [`OP_TABLE`] for threaded
+//! dispatch. The table is generated from the semantics crate's own
+//! handler-name list, so it cannot drift out of sync with
+//! [`dispatch_index`]: a handler's position in [`OP_TABLE`] is, by
+//! construction, the index `dispatch_index` assigns to its pattern.
 
-#![allow(clippy::unnecessary_wraps)] // handlers share one fallible signature
-
-use crate::cpu::{Cpu, ExecCtx, Exit, TrapCause, TrapInfo};
-use cheri_cap::{CapFault, Capability, Perms};
-use cheri_isa::{Instr, Width};
+use crate::cpu::{Cpu, TrapCause, TrapInfo};
+use cheri_cap::{CapFault, Capability};
+use cheri_isa::Instr;
 use cheri_mem::AccessKind;
-use cheri_vm::Access;
+use cheri_sem::{MemoryPort, SemExit, StepCtx, TrapPort};
+use cheri_vm::{Access, AsId, Vm};
+
+pub(crate) use cheri_sem::ops::dispatch_index;
 
 /// What one instruction produces: `Ok(None)` to continue, `Ok(Some(exit))`
 /// to leave the run loop, `Err(trap)` on a fault (with `rf.pc` still at
 /// the faulting instruction).
-pub(crate) type OpResult = Result<Option<Exit>, TrapInfo>;
+pub(crate) type OpResult = Result<Option<SemExit>, TrapInfo>;
 
 /// Handler signature shared by every slot of [`OP_TABLE`].
-pub(crate) type OpFn = fn(&mut Cpu, &mut ExecCtx<'_>, Instr) -> OpResult;
+pub(crate) type OpFn = fn(&mut CpuPorts<'_, '_>, &mut StepCtx<'_>, Instr) -> OpResult;
 
-fn capfault(pc: u64, f: CapFault, vaddr: Option<u64>) -> TrapInfo {
-    TrapInfo {
-        cause: TrapCause::Cap(f),
-        pc,
-        vaddr,
+/// The superblock machine's implementation of the semantics port traits:
+/// translations go through the TLB, cache events through the (possibly
+/// batched) event sink, derivations into the Figure 5 trace.
+pub(crate) struct CpuPorts<'c, 'v> {
+    /// The core (TLB, caches, counters, trace).
+    pub cpu: &'c mut Cpu,
+    /// Virtual memory of the executing address space.
+    pub vm: &'v mut Vm,
+    /// The executing address space.
+    pub id: AsId,
+}
+
+impl TrapPort for CpuPorts<'_, '_> {
+    type Fault = TrapInfo;
+
+    fn cap_fault(&mut self, pc: u64, fault: CapFault, vaddr: Option<u64>) -> TrapInfo {
+        TrapInfo {
+            cause: TrapCause::Cap(fault),
+            pc,
+            vaddr,
+        }
+    }
+
+    fn charge_cycles(&mut self, cycles: u64) {
+        self.cpu.stats.cycles += cycles;
+    }
+
+    fn count_syscall(&mut self) {
+        self.cpu.stats.syscalls += 1;
+    }
+
+    fn record_derivation(&mut self, cap: &Capability) {
+        self.cpu.trace.record(cap);
+    }
+
+    fn weaken_sem(&self) -> bool {
+        self.cpu.weaken_sem()
     }
 }
 
-macro_rules! define_ops {
-    ($( $name:ident : $pat:pat => |$cpu:ident, $cx:ident| $body:block )+) => {
-        $(
-            fn $name($cpu: &mut Cpu, $cx: &mut ExecCtx<'_>, instr: Instr) -> OpResult {
-                let $pat = instr else {
-                    unreachable!("op table and dispatch index out of sync")
-                };
-                $body
-            }
-        )+
+impl MemoryPort for CpuPorts<'_, '_> {
+    fn read_raw(&mut self, vaddr: u64, size: u64, pc: u64) -> Result<u64, TrapInfo> {
+        let pa = self
+            .cpu
+            .translate_cached(self.vm, self.id, vaddr, Access::Read, pc)?;
+        self.cpu.mem_access(pa, AccessKind::Load);
+        let mut buf = [0u8; 8];
+        self.vm
+            .read_bytes(self.id, vaddr, &mut buf[..size as usize])
+            .map_err(|e| TrapInfo {
+                cause: TrapCause::Vm(e),
+                pc,
+                vaddr: Some(vaddr),
+            })?;
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    fn write_raw(&mut self, vaddr: u64, size: u64, value: u64, pc: u64) -> Result<(), TrapInfo> {
+        let pa = self
+            .cpu
+            .translate_cached(self.vm, self.id, vaddr, Access::Write, pc)?;
+        self.cpu.mem_access(pa, AccessKind::Store);
+        let bytes = value.to_le_bytes();
+        self.vm
+            .write_bytes(self.id, vaddr, &bytes[..size as usize])
+            .map_err(|e| TrapInfo {
+                cause: TrapCause::Vm(e),
+                pc,
+                vaddr: Some(vaddr),
+            })
+    }
+
+    fn read_granule(&mut self, vaddr: u64, pc: u64) -> Result<Option<Capability>, TrapInfo> {
+        let pa = self
+            .cpu
+            .translate_cached(self.vm, self.id, vaddr, Access::Read, pc)?;
+        self.cpu.mem_access(pa, AccessKind::Load);
+        self.vm.load_cap(self.id, vaddr).map_err(|e| TrapInfo {
+            cause: TrapCause::Vm(e),
+            pc,
+            vaddr: Some(vaddr),
+        })
+    }
+
+    fn write_granule(&mut self, vaddr: u64, value: Capability, pc: u64) -> Result<(), TrapInfo> {
+        let pa = self
+            .cpu
+            .translate_cached(self.vm, self.id, vaddr, Access::Write, pc)?;
+        self.cpu.mem_access(pa, AccessKind::Store);
+        self.vm
+            .store_cap(self.id, vaddr, value)
+            .map_err(|e| TrapInfo {
+                cause: TrapCause::Vm(e),
+                pc,
+                vaddr: Some(vaddr),
+            })
+    }
+}
+
+/// The reference interpreter's implementation of the semantics port
+/// traits: every translation takes the full VM walk, every cache event is
+/// replayed into the model immediately, and nothing is ever weakened. The
+/// deliberately simple second consumer of `cheri-sem` — what the fast
+/// machine is diffed against under `--oracle`.
+pub(crate) struct RefPorts<'c, 'v> {
+    /// The core (caches, counters, trace).
+    pub cpu: &'c mut Cpu,
+    /// Virtual memory of the executing address space.
+    pub vm: &'v mut Vm,
+    /// The executing address space.
+    pub id: AsId,
+}
+
+impl RefPorts<'_, '_> {
+    fn translate(&mut self, vaddr: u64, access: Access, pc: u64) -> Result<u64, TrapInfo> {
+        self.vm
+            .translate(self.id, vaddr, access)
+            .map(|pa| pa.0)
+            .map_err(|e| TrapInfo {
+                cause: TrapCause::Vm(e),
+                pc,
+                vaddr: Some(vaddr),
+            })
+    }
+
+    fn access(&mut self, pa: u64, kind: AccessKind) {
+        self.cpu.stats.cycles += self.cpu.caches.access(pa, kind);
+    }
+}
+
+impl TrapPort for RefPorts<'_, '_> {
+    type Fault = TrapInfo;
+
+    fn cap_fault(&mut self, pc: u64, fault: CapFault, vaddr: Option<u64>) -> TrapInfo {
+        TrapInfo {
+            cause: TrapCause::Cap(fault),
+            pc,
+            vaddr,
+        }
+    }
+
+    fn charge_cycles(&mut self, cycles: u64) {
+        self.cpu.stats.cycles += cycles;
+    }
+
+    fn count_syscall(&mut self) {
+        self.cpu.stats.syscalls += 1;
+    }
+
+    fn record_derivation(&mut self, cap: &Capability) {
+        self.cpu.trace.record(cap);
+    }
+}
+
+impl MemoryPort for RefPorts<'_, '_> {
+    fn read_raw(&mut self, vaddr: u64, size: u64, pc: u64) -> Result<u64, TrapInfo> {
+        let pa = self.translate(vaddr, Access::Read, pc)?;
+        self.access(pa, AccessKind::Load);
+        let mut buf = [0u8; 8];
+        self.vm
+            .read_bytes(self.id, vaddr, &mut buf[..size as usize])
+            .map_err(|e| TrapInfo {
+                cause: TrapCause::Vm(e),
+                pc,
+                vaddr: Some(vaddr),
+            })?;
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    fn write_raw(&mut self, vaddr: u64, size: u64, value: u64, pc: u64) -> Result<(), TrapInfo> {
+        let pa = self.translate(vaddr, Access::Write, pc)?;
+        self.access(pa, AccessKind::Store);
+        let bytes = value.to_le_bytes();
+        self.vm
+            .write_bytes(self.id, vaddr, &bytes[..size as usize])
+            .map_err(|e| TrapInfo {
+                cause: TrapCause::Vm(e),
+                pc,
+                vaddr: Some(vaddr),
+            })
+    }
+
+    fn read_granule(&mut self, vaddr: u64, pc: u64) -> Result<Option<Capability>, TrapInfo> {
+        let pa = self.translate(vaddr, Access::Read, pc)?;
+        self.access(pa, AccessKind::Load);
+        self.vm.load_cap(self.id, vaddr).map_err(|e| TrapInfo {
+            cause: TrapCause::Vm(e),
+            pc,
+            vaddr: Some(vaddr),
+        })
+    }
+
+    fn write_granule(&mut self, vaddr: u64, value: Capability, pc: u64) -> Result<(), TrapInfo> {
+        let pa = self.translate(vaddr, Access::Write, pc)?;
+        self.access(pa, AccessKind::Store);
+        self.vm
+            .store_cap(self.id, vaddr, value)
+            .map_err(|e| TrapInfo {
+                cause: TrapCause::Vm(e),
+                pc,
+                vaddr: Some(vaddr),
+            })
+    }
+}
+
+macro_rules! define_table {
+    ($($name:ident),+ $(,)?) => {
+        /// Monomorphised handler entry points: one `fn` item per semantics
+        /// handler, instantiated at `CpuPorts`, so the table below is a
+        /// flat array of plain function pointers.
+        mod wrappers {
+            use super::*;
+            $(
+                pub(crate) fn $name(
+                    p: &mut CpuPorts<'_, '_>,
+                    cx: &mut StepCtx<'_>,
+                    instr: Instr,
+                ) -> OpResult {
+                    cheri_sem::ops::$name(p, cx, instr)
+                }
+            )+
+        }
 
         /// The flat dispatch table, indexed by [`dispatch_index`].
-        pub(crate) static OP_TABLE: &[OpFn] = &[$($name),+];
-
-        /// Resolves an instruction to its [`OP_TABLE`] slot. Called once
-        /// per instruction at decode time, never in the hot loop.
-        #[allow(unused_variables, unused_assignments)]
-        pub(crate) fn dispatch_index(i: &Instr) -> u8 {
-            let mut idx: u8 = 0;
-            $(
-                if matches!(i, $pat) {
-                    return idx;
-                }
-                idx += 1;
-            )+
-            unreachable!("instruction missing from op table")
-        }
+        pub(crate) static OP_TABLE: &[OpFn] = &[$(wrappers::$name),+];
     };
 }
 
-define_ops! {
-    op_li: Instr::Li { rd, imm } => |_cpu, cx| {
-        cx.rf.w(rd, imm as u64);
-        Ok(None)
-    }
-    op_move: Instr::Move { rd, rs } => |_cpu, cx| {
-        cx.rf.w(rd, cx.rf.r(rs));
-        Ok(None)
-    }
-    op_add: Instr::Add { rd, rs, rt } => |_cpu, cx| {
-        cx.rf.w(rd, cx.rf.r(rs).wrapping_add(cx.rf.r(rt)));
-        Ok(None)
-    }
-    op_sub: Instr::Sub { rd, rs, rt } => |_cpu, cx| {
-        cx.rf.w(rd, cx.rf.r(rs).wrapping_sub(cx.rf.r(rt)));
-        Ok(None)
-    }
-    op_mul: Instr::Mul { rd, rs, rt } => |_cpu, cx| {
-        cx.rf.w(rd, cx.rf.r(rs).wrapping_mul(cx.rf.r(rt)));
-        Ok(None)
-    }
-    op_divu: Instr::DivU { rd, rs, rt } => |_cpu, cx| {
-        let d = cx.rf.r(rt);
-        cx.rf.w(rd, cx.rf.r(rs).checked_div(d).unwrap_or(0));
-        Ok(None)
-    }
-    op_divs: Instr::DivS { rd, rs, rt } => |_cpu, cx| {
-        let d = cx.rf.r(rt) as i64;
-        let n = cx.rf.r(rs) as i64;
-        cx.rf.w(rd, if d == 0 { 0 } else { n.wrapping_div(d) as u64 });
-        Ok(None)
-    }
-    op_remu: Instr::RemU { rd, rs, rt } => |_cpu, cx| {
-        let d = cx.rf.r(rt);
-        cx.rf.w(rd, if d == 0 { 0 } else { cx.rf.r(rs) % d });
-        Ok(None)
-    }
-    op_and: Instr::And { rd, rs, rt } => |_cpu, cx| {
-        cx.rf.w(rd, cx.rf.r(rs) & cx.rf.r(rt));
-        Ok(None)
-    }
-    op_or: Instr::Or { rd, rs, rt } => |_cpu, cx| {
-        cx.rf.w(rd, cx.rf.r(rs) | cx.rf.r(rt));
-        Ok(None)
-    }
-    op_xor: Instr::Xor { rd, rs, rt } => |_cpu, cx| {
-        cx.rf.w(rd, cx.rf.r(rs) ^ cx.rf.r(rt));
-        Ok(None)
-    }
-    op_nor: Instr::Nor { rd, rs, rt } => |_cpu, cx| {
-        cx.rf.w(rd, !(cx.rf.r(rs) | cx.rf.r(rt)));
-        Ok(None)
-    }
-    op_sllv: Instr::Sllv { rd, rs, rt } => |_cpu, cx| {
-        cx.rf.w(rd, cx.rf.r(rs) << (cx.rf.r(rt) & 63));
-        Ok(None)
-    }
-    op_srlv: Instr::Srlv { rd, rs, rt } => |_cpu, cx| {
-        cx.rf.w(rd, cx.rf.r(rs) >> (cx.rf.r(rt) & 63));
-        Ok(None)
-    }
-    op_srav: Instr::Srav { rd, rs, rt } => |_cpu, cx| {
-        cx.rf.w(rd, ((cx.rf.r(rs) as i64) >> (cx.rf.r(rt) & 63)) as u64);
-        Ok(None)
-    }
-    op_slt: Instr::Slt { rd, rs, rt } => |_cpu, cx| {
-        cx.rf.w(rd, u64::from((cx.rf.r(rs) as i64) < (cx.rf.r(rt) as i64)));
-        Ok(None)
-    }
-    op_sltu: Instr::Sltu { rd, rs, rt } => |_cpu, cx| {
-        cx.rf.w(rd, u64::from(cx.rf.r(rs) < cx.rf.r(rt)));
-        Ok(None)
-    }
-    op_addi: Instr::AddI { rd, rs, imm } => |_cpu, cx| {
-        cx.rf.w(rd, cx.rf.r(rs).wrapping_add(imm as u64));
-        Ok(None)
-    }
-    op_andi: Instr::AndI { rd, rs, imm } => |_cpu, cx| {
-        cx.rf.w(rd, cx.rf.r(rs) & imm);
-        Ok(None)
-    }
-    op_ori: Instr::OrI { rd, rs, imm } => |_cpu, cx| {
-        cx.rf.w(rd, cx.rf.r(rs) | imm);
-        Ok(None)
-    }
-    op_xori: Instr::XorI { rd, rs, imm } => |_cpu, cx| {
-        cx.rf.w(rd, cx.rf.r(rs) ^ imm);
-        Ok(None)
-    }
-    op_slli: Instr::SllI { rd, rs, sh } => |_cpu, cx| {
-        cx.rf.w(rd, cx.rf.r(rs) << (sh & 63));
-        Ok(None)
-    }
-    op_srli: Instr::SrlI { rd, rs, sh } => |_cpu, cx| {
-        cx.rf.w(rd, cx.rf.r(rs) >> (sh & 63));
-        Ok(None)
-    }
-    op_srai: Instr::SraI { rd, rs, sh } => |_cpu, cx| {
-        cx.rf.w(rd, ((cx.rf.r(rs) as i64) >> (sh & 63)) as u64);
-        Ok(None)
-    }
-    op_slti: Instr::SltI { rd, rs, imm } => |_cpu, cx| {
-        cx.rf.w(rd, u64::from((cx.rf.r(rs) as i64) < imm));
-        Ok(None)
-    }
-    op_sltui: Instr::SltuI { rd, rs, imm } => |_cpu, cx| {
-        cx.rf.w(rd, u64::from(cx.rf.r(rs) < imm));
-        Ok(None)
-    }
-    op_beq: Instr::Beq { rs, rt, target } => |_cpu, cx| {
-        if cx.rf.r(rs) == cx.rf.r(rt) {
-            cx.next = cx.rstart + u64::from(target) * 4;
-        }
-        Ok(None)
-    }
-    op_bne: Instr::Bne { rs, rt, target } => |_cpu, cx| {
-        if cx.rf.r(rs) != cx.rf.r(rt) {
-            cx.next = cx.rstart + u64::from(target) * 4;
-        }
-        Ok(None)
-    }
-    op_blez: Instr::Blez { rs, target } => |_cpu, cx| {
-        if (cx.rf.r(rs) as i64) <= 0 {
-            cx.next = cx.rstart + u64::from(target) * 4;
-        }
-        Ok(None)
-    }
-    op_bgtz: Instr::Bgtz { rs, target } => |_cpu, cx| {
-        if (cx.rf.r(rs) as i64) > 0 {
-            cx.next = cx.rstart + u64::from(target) * 4;
-        }
-        Ok(None)
-    }
-    op_bltz: Instr::Bltz { rs, target } => |_cpu, cx| {
-        if (cx.rf.r(rs) as i64) < 0 {
-            cx.next = cx.rstart + u64::from(target) * 4;
-        }
-        Ok(None)
-    }
-    op_bgez: Instr::Bgez { rs, target } => |_cpu, cx| {
-        if (cx.rf.r(rs) as i64) >= 0 {
-            cx.next = cx.rstart + u64::from(target) * 4;
-        }
-        Ok(None)
-    }
-    op_j: Instr::J { target } => |_cpu, cx| {
-        cx.next = cx.rstart + u64::from(target) * 4;
-        Ok(None)
-    }
-    op_jal: Instr::Jal { target } => |_cpu, cx| {
-        // Return continuation in both files: $ra for legacy code, $cra
-        // (PCC-derived, hence bounded) for pure-capability code.
-        cx.rf.w(cheri_isa::ireg::RA, cx.next);
-        cx.rf.wc(cheri_isa::creg::CRA, cx.rf.pcc.with_addr(cx.next));
-        cx.next = cx.rstart + u64::from(target) * 4;
-        Ok(None)
-    }
-    op_jr: Instr::Jr { rs } => |_cpu, cx| {
-        cx.next = cx.rf.r(rs);
-        Ok(None)
-    }
-    op_jalr: Instr::Jalr { rd, rs } => |_cpu, cx| {
-        cx.rf.w(rd, cx.next);
-        cx.next = cx.rf.r(rs);
-        Ok(None)
-    }
-    op_syscall: Instr::Syscall => |cpu, cx| {
-        cpu.stats.syscalls += 1;
-        cx.rf.pc = cx.next;
-        Ok(Some(Exit::Syscall))
-    }
-    op_break: Instr::Break => |_cpu, cx| {
-        cx.rf.pc = cx.pc;
-        Ok(Some(Exit::Break))
-    }
-    op_nop: Instr::Nop => |_cpu, _cx| {
-        Ok(None)
-    }
-    op_load: Instr::Load { rd, base, off, w, signed } => |cpu, cx| {
-        let ddc = *Cpu::legacy_cap(cx.rf, cx.pc)?;
-        let vaddr = cx.rf.r(base).wrapping_add(off as u64);
-        // Legacy unaligned access is fixed up by the kernel on FreeBSD/MIPS
-        // at significant cost; emulate that.
-        if !vaddr.is_multiple_of(w.bytes()) {
-            cpu.stats.cycles += 50;
-        }
-        let v = cpu.data_read(cx.vm, cx.id, &ddc, vaddr, w, signed, false, cx.pc)?;
-        cx.rf.w(rd, v);
-        Ok(None)
-    }
-    op_store: Instr::Store { rs, base, off, w } => |cpu, cx| {
-        let ddc = *Cpu::legacy_cap(cx.rf, cx.pc)?;
-        let vaddr = cx.rf.r(base).wrapping_add(off as u64);
-        if !vaddr.is_multiple_of(w.bytes()) {
-            cpu.stats.cycles += 50;
-        }
-        let v = cx.rf.r(rs);
-        cpu.data_write(cx.vm, cx.id, &ddc, vaddr, w, v, false, cx.pc)?;
-        Ok(None)
-    }
-    op_cload: Instr::CLoad { rd, cb, off, w, signed } => |cpu, cx| {
-        let cap = cx.rf.c(cb);
-        let vaddr = cap.addr().wrapping_add(off as u64);
-        let v = cpu.data_read(cx.vm, cx.id, &cap, vaddr, w, signed, true, cx.pc)?;
-        cx.rf.w(rd, v);
-        Ok(None)
-    }
-    op_cstore: Instr::CStore { rs, cb, off, w } => |cpu, cx| {
-        let cap = cx.rf.c(cb);
-        let vaddr = cap.addr().wrapping_add(off as u64);
-        let v = cx.rf.r(rs);
-        cpu.data_write(cx.vm, cx.id, &cap, vaddr, w, v, true, cx.pc)?;
-        Ok(None)
-    }
-    op_clc: Instr::Clc { cd, cb, off } => |cpu, cx| {
-        let cap = cx.rf.c(cb);
-        let vaddr = cap.addr().wrapping_add(off as u64);
-        let size = cap.format().in_memory_size();
-        if !vaddr.is_multiple_of(size) {
-            return Err(capfault(cx.pc, CapFault::UnalignedCapAccess, Some(vaddr)));
-        }
-        cap.check_access(vaddr, size, Perms::LOAD)
-            .map_err(|f| capfault(cx.pc, f, Some(vaddr)))?;
-        let pa = cpu.translate_cached(cx.vm, cx.id, vaddr, Access::Read, cx.pc)?;
-        cpu.mem_access(pa, AccessKind::Load);
-        let loaded = cx.vm.load_cap(cx.id, vaddr).map_err(|e| TrapInfo {
-            cause: TrapCause::Vm(e),
-            pc: cx.pc,
-            vaddr: Some(vaddr),
-        })?;
-        let value = match loaded {
-            Some(c) => {
-                if cap.perms().contains(Perms::LOAD_CAP) {
-                    c
-                } else {
-                    // Loading through a no-LOAD_CAP capability strips the
-                    // tag.
-                    c.clear_tag()
-                }
-            }
-            None => {
-                let raw =
-                    cpu.data_read(cx.vm, cx.id, &cap, vaddr, Width::D, false, true, cx.pc)?;
-                Capability::null(cap.format()).with_addr(raw)
-            }
-        };
-        cx.rf.wc(cd, value);
-        Ok(None)
-    }
-    op_csc: Instr::Csc { cs, cb, off } => |cpu, cx| {
-        let cap = cx.rf.c(cb);
-        let value = cx.rf.c(cs);
-        let vaddr = cap.addr().wrapping_add(off as u64);
-        let size = cap.format().in_memory_size();
-        if !vaddr.is_multiple_of(size) {
-            return Err(capfault(cx.pc, CapFault::UnalignedCapAccess, Some(vaddr)));
-        }
-        cap.check_access(vaddr, size, Perms::STORE)
-            .map_err(|f| capfault(cx.pc, f, Some(vaddr)))?;
-        if value.tag() {
-            if !cap.perms().contains(Perms::STORE_CAP) {
-                return Err(capfault(cx.pc, CapFault::PermitStoreCapViolation, Some(vaddr)));
-            }
-            if !value.perms().contains(Perms::GLOBAL)
-                && !cap.perms().contains(Perms::STORE_LOCAL_CAP)
-            {
-                return Err(capfault(
-                    cx.pc,
-                    CapFault::PermitStoreLocalCapViolation,
-                    Some(vaddr),
-                ));
-            }
-        }
-        let pa = cpu.translate_cached(cx.vm, cx.id, vaddr, Access::Write, cx.pc)?;
-        cpu.mem_access(pa, AccessKind::Store);
-        cx.vm.store_cap(cx.id, vaddr, value).map_err(|e| TrapInfo {
-            cause: TrapCause::Vm(e),
-            pc: cx.pc,
-            vaddr: Some(vaddr),
-        })?;
-        Ok(None)
-    }
-    op_cgetaddr: Instr::CGetAddr { rd, cb } => |_cpu, cx| {
-        cx.rf.w(rd, cx.rf.c(cb).addr());
-        Ok(None)
-    }
-    op_cgetbase: Instr::CGetBase { rd, cb } => |_cpu, cx| {
-        cx.rf.w(rd, cx.rf.c(cb).base());
-        Ok(None)
-    }
-    op_cgetlen: Instr::CGetLen { rd, cb } => |_cpu, cx| {
-        cx.rf.w(rd, cx.rf.c(cb).length());
-        Ok(None)
-    }
-    op_cgetperm: Instr::CGetPerm { rd, cb } => |_cpu, cx| {
-        cx.rf.w(rd, u64::from(cx.rf.c(cb).perms().bits()));
-        Ok(None)
-    }
-    op_cgettag: Instr::CGetTag { rd, cb } => |_cpu, cx| {
-        cx.rf.w(rd, u64::from(cx.rf.c(cb).tag()));
-        Ok(None)
-    }
-    op_cgetoffset: Instr::CGetOffset { rd, cb } => |_cpu, cx| {
-        cx.rf.w(rd, cx.rf.c(cb).offset());
-        Ok(None)
-    }
-    op_cgettype: Instr::CGetType { rd, cb } => |_cpu, cx| {
-        cx.rf.w(
-            rd,
-            cx.rf.c(cb).otype().map_or(u64::MAX, |t| u64::from(t.value())),
-        );
-        Ok(None)
-    }
-    op_csetaddr: Instr::CSetAddr { cd, cb, rs } => |_cpu, cx| {
-        cx.rf.wc(cd, cx.rf.c(cb).with_addr(cx.rf.r(rs)));
-        Ok(None)
-    }
-    op_cincoffset: Instr::CIncOffset { cd, cb, rs } => |_cpu, cx| {
-        cx.rf.wc(cd, cx.rf.c(cb).inc_addr(cx.rf.r(rs) as i64));
-        Ok(None)
-    }
-    op_cincoffsetimm: Instr::CIncOffsetImm { cd, cb, imm } => |_cpu, cx| {
-        cx.rf.wc(cd, cx.rf.c(cb).inc_addr(imm));
-        Ok(None)
-    }
-    op_csetbounds: Instr::CSetBounds { cd, cb, rs } => |cpu, cx| {
-        let c = cx
-            .rf
-            .c(cb)
-            .set_bounds(cx.rf.r(rs), false)
-            .map_err(|f| capfault(cx.pc, f, None))?;
-        cpu.trace.record(&c);
-        cx.rf.wc(cd, c);
-        Ok(None)
-    }
-    op_csetboundsimm: Instr::CSetBoundsImm { cd, cb, imm } => |cpu, cx| {
-        let c = cx
-            .rf
-            .c(cb)
-            .set_bounds(imm, false)
-            .map_err(|f| capfault(cx.pc, f, None))?;
-        cpu.trace.record(&c);
-        cx.rf.wc(cd, c);
-        Ok(None)
-    }
-    op_csetboundsexact: Instr::CSetBoundsExact { cd, cb, rs } => |cpu, cx| {
-        let c = cx
-            .rf
-            .c(cb)
-            .set_bounds(cx.rf.r(rs), true)
-            .map_err(|f| capfault(cx.pc, f, None))?;
-        cpu.trace.record(&c);
-        cx.rf.wc(cd, c);
-        Ok(None)
-    }
-    op_candperm: Instr::CAndPerm { cd, cb, rs } => |cpu, cx| {
-        let c = cx
-            .rf
-            .c(cb)
-            .and_perms(Perms::from_bits_truncate(cx.rf.r(rs) as u32));
-        cpu.trace.record(&c);
-        cx.rf.wc(cd, c);
-        Ok(None)
-    }
-    op_ccleartag: Instr::CClearTag { cd, cb } => |_cpu, cx| {
-        cx.rf.wc(cd, cx.rf.c(cb).clear_tag());
-        Ok(None)
-    }
-    op_cmove: Instr::CMove { cd, cb } => |_cpu, cx| {
-        cx.rf.wc(cd, cx.rf.c(cb));
-        Ok(None)
-    }
-    op_crrl: Instr::CRrl { rd, rs } => |_cpu, cx| {
-        cx.rf
-            .w(rd, cx.rf.pcc.format().representable_length(cx.rf.r(rs)));
-        Ok(None)
-    }
-    op_cram: Instr::CRam { rd, rs } => |_cpu, cx| {
-        cx.rf
-            .w(rd, cx.rf.pcc.format().representable_alignment_mask(cx.rf.r(rs)));
-        Ok(None)
-    }
-    op_csub: Instr::CSub { rd, cb, ct } => |_cpu, cx| {
-        cx.rf
-            .w(rd, cx.rf.c(cb).addr().wrapping_sub(cx.rf.c(ct).addr()));
-        Ok(None)
-    }
-    op_cfromptr: Instr::CFromPtr { cd, cb, rs } => |cpu, cx| {
-        let v = cx.rf.r(rs);
-        let c = if v == 0 {
-            Capability::null(cx.rf.pcc.format())
-        } else {
-            cx.rf.c(cb).with_addr(v)
-        };
-        cpu.trace.record(&c);
-        cx.rf.wc(cd, c);
-        Ok(None)
-    }
-    op_ctoptr: Instr::CToPtr { rd, cb, ct } => |_cpu, cx| {
-        let c = cx.rf.c(cb);
-        let _ = ct;
-        cx.rf.w(rd, if c.tag() { c.addr() } else { 0 });
-        Ok(None)
-    }
-    op_cseal: Instr::CSeal { cd, cs, ct } => |_cpu, cx| {
-        let c = cx
-            .rf
-            .c(cs)
-            .seal(&cx.rf.c(ct))
-            .map_err(|f| capfault(cx.pc, f, None))?;
-        cx.rf.wc(cd, c);
-        Ok(None)
-    }
-    op_cunseal: Instr::CUnseal { cd, cs, ct } => |_cpu, cx| {
-        let c = cx
-            .rf
-            .c(cs)
-            .unseal(&cx.rf.c(ct))
-            .map_err(|f| capfault(cx.pc, f, None))?;
-        cx.rf.wc(cd, c);
-        Ok(None)
-    }
-    op_ctestsubset: Instr::CTestSubset { rd, cb, ct } => |_cpu, cx| {
-        let a = cx.rf.c(cb);
-        let b = cx.rf.c(ct);
-        cx.rf.w(rd, u64::from(a.tag() && b.tag() && b.is_subset_of(&a)));
-        Ok(None)
-    }
-    op_cjr: Instr::CJr { cb } => |_cpu, cx| {
-        let t = cx.rf.c(cb);
-        t.check_access(t.addr(), 4, Perms::EXECUTE)
-            .map_err(|f| capfault(cx.pc, f, Some(t.addr())))?;
-        cx.rf.pcc = t;
-        cx.next = t.addr();
-        Ok(None)
-    }
-    op_cjalr: Instr::CJalr { cd, cb } => |_cpu, cx| {
-        let t = cx.rf.c(cb);
-        t.check_access(t.addr(), 4, Perms::EXECUTE)
-            .map_err(|f| capfault(cx.pc, f, Some(t.addr())))?;
-        cx.rf.wc(cd, cx.rf.pcc.with_addr(cx.next));
-        cx.rf.pcc = t;
-        cx.next = t.addr();
-        Ok(None)
-    }
-    op_cgetpcc: Instr::CGetPcc { cd } => |_cpu, cx| {
-        cx.rf.wc(cd, cx.rf.pcc.with_addr(cx.pc));
-        Ok(None)
-    }
-    op_cgetddc: Instr::CGetDdc { cd } => |_cpu, cx| {
-        cx.rf.wc(cd, cx.rf.ddc);
-        Ok(None)
-    }
-}
+cheri_sem::with_op_list!(define_table);
 
 #[cfg(test)]
 mod tests {
-    use super::*;
-    use cheri_isa::{creg, ireg};
-
-    /// One exemplar per variant, in declaration order. The compiler cannot
-    /// enforce completeness of a value list, so this doubles as the check
-    /// that [`dispatch_index`] assigns every variant a distinct,
-    /// contiguous slot.
-    fn exemplars() -> Vec<Instr> {
-        let rd = ireg::T0;
-        let rs = ireg::T1;
-        let rt = ireg::T2;
-        let base = ireg::T3;
-        let cd = creg::ptr(0);
-        let cb = creg::ptr(1);
-        let cs = creg::ptr(2);
-        let ct = creg::ptr(3);
-        vec![
-            Instr::Li { rd, imm: 0 },
-            Instr::Move { rd, rs },
-            Instr::Add { rd, rs, rt },
-            Instr::Sub { rd, rs, rt },
-            Instr::Mul { rd, rs, rt },
-            Instr::DivU { rd, rs, rt },
-            Instr::DivS { rd, rs, rt },
-            Instr::RemU { rd, rs, rt },
-            Instr::And { rd, rs, rt },
-            Instr::Or { rd, rs, rt },
-            Instr::Xor { rd, rs, rt },
-            Instr::Nor { rd, rs, rt },
-            Instr::Sllv { rd, rs, rt },
-            Instr::Srlv { rd, rs, rt },
-            Instr::Srav { rd, rs, rt },
-            Instr::Slt { rd, rs, rt },
-            Instr::Sltu { rd, rs, rt },
-            Instr::AddI { rd, rs, imm: 0 },
-            Instr::AndI { rd, rs, imm: 0 },
-            Instr::OrI { rd, rs, imm: 0 },
-            Instr::XorI { rd, rs, imm: 0 },
-            Instr::SllI { rd, rs, sh: 0 },
-            Instr::SrlI { rd, rs, sh: 0 },
-            Instr::SraI { rd, rs, sh: 0 },
-            Instr::SltI { rd, rs, imm: 0 },
-            Instr::SltuI { rd, rs, imm: 0 },
-            Instr::Beq { rs, rt, target: 0 },
-            Instr::Bne { rs, rt, target: 0 },
-            Instr::Blez { rs, target: 0 },
-            Instr::Bgtz { rs, target: 0 },
-            Instr::Bltz { rs, target: 0 },
-            Instr::Bgez { rs, target: 0 },
-            Instr::J { target: 0 },
-            Instr::Jal { target: 0 },
-            Instr::Jr { rs },
-            Instr::Jalr { rd, rs },
-            Instr::Syscall,
-            Instr::Break,
-            Instr::Nop,
-            Instr::Load {
-                rd,
-                base,
-                off: 0,
-                w: Width::D,
-                signed: false,
-            },
-            Instr::Store {
-                rs,
-                base,
-                off: 0,
-                w: Width::D,
-            },
-            Instr::CLoad {
-                rd,
-                cb,
-                off: 0,
-                w: Width::D,
-                signed: false,
-            },
-            Instr::CStore {
-                rs,
-                cb,
-                off: 0,
-                w: Width::D,
-            },
-            Instr::Clc { cd, cb, off: 0 },
-            Instr::Csc { cs, cb, off: 0 },
-            Instr::CGetAddr { rd, cb },
-            Instr::CGetBase { rd, cb },
-            Instr::CGetLen { rd, cb },
-            Instr::CGetPerm { rd, cb },
-            Instr::CGetTag { rd, cb },
-            Instr::CGetOffset { rd, cb },
-            Instr::CGetType { rd, cb },
-            Instr::CSetAddr { cd, cb, rs },
-            Instr::CIncOffset { cd, cb, rs },
-            Instr::CIncOffsetImm { cd, cb, imm: 0 },
-            Instr::CSetBounds { cd, cb, rs },
-            Instr::CSetBoundsImm { cd, cb, imm: 0 },
-            Instr::CSetBoundsExact { cd, cb, rs },
-            Instr::CAndPerm { cd, cb, rs },
-            Instr::CClearTag { cd, cb },
-            Instr::CMove { cd, cb },
-            Instr::CRrl { rd, rs },
-            Instr::CRam { rd, rs },
-            Instr::CSub { rd, cb, ct },
-            Instr::CFromPtr { cd, cb, rs },
-            Instr::CToPtr { rd, cb, ct },
-            Instr::CSeal { cd, cs, ct },
-            Instr::CUnseal { cd, cs, ct },
-            Instr::CTestSubset { rd, cb, ct },
-            Instr::CJr { cb },
-            Instr::CJalr { cd, cb },
-            Instr::CGetPcc { cd },
-            Instr::CGetDdc { cd },
-        ]
-    }
-
     #[test]
-    fn every_variant_gets_a_distinct_contiguous_slot() {
-        let all = exemplars();
-        assert_eq!(all.len(), OP_TABLE.len(), "exemplar list out of date");
-        for (i, instr) in all.iter().enumerate() {
-            assert_eq!(
-                usize::from(dispatch_index(instr)),
-                i,
-                "dispatch order diverged at {instr:?}"
-            );
-        }
+    fn table_covers_every_handler() {
+        assert_eq!(super::OP_TABLE.len(), cheri_sem::ops::OP_NAMES.len());
     }
 }

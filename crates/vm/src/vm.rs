@@ -1070,6 +1070,39 @@ impl Vm {
         Ok(())
     }
 
+    /// Reads bytes without any side effect at all: built on [`Vm::lookup`],
+    /// so it never faults a page in, never bumps the epoch, and touches no
+    /// statistics. Splits at page boundaries. Returns `None` when any
+    /// touched page is not resident and readable — the lockstep shadow
+    /// treats that as "the fast machine must have faulted here too".
+    #[must_use]
+    pub fn peek_bytes(&self, id: AsId, vaddr: u64, buf: &mut [u8]) -> Option<()> {
+        let mut done = 0usize;
+        while done < buf.len() {
+            let va = vaddr + done as u64;
+            let in_page = (FRAME_SIZE - va % FRAME_SIZE) as usize;
+            let n = in_page.min(buf.len() - done);
+            let pa = self.lookup(id, va, Access::Read)?;
+            self.phys
+                .read_bytes(pa, &mut buf[done..done + n])
+                .expect("resident frame");
+            done += n;
+        }
+        Some(())
+    }
+
+    /// Loads the capability granule at aligned `vaddr` without side
+    /// effects: no demand fault, no statistics, and — unlike
+    /// [`Vm::load_cap`] — no capability-load note for the fault plane, so
+    /// a shadow observation can never trip a fault trigger the real access
+    /// would not have tripped. `None` when the page is not resident and
+    /// readable; `Some(None)` when the granule's tag is clear.
+    #[must_use]
+    pub fn peek_cap(&self, id: AsId, vaddr: u64) -> Option<Option<Capability>> {
+        let pa = self.lookup(id, vaddr, Access::Read)?;
+        Some(self.phys.load_cap(pa).expect("resident frame"))
+    }
+
     /// Creates a fresh root-capability format probe: which format spaces
     /// use is decided by the kernel at boot.
     #[must_use]
@@ -1101,6 +1134,37 @@ mod tests {
         assert_eq!(vm.stats.faults, 1);
         assert_eq!(vm.read_u64(id, base + 4096).unwrap(), 0);
         assert_eq!(vm.stats.faults, 2);
+    }
+
+    #[test]
+    fn peeks_observe_without_perturbing() {
+        let (mut vm, id) = setup();
+        let base = vm
+            .map(id, None, 8192, Prot::rw(), Backing::Zero, "anon")
+            .unwrap();
+        // Nothing resident yet: peeks refuse rather than fault in.
+        let mut b = [0u8; 8];
+        assert_eq!(vm.peek_bytes(id, base, &mut b), None);
+        assert_eq!(vm.peek_cap(id, base), None);
+        vm.write_u64(id, base + 8, 0xfeed).unwrap();
+        let root = vm.space(id).root;
+        vm.store_cap(id, base + 16, root).unwrap();
+        let stats_before = vm.stats;
+        let epoch_before = vm.epoch();
+        let notes_before = vm.phys.faults().corrupt_cap_loads;
+        assert!(vm.peek_bytes(id, base + 8, &mut b).is_some());
+        assert_eq!(u64::from_le_bytes(b), 0xfeed);
+        assert_eq!(vm.peek_cap(id, base + 16), Some(Some(root)));
+        assert_eq!(vm.peek_cap(id, base + 8 * 4), Some(None), "untagged");
+        // Page two is still unfaulted and the peek must not change that.
+        assert_eq!(vm.peek_bytes(id, base + 4096, &mut b), None);
+        assert_eq!(vm.stats, stats_before, "no VM statistics touched");
+        assert_eq!(vm.epoch(), epoch_before, "no epoch bump");
+        assert_eq!(
+            vm.phys.faults().corrupt_cap_loads,
+            notes_before,
+            "no capability-load notes for the fault plane"
+        );
     }
 
     #[test]

@@ -111,6 +111,57 @@ cmp scripts/golden/fault_campaign.specs target/faults-specs.lines || {
     exit 1
 }
 
+echo "==> oracle plane: pinned suites are byte-identical under --oracle replay"
+./target/release/run_specs --specs scripts/golden/table1_pinned.specs \
+    --jobs 2 --no-cache --oracle replay --shard 0/1 > target/table1-oracle-replay.lines
+cmp target/table1-pinned.lines target/table1-oracle-replay.lines || {
+    echo "FAIL: the fast machine and the reference interpreter disagree on the"
+    echo "      table1 pinned suite (--oracle replay changed the output)"
+    exit 1
+}
+./target/release/run_specs --specs scripts/golden/table3_pinned.specs \
+    --jobs 2 --no-cache --oracle replay --shard 0/1 > target/table3-oracle-replay.lines
+cmp target/table3-pinned.lines target/table3-oracle-replay.lines || {
+    echo "FAIL: the fast machine and the reference interpreter disagree on the"
+    echo "      table3 pinned suite (--oracle replay changed the output)"
+    exit 1
+}
+
+echo "==> oracle plane: pinned suites are byte-identical under --oracle lockstep"
+./target/release/run_specs --specs scripts/golden/table1_pinned.specs \
+    --jobs 2 --no-cache --oracle lockstep --shard 0/1 > target/table1-oracle-lockstep.lines
+cmp target/table1-pinned.lines target/table1-oracle-lockstep.lines || {
+    echo "FAIL: the per-step lockstep shadow diverged (or perturbed guest metrics)"
+    echo "      on the table1 pinned suite"
+    exit 1
+}
+./target/release/run_specs --specs scripts/golden/table3_pinned.specs \
+    --jobs 2 --no-cache --oracle lockstep --shard 0/1 > target/table3-oracle-lockstep.lines
+cmp target/table3-pinned.lines target/table3-oracle-lockstep.lines || {
+    echo "FAIL: the per-step lockstep shadow diverged (or perturbed guest metrics)"
+    echo "      on the table3 pinned suite"
+    exit 1
+}
+
+echo "==> oracle plane: 8-seed fault campaign is divergence-free under lockstep"
+./target/release/fault_campaign --seeds 8 --jobs 2 --no-cache --oracle lockstep \
+    --out target/faults-oracle.json || {
+    echo "FAIL: the lockstep oracle reported divergences (or the campaign broke)"
+    echo "      over the 8-seed fault sweep"
+    exit 1
+}
+
+echo "==> oracle plane: fixed-seed prop_oracle fuzz is clean, and catches --weaken-sem"
+./target/release/prop_oracle --cases 64 --seed 7 || {
+    echo "FAIL: property fuzz found an oracle divergence or a monotonicity break"
+    exit 1
+}
+if ./target/release/prop_oracle --cases 64 --seed 7 --weaken-sem > /dev/null 2>&1; then
+    echo "FAIL: weakened csetbounds semantics went undetected — the differential"
+    echo "      oracle is broken (it must diverge when the bounds clamp is off)"
+    exit 1
+fi
+
 echo "==> scenario plane: pinned table_server grid is byte-identical to the golden"
 ./target/release/run_specs --specs scripts/golden/scenario_pinned.specs \
     --jobs 2 --no-cache --shard 0/1 > target/scenario-pinned.lines

@@ -10,8 +10,12 @@
 //! Differences from the real crate (deliberate, documented):
 //! * deterministic input generation from a fixed per-case seed — every run
 //!   explores the same inputs, so failures are always reproducible;
-//! * no shrinking — a failing case panics with the assertion message and
-//!   the case number instead of a minimised input.
+//! * minimal, explicit-only shrinking — [`Strategy::shrink`] proposes
+//!   strictly smaller candidates (ranges shrink toward their low end,
+//!   vectors by element removal, halving and element-wise shrinking) for
+//!   harnesses that drive their own shrink loop, such as `prop_oracle`;
+//!   the [`proptest!`] macro itself still panics with the case number
+//!   instead of auto-minimising.
 
 use std::fmt;
 use std::marker::PhantomData;
@@ -105,6 +109,14 @@ pub trait Strategy {
     /// Generates one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
 
+    /// Proposes strictly "smaller" candidates derived from a failing
+    /// value, for callers running their own shrink loop. Strategies that
+    /// cannot invert their generation (maps, unions) propose nothing —
+    /// the default.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+
     /// Maps generated values through `f`.
     fn prop_map<U, F>(self, f: F) -> Map<Self, F>
     where
@@ -145,12 +157,16 @@ where
 trait DynStrategy {
     type Value;
     fn generate_dyn(&self, rng: &mut TestRng) -> Self::Value;
+    fn shrink_dyn(&self, value: &Self::Value) -> Vec<Self::Value>;
 }
 
 impl<S: Strategy> DynStrategy for S {
     type Value = S::Value;
     fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
         self.generate(rng)
+    }
+    fn shrink_dyn(&self, value: &S::Value) -> Vec<S::Value> {
+        self.shrink(value)
     }
 }
 
@@ -161,6 +177,9 @@ impl<T> Strategy for BoxedStrategy<T> {
     type Value = T;
     fn generate(&self, rng: &mut TestRng) -> T {
         self.0.generate_dyn(rng)
+    }
+    fn shrink(&self, value: &T) -> Vec<T> {
+        self.0.shrink_dyn(value)
     }
 }
 
@@ -249,6 +268,13 @@ macro_rules! range_strategy {
                 let span = (hi - lo) as u128;
                 (lo + (u128::from(rng.next_u64()) % span) as i128) as $t
             }
+            #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap, clippy::cast_sign_loss)]
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_toward(self.start as i128, *value as i128)
+                    .into_iter()
+                    .map(|v| v as $t)
+                    .collect()
+            }
         }
 
         impl Strategy for RangeInclusive<$t> {
@@ -261,11 +287,36 @@ macro_rules! range_strategy {
                 let span = (hi - lo) as u128 + 1;
                 (lo + (u128::from(rng.next_u64()) % span) as i128) as $t
             }
+            #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap, clippy::cast_sign_loss)]
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_toward(*self.start() as i128, *value as i128)
+                    .into_iter()
+                    .map(|v| v as $t)
+                    .collect()
+            }
         }
     )*};
 }
 
 range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Candidates strictly between `lo` and `value`, ordered most-aggressive
+/// first: the low end itself, then the midpoint, then one step down.
+fn shrink_toward(lo: i128, value: i128) -> Vec<i128> {
+    let mut out = Vec::new();
+    if value > lo {
+        out.push(lo);
+        let mid = lo + (value - lo) / 2;
+        if mid != lo && mid != value {
+            out.push(mid);
+        }
+        let down = value - 1;
+        if down != lo && down != mid {
+            out.push(down);
+        }
+    }
+    out
+}
 
 macro_rules! tuple_strategy {
     ($(($($name:ident),+))*) => {$(
@@ -324,7 +375,10 @@ pub mod collection {
         }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let n = if self.len.end <= self.len.start + 1 {
@@ -333,6 +387,33 @@ pub mod collection {
                 self.len.generate(rng)
             };
             (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let min = self.len.start;
+            let n = value.len();
+            let mut out = Vec::new();
+            // Most aggressive first: truncate toward the minimum length.
+            if n > min {
+                let half = (n + min) / 2;
+                if half < n {
+                    out.push(value[..half].to_vec());
+                }
+                // Then drop one element at a time.
+                for i in 0..n {
+                    let mut v = value.clone();
+                    v.remove(i);
+                    out.push(v);
+                }
+            }
+            // Finally, shrink elements in place.
+            for (i, elem) in value.iter().enumerate() {
+                for cand in self.element.shrink(elem) {
+                    let mut v = value.clone();
+                    v[i] = cand;
+                    out.push(v);
+                }
+            }
+            out
         }
     }
 }
@@ -438,4 +519,64 @@ macro_rules! proptest {
     ($($rest:tt)*) => {
         $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_shrink_toward_the_low_end() {
+        let s = 10u64..100;
+        let c = s.shrink(&40);
+        assert!(c.contains(&10));
+        assert!(c.contains(&25));
+        assert!(c.contains(&39));
+        assert!(c.iter().all(|&v| (10..40).contains(&v)));
+        assert!(s.shrink(&10).is_empty());
+
+        let si = -8i64..=8;
+        let ci = si.shrink(&5);
+        assert!(ci.contains(&-8));
+        assert!(ci.iter().all(|&v| (-8..5).contains(&v)));
+        assert!(si.shrink(&-8).is_empty());
+    }
+
+    #[test]
+    fn vectors_shrink_by_truncation_removal_and_element() {
+        let s = collection::vec(10u64..100, 0..8);
+        let v = vec![20, 30, 40];
+        let cands = s.shrink(&v);
+        assert!(cands.contains(&vec![20])); // half-truncation toward min 0
+        assert!(cands.contains(&vec![30, 40]));
+        assert!(cands.contains(&vec![20, 40]));
+        assert!(cands.contains(&vec![20, 30]));
+        assert!(cands.contains(&vec![10, 30, 40])); // element shrunk to lo
+        assert!(cands.iter().all(|c| c.len() <= 3));
+    }
+
+    #[test]
+    fn vector_shrinking_respects_the_minimum_length() {
+        let s = collection::vec(10u64..100, 3);
+        let v = vec![20, 30, 40];
+        let cands = s.shrink(&v);
+        assert!(!cands.is_empty()); // element-wise shrinks still happen
+        assert!(cands.iter().all(|c| c.len() == 3));
+    }
+
+    #[test]
+    fn boxed_strategies_forward_shrinking() {
+        let s = (10u64..100).boxed();
+        assert!(s.shrink(&40).contains(&10));
+        // Maps and unions cannot invert their generation: no candidates.
+        let m = (10u64..100).prop_map(|v| v * 2);
+        assert!(m.shrink(&80).is_empty());
+    }
+
+    #[test]
+    fn shrinking_never_proposes_the_value_itself() {
+        for v in [11u64, 12, 13, 50, 99] {
+            assert!(!(10u64..100).shrink(&v).contains(&v));
+        }
+    }
 }
