@@ -20,6 +20,23 @@
 //! * an AddressSanitizer mode adds 16-byte redzones and poisons the shadow
 //!   map, the software baseline of Tables 1 and 3.
 //!
+//! ## The allocation ledger and the hardened membrane
+//!
+//! All bookkeeping lives in an explicit [`Ledger`]: the live map, the
+//! per-size-class free lists, and the quarantine. Two policies sit on top:
+//!
+//! * **strict** (the default) recycles a freed slot immediately — the
+//!   ABI-conformant behaviour every Table 1/2 golden pins;
+//! * **hardened** ([`Allocator::set_hardened`]) is the deterministic-repair
+//!   membrane: frees are *quarantined* instead of recycled, and when the
+//!   quarantine crosses a slot- or byte-threshold a revocation sweep
+//!   ([`Allocator::revoke`]) walks the whole space — resident pages *and*
+//!   swap slots, via [`cheri_vm::Vm::revoke_ranges`] — killing every
+//!   capability derived from a freed region before its memory can be
+//!   reused. Every repair action is recorded in auditable
+//!   [`AllocEvidence`] counters that the kernel drains alongside cycle
+//!   charges.
+//!
 //! Each operation accumulates a representative cycle cost in
 //! [`Allocator::take_charges`], which the kernel drains into the CPU's
 //! cycle counter.
@@ -69,14 +86,105 @@ impl From<VmError> for AllocError {
     }
 }
 
+/// Auditable evidence counters for the hardened membrane: every
+/// deterministic repair leaves a trace here, so an attack-outcome table can
+/// show not just *that* an exploit died but *what the membrane did*.
+/// Deterministic by construction (no wall time, no addresses), so the
+/// counters ride byte-identical report lines.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct AllocEvidence {
+    /// Deterministic repairs performed (absorbed double-frees, realloc
+    /// fallbacks, clamped re-derivations).
+    pub repairs: u64,
+    /// Capabilities killed by revocation sweeps.
+    pub swept_caps: u64,
+    /// Cumulative bytes that entered quarantine (slot sizes).
+    pub quarantine_bytes: u64,
+}
+
+impl AllocEvidence {
+    /// Folds another evidence block into this one.
+    pub fn absorb(&mut self, other: AllocEvidence) {
+        self.repairs += other.repairs;
+        self.swept_caps += other.swept_caps;
+        self.quarantine_bytes += other.quarantine_bytes;
+    }
+
+    /// Whether any counter is non-zero.
+    #[must_use]
+    pub fn any(&self) -> bool {
+        self.repairs != 0 || self.swept_caps != 0 || self.quarantine_bytes != 0
+    }
+}
+
+/// One live allocation in the ledger.
 #[derive(Clone, Copy, Debug)]
-struct AllocMeta {
+struct LedgerEntry {
     /// The allocator's internal capability for the padded region.
     cap: Capability,
     /// The user-requested length.
     req_len: u64,
     /// Padded (representable) length.
     padded: u64,
+}
+
+/// One freed-but-not-yet-reusable region awaiting a revocation sweep.
+#[derive(Clone, Copy, Debug)]
+struct QuarantineEntry {
+    /// User-visible base (past the left redzone in asan mode).
+    user_base: u64,
+    /// Padded user length — the range a sweep revokes.
+    padded: u64,
+    /// Slot base (including redzones), what returns to the free list.
+    slot_base: u64,
+    /// Slot size class (including redzones).
+    slot_size: u64,
+}
+
+/// The explicit allocation ledger: every byte the allocator has carved is
+/// in exactly one of these maps — live, free, or quarantined.
+#[derive(Clone, Default)]
+struct Ledger {
+    /// Live allocations by user base address.
+    live: HashMap<u64, LedgerEntry>,
+    /// Free lists per size class (slot size -> slot base addresses).
+    free_lists: HashMap<u64, Vec<u64>>,
+    /// Freed regions held back from reuse until the next sweep.
+    quarantine: Vec<QuarantineEntry>,
+    /// Bytes currently in quarantine (slot sizes).
+    quarantined_bytes: u64,
+}
+
+impl Ledger {
+    /// Pops a reusable slot of exactly `slot_size`, if one exists.
+    fn reserve(&mut self, slot_size: u64) -> Option<u64> {
+        self.free_lists.get_mut(&slot_size).and_then(Vec::pop)
+    }
+
+    /// Returns a slot to its free list.
+    fn release(&mut self, slot_base: u64, slot_size: u64) {
+        self.free_lists
+            .entry(slot_size)
+            .or_default()
+            .push(slot_base);
+    }
+
+    /// Moves a freed slot into quarantine.
+    fn sequester(&mut self, entry: QuarantineEntry) {
+        self.quarantined_bytes += entry.slot_size;
+        self.quarantine.push(entry);
+    }
+
+    /// Drains the quarantine back into the free lists (post-sweep), in
+    /// quarantine order. Returns how many slots were recycled.
+    fn recycle_quarantine(&mut self) -> u64 {
+        let recycled = self.quarantine.len() as u64;
+        for q in std::mem::take(&mut self.quarantine) {
+            self.release(q.slot_base, q.slot_size);
+        }
+        self.quarantined_bytes = 0;
+        recycled
+    }
 }
 
 /// Allocation statistics.
@@ -97,17 +205,24 @@ pub struct AllocStats {
 pub struct Allocator {
     space: AsId,
     asan: bool,
-    /// Free lists per size class (padded size -> base addresses).
-    free_lists: HashMap<u64, Vec<u64>>,
-    /// Live allocations by base address.
-    live: HashMap<u64, AllocMeta>,
+    /// The allocation ledger: live map, free lists, quarantine.
+    ledger: Ledger,
     /// Current bump chunk: (cap, next offset, end offset).
     chunk: Option<(Capability, u64, u64)>,
-    /// Temporal-safety mode: freed regions are quarantined until a
-    /// revocation sweep instead of being recycled immediately.
+    /// Guest-requested temporal-safety mode (`RtSetTemporal`): freed
+    /// regions quarantine until an explicit `RtRevoke` sweep.
     temporal: bool,
-    /// Quarantined regions: (user base, padded len, slot base, slot size).
-    quarantine: Vec<(u64, u64, u64, u64)>,
+    /// Kernel-armed hardened membrane: quarantine plus *automatic* sweeps
+    /// at the `SWEEP_SLOTS`/`SWEEP_BYTES` thresholds, with evidence.
+    hardened: bool,
+    /// Test-only: disable the quarantine so freed slots recycle
+    /// immediately even in hardened mode (reuse-after-free allowed). The
+    /// escape hatch the attack-table self-test demands: with it armed, at
+    /// least one `Defeated` verdict must flip to `Escaped`, proving the
+    /// table actually measures the membrane. No real experiment sets it.
+    weaken_quarantine: bool,
+    /// Evidence accumulated since the last [`Allocator::take_evidence`].
+    evidence: AllocEvidence,
     /// Accumulated runtime cost not yet charged to the CPU.
     pending_cycles: u64,
     pending_instrs: u64,
@@ -123,6 +238,12 @@ impl fmt::Debug for Allocator {
 
 const CHUNK_SIZE: u64 = 256 * 1024;
 const REDZONE: u64 = 16;
+/// Hardened-mode sweep thresholds: a revocation pass runs when the
+/// quarantine reaches this many slots…
+const SWEEP_SLOTS: usize = 32;
+/// …or this many bytes, whichever comes first. Small enough that attack
+/// probes exercise the sweep, large enough that ordinary churn amortises.
+const SWEEP_BYTES: u64 = 16 * 1024;
 
 impl Allocator {
     /// Creates the allocator for address space `space`.
@@ -131,11 +252,12 @@ impl Allocator {
         Allocator {
             space,
             asan,
-            free_lists: HashMap::new(),
-            live: HashMap::new(),
+            ledger: Ledger::default(),
             chunk: None,
             temporal: false,
-            quarantine: Vec::new(),
+            hardened: false,
+            weaken_quarantine: false,
+            evidence: AllocEvidence::default(),
             pending_cycles: 0,
             pending_instrs: 0,
             stats: AllocStats::default(),
@@ -144,10 +266,14 @@ impl Allocator {
 
     /// Clones this allocator's state for a forked child whose address space
     /// is a COW copy of the parent's (identical heap layout, new space id).
+    /// The membrane mode travels with the ledger; pending evidence does
+    /// not (the parent's syscall already drained it, and a fresh child
+    /// must not double-report).
     #[must_use]
     pub fn retarget(&self, space: AsId) -> Allocator {
         let mut a = self.clone();
         a.space = space;
+        a.evidence = AllocEvidence::default();
         a
     }
 
@@ -165,16 +291,57 @@ impl Allocator {
         self.temporal
     }
 
+    /// Arms the hardened membrane: quarantine instead of reuse, automatic
+    /// revocation sweeps at the free thresholds, evidence counters. Set by
+    /// the kernel at spawn; the mode is immutable for the process's life
+    /// (fork inherits it through the clone).
+    pub fn set_hardened(&mut self, on: bool) {
+        self.hardened = on;
+    }
+
+    /// Whether the hardened membrane is armed.
+    #[must_use]
+    pub fn hardened(&self) -> bool {
+        self.hardened
+    }
+
+    /// Test-only: see the field documentation.
+    pub fn set_weaken_quarantine(&mut self, on: bool) {
+        self.weaken_quarantine = on;
+    }
+
+    /// Whether the quarantine is active for frees right now.
+    fn quarantine_active(&self) -> bool {
+        (self.temporal || self.hardened) && !self.weaken_quarantine
+    }
+
+    /// Records one deterministic repair (used by the kernel's syscall
+    /// membrane for absorbed double-frees and clamped re-derivations).
+    pub fn note_repair(&mut self) {
+        self.evidence.repairs += 1;
+    }
+
+    /// Drains the evidence accumulated since the last call, for the kernel
+    /// to fold into its per-run membrane block.
+    pub fn take_evidence(&mut self) -> AllocEvidence {
+        std::mem::take(&mut self.evidence)
+    }
+
     /// The regions currently in quarantine, as `(base, len)` pairs.
     #[must_use]
     pub fn quarantined_ranges(&self) -> Vec<(u64, u64)> {
-        self.quarantine.iter().map(|&(b, l, _, _)| (b, l)).collect()
+        self.ledger
+            .quarantine
+            .iter()
+            .map(|q| (q.user_base, q.padded))
+            .collect()
     }
 
-    /// Revocation sweep: scans every tagged capability in the space's
-    /// resident memory and clears the tags of those pointing into
-    /// quarantined regions, then returns the quarantined slots to the free
-    /// lists. Returns `(capabilities revoked, regions recycled)`.
+    /// Revocation sweep: kills every capability in the space — resident
+    /// pages *and* pages sitting in swap, via [`Vm::revoke_ranges`] —
+    /// derived from a quarantined region, then returns the quarantined
+    /// slots to the free lists. Returns `(capabilities revoked, regions
+    /// recycled)`.
     ///
     /// This is precise revocation in the style the paper's future-work
     /// section anticipates: tags make every pointer identifiable, so a
@@ -184,50 +351,17 @@ impl Allocator {
     ///
     /// Propagates VM failures as [`AllocError::OutOfMemory`].
     pub fn revoke(&mut self, vm: &mut Vm) -> Result<(u64, u64), AllocError> {
-        if self.quarantine.is_empty() {
+        if self.ledger.quarantine.is_empty() {
             return Ok((0, 0));
         }
         let ranges = self.quarantined_ranges();
-        let hits_quarantine = |cap: &Capability| {
-            ranges
-                .iter()
-                .any(|&(b, l)| (cap.base() as u128) < (b + l) as u128 && cap.top() > b as u128)
-        };
-        // Sweep all resident pages of the space.
-        let pages: Vec<(u64, cheri_mem::FrameId)> = vm
-            .space(self.space)
-            .pages
-            .iter()
-            .filter_map(|(&vpn, st)| match st {
-                cheri_vm::PageState::Resident { frame, .. } => Some((vpn, *frame)),
-                cheri_vm::PageState::Swapped { .. } => None,
-            })
-            .collect();
-        let mut revoked = 0u64;
-        for (_vpn, frame) in &pages {
-            let caps = vm
-                .phys
-                .scan_caps(*frame)
-                .map_err(|_| AllocError::OutOfMemory)?;
-            for (off, cap) in caps {
-                if hits_quarantine(&cap) {
-                    vm.phys
-                        .store_cap(cheri_mem::PAddr::new(*frame, off), cap.clear_tag())
-                        .map_err(|_| AllocError::OutOfMemory)?;
-                    revoked += 1;
-                }
-            }
-        }
-        self.charge(pages.len() as u64 * 50 + 100);
-        // Recycle the quarantined slots.
-        let recycled = self.quarantine.len() as u64;
-        for (_, _, slot_base, slot_size) in std::mem::take(&mut self.quarantine) {
-            self.free_lists
-                .entry(slot_size)
-                .or_default()
-                .push(slot_base);
-        }
-        Ok((revoked, recycled))
+        let (swept, pages) = vm
+            .revoke_ranges(self.space, &ranges)
+            .map_err(|_| AllocError::OutOfMemory)?;
+        self.charge(pages * 50 + 100);
+        self.evidence.swept_caps += swept;
+        let recycled = self.ledger.recycle_quarantine();
+        Ok((swept, recycled))
     }
 
     /// Drains the accumulated (instructions, cycles) cost of allocator work
@@ -269,7 +403,7 @@ impl Allocator {
         } else {
             padded
         };
-        let base = match self.free_lists.get_mut(&with_rz).and_then(Vec::pop) {
+        let base = match self.ledger.reserve(with_rz) {
             Some(b) => b,
             None => self.carve(vm, with_rz)?,
         };
@@ -289,9 +423,9 @@ impl Allocator {
             .map_err(AllocError::BadCapability)?
             .and_perms(Perms::user_data() - Perms::VMMAP)
             .with_source(CapSource::Malloc);
-        self.live.insert(
+        self.ledger.live.insert(
             user_base,
-            AllocMeta {
+            LedgerEntry {
                 cap,
                 req_len: len,
                 padded,
@@ -371,7 +505,7 @@ impl Allocator {
     /// [`AllocError::BadFree`] if `addr` is not a live allocation base.
     pub fn free_addr(&mut self, vm: &mut Vm, addr: u64) -> Result<(), AllocError> {
         self.charge(40);
-        let meta = self.live.remove(&addr).ok_or(AllocError::BadFree)?;
+        let meta = self.ledger.live.remove(&addr).ok_or(AllocError::BadFree)?;
         let with_rz = if self.asan {
             meta.padded + 2 * REDZONE
         } else {
@@ -382,15 +516,30 @@ impl Allocator {
             self.poison(vm, addr, meta.padded, 0xfd)?; // freed-memory poison
             self.charge(20);
         }
-        if self.temporal {
-            // Quarantine until the next revocation sweep.
-            self.quarantine
-                .push((addr, meta.padded, slot_base, with_rz));
+        if self.quarantine_active() {
+            // Quarantine until a revocation sweep: the slot cannot be
+            // reused while stale capabilities to it may still be live.
+            self.ledger.sequester(QuarantineEntry {
+                user_base: addr,
+                padded: meta.padded,
+                slot_base,
+                slot_size: with_rz,
+            });
+            self.evidence.quarantine_bytes += with_rz;
         } else {
-            self.free_lists.entry(with_rz).or_default().push(slot_base);
+            self.ledger.release(slot_base, with_rz);
         }
         self.stats.frees += 1;
         self.stats.live_bytes -= meta.padded;
+        // The hardened membrane sweeps on its own once the quarantine is
+        // heavy enough; temporal mode waits for an explicit RtRevoke.
+        if self.hardened
+            && self.quarantine_active()
+            && (self.ledger.quarantine.len() >= SWEEP_SLOTS
+                || self.ledger.quarantined_bytes >= SWEEP_BYTES)
+        {
+            self.revoke(vm)?;
+        }
         Ok(())
     }
 
@@ -411,7 +560,11 @@ impl Allocator {
         if !user_cap.tag() {
             return Err(AllocError::BadCapability(CapFault::TagViolation));
         }
-        let old = *self.live.get(&user_cap.addr()).ok_or(AllocError::BadFree)?;
+        let old = *self
+            .ledger
+            .live
+            .get(&user_cap.addr())
+            .ok_or(AllocError::BadFree)?;
         let new_cap = self.malloc(vm, new_len)?;
         let n = old.req_len.min(new_len);
         self.charge(n / 8 + 20);
@@ -440,7 +593,8 @@ impl Allocator {
     /// Looks up the live allocation containing `addr` (diagnostics).
     #[must_use]
     pub fn allocation_at(&self, addr: u64) -> Option<(u64, u64)> {
-        self.live
+        self.ledger
+            .live
             .iter()
             .find(|(base, m)| addr >= **base && addr < **base + m.padded)
             .map(|(base, m)| (*base, m.req_len))
@@ -588,5 +742,111 @@ mod tests {
         let (i, c) = a.take_charges();
         assert!(i > 0 && c >= i);
         assert_eq!(a.take_charges(), (0, 0));
+    }
+
+    // ---- the hardened membrane ----
+
+    #[test]
+    fn hardened_quarantines_then_reuses_only_after_sweep() {
+        let (mut vm, mut a) = setup(false);
+        a.set_hardened(true);
+        let c1 = a.malloc(&mut vm, 64).unwrap();
+        let b1 = c1.base();
+        a.free(&mut vm, &c1).unwrap();
+        // Quarantined, not on a free list: the next allocation must come
+        // from fresh arena memory.
+        let c2 = a.malloc(&mut vm, 64).unwrap();
+        assert_ne!(c2.base(), b1, "quarantine blocks reuse before a sweep");
+        assert_eq!(a.quarantined_ranges(), vec![(b1, 64)]);
+        // After an explicit sweep the slot is reusable again.
+        a.revoke(&mut vm).unwrap();
+        let c3 = a.malloc(&mut vm, 64).unwrap();
+        assert_eq!(c3.base(), b1, "sweep recycles the quarantined slot");
+    }
+
+    #[test]
+    fn sweep_is_idempotent() {
+        let (mut vm, mut a) = setup(false);
+        a.set_hardened(true);
+        let holder = a.malloc(&mut vm, 32).unwrap();
+        let victim = a.malloc(&mut vm, 64).unwrap();
+        vm.store_cap(a.space, holder.base(), victim).unwrap();
+        a.free(&mut vm, &victim).unwrap();
+        let (swept, recycled) = a.revoke(&mut vm).unwrap();
+        assert_eq!((swept, recycled), (1, 1), "stale holder killed once");
+        let (swept2, recycled2) = a.revoke(&mut vm).unwrap();
+        assert_eq!((swept2, recycled2), (0, 0), "second sweep is a no-op");
+        assert_eq!(a.take_evidence().swept_caps, 1);
+    }
+
+    #[test]
+    fn hardened_autosweeps_at_byte_threshold() {
+        let (mut vm, mut a) = setup(false);
+        a.set_hardened(true);
+        let holder = a.malloc(&mut vm, 32).unwrap();
+        let victim = a.malloc(&mut vm, 512).unwrap();
+        vm.store_cap(a.space, holder.base(), victim).unwrap();
+        a.free(&mut vm, &victim).unwrap();
+        // Churn enough bytes through quarantine to cross SWEEP_BYTES; the
+        // membrane must sweep on its own, killing the stale holder cap.
+        for _ in 0..(SWEEP_BYTES / 512 + 1) {
+            let t = a.malloc(&mut vm, 512).unwrap();
+            a.free(&mut vm, &t).unwrap();
+        }
+        assert_eq!(
+            vm.load_cap(a.space, holder.base()).unwrap(),
+            None,
+            "auto-sweep revoked the stale capability"
+        );
+        let ev = a.take_evidence();
+        assert!(ev.swept_caps >= 1, "sweep evidence recorded: {ev:?}");
+        assert!(ev.quarantine_bytes > SWEEP_BYTES);
+        assert_eq!(ev.repairs, 0);
+    }
+
+    #[test]
+    fn weaken_quarantine_allows_reuse_after_free() {
+        let (mut vm, mut a) = setup(false);
+        a.set_hardened(true);
+        a.set_weaken_quarantine(true);
+        let c1 = a.malloc(&mut vm, 64).unwrap();
+        let b1 = c1.base();
+        a.free(&mut vm, &c1).unwrap();
+        let c2 = a.malloc(&mut vm, 64).unwrap();
+        assert_eq!(c2.base(), b1, "weakened membrane recycles immediately");
+        assert_eq!(a.take_evidence(), AllocEvidence::default());
+    }
+
+    #[test]
+    fn temporal_mode_quarantines_without_autosweep() {
+        let (mut vm, mut a) = setup(false);
+        a.set_temporal(true);
+        let caps: Vec<Capability> = (0..SWEEP_SLOTS as u64 + 4)
+            .map(|_| a.malloc(&mut vm, 512).unwrap())
+            .collect();
+        for c in &caps {
+            a.free(&mut vm, c).unwrap();
+        }
+        // Past both thresholds, yet temporal mode waits for RtRevoke.
+        assert_eq!(
+            a.quarantined_ranges().len(),
+            caps.len(),
+            "no automatic sweep outside hardened mode"
+        );
+        let (_, recycled) = a.revoke(&mut vm).unwrap();
+        assert_eq!(recycled, caps.len() as u64);
+    }
+
+    #[test]
+    fn evidence_drains_once() {
+        let (mut vm, mut a) = setup(false);
+        a.set_hardened(true);
+        let c = a.malloc(&mut vm, 64).unwrap();
+        a.free(&mut vm, &c).unwrap();
+        a.note_repair();
+        let ev = a.take_evidence();
+        assert_eq!(ev.repairs, 1);
+        assert_eq!(ev.quarantine_bytes, 64);
+        assert_eq!(a.take_evidence(), AllocEvidence::default());
     }
 }

@@ -11,11 +11,19 @@
 //! Programs are drawn from a seeded strategy over a unit language (ALU
 //! traffic, register-form `csetbounds` with lengths that sometimes exceed
 //! the data capability, offset/address arithmetic, capability and scalar
-//! loads/stores, forward branches, inspection ops). Sealing is excluded:
-//! random otypes trap immediately and drown the interesting traffic. Case
-//! 0 is always the deterministic *widen probe* — narrow to 16 bytes, then
-//! ask for 64 — so `--weaken-sem` (which disarms the fast path's bounds
-//! clamp) is guaranteed at least one divergence regardless of the seed.
+//! loads/stores, forward branches, inspection ops, sealed-pair round
+//! trips, and capability jumps). *Random* sealing would trap immediately
+//! and drown the interesting traffic, so the `Sealed` unit is structured:
+//! it seals through a dedicated sealer root (held in `$c6`, outside the
+//! fuzzed registers) whose addressable range is all valid otypes, and
+//! optionally unseals again — exercising otype match/mismatch on both
+//! machines. `CapJump` derives a code capability from PCC (`cgetpcc` +
+//! `csetaddr`) and transfers through `cjalr`/`cjr` to the start of a later
+//! unit, forcing the fast path's decoded-region re-entry to agree with the
+//! reference about mid-region entry points. Case 0 is always the
+//! deterministic *widen probe* — narrow to 16 bytes, then ask for 64 — so
+//! `--weaken-sem` (which disarms the fast path's bounds clamp) is
+//! guaranteed at least one divergence regardless of the seed.
 //!
 //! On a failing case the strategy's shrinker (truncation, removal,
 //! element-wise) minimises the unit sequence before reporting. Exits
@@ -79,6 +87,22 @@ enum Unit {
     },
     /// Forward conditional branch skipping up to `skip` following units.
     Branch { kind: u8, rs: u8, rt: u8, skip: u8 },
+    /// Sealed-pair round trip through the sealer root (see [`sealer`]):
+    /// point the sealer at `otype`, seal `cb` into `cd`, and (when
+    /// `unseal` is set) unseal it back through the same otype. An unseal
+    /// with `reseal_otype != otype` exercises the type-mismatch fault.
+    Sealed {
+        cd: u8,
+        cb: u8,
+        otype: u16,
+        unseal: bool,
+        reseal_otype: u16,
+    },
+    /// Capability control flow: derive a code capability from PCC, set
+    /// its address to the start of a later unit (patched in [`flatten`],
+    /// like [`Unit::Branch`] targets) and transfer through `cjalr`
+    /// (linking into the next fuzzed capability register) or `cjr`.
+    CapJump { link: bool, cd: u8, skip: u8 },
 }
 
 fn temp(r: u8) -> cheri_isa::IReg {
@@ -101,6 +125,15 @@ fn width(w: u8) -> Width {
 /// Length register for materialised operands, outside the temp set so ALU
 /// units never clobber a pending operand.
 const LEN: cheri_isa::IReg = ireg::S0;
+
+/// The sealer root's register: outside the six fuzzed capability
+/// registers so derivation traffic never clobbers it; `Sealed` units
+/// re-address it
+/// in place (a `csetaddr` on a SEAL-bearing capability stays a subset of
+/// itself, so the monotonicity invariant is undisturbed).
+fn sealer() -> cheri_isa::CReg {
+    creg::ptr(6)
+}
 
 impl Unit {
     /// Lowers the unit; branch targets get patched in [`flatten`].
@@ -281,36 +314,115 @@ impl Unit {
                     _ => Instr::Bgtz { rs, target: 0 },
                 });
             }
+            Unit::Sealed {
+                cd,
+                cb,
+                otype,
+                unseal,
+                reseal_otype,
+            } => {
+                out.push(Instr::Li {
+                    rd: LEN,
+                    imm: i64::from(otype),
+                });
+                out.push(Instr::CSetAddr {
+                    cd: sealer(),
+                    cb: sealer(),
+                    rs: LEN,
+                });
+                out.push(Instr::CSeal {
+                    cd: cap(cd),
+                    cs: cap(cb),
+                    ct: sealer(),
+                });
+                if unseal {
+                    // Usually the matching otype (a clean round trip);
+                    // sometimes a mismatch, which must fault identically
+                    // on both machines.
+                    out.push(Instr::Li {
+                        rd: LEN,
+                        imm: i64::from(reseal_otype),
+                    });
+                    out.push(Instr::CSetAddr {
+                        cd: sealer(),
+                        cb: sealer(),
+                        rs: LEN,
+                    });
+                    out.push(Instr::CUnseal {
+                        cd: cap(cd),
+                        cs: cap(cd),
+                        ct: sealer(),
+                    });
+                }
+            }
+            Unit::CapJump { link, cd, skip: _ } => {
+                // The Li immediate 0 is a placeholder; flatten() patches
+                // it to the absolute address of a later unit's start.
+                out.push(Instr::CGetPcc { cd: cap(cd) });
+                out.push(Instr::Li { rd: LEN, imm: 0 });
+                out.push(Instr::CSetAddr {
+                    cd: cap(cd),
+                    cb: cap(cd),
+                    rs: LEN,
+                });
+                if link {
+                    out.push(Instr::CJalr {
+                        cd: cap(cd.wrapping_add(1)),
+                        cb: cap(cd),
+                    });
+                } else {
+                    out.push(Instr::CJr { cb: cap(cd) });
+                }
+            }
         }
     }
 }
 
+/// Base address the fuzz program is mapped at (see [`machine`]).
+const CODE_BASE: u64 = 0x10000;
+
 /// Lowers a unit sequence to a program: units in order, branch targets
 /// resolved to the start of a later unit (or the terminating `syscall`),
-/// and a `syscall` appended so clean runs exit the step loop.
+/// capability-jump addresses materialised the same way (as absolute
+/// addresses rather than instruction indices), and a `syscall` appended
+/// so clean runs exit the step loop.
 fn flatten(units: &[Unit]) -> Vec<Instr> {
     let mut starts = Vec::with_capacity(units.len());
     let mut code = Vec::new();
     let mut branches = Vec::new();
+    let mut jumps = Vec::new();
     for (i, unit) in units.iter().enumerate() {
         starts.push(code.len());
-        if let Unit::Branch { skip, .. } = unit {
-            branches.push((code.len(), i, *skip));
+        match unit {
+            Unit::Branch { skip, .. } => branches.push((code.len(), i, *skip)),
+            // The placeholder Li is the unit's second instruction.
+            Unit::CapJump { skip, .. } => jumps.push((code.len() + 1, i, *skip)),
+            _ => {}
         }
         unit.emit(&mut code);
     }
     let end = u32::try_from(code.len()).expect("short program");
-    for (at, i, skip) in branches {
+    let resolve = |i: usize, skip: u8| -> u32 {
         let dest = i + 1 + usize::from(skip % 4);
-        let target = starts
+        starts
             .get(dest)
-            .map_or(end, |&s| u32::try_from(s).expect("short program"));
+            .map_or(end, |&s| u32::try_from(s).expect("short program"))
+    };
+    for (at, i, skip) in branches {
+        let target = resolve(i, skip);
         match &mut code[at] {
             Instr::Beq { target: t, .. }
             | Instr::Bne { target: t, .. }
             | Instr::Blez { target: t, .. }
             | Instr::Bgtz { target: t, .. } => *t = target,
             other => unreachable!("branch unit emitted {other:?}"),
+        }
+    }
+    for (at, i, skip) in jumps {
+        let addr = CODE_BASE + u64::from(resolve(i, skip)) * 4;
+        match &mut code[at] {
+            Instr::Li { rd: _, imm } => *imm = i64::try_from(addr).expect("short program"),
+            other => unreachable!("capjump unit emitted {other:?}"),
         }
     }
     code.push(Instr::Syscall);
@@ -384,6 +496,27 @@ fn unit_strategy() -> BoxedStrategy<Unit> {
             kind,
             rs,
             rt,
+            skip
+        }),
+        // Sealed pairs: mostly matching round trips (reseal_otype ==
+        // otype would always match, so draw both and let collisions
+        // produce the clean path and misses the type fault).
+        (0u8..6, 0u8..6, 0u16..64, proptest::any::<bool>(), 0u16..64).prop_map(
+            |(cd, cb, otype, unseal, reseal_otype)| Unit::Sealed {
+                cd,
+                cb,
+                otype,
+                unseal,
+                reseal_otype: if reseal_otype % 2 == 0 {
+                    otype
+                } else {
+                    reseal_otype
+                },
+            }
+        ),
+        (proptest::any::<bool>(), 0u8..6, 0u8..4).prop_map(|(link, cd, skip)| Unit::CapJump {
+            link,
+            cd,
             skip
         }),
     ]
@@ -461,6 +594,15 @@ fn machine(code: Vec<Instr>, purecap: bool) -> (Cpu, Vm, AsId, RegFile) {
             .set_bounds(4096, true)
             .expect("data cap"),
     );
+    // The sealer root: SEAL/UNSEAL authority over a small otype range,
+    // held outside the six fuzzed registers (see `SEALER`).
+    rf.wc(
+        sealer(),
+        root.with_addr(0)
+            .set_bounds(4096, true)
+            .expect("sealer cap")
+            .and_perms(Perms::SEAL | Perms::UNSEAL),
+    );
     (cpu, vm, id, rf)
 }
 
@@ -473,7 +615,7 @@ fn run_case(units: &[Unit], purecap: bool, weaken: bool, steps: u64) -> Option<S
     cpu.set_weaken_sem(weaken);
     cpu.set_lockstep(1, true);
     // Everything a correct run can ever hold must stay inside these.
-    let mut authority = vec![rf.pcc, rf.c(creg::ptr(0))];
+    let mut authority = vec![rf.pcc, rf.c(creg::ptr(0)), rf.c(sealer())];
     if rf.ddc.tag() {
         authority.push(rf.ddc);
     }

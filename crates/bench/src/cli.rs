@@ -22,7 +22,9 @@
 //!   aggregate.
 
 use cheriabi::cache::ReportCache;
-use cheriabi::harness::{CaseReport, Harness, OracleMode, RunSpec, SessionOpts, Shard};
+use cheriabi::harness::{
+    CaseReport, Harness, MembraneMode, OracleMode, RunSpec, SessionOpts, Shard,
+};
 use cheriabi::spec::Registry;
 use std::fmt::Write as _;
 
@@ -61,6 +63,14 @@ pub struct BenchOpts {
     /// (`--weaken-sem`) so the oracle self-test can prove a divergence is
     /// actually detected. Weakened runs never touch the report cache.
     pub weaken_sem: bool,
+    /// Lockstep sampling cadence (`--oracle-every N`): shadow-check every
+    /// Nth dispatched instruction instead of all of them. Never changes
+    /// guest results or cache identity; 1 is full lockstep.
+    pub oracle_every: u64,
+    /// Run every case under the hardened membrane ABI (`--hardened`):
+    /// quarantined frees, revocation sweeps and deterministic kernel-side
+    /// repairs, with evidence counters on each report.
+    pub hardened: bool,
 }
 
 impl Default for BenchOpts {
@@ -78,6 +88,8 @@ impl Default for BenchOpts {
             fast_path: true,
             oracle: OracleMode::Off,
             weaken_sem: false,
+            oracle_every: 1,
+            hardened: false,
         }
     }
 }
@@ -134,6 +146,17 @@ pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<BenchOpts, S
                 };
             }
             "--weaken-sem" => opts.weaken_sem = true,
+            "--oracle-every" => {
+                let value = iter.next().ok_or("--oracle-every needs a value")?;
+                let every: u64 = value
+                    .parse()
+                    .map_err(|_| format!("--oracle-every: not a number: {value}"))?;
+                if every == 0 {
+                    return Err("--oracle-every must be at least 1".to_string());
+                }
+                opts.oracle_every = every;
+            }
+            "--hardened" => opts.hardened = true,
             "--retries" => {
                 let value = iter.next().ok_or("--retries needs a value")?;
                 let retries: u64 = value
@@ -176,7 +199,13 @@ pub const USAGE: &str = "options:\n  \
     a divergence surfaces as a failed case (default: off)\n  \
     --weaken-sem   test-only: weaken csetbounds in the fast machine so the\n                 \
     oracle self-test can prove divergences are detected\n                 \
-    (never cached)";
+    (never cached)\n  \
+    --oracle-every N  lockstep sampling cadence: shadow-check every Nth\n                 \
+    dispatched instruction (default 1 = all; guest results\n                 \
+    and cache identity are unaffected)\n  \
+    --hardened     run every case under the hardened membrane ABI:\n                 \
+    quarantined frees, revocation sweeps and deterministic\n                 \
+    kernel repairs, with evidence counters on each report";
 
 /// Parses the process arguments; prints the usage text and exits 0 on
 /// `--help`, exits 2 on anything unrecognised.
@@ -292,12 +321,17 @@ pub fn run_specs(
     specs: &[RunSpec],
     opts: &BenchOpts,
 ) -> Option<Vec<CaseReport>> {
-    // `--no-fast-path`, `--oracle` and `--weaken-sem` rewrite every spec
-    // before anything else sees it, so dumps, cache lookups and execution
-    // all agree on the mode. The defaults leave specs untouched: a spec
-    // that already opted into any of these stays opted in.
+    // `--no-fast-path`, `--oracle`, `--oracle-every`, `--hardened` and
+    // `--weaken-sem` rewrite every spec before anything else sees it, so
+    // dumps, cache lookups and execution all agree on the mode. The
+    // defaults leave specs untouched: a spec that already opted into any
+    // of these stays opted in.
     let adjusted: Vec<RunSpec>;
-    let specs: &[RunSpec] = if opts.fast_path && opts.oracle == OracleMode::Off && !opts.weaken_sem
+    let specs: &[RunSpec] = if opts.fast_path
+        && opts.oracle == OracleMode::Off
+        && !opts.weaken_sem
+        && opts.oracle_every == 1
+        && !opts.hardened
     {
         specs
     } else {
@@ -313,6 +347,12 @@ pub fn run_specs(
                 }
                 if opts.weaken_sem {
                     s = s.with_weaken_sem(true);
+                }
+                if opts.oracle_every != 1 {
+                    s = s.with_oracle_every(opts.oracle_every);
+                }
+                if opts.hardened {
+                    s = s.with_abi_mode(MembraneMode::Hardened);
                 }
                 s
             })
@@ -528,6 +568,19 @@ mod tests {
         );
         assert!(parse_args(args(&["--oracle"])).is_err());
         assert!(parse_args(args(&["--oracle", "sideways"])).is_err());
+    }
+
+    #[test]
+    fn parses_oracle_every_and_hardened() {
+        let defaults = parse_args(args(&[])).expect("parses");
+        assert_eq!(defaults.oracle_every, 1);
+        assert!(!defaults.hardened);
+        let opts = parse_args(args(&["--oracle-every", "64", "--hardened"])).expect("parses");
+        assert_eq!(opts.oracle_every, 64);
+        assert!(opts.hardened);
+        assert!(parse_args(args(&["--oracle-every"])).is_err());
+        assert!(parse_args(args(&["--oracle-every", "0"])).is_err());
+        assert!(parse_args(args(&["--oracle-every", "often"])).is_err());
     }
 
     #[test]

@@ -14,10 +14,13 @@
 //! L2 override — plus a caller-supplied *salt* (the codegen fingerprint
 //! from `cheri_isa::codegen::fingerprint`, so any change to instruction
 //! selection invalidates every entry wholesale). The spec's display name,
-//! wall-clock deadline, execution mode (`fast_path`) and oracle mode
-//! (`oracle`) are *not* part of the identity: none of them changes what
-//! the guest computes — the superblock machine and the oracle are gated
-//! to produce byte-identical guest metrics. Stored entries embed the full identity JSON
+//! wall-clock deadline, execution mode (`fast_path`), oracle mode
+//! (`oracle`) and lockstep cadence (`oracle_every`) are *not* part of the
+//! identity: none of them changes what the guest computes — the superblock
+//! machine and the oracle are gated to produce byte-identical guest
+//! metrics. The membrane mode (`abi_mode`) *is* identity: a hardened run
+//! observes different allocator behaviour (quarantine, repairs) than a
+//! strict one. Stored entries embed the full identity JSON
 //! and every load re-compares it, so an FNV collision degrades to a cache
 //! miss, never a wrong report.
 //!
@@ -25,8 +28,9 @@
 //! (environmental, not functions of the spec), oracle divergences (a
 //! simulator bug must resurface on every run until fixed), traced runs
 //! (the capability CDF is not serialized, and Figure 5 wants a fresh
-//! trace), and anything run with `weaken_sem` (deliberately wrong
-//! semantics must never poison — or be served from — the shared cache).
+//! trace), and anything run with `weaken_sem` or `weaken_quarantine`
+//! (deliberately wrong semantics / a deliberately disabled membrane must
+//! never poison — or be served from — the shared cache).
 //!
 //! **On disk.** One JSON file per entry under the cache directory
 //! (default `target/harness-cache/`), named by the hex key. Writes go to a
@@ -183,7 +187,7 @@ impl ReportCache {
             fields.extend(all.into_iter().filter(|(k, _)| {
                 !matches!(
                     k.as_str(),
-                    "name" | "deadline_nanos" | "trace" | "fast_path" | "oracle"
+                    "name" | "deadline_nanos" | "trace" | "fast_path" | "oracle" | "oracle_every"
                 )
             }));
         }
@@ -206,7 +210,7 @@ impl ReportCache {
     /// (names are display-only and not part of the identity).
     #[must_use]
     pub fn load(&self, spec: &RunSpec) -> Option<CaseReport> {
-        if spec.trace || spec.weaken_sem {
+        if spec.trace || spec.weaken_sem || spec.weaken_quarantine {
             return None;
         }
         let text = fs::read_to_string(self.entry_path(spec)).ok()?;
@@ -226,6 +230,7 @@ impl ReportCache {
     pub fn store(&self, spec: &RunSpec, report: &CaseReport) {
         if spec.trace
             || spec.weaken_sem
+            || spec.weaken_quarantine
             || matches!(
                 report.outcome,
                 CaseOutcome::Panicked(_)
@@ -572,6 +577,49 @@ mod tests {
         diverged.outcome = CaseOutcome::Divergence("synthetic".to_string());
         cache.store(&other, &diverged);
         assert!(cache.load(&other).is_none(), "divergences are not cached");
+    }
+
+    #[test]
+    fn abi_mode_is_identity_but_sampling_cadence_is_not() {
+        use crate::harness::{MembraneMode, OracleMode};
+        let tmp = TempDir::new("membrane");
+        let cache = ReportCache::new(&tmp.0, 1).expect("open cache");
+        let registry = Registry::builtin();
+        let spec = exit_spec("case", 5);
+        cache.store(&spec, &execute_spec(&registry, &spec));
+        assert!(cache.load(&spec).is_some());
+
+        // Hardened mode changes guest-visible allocator behaviour (and the
+        // report grows a membrane block), so it must not serve — or
+        // clobber — the strict entry.
+        let hardened = spec.clone().with_abi_mode(MembraneMode::Hardened);
+        assert!(cache.load(&hardened).is_none(), "abi_mode is identity");
+        cache.store(&hardened, &execute_spec(&registry, &hardened));
+        let hit = cache.load(&hardened).expect("hardened entries cache too");
+        assert!(hit.membrane.is_some(), "evidence survives the round-trip");
+        let strict_hit = cache.load(&spec).expect("strict entry untouched");
+        assert!(strict_hit.membrane.is_none());
+
+        // The sampling cadence only changes how often the oracle looks,
+        // never what the guest computes: any cadence hits the plain entry.
+        assert!(
+            cache
+                .load(
+                    &spec
+                        .clone()
+                        .with_oracle(OracleMode::Lockstep)
+                        .with_oracle_every(64)
+                )
+                .is_some(),
+            "oracle_every is not identity"
+        );
+
+        // A weakened quarantine is deliberately unsafe scaffolding for the
+        // attack table's self-test: never served, never stored.
+        let weak = hardened.clone().with_weaken_quarantine(true);
+        assert!(cache.load(&weak).is_none(), "weakened runs never hit");
+        cache.store(&weak, &execute_spec(&registry, &weak));
+        assert!(cache.load(&weak).is_none(), "weakened runs never store");
     }
 
     #[test]

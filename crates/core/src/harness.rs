@@ -44,7 +44,7 @@ use crate::{Metrics, System};
 use cheri_cap::{CapFault, CapFormat};
 use cheri_cpu::TrapCause;
 use cheri_isa::codegen::{Abi, CodegenOpts};
-use cheri_kernel::{AbiMode, ExitStatus, KernelConfig, SpawnOpts};
+use cheri_kernel::{AbiMode, AllocEvidence, ExitStatus, KernelConfig, SpawnOpts};
 use cheri_mem::{CacheConfig, CacheHierarchy};
 use cheri_vm::VmError;
 use std::fmt;
@@ -110,6 +110,37 @@ pub struct RunSpec {
     /// prove the comparison has teeth. Never cached; `false` encodes to
     /// nothing.
     pub weaken_sem: bool,
+    /// The strict/hardened membrane split (see DESIGN.md "The hardened
+    /// membrane"). Part of the cache identity (it changes what the guest
+    /// observes); [`MembraneMode::Strict`] encodes to nothing, so
+    /// strict-mode spec JSON — and every existing golden and cache entry —
+    /// is byte-identical to before the membrane existed.
+    pub abi_mode: MembraneMode,
+    /// Lockstep sampling cadence: check the architectural diff at every
+    /// Nth superblock boundary instead of every one, making lockstep cheap
+    /// enough to arm across a full table. `1` (the default, encodes to
+    /// nothing) is full lockstep; the value is a sampling knob only and by
+    /// contract never changes guest results, so it is excluded from the
+    /// cache identity like `oracle` itself.
+    pub oracle_every: u64,
+    /// Test-only: disable the hardened quarantine (reuse-after-free
+    /// allowed) so the attack table's self-test can prove the membrane is
+    /// load-bearing. Never cached; `false` encodes to nothing.
+    pub weaken_quarantine: bool,
+}
+
+/// Strict vs hardened run-time membrane: one process ABI, two policies.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum MembraneMode {
+    /// The paper's baseline: capability violations fault, allocator misuse
+    /// is denied with errno, freed memory recycles immediately.
+    #[default]
+    Strict,
+    /// Deterministic repair: frees quarantine and revocation sweeps kill
+    /// stale capabilities before reuse; double free / stale realloc /
+    /// unauthorised fixed mmap are absorbed as audited repairs. ISA
+    /// semantics are untouched — hardened runs stay lockstep-clean.
+    Hardened,
 }
 
 /// How (and whether) a case is diffed against the reference semantics.
@@ -174,6 +205,9 @@ impl RunSpec {
             fast_path: true,
             oracle: OracleMode::Off,
             weaken_sem: false,
+            abi_mode: MembraneMode::Strict,
+            oracle_every: 1,
+            weaken_quarantine: false,
         }
     }
 
@@ -256,6 +290,28 @@ impl RunSpec {
         self
     }
 
+    /// Selects the strict/hardened membrane.
+    #[must_use]
+    pub fn with_abi_mode(mut self, mode: MembraneMode) -> RunSpec {
+        self.abi_mode = mode;
+        self
+    }
+
+    /// Sets the lockstep sampling cadence (clamped to ≥ 1).
+    #[must_use]
+    pub fn with_oracle_every(mut self, every: u64) -> RunSpec {
+        self.oracle_every = every.max(1);
+        self
+    }
+
+    /// Test-only: disables the hardened quarantine so the attack table's
+    /// self-test can prove a weakened membrane is actually detected.
+    #[must_use]
+    pub fn with_weaken_quarantine(mut self, weaken: bool) -> RunSpec {
+        self.weaken_quarantine = weaken;
+        self
+    }
+
     /// Canonical JSON encoding of the complete spec.
     #[must_use]
     pub fn to_json(&self) -> Json {
@@ -286,6 +342,15 @@ impl RunSpec {
         }
         if self.weaken_sem {
             fields.push(("weaken_sem", Json::Bool(true)));
+        }
+        if self.abi_mode == MembraneMode::Hardened {
+            fields.push(("abi_mode", Json::str("hardened")));
+        }
+        if self.oracle_every != 1 {
+            fields.push(("oracle_every", Json::u64(self.oracle_every)));
+        }
+        if self.weaken_quarantine {
+            fields.push(("weaken_quarantine", Json::Bool(true)));
         }
         Json::obj(fields)
     }
@@ -326,6 +391,22 @@ impl RunSpec {
                 None => OracleMode::Off,
             },
             weaken_sem: match v.get("weaken_sem") {
+                Some(b) => b.as_bool()?,
+                None => false,
+            },
+            abi_mode: match v.get("abi_mode") {
+                Some(mode) => match mode.as_str()? {
+                    "strict" => MembraneMode::Strict,
+                    "hardened" => MembraneMode::Hardened,
+                    other => return Err(format!("unknown abi_mode `{other}`")),
+                },
+                None => MembraneMode::Strict,
+            },
+            oracle_every: match v.get("oracle_every") {
+                Some(n) => n.as_u64()?.max(1),
+                None => 1,
+            },
+            weaken_quarantine: match v.get("weaken_quarantine") {
                 Some(b) => b.as_bool()?,
                 None => false,
             },
@@ -873,6 +954,12 @@ pub struct CaseReport {
     /// (`ProgramSpec::Scenario`). Deterministic guest data — unlike
     /// `host`, it *is* part of the deterministic line format.
     pub scenario: Option<ScenarioStats>,
+    /// Hardened-membrane evidence counters, present only when the spec ran
+    /// with [`MembraneMode::Hardened`]. Deterministic (drained allocator
+    /// counters, no wall time or addresses), so — unlike `host` — it *is*
+    /// part of the deterministic line format: the attack table's hardened
+    /// rows pin what the membrane did, byte for byte.
+    pub membrane: Option<AllocEvidence>,
 }
 
 impl CaseReport {
@@ -913,6 +1000,16 @@ impl CaseReport {
         }
         if let Some(scenario) = &self.scenario {
             fields.push(("scenario", scenario.to_json()));
+        }
+        if let Some(m) = &self.membrane {
+            fields.push((
+                "membrane",
+                Json::obj(vec![
+                    ("repairs", Json::u64(m.repairs)),
+                    ("swept_caps", Json::u64(m.swept_caps)),
+                    ("quarantine_bytes", Json::u64(m.quarantine_bytes)),
+                ]),
+            ));
         }
         Json::obj(fields)
     }
@@ -986,6 +1083,14 @@ impl CaseReport {
             },
             scenario: match v.get("scenario") {
                 Some(stats) => Some(ScenarioStats::from_json(stats)?),
+                None => None,
+            },
+            membrane: match v.get("membrane") {
+                Some(m) => Some(AllocEvidence {
+                    repairs: m.field("repairs")?.as_u64()?,
+                    swept_caps: m.field("swept_caps")?.as_u64()?,
+                    quarantine_bytes: m.field("quarantine_bytes")?.as_u64()?,
+                }),
                 None => None,
             },
         })
@@ -1074,7 +1179,9 @@ fn execute_once(registry: &Registry, spec: &RunSpec, reference: bool) -> CaseRep
             // injected bit-flips corrupt granules behind the architecture's
             // back, which is exactly the non-architectural behaviour the
             // fault plane exists to create.
-            sys.kernel.cpu.set_lockstep(1, spec.fault.is_none());
+            sys.kernel
+                .cpu
+                .set_lockstep(spec.oracle_every.max(1), spec.fault.is_none());
         }
         // Arm the fault plane before the guest spawns, so access counts
         // start from the same zero on every run of this spec.
@@ -1084,6 +1191,8 @@ fn execute_once(registry: &Registry, spec: &RunSpec, reference: bool) -> CaseRep
         let mut opts = SpawnOpts::new(spec.abi);
         opts.asan = spec.asan;
         opts.instr_budget = spec.instr_budget;
+        opts.hardened = spec.abi_mode == MembraneMode::Hardened;
+        opts.weaken_quarantine = spec.weaken_quarantine;
         // Scenario specs run the whole process tree through the scheduler
         // and harvest latency stamps; everything else takes the classic
         // run-one-guest `measure` path.
@@ -1126,11 +1235,14 @@ fn execute_once(registry: &Registry, spec: &RunSpec, reference: bool) -> CaseRep
             max_runq_depth: sys.kernel.stats.max_runq_depth,
             ctx_switches: sys.kernel.stats.ctx_switches,
         };
-        (result, cdf, divergence, faults, host, extra)
+        // The membrane block is attached for hardened runs only, so plain
+        // reports stay byte-identical to before the membrane existed.
+        let membrane = (spec.abi_mode == MembraneMode::Hardened).then_some(sys.kernel.membrane);
+        (result, cdf, divergence, faults, host, extra, membrane)
     }));
     let wall = start.elapsed();
-    let (outcome, console, metrics, cap_cdf, faults, host, scenario) = match run {
-        Ok((Ok((status, console, metrics)), cdf, divergence, faults, host, extra)) => {
+    let (outcome, console, metrics, cap_cdf, faults, host, scenario, membrane) = match run {
+        Ok((Ok((status, console, metrics)), cdf, divergence, faults, host, extra, membrane)) => {
             let outcome = match (&divergence, &extra) {
                 (Some(d), _) => CaseOutcome::Divergence(d.to_string()),
                 // A deadlocked scenario is a guest-visible failure with
@@ -1146,9 +1258,10 @@ fn execute_once(registry: &Registry, spec: &RunSpec, reference: bool) -> CaseRep
                 faults,
                 (host != HostCounters::default()).then_some(host),
                 extra.map(|(_, stats)| stats),
+                membrane,
             )
         }
-        Ok((Err(load), _, _, faults, host, _)) => (
+        Ok((Err(load), _, _, faults, host, _, membrane)) => (
             CaseOutcome::LoadFailed(load.to_string()),
             String::new(),
             Metrics::default(),
@@ -1156,11 +1269,13 @@ fn execute_once(registry: &Registry, spec: &RunSpec, reference: bool) -> CaseRep
             faults,
             (host != HostCounters::default()).then_some(host),
             None,
+            membrane,
         ),
         Err(payload) => (
             CaseOutcome::Panicked(panic_message(payload.as_ref())),
             String::new(),
             Metrics::default(),
+            None,
             None,
             None,
             None,
@@ -1182,6 +1297,7 @@ fn execute_once(registry: &Registry, spec: &RunSpec, reference: bool) -> CaseRep
         faults,
         host,
         scenario,
+        membrane,
     }
 }
 
@@ -1224,6 +1340,7 @@ pub fn execute_spec(registry: &Registry, spec: &RunSpec) -> CaseReport {
             faults: None,
             host: None,
             scenario: None,
+            membrane: None,
         },
     }
 }
@@ -1777,6 +1894,7 @@ mod tests {
                 faults: None,
                 host: None,
                 scenario: None,
+                membrane: None,
             };
             let text = report.to_json().to_string();
             let back =
@@ -1807,6 +1925,7 @@ mod tests {
             faults: None,
             host: None,
             scenario: None,
+            membrane: None,
         };
         let line = report.to_json_tagged(12).to_string();
         assert!(line.starts_with("{\"case\":12,\"name\":\"t\""), "{line}");
@@ -1841,6 +1960,7 @@ mod tests {
             }),
             host: None,
             scenario: None,
+            membrane: None,
         };
         let text = report.to_json().to_string();
         assert!(text.contains("\"retries\":3"), "{text}");
@@ -1973,6 +2093,152 @@ mod tests {
                 b.to_json_deterministic(i).to_string()
             );
         }
+    }
+
+    #[test]
+    fn membrane_fields_ride_run_spec_json() {
+        let plain = exit_with_seed_spec("m", 4);
+        let plain_text = plain.to_json().to_string();
+        assert!(!plain_text.contains("abi_mode"), "{plain_text}");
+        assert!(!plain_text.contains("oracle_every"), "{plain_text}");
+        assert!(!plain_text.contains("weaken_quarantine"), "{plain_text}");
+        // The defaults encode to nothing: explicit strict / every=1 specs
+        // are byte-identical to untouched ones (goldens stay valid).
+        assert_eq!(
+            plain
+                .clone()
+                .with_abi_mode(MembraneMode::Strict)
+                .with_oracle_every(1)
+                .to_json()
+                .to_string(),
+            plain_text
+        );
+        // Pre-membrane JSON still decodes.
+        let back = RunSpec::from_json(&json::parse(&plain_text).expect("parses")).expect("decodes");
+        assert_eq!(back, plain);
+        // And a hardened spec round-trips byte-identically.
+        let hardened = plain
+            .clone()
+            .with_abi_mode(MembraneMode::Hardened)
+            .with_oracle_every(64)
+            .with_weaken_quarantine(true);
+        let text = hardened.to_json().to_string();
+        assert!(text.contains("\"abi_mode\":\"hardened\""), "{text}");
+        assert!(text.contains("\"oracle_every\":64"), "{text}");
+        assert!(text.contains("\"weaken_quarantine\":true"), "{text}");
+        let back = RunSpec::from_json(&json::parse(&text).expect("parses")).expect("decodes");
+        assert_eq!(back, hardened);
+        assert_eq!(back.to_json().to_string(), text);
+    }
+
+    #[test]
+    fn sampled_lockstep_matches_full_lockstep() {
+        let registry = Registry::builtin();
+        for (program, opts, abi) in [
+            (
+                ProgramSpec::CapChurn { iters: 12 },
+                CodegenOpts::purecap(),
+                AbiMode::CheriAbi,
+            ),
+            (
+                ProgramSpec::Spin { iters: 40 },
+                CodegenOpts::mips64(),
+                AbiMode::Mips64,
+            ),
+        ] {
+            let base =
+                RunSpec::new("sampled", program, opts, abi).with_oracle(OracleMode::Lockstep);
+            let implicit = execute_spec(&registry, &base);
+            let full = execute_spec(&registry, &base.clone().with_oracle_every(1));
+            let sampled = execute_spec(&registry, &base.clone().with_oracle_every(3));
+            assert!(
+                !matches!(implicit.outcome, CaseOutcome::Divergence(_)),
+                "got {:?}",
+                implicit.outcome
+            );
+            // every=1 ≡ the implicit full-lockstep default, and sampling
+            // must not perturb the deterministic report either.
+            for (label, report) in [("every=1", &full), ("every=3", &sampled)] {
+                assert_eq!(
+                    report.to_json_deterministic(0).to_string(),
+                    implicit.to_json_deterministic(0).to_string(),
+                    "{label}"
+                );
+            }
+        }
+    }
+
+    fn lower_free_churn(
+        spec: &ProgramSpec,
+        opts: CodegenOpts,
+        _seed: u64,
+    ) -> Option<cheri_rtld::Program> {
+        use crate::guest::GuestOps;
+        use cheri_isa::codegen::Ptr;
+        match spec {
+            ProgramSpec::Corpus { case } if case == "free-churn" => {
+                Some(crate::spec::single_main("free-churn", opts, |f| {
+                    // Enough churn to push bytes through the quarantine
+                    // (and, in hardened mode, across the sweep threshold).
+                    for _ in 0..40 {
+                        f.malloc_imm(Ptr(0), 512);
+                        f.free(Ptr(0));
+                    }
+                    f.sys_exit_imm(0);
+                }))
+            }
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn hardened_membrane_evidence_is_deterministic_across_job_counts() {
+        let registry = Registry::builtin().with(lower_free_churn);
+        let spec = RunSpec::new(
+            "churn",
+            ProgramSpec::Corpus {
+                case: "free-churn".to_string(),
+            },
+            CodegenOpts::purecap(),
+            AbiMode::CheriAbi,
+        );
+        // Strict runs carry no membrane block — reports stay byte-identical
+        // to before the membrane existed.
+        let strict = execute_spec(&registry, &spec);
+        assert_eq!(strict.outcome, CaseOutcome::Exited(ExitStatus::Code(0)));
+        assert!(strict.membrane.is_none());
+        assert!(!strict.to_json().to_string().contains("membrane"));
+        // Hardened runs do, with non-zero deterministic counters, identical
+        // across job counts and lockstep-clean.
+        let hardened = spec.with_abi_mode(MembraneMode::Hardened);
+        let specs: Vec<RunSpec> = (0..8)
+            .map(|i| {
+                let mut s = hardened.clone();
+                s.name = format!("churn-{i}");
+                s
+            })
+            .collect();
+        let seq = Harness::new(1).run(&registry, &specs);
+        let par = Harness::new(8).run(&registry, &specs);
+        for (i, (a, b)) in seq.iter().zip(&par).enumerate() {
+            assert_eq!(
+                a.to_json_deterministic(i).to_string(),
+                b.to_json_deterministic(i).to_string()
+            );
+            let ev = a.membrane.expect("hardened runs attach evidence");
+            assert!(ev.quarantine_bytes > 0, "frees were quarantined: {ev:?}");
+            assert!(ev.swept_caps == 0, "no stale caps here: {ev:?}");
+            assert!(
+                a.to_json_deterministic(i).to_string().contains("membrane"),
+                "evidence is part of the deterministic line"
+            );
+        }
+        // Hardened repairs are semantics-preserving: lockstep stays clean.
+        let locked = execute_spec(
+            &registry,
+            &hardened.clone().with_oracle(OracleMode::Lockstep),
+        );
+        assert_eq!(locked.outcome, CaseOutcome::Exited(ExitStatus::Code(0)));
     }
 
     #[test]

@@ -1,0 +1,477 @@
+//! The adversarial corpus: exploit-shaped guest programs that *score
+//! themselves*.
+//!
+//! Table 1 asks "does honest code still run?"; this module asks the dual
+//! question, "does dishonest code still win?". Each attack family is a
+//! small guest program built around a victim/canary protocol: the program
+//! plants a secret (or a canary) in memory it does not legitimately own a
+//! pointer to, runs one exploit technique against it, and then *reports
+//! its own outcome* through the exit code:
+//!
+//! * [`ESCAPED_EXIT`] (42) — the exploit reached the victim: it read the
+//!   secret or corrupted the canary across an allocation boundary;
+//! * [`DEGRADED_EXIT`] (7) — every operation completed without a trap,
+//!   but the payload landed somewhere harmless (e.g. a quarantined slot
+//!   instead of the reused allocation): the attack ran, the goal failed;
+//! * exit 0 — the attack was stopped *visibly* (an `EINVAL` from the
+//!   allocator, an aliasing probe that came back clean);
+//! * a capability trap ([`ExitStatus::Fault`]) — the hardware said no.
+//!
+//! Both of the last two score [`Verdict::Defeated`]. The protocol makes
+//! the attack table self-enforcing: a simulator regression that silently
+//! *weakens* protection flips a `Defeated` row to `Escaped` rather than
+//! hiding in a pass count (and `--weaken-quarantine` exists precisely to
+//! prove that flip is observable).
+//!
+//! The families cover the two safety axes the paper separates:
+//!
+//! * **spatial** — out-of-bounds read/write into an adjacent allocation,
+//!   capability forging from integer data, and integer-to-pointer
+//!   laundering through the legacy `(void *)(uintptr_t)x` path. CheriABI
+//!   defeats all four ABI-architecturally (bounds and tags), in strict
+//!   *and* hardened mode; mips64 escapes.
+//! * **temporal** — use-after-free through allocator reuse, through a
+//!   revocation sweep, and through swap-out/in; double-free and
+//!   realloc-stale probes. Strict CheriABI *does not* defeat reuse-based
+//!   UAF (the stale capability stays tagged — exactly why the paper's
+//!   successors built revocation); the hardened membrane's quarantine +
+//!   sweep does, and the swap variant proves the sweep reaches swapped-out
+//!   capabilities too.
+
+use crate::suite::CaseBuilder;
+use cheri_isa::codegen::{FnBuilder, Ptr, Val};
+use cheri_isa::Width;
+use cheri_kernel::{ExitStatus, Sys};
+use cheri_rtld::Program;
+use cheriabi::guest::GuestOps;
+use cheriabi::harness::CaseOutcome;
+use std::fmt;
+use std::sync::Arc;
+
+/// Exit code an attack uses to report "I reached the victim".
+pub const ESCAPED_EXIT: i64 = 42;
+
+/// Exit code an attack uses to report "I ran to completion but the payload
+/// landed somewhere harmless".
+pub const DEGRADED_EXIT: i64 = 7;
+
+/// The attack-outcome classification — one cell of the attack table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Verdict {
+    /// The attack was stopped: a capability trap, an allocator `EINVAL`,
+    /// or a clean self-report (exit 0).
+    Defeated,
+    /// The attack completed without a trap but missed its goal (exit
+    /// [`DEGRADED_EXIT`]) — the quarantine absorbing a stale write, a
+    /// repaired double free.
+    Degraded,
+    /// The attack reached the victim (exit [`ESCAPED_EXIT`]).
+    Escaped,
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Defeated => write!(f, "Defeated"),
+            Verdict::Degraded => write!(f, "Degraded"),
+            Verdict::Escaped => write!(f, "Escaped"),
+        }
+    }
+}
+
+/// Scores a harness outcome under the victim/canary protocol. `None`
+/// means the run did not produce a verdict at all (host panic, load
+/// failure, deadline, divergence, unexpected exit code) — the attack
+/// table treats that as a table failure, never as a row.
+#[must_use]
+pub fn verdict(outcome: &CaseOutcome) -> Option<Verdict> {
+    match outcome {
+        CaseOutcome::Exited(ExitStatus::Code(0)) => Some(Verdict::Defeated),
+        CaseOutcome::Exited(ExitStatus::Code(DEGRADED_EXIT)) => Some(Verdict::Degraded),
+        CaseOutcome::Exited(ExitStatus::Code(ESCAPED_EXIT)) => Some(Verdict::Escaped),
+        CaseOutcome::Exited(ExitStatus::Fault(_) | ExitStatus::SanitizerAbort) => {
+            Some(Verdict::Defeated)
+        }
+        _ => None,
+    }
+}
+
+/// One attack family: a named corpus case plus its one-line goal.
+pub struct AttackCase {
+    /// Corpus case name (registered in the [`crate::suite`] builder map,
+    /// so `ProgramSpec::Corpus` lowers it like any other case).
+    pub name: String,
+    /// Short family key for table rows (`oob-read`, `uaf-sweep`, ...).
+    pub family: &'static str,
+    /// What the exploit is trying to achieve.
+    pub goal: &'static str,
+    /// Builds the guest program.
+    pub build: CaseBuilder,
+}
+
+impl fmt::Debug for AttackCase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AttackCase({}, {})", self.name, self.family)
+    }
+}
+
+fn attack(
+    family: &'static str,
+    goal: &'static str,
+    body: impl Fn(&mut FnBuilder<'_>) + Send + Sync + 'static,
+) -> AttackCase {
+    let name = format!("atk-{family}");
+    let build: CaseBuilder = {
+        let name = name.clone();
+        Arc::new(move |opts| -> Program { crate::families::single_main(&name, opts, &body) })
+    };
+    AttackCase {
+        name,
+        family,
+        goal,
+        build,
+    }
+}
+
+/// Emits the self-scoring tail: exit [`ESCAPED_EXIT`] when `got ==
+/// escaped_if` (the payload reached the victim), else [`DEGRADED_EXIT`]
+/// (everything ran, the goal failed). Clobbers `Val(5)`.
+fn exit_verdict(f: &mut FnBuilder<'_>, got: Val, escaped_if: i64) {
+    f.li(Val(5), escaped_if);
+    let miss = f.label();
+    f.bne(got, Val(5), miss);
+    f.sys_exit_imm(ESCAPED_EXIT);
+    f.bind(miss);
+    f.sys_exit_imm(DEGRADED_EXIT);
+}
+
+/// The full adversarial corpus, in table order.
+#[must_use]
+pub fn attack_suite() -> Vec<AttackCase> {
+    vec![
+        // ---- spatial --------------------------------------------------
+        attack(
+            "oob-read",
+            "read a secret from the adjacent allocation",
+            |f| {
+                // Attacker buffer, then the victim right after it in the
+                // same 64-byte size class (the allocator carves slots
+                // sequentially from a fresh chunk).
+                f.malloc_imm(Ptr(0), 64);
+                f.malloc_imm(Ptr(1), 64);
+                f.li(Val(0), 3133);
+                f.store(Val(0), Ptr(1), 0, Width::D);
+                // Heartbleed-shaped: walk one slot past our own bounds.
+                f.load(Val(1), Ptr(0), 64, Width::D, false);
+                exit_verdict(f, Val(1), 3133);
+            },
+        ),
+        attack(
+            "oob-write",
+            "corrupt the adjacent allocation's canary",
+            |f| {
+                f.malloc_imm(Ptr(0), 64);
+                f.malloc_imm(Ptr(1), 64);
+                f.li(Val(0), 7777);
+                f.store(Val(0), Ptr(1), 0, Width::D);
+                // Overflow the attacker buffer into the victim's canary.
+                f.li(Val(1), 666);
+                f.store(Val(1), Ptr(0), 64, Width::D);
+                f.load(Val(2), Ptr(1), 0, Width::D, false);
+                exit_verdict(f, Val(2), 666);
+            },
+        ),
+        attack(
+            "forge",
+            "rebuild a pointer to the secret from integer bytes",
+            |f| {
+                f.malloc_imm(Ptr(1), 64); // victim holding the secret
+                f.li(Val(0), 2025);
+                f.store(Val(0), Ptr(1), 0, Width::D);
+                f.malloc_imm(Ptr(0), 64); // attacker scratch
+                                          // Launder the victim's address through plain integer
+                                          // memory: store it as data, reload it as a pointer.
+                f.ptr_to_int(Val(1), Ptr(1));
+                f.store(Val(1), Ptr(0), 0, Width::D);
+                f.load_ptr(Ptr(2), Ptr(0), 0);
+                f.load(Val(2), Ptr(2), 0, Width::D, false);
+                exit_verdict(f, Val(2), 2025);
+            },
+        ),
+        attack(
+            "launder-ddc",
+            "cast the secret's address through (void *)(uintptr_t)x",
+            |f| {
+                f.malloc_imm(Ptr(1), 64);
+                f.li(Val(0), 1776);
+                f.store(Val(0), Ptr(1), 0, Width::D);
+                f.malloc_imm(Ptr(0), 64);
+                // The Table 2 idiom: integer in, pointer out. Legacy code
+                // gets a space-wide pointer for free (DDC covers the
+                // space); CheriABI derives from the attacker's own
+                // capability, whose bounds do not include the victim.
+                f.ptr_to_int(Val(1), Ptr(1));
+                f.int_to_ptr(Ptr(2), Val(1), Ptr(0));
+                f.load(Val(2), Ptr(2), 0, Width::D, false);
+                exit_verdict(f, Val(2), 1776);
+            },
+        ),
+        // ---- temporal -------------------------------------------------
+        attack(
+            "uaf-reuse",
+            "write the freed slot after the allocator hands it out again",
+            |f| {
+                f.malloc_imm(Ptr(3), 64); // hiding spot for the stale pointer
+                f.malloc_imm(Ptr(0), 64); // victim-to-be
+                f.li(Val(0), 1111);
+                f.store(Val(0), Ptr(0), 0, Width::D);
+                f.store_ptr(Ptr(0), Ptr(3), 0);
+                f.free(Ptr(0));
+                // Strict allocators recycle immediately: the new 64-byte
+                // allocation is the old slot. The hardened quarantine
+                // keeps the slot sequestered instead.
+                f.malloc_imm(Ptr(1), 64);
+                f.li(Val(1), 2222);
+                f.store(Val(1), Ptr(1), 0, Width::D);
+                f.load_ptr(Ptr(2), Ptr(3), 0);
+                f.load(Val(2), Ptr(2), 0, Width::D, false);
+                exit_verdict(f, Val(2), 2222);
+            },
+        ),
+        attack(
+            "uaf-sweep",
+            "dereference a stale capability after a revocation sweep",
+            |f| {
+                f.malloc_imm(Ptr(3), 64);
+                // A free() this size crosses the hardened byte threshold
+                // by itself, so the sweep runs inside the free.
+                f.malloc_imm(Ptr(0), 17000);
+                f.store_ptr(Ptr(0), Ptr(3), 0);
+                f.free(Ptr(0));
+                f.malloc_imm(Ptr(1), 17000); // the recycled slot
+                f.li(Val(1), 4242);
+                f.store(Val(1), Ptr(1), 0, Width::D);
+                f.load_ptr(Ptr(2), Ptr(3), 0);
+                f.load(Val(2), Ptr(2), 0, Width::D, false);
+                exit_verdict(f, Val(2), 4242);
+            },
+        ),
+        attack(
+            "uaf-swap",
+            "hide the stale capability in a swapped-out page across the sweep",
+            |f| {
+                f.malloc_imm(Ptr(3), 64);
+                f.malloc_imm(Ptr(0), 64);
+                f.store_ptr(Ptr(0), Ptr(3), 0);
+                f.free(Ptr(0));
+                // Evict everything — the page holding the stale capability
+                // included — so a sweep that only walked resident memory
+                // would miss it.
+                f.li(Val(0), 100_000);
+                f.set_arg_val(0, Val(0));
+                f.syscall(Sys::Swapctl as i64);
+                // Cross the sweep threshold while the page is on disk.
+                f.malloc_imm(Ptr(1), 17000);
+                f.free(Ptr(1));
+                // The freed 64-byte slot comes back into circulation.
+                f.malloc_imm(Ptr(1), 64);
+                f.li(Val(1), 4242);
+                f.store(Val(1), Ptr(1), 0, Width::D);
+                // Swap the hiding spot back in and spend the stale pointer.
+                f.load_ptr(Ptr(2), Ptr(3), 0);
+                f.load(Val(2), Ptr(2), 0, Width::D, false);
+                exit_verdict(f, Val(2), 4242);
+            },
+        ),
+        attack(
+            "double-free",
+            "corrupt allocator state by freeing the same slot twice",
+            |f| {
+                f.malloc_imm(Ptr(0), 64);
+                f.free(Ptr(0));
+                f.free(Ptr(0));
+                f.ret_val_to(Val(0)); // 0, or -EINVAL when rejected
+                                      // Classic payoff probe: a corrupted free list hands the
+                                      // same slot out twice.
+                f.malloc_imm(Ptr(1), 64);
+                f.malloc_imm(Ptr(2), 64);
+                f.ptr_to_int(Val(1), Ptr(1));
+                f.ptr_to_int(Val(2), Ptr(2));
+                let distinct = f.label();
+                f.bne(Val(1), Val(2), distinct);
+                f.sys_exit_imm(ESCAPED_EXIT);
+                f.bind(distinct);
+                // No aliasing. Rejected loudly (EINVAL) = defeated;
+                // absorbed silently (hardened repair) = degraded.
+                let rejected = f.label();
+                f.bnez(Val(0), rejected);
+                f.sys_exit_imm(DEGRADED_EXIT);
+                f.bind(rejected);
+                f.sys_exit_imm(0);
+            },
+        ),
+        attack(
+            "realloc-reuse",
+            "write through the pre-realloc pointer into the recycled slot",
+            |f| {
+                f.malloc_imm(Ptr(3), 64);
+                f.malloc_imm(Ptr(0), 32);
+                f.store_ptr(Ptr(0), Ptr(3), 0);
+                // Growing past the padded size moves the allocation and
+                // frees the old slot.
+                f.li(Val(0), 128);
+                f.realloc(Ptr(1), Ptr(0), Val(0));
+                // The old 32-byte slot returns on the next fit (strict).
+                f.malloc_imm(Ptr(1), 32);
+                f.li(Val(1), 999);
+                f.store(Val(1), Ptr(1), 0, Width::D);
+                // Spend the stale pre-realloc pointer.
+                f.load_ptr(Ptr(2), Ptr(3), 0);
+                f.li(Val(2), 5555);
+                f.store(Val(2), Ptr(2), 0, Width::D);
+                f.load(Val(3), Ptr(1), 0, Width::D, false);
+                exit_verdict(f, Val(3), 5555);
+            },
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::opts_for;
+    use cheri_kernel::AbiMode;
+    use cheriabi::harness::{execute_spec, MembraneMode, OracleMode, RunSpec};
+    use cheriabi::spec::ProgramSpec;
+
+    fn attack_spec(case: &AttackCase, abi: AbiMode, mode: MembraneMode) -> RunSpec {
+        RunSpec::new(
+            case.name.clone(),
+            ProgramSpec::Corpus {
+                case: case.name.clone(),
+            },
+            opts_for(abi),
+            abi,
+        )
+        .with_budget(20_000_000)
+        .with_abi_mode(mode)
+    }
+
+    fn run(case: &AttackCase, abi: AbiMode, mode: MembraneMode) -> Verdict {
+        let report = execute_spec(&crate::suite::registry(), &attack_spec(case, abi, mode));
+        verdict(&report.outcome)
+            .unwrap_or_else(|| panic!("{} ({abi}, {mode:?}): {:?}", case.name, report.outcome))
+    }
+
+    #[test]
+    fn every_family_is_contained_under_the_hardened_membrane() {
+        for case in attack_suite() {
+            let v = run(&case, AbiMode::CheriAbi, MembraneMode::Hardened);
+            assert!(
+                v <= Verdict::Degraded,
+                "{}: hardened purecap let the attack escape",
+                case.name
+            );
+        }
+    }
+
+    #[test]
+    fn spatial_attacks_die_under_strict_cheriabi_but_escape_mips64() {
+        for family in ["oob-read", "oob-write", "forge", "launder-ddc"] {
+            let case = attack_suite()
+                .into_iter()
+                .find(|c| c.family == family)
+                .expect("family exists");
+            assert_eq!(
+                run(&case, AbiMode::CheriAbi, MembraneMode::Strict),
+                Verdict::Defeated,
+                "{family} under strict purecap"
+            );
+            assert_eq!(
+                run(&case, AbiMode::Mips64, MembraneMode::Strict),
+                Verdict::Escaped,
+                "{family} under mips64"
+            );
+        }
+    }
+
+    #[test]
+    fn reuse_uaf_escapes_strict_cheriabi_and_only_the_membrane_stops_it() {
+        // The paper's honest limitation: a stale capability stays tagged,
+        // so allocator reuse is exploitable under the strict ABI.
+        for family in ["uaf-reuse", "uaf-sweep", "uaf-swap", "realloc-reuse"] {
+            let case = attack_suite()
+                .into_iter()
+                .find(|c| c.family == family)
+                .expect("family exists");
+            assert_eq!(
+                run(&case, AbiMode::CheriAbi, MembraneMode::Strict),
+                Verdict::Escaped,
+                "{family} under strict purecap"
+            );
+            assert_eq!(
+                run(&case, AbiMode::Mips64, MembraneMode::Strict),
+                Verdict::Escaped,
+                "{family} under mips64"
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_families_trap_while_quarantine_only_families_degrade() {
+        let by_family = |family: &str| {
+            attack_suite()
+                .into_iter()
+                .find(|c| c.family == family)
+                .expect("family exists")
+        };
+        // Below the sweep threshold the quarantine absorbs the write
+        // without a trap; at the threshold the revocation kills the tag.
+        for (family, expect) in [
+            ("uaf-reuse", Verdict::Degraded),
+            ("realloc-reuse", Verdict::Degraded),
+            ("uaf-sweep", Verdict::Defeated),
+            ("uaf-swap", Verdict::Defeated),
+            ("double-free", Verdict::Degraded),
+        ] {
+            assert_eq!(
+                run(
+                    &by_family(family),
+                    AbiMode::CheriAbi,
+                    MembraneMode::Hardened
+                ),
+                expect,
+                "{family} under hardened purecap"
+            );
+        }
+    }
+
+    #[test]
+    fn weakened_quarantine_lets_reuse_uaf_escape_again() {
+        // The attack table's self-test: prove the verdicts measure the
+        // membrane, not an accident of layout.
+        let case = attack_suite()
+            .into_iter()
+            .find(|c| c.family == "uaf-reuse")
+            .expect("family exists");
+        let spec = attack_spec(&case, AbiMode::CheriAbi, MembraneMode::Hardened)
+            .with_weaken_quarantine(true);
+        let report = execute_spec(&crate::suite::registry(), &spec);
+        assert_eq!(verdict(&report.outcome), Some(Verdict::Escaped));
+    }
+
+    #[test]
+    fn hardened_attacks_stay_divergence_free_under_lockstep() {
+        for case in attack_suite() {
+            let spec = attack_spec(&case, AbiMode::CheriAbi, MembraneMode::Hardened)
+                .with_oracle(OracleMode::Lockstep);
+            let report = execute_spec(&crate::suite::registry(), &spec);
+            assert!(
+                verdict(&report.outcome).is_some(),
+                "{}: {:?}",
+                case.name,
+                report.outcome
+            );
+        }
+    }
+}

@@ -28,11 +28,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod attacks;
 pub mod compat;
 pub mod families;
 pub mod minidb;
 pub mod scenario;
 pub mod suite;
 
+pub use attacks::{AttackCase, Verdict};
 pub use compat::{Category, ChangeRecord, Component, STATIC_CHANGES};
 pub use suite::{FailureKind, SuiteOutcome, SuiteResult, TestCase, TestExpectation};

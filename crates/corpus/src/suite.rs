@@ -181,6 +181,12 @@ fn case_builders() -> &'static HashMap<String, CaseBuilder> {
         {
             map.entry(case.name.clone()).or_insert(case.build);
         }
+        // The adversarial corpus rides the same registry: `atk-*` names,
+        // lowered identically under every ABI mode (only the membrane's
+        // behaviour differs, never the program).
+        for case in crate::attacks::attack_suite() {
+            map.entry(case.name.clone()).or_insert(case.build);
+        }
         map
     })
 }

@@ -41,6 +41,14 @@ pub struct SpawnOpts {
     pub stack_size: u64,
     /// Per-process instruction budget (`None` = kernel default).
     pub instr_budget: Option<u64>,
+    /// Arms the hardened membrane on the process's allocator: frees
+    /// quarantine instead of recycling, revocation sweeps run at the free
+    /// thresholds, and kernel-side denials become deterministic repairs
+    /// with evidence counters. Strict (`false`) is the paper's baseline.
+    pub hardened: bool,
+    /// Test-only: disables the hardened quarantine (reuse-after-free
+    /// allowed) so the attack table can prove it measures the membrane.
+    pub weaken_quarantine: bool,
 }
 
 impl SpawnOpts {
@@ -54,6 +62,8 @@ impl SpawnOpts {
             asan: false,
             stack_size: 1 << 20,
             instr_budget: None,
+            hardened: false,
+            weaken_quarantine: false,
         }
     }
 }
@@ -261,7 +271,12 @@ impl Kernel {
             principal,
             regs,
             state: ProcState::Runnable,
-            allocator: Allocator::new(space, opts.asan),
+            allocator: {
+                let mut a = Allocator::new(space, opts.asan);
+                a.set_hardened(opts.hardened);
+                a.set_weaken_quarantine(opts.weaken_quarantine);
+                a
+            },
             fds: vec![
                 Some(FileDesc::Console),
                 Some(FileDesc::Console),

@@ -4,6 +4,7 @@ use crate::abi::{AbiMode, Errno};
 use crate::costs;
 use crate::process::{ExitStatus, FileDesc, Pid, ProcState, Process, WaitReason};
 use crate::signal::SIGPROT;
+use cheri_alloc::AllocEvidence;
 use cheri_cap::{CapFormat, Capability, Perms, PrincipalAllocator};
 use cheri_cpu::{Cpu, Exit, TrapCause, TrapInfo};
 use cheri_vm::{Vm, VmError};
@@ -179,6 +180,11 @@ pub struct Kernel {
     pub(crate) syscall_faults: SyscallFaults,
     faults_charged: u64,
     swaps_charged: u64,
+    /// Hardened-membrane evidence aggregated across all processes: drained
+    /// from each allocator alongside its cycle charges (so the counters
+    /// survive process reaping) plus kernel-level repairs. Deterministic —
+    /// safe to surface on byte-identical report lines.
+    pub membrane: AllocEvidence,
 }
 
 impl fmt::Debug for Kernel {
@@ -207,6 +213,7 @@ impl Kernel {
             syscall_faults: SyscallFaults::default(),
             faults_charged: 0,
             swaps_charged: 0,
+            membrane: AllocEvidence::default(),
         }
     }
 
@@ -637,14 +644,22 @@ impl Kernel {
     /// Terminates a process: releases fds, notifies the parent, reaps the
     /// address space.
     pub(crate) fn terminate(&mut self, pid: Pid, status: ExitStatus) {
-        let (space, fds, parent) = {
+        let (space, fds, parent, evidence) = {
             let p = self.process_mut(pid);
             if matches!(p.state, ProcState::Exited(_)) {
                 return;
             }
             p.state = ProcState::Exited(status);
-            (p.space, std::mem::take(&mut p.fds), p.parent)
+            (
+                p.space,
+                std::mem::take(&mut p.fds),
+                p.parent,
+                p.allocator.take_evidence(),
+            )
         };
+        // Evidence must survive the process: fold any undrained counters
+        // into the kernel aggregate before the allocator is dropped.
+        self.membrane.absorb(evidence);
         for fd in fds.into_iter().flatten() {
             self.drop_fd(fd);
         }
@@ -721,9 +736,13 @@ impl Kernel {
         parts.join("; ")
     }
 
-    /// Drains allocator charges into the CPU counters.
+    /// Drains allocator charges into the CPU counters and membrane
+    /// evidence into the kernel aggregate.
     pub(crate) fn charge_allocator(&mut self, pid: Pid) {
-        let (i, c) = self.process_mut(pid).allocator.take_charges();
+        let p = self.process_mut(pid);
+        let (i, c) = p.allocator.take_charges();
+        let ev = p.allocator.take_evidence();
+        self.membrane.absorb(ev);
         self.cpu.charge(i, c);
     }
 }

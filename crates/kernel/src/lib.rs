@@ -35,6 +35,7 @@ mod signal;
 mod syscall;
 
 pub use abi::{AbiMode, Errno, Sys};
+pub use cheri_alloc::AllocEvidence;
 pub use exec::SpawnOpts;
 pub use kernel::{Kernel, KernelConfig, KernelStats, RunOutcome, SyscallFaultSpec, SyscallFaults};
 pub use process::{ExitStatus, Pid, ProcState, Process, WaitReason};

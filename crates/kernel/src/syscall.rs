@@ -471,9 +471,9 @@ impl Kernel {
         if prot_bits & 4 != 0 {
             prot = prot.union(Prot::EXEC);
         }
-        let (space, abi) = {
+        let (space, abi, hardened) = {
             let p = self.process(pid);
-            (p.space, p.abi)
+            (p.space, p.abi, p.allocator.hardened())
         };
         let fixed = flags & MAP_FIXED != 0;
         let hint_cap = match hint {
@@ -490,6 +490,30 @@ impl Kernel {
                 .unwrap_or(false);
             if self.vm.space(space).is_range_mapped(addr, len) {
                 if abi == AbiMode::CheriAbi && !may_replace {
+                    if hardened {
+                        // Hardened membrane: clamped re-derivation. The
+                        // fixed request would replace a mapping the caller
+                        // holds no VMMAP authority over; instead of EPROT,
+                        // re-derive it as a kernel-placed mapping and
+                        // record the repair. Nothing is replaced.
+                        self.process_mut(pid).allocator.note_repair();
+                        self.charge_allocator(pid);
+                        let start = self
+                            .vm
+                            .map(space, None, len, prot, Backing::Zero, "mmap")
+                            .map_err(|_| err(Errno::ENOMEM))?;
+                        let ret = self
+                            .vm
+                            .space(space)
+                            .root
+                            .with_addr(start)
+                            .set_bounds(len.div_ceil(4096) * 4096, false)
+                            .map_err(|_| err(Errno::EINVAL))?
+                            .and_perms(prot.as_cap_perms())
+                            .with_source(CapSource::Syscall);
+                        self.set_ret_cap(pid, ret);
+                        return Ok(start);
+                    }
                     // "if the caller requests a fixed mapping, we allow it
                     // only if it would not replace an existing mapping."
                     return Err(err(Errno::EPROT));
@@ -855,12 +879,24 @@ impl Kernel {
 
     fn sys_rt_free(&mut self, pid: Pid) -> SysRet {
         let target = self.user_ref(pid, 0);
-        let res = {
+        let (res, hardened) = {
             let p = self.procs.get_mut(&pid).ok_or(err(Errno::ESRCH))?;
-            match target {
+            let r = match target {
                 UserRef::Cap(c) => p.allocator.free(&mut self.vm, &c),
                 UserRef::Addr(a) => p.allocator.free_addr(&mut self.vm, a),
+            };
+            (r, p.allocator.hardened())
+        };
+        // Hardened membrane: a double free (or free of a stale base) is
+        // deterministically repaired — absorbed with evidence — instead of
+        // surfacing EINVAL. Capability violations (untagged/sealed) remain
+        // denials under both modes: they are forgeries, not ledger races.
+        let res = match res {
+            Err(cheri_alloc::AllocError::BadFree) if hardened => {
+                self.process_mut(pid).allocator.note_repair();
+                Ok(())
             }
+            other => other,
         };
         self.charge_allocator(pid);
         res.map(|()| 0).map_err(|_| err(Errno::EINVAL))
@@ -869,9 +905,9 @@ impl Kernel {
     fn sys_rt_realloc(&mut self, pid: Pid) -> SysRet {
         let target = self.user_ref(pid, 0);
         let new_len = self.user_val(pid, 1);
-        let res = {
+        let (res, hardened) = {
             let p = self.procs.get_mut(&pid).ok_or(err(Errno::ESRCH))?;
-            match target {
+            let r = match target {
                 UserRef::Cap(c) => p.allocator.realloc(&mut self.vm, &c, new_len),
                 UserRef::Addr(a) => {
                     // Legacy realloc: rebuild a pseudo-capability for lookup.
@@ -879,7 +915,19 @@ impl Kernel {
                     p.allocator
                         .realloc(&mut self.vm, &space_root.with_addr(a), new_len)
                 }
+            };
+            (r, p.allocator.hardened())
+        };
+        // Hardened membrane: realloc of a stale base repairs to a plain
+        // allocation of the new size (the old contents are gone; the old
+        // region stays quarantined) rather than failing the caller.
+        let res = match res {
+            Err(cheri_alloc::AllocError::BadFree) if hardened => {
+                let p = self.procs.get_mut(&pid).ok_or(err(Errno::ESRCH))?;
+                p.allocator.note_repair();
+                p.allocator.malloc(&mut self.vm, new_len)
             }
+            other => other,
         };
         self.charge_allocator(pid);
         match res {

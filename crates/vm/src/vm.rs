@@ -89,6 +89,12 @@ pub struct VmStats {
     /// swap: left untagged at swap-in and reported here rather than being
     /// silently folded into `caps_refused`.
     pub caps_orphaned: u64,
+    /// Capabilities killed by a revocation sweep ([`Vm::revoke_ranges`]):
+    /// resident tags cleared plus swap-slot entries dropped. Deliberately
+    /// separate from `caps_orphaned` — sweeping is the hardened membrane
+    /// acting, orphaning is the swap rederivation plane refusing; the two
+    /// must not alias in reports.
+    pub caps_swept: u64,
     /// COW resolutions (page copies).
     pub cow_copies: u64,
 }
@@ -935,6 +941,72 @@ impl Vm {
         Ok(n)
     }
 
+    /// Revocation sweep over space `id`: kills every capability pointing
+    /// into one of `ranges` (`(base, len)` pairs — typically an
+    /// allocator's quarantine list), wherever it lives. Resident pages
+    /// have the hit tags cleared in place; pages sitting in swap have the
+    /// hit entries dropped from the slot's saved-capability list, so
+    /// swap-in cannot rederive a revoked capability later. Every kill
+    /// bumps [`VmStats::caps_swept`].
+    ///
+    /// Returns `(capabilities swept, pages scanned)`.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::NoSuchSpace`] for an unknown space.
+    pub fn revoke_ranges(
+        &mut self,
+        id: AsId,
+        ranges: &[(u64, u64)],
+    ) -> Result<(u64, u64), VmError> {
+        if ranges.is_empty() {
+            return Ok((0, 0));
+        }
+        let hit = |cap: &Capability| {
+            ranges.iter().any(|&(b, l)| {
+                (cap.base() as u128) < (b as u128 + l as u128) && cap.top() > b.into()
+            })
+        };
+        let mut pages: Vec<PageState> = self
+            .spaces
+            .get(&id)
+            .ok_or(VmError::NoSuchSpace)?
+            .pages
+            .values()
+            .copied()
+            .collect();
+        // The page table is a HashMap; fix the walk order so sweep costs
+        // (and any counter downstream) are identical across runs.
+        pages.sort_unstable_by_key(|st| match st {
+            PageState::Resident { frame, .. } => (0, u64::from(frame.0)),
+            PageState::Swapped { slot } => (1, *slot),
+        });
+        let mut swept = 0u64;
+        for st in &pages {
+            match st {
+                PageState::Resident { frame, .. } => {
+                    let caps = self.phys.scan_caps(*frame).expect("live frame");
+                    for (off, cap) in caps {
+                        if hit(&cap) {
+                            self.phys
+                                .store_cap(PAddr::new(*frame, off), cap.clear_tag())
+                                .expect("aligned by scan");
+                            swept += 1;
+                        }
+                    }
+                }
+                PageState::Swapped { slot } => {
+                    let s = self.swap[*slot as usize].as_mut().expect("live swap slot");
+                    let before = s.caps.len();
+                    s.caps.retain(|(_, cap)| !hit(cap));
+                    swept += (before - s.caps.len()) as u64;
+                }
+            }
+        }
+        self.stats.caps_swept += swept;
+        Ok((swept, pages.len() as u64))
+    }
+
     fn swap_in(&mut self, id: AsId, vpn: u64, slot: u64) -> Result<FrameId, VmError> {
         // Injected swap-device read error: checked before the slot is
         // consumed or a frame allocated, so a retry re-enters this path
@@ -1442,6 +1514,54 @@ mod tests {
         assert_eq!(vm.stats.caps_orphaned, 1, "orphan reported, not dropped");
         assert_eq!(vm.stats.caps_refused, 0);
         assert_eq!(vm.stats.caps_rederived, 0);
+        assert_eq!(
+            vm.stats.caps_swept, 0,
+            "no sweep ran; planes must not alias"
+        );
+    }
+
+    #[test]
+    fn revoke_ranges_sweeps_resident_and_swapped_holders() {
+        let (mut vm, id) = setup();
+        let holder = vm
+            .map(id, Some(0x40000), 8192, Prot::rw(), Backing::Zero, "holder")
+            .unwrap();
+        let target = vm
+            .map(id, Some(0x50000), 4096, Prot::rw(), Backing::Zero, "target")
+            .unwrap();
+        let root = vm.space(id).root;
+        let cap = root
+            .with_addr(target)
+            .set_bounds(64, true)
+            .unwrap()
+            .and_perms(Perms::user_data())
+            .with_source(CapSource::Malloc);
+        // One stale holder stays resident, one goes through swap.
+        vm.store_cap(id, holder + 16, cap).unwrap();
+        vm.store_cap(id, holder + 4096 + 32, cap).unwrap();
+        assert!(vm.swap_out(id, holder + 4096).unwrap());
+        let (swept, _) = vm.revoke_ranges(id, &[(target, 64)]).unwrap();
+        assert_eq!(swept, 2, "resident tag cleared and swap entry dropped");
+        assert_eq!(vm.stats.caps_swept, 2);
+        assert_eq!(
+            vm.load_cap(id, holder + 16).unwrap(),
+            None,
+            "resident stale capability is dead"
+        );
+        assert_eq!(
+            vm.load_cap(id, holder + 4096 + 32).unwrap(),
+            None,
+            "swap-in must not rederive a swept capability"
+        );
+        // The sweep is what killed the swapped holder — not the swap
+        // rederivation plane: the target mapping still exists, so without
+        // the sweep this would have come back tagged.
+        assert_eq!(vm.stats.caps_orphaned, 0, "swept, not orphaned");
+        assert_eq!(vm.stats.caps_rederived, 0);
+        // Idempotence: a second sweep finds nothing left to kill.
+        let (again, _) = vm.revoke_ranges(id, &[(target, 64)]).unwrap();
+        assert_eq!(again, 0);
+        assert_eq!(vm.stats.caps_swept, 2);
     }
 
     #[test]

@@ -162,6 +162,65 @@ if ./target/release/prop_oracle --cases 64 --seed 7 --weaken-sem > /dev/null 2>&
     exit 1
 fi
 
+echo "==> oracle plane: sampled lockstep (--oracle-every 64) matches the plain run"
+./target/release/run_specs --specs scripts/golden/table1_pinned.specs \
+    --jobs 2 --no-cache --oracle lockstep --oracle-every 64 --shard 0/1 \
+    > target/table1-oracle-sampled.lines
+cmp target/table1-pinned.lines target/table1-oracle-sampled.lines || {
+    echo "FAIL: sampled lockstep perturbed guest metrics (or diverged) on the"
+    echo "      table1 pinned suite (--oracle-every must be observation-only)"
+    exit 1
+}
+
+echo "==> attack plane: spec matrix is byte-identical to the committed golden"
+./target/release/table_attacks --dump-specs > target/attacks-specs.lines
+cmp scripts/golden/table_attacks.specs target/attacks-specs.lines || {
+    echo "FAIL: attack spec matrix differs from scripts/golden/table_attacks.specs"
+    echo "      (if intentional, regenerate the specs AND the golden:"
+    echo "       ./target/release/table_attacks --dump-specs > scripts/golden/table_attacks.specs"
+    echo "       ./target/release/table_attacks --jobs 2 --json > scripts/golden/table_attacks.golden)"
+    exit 1
+}
+
+echo "==> attack plane: verdict table is byte-identical to the committed golden"
+./target/release/table_attacks --jobs 2 --json > target/attacks.lines || {
+    echo "FAIL: table_attacks self-enforcement tripped (a family escaped the"
+    echo "      hardened membrane, nothing escaped mips64, or a cell lost its verdict)"
+    exit 1
+}
+cmp scripts/golden/table_attacks.golden target/attacks.lines || {
+    echo "FAIL: attack verdicts differ from scripts/golden/table_attacks.golden"
+    echo "      (a containment outcome or evidence counter changed; if intentional:"
+    echo "       ./target/release/table_attacks --jobs 2 --json > scripts/golden/table_attacks.golden)"
+    exit 1
+}
+
+echo "==> attack plane: weakened quarantine MUST let reuse-based UAF escape"
+if ./target/release/table_attacks --jobs 2 --weaken-quarantine > /dev/null 2>&1; then
+    echo "FAIL: --weaken-quarantine went undetected — the hardened membrane's"
+    echo "      self-enforcement is broken (disabling quarantine must re-open UAF)"
+    exit 1
+fi
+
+echo "==> attack plane: hardened verdicts are divergence-free under lockstep"
+./target/release/table_attacks --jobs 2 --json --oracle lockstep \
+    > target/attacks-lockstep.lines || {
+    echo "FAIL: the lockstep oracle reported divergences over the attack table"
+    exit 1
+}
+cmp scripts/golden/table_attacks.golden target/attacks-lockstep.lines || {
+    echo "FAIL: attack verdicts change under the lockstep oracle"
+    exit 1
+}
+
+echo "==> attack plane: hardened 8-seed fault campaign is clean under lockstep"
+./target/release/fault_campaign --seeds 8 --jobs 2 --no-cache --hardened \
+    --oracle lockstep --out target/faults-hardened.json || {
+    echo "FAIL: the hardened membrane broke the fault campaign (host panics,"
+    echo "      silent successes, or lockstep divergences under --hardened)"
+    exit 1
+}
+
 echo "==> scenario plane: pinned table_server grid is byte-identical to the golden"
 ./target/release/run_specs --specs scripts/golden/scenario_pinned.specs \
     --jobs 2 --no-cache --shard 0/1 > target/scenario-pinned.lines
