@@ -8,7 +8,13 @@
 //! table/figure binary prints its own session's list with `--dump-specs`,
 //! so `table1 --dump-specs | run_specs --specs -` replays table 1 case by
 //! case, and any subset of those lines replays a pinned sub-suite (the
-//! `scripts/ci.sh` golden gate does exactly that).
+//! `scripts/ci.sh` golden gate does exactly that). It is also the fleet
+//! worker: `fleet_run` (and `--fleet N` on any binary) pipes work units
+//! through `run_specs --specs - --jobs 1 --no-cache --shard 0/1`.
+//!
+//! Malformed spec lines are skipped and counted (`specs_rejected` on
+//! stderr), never fatal — one torn line must not kill a fleet unit. The
+//! exit is non-zero only when *every* line is malformed.
 
 use cheri_bench::cli;
 
@@ -18,14 +24,21 @@ fn main() {
         eprintln!("run_specs: requires --specs <path> (or --specs - for stdin)");
         std::process::exit(2);
     };
-    let specs = match cli::read_specs(&source) {
-        Ok(specs) => specs,
+    let list = match cli::read_specs(&source) {
+        Ok(list) => list,
         Err(msg) => {
             eprintln!("run_specs: {msg}");
             std::process::exit(2);
         }
     };
-    let Some(reports) = cli::run_specs(&cheri_bench::registry(), &specs, &opts) else {
+    if list.rejected > 0 {
+        eprintln!(
+            "run_specs: specs_rejected={} specs_accepted={}",
+            list.rejected,
+            list.specs.len()
+        );
+    }
+    let Some(reports) = cli::run_specs(&cheri_bench::registry(), &list.specs, &opts) else {
         return;
     };
     for (index, report) in reports.iter().enumerate() {

@@ -4,7 +4,9 @@
 //!
 //! All six suite×ABI batches run as one harness session, so `--cache`,
 //! `--shard` and `--json-stream` see a single spec list with stable
-//! submission indices.
+//! submission indices — and `--fleet N` dispatches that same list through
+//! the crash/hang-surviving fleet coordinator, aggregating the table from
+//! byte-identically merged worker results.
 
 use cheri_bench::cli::{self, json_escape};
 use cheri_corpus::families::{freebsd_suite, libcxx_suite};

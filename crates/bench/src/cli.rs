@@ -71,6 +71,17 @@ pub struct BenchOpts {
     /// quarantined frees, revocation sweeps and deterministic kernel-side
     /// repairs, with evidence counters on each report.
     pub hardened: bool,
+    /// Dispatch the session through the fault-tolerant fleet coordinator
+    /// with this many worker subprocesses (`--fleet N`). Workers are
+    /// sibling `run_specs` processes; results merge byte-identically with
+    /// the single-process run, and worker crashes/hangs/corrupt output are
+    /// recovered, not fatal. Incompatible with `--shard`.
+    pub fleet: Option<usize>,
+    /// Seeded coordinator-side fault injection for the fleet
+    /// (`--chaos SEED`): deterministically kill workers mid-unit, delay
+    /// their output, and insert garbage lines, proving the recovery paths
+    /// in CI. Requires `--fleet`.
+    pub chaos: Option<u64>,
 }
 
 impl Default for BenchOpts {
@@ -90,6 +101,8 @@ impl Default for BenchOpts {
             weaken_sem: false,
             oracle_every: 1,
             hardened: false,
+            fleet: None,
+            chaos: None,
         }
     }
 }
@@ -157,6 +170,23 @@ pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<BenchOpts, S
                 opts.oracle_every = every;
             }
             "--hardened" => opts.hardened = true,
+            "--fleet" => {
+                let value = iter.next().ok_or("--fleet needs a worker count")?;
+                let workers: usize = value
+                    .parse()
+                    .map_err(|_| format!("--fleet: not a number: {value}"))?;
+                if workers == 0 {
+                    return Err("--fleet must be at least 1".to_string());
+                }
+                opts.fleet = Some(workers);
+            }
+            "--chaos" => {
+                let value = iter.next().ok_or("--chaos needs a seed")?;
+                let seed: u64 = value
+                    .parse()
+                    .map_err(|_| format!("--chaos: not a seed: {value}"))?;
+                opts.chaos = Some(seed);
+            }
             "--retries" => {
                 let value = iter.next().ok_or("--retries needs a value")?;
                 let retries: u64 = value
@@ -170,6 +200,14 @@ pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<BenchOpts, S
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown argument: {other}\n{USAGE}")),
         }
+    }
+    if opts.fleet.is_some() && opts.shard.is_some() {
+        return Err(
+            "--fleet cannot combine with --shard (shard first, then fleet each shard)".to_string(),
+        );
+    }
+    if opts.chaos.is_some() && opts.fleet.is_none() {
+        return Err("--chaos requires --fleet (or the fleet_run binary)".to_string());
     }
     Ok(opts)
 }
@@ -205,7 +243,13 @@ pub const USAGE: &str = "options:\n  \
     and cache identity are unaffected)\n  \
     --hardened     run every case under the hardened membrane ABI:\n                 \
     quarantined frees, revocation sweeps and deterministic\n                 \
-    kernel repairs, with evidence counters on each report";
+    kernel repairs, with evidence counters on each report\n  \
+    --fleet N      dispatch the session through the fault-tolerant fleet\n                 \
+    coordinator with N worker subprocesses (sibling run_specs\n                 \
+    processes; crashes, hangs and corrupt output are recovered,\n                 \
+    and the merge is byte-identical to a single-process run)\n  \
+    --chaos SEED   seeded coordinator fault injection (kill a worker\n                 \
+    mid-unit, delay output, insert a garbage line); needs --fleet";
 
 /// Parses the process arguments; prints the usage text and exits 0 on
 /// `--help`, exits 2 on anything unrecognised.
@@ -263,14 +307,29 @@ pub fn parse_env_with_specs() -> (BenchOpts, Option<String>) {
     }
 }
 
+/// A parsed spec list plus the malformed lines that were skipped.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpecList {
+    /// The specs that parsed, in input order.
+    pub specs: Vec<RunSpec>,
+    /// Malformed lines skipped (`specs_rejected` in the session summary).
+    pub rejected: usize,
+}
+
 /// Reads a `RunSpec` list from `source`: a file path, or `-` for stdin.
 /// Accepts either a top-level JSON array of spec objects or one spec
 /// object per non-blank line (the `--dump-specs` format).
 ///
+/// A malformed *line* is skipped and counted (with a warning on stderr),
+/// not fatal: a fleet unit fed a list with one torn line still runs the
+/// other cases. A malformed top-level *array* is still an error — torn
+/// array syntax leaves no line boundaries to recover at.
+///
 /// # Errors
 ///
-/// Returns a message naming the offending input on I/O or parse failure.
-pub fn read_specs(source: &str) -> Result<Vec<RunSpec>, String> {
+/// Returns a message on I/O failure, a malformed array document, an empty
+/// list, or when *every* line is malformed.
+pub fn read_specs(source: &str) -> Result<SpecList, String> {
     use std::io::Read as _;
     let text = if source == "-" {
         let mut buf = String::new();
@@ -282,6 +341,7 @@ pub fn read_specs(source: &str) -> Result<Vec<RunSpec>, String> {
         std::fs::read_to_string(source).map_err(|e| format!("reading {source}: {e}"))?
     };
     let mut specs = Vec::new();
+    let mut rejected = 0usize;
     if text.trim_start().starts_with('[') {
         let doc = cheriabi::json::parse(&text).map_err(|e| format!("spec list: {e}"))?;
         let cheriabi::json::Json::Arr(items) = doc else {
@@ -295,17 +355,27 @@ pub fn read_specs(source: &str) -> Result<Vec<RunSpec>, String> {
             if line.trim().is_empty() {
                 continue;
             }
-            let doc = cheriabi::json::parse(line)
-                .map_err(|e| format!("spec line {}: {e}", lineno + 1))?;
-            specs.push(
-                RunSpec::from_json(&doc).map_err(|e| format!("spec line {}: {e}", lineno + 1))?,
-            );
+            let parsed = cheriabi::json::parse(line)
+                .map_err(|e| e.to_string())
+                .and_then(|doc| RunSpec::from_json(&doc));
+            match parsed {
+                Ok(spec) => specs.push(spec),
+                Err(e) => {
+                    eprintln!("warning: skipping malformed spec line {}: {e}", lineno + 1);
+                    rejected += 1;
+                }
+            }
         }
     }
     if specs.is_empty() {
+        if rejected > 0 {
+            return Err(format!(
+                "all {rejected} spec lines in {source} are malformed"
+            ));
+        }
         return Err(format!("no specs found in {source}"));
     }
-    Ok(specs)
+    Ok(SpecList { specs, rejected })
 }
 
 /// Runs one harness session over `specs` honouring every shared flag:
@@ -365,6 +435,9 @@ pub fn run_specs(
         }
         return None;
     }
+    if let Some(workers) = opts.fleet {
+        return Some(run_fleet_session(registry, specs, workers, opts));
+    }
     let cache = if opts.cache {
         // The salt covers codegen *and* runtime behaviour, so a kernel or
         // VM change invalidates cached reports just like a codegen change.
@@ -419,6 +492,48 @@ pub fn run_specs(
         return None;
     }
     Some(session.into_reports())
+}
+
+/// The canonical worker command for this process: the sibling `run_specs`
+/// binary next to the current executable, if one exists. `None` (no
+/// sibling — e.g. a test runner) makes the fleet run every unit
+/// in-process, which is the coordinator's fully-degraded mode anyway.
+#[must_use]
+pub fn sibling_worker() -> Option<cheriabi::fleet::WorkerCmd> {
+    let exe = std::env::current_exe().ok()?;
+    let candidate = exe.parent()?.join("run_specs");
+    candidate
+        .is_file()
+        .then(|| cheriabi::fleet::WorkerCmd::run_specs(candidate))
+}
+
+/// Dispatches `specs` through the fleet coordinator (`--fleet N`) and
+/// decodes the merged deterministic lines back into reports, so the
+/// calling table/figure binary aggregates exactly as it would have from an
+/// in-process session. The fleet summary goes to stderr.
+fn run_fleet_session(
+    registry: &Registry,
+    specs: &[RunSpec],
+    workers: usize,
+    opts: &BenchOpts,
+) -> Vec<CaseReport> {
+    let fleet_opts = cheriabi::fleet::FleetOpts {
+        workers,
+        chaos: opts.chaos,
+        worker: sibling_worker(),
+        ..cheriabi::fleet::FleetOpts::default()
+    };
+    let out = cheriabi::fleet::run_fleet(registry, specs, &fleet_opts);
+    eprintln!("{}", out.stats.summary_line());
+    out.lines
+        .iter()
+        .map(|line| {
+            // Fleet lines are validated on receipt; a decode failure here
+            // is a coordinator bug, not worker behaviour.
+            let doc = cheriabi::json::parse(line).expect("validated fleet line");
+            CaseReport::from_json(&doc).expect("validated fleet report")
+        })
+        .collect()
 }
 
 /// Escapes a string for inclusion in a JSON string literal.
@@ -606,14 +721,60 @@ mod tests {
         let lines_path = dir.join("specs.jsonl");
         std::fs::write(&lines_path, format!("{line}\n\n{line}\n")).expect("write");
         let from_lines = read_specs(lines_path.to_str().expect("utf8 path")).expect("lines");
-        assert_eq!(from_lines.len(), 2);
-        assert_eq!(from_lines[0], spec);
+        assert_eq!(from_lines.specs.len(), 2);
+        assert_eq!(from_lines.rejected, 0);
+        assert_eq!(from_lines.specs[0], spec);
         let array_path = dir.join("specs.json");
         std::fs::write(&array_path, format!("[{line},\n {line}]")).expect("write");
         let from_array = read_specs(array_path.to_str().expect("utf8 path")).expect("array");
         assert_eq!(from_array, from_lines);
         assert!(read_specs(dir.join("missing.json").to_str().expect("utf8")).is_err());
+
+        // Malformed lines are skipped and counted, not fatal: a fleet unit
+        // fed one torn line still runs its other cases.
+        let torn_path = dir.join("torn.jsonl");
+        std::fs::write(
+            &torn_path,
+            format!("{line}\n{{\"torn\": \n{line}\nnot json at all\n"),
+        )
+        .expect("write");
+        let lenient = read_specs(torn_path.to_str().expect("utf8 path")).expect("lenient");
+        assert_eq!(lenient.specs.len(), 2, "good lines survive the bad ones");
+        assert_eq!(lenient.rejected, 2, "bad lines are counted");
+
+        // ... but a list with *no* good line is still an error.
+        let hopeless_path = dir.join("hopeless.jsonl");
+        std::fs::write(&hopeless_path, "{bad\n{worse\n").expect("write");
+        let err =
+            read_specs(hopeless_path.to_str().expect("utf8 path")).expect_err("all-bad lists fail");
+        assert!(err.contains("all 2 spec lines"), "{err}");
+
+        // A torn top-level array has no line boundaries to recover at.
+        let torn_array = dir.join("torn.json");
+        std::fs::write(&torn_array, format!("[{line},")).expect("write");
+        assert!(read_specs(torn_array.to_str().expect("utf8 path")).is_err());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parses_fleet_and_chaos() {
+        let defaults = parse_args(args(&[])).expect("parses");
+        assert_eq!(defaults.fleet, None);
+        assert_eq!(defaults.chaos, None);
+        let opts = parse_args(args(&["--fleet", "3", "--chaos", "7"])).expect("parses");
+        assert_eq!(opts.fleet, Some(3));
+        assert_eq!(opts.chaos, Some(7));
+        assert!(parse_args(args(&["--fleet"])).is_err());
+        assert!(parse_args(args(&["--fleet", "0"])).is_err());
+        assert!(parse_args(args(&["--fleet", "many"])).is_err());
+        assert!(
+            parse_args(args(&["--chaos", "7"])).is_err(),
+            "--chaos needs --fleet"
+        );
+        assert!(
+            parse_args(args(&["--fleet", "2", "--shard", "0/2"])).is_err(),
+            "--fleet and --shard do not compose"
+        );
     }
 
     #[test]

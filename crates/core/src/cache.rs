@@ -46,7 +46,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
-use std::time::SystemTime;
+use std::time::{Duration, SystemTime};
 
 /// A versioned fingerprint of the *runtime* — kernel, VM, CPU, loader —
 /// as observed through a fixed probe trace: a scripted VM scenario
@@ -129,12 +129,34 @@ pub fn session_salt() -> u64 {
     json::fnv1a(&bytes)
 }
 
+/// Process-global sequence for temporary-file names. A per-handle counter
+/// would reset to zero for every `ReportCache` opened on the same
+/// directory, so two handles in one process storing the same key could
+/// race to the *same* tmp path and tear each other's rename. One counter
+/// per process makes every `(pid, nonce, seq)` triple unique.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A per-process nonce folded into tmp names, guarding the remaining
+/// cross-process hole: pid reuse while a crashed writer's tmp file still
+/// sits in a shared cache directory.
+fn tmp_nonce() -> u64 {
+    static NONCE: OnceLock<u64> = OnceLock::new();
+    *NONCE.get_or_init(|| {
+        let clock = SystemTime::now()
+            .duration_since(SystemTime::UNIX_EPOCH)
+            .map_or(0u128, |d| d.as_nanos());
+        let mut bytes = [0u8; 20];
+        bytes[..4].copy_from_slice(&std::process::id().to_le_bytes());
+        bytes[4..].copy_from_slice(&clock.to_le_bytes());
+        json::fnv1a(&bytes)
+    })
+}
+
 /// A handle to one cache directory + salt.
 #[derive(Debug)]
 pub struct ReportCache {
     dir: PathBuf,
     salt: u64,
-    tmp_seq: AtomicU64,
     /// Entry paths written by *this* handle, exempt from [`ReportCache::prune`]:
     /// the session that just produced a report must never lose it to its
     /// own size bound (mtime granularity makes "newest by timestamp" an
@@ -155,7 +177,6 @@ impl ReportCache {
         Ok(ReportCache {
             dir,
             salt,
-            tmp_seq: AtomicU64::new(0),
             written: Mutex::new(HashSet::new()),
         })
     }
@@ -245,11 +266,16 @@ impl ReportCache {
             ("report", report.to_json()),
         ]);
         let path = self.entry_path(spec);
+        // pid + process nonce + process-global sequence: unique even when
+        // several handles in several processes store the same key into a
+        // shared directory at once. The rename then lets last-writer-win
+        // without any reader ever seeing a torn entry.
         let tmp = self.dir.join(format!(
-            "{:016x}.tmp.{}.{}",
+            "{:016x}.tmp.{}.{:08x}.{}",
             self.key(spec),
             std::process::id(),
-            self.tmp_seq.fetch_add(1, Ordering::Relaxed)
+            tmp_nonce() & 0xffff_ffff,
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
         ));
         let mut text = entry.to_string();
         text.push('\n');
@@ -277,9 +303,12 @@ impl ReportCache {
     /// # Errors
     ///
     /// Returns the I/O error if the cache directory cannot be listed;
-    /// errors on individual files (e.g. a concurrent session removed one
-    /// first) are ignored.
+    /// errors on individual files are tolerated — in a shared directory a
+    /// concurrent session (or a fleet worker) may remove or replace any
+    /// entry between our listing and our unlink, and a vanished entry just
+    /// counts as already pruned.
     pub fn prune(&self, limit_bytes: u64) -> io::Result<(usize, u64)> {
+        self.sweep_orphan_tmps(ORPHAN_TMP_MAX_AGE);
         let mut entries: Vec<(PathBuf, u64, SystemTime)> = Vec::new();
         let mut total: u64 = 0;
         for dirent in fs::read_dir(&self.dir)? {
@@ -288,6 +317,8 @@ impl ReportCache {
             if path.extension().and_then(|e| e.to_str()) != Some("json") {
                 continue;
             }
+            // The entry can vanish between readdir and stat: a concurrent
+            // prune got there first. Skip it — it is already "removed".
             let Ok(meta) = dirent.metadata() else {
                 continue;
             };
@@ -312,14 +343,60 @@ impl ReportCache {
             if written.contains(&path) {
                 continue;
             }
-            if fs::remove_file(&path).is_ok() {
-                removed += 1;
-                total -= len;
+            match fs::remove_file(&path) {
+                Ok(()) => {
+                    removed += 1;
+                    total -= len;
+                }
+                // Vanished underneath us: its bytes are gone either way.
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                    total = total.saturating_sub(len);
+                }
+                // Anything else (permissions, I/O): leave the bytes in the
+                // total and keep going — prune is best-effort.
+                Err(_) => {}
             }
         }
         Ok((removed, total))
     }
+
+    /// Removes abandoned temporary files — `*.tmp.*` debris older than
+    /// `max_age`, left behind by writers that crashed (or were chaos-killed)
+    /// between write and rename. Recent tmp files are left alone: they may
+    /// belong to a live writer about to rename. Errors are swallowed;
+    /// sweeping is best-effort hygiene.
+    pub fn sweep_orphan_tmps(&self, max_age: Duration) {
+        let Ok(dir) = fs::read_dir(&self.dir) else {
+            return;
+        };
+        let now = SystemTime::now();
+        for dirent in dir.flatten() {
+            let path = dirent.path();
+            let is_tmp = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.contains(".tmp."));
+            if !is_tmp {
+                continue;
+            }
+            let Ok(meta) = dirent.metadata() else {
+                continue;
+            };
+            let age = meta
+                .modified()
+                .ok()
+                .and_then(|m| now.duration_since(m).ok());
+            if age.is_some_and(|a| a >= max_age) {
+                let _ = fs::remove_file(&path);
+            }
+        }
+    }
 }
+
+/// How stale a `*.tmp.*` file must be before [`ReportCache::prune`] sweeps
+/// it as writer debris. Generous: a live writer holds a tmp file for
+/// microseconds, a crashed one forever.
+const ORPHAN_TMP_MAX_AGE: Duration = Duration::from_secs(3600);
 
 #[cfg(test)]
 mod tests {
@@ -735,6 +812,93 @@ mod tests {
         assert_eq!(removed, 0);
         assert!(remaining > 0);
         assert!(cache.load(&spec).is_some());
+    }
+
+    #[test]
+    fn concurrent_handles_storing_the_same_key_never_tear() {
+        // The regression this guards: per-handle tmp sequences both start
+        // at 0, so two handles in one process racing to store the same key
+        // used to collide on the tmp path — one writer's rename could move
+        // the other's half-written file into place.
+        let tmp = TempDir::new("concurrent-store");
+        let registry = Registry::builtin();
+        let spec = exit_spec("case", 5);
+        let report = execute_spec(&registry, &spec);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let dir = &tmp.0;
+                let spec = &spec;
+                let report = &report;
+                scope.spawn(move || {
+                    let cache = ReportCache::new(dir, 1).expect("open cache");
+                    for _ in 0..25 {
+                        cache.store(spec, report);
+                        if let Some(hit) = cache.load(spec) {
+                            assert_eq!(&hit, report, "no reader ever sees a torn entry");
+                        }
+                    }
+                });
+            }
+        });
+        let cache = ReportCache::new(&tmp.0, 1).expect("open cache");
+        assert_eq!(cache.load(&spec).expect("entry present"), report);
+        // Every rename landed or was cleaned up: no tmp debris remains.
+        let leftovers: Vec<_> = fs::read_dir(&tmp.0)
+            .expect("list")
+            .flatten()
+            .filter(|d| d.path().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "leftover tmp files: {leftovers:?}");
+    }
+
+    #[test]
+    fn concurrent_prunes_tolerate_entries_vanishing() {
+        let tmp = TempDir::new("concurrent-prune");
+        let registry = Registry::builtin();
+        let seeder = ReportCache::new(&tmp.0, 1).expect("open cache");
+        for seed in 0..12 {
+            let spec = exit_spec("old", seed);
+            seeder.store(&spec, &execute_spec(&registry, &spec));
+        }
+        drop(seeder);
+        // Several sessions prune the same directory at once: each lists
+        // all entries, then races the others to unlink them. Every
+        // NotFound must read as "already pruned", never an error.
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let dir = &tmp.0;
+                scope.spawn(move || {
+                    let cache = ReportCache::new(dir, 1).expect("open cache");
+                    let (_, remaining) = cache.prune(0).expect("prune survives the race");
+                    assert_eq!(remaining, 0, "limit 0 empties the directory");
+                });
+            }
+        });
+        let survivors = fs::read_dir(&tmp.0).expect("list").flatten().count();
+        assert_eq!(survivors, 0);
+    }
+
+    #[test]
+    fn prune_sweeps_stale_tmp_debris_but_spares_fresh_writers() {
+        let tmp = TempDir::new("orphan-tmp");
+        let cache = ReportCache::new(&tmp.0, 1).expect("open cache");
+        let stale = tmp.0.join("deadbeefdeadbeef.tmp.1234.00c0ffee.0");
+        let fresh = tmp.0.join("deadbeefdeadbeef.tmp.5678.00c0ffee.1");
+        fs::write(&stale, "{ half-written").expect("stale tmp");
+        fs::write(&fresh, "{ half-written").expect("fresh tmp");
+        // Age the stale one past the sweep threshold.
+        let old = SystemTime::now() - (ORPHAN_TMP_MAX_AGE + Duration::from_secs(60));
+        let handle = fs::File::options()
+            .write(true)
+            .open(&stale)
+            .expect("reopen stale tmp");
+        handle
+            .set_times(fs::FileTimes::new().set_modified(old))
+            .expect("age the tmp file");
+        drop(handle);
+        cache.prune(u64::MAX).expect("prune");
+        assert!(!stale.exists(), "crashed-writer debris is swept");
+        assert!(fresh.exists(), "a live writer's tmp file is spared");
     }
 
     #[test]

@@ -1,0 +1,1233 @@
+//! The fault-tolerant fleet executor.
+//!
+//! The ROADMAP's fleet-scale evaluation service wants a million-case
+//! corpus sweep as a routine CI job. At that scale individual runner
+//! failures are *routine inputs*, not exceptional conditions: a worker
+//! process dies mid-shard, wedges on a pathological case, or emits a torn
+//! JSON line because the box ran out of memory. This module is the
+//! coordinator that absorbs all of that while still producing output
+//! byte-identical to a single-process run.
+//!
+//! **The protocol.** The spec list is split into fixed-size *work units*
+//! (contiguous runs of submission indices). Each unit is piped to a worker
+//! subprocess — by convention `run_specs --specs - --jobs 1 --no-cache
+//! --shard 0/1` — as one spec JSON line per case on stdin; the worker
+//! prints one deterministic report line per case (`{"case":<local>,...}`,
+//! no wall time, no host counters) on stdout. The coordinator validates
+//! every line, rewrites the local indices to global submission indices
+//! *textually* (so worker bytes are preserved exactly), and concatenates
+//! the units in order. Because the deterministic line format is
+//! context-free, the merged output is byte-identical to
+//! `run_specs --shard 0/1` over the whole list — the same contract the
+//! shard-merge machinery already enforces ([`crate::harness::merge_shards`]).
+//!
+//! **The unit lifecycle** (see DESIGN.md "The fleet tier"):
+//!
+//! ```text
+//!            +----------------------------- backoff -------------+
+//!            v                                                   |
+//! Pending -> Dispatched(attempt k) --crash/hang/poison/spawn-fail+
+//!            |        |                                (k < retries)
+//!            |        +-- crash/hang/poison (k >= retries) -> InProcess
+//!            v                                                   |
+//!        Completed  <--------------------------------------------+
+//!            |
+//!            v
+//!       Checkpointed
+//! ```
+//!
+//! * a worker that exceeds the per-unit wall deadline is **killed** and the
+//!   unit re-dispatched (hang detection);
+//! * a worker that exits non-zero, dies to a signal, or cannot even be
+//!   spawned costs one attempt with a deterministic exponential backoff —
+//!   the exact harness retry policy ([`crate::harness::retry_backoff`]);
+//! * corrupt, truncated or miscounted output is scored
+//!   [`UnitOutcome::Poisoned`] and counted, never propagated and never
+//!   fatal;
+//! * a unit that exhausts its subprocess attempts degrades to **in-process
+//!   execution** on the coordinator's own thread — the sweep always
+//!   completes, even with no working worker binary at all;
+//! * near the end of the sweep, idle slots speculatively duplicate the
+//!   longest-running in-flight unit (straggler re-issue); the first valid
+//!   result wins and the loser is discarded.
+//!
+//! **Checkpointing.** Every completed unit is written (atomic tmp+rename)
+//! to `target/fleet-ckpt/<session>/unit-NNNNN.ckpt`, where `<session>` is
+//! a hash of the full spec list and the unit size. With
+//! [`FleetOpts::resume`], valid checkpoints are loaded before dispatching
+//! and their units are never re-executed; an interrupted sweep therefore
+//! redoes zero completed work. A sweep that runs to completion removes its
+//! session directory.
+//!
+//! **Chaos mode.** [`FleetOpts::chaos`] arms a seeded fault injector
+//! *inside the coordinator*: it kills workers mid-unit, delays their
+//! output, and inserts garbage lines into their streams — deterministically
+//! per `(seed, unit, attempt)`, and only on the first attempt so recovery
+//! always converges. This is the coordinator's own `FaultPlan`: the CI
+//! chaos gate proves the recovery paths produce byte-identical output with
+//! faults armed.
+
+use crate::harness::{execute_spec, retry_backoff, RunSpec};
+use crate::json::{self, Json};
+use crate::spec::Registry;
+use std::collections::VecDeque;
+use std::fmt;
+use std::fs;
+use std::io::{Read as _, Write as _};
+use std::ops::Range;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// How a worker subprocess is launched. The command must read spec JSON
+/// lines on stdin and print one deterministic report line per spec
+/// (`{"case":<local index>,...}`, the `--shard` line format) on stdout —
+/// `run_specs --specs - --jobs 1 --no-cache --shard 0/1` is the canonical
+/// worker.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WorkerCmd {
+    /// Executable to spawn.
+    pub program: PathBuf,
+    /// Arguments, passed verbatim.
+    pub args: Vec<String>,
+}
+
+impl WorkerCmd {
+    /// The canonical worker invocation for a `run_specs` binary at `path`.
+    #[must_use]
+    pub fn run_specs(path: impl Into<PathBuf>) -> WorkerCmd {
+        WorkerCmd {
+            program: path.into(),
+            args: [
+                "--specs",
+                "-",
+                "--jobs",
+                "1",
+                "--no-cache",
+                "--shard",
+                "0/1",
+            ]
+            .iter()
+            .map(ToString::to_string)
+            .collect(),
+        }
+    }
+}
+
+/// Coordinator configuration.
+#[derive(Clone, Debug)]
+pub struct FleetOpts {
+    /// Worker slots (subprocesses dispatched concurrently), ≥ 1.
+    pub workers: usize,
+    /// Specs per work unit, ≥ 1.
+    pub unit_size: usize,
+    /// Wall-clock deadline per dispatched unit; a worker still running
+    /// past it is killed and the unit re-dispatched (hang detection).
+    pub unit_deadline: Duration,
+    /// Subprocess re-dispatch attempts per unit before degrading to
+    /// in-process execution. Backoff between attempts is the harness
+    /// policy, [`crate::harness::retry_backoff`].
+    pub retries: u64,
+    /// Seeded coordinator-side fault injection: kill a worker mid-unit,
+    /// delay its output, or insert a garbage line — deterministically per
+    /// `(seed, unit, attempt)`, first attempts only.
+    pub chaos: Option<u64>,
+    /// How to launch workers. `None` runs every unit in-process (the
+    /// fully-degraded mode, also the pure-library mode for tests).
+    pub worker: Option<WorkerCmd>,
+    /// Checkpoint root (`None` disables checkpointing). Completed units
+    /// are written under `<root>/<session>/`.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Load valid checkpoints before dispatching; their units are counted
+    /// as resumed and never re-executed.
+    pub resume: bool,
+    /// Test/CI hook: stop dispatching once this many units have completed
+    /// and return an interrupted summary — simulating an interrupted sweep
+    /// without needing to deliver a real signal.
+    pub stop_after: Option<usize>,
+    /// How long an in-flight unit must run before an idle slot may issue a
+    /// speculative duplicate of it.
+    pub straggler_after: Duration,
+}
+
+impl Default for FleetOpts {
+    fn default() -> Self {
+        FleetOpts {
+            workers: 4,
+            unit_size: 8,
+            unit_deadline: Duration::from_secs(120),
+            retries: 2,
+            chaos: None,
+            worker: None,
+            checkpoint_dir: Some(default_checkpoint_dir()),
+            resume: false,
+            stop_after: None,
+            straggler_after: Duration::from_secs(5),
+        }
+    }
+}
+
+/// The conventional checkpoint root, `<target dir>/fleet-ckpt/`
+/// (honouring `CARGO_TARGET_DIR`).
+#[must_use]
+pub fn default_checkpoint_dir() -> PathBuf {
+    std::env::var_os("CARGO_TARGET_DIR")
+        .map_or_else(|| PathBuf::from("target"), PathBuf::from)
+        .join("fleet-ckpt")
+}
+
+/// What one dispatch attempt of one unit produced.
+#[derive(Debug)]
+pub enum UnitOutcome {
+    /// Every line validated; the unit's deterministic report lines, with
+    /// global submission indices.
+    Completed(Vec<String>),
+    /// The worker exited cleanly but its output was corrupt: a torn or
+    /// non-JSON line, a wrong or out-of-order `case` index, or a line
+    /// count that does not match the unit. Counted, never fatal.
+    Poisoned(String),
+    /// The worker exited non-zero or died to a signal.
+    Crashed(String),
+    /// The worker outlived the per-unit deadline and was killed.
+    Hung,
+    /// The worker could not even be spawned.
+    SpawnFailed(String),
+}
+
+impl fmt::Display for UnitOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnitOutcome::Completed(lines) => write!(f, "completed ({} lines)", lines.len()),
+            UnitOutcome::Poisoned(why) => write!(f, "poisoned: {why}"),
+            UnitOutcome::Crashed(why) => write!(f, "crashed: {why}"),
+            UnitOutcome::Hung => write!(f, "hung (deadline exceeded, worker killed)"),
+            UnitOutcome::SpawnFailed(why) => write!(f, "spawn failed: {why}"),
+        }
+    }
+}
+
+/// Fleet counters. Everything here describes *how* the sweep ran (host
+/// conditions, chaos, recovery); none of it touches the merged output,
+/// which is deterministic by construction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FleetStats {
+    /// Work units in the sweep.
+    pub units: usize,
+    /// Units whose results were loaded from checkpoints (never
+    /// re-executed).
+    pub units_resumed: usize,
+    /// Units completed, including resumed ones.
+    pub units_completed: usize,
+    /// Units that degraded to in-process execution (spawn failure,
+    /// exhausted retries, or no worker command configured).
+    pub units_inprocess: usize,
+    /// Worker subprocesses spawned.
+    pub dispatches: u64,
+    /// Worker attempts that exited non-zero or died to a signal.
+    pub crashes: u64,
+    /// Worker attempts killed at the per-unit deadline.
+    pub hangs: u64,
+    /// Worker attempts with corrupt/truncated/miscounted output.
+    pub poisoned: u64,
+    /// Individual output lines that failed validation.
+    pub poisoned_lines: u64,
+    /// Worker attempts that could not be spawned.
+    pub spawn_failures: u64,
+    /// Speculative duplicates issued for straggling units.
+    pub straggler_duplicates: u64,
+    /// Results discarded because another copy of the unit finished first.
+    pub straggler_discards: u64,
+    /// Chaos: workers killed mid-unit.
+    pub chaos_kills: u64,
+    /// Chaos: garbage lines inserted into worker output.
+    pub chaos_garbage: u64,
+    /// Chaos: output deliveries delayed.
+    pub chaos_delays: u64,
+}
+
+impl FleetStats {
+    /// One-line machine-greppable rendering (the `fleet_run` stderr
+    /// summary).
+    #[must_use]
+    pub fn summary_line(&self) -> String {
+        format!(
+            "fleet: units={} completed={} resumed={} executed={} inprocess={} \
+             dispatches={} crashes={} hangs={} poisoned={} poisoned_lines={} \
+             spawn_failures={} stragglers={} discards={} \
+             chaos_kills={} chaos_garbage={} chaos_delays={}",
+            self.units,
+            self.units_completed,
+            self.units_resumed,
+            self.units_completed - self.units_resumed,
+            self.units_inprocess,
+            self.dispatches,
+            self.crashes,
+            self.hangs,
+            self.poisoned,
+            self.poisoned_lines,
+            self.spawn_failures,
+            self.straggler_duplicates,
+            self.straggler_discards,
+            self.chaos_kills,
+            self.chaos_garbage,
+            self.chaos_delays,
+        )
+    }
+}
+
+/// What a fleet sweep produced.
+#[derive(Clone, Debug)]
+pub struct FleetOutput {
+    /// Deterministic report lines in submission order (global `case`
+    /// indices) — byte-identical to `run_specs --shard 0/1` over the same
+    /// list. Empty when `interrupted`.
+    pub lines: Vec<String>,
+    /// Counters.
+    pub stats: FleetStats,
+    /// True when [`FleetOpts::stop_after`] fired: the sweep stopped early
+    /// with its completed units checkpointed for a later `resume`.
+    pub interrupted: bool,
+}
+
+// ---------------------------------------------------------------------
+// Chaos: the coordinator's own seeded fault plan
+// ---------------------------------------------------------------------
+
+/// A coordinator-injected fault for one `(seed, unit, attempt)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChaosAction {
+    /// Kill the worker right after feeding it the unit.
+    KillWorker,
+    /// Insert a garbage line into the worker's output stream.
+    GarbageLine,
+    /// Delay delivery of the worker's output.
+    DelayOutput,
+}
+
+/// SplitMix64: a tiny, deterministic, well-mixed hash for chaos decisions.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The chaos decision for one dispatch attempt: a pure function of
+/// `(seed, unit, attempt)`, so CI runs are reproducible. Faults fire on
+/// first attempts only — recovery therefore always converges, and a
+/// re-dispatched unit runs clean.
+#[must_use]
+pub fn chaos_action(seed: u64, unit: usize, attempt: u64) -> Option<ChaosAction> {
+    if attempt != 0 {
+        return None;
+    }
+    let h = splitmix64(seed ^ (unit as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    match h % 4 {
+        0 => Some(ChaosAction::KillWorker),
+        1 => Some(ChaosAction::GarbageLine),
+        2 => Some(ChaosAction::DelayOutput),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Checkpoints
+// ---------------------------------------------------------------------
+
+/// The checkpoint session key: a hash of every spec's canonical JSON plus
+/// the unit size, so a resumed sweep with a different list or different
+/// unit boundaries can never pick up a stale checkpoint.
+#[must_use]
+pub fn session_key(specs: &[RunSpec], unit_size: usize) -> u64 {
+    let mut text = format!("fleet-v1:unit={unit_size};");
+    for spec in specs {
+        text.push_str(&spec.to_json().to_string());
+        text.push('\n');
+    }
+    json::fnv1a(text.as_bytes())
+}
+
+fn unit_ckpt_path(session_dir: &std::path::Path, unit: usize) -> PathBuf {
+    session_dir.join(format!("unit-{unit:05}.ckpt"))
+}
+
+static CKPT_TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Writes one completed unit's lines atomically (tmp + rename; tmp names
+/// carry pid and a process-global nonce so concurrent coordinators sharing
+/// a checkpoint root never collide). I/O failures are swallowed: a
+/// checkpoint that cannot be written merely means that unit is re-executed
+/// on resume.
+fn write_unit_ckpt(session_dir: &std::path::Path, unit: usize, first: usize, lines: &[String]) {
+    if fs::create_dir_all(session_dir).is_err() {
+        return;
+    }
+    let header = Json::obj(vec![
+        ("unit", Json::u64(unit as u64)),
+        ("first", Json::u64(first as u64)),
+        ("lines", Json::u64(lines.len() as u64)),
+    ]);
+    let mut text = header.to_string();
+    text.push('\n');
+    for line in lines {
+        text.push_str(line);
+        text.push('\n');
+    }
+    let path = unit_ckpt_path(session_dir, unit);
+    let tmp = session_dir.join(format!(
+        "unit-{unit:05}.tmp.{}.{}",
+        std::process::id(),
+        CKPT_TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    if fs::write(&tmp, text).is_ok() && fs::rename(&tmp, &path).is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+}
+
+/// Loads one unit's checkpoint, re-validating the header and every line
+/// (parses as JSON, `case` field equals the expected global index). A
+/// torn, corrupt or mismatched checkpoint reads as absent — the unit is
+/// simply re-executed.
+fn load_unit_ckpt(
+    session_dir: &std::path::Path,
+    unit: usize,
+    globals: Range<usize>,
+) -> Option<Vec<String>> {
+    let text = fs::read_to_string(unit_ckpt_path(session_dir, unit)).ok()?;
+    let mut lines = text.lines();
+    let header = json::parse(lines.next()?).ok()?;
+    if header.get("unit")?.as_u64().ok()? != unit as u64
+        || header.get("first")?.as_u64().ok()? != globals.start as u64
+        || header.get("lines")?.as_u64().ok()? != globals.len() as u64
+    {
+        return None;
+    }
+    let body: Vec<&str> = lines.collect();
+    if body.len() != globals.len() {
+        return None;
+    }
+    let mut out = Vec::with_capacity(body.len());
+    for (line, global) in body.iter().zip(globals) {
+        let parsed = json::parse(line).ok()?;
+        if parsed.get("case")?.as_u64().ok()? != global as u64 {
+            return None;
+        }
+        parsed.get("name")?;
+        out.push((*line).to_string());
+    }
+    Some(out)
+}
+
+// ---------------------------------------------------------------------
+// Worker output validation
+// ---------------------------------------------------------------------
+
+/// Validates one worker attempt's stdout for a unit covering `globals`
+/// and rewrites the local `case` indices to global submission indices.
+/// The rewrite is textual — everything after the `case` field is the
+/// worker's bytes verbatim — so fleet output merges byte-identically with
+/// single-process output.
+///
+/// # Errors
+///
+/// Returns a description of the first invalid line (or the line-count
+/// mismatch): the attempt is then scored [`UnitOutcome::Poisoned`].
+pub fn rewrite_unit_lines(raw: &str, globals: Range<usize>) -> Result<Vec<String>, String> {
+    let lines: Vec<&str> = raw.lines().filter(|l| !l.trim().is_empty()).collect();
+    if lines.len() != globals.len() {
+        return Err(format!(
+            "expected {} report lines, got {}",
+            globals.len(),
+            lines.len()
+        ));
+    }
+    let mut out = Vec::with_capacity(lines.len());
+    for (local, (line, global)) in lines.iter().zip(globals).enumerate() {
+        let parsed = json::parse(line).map_err(|e| format!("line {local}: {e}"))?;
+        let case = parsed
+            .get("case")
+            .and_then(|c| c.as_u64().ok())
+            .ok_or_else(|| format!("line {local}: missing case index"))?;
+        if case != local as u64 {
+            return Err(format!("line {local}: out-of-order case index {case}"));
+        }
+        if parsed.get("name").is_none() || parsed.get("outcome").is_none() {
+            return Err(format!("line {local}: not a report line"));
+        }
+        let prefix = format!("{{\"case\":{local},");
+        let rest = line
+            .strip_prefix(prefix.as_str())
+            .ok_or_else(|| format!("line {local}: non-canonical case prefix"))?;
+        out.push(format!("{{\"case\":{global},{rest}"));
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// The coordinator
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Copy, Debug, Default)]
+struct UnitState {
+    attempts: u64,
+    inflight: usize,
+    started: Option<Instant>,
+    duplicated: bool,
+    done: bool,
+}
+
+#[derive(Debug, Default)]
+struct CoordState {
+    ready: VecDeque<usize>,
+    delayed: Vec<(Instant, usize)>,
+    unit: Vec<UnitState>,
+    results: Vec<Option<Vec<String>>>,
+    completed: usize,
+    stopped: bool,
+    stats: FleetStats,
+}
+
+/// What a slot thread decided to do next.
+enum Job {
+    /// Dispatch this unit (attempt number for backoff/chaos).
+    Dispatch(usize, u64),
+    /// Speculatively duplicate this in-flight straggler.
+    Speculate(usize, u64),
+    /// Nothing dispatchable right now; sleep briefly and look again.
+    Idle,
+    /// The sweep is over (all units completed, or stop_after fired).
+    Exit,
+}
+
+/// Runs the sweep. See the module docs for the failure model; the merged
+/// lines are byte-identical to a single-process `--shard 0/1` run of the
+/// same list whenever the sweep runs to completion.
+///
+/// # Panics
+///
+/// Panics only on coordinator-internal invariant violations (a completed
+/// unit with no result), never on worker behaviour.
+#[must_use]
+pub fn run_fleet(registry: &Registry, specs: &[RunSpec], opts: &FleetOpts) -> FleetOutput {
+    let unit_size = opts.unit_size.max(1);
+    let units: Vec<Range<usize>> = (0..specs.len())
+        .step_by(unit_size)
+        .map(|start| start..(start + unit_size).min(specs.len()))
+        .collect();
+    let session_dir = opts
+        .checkpoint_dir
+        .as_ref()
+        .map(|root| root.join(format!("{:016x}", session_key(specs, unit_size))));
+
+    let mut state = CoordState {
+        unit: vec![UnitState::default(); units.len()],
+        results: vec![None; units.len()],
+        ..CoordState::default()
+    };
+    state.stats.units = units.len();
+
+    // Resume: load valid checkpoints first; their units never dispatch.
+    if opts.resume {
+        if let Some(dir) = &session_dir {
+            for (u, range) in units.iter().enumerate() {
+                if let Some(lines) = load_unit_ckpt(dir, u, range.clone()) {
+                    state.results[u] = Some(lines);
+                    state.unit[u].done = true;
+                    state.completed += 1;
+                    state.stats.units_resumed += 1;
+                    state.stats.units_completed += 1;
+                }
+            }
+        }
+    }
+    for u in 0..units.len() {
+        if !state.unit[u].done {
+            state.ready.push_back(u);
+        }
+    }
+    if let (Some(stop), false) = (opts.stop_after, state.completed >= units.len()) {
+        if state.completed >= stop {
+            state.stopped = true;
+        }
+    }
+
+    let shared = Mutex::new(state);
+    let slots = opts.workers.max(1);
+    std::thread::scope(|scope| {
+        for slot in 0..slots {
+            let shared = &shared;
+            let units = &units;
+            let session_dir = session_dir.as_deref();
+            scope.spawn(move || {
+                // A slot whose spawns fail degrades permanently to
+                // in-process execution — "fewer workers" without ever
+                // stalling the sweep.
+                let mut subprocess_ok = true;
+                let _ = slot;
+                loop {
+                    let job = next_job(shared, opts);
+                    match job {
+                        Job::Exit => break,
+                        Job::Idle => {
+                            std::thread::sleep(Duration::from_millis(2));
+                            continue;
+                        }
+                        Job::Dispatch(u, attempt) | Job::Speculate(u, attempt) => {
+                            let range = units[u].clone();
+                            let outcome = if subprocess_ok && opts.worker.is_some() {
+                                run_subprocess_attempt(
+                                    shared,
+                                    specs,
+                                    range.clone(),
+                                    opts,
+                                    u,
+                                    attempt,
+                                )
+                            } else {
+                                UnitOutcome::SpawnFailed("slot degraded".to_string())
+                            };
+                            if matches!(outcome, UnitOutcome::SpawnFailed(_)) {
+                                if opts.worker.is_some() && subprocess_ok {
+                                    subprocess_ok = false;
+                                    let mut s = lock(shared);
+                                    s.stats.spawn_failures += 1;
+                                }
+                                // Fully-degraded path: run the unit right
+                                // here, in-process. execute_spec confines
+                                // guest panics to the report, so this
+                                // always yields valid lines.
+                                let lines = run_inprocess(registry, specs, range.clone());
+                                let mut s = lock(shared);
+                                s.stats.units_inprocess += 1;
+                                finish_unit(&mut s, u, range.start, lines, session_dir, opts);
+                                continue;
+                            }
+                            settle_attempt(
+                                shared,
+                                registry,
+                                specs,
+                                u,
+                                range,
+                                outcome,
+                                opts,
+                                session_dir,
+                            );
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    let mut state = shared
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let interrupted = state.stopped && state.completed < units.len();
+    let lines = if interrupted {
+        Vec::new()
+    } else {
+        // A finished sweep's checkpoints have served their purpose.
+        if let Some(dir) = &session_dir {
+            let _ = fs::remove_dir_all(dir);
+        }
+        state
+            .results
+            .iter_mut()
+            .flat_map(|r| r.take().expect("every unit completed"))
+            .collect()
+    };
+    FleetOutput {
+        lines,
+        stats: state.stats,
+        interrupted,
+    }
+}
+
+fn lock<'a>(shared: &'a Mutex<CoordState>) -> std::sync::MutexGuard<'a, CoordState> {
+    shared
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Picks the next job for an idle slot: promote due backoffs, dispatch
+/// ready units, then consider straggler duplication, then idle/exit.
+fn next_job(shared: &Mutex<CoordState>, opts: &FleetOpts) -> Job {
+    let mut s = lock(shared);
+    if s.stopped || s.completed == s.unit.len() {
+        return Job::Exit;
+    }
+    let now = Instant::now();
+    let mut due: Vec<usize> = Vec::new();
+    s.delayed.retain(|(ready_at, u)| {
+        if *ready_at <= now {
+            due.push(*u);
+            false
+        } else {
+            true
+        }
+    });
+    // Units re-enter the queue in id order so re-dispatch is fair.
+    due.sort_unstable();
+    for u in due {
+        s.ready.push_back(u);
+    }
+    if let Some(u) = s.ready.pop_front() {
+        let attempt = s.unit[u].attempts;
+        s.unit[u].inflight += 1;
+        if s.unit[u].started.is_none() {
+            s.unit[u].started = Some(now);
+        }
+        return Job::Dispatch(u, attempt);
+    }
+    // Nothing pending: speculate on the longest-running straggler, once.
+    let straggler = (0..s.unit.len())
+        .filter(|&u| {
+            let st = &s.unit[u];
+            !st.done
+                && st.inflight > 0
+                && !st.duplicated
+                && st
+                    .started
+                    .is_some_and(|t| t.elapsed() >= opts.straggler_after)
+        })
+        .min_by_key(|&u| s.unit[u].started);
+    if let Some(u) = straggler {
+        let attempt = s.unit[u].attempts;
+        s.unit[u].duplicated = true;
+        s.unit[u].inflight += 1;
+        s.stats.straggler_duplicates += 1;
+        return Job::Speculate(u, attempt);
+    }
+    Job::Idle
+}
+
+/// Applies one finished attempt to the shared state: first valid result
+/// wins; failures cost an attempt and either back off or degrade to
+/// in-process execution.
+#[allow(clippy::too_many_arguments)]
+fn settle_attempt(
+    shared: &Mutex<CoordState>,
+    registry: &Registry,
+    specs: &[RunSpec],
+    u: usize,
+    range: Range<usize>,
+    outcome: UnitOutcome,
+    opts: &FleetOpts,
+    session_dir: Option<&std::path::Path>,
+) {
+    let run_fallback = {
+        let mut s = lock(shared);
+        s.unit[u].inflight -= 1;
+        match outcome {
+            UnitOutcome::Completed(lines) => {
+                if s.unit[u].done {
+                    s.stats.straggler_discards += 1;
+                } else {
+                    finish_unit(&mut s, u, range.start, lines, session_dir, opts);
+                }
+                false
+            }
+            failed => {
+                match &failed {
+                    UnitOutcome::Crashed(_) => s.stats.crashes += 1,
+                    UnitOutcome::Hung => s.stats.hangs += 1,
+                    UnitOutcome::Poisoned(why) => {
+                        s.stats.poisoned += 1;
+                        // Count at least the offending line; a miscount
+                        // poisons the attempt, not individual lines.
+                        if why.starts_with("line ") {
+                            s.stats.poisoned_lines += 1;
+                        }
+                    }
+                    _ => {}
+                }
+                if s.unit[u].done || s.unit[u].inflight > 0 {
+                    // Another copy finished (or is still running); this
+                    // failure costs nothing further.
+                    false
+                } else {
+                    s.unit[u].attempts += 1;
+                    let attempt = s.unit[u].attempts;
+                    if attempt <= opts.retries {
+                        let backoff = retry_backoff(attempt);
+                        s.delayed.push((Instant::now() + backoff, u));
+                        false
+                    } else {
+                        // Exhausted: degrade to in-process, outside the lock.
+                        s.unit[u].inflight += 1;
+                        true
+                    }
+                }
+            }
+        }
+    };
+    if run_fallback {
+        let lines = run_inprocess(registry, specs, range.clone());
+        let mut s = lock(shared);
+        s.unit[u].inflight -= 1;
+        s.stats.units_inprocess += 1;
+        if s.unit[u].done {
+            s.stats.straggler_discards += 1;
+        } else {
+            finish_unit(&mut s, u, range.start, lines, session_dir, opts);
+        }
+    }
+}
+
+/// Records a completed unit (under the coordinator lock) and checkpoints
+/// it. Fires the stop_after interruption when the threshold is reached.
+fn finish_unit(
+    s: &mut CoordState,
+    u: usize,
+    first: usize,
+    lines: Vec<String>,
+    session_dir: Option<&std::path::Path>,
+    opts: &FleetOpts,
+) {
+    if let Some(dir) = session_dir {
+        write_unit_ckpt(dir, u, first, &lines);
+    }
+    s.results[u] = Some(lines);
+    s.unit[u].done = true;
+    s.unit[u].inflight = 0;
+    s.completed += 1;
+    s.stats.units_completed += 1;
+    if let Some(stop) = opts.stop_after {
+        if s.completed >= stop && s.completed < s.unit.len() {
+            s.stopped = true;
+        }
+    }
+}
+
+/// Executes a unit on the calling thread — the fully-degraded tier. Each
+/// spec runs through [`execute_spec`] (panic isolation included) and is
+/// rendered as its deterministic line with the global index, exactly the
+/// bytes a healthy worker would have produced.
+fn run_inprocess(registry: &Registry, specs: &[RunSpec], range: Range<usize>) -> Vec<String> {
+    range
+        .map(|global| {
+            let report = execute_spec(registry, &specs[global]);
+            report.to_json_deterministic(global).to_string()
+        })
+        .collect()
+}
+
+/// One subprocess dispatch: spawn, feed, watch the deadline, collect,
+/// validate. Chaos faults are injected here when armed.
+fn run_subprocess_attempt(
+    shared: &Mutex<CoordState>,
+    specs: &[RunSpec],
+    range: Range<usize>,
+    opts: &FleetOpts,
+    unit: usize,
+    attempt: u64,
+) -> UnitOutcome {
+    let Some(worker) = &opts.worker else {
+        return UnitOutcome::SpawnFailed("no worker command".to_string());
+    };
+    let chaos = opts
+        .chaos
+        .and_then(|seed| chaos_action(seed, unit, attempt));
+    let mut child = match Command::new(&worker.program)
+        .args(&worker.args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+    {
+        Ok(child) => child,
+        Err(e) => return UnitOutcome::SpawnFailed(e.to_string()),
+    };
+    {
+        let mut s = lock(shared);
+        s.stats.dispatches += 1;
+        match chaos {
+            Some(ChaosAction::KillWorker) => s.stats.chaos_kills += 1,
+            Some(ChaosAction::GarbageLine) => s.stats.chaos_garbage += 1,
+            Some(ChaosAction::DelayOutput) => s.stats.chaos_delays += 1,
+            None => {}
+        }
+    }
+    let mut input = String::new();
+    for global in range.clone() {
+        input.push_str(&specs[global].to_json().to_string());
+        input.push('\n');
+    }
+    let stdin = child.stdin.take();
+    let stdout = child.stdout.take();
+    // Feed stdin and drain stdout off-thread so a wedged worker can never
+    // deadlock the coordinator on a full pipe; killing the child unblocks
+    // both directions (EPIPE / EOF).
+    let io = std::thread::spawn(move || {
+        if let Some(mut stdin) = stdin {
+            let _ = stdin.write_all(input.as_bytes());
+        }
+        let mut raw = Vec::new();
+        if let Some(mut stdout) = stdout {
+            let _ = stdout.read_to_end(&mut raw);
+        }
+        raw
+    });
+    let mut chaos_killed = false;
+    if chaos == Some(ChaosAction::KillWorker) {
+        let _ = child.kill();
+        chaos_killed = true;
+    }
+    // Hang detection: poll for exit until the unit deadline, then kill.
+    let started = Instant::now();
+    let mut hung = false;
+    let status = loop {
+        match child.try_wait() {
+            Ok(Some(status)) => break status,
+            Ok(None) => {
+                if started.elapsed() >= opts.unit_deadline {
+                    let _ = child.kill();
+                    hung = true;
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) => {
+                let _ = child.kill();
+                let _ = child.wait();
+                return UnitOutcome::Crashed(format!("wait failed: {e}"));
+            }
+        }
+    };
+    // Join the I/O thread only on a clean exit. A killed worker's
+    // *grandchildren* (e.g. a shell's `sleep`) can inherit the stdout pipe
+    // and keep it open long after the worker is dead; blocking on
+    // `read_to_end` then would turn a detected hang back into a real one.
+    // The detached thread exits on its own once the pipe finally closes.
+    if hung {
+        return UnitOutcome::Hung;
+    }
+    if chaos_killed || !status.success() {
+        return UnitOutcome::Crashed(format!("worker exit: {status}"));
+    }
+    let raw = io.join().unwrap_or_default();
+    if chaos == Some(ChaosAction::DelayOutput) {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let mut text = match String::from_utf8(raw) {
+        Ok(text) => text,
+        Err(_) => return UnitOutcome::Poisoned("line 0: non-UTF-8 output".to_string()),
+    };
+    if chaos == Some(ChaosAction::GarbageLine) {
+        text.insert_str(0, "{\"chaos\":tor\n");
+    }
+    match rewrite_unit_lines(&text, range) {
+        Ok(lines) => UnitOutcome::Completed(lines),
+        Err(why) => UnitOutcome::Poisoned(why),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{Harness, RunSpec};
+    use crate::spec::ProgramSpec;
+    use cheri_isa::codegen::CodegenOpts;
+    use cheri_kernel::AbiMode;
+    use std::sync::atomic::AtomicUsize;
+
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> TempDir {
+            static SEQ: AtomicUsize = AtomicUsize::new(0);
+            let dir = std::env::temp_dir().join(format!(
+                "cheriabi-fleet-test-{tag}-{}-{}",
+                std::process::id(),
+                SEQ.fetch_add(1, Ordering::SeqCst)
+            ));
+            fs::create_dir_all(&dir).expect("create temp dir");
+            TempDir(dir)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn exit_specs(n: usize) -> Vec<RunSpec> {
+        (0..n)
+            .map(|i| {
+                RunSpec::new(
+                    format!("case-{i}"),
+                    ProgramSpec::Exit { code: 0 },
+                    CodegenOpts::purecap(),
+                    AbiMode::CheriAbi,
+                )
+                .with_seed(i as u64)
+            })
+            .collect()
+    }
+
+    fn golden_lines(registry: &Registry, specs: &[RunSpec]) -> Vec<String> {
+        Harness::new(1)
+            .run(registry, specs)
+            .iter()
+            .enumerate()
+            .map(|(i, r)| r.to_json_deterministic(i).to_string())
+            .collect()
+    }
+
+    fn sh_worker(script: &str) -> WorkerCmd {
+        WorkerCmd {
+            program: PathBuf::from("/bin/sh"),
+            args: vec!["-c".to_string(), script.to_string()],
+        }
+    }
+
+    fn base_opts(tmp: &TempDir) -> FleetOpts {
+        FleetOpts {
+            workers: 2,
+            unit_size: 3,
+            unit_deadline: Duration::from_secs(30),
+            retries: 1,
+            checkpoint_dir: Some(tmp.0.clone()),
+            straggler_after: Duration::from_secs(60),
+            ..FleetOpts::default()
+        }
+    }
+
+    #[test]
+    fn in_process_fleet_matches_the_single_process_run() {
+        let tmp = TempDir::new("inproc");
+        let registry = Registry::builtin();
+        let specs = exit_specs(10);
+        let opts = base_opts(&tmp);
+        let out = run_fleet(&registry, &specs, &opts);
+        assert!(!out.interrupted);
+        assert_eq!(out.lines, golden_lines(&registry, &specs));
+        assert_eq!(out.stats.units, 4);
+        assert_eq!(out.stats.units_completed, 4);
+        assert_eq!(out.stats.units_inprocess, 4, "no worker => all in-process");
+        assert_eq!(out.stats.dispatches, 0);
+    }
+
+    #[test]
+    fn a_crashing_worker_degrades_to_in_process_and_still_merges() {
+        let tmp = TempDir::new("crash");
+        let registry = Registry::builtin();
+        let specs = exit_specs(6);
+        let opts = FleetOpts {
+            worker: Some(sh_worker("cat > /dev/null; exit 7")),
+            ..base_opts(&tmp)
+        };
+        let out = run_fleet(&registry, &specs, &opts);
+        assert!(!out.interrupted);
+        assert_eq!(out.lines, golden_lines(&registry, &specs));
+        assert!(out.stats.crashes > 0, "{:?}", out.stats);
+        assert_eq!(out.stats.units_inprocess, 2, "both units fell back");
+    }
+
+    #[test]
+    fn poisoned_output_is_counted_and_recovered() {
+        let tmp = TempDir::new("poison");
+        let registry = Registry::builtin();
+        let specs = exit_specs(6);
+        let opts = FleetOpts {
+            worker: Some(sh_worker("cat > /dev/null; echo '{torn json'")),
+            ..base_opts(&tmp)
+        };
+        let out = run_fleet(&registry, &specs, &opts);
+        assert!(!out.interrupted);
+        assert_eq!(out.lines, golden_lines(&registry, &specs));
+        assert!(out.stats.poisoned > 0, "{:?}", out.stats);
+        assert_eq!(out.stats.units_inprocess, 2);
+    }
+
+    #[test]
+    fn a_hung_worker_is_killed_at_the_deadline() {
+        let tmp = TempDir::new("hang");
+        let registry = Registry::builtin();
+        let specs = exit_specs(3);
+        let opts = FleetOpts {
+            workers: 1,
+            worker: Some(sh_worker("sleep 600")),
+            unit_deadline: Duration::from_millis(80),
+            retries: 0,
+            ..base_opts(&tmp)
+        };
+        let started = Instant::now();
+        let out = run_fleet(&registry, &specs, &opts);
+        assert!(!out.interrupted);
+        assert_eq!(out.lines, golden_lines(&registry, &specs));
+        assert!(out.stats.hangs >= 1, "{:?}", out.stats);
+        assert!(
+            started.elapsed() < Duration::from_secs(60),
+            "the kill must not wait for the worker's sleep"
+        );
+    }
+
+    #[test]
+    fn an_unspawnable_worker_degrades_without_failing() {
+        let tmp = TempDir::new("nospawn");
+        let registry = Registry::builtin();
+        let specs = exit_specs(4);
+        let opts = FleetOpts {
+            worker: Some(WorkerCmd {
+                program: PathBuf::from("/no/such/binary"),
+                args: Vec::new(),
+            }),
+            ..base_opts(&tmp)
+        };
+        let out = run_fleet(&registry, &specs, &opts);
+        assert!(!out.interrupted);
+        assert_eq!(out.lines, golden_lines(&registry, &specs));
+        assert!(out.stats.spawn_failures >= 1);
+        assert_eq!(out.stats.units_inprocess, 2);
+    }
+
+    #[test]
+    fn stop_after_interrupts_and_resume_redoes_zero_units() {
+        let tmp = TempDir::new("resume");
+        let registry = Registry::builtin();
+        let specs = exit_specs(10); // 4 units of 3
+        let opts = FleetOpts {
+            workers: 1,
+            stop_after: Some(2),
+            ..base_opts(&tmp)
+        };
+        let first = run_fleet(&registry, &specs, &opts);
+        assert!(first.interrupted);
+        assert!(first.lines.is_empty());
+        assert!(first.stats.units_completed >= 2);
+        let done_first = first.stats.units_completed;
+        let resumed = run_fleet(
+            &registry,
+            &specs,
+            &FleetOpts {
+                stop_after: None,
+                resume: true,
+                ..opts
+            },
+        );
+        assert!(!resumed.interrupted);
+        assert_eq!(resumed.lines, golden_lines(&registry, &specs));
+        assert_eq!(
+            resumed.stats.units_resumed, done_first,
+            "every checkpointed unit loads; zero are redone"
+        );
+        assert_eq!(
+            resumed.stats.units_completed - resumed.stats.units_resumed,
+            4 - done_first
+        );
+        // A finished sweep cleans up its session directory.
+        let session = tmp
+            .0
+            .join(format!("{:016x}", session_key(&specs, opts.unit_size)));
+        assert!(
+            !session.exists(),
+            "completed sweeps clean their checkpoints"
+        );
+    }
+
+    #[test]
+    fn corrupt_checkpoints_read_as_absent() {
+        let tmp = TempDir::new("ckpt-corrupt");
+        let registry = Registry::builtin();
+        let specs = exit_specs(6);
+        let opts = FleetOpts {
+            workers: 1,
+            stop_after: Some(1),
+            unit_size: 3,
+            ..base_opts(&tmp)
+        };
+        let first = run_fleet(&registry, &specs, &opts);
+        assert!(first.interrupted);
+        let session = tmp.0.join(format!("{:016x}", session_key(&specs, 3)));
+        // Corrupt every checkpoint the interrupted run left behind.
+        for entry in fs::read_dir(&session).expect("session dir") {
+            let path = entry.expect("entry").path();
+            fs::write(&path, "{ torn").expect("corrupt");
+        }
+        let resumed = run_fleet(
+            &registry,
+            &specs,
+            &FleetOpts {
+                stop_after: None,
+                resume: true,
+                ..opts
+            },
+        );
+        assert!(!resumed.interrupted);
+        assert_eq!(resumed.stats.units_resumed, 0, "corrupt ckpts are ignored");
+        assert_eq!(resumed.lines, golden_lines(&registry, &specs));
+    }
+
+    #[test]
+    fn a_stale_session_never_serves_a_different_spec_list() {
+        let specs_a = exit_specs(6);
+        let mut specs_b = exit_specs(6);
+        specs_b[0] = specs_b[0].clone().with_seed(99);
+        assert_ne!(session_key(&specs_a, 3), session_key(&specs_b, 3));
+        assert_ne!(
+            session_key(&specs_a, 3),
+            session_key(&specs_a, 2),
+            "unit boundaries are part of the session key"
+        );
+    }
+
+    #[test]
+    fn chaos_decisions_are_deterministic_and_first_attempt_only() {
+        for seed in [0u64, 7, 42, 1729] {
+            for unit in 0..32 {
+                assert_eq!(
+                    chaos_action(seed, unit, 0),
+                    chaos_action(seed, unit, 0),
+                    "pure function"
+                );
+                assert_eq!(chaos_action(seed, unit, 1), None, "retries run clean");
+            }
+            // Every action kind appears somewhere in a 32-unit sweep.
+            let all: Vec<_> = (0..32).filter_map(|u| chaos_action(seed, u, 0)).collect();
+            assert!(all.contains(&ChaosAction::KillWorker), "seed {seed}");
+            assert!(all.contains(&ChaosAction::GarbageLine), "seed {seed}");
+            assert!(all.contains(&ChaosAction::DelayOutput), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn rewrite_rejects_corrupt_lines_and_preserves_bytes() {
+        let good = "{\"case\":0,\"name\":\"a\",\"outcome\":{\"outcome\":\"deadline\"}}\n\
+                    {\"case\":1,\"name\":\"b\",\"outcome\":{\"outcome\":\"deadline\"}}\n";
+        let lines = rewrite_unit_lines(good, 10..12).expect("valid");
+        assert_eq!(
+            lines[0],
+            "{\"case\":10,\"name\":\"a\",\"outcome\":{\"outcome\":\"deadline\"}}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"case\":11,\"name\":\"b\",\"outcome\":{\"outcome\":\"deadline\"}}"
+        );
+        // Truncated output: wrong line count.
+        assert!(rewrite_unit_lines(good, 10..13).is_err());
+        // Torn JSON.
+        assert!(rewrite_unit_lines("{torn\n", 0..1).is_err());
+        // Out-of-order case index.
+        let swapped = "{\"case\":1,\"name\":\"a\",\"outcome\":{\"outcome\":\"deadline\"}}\n";
+        assert!(rewrite_unit_lines(swapped, 0..1).is_err());
+        // A non-report JSON line.
+        assert!(rewrite_unit_lines("{\"case\":0}\n", 0..1).is_err());
+    }
+
+    #[test]
+    fn summary_line_is_machine_greppable() {
+        let stats = FleetStats {
+            units: 8,
+            units_completed: 8,
+            units_resumed: 3,
+            ..FleetStats::default()
+        };
+        let line = stats.summary_line();
+        assert!(line.contains("units=8"), "{line}");
+        assert!(line.contains("resumed=3"), "{line}");
+        assert!(line.contains("executed=5"), "{line}");
+    }
+}

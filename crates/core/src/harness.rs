@@ -1060,9 +1060,12 @@ impl CaseReport {
                 l2_misses: m.field("l2_misses")?.as_u64()?,
                 syscalls: m.field("syscalls")?.as_u64()?,
             },
-            wall: Duration::from_nanos(
-                u64::try_from(v.field("wall_nanos")?.as_u128()?).unwrap_or(u64::MAX),
-            ),
+            // Absent in the deterministic (`--shard` / fleet) line format,
+            // which strips the one nondeterministic field.
+            wall: match v.get("wall_nanos") {
+                Some(n) => Duration::from_nanos(u64::try_from(n.as_u128()?).unwrap_or(u64::MAX)),
+                None => Duration::ZERO,
+            },
             cap_cdf: None,
             // Optional tail fields (absent in pre-fault-plane encodings).
             retries: match v.get("retries") {
@@ -2272,6 +2275,82 @@ mod tests {
         assert!(!outcome_is_transient(&CaseOutcome::Exited(
             ExitStatus::Code(0)
         )));
+    }
+
+    #[test]
+    fn retry_schedule_is_deterministic_across_job_counts() {
+        // The fleet re-dispatch machinery reuses the harness retry policy,
+        // so the whole schedule — how many attempts each case spends and
+        // the backoff before each — must be a pure function of the spec
+        // (seed, case index), never of host timing or worker interleaving.
+        let registry = Registry::builtin();
+        let specs: Vec<RunSpec> = (0..8)
+            .map(|i| {
+                if i % 3 == 0 {
+                    // Transient: every Boom panics deterministically, so it
+                    // spends the full retry budget.
+                    RunSpec::new(
+                        format!("boom-{i}"),
+                        ProgramSpec::Boom,
+                        CodegenOpts::purecap(),
+                        AbiMode::CheriAbi,
+                    )
+                    .with_seed(i)
+                } else {
+                    exit_with_seed_spec("fine", i)
+                }
+            })
+            .collect();
+        let opts = SessionOpts {
+            retries: 3,
+            ..SessionOpts::default()
+        };
+        let schedule = |reports: &[CaseReport]| -> Vec<(u64, Vec<Duration>)> {
+            reports
+                .iter()
+                .map(|r| (r.retries, (1..=r.retries).map(retry_backoff).collect()))
+                .collect()
+        };
+        let solo = Harness::new(1).run_session(&registry, &specs, &opts);
+        let wide = Harness::new(8).run_session(&registry, &specs, &opts);
+        let solo_reports = solo.into_reports();
+        let wide_reports = wide.into_reports();
+        assert_eq!(
+            schedule(&solo_reports),
+            schedule(&wide_reports),
+            "attempt counts and delays are identical at --jobs 1 and --jobs 8"
+        );
+        // And the schedule is exactly what the spec predicts: the full
+        // budget for deterministic panickers, nothing for healthy cases.
+        for (i, (attempts, delays)) in schedule(&solo_reports).iter().enumerate() {
+            if i % 3 == 0 {
+                assert_eq!(*attempts, 3, "case {i}");
+                assert_eq!(
+                    delays.as_slice(),
+                    [
+                        Duration::from_millis(10),
+                        Duration::from_millis(20),
+                        Duration::from_millis(40)
+                    ],
+                    "case {i}"
+                );
+            } else {
+                assert_eq!(*attempts, 0, "case {i}");
+                assert!(delays.is_empty(), "case {i}");
+            }
+        }
+        // The re-run of an identical session reproduces the schedule too:
+        // no jitter anywhere in the policy.
+        let again = Harness::new(8).run_session(&registry, &specs, &opts);
+        assert_eq!(schedule(&again.into_reports()), schedule(&solo_reports));
+        // Full-report determinism across job counts, metadata included.
+        for (i, (a, b)) in solo_reports.iter().zip(&wide_reports).enumerate() {
+            assert_eq!(
+                a.to_json_deterministic(i).to_string(),
+                b.to_json_deterministic(i).to_string()
+            );
+            assert_eq!(a.quarantined, b.quarantined);
+        }
     }
 
     #[test]

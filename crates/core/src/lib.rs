@@ -50,6 +50,7 @@
 pub mod cache;
 pub mod debug;
 pub mod fault;
+pub mod fleet;
 pub mod guest;
 pub mod harness;
 pub mod json;

@@ -268,4 +268,75 @@ cmp scripts/golden/fig5.golden target/fig5.lines || {
     exit 1
 }
 
+echo "==> fleet: chaos sweep (worker kills + garbage lines) merges byte-identically"
+rm -rf target/fleet-ckpt
+./target/release/fleet_run --specs scripts/golden/table1_pinned.specs \
+    --workers 3 --unit-size 2 --chaos 7 \
+    > target/fleet-chaos.lines 2> target/fleet-chaos.err
+cmp target/table1-pinned.lines target/fleet-chaos.lines || {
+    echo "FAIL: fleet_run --chaos output differs from the single-process run"
+    echo "      (a recovery path corrupted the merge):"
+    cat target/fleet-chaos.err
+    exit 1
+}
+chaos_kills=$(sed -n 's/.*chaos_kills=\([0-9]*\).*/\1/p' target/fleet-chaos.err)
+chaos_garbage=$(sed -n 's/.*chaos_garbage=\([0-9]*\).*/\1/p' target/fleet-chaos.err)
+[ "${chaos_kills:-0}" -gt 0 ] && [ "${chaos_garbage:-0}" -gt 0 ] || {
+    echo "FAIL: chaos seed 7 injected no worker kill or no garbage line —"
+    echo "      the gate proved nothing. Summary was:"
+    cat target/fleet-chaos.err
+    exit 1
+}
+
+echo "==> fleet: resume redoes zero completed units and stays byte-identical"
+rm -rf target/fleet-ckpt
+if ./target/release/fleet_run --specs scripts/golden/table1_pinned.specs \
+    --workers 1 --unit-size 2 --stop-after 3 \
+    > /dev/null 2> target/fleet-interrupt.err; then
+    echo "FAIL: an interrupted fleet sweep (--stop-after) must exit non-zero"
+    exit 1
+fi
+completed=$(sed -n 's/.* completed=\([0-9]*\).*/\1/p' target/fleet-interrupt.err)
+./target/release/fleet_run --specs scripts/golden/table1_pinned.specs \
+    --workers 3 --unit-size 2 --resume \
+    > target/fleet-resume.lines 2> target/fleet-resume.err
+cmp target/table1-pinned.lines target/fleet-resume.lines || {
+    echo "FAIL: resumed fleet output differs from the single-process run"
+    cat target/fleet-resume.err
+    exit 1
+}
+resumed=$(sed -n 's/.*resumed=\([0-9]*\).*/\1/p' target/fleet-resume.err)
+[ "${completed:-0}" -gt 0 ] && [ "${resumed:-x}" = "${completed:-y}" ] || {
+    echo "FAIL: the resumed sweep redid checkpointed units"
+    echo "      (interrupted run completed ${completed:-?}, resume loaded ${resumed:-?}):"
+    cat target/fleet-interrupt.err target/fleet-resume.err
+    exit 1
+}
+
+echo "==> fleet: one torn spec line is skipped and counted, not fatal"
+{
+    head -3 scripts/golden/table1_pinned.specs
+    echo '{"torn json'
+} > target/fleet-torn.specs
+./target/release/run_specs --specs target/fleet-torn.specs \
+    --jobs 1 --no-cache --shard 0/1 \
+    > target/fleet-torn.lines 2> target/fleet-torn.err || {
+    echo "FAIL: run_specs aborted on a single malformed spec line"
+    cat target/fleet-torn.err
+    exit 1
+}
+grep -q "specs_rejected=1" target/fleet-torn.err || {
+    echo "FAIL: the malformed spec line was not counted in specs_rejected"
+    cat target/fleet-torn.err
+    exit 1
+}
+[ "$(wc -l < target/fleet-torn.lines)" = "3" ] || {
+    echo "FAIL: expected the 3 good specs to run despite the torn line"
+    exit 1
+}
+if printf '{all bad\n' | ./target/release/run_specs --specs - > /dev/null 2>&1; then
+    echo "FAIL: an all-malformed spec list must still exit non-zero"
+    exit 1
+fi
+
 echo "CI: all gates passed"
