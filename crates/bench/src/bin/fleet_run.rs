@@ -17,6 +17,9 @@
 //! * `--deadline S`   per-unit wall deadline in seconds (default 120)
 //! * `--retries N`    subprocess re-dispatch attempts per unit before
 //!   degrading to in-process execution (default 2)
+//! * `--case-retries N` per-case transient-retry budget (the harness
+//!   `--retries` policy), forwarded to every worker and applied by the
+//!   in-process fallback (default 0)
 //! * `--chaos SEED`   arm the seeded coordinator fault injector
 //! * `--resume`       load completed units from `target/fleet-ckpt/`
 //! * `--no-ckpt`      disable checkpointing entirely
@@ -39,6 +42,9 @@ const USAGE: &str = "usage: fleet_run --specs <path|-> [options]\n  \
     --unit-size N  specs per work unit (default 8)\n  \
     --deadline S   per-unit wall deadline, seconds (default 120)\n  \
     --retries N    re-dispatch attempts before in-process fallback (default 2)\n  \
+    --case-retries N  per-case transient-retry budget, forwarded to workers\n                 \
+    as run_specs --retries and applied by the in-process\n                 \
+    fallback (default 0)\n  \
     --chaos SEED   seeded coordinator fault injection (kill/garbage/delay)\n  \
     --resume       load completed units from target/fleet-ckpt/\n  \
     --no-ckpt      disable checkpointing\n  \
@@ -53,6 +59,20 @@ struct Args {
     worker_path: Option<String>,
 }
 
+fn num(iter: &mut dyn Iterator<Item = String>, flag: &str) -> Result<u64, String> {
+    let value = iter.next().ok_or(format!("{flag} needs a value"))?;
+    value
+        .parse()
+        .map_err(|_| format!("{flag}: not a number: {value}"))
+}
+
+/// Like [`num`], but for flags holding counts/indices: a value that does
+/// not fit in `usize` is a usage error, never silently clamped.
+fn unum(iter: &mut dyn Iterator<Item = String>, flag: &str) -> Result<usize, String> {
+    let value = num(iter, flag)?;
+    usize::try_from(value).map_err(|_| format!("{flag}: value out of range: {value}"))
+}
+
 fn parse(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
     let mut parsed = Args {
         specs: String::new(),
@@ -62,30 +82,24 @@ fn parse(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
     };
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
-        let mut num = |flag: &str| -> Result<u64, String> {
-            let value = iter.next().ok_or(format!("{flag} needs a value"))?;
-            value
-                .parse()
-                .map_err(|_| format!("{flag}: not a number: {value}"))
-        };
         match arg.as_str() {
             "--specs" => {
                 parsed.specs = iter.next().ok_or("--specs needs a path (or -)")?;
             }
-            "--workers" => parsed.opts.workers = usize::try_from(num("--workers")?).unwrap_or(1),
-            "--unit-size" => {
-                parsed.opts.unit_size = usize::try_from(num("--unit-size")?).unwrap_or(1);
-            }
+            "--workers" => parsed.opts.workers = unum(&mut iter, "--workers")?,
+            "--unit-size" => parsed.opts.unit_size = unum(&mut iter, "--unit-size")?,
             "--deadline" => {
-                parsed.opts.unit_deadline = Duration::from_secs(num("--deadline")?);
+                parsed.opts.unit_deadline = Duration::from_secs(num(&mut iter, "--deadline")?);
             }
-            "--retries" => parsed.opts.retries = num("--retries")?,
-            "--chaos" => parsed.opts.chaos = Some(num("--chaos")?),
+            "--retries" => parsed.opts.retries = num(&mut iter, "--retries")?,
+            "--case-retries" => {
+                parsed.opts.case_retries = num(&mut iter, "--case-retries")?;
+            }
+            "--chaos" => parsed.opts.chaos = Some(num(&mut iter, "--chaos")?),
             "--resume" => parsed.opts.resume = true,
             "--no-ckpt" => parsed.opts.checkpoint_dir = None,
             "--stop-after" => {
-                parsed.opts.stop_after =
-                    Some(usize::try_from(num("--stop-after")?).unwrap_or(usize::MAX));
+                parsed.opts.stop_after = Some(unum(&mut iter, "--stop-after")?);
             }
             "--in-process" => parsed.in_process = true,
             "--worker" => {

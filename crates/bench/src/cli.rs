@@ -75,7 +75,10 @@ pub struct BenchOpts {
     /// with this many worker subprocesses (`--fleet N`). Workers are
     /// sibling `run_specs` processes; results merge byte-identically with
     /// the single-process run, and worker crashes/hangs/corrupt output are
-    /// recovered, not fatal. Incompatible with `--shard`.
+    /// recovered, not fatal. `--retries` is forwarded to every worker (and
+    /// the in-process fallback); `--shard`, `--cache`, `--cache-limit`,
+    /// `--json-stream` and `--progress` are rejected rather than silently
+    /// dropped.
     pub fleet: Option<usize>,
     /// Seeded coordinator-side fault injection for the fleet
     /// (`--chaos SEED`): deterministically kill workers mid-unit, delay
@@ -201,10 +204,37 @@ pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<BenchOpts, S
             other => return Err(format!("unknown argument: {other}\n{USAGE}")),
         }
     }
-    if opts.fleet.is_some() && opts.shard.is_some() {
-        return Err(
-            "--fleet cannot combine with --shard (shard first, then fleet each shard)".to_string(),
-        );
+    if opts.fleet.is_some() {
+        // A session flag the fleet cannot honour is an error, not a silent
+        // drop: `--fleet` must never change what a command reports.
+        // (`--retries` IS honoured — it is forwarded to every worker and
+        // applied by the in-process fallback.)
+        if opts.shard.is_some() {
+            return Err(
+                "--fleet cannot combine with --shard (shard first, then fleet each shard)"
+                    .to_string(),
+            );
+        }
+        if opts.cache || opts.cache_limit.is_some() {
+            return Err(
+                "--fleet cannot combine with --cache/--cache-limit (workers run uncached)"
+                    .to_string(),
+            );
+        }
+        if opts.json_stream {
+            return Err(
+                "--fleet cannot combine with --json-stream (units complete out of \
+                        case order; use the merged output)"
+                    .to_string(),
+            );
+        }
+        if opts.progress {
+            return Err(
+                "--fleet cannot combine with --progress (watch the fleet summary on stderr \
+                 instead)"
+                    .to_string(),
+            );
+        }
     }
     if opts.chaos.is_some() && opts.fleet.is_none() {
         return Err("--chaos requires --fleet (or the fleet_run binary)".to_string());
@@ -247,7 +277,9 @@ pub const USAGE: &str = "options:\n  \
     --fleet N      dispatch the session through the fault-tolerant fleet\n                 \
     coordinator with N worker subprocesses (sibling run_specs\n                 \
     processes; crashes, hangs and corrupt output are recovered,\n                 \
-    and the merge is byte-identical to a single-process run)\n  \
+    and the merge is byte-identical to a single-process run;\n                 \
+    --retries is forwarded to workers, while --shard, --cache,\n                 \
+    --cache-limit, --json-stream and --progress are rejected)\n  \
     --chaos SEED   seeded coordinator fault injection (kill a worker\n                 \
     mid-unit, delay output, insert a garbage line); needs --fleet";
 
@@ -521,6 +553,11 @@ fn run_fleet_session(
         workers,
         chaos: opts.chaos,
         worker: sibling_worker(),
+        // Session `--retries` must survive the fleet hop: the coordinator
+        // forwards it to every worker and applies it on the in-process
+        // fallback, so `table1 --retries 3 --fleet 2` reports the same
+        // bytes as `table1 --retries 3`.
+        case_retries: opts.retries,
         ..cheriabi::fleet::FleetOpts::default()
     };
     let out = cheriabi::fleet::run_fleet(registry, specs, &fleet_opts);
@@ -775,6 +812,25 @@ mod tests {
             parse_args(args(&["--fleet", "2", "--shard", "0/2"])).is_err(),
             "--fleet and --shard do not compose"
         );
+    }
+
+    #[test]
+    fn fleet_rejects_session_flags_it_cannot_honour() {
+        // Silently dropping a session flag under --fleet would let the
+        // same command report different bytes with and without the fleet;
+        // every unsupported combination is an error instead.
+        for bad in [
+            &["--fleet", "2", "--cache"][..],
+            &["--fleet", "2", "--cache-limit", "1024"][..],
+            &["--fleet", "2", "--json-stream"][..],
+            &["--fleet", "2", "--progress"][..],
+        ] {
+            assert!(parse_args(args(bad)).is_err(), "{bad:?} must be rejected");
+        }
+        // ... while --retries composes: it is forwarded to the workers.
+        let opts = parse_args(args(&["--fleet", "2", "--retries", "3"])).expect("parses");
+        assert_eq!(opts.fleet, Some(2));
+        assert_eq!(opts.retries, 3);
     }
 
     #[test]

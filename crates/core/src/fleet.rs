@@ -67,7 +67,7 @@
 //! chaos gate proves the recovery paths produce byte-identical output with
 //! faults armed.
 
-use crate::harness::{execute_spec, retry_backoff, RunSpec};
+use crate::harness::{execute_spec, outcome_is_transient, retry_backoff, RunSpec};
 use crate::json::{self, Json};
 use crate::spec::Registry;
 use std::collections::VecDeque;
@@ -150,6 +150,13 @@ pub struct FleetOpts {
     /// How long an in-flight unit must run before an idle slot may issue a
     /// speculative duplicate of it.
     pub straggler_after: Duration,
+    /// Per-*case* transient-retry budget (the harness `--retries` policy,
+    /// distinct from [`FleetOpts::retries`], which re-dispatches whole
+    /// units). Forwarded to workers as `--retries N` and applied
+    /// identically by the in-process fallback, so a fleet run with session
+    /// retries merges byte-identically with the equivalent single-process
+    /// run.
+    pub case_retries: u64,
 }
 
 impl Default for FleetOpts {
@@ -165,6 +172,7 @@ impl Default for FleetOpts {
             resume: false,
             stop_after: None,
             straggler_after: Duration::from_secs(5),
+            case_retries: 0,
         }
     }
 }
@@ -478,6 +486,18 @@ struct UnitState {
     done: bool,
 }
 
+impl UnitState {
+    /// Retires one in-flight attempt. Every dispatch/speculation/fallback
+    /// increments `inflight` exactly once and settles exactly once, so the
+    /// count never reaches zero with attempts outstanding; the saturation
+    /// is defence in depth — a miscount must never panic (debug) or wrap
+    /// (release) mid-sweep, because aborting is the one thing the
+    /// coordinator is not allowed to do.
+    fn retire_attempt(&mut self) {
+        self.inflight = self.inflight.saturating_sub(1);
+    }
+}
+
 #[derive(Debug, Default)]
 struct CoordState {
     ready: VecDeque<usize>,
@@ -597,11 +617,24 @@ pub fn run_fleet(registry: &Registry, specs: &[RunSpec], opts: &FleetOpts) -> Fl
                                 // Fully-degraded path: run the unit right
                                 // here, in-process. execute_spec confines
                                 // guest panics to the report, so this
-                                // always yields valid lines.
-                                let lines = run_inprocess(registry, specs, range.clone());
+                                // always yields valid lines. A speculative
+                                // copy of the unit may have completed it
+                                // while we executed, so the settle must
+                                // re-check `done` like any other attempt.
+                                let lines = run_inprocess(
+                                    registry,
+                                    specs,
+                                    range.clone(),
+                                    opts.case_retries,
+                                );
                                 let mut s = lock(shared);
+                                s.unit[u].retire_attempt();
                                 s.stats.units_inprocess += 1;
-                                finish_unit(&mut s, u, range.start, lines, session_dir, opts);
+                                if s.unit[u].done {
+                                    s.stats.straggler_discards += 1;
+                                } else {
+                                    finish_unit(&mut s, u, range.start, lines, session_dir, opts);
+                                }
                                 continue;
                             }
                             settle_attempt(
@@ -719,7 +752,7 @@ fn settle_attempt(
 ) {
     let run_fallback = {
         let mut s = lock(shared);
-        s.unit[u].inflight -= 1;
+        s.unit[u].retire_attempt();
         match outcome {
             UnitOutcome::Completed(lines) => {
                 if s.unit[u].done {
@@ -764,9 +797,9 @@ fn settle_attempt(
         }
     };
     if run_fallback {
-        let lines = run_inprocess(registry, specs, range.clone());
+        let lines = run_inprocess(registry, specs, range.clone(), opts.case_retries);
         let mut s = lock(shared);
-        s.unit[u].inflight -= 1;
+        s.unit[u].retire_attempt();
         s.stats.units_inprocess += 1;
         if s.unit[u].done {
             s.stats.straggler_discards += 1;
@@ -789,9 +822,12 @@ fn finish_unit(
     if let Some(dir) = session_dir {
         write_unit_ckpt(dir, u, first, &lines);
     }
+    // `inflight` is deliberately left alone: a losing speculative copy
+    // (or an in-flight fallback) of this unit may still be running, and it
+    // retires its own count when it settles. Forcing zero here would make
+    // that late settlement underflow the counter.
     s.results[u] = Some(lines);
     s.unit[u].done = true;
-    s.unit[u].inflight = 0;
     s.completed += 1;
     s.stats.units_completed += 1;
     if let Some(stop) = opts.stop_after {
@@ -802,13 +838,27 @@ fn finish_unit(
 }
 
 /// Executes a unit on the calling thread — the fully-degraded tier. Each
-/// spec runs through [`execute_spec`] (panic isolation included) and is
-/// rendered as its deterministic line with the global index, exactly the
-/// bytes a healthy worker would have produced.
-fn run_inprocess(registry: &Registry, specs: &[RunSpec], range: Range<usize>) -> Vec<String> {
+/// spec runs through [`execute_spec`] (panic isolation included) with the
+/// harness per-case transient-retry policy, and is rendered as its
+/// deterministic line with the global index, exactly the bytes a healthy
+/// worker running `--retries case_retries` would have produced.
+fn run_inprocess(
+    registry: &Registry,
+    specs: &[RunSpec],
+    range: Range<usize>,
+    case_retries: u64,
+) -> Vec<String> {
     range
         .map(|global| {
-            let report = execute_spec(registry, &specs[global]);
+            let mut report = execute_spec(registry, &specs[global]);
+            let mut attempts = 0u64;
+            while attempts < case_retries && outcome_is_transient(&report.outcome) {
+                attempts += 1;
+                std::thread::sleep(retry_backoff(attempts));
+                report = execute_spec(registry, &specs[global]);
+            }
+            report.retries = attempts;
+            report.quarantined = attempts > 0 && outcome_is_transient(&report.outcome);
             report.to_json_deterministic(global).to_string()
         })
         .collect()
@@ -830,8 +880,15 @@ fn run_subprocess_attempt(
     let chaos = opts
         .chaos
         .and_then(|seed| chaos_action(seed, unit, attempt));
-    let mut child = match Command::new(&worker.program)
-        .args(&worker.args)
+    let mut command = Command::new(&worker.program);
+    command.args(&worker.args);
+    if opts.case_retries > 0 {
+        // The per-case transient-retry budget rides along to the worker so
+        // its report lines carry the same retry metadata a single-process
+        // `--retries` session would have produced.
+        command.args(["--retries", &opts.case_retries.to_string()]);
+    }
+    let mut child = match command
         .stdin(Stdio::piped())
         .stdout(Stdio::piped())
         .stderr(Stdio::null())
@@ -926,7 +983,7 @@ fn run_subprocess_attempt(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::harness::{Harness, RunSpec};
+    use crate::harness::{Harness, RunSpec, SessionOpts};
     use crate::spec::ProgramSpec;
     use cheri_isa::codegen::CodegenOpts;
     use cheri_kernel::AbiMode;
@@ -1082,6 +1139,115 @@ mod tests {
         assert_eq!(out.lines, golden_lines(&registry, &specs));
         assert!(out.stats.spawn_failures >= 1);
         assert_eq!(out.stats.units_inprocess, 2);
+    }
+
+    #[test]
+    fn a_losing_straggler_copy_settles_after_the_winner_without_a_miscount() {
+        let tmp = TempDir::new("straggler");
+        let registry = Registry::builtin();
+        let specs = exit_specs(1);
+        // The first copy to start grabs the lock directory and stalls; the
+        // speculative duplicate loses the mkdir race, answers immediately
+        // and wins. The stalled loser then settles *after* finish_unit
+        // already recorded the winner — the interleaving that used to
+        // force `inflight` to zero and underflow on the loser's settle.
+        let line = "{\"case\":0,\"name\":\"w\",\"outcome\":{\"outcome\":\"deadline\"}}";
+        let script = format!(
+            "cat > /dev/null; if mkdir {} 2>/dev/null; then sleep 0.5; fi; echo '{line}'",
+            tmp.0.join("lock").display(),
+        );
+        let opts = FleetOpts {
+            workers: 2,
+            unit_size: 1,
+            straggler_after: Duration::from_millis(1),
+            worker: Some(sh_worker(&script)),
+            checkpoint_dir: None,
+            ..FleetOpts::default()
+        };
+        let out = run_fleet(&registry, &specs, &opts);
+        assert!(!out.interrupted);
+        assert_eq!(out.lines, vec![line.to_string()]);
+        assert_eq!(out.stats.units_completed, 1);
+        assert_eq!(
+            out.stats.straggler_duplicates, 1,
+            "the idle slot speculated: {:?}",
+            out.stats
+        );
+        assert_eq!(
+            out.stats.straggler_discards, 1,
+            "the loser settled as a discard, not a miscount: {:?}",
+            out.stats
+        );
+    }
+
+    #[test]
+    fn case_retries_apply_in_process_and_match_the_session_bytes() {
+        let tmp = TempDir::new("case-retries");
+        let registry = Registry::builtin();
+        let mut specs = exit_specs(5);
+        // Boom panics deterministically, so it spends the whole per-case
+        // retry budget and its report line carries the retry metadata.
+        specs.push(
+            RunSpec::new(
+                "boom",
+                ProgramSpec::Boom,
+                CodegenOpts::purecap(),
+                AbiMode::CheriAbi,
+            )
+            .with_seed(99),
+        );
+        let opts = FleetOpts {
+            case_retries: 2,
+            ..base_opts(&tmp)
+        };
+        let out = run_fleet(&registry, &specs, &opts);
+        let session = Harness::new(1).run_session(
+            &registry,
+            &specs,
+            &SessionOpts {
+                retries: 2,
+                ..SessionOpts::default()
+            },
+        );
+        let golden: Vec<String> = session
+            .reports
+            .iter()
+            .map(|(i, r)| r.to_json_deterministic(*i).to_string())
+            .collect();
+        assert_eq!(out.lines, golden, "fleet --retries matches the session");
+        assert!(
+            golden.iter().any(|l| l.contains("\"retries\":2")),
+            "the transient case actually retried: {golden:?}"
+        );
+    }
+
+    #[test]
+    fn case_retries_are_forwarded_to_worker_commands() {
+        let tmp = TempDir::new("retries-fwd");
+        let registry = Registry::builtin();
+        let specs = exit_specs(1);
+        // `sh -c script arg0 arg1` binds the coordinator-appended
+        // `--retries 3` to $0/$1; the worker echoes $1 back in its report
+        // line, proving the flag reached the command line.
+        let script = "cat > /dev/null; \
+                      echo \"{\\\"case\\\":0,\\\"name\\\":\\\"got $1\\\",\
+                      \\\"outcome\\\":{\\\"outcome\\\":\\\"deadline\\\"}}\"";
+        let opts = FleetOpts {
+            workers: 1,
+            unit_size: 1,
+            case_retries: 3,
+            worker: Some(sh_worker(script)),
+            checkpoint_dir: Some(tmp.0.clone()),
+            ..FleetOpts::default()
+        };
+        let out = run_fleet(&registry, &specs, &opts);
+        assert!(!out.interrupted);
+        assert_eq!(out.lines.len(), 1);
+        assert!(
+            out.lines[0].contains("\"name\":\"got 3\""),
+            "worker saw --retries 3: {:?}",
+            out.lines
+        );
     }
 
     #[test]
