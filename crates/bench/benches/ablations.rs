@@ -145,16 +145,22 @@ fn bench_bodiag_detectors(c: &mut Criterion<GuestCycles>) {
     g.finish();
 }
 
-/// Superblock ablation: the same spin workload under the superblock fast
-/// path and the single-step reference interpreter. Guest cycles per
-/// iteration must be *identical* across the two rows — the equivalence
-/// contract, visible right in the bench output — while the wall-time
-/// secondary shows the host-speed gap.
+/// Execution-tier ablation: the same spin workload under the template
+/// tier, the superblock machine and the single-step reference
+/// interpreter. Guest cycles per iteration must be *identical* across
+/// the three rows — the equivalence contract, visible right in the
+/// bench output — while the wall-time secondary shows the host-speed
+/// gap.
 fn bench_superblock_modes(c: &mut Criterion<GuestCycles>) {
+    use cheriabi::harness::ExecMode;
     let registry = cheri_bench::registry();
     let mut g = c.benchmark_group("superblock-spin");
     g.sample_size(10);
-    for (name, fast_path) in [("superblock", true), ("single-step", false)] {
+    for (name, mode) in [
+        ("template", ExecMode::Template),
+        ("superblock", ExecMode::Superblock),
+        ("single-step", ExecMode::SingleStep),
+    ] {
         let spec = RunSpec::new(
             format!("ablation-superblock-{name}"),
             ProgramSpec::Spin { iters: 200_000 },
@@ -162,7 +168,7 @@ fn bench_superblock_modes(c: &mut Criterion<GuestCycles>) {
             AbiMode::Mips64,
         )
         .with_budget(2_000_000_000)
-        .with_fast_path(fast_path);
+        .with_exec_mode(mode);
         g.bench_function(name, |b| {
             b.iter(|| execute_spec(&registry, &spec));
         });

@@ -1,16 +1,20 @@
-//! Host-side interpreter throughput: guest-MIPS across the four execution
+//! Host-side interpreter throughput: guest-MIPS across the five execution
 //! modes — the reference interpreter (the `--oracle` shadow semantics),
-//! the single-step baseline (`--no-fast-path`), the TLB fast path with
-//! superblocks disabled, and the full superblock machine. The ref row
-//! prices the oracle: `ref_overhead` is fast MIPS over reference MIPS,
-//! an upper bound on the slowdown of `--oracle replay`.
+//! the single-step baseline (`--exec-mode single`), the TLB fast path
+//! with superblocks disabled, the superblock machine (`--exec-mode
+//! superblock`), and the template tier on top (`--exec-mode template`,
+//! the default everywhere else). The ref row prices the oracle:
+//! `ref_overhead` is fast MIPS over reference MIPS, an upper bound on the
+//! slowdown of `--oracle replay`.
 //!
 //! Unlike every other binary here, this one measures *host* wall time, so
 //! its numbers vary run to run and machine to machine. Guest-visible
 //! metrics must NOT vary: the binary re-measures each program in every
 //! mode and exits non-zero if any counter differs, making every
-//! invocation a determinism check for the TLB/epoch fast path and the
-//! superblock execution core.
+//! invocation a determinism check for the TLB/epoch fast path, the
+//! superblock execution core and the template tier. `--weaken-flush`
+//! deliberately drops one template exit flush so CI can prove that check
+//! has teeth (the run must exit non-zero).
 //!
 //! Writes `BENCH_interp.json` (see EXPERIMENTS.md).
 
@@ -25,6 +29,8 @@ use cheriabi::{Metrics, System};
 
 const USAGE: &str = "usage: interp_throughput [options]
   --no-fast-path    measure only the slow-path baseline
+  --weaken-flush    test-only: drop one template exit flush; the metric
+                    cross-check must then fail (exit non-zero)
   --trials <n>      wall-time trials per mode (default 3, best-of)
   --spin-iters <n>  spin loop iterations (default 2000000)
   --out <path>      output JSON path (default BENCH_interp.json)
@@ -32,6 +38,7 @@ const USAGE: &str = "usage: interp_throughput [options]
 
 struct Opts {
     fast_too: bool,
+    weaken_flush: bool,
     trials: u32,
     spin_iters: i64,
     out: String,
@@ -40,6 +47,7 @@ struct Opts {
 fn parse_args() -> Result<Opts, String> {
     let mut opts = Opts {
         fast_too: true,
+        weaken_flush: false,
         trials: 3,
         spin_iters: 2_000_000,
         out: "BENCH_interp.json".to_string(),
@@ -48,6 +56,7 @@ fn parse_args() -> Result<Opts, String> {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--no-fast-path" => opts.fast_too = false,
+            "--weaken-flush" => opts.weaken_flush = true,
             "--trials" => {
                 opts.trials = args
                     .next()
@@ -82,6 +91,7 @@ fn parse_args() -> Result<Opts, String> {
 struct Mode {
     fast: bool,
     superblocks: bool,
+    templates: bool,
     reference: bool,
 }
 
@@ -91,35 +101,52 @@ impl Mode {
     const REF: Mode = Mode {
         fast: false,
         superblocks: false,
+        templates: false,
         reference: true,
     };
     /// Single-step baseline (fast machine, fast path off).
     const BASE: Mode = Mode {
         fast: false,
         superblocks: false,
+        templates: false,
         reference: false,
     };
     /// TLB/epoch fast path only (PR 3's fast mode).
     const TLB: Mode = Mode {
         fast: true,
         superblocks: false,
+        templates: false,
         reference: false,
     };
-    /// The full superblock machine (the default everywhere else).
+    /// The superblock machine with the template tier held off
+    /// (`--exec-mode superblock`).
     const FULL: Mode = Mode {
         fast: true,
         superblocks: true,
+        templates: false,
+        reference: false,
+    };
+    /// The template tier on top of the superblock machine
+    /// (`--exec-mode template`, the default everywhere else).
+    const TMPL: Mode = Mode {
+        fast: true,
+        superblocks: true,
+        templates: true,
         reference: false,
     };
 }
 
 /// One timed execution. Returns guest metrics and host wall seconds.
-fn run_once(registry: &Registry, spec: &ProgramSpec, mode: Mode) -> (Metrics, f64) {
+fn run_once(registry: &Registry, spec: &ProgramSpec, mode: Mode, weaken: bool) -> (Metrics, f64) {
     let program = registry.lower(spec, CodegenOpts::purecap(), 0);
     let mut sys = System::with_config(KernelConfig::default());
     sys.kernel.cpu.set_fast_path(mode.fast);
     sys.kernel.cpu.set_superblocks(mode.superblocks);
+    sys.kernel.cpu.set_templates(mode.templates);
     sys.kernel.cpu.set_reference(mode.reference);
+    if weaken && mode.templates {
+        sys.kernel.cpu.set_weaken_flush(true);
+    }
     let opts = SpawnOpts::new(AbiMode::CheriAbi);
     let start = Instant::now();
     let (_, _, metrics) = sys.measure(&program, &opts).expect("program loads");
@@ -128,10 +155,16 @@ fn run_once(registry: &Registry, spec: &ProgramSpec, mode: Mode) -> (Metrics, f6
 
 /// Best-of-`trials` wall time for one (program, mode) pair; asserts the
 /// guest metrics are identical across trials.
-fn run_mode(registry: &Registry, spec: &ProgramSpec, mode: Mode, trials: u32) -> (Metrics, f64) {
-    let (metrics, mut best) = run_once(registry, spec, mode);
+fn run_mode(
+    registry: &Registry,
+    spec: &ProgramSpec,
+    mode: Mode,
+    trials: u32,
+    weaken: bool,
+) -> (Metrics, f64) {
+    let (metrics, mut best) = run_once(registry, spec, mode, weaken);
     for _ in 1..trials {
-        let (m, wall) = run_once(registry, spec, mode);
+        let (m, wall) = run_once(registry, spec, mode, weaken);
         assert_eq!(m, metrics, "guest metrics must be identical across trials");
         best = best.min(wall);
     }
@@ -175,22 +208,24 @@ fn main() {
     ];
     let mut lines = Vec::new();
     let mut spin_speedup: Option<f64> = None;
+    let mut spin_tmpl_speedup: Option<f64> = None;
     let mut mismatch = false;
     println!(
-        "{:<28} {:>12} {:>11} {:>11} {:>11} {:>11} {:>8} {:>8}",
+        "{:<28} {:>12} {:>11} {:>11} {:>11} {:>11} {:>11} {:>8} {:>9}",
         "program",
         "guest instrs",
         "ref MIPS",
         "base MIPS",
         "tlb MIPS",
-        "fast MIPS",
+        "sb MIPS",
+        "tmpl MIPS",
         "speedup",
-        "sb gain"
+        "tmpl gain"
     );
     for (name, spec) in &programs {
-        let (base_metrics, base_wall) = run_mode(&registry, spec, Mode::BASE, opts.trials);
+        let (base_metrics, base_wall) = run_mode(&registry, spec, Mode::BASE, opts.trials, false);
         let base_mips = mips(base_metrics.instructions, base_wall);
-        let (ref_metrics, ref_wall) = run_mode(&registry, spec, Mode::REF, opts.trials);
+        let (ref_metrics, ref_wall) = run_mode(&registry, spec, Mode::REF, opts.trials, false);
         if ref_metrics != base_metrics {
             eprintln!(
                 "interp_throughput: {name}: guest metrics diverge between the \
@@ -199,12 +234,18 @@ fn main() {
             mismatch = true;
         }
         let ref_mips = mips(ref_metrics.instructions, ref_wall);
-        let (tlb_stats, fast_stats, speedup, sb_speedup) = if opts.fast_too {
-            let (tlb_metrics, tlb_wall) = run_mode(&registry, spec, Mode::TLB, opts.trials);
-            let (fast_metrics, fast_wall) = run_mode(&registry, spec, Mode::FULL, opts.trials);
+        let (tlb_stats, fast_stats, tmpl_stats, speedup, sb_speedup, tmpl_speedup) = if opts
+            .fast_too
+        {
+            let (tlb_metrics, tlb_wall) = run_mode(&registry, spec, Mode::TLB, opts.trials, false);
+            let (fast_metrics, fast_wall) =
+                run_mode(&registry, spec, Mode::FULL, opts.trials, false);
+            let (tmpl_metrics, tmpl_wall) =
+                run_mode(&registry, spec, Mode::TMPL, opts.trials, opts.weaken_flush);
             for (mode, m) in [
                 ("tlb fast path", &tlb_metrics),
                 ("superblock", &fast_metrics),
+                ("template", &tmpl_metrics),
             ] {
                 if m != &base_metrics {
                     eprintln!(
@@ -216,19 +257,24 @@ fn main() {
             }
             let tlb_mips = mips(tlb_metrics.instructions, tlb_wall);
             let fast_mips = mips(fast_metrics.instructions, fast_wall);
-            let speedup = fast_mips / base_mips;
+            let tmpl_mips = mips(tmpl_metrics.instructions, tmpl_wall);
+            let speedup = tmpl_mips / base_mips;
             let sb = fast_mips / tlb_mips;
+            let tmpl = tmpl_mips / fast_mips;
             if name == "spin" {
                 spin_speedup = Some(speedup);
+                spin_tmpl_speedup = Some(tmpl);
             }
             (
                 Some((tlb_wall, tlb_mips)),
                 Some((fast_wall, fast_mips)),
+                Some((tmpl_wall, tmpl_mips)),
                 Some(speedup),
                 Some(sb),
+                Some(tmpl),
             )
         } else {
-            (None, None, None, None)
+            (None, None, None, None, None, None)
         };
         let (tlb_wall_j, tlb_mips_j) = match tlb_stats {
             Some((w, m)) => (json_f64(w * 1e3), json_f64(m)),
@@ -238,20 +284,25 @@ fn main() {
             (Some((w, m)), Some(s)) => (json_f64(w * 1e3), json_f64(m), json_f64(s)),
             _ => ("null".to_string(), "null".to_string(), "null".to_string()),
         };
-        let ref_overhead = fast_stats.map(|(_, fast_mips)| fast_mips / ref_mips);
+        let (tmpl_wall_j, tmpl_mips_j) = match tmpl_stats {
+            Some((w, m)) => (json_f64(w * 1e3), json_f64(m)),
+            None => ("null".to_string(), "null".to_string()),
+        };
+        let ref_overhead = tmpl_stats.map(|(_, tmpl_mips)| tmpl_mips / ref_mips);
         println!(
-            "{:<28} {:>12} {:>11.2} {:>11.2} {:>11} {:>11} {:>8} {:>8}",
+            "{:<28} {:>12} {:>11.2} {:>11.2} {:>11} {:>11} {:>11} {:>8} {:>9}",
             name,
             base_metrics.instructions,
             ref_mips,
             base_mips,
             tlb_stats.map_or("-".to_string(), |(_, m)| format!("{m:.2}")),
             fast_stats.map_or("-".to_string(), |(_, m)| format!("{m:.2}")),
+            tmpl_stats.map_or("-".to_string(), |(_, m)| format!("{m:.2}")),
             speedup.map_or("-".to_string(), |s| format!("{s:.2}x")),
-            sb_speedup.map_or("-".to_string(), |s| format!("{s:.2}x")),
+            tmpl_speedup.map_or("-".to_string(), |s| format!("{s:.2}x")),
         );
         lines.push(format!(
-            "{{\"program\":\"{}\",\"instructions\":{},\"cycles\":{},\"wall_ms_ref\":{},\"mips_ref\":{},\"wall_ms_base\":{},\"mips_base\":{},\"wall_ms_tlb\":{},\"mips_tlb\":{},\"wall_ms_fast\":{},\"mips_fast\":{},\"speedup\":{},\"sb_speedup\":{},\"ref_overhead\":{}}}",
+            "{{\"program\":\"{}\",\"instructions\":{},\"cycles\":{},\"wall_ms_ref\":{},\"mips_ref\":{},\"wall_ms_base\":{},\"mips_base\":{},\"wall_ms_tlb\":{},\"mips_tlb\":{},\"wall_ms_fast\":{},\"mips_fast\":{},\"wall_ms_tmpl\":{},\"mips_tmpl\":{},\"speedup\":{},\"sb_speedup\":{},\"tmpl_speedup\":{},\"ref_overhead\":{}}}",
             cheri_bench::cli::json_escape(name),
             base_metrics.instructions,
             base_metrics.cycles,
@@ -263,15 +314,19 @@ fn main() {
             tlb_mips_j,
             fast_wall_j,
             fast_mips_j,
+            tmpl_wall_j,
+            tmpl_mips_j,
             speedup_j,
             sb_speedup.map_or("null".to_string(), json_f64),
+            tmpl_speedup.map_or("null".to_string(), json_f64),
             ref_overhead.map_or("null".to_string(), json_f64),
         ));
     }
     let doc = format!(
-        "{{\"bench\":\"interp_throughput\",\"trials\":{},\"spin_speedup\":{},\"results\":[{}]}}\n",
+        "{{\"bench\":\"interp_throughput\",\"trials\":{},\"spin_speedup\":{},\"spin_tmpl_speedup\":{},\"results\":[{}]}}\n",
         opts.trials,
         spin_speedup.map_or("null".to_string(), json_f64),
+        spin_tmpl_speedup.map_or("null".to_string(), json_f64),
         lines.join(",")
     );
     if let Err(e) = std::fs::write(&opts.out, &doc) {

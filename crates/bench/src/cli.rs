@@ -23,7 +23,7 @@
 
 use cheriabi::cache::ReportCache;
 use cheriabi::harness::{
-    CaseReport, Harness, MembraneMode, OracleMode, RunSpec, SessionOpts, Shard,
+    CaseReport, ExecMode, Harness, MembraneMode, OracleMode, RunSpec, SessionOpts, Shard,
 };
 use cheriabi::spec::Registry;
 use std::fmt::Write as _;
@@ -52,10 +52,16 @@ pub struct BenchOpts {
     /// Re-run panicked / deadline-exceeded cases up to this many times
     /// with deterministic backoff before accepting the outcome.
     pub retries: u64,
-    /// Run the superblock fast path (default). `--no-fast-path` clears it,
-    /// forcing every case through the single-step reference interpreter —
-    /// the guest-metric equivalence gate.
-    pub fast_path: bool,
+    /// Execution tier for every case (`--exec-mode
+    /// single|superblock|template`, default template — the full stack).
+    /// `--no-fast-path` is a legacy alias for `--exec-mode single`, the
+    /// guest-metric equivalence gate; mixing the alias with the explicit
+    /// flag is rejected at parse time.
+    pub exec_mode: ExecMode,
+    /// Test-only: drop one compiled template's exit register flush
+    /// (`--weaken-flush`) so the cross-tier gates can prove a residency
+    /// bug is detected. Weakened runs never touch the report cache.
+    pub weaken_flush: bool,
     /// Differential-oracle mode applied to every spec (`--oracle
     /// lockstep|replay|off`). A divergence surfaces as a failed case.
     pub oracle: OracleMode,
@@ -99,7 +105,8 @@ impl Default for BenchOpts {
             cache_limit: None,
             dump_specs: false,
             retries: 0,
-            fast_path: true,
+            exec_mode: ExecMode::Template,
+            weaken_flush: false,
             oracle: OracleMode::Off,
             weaken_sem: false,
             oracle_every: 1,
@@ -114,6 +121,11 @@ impl Default for BenchOpts {
 /// name). Returns an error message on anything unrecognised.
 pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<BenchOpts, String> {
     let mut opts = BenchOpts::default();
+    // `--exec-mode` and the legacy `--fast-path`/`--no-fast-path` aliases
+    // must not mix: silently letting one win would make the command line
+    // order-sensitive in a way nobody can audit.
+    let mut exec_mode_flag = false;
+    let mut legacy_fast_path_flag = false;
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -144,8 +156,24 @@ pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<BenchOpts, S
                 opts.cache_limit = Some(limit);
             }
             "--dump-specs" => opts.dump_specs = true,
-            "--no-fast-path" => opts.fast_path = false,
-            "--fast-path" => opts.fast_path = true,
+            "--no-fast-path" => {
+                legacy_fast_path_flag = true;
+                opts.exec_mode = ExecMode::SingleStep;
+            }
+            "--fast-path" => {
+                legacy_fast_path_flag = true;
+                opts.exec_mode = ExecMode::Template;
+            }
+            "--exec-mode" => {
+                let value = iter
+                    .next()
+                    .ok_or("--exec-mode needs a tier (single|superblock|template)")?;
+                exec_mode_flag = true;
+                opts.exec_mode = ExecMode::from_label(&value).map_err(|e| {
+                    format!("--exec-mode: {e} (want single, superblock or template)")
+                })?;
+            }
+            "--weaken-flush" => opts.weaken_flush = true,
             "--oracle" => {
                 let value = iter
                     .next()
@@ -204,6 +232,19 @@ pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<BenchOpts, S
             other => return Err(format!("unknown argument: {other}\n{USAGE}")),
         }
     }
+    if exec_mode_flag && legacy_fast_path_flag {
+        return Err(
+            "--exec-mode cannot combine with --fast-path/--no-fast-path (the legacy \
+             aliases name the same knob; pick one spelling)"
+                .to_string(),
+        );
+    }
+    if opts.weaken_flush && opts.exec_mode != ExecMode::Template {
+        return Err(
+            "--weaken-flush requires the template tier (drop --exec-mode/--no-fast-path)"
+                .to_string(),
+        );
+    }
     if opts.fleet.is_some() {
         // A session flag the fleet cannot honour is an error, not a silent
         // drop: `--fleet` must never change what a command reports.
@@ -258,9 +299,15 @@ pub const USAGE: &str = "options:\n  \
     (pipe into `run_specs --specs -` to replay them)\n  \
     --retries N    re-run panicked / deadline-exceeded cases up to N times\n                 \
     (deterministic backoff; cache keys and entries are unaffected)\n  \
-    --no-fast-path run every case on the single-step reference interpreter\n                 \
-    instead of the superblock fast path (guest metrics are\n                 \
-    byte-identical by contract; only host speed changes)\n  \
+    --exec-mode T  execution tier for every case: `single` (the reference\n                 \
+    interpreter), `superblock` (decoded regions, no templates)\n                 \
+    or `template` (the full stack, the default). Guest metrics\n                 \
+    are byte-identical by contract; only host speed changes\n  \
+    --no-fast-path legacy alias for --exec-mode single (and --fast-path for\n                 \
+    --exec-mode template); cannot mix with --exec-mode\n  \
+    --weaken-flush test-only: drop one compiled template's exit register\n                 \
+    flush so the cross-tier gates can prove a residency bug is\n                 \
+    detected (template tier only; never cached)\n  \
     --oracle M     differential oracle: `lockstep` shadows every dispatched\n                 \
     instruction against the shared semantics, `replay` runs each\n                 \
     case twice (fast, then reference) and diffs the results;\n                 \
@@ -423,15 +470,16 @@ pub fn run_specs(
     specs: &[RunSpec],
     opts: &BenchOpts,
 ) -> Option<Vec<CaseReport>> {
-    // `--no-fast-path`, `--oracle`, `--oracle-every`, `--hardened` and
-    // `--weaken-sem` rewrite every spec before anything else sees it, so
-    // dumps, cache lookups and execution all agree on the mode. The
-    // defaults leave specs untouched: a spec that already opted into any
-    // of these stays opted in.
+    // `--exec-mode`, `--oracle`, `--oracle-every`, `--hardened`,
+    // `--weaken-sem` and `--weaken-flush` rewrite every spec before
+    // anything else sees it, so dumps, cache lookups, fleet workers and
+    // execution all agree on the mode. The defaults leave specs untouched:
+    // a spec that already opted into any of these stays opted in.
     let adjusted: Vec<RunSpec>;
-    let specs: &[RunSpec] = if opts.fast_path
+    let specs: &[RunSpec] = if opts.exec_mode == ExecMode::Template
         && opts.oracle == OracleMode::Off
         && !opts.weaken_sem
+        && !opts.weaken_flush
         && opts.oracle_every == 1
         && !opts.hardened
     {
@@ -441,8 +489,11 @@ pub fn run_specs(
             .iter()
             .map(|s| {
                 let mut s = s.clone();
-                if !opts.fast_path {
-                    s = s.with_fast_path(false);
+                if opts.exec_mode != ExecMode::Template {
+                    s = s.with_exec_mode(opts.exec_mode);
+                }
+                if opts.weaken_flush {
+                    s = s.with_weaken_flush(true);
                 }
                 if opts.oracle != OracleMode::Off {
                     s = s.with_oracle(opts.oracle);
@@ -682,19 +733,57 @@ mod tests {
     }
 
     #[test]
-    fn parses_fast_path_toggle() {
-        assert!(parse_args(args(&[])).expect("parses").fast_path);
-        assert!(
-            !parse_args(args(&["--no-fast-path"]))
-                .expect("parses")
-                .fast_path
+    fn parses_exec_mode_and_legacy_aliases() {
+        assert_eq!(
+            parse_args(args(&[])).expect("parses").exec_mode,
+            ExecMode::Template
         );
-        // Last toggle wins.
-        assert!(
+        for (flag, mode) in [
+            ("single", ExecMode::SingleStep),
+            ("superblock", ExecMode::Superblock),
+            ("template", ExecMode::Template),
+        ] {
+            assert_eq!(
+                parse_args(args(&["--exec-mode", flag]))
+                    .expect("parses")
+                    .exec_mode,
+                mode
+            );
+        }
+        assert!(parse_args(args(&["--exec-mode"])).is_err());
+        assert!(parse_args(args(&["--exec-mode", "warp"])).is_err());
+        // The legacy aliases still map onto the tiers; last toggle wins.
+        assert_eq!(
+            parse_args(args(&["--no-fast-path"]))
+                .expect("parses")
+                .exec_mode,
+            ExecMode::SingleStep
+        );
+        assert_eq!(
             parse_args(args(&["--no-fast-path", "--fast-path"]))
                 .expect("parses")
-                .fast_path
+                .exec_mode,
+            ExecMode::Template
         );
+        // ... but mixing the alias with the explicit flag is ambiguous and
+        // rejected regardless of order.
+        assert!(parse_args(args(&["--exec-mode", "template", "--no-fast-path"])).is_err());
+        assert!(parse_args(args(&["--no-fast-path", "--exec-mode", "single"])).is_err());
+    }
+
+    #[test]
+    fn parses_weaken_flush() {
+        assert!(!parse_args(args(&[])).expect("parses").weaken_flush);
+        let opts = parse_args(args(&["--weaken-flush"])).expect("parses");
+        assert!(opts.weaken_flush);
+        assert_eq!(opts.exec_mode, ExecMode::Template);
+        // The weakened flush lives in the template tier; asking for it on
+        // another tier is a contradiction, not a no-op.
+        assert!(parse_args(args(&["--weaken-flush", "--no-fast-path"])).is_err());
+        assert!(parse_args(args(&["--exec-mode", "superblock", "--weaken-flush"])).is_err());
+        // It forwards through --fleet like any spec rewrite.
+        let fleet = parse_args(args(&["--fleet", "2", "--weaken-flush"])).expect("parses");
+        assert!(fleet.weaken_flush);
     }
 
     #[test]

@@ -14,11 +14,11 @@
 //! L2 override — plus a caller-supplied *salt* (the codegen fingerprint
 //! from `cheri_isa::codegen::fingerprint`, so any change to instruction
 //! selection invalidates every entry wholesale). The spec's display name,
-//! wall-clock deadline, execution mode (`fast_path`), oracle mode
-//! (`oracle`) and lockstep cadence (`oracle_every`) are *not* part of the
-//! identity: none of them changes what the guest computes — the superblock
-//! machine and the oracle are gated to produce byte-identical guest
-//! metrics. The membrane mode (`abi_mode`) *is* identity: a hardened run
+//! wall-clock deadline, execution tier (`exec_mode`, plus the legacy
+//! `fast_path` key), oracle mode (`oracle`) and lockstep cadence
+//! (`oracle_every`) are *not* part of the identity: none of them changes
+//! what the guest computes — the execution tiers and the oracle are gated
+//! to produce byte-identical guest metrics. The membrane mode (`abi_mode`) *is* identity: a hardened run
 //! observes different allocator behaviour (quarantine, repairs) than a
 //! strict one. Stored entries embed the full identity JSON
 //! and every load re-compares it, so an FNV collision degrades to a cache
@@ -28,9 +28,9 @@
 //! (environmental, not functions of the spec), oracle divergences (a
 //! simulator bug must resurface on every run until fixed), traced runs
 //! (the capability CDF is not serialized, and Figure 5 wants a fresh
-//! trace), and anything run with `weaken_sem` or `weaken_quarantine`
-//! (deliberately wrong semantics / a deliberately disabled membrane must
-//! never poison — or be served from — the shared cache).
+//! trace), and anything run with `weaken_sem`, `weaken_quarantine` or
+//! `weaken_flush` (deliberately wrong semantics / a deliberately disabled
+//! membrane must never poison — or be served from — the shared cache).
 //!
 //! **On disk.** One JSON file per entry under the cache directory
 //! (default `target/harness-cache/`), named by the hex key. Writes go to a
@@ -208,7 +208,13 @@ impl ReportCache {
             fields.extend(all.into_iter().filter(|(k, _)| {
                 !matches!(
                     k.as_str(),
-                    "name" | "deadline_nanos" | "trace" | "fast_path" | "oracle" | "oracle_every"
+                    "name"
+                        | "deadline_nanos"
+                        | "trace"
+                        | "fast_path"
+                        | "exec_mode"
+                        | "oracle"
+                        | "oracle_every"
                 )
             }));
         }
@@ -231,7 +237,7 @@ impl ReportCache {
     /// (names are display-only and not part of the identity).
     #[must_use]
     pub fn load(&self, spec: &RunSpec) -> Option<CaseReport> {
-        if spec.trace || spec.weaken_sem || spec.weaken_quarantine {
+        if spec.trace || spec.weaken_sem || spec.weaken_quarantine || spec.weaken_flush {
             return None;
         }
         let text = fs::read_to_string(self.entry_path(spec)).ok()?;
@@ -252,6 +258,7 @@ impl ReportCache {
         if spec.trace
             || spec.weaken_sem
             || spec.weaken_quarantine
+            || spec.weaken_flush
             || matches!(
                 report.outcome,
                 CaseOutcome::Panicked(_)
@@ -490,11 +497,21 @@ mod tests {
         other_abi.abi = AbiMode::Mips64;
         assert!(cache.load(&other_abi).is_none(), "abi");
 
-        // The execution mode is not identity either: both modes produce
+        // The execution tier is not identity either: every tier produces
         // byte-identical guest metrics by contract.
+        for mode in [
+            crate::harness::ExecMode::SingleStep,
+            crate::harness::ExecMode::Superblock,
+            crate::harness::ExecMode::Template,
+        ] {
+            assert!(
+                cache.load(&spec.clone().with_exec_mode(mode)).is_some(),
+                "{mode:?} is not identity"
+            );
+        }
         assert!(
             cache.load(&spec.clone().with_fast_path(false)).is_some(),
-            "fast_path is not identity"
+            "the legacy fast_path alias is not identity"
         );
 
         // Name and deadline are display/scheduling concerns, not identity.
@@ -555,6 +572,13 @@ mod tests {
         let traced = exit_spec("traced", 0).with_trace(true);
         cache.store(&traced, &execute_spec(&registry, &traced));
         assert!(cache.load(&traced).is_none(), "traced runs are not cached");
+
+        let weakened = exit_spec("weak-flush", 0).with_weaken_flush(true);
+        cache.store(&weakened, &execute_spec(&registry, &weakened));
+        assert!(
+            cache.load(&weakened).is_none(),
+            "weakened-flush runs are not cached"
+        );
     }
 
     #[test]

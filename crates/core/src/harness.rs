@@ -92,13 +92,12 @@ pub struct RunSpec {
     /// spec JSON — and every existing golden — is byte-identical to before
     /// the fault plane existed.
     pub fault: Option<FaultPlan>,
-    /// Run the superblock fast path (the default). `false` forces the
-    /// single-step reference interpreter — the equivalence-gate
-    /// configuration. Excluded from the report-cache identity (both modes
-    /// produce byte-identical guest metrics by contract); `true` encodes
-    /// to nothing, so default spec JSON — and every existing golden — is
-    /// byte-identical to before the superblock machine existed.
-    pub fast_path: bool,
+    /// Execution tier for the guest. Excluded from the report-cache
+    /// identity (every tier produces byte-identical guest metrics by
+    /// contract); [`ExecMode::Template`] (the default) encodes to
+    /// nothing, so default spec JSON — and every existing golden and
+    /// cache entry — is byte-identical to before the tiers existed.
+    pub exec_mode: ExecMode,
     /// Differential-oracle mode for this case. Excluded from the
     /// report-cache identity (a clean oracle run produces the same guest
     /// results as a plain run by contract); [`OracleMode::Off`] encodes to
@@ -127,6 +126,52 @@ pub struct RunSpec {
     /// allowed) so the attack table's self-test can prove the membrane is
     /// load-bearing. Never cached; `false` encodes to nothing.
     pub weaken_quarantine: bool,
+    /// Test-only: drop one compiled template's exit register flush so the
+    /// cross-tier equivalence gates can prove they detect a residency
+    /// bug. Never cached; `false` encodes to nothing.
+    pub weaken_flush: bool,
+}
+
+/// Which execution tier the guest runs on. All three produce
+/// byte-identical guest-visible results by contract — the tiers trade
+/// host speed only, and the equivalence gates hold them to it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ExecMode {
+    /// The single-step reference interpreter: one decode/dispatch per
+    /// instruction, the equivalence-gate baseline.
+    SingleStep,
+    /// The superblock machine: decoded regions executed a block at a
+    /// time, per-instruction closures, per-access cache events.
+    Superblock,
+    /// The full tier stack (the default): superblocks, plus hot re-entry
+    /// points compiled to register-allocated trace templates with
+    /// line-coalesced fetch events.
+    #[default]
+    Template,
+}
+
+impl ExecMode {
+    fn label(self) -> Option<&'static str> {
+        match self {
+            ExecMode::SingleStep => Some("single"),
+            ExecMode::Superblock => Some("superblock"),
+            ExecMode::Template => None,
+        }
+    }
+
+    /// Parses a mode label as used by spec JSON and `--exec-mode`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for an unknown label.
+    pub fn from_label(s: &str) -> Result<ExecMode, String> {
+        match s {
+            "single" => Ok(ExecMode::SingleStep),
+            "superblock" => Ok(ExecMode::Superblock),
+            "template" => Ok(ExecMode::Template),
+            other => Err(format!("unknown exec mode `{other}`")),
+        }
+    }
 }
 
 /// Strict vs hardened run-time membrane: one process ABI, two policies.
@@ -202,12 +247,13 @@ impl RunSpec {
             l2_size: None,
             trace: false,
             fault: None,
-            fast_path: true,
+            exec_mode: ExecMode::Template,
             oracle: OracleMode::Off,
             weaken_sem: false,
             abi_mode: MembraneMode::Strict,
             oracle_every: 1,
             weaken_quarantine: false,
+            weaken_flush: false,
         }
     }
 
@@ -267,11 +313,29 @@ impl RunSpec {
         self
     }
 
-    /// Selects between the superblock fast path (`true`, the default) and
-    /// the single-step reference interpreter (`false`).
+    /// Selects the execution tier.
     #[must_use]
-    pub fn with_fast_path(mut self, fast_path: bool) -> RunSpec {
-        self.fast_path = fast_path;
+    pub fn with_exec_mode(mut self, mode: ExecMode) -> RunSpec {
+        self.exec_mode = mode;
+        self
+    }
+
+    /// Legacy alias for [`RunSpec::with_exec_mode`]: `true` selects the
+    /// full tier stack, `false` the single-step reference interpreter.
+    #[must_use]
+    pub fn with_fast_path(self, fast_path: bool) -> RunSpec {
+        self.with_exec_mode(if fast_path {
+            ExecMode::Template
+        } else {
+            ExecMode::SingleStep
+        })
+    }
+
+    /// Test-only: drops one template exit flush so the cross-tier gates
+    /// can prove a register-residency bug is actually detected.
+    #[must_use]
+    pub fn with_weaken_flush(mut self, weaken: bool) -> RunSpec {
+        self.weaken_flush = weaken;
         self
     }
 
@@ -331,8 +395,8 @@ impl RunSpec {
             ("l2_size", Json::opt(self.l2_size.map(Json::u64))),
             ("trace", Json::Bool(self.trace)),
         ];
-        if !self.fast_path {
-            fields.push(("fast_path", Json::Bool(false)));
+        if let Some(mode) = self.exec_mode.label() {
+            fields.push(("exec_mode", Json::str(mode)));
         }
         if let Some(plan) = &self.fault {
             fields.push(("fault", plan.to_json()));
@@ -351,6 +415,9 @@ impl RunSpec {
         }
         if self.weaken_quarantine {
             fields.push(("weaken_quarantine", Json::Bool(true)));
+        }
+        if self.weaken_flush {
+            fields.push(("weaken_flush", Json::Bool(true)));
         }
         Json::obj(fields)
     }
@@ -382,9 +449,14 @@ impl RunSpec {
                 Some(plan) => Some(FaultPlan::from_json(plan)?),
                 None => None,
             },
-            fast_path: match v.get("fast_path") {
-                Some(b) => b.as_bool()?,
-                None => true,
+            exec_mode: match v.get("exec_mode") {
+                Some(mode) => ExecMode::from_label(mode.as_str()?)?,
+                // Legacy two-tier encoding: `"fast_path":false` meant the
+                // single-step interpreter; absent meant the fast path.
+                None => match v.get("fast_path") {
+                    Some(b) if !b.as_bool()? => ExecMode::SingleStep,
+                    _ => ExecMode::Template,
+                },
             },
             oracle: match v.get("oracle") {
                 Some(mode) => OracleMode::from_label(mode.as_str()?)?,
@@ -407,6 +479,10 @@ impl RunSpec {
                 None => 1,
             },
             weaken_quarantine: match v.get("weaken_quarantine") {
+                Some(b) => b.as_bool()?,
+                None => false,
+            },
+            weaken_flush: match v.get("weaken_flush") {
                 Some(b) => b.as_bool()?,
                 None => false,
             },
@@ -1154,7 +1230,7 @@ fn execute_replay(registry: &Registry, spec: &RunSpec) -> CaseReport {
 
 /// Builds and runs one spec in a fresh system on the current thread.
 /// `reference` forces the single-step reference interpreter regardless of
-/// [`RunSpec::fast_path`] — the replay oracle's second leg.
+/// [`RunSpec::exec_mode`] — the replay oracle's second leg.
 fn execute_once(registry: &Registry, spec: &RunSpec, reference: bool) -> CaseReport {
     let start = Instant::now();
     let run = catch_unwind(AssertUnwindSafe(|| {
@@ -1173,8 +1249,22 @@ fn execute_once(registry: &Registry, spec: &RunSpec, reference: bool) -> CaseRep
         if spec.trace {
             sys.enable_tracing();
         }
-        sys.kernel.cpu.set_fast_path(spec.fast_path);
+        match spec.exec_mode {
+            ExecMode::SingleStep => sys.kernel.cpu.set_fast_path(false),
+            ExecMode::Superblock => {
+                sys.kernel.cpu.set_fast_path(true);
+                sys.kernel.cpu.set_templates(false);
+            }
+            ExecMode::Template => {
+                sys.kernel.cpu.set_fast_path(true);
+                // An armed fault plan mutates memory behind the guest's
+                // back mid-run; templates assume the re-entry guard stays
+                // valid for a whole trace, so demote to superblocks.
+                sys.kernel.cpu.set_templates(spec.fault.is_none());
+            }
+        }
         sys.kernel.cpu.set_weaken_sem(spec.weaken_sem);
+        sys.kernel.cpu.set_weaken_flush(spec.weaken_flush);
         if reference {
             sys.kernel.cpu.set_reference(true);
         } else if spec.oracle == OracleMode::Lockstep {
@@ -1858,6 +1948,57 @@ mod tests {
         let back = RunSpec::from_json(&json::parse(&text).expect("parses")).expect("decodes");
         assert_eq!(back, spec);
         assert_eq!(back.to_json().to_string(), text);
+    }
+
+    #[test]
+    fn exec_mode_encodes_only_when_not_default_and_decodes_legacy_keys() {
+        let plain = exit_with_seed_spec("mode", 0);
+        let text = plain.to_json().to_string();
+        // The default tier encodes to nothing: pre-template spec JSON (and
+        // every existing golden) stays byte-identical.
+        assert!(!text.contains("exec_mode"), "{text}");
+        assert!(!text.contains("fast_path"), "{text}");
+        assert!(!text.contains("weaken_flush"), "{text}");
+        for (mode, label) in [
+            (ExecMode::SingleStep, Some("\"exec_mode\":\"single\"")),
+            (ExecMode::Superblock, Some("\"exec_mode\":\"superblock\"")),
+            (ExecMode::Template, None),
+        ] {
+            let spec = plain.clone().with_exec_mode(mode);
+            let text = spec.to_json().to_string();
+            match label {
+                Some(l) => assert!(text.contains(l), "{text}"),
+                None => assert!(!text.contains("exec_mode"), "{text}"),
+            }
+            let back = RunSpec::from_json(&json::parse(&text).expect("parses")).expect("decodes");
+            assert_eq!(back, spec);
+            assert_eq!(back.to_json().to_string(), text);
+        }
+        // The legacy two-tier key still decodes: `false` was the
+        // single-step interpreter, `true` the (then two-tier) fast path.
+        for (legacy, mode) in [
+            ("\"fast_path\":false", ExecMode::SingleStep),
+            ("\"fast_path\":true", ExecMode::Template),
+        ] {
+            let text = text.replace("\"trace\":false", &format!("\"trace\":false,{legacy}"));
+            let back = RunSpec::from_json(&json::parse(&text).expect("parses")).expect("decodes");
+            assert_eq!(back.exec_mode, mode, "{legacy}");
+        }
+        // And the builder alias maps onto the tiers.
+        assert_eq!(
+            plain.clone().with_fast_path(false).exec_mode,
+            ExecMode::SingleStep
+        );
+        assert_eq!(
+            plain.clone().with_fast_path(true).exec_mode,
+            ExecMode::Template
+        );
+        // weaken_flush encodes only when set, and round-trips.
+        let weakened = plain.with_weaken_flush(true);
+        let text = weakened.to_json().to_string();
+        assert!(text.contains("\"weaken_flush\":true"), "{text}");
+        let back = RunSpec::from_json(&json::parse(&text).expect("parses")).expect("decodes");
+        assert_eq!(back, weakened);
     }
 
     #[test]

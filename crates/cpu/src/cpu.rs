@@ -3,6 +3,7 @@
 use crate::ops::{self, CpuPorts, RefPorts};
 use crate::oracle::{self, Divergence, LockstepState};
 use crate::region::{DecodedInstr, DecodedRegion};
+use crate::template::{self, TOp, TTerm, Template, TmplState};
 use crate::{DerivationTrace, RegFile};
 use cheri_cap::{CapFault, Capability, Perms};
 use cheri_isa::Instr;
@@ -74,6 +75,11 @@ pub struct CpuStats {
     pub sb_hits: u64,
     /// Host-side: fetches/block entries that re-scanned the region map.
     pub sb_misses: u64,
+    /// Host-side: superblocks promoted to a compiled trace template.
+    pub tmpl_compiles: u64,
+    /// Host-side: template executions (each may run many loop
+    /// iterations).
+    pub tmpl_hits: u64,
 }
 
 impl PartialEq for CpuStats {
@@ -133,6 +139,11 @@ struct SbEntry {
     epoch: u64,
     /// The region containing `pc`.
     region: Arc<DecodedRegion>,
+    /// Template-tier promotion state. Lives inside the entry, so every
+    /// demotion path is free: a guard miss (epoch bump from COW, swap,
+    /// mprotect or fork; PCC change; slot reuse) rebuilds the entry and
+    /// the state resets to cold with it.
+    tmpl: TmplState,
 }
 
 /// The simulated core: caches, counters, registered code regions, and a
@@ -170,6 +181,22 @@ pub struct Cpu {
     /// When false, the superblock loop is skipped even with the fast path
     /// on: the TLB-only ablation point.
     superblocks: bool,
+    /// When false, hot superblocks are never promoted to trace
+    /// templates: the `--exec-mode superblock` ablation point. Only
+    /// meaningful with the fast path and superblocks on.
+    templates: bool,
+    /// Effective template activation for the current `run`: requires
+    /// batched superblock mode and no armed lockstep oracle (the shadow
+    /// needs per-instruction boundaries templates fold away).
+    tmpl_active: bool,
+    /// Test-only residency weakening (`--weaken-flush`): the first
+    /// template execution skips its exit write-set flush, silently
+    /// dropping every register the trace computed. One-shot, so the
+    /// guest still terminates; exists solely so the cross-tier
+    /// determinism gates can prove they catch a residency bug.
+    weaken_flush: bool,
+    /// Whether the one-shot weakened flush already fired.
+    flush_weakened: bool,
     /// Forces every memory event straight into the cache model (no ring
     /// batching) and single-step execution. Armed fault plans set this so
     /// ordering-sensitive triggers always observe an up-to-date model.
@@ -232,6 +259,10 @@ impl Cpu {
             sb_entries: vec![None; SB_SLOTS],
             fast_path: true,
             superblocks: true,
+            templates: true,
+            tmpl_active: false,
+            weaken_flush: false,
+            flush_weakened: false,
             exact_events: false,
             weaken_sem: false,
             reference: false,
@@ -269,6 +300,40 @@ impl Cpu {
     #[must_use]
     pub fn superblocks(&self) -> bool {
         self.superblocks
+    }
+
+    /// Enables or disables the template tier (promotion of hot
+    /// superblocks to compiled trace templates — the superblock-only
+    /// ablation point when disabled). Guest-visible behaviour is
+    /// identical in both modes. Disabling discards every compiled
+    /// template by dropping the re-entry cache.
+    pub fn set_templates(&mut self, on: bool) {
+        self.templates = on;
+        self.reset_sb_entries();
+    }
+
+    /// Whether template promotion is enabled.
+    #[must_use]
+    pub fn templates(&self) -> bool {
+        self.templates
+    }
+
+    /// Enables the test-only deliberate residency bug (`--weaken-flush`):
+    /// the first template execution skips its exit write-set flush. The
+    /// guest's register file silently loses everything the trace
+    /// computed, so guest metrics and outcomes diverge from the other
+    /// tiers — which the cross-tier determinism gates must catch. The
+    /// self-test that proves the gates actually cover register
+    /// residency.
+    pub fn set_weaken_flush(&mut self, on: bool) {
+        self.weaken_flush = on;
+        self.flush_weakened = false;
+    }
+
+    /// Whether the test-only flush weakening is active.
+    #[must_use]
+    pub fn weaken_flush(&self) -> bool {
+        self.weaken_flush
     }
 
     /// Forces exact memory-event replay (no ring batching) and single-step
@@ -583,9 +648,14 @@ impl Cpu {
         }
         self.batch =
             self.fast_path && self.superblocks && !self.trace.enabled && !self.exact_events;
+        // Templates additionally require no armed lockstep oracle: the
+        // shadow re-executes at per-instruction boundaries, which the
+        // template deliberately folds away.
+        self.tmpl_active = self.batch && self.templates && self.lockstep.is_none();
         let exit = self.run_inner(vm, id, rf, max_instrs);
         self.drain_events();
         self.batch = false;
+        self.tmpl_active = false;
         exit
     }
 
@@ -756,8 +826,44 @@ impl Cpu {
         // flags, and the guard re-validates on every entry, so restoring
         // an entry that a mid-block epoch bump invalidated is harmless.
         let slot = Self::sb_slot(pc);
-        let e = match self.sb_entries[slot].take() {
-            Some(e) if e.pc == pc && e.epoch == vm.epoch() && e.pcc == rf.pcc => {
+        let mut e = match self.sb_entries[slot].take() {
+            Some(mut e) if e.pc == pc && e.epoch == vm.epoch() && e.pcc == rf.pcc => {
+                if self.tmpl_active {
+                    if let TmplState::Cold(hits) = &mut e.tmpl {
+                        *hits += 1;
+                        if *hits >= template::PROMOTE_THRESHOLD {
+                            // The guard just revalidated the exact PCC,
+                            // so the clamp inputs are current.
+                            let pcc_top = rf.pcc.base().saturating_add(rf.pcc.length());
+                            let pcc_rem = ((pcc_top - pc) / 4) as usize;
+                            e.tmpl = match template::compile(
+                                &e.region,
+                                e.idx,
+                                pc,
+                                e.pa,
+                                pcc_rem,
+                                self.caches.l1_line(),
+                            ) {
+                                Some(t) => {
+                                    self.stats.tmpl_compiles += 1;
+                                    TmplState::Hot(Box::new(t))
+                                }
+                                None => TmplState::Rejected,
+                            };
+                        }
+                    }
+                    if let TmplState::Hot(t) = &e.tmpl {
+                        // Below one full pass of budget the template
+                        // cannot stop at the exact instruction the
+                        // superblock tier would, so fall through to it.
+                        if budget >= u64::from(t.n_trace) {
+                            self.stats.tmpl_hits += 1;
+                            self.run_template(t, rf, budget, executed);
+                            self.sb_entries[slot] = Some(e);
+                            return None;
+                        }
+                    }
+                }
                 self.stats.sb_hits += 1;
                 self.mem_access(e.pa, AccessKind::Fetch);
                 e
@@ -816,6 +922,7 @@ impl Cpu {
                     pcc: rf.pcc,
                     epoch: vm.epoch(),
                     region,
+                    tmpl: TmplState::default(),
                 }
             }
         };
@@ -881,8 +988,254 @@ impl Cpu {
                 }
             }
         }
+        // Demote on any trap: the block left the pure fast-loop regime
+        // (fault handling may change mappings or re-enter differently),
+        // so make the template re-earn its promotion.
+        if matches!(out, Some(Exit::Trap(_))) {
+            e.tmpl = TmplState::default();
+        }
         self.sb_entries[slot] = Some(e);
         out
+    }
+
+    /// Records a line-coalesced fetch run into the pending event ring
+    /// (template executions only run in batched mode). A run of `count`
+    /// same-line fetches replays as one real access plus `count - 1` L1I
+    /// hits — byte-identical stats to `count` individual accesses, see
+    /// [`MemEventRing::record_run`].
+    #[inline]
+    fn record_fetch_run(&mut self, pa: u64, count: u64) {
+        if count == 0 {
+            return;
+        }
+        if self.events.is_full() {
+            self.stats.cycles += self.caches.drain(&mut self.events);
+        }
+        self.events.record_run(pa, AccessKind::Fetch, count);
+    }
+
+    /// Executes a compiled trace template: loads the read∪write register
+    /// set into locals, runs the straight-line plan (looping internally
+    /// on a backedge terminator) until a side exit, the terminator's
+    /// departure, or budget exhaustion, then flushes the write set and
+    /// accounts retired instructions, base cycles and line-coalesced
+    /// fetch events exactly as the superblock tier would have.
+    ///
+    /// The caller guarantees `budget >= n_trace` (so at least one full
+    /// pass fits) and that the entry guard (pc/epoch/PCC) holds; pure-int
+    /// ops can neither trap nor touch memory, so the guard stays valid
+    /// for the whole execution and no exit other than a pc redirect can
+    /// occur.
+    fn run_template(&mut self, t: &Template, rf: &mut RegFile, budget: u64, executed: &mut u64) {
+        debug_assert!(self.batch);
+        let n_trace = u64::from(t.n_trace);
+        let mut locals = [0u64; template::MAX_LOCALS];
+        for &(reg, local) in &t.init {
+            locals[usize::from(local)] = rf.gpr[usize::from(reg)];
+        }
+        let iters_max = budget / n_trace;
+        let mut full = 0u64;
+        let mut side: Option<(usize, u64)> = None;
+        let next;
+        'run: loop {
+            for (k, op) in t.ops.iter().enumerate() {
+                match *op {
+                    TOp::Nop => {}
+                    TOp::Li { d, imm } => locals[usize::from(d)] = imm,
+                    TOp::Mov { d, s } => locals[usize::from(d)] = locals[usize::from(s)],
+                    TOp::Add { d, a, b } => {
+                        locals[usize::from(d)] =
+                            locals[usize::from(a)].wrapping_add(locals[usize::from(b)]);
+                    }
+                    TOp::Sub { d, a, b } => {
+                        locals[usize::from(d)] =
+                            locals[usize::from(a)].wrapping_sub(locals[usize::from(b)]);
+                    }
+                    TOp::Mul { d, a, b } => {
+                        locals[usize::from(d)] =
+                            locals[usize::from(a)].wrapping_mul(locals[usize::from(b)]);
+                    }
+                    TOp::DivU { d, a, b } => {
+                        locals[usize::from(d)] = locals[usize::from(a)]
+                            .checked_div(locals[usize::from(b)])
+                            .unwrap_or(0);
+                    }
+                    TOp::DivS { d, a, b } => {
+                        let den = locals[usize::from(b)] as i64;
+                        let num = locals[usize::from(a)] as i64;
+                        locals[usize::from(d)] = if den == 0 {
+                            0
+                        } else {
+                            num.wrapping_div(den) as u64
+                        };
+                    }
+                    TOp::RemU { d, a, b } => {
+                        let den = locals[usize::from(b)];
+                        locals[usize::from(d)] = if den == 0 {
+                            0
+                        } else {
+                            locals[usize::from(a)] % den
+                        };
+                    }
+                    TOp::And { d, a, b } => {
+                        locals[usize::from(d)] = locals[usize::from(a)] & locals[usize::from(b)];
+                    }
+                    TOp::Or { d, a, b } => {
+                        locals[usize::from(d)] = locals[usize::from(a)] | locals[usize::from(b)];
+                    }
+                    TOp::Xor { d, a, b } => {
+                        locals[usize::from(d)] = locals[usize::from(a)] ^ locals[usize::from(b)];
+                    }
+                    TOp::Nor { d, a, b } => {
+                        locals[usize::from(d)] = !(locals[usize::from(a)] | locals[usize::from(b)]);
+                    }
+                    TOp::Sllv { d, a, b } => {
+                        locals[usize::from(d)] =
+                            locals[usize::from(a)] << (locals[usize::from(b)] & 63);
+                    }
+                    TOp::Srlv { d, a, b } => {
+                        locals[usize::from(d)] =
+                            locals[usize::from(a)] >> (locals[usize::from(b)] & 63);
+                    }
+                    TOp::Srav { d, a, b } => {
+                        locals[usize::from(d)] = ((locals[usize::from(a)] as i64)
+                            >> (locals[usize::from(b)] & 63))
+                            as u64;
+                    }
+                    TOp::Slt { d, a, b } => {
+                        locals[usize::from(d)] = u64::from(
+                            (locals[usize::from(a)] as i64) < (locals[usize::from(b)] as i64),
+                        );
+                    }
+                    TOp::Sltu { d, a, b } => {
+                        locals[usize::from(d)] =
+                            u64::from(locals[usize::from(a)] < locals[usize::from(b)]);
+                    }
+                    TOp::AddI { d, s, imm } => {
+                        locals[usize::from(d)] = locals[usize::from(s)].wrapping_add(imm);
+                    }
+                    TOp::AndI { d, s, imm } => {
+                        locals[usize::from(d)] = locals[usize::from(s)] & imm;
+                    }
+                    TOp::OrI { d, s, imm } => {
+                        locals[usize::from(d)] = locals[usize::from(s)] | imm;
+                    }
+                    TOp::XorI { d, s, imm } => {
+                        locals[usize::from(d)] = locals[usize::from(s)] ^ imm;
+                    }
+                    TOp::SllI { d, s, sh } => {
+                        locals[usize::from(d)] = locals[usize::from(s)] << sh;
+                    }
+                    TOp::SrlI { d, s, sh } => {
+                        locals[usize::from(d)] = locals[usize::from(s)] >> sh;
+                    }
+                    TOp::SraI { d, s, sh } => {
+                        locals[usize::from(d)] = ((locals[usize::from(s)] as i64) >> sh) as u64;
+                    }
+                    TOp::SltI { d, s, imm } => {
+                        locals[usize::from(d)] = u64::from((locals[usize::from(s)] as i64) < imm);
+                    }
+                    TOp::SltuI { d, s, imm } => {
+                        locals[usize::from(d)] = u64::from(locals[usize::from(s)] < imm);
+                    }
+                    TOp::Branch {
+                        cond,
+                        a,
+                        b,
+                        taken_next,
+                    } => {
+                        if cond.taken(locals[usize::from(a)], locals[usize::from(b)]) {
+                            side = Some((k, taken_next));
+                            next = taken_next;
+                            break 'run;
+                        }
+                    }
+                }
+            }
+            full += 1;
+            match t.term {
+                TTerm::Loop => {
+                    if full == iters_max {
+                        next = t.entry_pc;
+                        break 'run;
+                    }
+                }
+                TTerm::CondLoop { cond, a, b } => {
+                    if cond.taken(locals[usize::from(a)], locals[usize::from(b)]) {
+                        if full == iters_max {
+                            next = t.entry_pc;
+                            break 'run;
+                        }
+                    } else {
+                        next = t.fall_pc;
+                        break 'run;
+                    }
+                }
+                TTerm::Jump(target) => {
+                    next = target;
+                    break 'run;
+                }
+                TTerm::Jr { s } => {
+                    next = locals[usize::from(s)];
+                    break 'run;
+                }
+                TTerm::Jalr { d, s } => {
+                    // Handler order: link write first, so `d == s` jumps
+                    // to the link address.
+                    locals[usize::from(d)] = t.fall_pc;
+                    next = locals[usize::from(s)];
+                    break 'run;
+                }
+                TTerm::Fallthrough => {
+                    next = t.fall_pc;
+                    break 'run;
+                }
+            }
+        }
+        // Metric settlement, in program order: the completed passes,
+        // then the side-exiting partial pass (if any).
+        let mut retired = full * n_trace;
+        let mut cycles = full * t.cycles_total;
+        if full > 0 {
+            if let [(pa, count)] = t.fetch_runs[..] {
+                // Single-line trace: every fetch of every pass hits the
+                // same line, so the whole run coalesces into one event.
+                self.record_fetch_run(pa, count * full);
+            } else {
+                for _ in 0..full {
+                    for &(pa, count) in &t.fetch_runs {
+                        self.record_fetch_run(pa, count);
+                    }
+                }
+            }
+        }
+        if let Some((k, _)) = side {
+            retired += k as u64 + 1;
+            cycles += u64::from(t.cum_cycles[k]);
+            let mut rem = k as u64 + 1;
+            for &(pa, count) in &t.fetch_runs {
+                let take = count.min(rem);
+                self.record_fetch_run(pa, take);
+                rem -= take;
+                if rem == 0 {
+                    break;
+                }
+            }
+        }
+        self.stats.instret += retired;
+        self.stats.cycles += cycles;
+        self.stats.sb_hits += full + u64::from(side.is_some());
+        *executed += retired;
+        if self.weaken_flush && !self.flush_weakened {
+            // --weaken-flush: drop the first execution's write set on
+            // the floor (one-shot so the guest still terminates).
+            self.flush_weakened = true;
+        } else {
+            for &(local, reg) in &t.flush {
+                rf.gpr[usize::from(reg)] = locals[usize::from(local)];
+            }
+        }
+        rf.pc = next;
     }
 
     /// Executes a single instruction.
@@ -1287,16 +1640,18 @@ mod tests {
         // guest-indistinguishable.
         let code = store_sync_store_load();
         let mut results = Vec::new();
-        for (fast, superblocks, exact, reference) in [
-            (true, true, false, false),
-            (true, true, true, false),
-            (true, false, false, false),
-            (false, false, false, false),
-            (true, true, false, true),
+        for (fast, superblocks, templates, exact, reference) in [
+            (true, true, true, false, false),
+            (true, true, false, false, false),
+            (true, true, true, true, false),
+            (true, false, false, false, false),
+            (false, false, false, false, false),
+            (true, true, true, false, true),
         ] {
             let (mut cpu, mut vm, id, mut rf) = machine(code.clone(), false);
             cpu.set_fast_path(fast);
             cpu.set_superblocks(superblocks);
+            cpu.set_templates(templates);
             cpu.set_exact_mem_events(exact);
             cpu.set_reference(reference);
             assert_eq!(cpu.run(&mut vm, id, &mut rf, 10_000), Exit::Syscall);
@@ -1306,6 +1661,311 @@ mod tests {
         for r in &results[1..] {
             assert_eq!(*r, results[0]);
         }
+    }
+
+    // ------------------------------------------------------------------
+    // The template tier
+    // ------------------------------------------------------------------
+
+    /// The spin inner loop shape (`spec.rs`): count `iters` iterations,
+    /// then fall through to a syscall. The hot trace spans two
+    /// superblocks (li/sub/beqz and addi/j), so it exercises the
+    /// cross-block walk, a mid-trace side exit and the internal backedge.
+    fn spin_loop(iters: i64) -> Vec<Instr> {
+        vec![
+            Instr::Li {
+                rd: ireg::T0,
+                imm: 0,
+            },
+            // top:
+            Instr::Li {
+                rd: ireg::T1,
+                imm: iters,
+            },
+            Instr::Sub {
+                rd: ireg::T1,
+                rs: ireg::T0,
+                rt: ireg::T1,
+            },
+            Instr::Beq {
+                rs: ireg::T1,
+                rt: ireg::ZERO,
+                target: 6,
+            },
+            Instr::AddI {
+                rd: ireg::T0,
+                rs: ireg::T0,
+                imm: 1,
+            },
+            Instr::J { target: 1 },
+            // done:
+            Instr::Syscall,
+        ]
+    }
+
+    #[test]
+    fn spin_loop_promotes_and_agrees_with_every_tier() {
+        let code = spin_loop(400);
+        let mut results = Vec::new();
+        for (fast, superblocks, templates) in [
+            (true, true, true),
+            (true, true, false),
+            (false, false, false),
+        ] {
+            let (mut cpu, mut vm, id, mut rf) = machine(code.clone(), false);
+            cpu.set_fast_path(fast);
+            cpu.set_superblocks(superblocks);
+            cpu.set_templates(templates);
+            assert_eq!(cpu.run(&mut vm, id, &mut rf, 100_000), Exit::Syscall);
+            assert_eq!(rf.r(ireg::T0), 400);
+            if templates {
+                assert!(cpu.stats.tmpl_compiles >= 1, "the hot loop must promote");
+                assert!(cpu.stats.tmpl_hits >= 1, "the compiled template must run");
+            } else {
+                assert_eq!(cpu.stats.tmpl_compiles, 0);
+                assert_eq!(cpu.stats.tmpl_hits, 0);
+            }
+            results.push((cpu.stats, cpu.caches.stats(), vm.stats, rf.r(ireg::T0)));
+        }
+        for r in &results[1..] {
+            assert_eq!(*r, results[0]);
+        }
+    }
+
+    #[test]
+    fn template_budget_exhaustion_matches_superblock_exactly() {
+        // An endless loop under assorted non-multiple budgets: the
+        // template must stop at precisely the same instruction (and the
+        // same pc) the superblock tier would.
+        let code = vec![
+            Instr::AddI {
+                rd: ireg::T0,
+                rs: ireg::T0,
+                imm: 1,
+            },
+            Instr::J { target: 0 },
+        ];
+        for budget in [10u64, 201, 1000, 4097] {
+            let mut results = Vec::new();
+            for templates in [true, false] {
+                let (mut cpu, mut vm, id, mut rf) = machine(code.clone(), false);
+                cpu.set_templates(templates);
+                assert_eq!(cpu.run(&mut vm, id, &mut rf, budget), Exit::InstrLimit);
+                results.push((cpu.stats, cpu.caches.stats(), rf.pc, rf.r(ireg::T0)));
+            }
+            assert_eq!(results[0], results[1], "budget {budget}");
+            assert_eq!(results[0].0.instret, budget);
+        }
+    }
+
+    #[test]
+    fn jalr_and_jr_templates_agree_with_single_step() {
+        // A call loop whose callee returns through an integer register:
+        // both the call block (jalr terminator) and the callee (jr
+        // terminator) get hot enough to promote.
+        let code = vec![
+            Instr::Li {
+                rd: ireg::temp(5),
+                imm: 0x10000 + 7 * 4, // fn
+            },
+            Instr::Li {
+                rd: ireg::T2,
+                imm: 200,
+            },
+            // top:
+            Instr::AddI {
+                rd: ireg::T3,
+                rs: ireg::T3,
+                imm: 1,
+            },
+            Instr::AddI {
+                rd: ireg::temp(4),
+                rs: ireg::temp(4),
+                imm: 1,
+            },
+            Instr::Jalr {
+                rd: ireg::RA,
+                rs: ireg::temp(5),
+            },
+            // return lands here:
+            Instr::Bne {
+                rs: ireg::T0,
+                rt: ireg::T2,
+                target: 2,
+            },
+            Instr::Syscall,
+            // fn:
+            Instr::AddI {
+                rd: ireg::T0,
+                rs: ireg::T0,
+                imm: 1,
+            },
+            Instr::AddI {
+                rd: ireg::T1,
+                rs: ireg::T1,
+                imm: 2,
+            },
+            Instr::Jr { rs: ireg::RA },
+        ];
+        let mut results = Vec::new();
+        for templates in [true, false] {
+            let (mut cpu, mut vm, id, mut rf) = machine(code.clone(), false);
+            cpu.set_templates(templates);
+            assert_eq!(cpu.run(&mut vm, id, &mut rf, 100_000), Exit::Syscall);
+            if templates {
+                assert!(
+                    cpu.stats.tmpl_compiles >= 2,
+                    "call block and callee both promote, got {}",
+                    cpu.stats.tmpl_compiles
+                );
+            }
+            results.push((cpu.stats, cpu.caches.stats(), rf.clone()));
+        }
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[0].2.r(ireg::T0), 200);
+        assert_eq!(results[0].2.r(ireg::T1), 400);
+    }
+
+    /// An endless ALU loop behind a one-shot store — rerunning it from
+    /// the region start re-touches the data page, so fork/COW and swap
+    /// machinery have something to chew on between runs.
+    fn store_then_spin() -> Vec<Instr> {
+        vec![
+            Instr::Li {
+                rd: ireg::T1,
+                imm: 0x20010,
+            },
+            Instr::Li {
+                rd: ireg::T2,
+                imm: 7,
+            },
+            Instr::Store {
+                rs: ireg::T2,
+                base: ireg::T1,
+                off: 0,
+                w: Width::D,
+            },
+            // top:
+            Instr::AddI {
+                rd: ireg::T0,
+                rs: ireg::T0,
+                imm: 1,
+            },
+            Instr::J { target: 3 },
+        ]
+    }
+
+    #[test]
+    fn epoch_bumps_demote_compiled_templates() {
+        // Every kernel-side mapping mutation — mprotect, swap-out, fork,
+        // COW resolution — bumps the VM translation epoch, which fails
+        // the re-entry guard, rebuilds the entry and resets its template
+        // state to cold. Each phase below must therefore recompile from
+        // scratch: the compile counter is the demotion witness.
+        let (mut cpu, mut vm, id, mut rf) = machine(store_then_spin(), false);
+        assert_eq!(cpu.run(&mut vm, id, &mut rf, 500), Exit::InstrLimit);
+        assert_eq!(cpu.stats.tmpl_compiles, 1, "hot loop promoted");
+        assert!(cpu.stats.tmpl_hits >= 1);
+
+        // mprotect: same rights, but the epoch bump alone must demote.
+        vm.protect(id, 0x20000, 4096, Prot::rw()).unwrap();
+        rf.pc = 0x10000;
+        assert_eq!(cpu.run(&mut vm, id, &mut rf, 500), Exit::InstrLimit);
+        assert_eq!(cpu.stats.tmpl_compiles, 2, "mprotect demoted the template");
+
+        // Swap-out (and the swap-in the store then re-faults).
+        assert!(vm.swap_out(id, 0x20000).unwrap());
+        rf.pc = 0x10000;
+        assert_eq!(cpu.run(&mut vm, id, &mut rf, 500), Exit::InstrLimit);
+        assert_eq!(cpu.stats.tmpl_compiles, 3, "swap demoted the template");
+
+        // Fork, then COW resolution when the parent's store re-executes.
+        let child = vm.fork_space(id).unwrap();
+        cpu.clone_code(id, child);
+        rf.pc = 0x10000;
+        assert_eq!(cpu.run(&mut vm, id, &mut rf, 500), Exit::InstrLimit);
+        assert_eq!(vm.stats.cow_copies, 1, "the store resolved COW");
+        assert_eq!(cpu.stats.tmpl_compiles, 4, "fork/COW demoted the template");
+    }
+
+    #[test]
+    fn trap_demotes_the_faulting_blocks_template() {
+        // Promote the loop, then revoke write on the data page and rerun
+        // from the start: the store traps. The next full rerun must
+        // recompile (trap + epoch bump both demote) and still agree.
+        let (mut cpu, mut vm, id, mut rf) = machine(store_then_spin(), false);
+        assert_eq!(cpu.run(&mut vm, id, &mut rf, 500), Exit::InstrLimit);
+        assert_eq!(cpu.stats.tmpl_compiles, 1);
+        vm.protect(id, 0x20000, 4096, Prot::READ).unwrap();
+        rf.pc = 0x10000;
+        match cpu.run(&mut vm, id, &mut rf, 500) {
+            Exit::Trap(t) => assert_eq!(t.cause, TrapCause::Vm(VmError::Protection(0x20010))),
+            e => panic!("expected protection fault, got {e:?}"),
+        }
+        vm.protect(id, 0x20000, 4096, Prot::rw()).unwrap();
+        rf.pc = 0x10000;
+        assert_eq!(cpu.run(&mut vm, id, &mut rf, 500), Exit::InstrLimit);
+        assert_eq!(cpu.stats.tmpl_compiles, 2, "re-promoted after the trap");
+    }
+
+    #[test]
+    fn mode_matrix_agrees_on_trap_heavy_probes() {
+        // single ≡ superblock ≡ template on probes that end in traps:
+        // the widen probe (capability fault) and a null-DDC legacy load.
+        let ddc_probe = vec![
+            Instr::Li {
+                rd: ireg::T0,
+                imm: 0x20010,
+            },
+            Instr::Load {
+                rd: ireg::T2,
+                base: ireg::T0,
+                off: 0,
+                w: Width::D,
+                signed: false,
+            },
+        ];
+        for code in [widen_probe(), ddc_probe] {
+            let mut results = Vec::new();
+            for (fast, superblocks, templates) in [
+                (false, false, false),
+                (true, true, false),
+                (true, true, true),
+            ] {
+                let (mut cpu, mut vm, id, mut rf) = machine(code.clone(), true);
+                cpu.set_fast_path(fast);
+                cpu.set_superblocks(superblocks);
+                cpu.set_templates(templates);
+                let exit = cpu.run(&mut vm, id, &mut rf, 10_000);
+                assert!(matches!(exit, Exit::Trap(_)), "probe must trap: {exit:?}");
+                results.push((exit, cpu.stats, cpu.caches.stats(), vm.stats, rf.pc));
+            }
+            for r in &results[1..] {
+                assert_eq!(*r, results[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn weaken_flush_loses_writes_once_and_is_caught_by_comparison() {
+        // The deliberate residency bug: the first template execution
+        // drops its exit flush, so the spin counter silently rewinds —
+        // exactly what the cross-tier gates must flag. One-shot, so the
+        // guest still terminates.
+        let code = spin_loop(400);
+        let (mut cpu, mut vm, id, mut rf) = machine(code.clone(), false);
+        assert_eq!(cpu.run(&mut vm, id, &mut rf, 100_000), Exit::Syscall);
+        let clean = (cpu.stats, rf.r(ireg::T0));
+
+        let (mut cpu, mut vm, id, mut rf) = machine(code, false);
+        cpu.set_weaken_flush(true);
+        assert!(cpu.weaken_flush());
+        assert_eq!(cpu.run(&mut vm, id, &mut rf, 200_000), Exit::Syscall);
+        assert_ne!(
+            (cpu.stats, rf.r(ireg::T0)),
+            clean,
+            "dropping one flush must be guest-visible"
+        );
     }
 
     // ------------------------------------------------------------------

@@ -27,6 +27,7 @@ mod cpu;
 mod ops;
 mod oracle;
 mod region;
+mod template;
 mod trace;
 
 pub use cheri_sem::RegFile;

@@ -21,9 +21,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod effects;
 pub mod ops;
 mod regfile;
 
+pub use effects::{eff, RegEffects, RegSet};
 pub use regfile::RegFile;
 
 use cheri_cap::{CapFault, Capability, Perms};

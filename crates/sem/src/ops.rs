@@ -11,12 +11,13 @@
 
 #![allow(clippy::unnecessary_wraps)] // handlers share one fallible signature
 
+use crate::effects::{eff, RegEffects};
 use crate::{MemoryPort, OpResult, SemExit, StepCtx};
 use cheri_cap::{CapFault, Capability, Perms};
 use cheri_isa::{Instr, Width};
 
 macro_rules! define_ops {
-    ($( $name:ident : $pat:pat => |$p:ident, $cx:ident| $body:block )+) => {
+    ($( $name:ident : $pat:pat => [$eff:expr] |$p:ident, $cx:ident| $body:block )+) => {
         $(
             #[doc = concat!("Step semantics for `", stringify!($pat), "`.")]
             ///
@@ -77,6 +78,19 @@ macro_rules! define_ops {
             )+
             unreachable!("instruction missing from op table")
         }
+
+        /// The statically declared [`RegEffects`] of an instruction, from
+        /// the effects clause on the same `define_ops!` entry as its
+        /// handler body. The template compiler in `cheri-cpu` plans
+        /// register residency from these sets; the drift-guard test below
+        /// checks them against the handlers' observable behaviour.
+        #[must_use]
+        #[allow(unused_variables)]
+        pub fn reg_effects(i: &Instr) -> RegEffects {
+            match *i {
+                $( $pat => $eff, )+
+            }
+        }
     };
 }
 
@@ -108,155 +122,155 @@ macro_rules! with_op_list {
 }
 
 define_ops! {
-    op_li: Instr::Li { rd, imm } => |_p, cx| {
+    op_li: Instr::Li { rd, imm } => [eff().wi(rd)] |_p, cx| {
         cx.rf.w(rd, imm as u64);
         Ok(None)
     }
-    op_move: Instr::Move { rd, rs } => |_p, cx| {
+    op_move: Instr::Move { rd, rs } => [eff().ri(rs).wi(rd)] |_p, cx| {
         cx.rf.w(rd, cx.rf.r(rs));
         Ok(None)
     }
-    op_add: Instr::Add { rd, rs, rt } => |_p, cx| {
+    op_add: Instr::Add { rd, rs, rt } => [eff().ri(rs).ri(rt).wi(rd)] |_p, cx| {
         cx.rf.w(rd, cx.rf.r(rs).wrapping_add(cx.rf.r(rt)));
         Ok(None)
     }
-    op_sub: Instr::Sub { rd, rs, rt } => |_p, cx| {
+    op_sub: Instr::Sub { rd, rs, rt } => [eff().ri(rs).ri(rt).wi(rd)] |_p, cx| {
         cx.rf.w(rd, cx.rf.r(rs).wrapping_sub(cx.rf.r(rt)));
         Ok(None)
     }
-    op_mul: Instr::Mul { rd, rs, rt } => |_p, cx| {
+    op_mul: Instr::Mul { rd, rs, rt } => [eff().ri(rs).ri(rt).wi(rd)] |_p, cx| {
         cx.rf.w(rd, cx.rf.r(rs).wrapping_mul(cx.rf.r(rt)));
         Ok(None)
     }
-    op_divu: Instr::DivU { rd, rs, rt } => |_p, cx| {
+    op_divu: Instr::DivU { rd, rs, rt } => [eff().ri(rs).ri(rt).wi(rd)] |_p, cx| {
         let d = cx.rf.r(rt);
         cx.rf.w(rd, cx.rf.r(rs).checked_div(d).unwrap_or(0));
         Ok(None)
     }
-    op_divs: Instr::DivS { rd, rs, rt } => |_p, cx| {
+    op_divs: Instr::DivS { rd, rs, rt } => [eff().ri(rs).ri(rt).wi(rd)] |_p, cx| {
         let d = cx.rf.r(rt) as i64;
         let n = cx.rf.r(rs) as i64;
         cx.rf.w(rd, if d == 0 { 0 } else { n.wrapping_div(d) as u64 });
         Ok(None)
     }
-    op_remu: Instr::RemU { rd, rs, rt } => |_p, cx| {
+    op_remu: Instr::RemU { rd, rs, rt } => [eff().ri(rs).ri(rt).wi(rd)] |_p, cx| {
         let d = cx.rf.r(rt);
         cx.rf.w(rd, if d == 0 { 0 } else { cx.rf.r(rs) % d });
         Ok(None)
     }
-    op_and: Instr::And { rd, rs, rt } => |_p, cx| {
+    op_and: Instr::And { rd, rs, rt } => [eff().ri(rs).ri(rt).wi(rd)] |_p, cx| {
         cx.rf.w(rd, cx.rf.r(rs) & cx.rf.r(rt));
         Ok(None)
     }
-    op_or: Instr::Or { rd, rs, rt } => |_p, cx| {
+    op_or: Instr::Or { rd, rs, rt } => [eff().ri(rs).ri(rt).wi(rd)] |_p, cx| {
         cx.rf.w(rd, cx.rf.r(rs) | cx.rf.r(rt));
         Ok(None)
     }
-    op_xor: Instr::Xor { rd, rs, rt } => |_p, cx| {
+    op_xor: Instr::Xor { rd, rs, rt } => [eff().ri(rs).ri(rt).wi(rd)] |_p, cx| {
         cx.rf.w(rd, cx.rf.r(rs) ^ cx.rf.r(rt));
         Ok(None)
     }
-    op_nor: Instr::Nor { rd, rs, rt } => |_p, cx| {
+    op_nor: Instr::Nor { rd, rs, rt } => [eff().ri(rs).ri(rt).wi(rd)] |_p, cx| {
         cx.rf.w(rd, !(cx.rf.r(rs) | cx.rf.r(rt)));
         Ok(None)
     }
-    op_sllv: Instr::Sllv { rd, rs, rt } => |_p, cx| {
+    op_sllv: Instr::Sllv { rd, rs, rt } => [eff().ri(rs).ri(rt).wi(rd)] |_p, cx| {
         cx.rf.w(rd, cx.rf.r(rs) << (cx.rf.r(rt) & 63));
         Ok(None)
     }
-    op_srlv: Instr::Srlv { rd, rs, rt } => |_p, cx| {
+    op_srlv: Instr::Srlv { rd, rs, rt } => [eff().ri(rs).ri(rt).wi(rd)] |_p, cx| {
         cx.rf.w(rd, cx.rf.r(rs) >> (cx.rf.r(rt) & 63));
         Ok(None)
     }
-    op_srav: Instr::Srav { rd, rs, rt } => |_p, cx| {
+    op_srav: Instr::Srav { rd, rs, rt } => [eff().ri(rs).ri(rt).wi(rd)] |_p, cx| {
         cx.rf.w(rd, ((cx.rf.r(rs) as i64) >> (cx.rf.r(rt) & 63)) as u64);
         Ok(None)
     }
-    op_slt: Instr::Slt { rd, rs, rt } => |_p, cx| {
+    op_slt: Instr::Slt { rd, rs, rt } => [eff().ri(rs).ri(rt).wi(rd)] |_p, cx| {
         cx.rf.w(rd, u64::from((cx.rf.r(rs) as i64) < (cx.rf.r(rt) as i64)));
         Ok(None)
     }
-    op_sltu: Instr::Sltu { rd, rs, rt } => |_p, cx| {
+    op_sltu: Instr::Sltu { rd, rs, rt } => [eff().ri(rs).ri(rt).wi(rd)] |_p, cx| {
         cx.rf.w(rd, u64::from(cx.rf.r(rs) < cx.rf.r(rt)));
         Ok(None)
     }
-    op_addi: Instr::AddI { rd, rs, imm } => |_p, cx| {
+    op_addi: Instr::AddI { rd, rs, imm } => [eff().ri(rs).wi(rd)] |_p, cx| {
         cx.rf.w(rd, cx.rf.r(rs).wrapping_add(imm as u64));
         Ok(None)
     }
-    op_andi: Instr::AndI { rd, rs, imm } => |_p, cx| {
+    op_andi: Instr::AndI { rd, rs, imm } => [eff().ri(rs).wi(rd)] |_p, cx| {
         cx.rf.w(rd, cx.rf.r(rs) & imm);
         Ok(None)
     }
-    op_ori: Instr::OrI { rd, rs, imm } => |_p, cx| {
+    op_ori: Instr::OrI { rd, rs, imm } => [eff().ri(rs).wi(rd)] |_p, cx| {
         cx.rf.w(rd, cx.rf.r(rs) | imm);
         Ok(None)
     }
-    op_xori: Instr::XorI { rd, rs, imm } => |_p, cx| {
+    op_xori: Instr::XorI { rd, rs, imm } => [eff().ri(rs).wi(rd)] |_p, cx| {
         cx.rf.w(rd, cx.rf.r(rs) ^ imm);
         Ok(None)
     }
-    op_slli: Instr::SllI { rd, rs, sh } => |_p, cx| {
+    op_slli: Instr::SllI { rd, rs, sh } => [eff().ri(rs).wi(rd)] |_p, cx| {
         cx.rf.w(rd, cx.rf.r(rs) << (sh & 63));
         Ok(None)
     }
-    op_srli: Instr::SrlI { rd, rs, sh } => |_p, cx| {
+    op_srli: Instr::SrlI { rd, rs, sh } => [eff().ri(rs).wi(rd)] |_p, cx| {
         cx.rf.w(rd, cx.rf.r(rs) >> (sh & 63));
         Ok(None)
     }
-    op_srai: Instr::SraI { rd, rs, sh } => |_p, cx| {
+    op_srai: Instr::SraI { rd, rs, sh } => [eff().ri(rs).wi(rd)] |_p, cx| {
         cx.rf.w(rd, ((cx.rf.r(rs) as i64) >> (sh & 63)) as u64);
         Ok(None)
     }
-    op_slti: Instr::SltI { rd, rs, imm } => |_p, cx| {
+    op_slti: Instr::SltI { rd, rs, imm } => [eff().ri(rs).wi(rd)] |_p, cx| {
         cx.rf.w(rd, u64::from((cx.rf.r(rs) as i64) < imm));
         Ok(None)
     }
-    op_sltui: Instr::SltuI { rd, rs, imm } => |_p, cx| {
+    op_sltui: Instr::SltuI { rd, rs, imm } => [eff().ri(rs).wi(rd)] |_p, cx| {
         cx.rf.w(rd, u64::from(cx.rf.r(rs) < imm));
         Ok(None)
     }
-    op_beq: Instr::Beq { rs, rt, target } => |_p, cx| {
+    op_beq: Instr::Beq { rs, rt, target } => [eff().ri(rs).ri(rt).ctl()] |_p, cx| {
         if cx.rf.r(rs) == cx.rf.r(rt) {
             cx.next = cx.rstart + u64::from(target) * 4;
         }
         Ok(None)
     }
-    op_bne: Instr::Bne { rs, rt, target } => |_p, cx| {
+    op_bne: Instr::Bne { rs, rt, target } => [eff().ri(rs).ri(rt).ctl()] |_p, cx| {
         if cx.rf.r(rs) != cx.rf.r(rt) {
             cx.next = cx.rstart + u64::from(target) * 4;
         }
         Ok(None)
     }
-    op_blez: Instr::Blez { rs, target } => |_p, cx| {
+    op_blez: Instr::Blez { rs, target } => [eff().ri(rs).ctl()] |_p, cx| {
         if (cx.rf.r(rs) as i64) <= 0 {
             cx.next = cx.rstart + u64::from(target) * 4;
         }
         Ok(None)
     }
-    op_bgtz: Instr::Bgtz { rs, target } => |_p, cx| {
+    op_bgtz: Instr::Bgtz { rs, target } => [eff().ri(rs).ctl()] |_p, cx| {
         if (cx.rf.r(rs) as i64) > 0 {
             cx.next = cx.rstart + u64::from(target) * 4;
         }
         Ok(None)
     }
-    op_bltz: Instr::Bltz { rs, target } => |_p, cx| {
+    op_bltz: Instr::Bltz { rs, target } => [eff().ri(rs).ctl()] |_p, cx| {
         if (cx.rf.r(rs) as i64) < 0 {
             cx.next = cx.rstart + u64::from(target) * 4;
         }
         Ok(None)
     }
-    op_bgez: Instr::Bgez { rs, target } => |_p, cx| {
+    op_bgez: Instr::Bgez { rs, target } => [eff().ri(rs).ctl()] |_p, cx| {
         if (cx.rf.r(rs) as i64) >= 0 {
             cx.next = cx.rstart + u64::from(target) * 4;
         }
         Ok(None)
     }
-    op_j: Instr::J { target } => |_p, cx| {
+    op_j: Instr::J { target } => [eff().ctl()] |_p, cx| {
         cx.next = cx.rstart + u64::from(target) * 4;
         Ok(None)
     }
-    op_jal: Instr::Jal { target } => |_p, cx| {
+    op_jal: Instr::Jal { target } => [eff().wi(cheri_isa::ireg::RA).caps().ctl()] |_p, cx| {
         // Return continuation in both files: $ra for legacy code, $cra
         // (PCC-derived, hence bounded) for pure-capability code.
         cx.rf.w(cheri_isa::ireg::RA, cx.next);
@@ -264,28 +278,28 @@ define_ops! {
         cx.next = cx.rstart + u64::from(target) * 4;
         Ok(None)
     }
-    op_jr: Instr::Jr { rs } => |_p, cx| {
+    op_jr: Instr::Jr { rs } => [eff().ri(rs).ctl()] |_p, cx| {
         cx.next = cx.rf.r(rs);
         Ok(None)
     }
-    op_jalr: Instr::Jalr { rd, rs } => |_p, cx| {
+    op_jalr: Instr::Jalr { rd, rs } => [eff().ri(rs).wi(rd).ctl()] |_p, cx| {
         cx.rf.w(rd, cx.next);
         cx.next = cx.rf.r(rs);
         Ok(None)
     }
-    op_syscall: Instr::Syscall => |p, cx| {
+    op_syscall: Instr::Syscall => [eff().exit()] |p, cx| {
         p.count_syscall();
         cx.rf.pc = cx.next;
         Ok(Some(SemExit::Syscall))
     }
-    op_break: Instr::Break => |_p, cx| {
+    op_break: Instr::Break => [eff().exit()] |_p, cx| {
         cx.rf.pc = cx.pc;
         Ok(Some(SemExit::Break))
     }
-    op_nop: Instr::Nop => |_p, _cx| {
+    op_nop: Instr::Nop => [eff()] |_p, _cx| {
         Ok(None)
     }
-    op_load: Instr::Load { rd, base, off, w, signed } => |p, cx| {
+    op_load: Instr::Load { rd, base, off, w, signed } => [eff().ri(base).wi(rd).mem().caps()] |p, cx| {
         let ddc = crate::legacy_cap(p, cx.rf, cx.pc)?;
         let vaddr = cx.rf.r(base).wrapping_add(off as u64);
         // Legacy unaligned access is fixed up by the kernel on FreeBSD/MIPS
@@ -297,7 +311,7 @@ define_ops! {
         cx.rf.w(rd, v);
         Ok(None)
     }
-    op_store: Instr::Store { rs, base, off, w } => |p, cx| {
+    op_store: Instr::Store { rs, base, off, w } => [eff().ri(rs).ri(base).mem().caps()] |p, cx| {
         let ddc = crate::legacy_cap(p, cx.rf, cx.pc)?;
         let vaddr = cx.rf.r(base).wrapping_add(off as u64);
         if !vaddr.is_multiple_of(w.bytes()) {
@@ -307,21 +321,21 @@ define_ops! {
         crate::data_write(p, &ddc, vaddr, w, v, false, cx.pc)?;
         Ok(None)
     }
-    op_cload: Instr::CLoad { rd, cb, off, w, signed } => |p, cx| {
+    op_cload: Instr::CLoad { rd, cb, off, w, signed } => [eff().wi(rd).mem().caps()] |p, cx| {
         let cap = cx.rf.c(cb);
         let vaddr = cap.addr().wrapping_add(off as u64);
         let v = crate::data_read(p, &cap, vaddr, w, signed, true, cx.pc)?;
         cx.rf.w(rd, v);
         Ok(None)
     }
-    op_cstore: Instr::CStore { rs, cb, off, w } => |p, cx| {
+    op_cstore: Instr::CStore { rs, cb, off, w } => [eff().ri(rs).mem().caps()] |p, cx| {
         let cap = cx.rf.c(cb);
         let vaddr = cap.addr().wrapping_add(off as u64);
         let v = cx.rf.r(rs);
         crate::data_write(p, &cap, vaddr, w, v, true, cx.pc)?;
         Ok(None)
     }
-    op_clc: Instr::Clc { cd, cb, off } => |p, cx| {
+    op_clc: Instr::Clc { cd, cb, off } => [eff().mem().caps()] |p, cx| {
         let cap = cx.rf.c(cb);
         let vaddr = cap.addr().wrapping_add(off as u64);
         let size = cap.format().in_memory_size();
@@ -349,7 +363,7 @@ define_ops! {
         cx.rf.wc(cd, value);
         Ok(None)
     }
-    op_csc: Instr::Csc { cs, cb, off } => |p, cx| {
+    op_csc: Instr::Csc { cs, cb, off } => [eff().mem().caps()] |p, cx| {
         let cap = cx.rf.c(cb);
         let value = cx.rf.c(cs);
         let vaddr = cap.addr().wrapping_add(off as u64);
@@ -376,50 +390,50 @@ define_ops! {
         p.write_granule(vaddr, value, cx.pc)?;
         Ok(None)
     }
-    op_cgetaddr: Instr::CGetAddr { rd, cb } => |_p, cx| {
+    op_cgetaddr: Instr::CGetAddr { rd, cb } => [eff().wi(rd).caps()] |_p, cx| {
         cx.rf.w(rd, cx.rf.c(cb).addr());
         Ok(None)
     }
-    op_cgetbase: Instr::CGetBase { rd, cb } => |_p, cx| {
+    op_cgetbase: Instr::CGetBase { rd, cb } => [eff().wi(rd).caps()] |_p, cx| {
         cx.rf.w(rd, cx.rf.c(cb).base());
         Ok(None)
     }
-    op_cgetlen: Instr::CGetLen { rd, cb } => |_p, cx| {
+    op_cgetlen: Instr::CGetLen { rd, cb } => [eff().wi(rd).caps()] |_p, cx| {
         cx.rf.w(rd, cx.rf.c(cb).length());
         Ok(None)
     }
-    op_cgetperm: Instr::CGetPerm { rd, cb } => |_p, cx| {
+    op_cgetperm: Instr::CGetPerm { rd, cb } => [eff().wi(rd).caps()] |_p, cx| {
         cx.rf.w(rd, u64::from(cx.rf.c(cb).perms().bits()));
         Ok(None)
     }
-    op_cgettag: Instr::CGetTag { rd, cb } => |_p, cx| {
+    op_cgettag: Instr::CGetTag { rd, cb } => [eff().wi(rd).caps()] |_p, cx| {
         cx.rf.w(rd, u64::from(cx.rf.c(cb).tag()));
         Ok(None)
     }
-    op_cgetoffset: Instr::CGetOffset { rd, cb } => |_p, cx| {
+    op_cgetoffset: Instr::CGetOffset { rd, cb } => [eff().wi(rd).caps()] |_p, cx| {
         cx.rf.w(rd, cx.rf.c(cb).offset());
         Ok(None)
     }
-    op_cgettype: Instr::CGetType { rd, cb } => |_p, cx| {
+    op_cgettype: Instr::CGetType { rd, cb } => [eff().wi(rd).caps()] |_p, cx| {
         cx.rf.w(
             rd,
             cx.rf.c(cb).otype().map_or(u64::MAX, |t| u64::from(t.value())),
         );
         Ok(None)
     }
-    op_csetaddr: Instr::CSetAddr { cd, cb, rs } => |_p, cx| {
+    op_csetaddr: Instr::CSetAddr { cd, cb, rs } => [eff().ri(rs).caps()] |_p, cx| {
         cx.rf.wc(cd, cx.rf.c(cb).with_addr(cx.rf.r(rs)));
         Ok(None)
     }
-    op_cincoffset: Instr::CIncOffset { cd, cb, rs } => |_p, cx| {
+    op_cincoffset: Instr::CIncOffset { cd, cb, rs } => [eff().ri(rs).caps()] |_p, cx| {
         cx.rf.wc(cd, cx.rf.c(cb).inc_addr(cx.rf.r(rs) as i64));
         Ok(None)
     }
-    op_cincoffsetimm: Instr::CIncOffsetImm { cd, cb, imm } => |_p, cx| {
+    op_cincoffsetimm: Instr::CIncOffsetImm { cd, cb, imm } => [eff().caps()] |_p, cx| {
         cx.rf.wc(cd, cx.rf.c(cb).inc_addr(imm));
         Ok(None)
     }
-    op_csetbounds: Instr::CSetBounds { cd, cb, rs } => |p, cx| {
+    op_csetbounds: Instr::CSetBounds { cd, cb, rs } => [eff().ri(rs).caps()] |p, cx| {
         let len = cx.rf.r(rs);
         let c = if p.weaken_sem() {
             // Test-only deliberate bug (`--weaken-sem`): bounds are set
@@ -436,7 +450,7 @@ define_ops! {
         cx.rf.wc(cd, c);
         Ok(None)
     }
-    op_csetboundsimm: Instr::CSetBoundsImm { cd, cb, imm } => |p, cx| {
+    op_csetboundsimm: Instr::CSetBoundsImm { cd, cb, imm } => [eff().caps()] |p, cx| {
         let c = cx
             .rf
             .c(cb)
@@ -446,7 +460,7 @@ define_ops! {
         cx.rf.wc(cd, c);
         Ok(None)
     }
-    op_csetboundsexact: Instr::CSetBoundsExact { cd, cb, rs } => |p, cx| {
+    op_csetboundsexact: Instr::CSetBoundsExact { cd, cb, rs } => [eff().ri(rs).caps()] |p, cx| {
         let c = cx
             .rf
             .c(cb)
@@ -456,7 +470,7 @@ define_ops! {
         cx.rf.wc(cd, c);
         Ok(None)
     }
-    op_candperm: Instr::CAndPerm { cd, cb, rs } => |p, cx| {
+    op_candperm: Instr::CAndPerm { cd, cb, rs } => [eff().ri(rs).caps()] |p, cx| {
         let c = cx
             .rf
             .c(cb)
@@ -465,30 +479,30 @@ define_ops! {
         cx.rf.wc(cd, c);
         Ok(None)
     }
-    op_ccleartag: Instr::CClearTag { cd, cb } => |_p, cx| {
+    op_ccleartag: Instr::CClearTag { cd, cb } => [eff().caps()] |_p, cx| {
         cx.rf.wc(cd, cx.rf.c(cb).clear_tag());
         Ok(None)
     }
-    op_cmove: Instr::CMove { cd, cb } => |_p, cx| {
+    op_cmove: Instr::CMove { cd, cb } => [eff().caps()] |_p, cx| {
         cx.rf.wc(cd, cx.rf.c(cb));
         Ok(None)
     }
-    op_crrl: Instr::CRrl { rd, rs } => |_p, cx| {
+    op_crrl: Instr::CRrl { rd, rs } => [eff().ri(rs).wi(rd).caps()] |_p, cx| {
         cx.rf
             .w(rd, cx.rf.pcc.format().representable_length(cx.rf.r(rs)));
         Ok(None)
     }
-    op_cram: Instr::CRam { rd, rs } => |_p, cx| {
+    op_cram: Instr::CRam { rd, rs } => [eff().ri(rs).wi(rd).caps()] |_p, cx| {
         cx.rf
             .w(rd, cx.rf.pcc.format().representable_alignment_mask(cx.rf.r(rs)));
         Ok(None)
     }
-    op_csub: Instr::CSub { rd, cb, ct } => |_p, cx| {
+    op_csub: Instr::CSub { rd, cb, ct } => [eff().wi(rd).caps()] |_p, cx| {
         cx.rf
             .w(rd, cx.rf.c(cb).addr().wrapping_sub(cx.rf.c(ct).addr()));
         Ok(None)
     }
-    op_cfromptr: Instr::CFromPtr { cd, cb, rs } => |p, cx| {
+    op_cfromptr: Instr::CFromPtr { cd, cb, rs } => [eff().ri(rs).caps()] |p, cx| {
         let v = cx.rf.r(rs);
         let c = if v == 0 {
             Capability::null(cx.rf.pcc.format())
@@ -499,13 +513,13 @@ define_ops! {
         cx.rf.wc(cd, c);
         Ok(None)
     }
-    op_ctoptr: Instr::CToPtr { rd, cb, ct } => |_p, cx| {
+    op_ctoptr: Instr::CToPtr { rd, cb, ct } => [eff().wi(rd).caps()] |_p, cx| {
         let c = cx.rf.c(cb);
         let _ = ct;
         cx.rf.w(rd, if c.tag() { c.addr() } else { 0 });
         Ok(None)
     }
-    op_cseal: Instr::CSeal { cd, cs, ct } => |p, cx| {
+    op_cseal: Instr::CSeal { cd, cs, ct } => [eff().caps()] |p, cx| {
         let c = cx
             .rf
             .c(cs)
@@ -514,7 +528,7 @@ define_ops! {
         cx.rf.wc(cd, c);
         Ok(None)
     }
-    op_cunseal: Instr::CUnseal { cd, cs, ct } => |p, cx| {
+    op_cunseal: Instr::CUnseal { cd, cs, ct } => [eff().caps()] |p, cx| {
         let c = cx
             .rf
             .c(cs)
@@ -523,13 +537,13 @@ define_ops! {
         cx.rf.wc(cd, c);
         Ok(None)
     }
-    op_ctestsubset: Instr::CTestSubset { rd, cb, ct } => |_p, cx| {
+    op_ctestsubset: Instr::CTestSubset { rd, cb, ct } => [eff().wi(rd).caps()] |_p, cx| {
         let a = cx.rf.c(cb);
         let b = cx.rf.c(ct);
         cx.rf.w(rd, u64::from(a.tag() && b.tag() && b.is_subset_of(&a)));
         Ok(None)
     }
-    op_cjr: Instr::CJr { cb } => |p, cx| {
+    op_cjr: Instr::CJr { cb } => [eff().caps().ctl()] |p, cx| {
         let t = cx.rf.c(cb);
         t.check_access(t.addr(), 4, Perms::EXECUTE)
             .map_err(|f| p.cap_fault(cx.pc, f, Some(t.addr())))?;
@@ -537,7 +551,7 @@ define_ops! {
         cx.next = t.addr();
         Ok(None)
     }
-    op_cjalr: Instr::CJalr { cd, cb } => |p, cx| {
+    op_cjalr: Instr::CJalr { cd, cb } => [eff().caps().ctl()] |p, cx| {
         let t = cx.rf.c(cb);
         t.check_access(t.addr(), 4, Perms::EXECUTE)
             .map_err(|f| p.cap_fault(cx.pc, f, Some(t.addr())))?;
@@ -546,11 +560,11 @@ define_ops! {
         cx.next = t.addr();
         Ok(None)
     }
-    op_cgetpcc: Instr::CGetPcc { cd } => |_p, cx| {
+    op_cgetpcc: Instr::CGetPcc { cd } => [eff().caps()] |_p, cx| {
         cx.rf.wc(cd, cx.rf.pcc.with_addr(cx.pc));
         Ok(None)
     }
-    op_cgetddc: Instr::CGetDdc { cd } => |_p, cx| {
+    op_cgetddc: Instr::CGetDdc { cd } => [eff().caps()] |_p, cx| {
         cx.rf.wc(cd, cx.rf.ddc);
         Ok(None)
     }
@@ -697,6 +711,142 @@ mod tests {
                 i,
                 "dispatch order diverged at {instr:?}"
             );
+        }
+    }
+
+    /// A port that panics on any memory or capability-fault use: the
+    /// drift-guard below only runs handlers whose effects clause declares
+    /// them pure, so reaching the port at all is itself a drift.
+    struct PureProbePort;
+
+    impl crate::TrapPort for PureProbePort {
+        type Fault = ();
+        fn cap_fault(
+            &mut self,
+            _pc: u64,
+            _fault: cheri_cap::CapFault,
+            _vaddr: Option<u64>,
+        ) -> Self::Fault {
+            panic!("pure-declared handler raised a capability fault")
+        }
+    }
+
+    impl MemoryPort for PureProbePort {
+        fn read_raw(&mut self, _v: u64, _s: u64, _pc: u64) -> Result<u64, ()> {
+            panic!("pure-declared handler read memory")
+        }
+        fn write_raw(&mut self, _v: u64, _s: u64, _val: u64, _pc: u64) -> Result<(), ()> {
+            panic!("pure-declared handler wrote memory")
+        }
+        fn read_granule(&mut self, _v: u64, _pc: u64) -> Result<Option<Capability>, ()> {
+            panic!("pure-declared handler read a granule")
+        }
+        fn write_granule(&mut self, _v: u64, _c: Capability, _pc: u64) -> Result<(), ()> {
+            panic!("pure-declared handler wrote a granule")
+        }
+    }
+
+    fn seeded_regfile(seed: u64) -> crate::RegFile {
+        let mut rf = crate::RegFile::new(cheri_cap::CapFormat::C128);
+        let mut x = seed | 1;
+        for i in 1..32 {
+            // Deterministic xorshift; small values keep shift/branch
+            // operands interesting.
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            rf.gpr[i] = if i % 3 == 0 { x % 7 } else { x };
+        }
+        rf
+    }
+
+    /// Drift guard for the effects clauses: for every handler declared
+    /// pure-integer, (a) perturbing registers *outside* the declared read
+    /// set never changes what it computes, and (b) it never modifies a
+    /// register outside the declared write set. A handler that secretly
+    /// reads or writes more than its clause admits fails here — which is
+    /// what keeps the template compiler in `cheri-cpu` honest.
+    #[test]
+    fn effects_clauses_match_pure_handler_behaviour() {
+        for (case, instr) in exemplars().iter().enumerate() {
+            let e = reg_effects(instr);
+            if !e.is_pure_int() {
+                continue;
+            }
+            for seed in [3u64, 0x9e3779b97f4a7c15, u64::MAX / 5] {
+                let base = seeded_regfile(seed);
+                let mut perturbed = base.clone();
+                for i in 1..32 {
+                    if e.int_reads & (1 << i) == 0 {
+                        perturbed.gpr[i] ^= 0xdead_beef_0bad_f00d ^ (case as u64) << 32;
+                    }
+                }
+                let run = |rf: &crate::RegFile| {
+                    let mut rf = rf.clone();
+                    let next = {
+                        let mut cx = StepCtx {
+                            rf: &mut rf,
+                            pc: 0x1000,
+                            next: 0x1004,
+                            rstart: 0x1000,
+                        };
+                        let out = step_instr(&mut PureProbePort, &mut cx, *instr)
+                            .expect("pure-declared handler trapped");
+                        assert!(out.is_none(), "pure-declared handler exited: {instr:?}");
+                        cx.next
+                    };
+                    (rf, next)
+                };
+                let (out_a, next_a) = run(&base);
+                let (out_b, next_b) = run(&perturbed);
+                for i in 0..32 {
+                    if e.int_writes & (1 << i) != 0 {
+                        // Declared writes must be a pure function of the
+                        // declared reads — identical under perturbation.
+                        assert_eq!(
+                            out_a.gpr[i], out_b.gpr[i],
+                            "{instr:?}: write ${i} depends on an undeclared read"
+                        );
+                    } else {
+                        // Everything else must be untouched.
+                        assert_eq!(
+                            out_a.gpr[i], base.gpr[i],
+                            "{instr:?}: wrote ${i} outside its declared write set"
+                        );
+                    }
+                }
+                // Control decisions (branch direction, jump-register
+                // targets) must also be a pure function of the declared
+                // reads: the perturbation never touches those, so `next`
+                // must come out identical.
+                assert_eq!(
+                    next_a, next_b,
+                    "{instr:?}: control depends on an undeclared read"
+                );
+            }
+        }
+    }
+
+    /// Classification cross-check: the effects clauses must agree with the
+    /// `Instr` classification helpers the superblock machine is built on.
+    #[test]
+    fn effects_clauses_agree_with_instr_classification() {
+        for instr in exemplars() {
+            let e = reg_effects(&instr);
+            assert_eq!(
+                e.mem,
+                instr.is_memory(),
+                "{instr:?}: mem flag disagrees with Instr::is_memory"
+            );
+            if instr.is_control() {
+                assert!(e.control, "{instr:?}: control op lacks ctl() clause");
+            }
+            if e.exit {
+                assert!(
+                    matches!(instr, Instr::Syscall | Instr::Break),
+                    "{instr:?}: only syscall/break exit the run loop"
+                );
+            }
         }
     }
 }

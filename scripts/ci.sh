@@ -65,19 +65,68 @@ cmp scripts/golden/table3_pinned.golden target/table3-pinned.lines || {
     exit 1
 }
 
-echo "==> superblock equivalence: table1 pinned suite, superblock vs --no-fast-path"
+echo "==> tier equivalence: pinned suites byte-identical across all three exec modes"
+# The pinned runs above used the default tier (--exec-mode template); the
+# single-step and superblock tiers must reproduce them byte for byte.
 ./target/release/run_specs --specs scripts/golden/table1_pinned.specs \
     --jobs 2 --no-cache --no-fast-path --shard 0/1 > target/table1-singlestep.lines
 cmp target/table1-pinned.lines target/table1-singlestep.lines || {
-    echo "FAIL: guest metrics diverge between the superblock machine and the"
+    echo "FAIL: guest metrics diverge between the template tier and the"
     echo "      single-step reference interpreter on the table1 pinned suite"
+    exit 1
+}
+./target/release/run_specs --specs scripts/golden/table1_pinned.specs \
+    --jobs 2 --no-cache --exec-mode superblock --shard 0/1 \
+    > target/table1-superblock.lines
+cmp target/table1-pinned.lines target/table1-superblock.lines || {
+    echo "FAIL: guest metrics diverge between the template tier and the"
+    echo "      superblock machine on the table1 pinned suite"
     exit 1
 }
 ./target/release/run_specs --specs scripts/golden/table3_pinned.specs \
     --jobs 2 --no-cache --no-fast-path --shard 0/1 > target/table3-singlestep.lines
 cmp target/table3-pinned.lines target/table3-singlestep.lines || {
-    echo "FAIL: guest metrics diverge between the superblock machine and the"
+    echo "FAIL: guest metrics diverge between the template tier and the"
     echo "      single-step reference interpreter on the table3 pinned suite"
+    exit 1
+}
+./target/release/run_specs --specs scripts/golden/table3_pinned.specs \
+    --jobs 2 --no-cache --exec-mode superblock --shard 0/1 \
+    > target/table3-superblock.lines
+cmp target/table3-pinned.lines target/table3-superblock.lines || {
+    echo "FAIL: guest metrics diverge between the template tier and the"
+    echo "      superblock machine on the table3 pinned suite"
+    exit 1
+}
+
+echo "==> template tier: interp cross-check is clean, and catches --weaken-flush"
+./target/release/interp_throughput --trials 1 --spin-iters 200000 \
+    --out target/interp-smoke.json > /dev/null || {
+    echo "FAIL: guest metrics diverge across interpreter modes (see above)"
+    exit 1
+}
+if ./target/release/interp_throughput --trials 1 --spin-iters 200000 \
+    --weaken-flush --out target/interp-weak.json > /dev/null 2>&1; then
+    echo "FAIL: a dropped template exit flush went undetected — the cross-tier"
+    echo "      metric check is broken (it must fail when residency is wrong)"
+    exit 1
+fi
+
+echo "==> fleet: --exec-mode forwards through fleet workers byte-identically"
+./target/release/run_specs --specs scripts/golden/table1_pinned.specs \
+    --exec-mode superblock --dump-specs > target/execmode-dump.lines
+[ "$(grep -c '"exec_mode":"superblock"' target/execmode-dump.lines)" \
+    = "$(wc -l < target/execmode-dump.lines)" ] || {
+    echo "FAIL: --exec-mode did not rewrite every spec (fleet workers and dumps"
+    echo "      must see the mode the command line asked for)"
+    exit 1
+}
+./target/release/table1 --jobs 2 --json --fleet 2 --exec-mode superblock \
+    > target/table1-fleet-sb.json 2> target/table1-fleet-sb.err
+cmp target/table1-cold.json target/table1-fleet-sb.json || {
+    echo "FAIL: table1 under --fleet 2 --exec-mode superblock differs from the"
+    echo "      single-process template-tier run:"
+    cat target/table1-fleet-sb.err
     exit 1
 }
 
